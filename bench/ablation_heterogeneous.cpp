@@ -1,0 +1,45 @@
+// Heterogeneous-cluster ablation (the paper's future work, Section VII):
+// the homogeneous block partition vs the speed-weighted partition on mixed
+// fleets, replaying the measured n = 50 formation workload.
+#include "bench/bench_util.hpp"
+
+using namespace parma;
+
+int main() {
+  const core::Engine engine = bench::make_engine(50);
+  core::StrategyOptions options;
+  options.keep_system = false;
+  const core::FormationResult formation = engine.form_equations(options);
+  mpisim::ClusterCostModel model;
+  model.task_cost_scale = 500.0;  // paper-regime per-task costs
+
+  Table table({"fleet", "partition", "makespan_seconds", "imbalance"});
+  struct Fleet {
+    const char* name;
+    std::vector<mpisim::RankProfile> ranks;
+  };
+  const Fleet fleets[] = {
+      {"uniform-64", mpisim::uniform_fleet(64)},
+      {"half-2x-64", mpisim::two_tier_fleet(64, 0.5, 2.0, 1.0)},
+      {"quarter-4x-64", mpisim::two_tier_fleet(64, 0.25, 4.0, 1.0)},
+      {"mostly-slow-64", mpisim::two_tier_fleet(64, 0.1, 8.0, 1.0)},
+  };
+
+  for (const Fleet& fleet : fleets) {
+    const auto block = mpisim::simulate_heterogeneous(
+        formation.tasks, fleet.ranks,
+        mpisim::block_partition(formation.tasks.size(), static_cast<Index>(fleet.ranks.size())),
+        model);
+    const auto weighted = mpisim::simulate_heterogeneous(
+        formation.tasks, fleet.ranks,
+        mpisim::speed_weighted_partition(formation.tasks, fleet.ranks), model);
+    table.add(fleet.name, "block", block.makespan_seconds, block.imbalance());
+    table.add(fleet.name, "speed-weighted", weighted.makespan_seconds, weighted.imbalance());
+  }
+  bench::emit(table, "ablation_heterogeneous");
+
+  std::cout << "\non mixed fleets the block partition is gated by the slow tier"
+               "\n(imbalance = fast/slow speed ratio); cost-aware weighting restores"
+               "\nimbalance ~1 and recovers most of the lost makespan.\n";
+  return 0;
+}

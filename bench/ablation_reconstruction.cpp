@@ -1,0 +1,80 @@
+// Reconstruction-method ablation: Parma's exact nonlinear recovery vs the
+// Section-I "conventional approaches" (linear back projection, Tikhonov,
+// Landweber), on the same exact forward model.
+//
+// Reports max relative reconstruction error and wall time per method across
+// device sizes and noise levels -- quantifying both the accuracy gap and the
+// ill-posedness (error growth under noise) the paper cites as motivation.
+#include "bench/bench_util.hpp"
+
+using namespace parma;
+
+namespace {
+
+Real max_rel_error(const circuit::ResistanceGrid& got, const circuit::ResistanceGrid& want) {
+  Real worst = 0.0;
+  for (std::size_t e = 0; e < got.flat().size(); ++e) {
+    worst = std::max(worst, std::abs(got.flat()[e] - want.flat()[e]) / want.flat()[e]);
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  Table table({"method", "n", "noise", "max_rel_error", "seconds"});
+
+  for (const Index n : {Index{6}, Index{10}}) {
+    for (const Real noise : {0.0, 0.005, 0.02}) {
+      Rng rng(7000 + static_cast<std::uint64_t>(n) + static_cast<std::uint64_t>(noise * 1e4));
+      const mea::DeviceSpec spec = mea::square_device(n);
+      mea::GeneratorOptions gen;
+      gen.jitter_fraction = 0.0;
+      gen.anomalies.push_back({static_cast<Real>(n) / 2.0, static_cast<Real>(n) / 3.0, 1.0,
+                               1.0, 10000.0});
+      const circuit::ResistanceGrid truth = mea::generate_field(spec, gen, rng);
+      mea::MeasurementOptions mopt;
+      mopt.noise_fraction = noise;
+      const mea::Measurement m = mea::measure(spec, truth, mopt, rng);
+
+      {
+        Stopwatch clock;
+        solver::InverseOptions options;
+        options.max_iterations = 60;
+        const auto result = solver::recover_resistances(m, options);
+        table.add("parma-lm", n, noise, max_rel_error(result.recovered, truth),
+                  clock.elapsed_seconds());
+      }
+      Stopwatch sens_clock;
+      const solver::SensitivityModel model = solver::build_sensitivity(m, 2000.0);
+      const Real sens_seconds = sens_clock.elapsed_seconds();
+      {
+        Stopwatch clock;
+        const auto grid = solver::linear_back_projection(m, model);
+        table.add("back-projection", n, noise, max_rel_error(grid, truth),
+                  sens_seconds + clock.elapsed_seconds());
+      }
+      {
+        Stopwatch clock;
+        const auto grid = solver::tikhonov_reconstruction(m, model, 1e-3);
+        table.add("tikhonov", n, noise, max_rel_error(grid, truth),
+                  sens_seconds + clock.elapsed_seconds());
+      }
+      {
+        Stopwatch clock;
+        solver::LandweberOptions options;
+        options.max_iterations = 150;
+        const auto result = solver::landweber(m, model, options);
+        table.add("landweber", n, noise, max_rel_error(result.recovered, truth),
+                  sens_seconds + clock.elapsed_seconds());
+      }
+    }
+  }
+  bench::emit(table, "ablation_reconstruction");
+
+  std::cout << "\nexpected: parma-lm reaches ~1e-6 error noise-free and degrades"
+               "\ngracefully (error ~ noise); the linearized classics plateau at"
+               "\nmulti-10% error regardless, and their error is dominated by the"
+               "\nlinearization, not the data -- the ill-posedness the paper cites.\n";
+  return 0;
+}

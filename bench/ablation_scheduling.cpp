@@ -1,0 +1,91 @@
+// Scheduling ablations for the design choices DESIGN.md calls out:
+//  A. Task granularity -- the Betti-aware fine (pair x category) partition vs
+//     the coarse (row x category) partition, both dynamically scheduled at
+//     k = 32. Isolates the value of the topological decomposition itself.
+//  B. Work stealing on/off -- Parallel (category-bound threads) vs Balanced
+//     Parallel (LPT rebalance) at 4 workers. Isolates Section IV-C1.
+//  C. Chunk size -- fine-grained dynamic self-scheduling with chunk in
+//     {1, 4, 16, 64} at k = 32. The chunk-claim overhead vs balance trade.
+#include "bench/bench_util.hpp"
+
+using namespace parma;
+
+int main() {
+  const parallel::CostModel model;
+  bench::print_cost_model(model);
+
+  // --- A. Granularity --------------------------------------------------------
+  // What parallelism can each decomposition *expose*? Overheads are zeroed so
+  // the comparison isolates partitioning: the Betti-aware fine partition has
+  // 4n^2 units (one per endpoint pair per category, cf. the (n-1)^2
+  // independent loops), the coarse one only 4n row bundles -- so the coarse
+  // speedup saturates near 4n workers while fine keeps scaling.
+  parallel::CostModel ideal;  // zero overheads
+  ideal.worker_spawn_overhead = 0.0;
+  ideal.task_dispatch_overhead = 0.0;
+  ideal.chunk_claim_overhead = 0.0;
+  ideal.rebalance_overhead = 0.0;
+
+  Table granularity({"series", "n", "k", "speedup_vs_serial"});
+  for (const Index n : {Index{20}, Index{40}, Index{60}}) {
+    const core::Engine engine = bench::make_engine(n);
+    core::StrategyOptions options;
+    options.strategy = core::Strategy::kFineGrained;  // builds fine tasks
+    options.keep_system = false;
+    const core::FormationResult fine = engine.form_equations(options);
+    options.strategy = core::Strategy::kBalancedParallel;  // builds coarse tasks
+    const core::FormationResult coarse = engine.form_equations(options);
+    const Real work = fine.schedule.total_work_seconds;
+
+    for (const Index k : {Index{32}, Index{128}, Index{512}}) {
+      granularity.add(
+          "fine-pair-tasks", n, k,
+          work / parallel::schedule_dynamic(fine.tasks, k, 1, ideal).makespan_seconds);
+      granularity.add(
+          "coarse-row-tasks", n, k,
+          work / parallel::schedule_dynamic(coarse.tasks, k, 1, ideal).makespan_seconds);
+    }
+  }
+  bench::emit(granularity, "ablation_granularity");
+  std::cout << "\nfine tasks expose ~4n^2 units vs 4n coarse ones: at k = 512 the"
+               "\ncoarse partition's speedup is pinned near its 4n task count while"
+               "\nthe fine partition keeps scaling -- the value of decomposing along"
+               "\nthe homology classes rather than device rows.\n\n";
+
+  // --- B. Work stealing -------------------------------------------------------
+  Table stealing({"series", "n", "seconds", "moved_tasks"});
+  for (const Index n : bench::device_sweep(60)) {
+    const core::Engine engine = bench::make_engine(n);
+    core::StrategyOptions options;
+    options.strategy = core::Strategy::kParallel;
+    options.workers = 4;
+    options.keep_system = false;
+    const core::FormationResult r = engine.form_equations(options);
+    const auto bound = parallel::schedule_by_category(r.tasks, 4, model);
+    const auto stolen = parallel::schedule_balanced_lpt(r.tasks, 4, model);
+    stealing.add("category-bound", n, bound.makespan_seconds, bound.moved_tasks);
+    stealing.add("work-stealing", n, stolen.makespan_seconds, stolen.moved_tasks);
+  }
+  bench::emit(stealing, "ablation_work_stealing");
+  std::cout << "\nthe intermediate categories hold ~n times the terminal categories'"
+               "\nwork (the paper's cubic skew); stealing converts the 2-busy/2-idle"
+               "\npattern into ~4-busy.\n\n";
+
+  // --- C. Chunk size -----------------------------------------------------------
+  Table chunking({"series", "n", "seconds"});
+  for (const Index n : bench::device_sweep(60)) {
+    const core::Engine engine = bench::make_engine(n);
+    core::StrategyOptions options;
+    options.strategy = core::Strategy::kFineGrained;
+    options.keep_system = false;
+    const core::FormationResult r = engine.form_equations(options);
+    for (const Index chunk : {Index{1}, Index{4}, Index{16}, Index{64}}) {
+      chunking.add("chunk=" + std::to_string(chunk), n,
+                   parallel::schedule_dynamic(r.tasks, 32, chunk, model).makespan_seconds);
+    }
+  }
+  bench::emit(chunking, "ablation_chunking");
+  std::cout << "\nsmall chunks pay claim overhead; large chunks approach static"
+               "\npartitioning and lose late-run balance. chunk=4 is the default.\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the figure benchmarks.
+//
+// Every figure binary:
+//  * builds deterministic synthetic devices (seeded per n),
+//  * prints its series as `series,x,y[,...]` CSV to stdout AND saves the same
+//    CSV under bench_results/ (override with PARMA_RESULTS_DIR),
+//  * honors PARMA_BENCH_FULL=1 to extend sweeps to the paper's full n = 100
+//    (default sweeps stop earlier where disk/time would dominate a dev loop).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/parma.hpp"
+
+namespace parma::bench {
+
+inline bool full_sweep() {
+  const char* env = std::getenv("PARMA_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline std::string results_dir() {
+  const char* env = std::getenv("PARMA_RESULTS_DIR");
+  return env != nullptr ? std::string(env) : std::string("bench_results");
+}
+
+/// The paper's workload sweep, n in {10, 20, ..., 100}; `cap` trims it for
+/// benches whose cost grows faster than generation (e.g. full disk writes).
+inline std::vector<Index> device_sweep(Index cap = 100) {
+  std::vector<Index> sweep;
+  for (Index n = 10; n <= cap; n += 10) {
+    if (n > 60 && n % 20 != 0) continue;  // 10..60, then 80, 100
+    sweep.push_back(n);
+  }
+  return sweep;
+}
+
+/// Deterministic engine per device size: two anomaly blobs, mild jitter,
+/// exact measurement (the benchmarks measure compute, not noise robustness).
+inline core::Engine make_engine(Index n, std::uint64_t seed = 2022) {
+  Rng rng(seed + static_cast<std::uint64_t>(n) * 7919);
+  const mea::DeviceSpec spec = mea::square_device(n);
+  mea::GeneratorOptions options = mea::random_scenario(spec, 2, rng);
+  options.jitter_fraction = 0.01;
+  const auto truth = mea::generate_field(spec, options, rng);
+  return core::Engine(mea::measure_exact(spec, truth));
+}
+
+/// Emits the table to stdout (pretty + CSV) and saves the CSV.
+inline void emit(const Table& table, const std::string& name) {
+  table.write_pretty(std::cout);
+  std::cout << "\n--- CSV (" << name << ") ---\n";
+  table.write_csv(std::cout);
+  const std::string path = results_dir() + "/" + name + ".csv";
+  table.save_csv(path);
+  std::cout << "saved: " << path << "\n";
+}
+
+inline void print_cost_model(const parallel::CostModel& m) {
+  std::cout << "cost model: spawn=" << m.worker_spawn_overhead
+            << "s/worker (sequential), dispatch=" << m.task_dispatch_overhead
+            << "s/task, chunk-claim=" << m.chunk_claim_overhead
+            << "s, rebalance=" << m.rebalance_overhead << "s\n";
+}
+
+}  // namespace parma::bench

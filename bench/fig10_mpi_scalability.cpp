@@ -1,0 +1,64 @@
+// Fig. 10 reproduction: strong scaling of the MPI implementation across
+// p in {32, 64, ..., 1024} ranks for workloads n in {10, 20, 50, 100}.
+//
+// Paper claims to reproduce: "a linear strong scalability for practical
+// workloads (e.g., 50x50 or larger MEAs). For smaller workloads (e.g., 10x10
+// and 20x20 MEAs), the inter-node parallelism is not effective."
+//
+// Task costs are measured for real; the cluster replay uses the alpha-beta
+// model of mpisim/cluster_model.hpp with FDR-InfiniBand-like parameters
+// (~2 us latency, ~6.8 GB/s links) documented in the output. The in-process
+// message-passing runtime itself is correctness-tested in tests/test_mpisim
+// and demonstrated in examples/; 1,024 real ranks do not fit a 1-core host.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+
+using namespace parma;
+
+int main() {
+  mpisim::ClusterCostModel model;
+  std::cout << "cluster model: spawn=" << model.rank_spawn_overhead
+            << "s*log2(p), alpha=" << model.latency_seconds
+            << "s, beta=" << model.seconds_per_byte << "s/B (~"
+            << 1.0 / model.seconds_per_byte / 1e9 << " GB/s), GPFS client "
+            << 1.0 / model.storage_seconds_per_byte / 1e9 << " GB/s\n";
+  std::cout << "series suffixed ':paper-regime' replay the same measured tasks at\n"
+               "500x cost, approximating the paper's Python-per-task substrate\n"
+               "(calibration in EXPERIMENTS.md).\n\n";
+
+  Table table({"series", "ranks", "seconds", "speedup_vs_32", "efficiency_vs_serial"});
+
+  for (const Index n : {Index{10}, Index{20}, Index{50}, Index{100}}) {
+    const core::Engine engine = bench::make_engine(n);
+    core::StrategyOptions options;
+    options.strategy = core::Strategy::kFineGrained;
+    options.chunk = 4;
+    options.keep_system = false;
+    const core::FormationResult formation = engine.form_equations(options);
+
+    for (const Real scale : {1.0, 500.0}) {
+      mpisim::ClusterCostModel tuned = model;
+      tuned.task_cost_scale = scale;
+      const Real serial = formation.generation_seconds * scale;
+      const std::string series =
+          "n=" + std::to_string(n) + (scale > 1.0 ? ":paper-regime" : ":cpp-native");
+      Real at32 = 0.0;
+      for (Index p = 32; p <= 1024; p *= 2) {
+        const mpisim::ClusterResult r = engine.distributed_formation(formation, p, tuned);
+        if (p == 32) at32 = r.makespan_seconds;
+        table.add(series, p, r.makespan_seconds, at32 / r.makespan_seconds,
+                  r.efficiency(serial, p));
+      }
+    }
+  }
+  bench::emit(table, "fig10_mpi_scalability");
+
+  std::cout << "\nexpected shape (paper Fig. 10, the ':paper-regime' series): n=50 and"
+               "\nn=100 scale near-linearly (speedup_vs_32 approaching 32x at p=1024);"
+               "\nn=10 and n=20 flatten immediately (overhead-bound). The ':cpp-native'"
+               "\nseries shows where the C++ kernel is already too fast for inter-node"
+               "\nparallelism to pay off -- the paper's own 'intra-node recommended'"
+               "\nconclusion, reached earlier because each task is ~500x cheaper.\n";
+  return 0;
+}

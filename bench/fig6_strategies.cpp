@@ -1,0 +1,61 @@
+// Fig. 6 reproduction: computation time of the joint-constraint equation
+// formation under Parallel, Balanced Parallel, and the PyMP-style
+// fine-grained strategy (plus the Single-thread baseline), across device
+// sizes n = 10..100.
+//
+// Paper claims to reproduce: PyMP delivers the highest performance at scales
+// n >= 20, "despite of lower performance than Balanced Parallel at n = 10
+// where the parallelization overhead outweighs the speedup."
+//
+// Task costs are measured for real on this machine; the per-strategy timing
+// is the virtual k-worker replay (see DESIGN.md Section 2). The paper's
+// on-premises server has 32 cores, so PyMP runs with k = 32 while Parallel
+// and Balanced Parallel are capped at the 4 constraint categories.
+#include "bench/bench_util.hpp"
+
+using namespace parma;
+
+int main() {
+  const parallel::CostModel model;  // calibrated defaults
+  bench::print_cost_model(model);
+  std::cout << "strategy workers: parallel<=4, balanced<=4 (category threads), "
+               "pymp=32 (fine-grained)\n\n";
+
+  Table table({"series", "n", "seconds", "equations", "speedup_vs_serial"});
+  struct Config {
+    const char* name;
+    core::Strategy strategy;
+    Index workers;
+  };
+  const Config configs[] = {
+      {"single-thread", core::Strategy::kSingleThread, 1},
+      {"parallel", core::Strategy::kParallel, 4},
+      {"balanced-parallel", core::Strategy::kBalancedParallel, 4},
+      {"pymp-32", core::Strategy::kFineGrained, 32},
+  };
+
+  for (const Index n : bench::device_sweep()) {
+    const core::Engine engine = bench::make_engine(n);
+    Real serial_seconds = 0.0;
+    for (const Config& config : configs) {
+      core::StrategyOptions options;
+      options.strategy = config.strategy;
+      options.workers = config.workers;
+      options.chunk = 4;
+      options.cost_model = model;
+      options.keep_system = false;  // bound memory at large n
+      const core::FormationResult result = engine.form_equations(options);
+      if (config.strategy == core::Strategy::kSingleThread) {
+        serial_seconds = result.virtual_seconds();
+      }
+      table.add(config.name, n, result.virtual_seconds(),
+                static_cast<Index>(engine.spec().num_equations()),
+                serial_seconds / result.virtual_seconds());
+    }
+  }
+  bench::emit(table, "fig6_strategies");
+
+  std::cout << "\nexpected shape (paper Fig. 6): balanced-parallel fastest at n=10;"
+               "\npymp-32 fastest for n >= 20 and pulling away with n.\n";
+  return 0;
+}

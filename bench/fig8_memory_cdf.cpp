@@ -1,0 +1,86 @@
+// Fig. 8 reproduction: CDFs of memory usage during equation formation, per
+// device size and parallelism level.
+//
+// Paper claims to reproduce: (i) "the peak memory usage is about the same
+// regardless of data parallelism"; (ii) at large scales higher parallelism
+// means the run spends a smaller fraction of its life at low footprint
+// (k = 2 sits at low memory ~60% of the time vs ~30% for k = 4 at n = 100);
+// (iii) peak memory grows with n and stays under ~20 GB at n = 100.
+//
+// The trace model: each formed (pair x category) equation block becomes live
+// at its task's virtual completion and persists to the end of the run, on
+// top of the measurement baseline; a non-scaling terminal phase (the
+// write/solve that follows formation) holds peak memory. Output: CDF knots
+// per (n, k) plus the summary quantiles the paper narrates.
+#include "bench/bench_util.hpp"
+
+using namespace parma;
+
+int main() {
+  const parallel::CostModel model;
+  bench::print_cost_model(model);
+
+  Table knots({"series", "n", "k", "bytes", "time_fraction"});
+  Table summary({"n", "k", "peak_bytes", "frac_time_below_half_peak"});
+
+  const Index ks[] = {2, 4, 8, 16, 32};
+  for (const Index n : bench::device_sweep()) {
+    const core::Engine engine = bench::make_engine(n);
+    core::StrategyOptions options;
+    options.strategy = core::Strategy::kFineGrained;
+    options.chunk = 4;
+    options.keep_system = false;
+    const core::FormationResult formation = engine.form_equations(options);
+    const std::uint64_t baseline =
+        2 * static_cast<std::uint64_t>(n * n) * sizeof(Real);  // Z and U matrices
+
+    // The terminal write phase does not shrink with k; bill it at the
+    // single-writer streaming rate (~25 bytes/term => bytes at ~200 MB/s).
+    const Real tail_seconds =
+        static_cast<Real>(formation.equation_bytes) / 200.0e6;
+
+    for (const Index k : ks) {
+      const parallel::ScheduleResult schedule =
+          parallel::schedule_dynamic(formation.tasks, k, /*chunk=*/4, model);
+      auto trace = schedule.memory_trace(formation.tasks, baseline);
+      trace.push_back({schedule.makespan_seconds + tail_seconds, trace.back().bytes});
+      const MemoryCdf cdf(std::move(trace));
+
+      // Ten evenly spaced knots keep the CSV plottable without drowning it.
+      const auto& points = cdf.points();
+      const std::size_t stride = std::max<std::size_t>(points.size() / 10, 1);
+      for (std::size_t p = 0; p < points.size(); p += stride) {
+        knots.add("n" + std::to_string(n) + "_k" + std::to_string(k), n, k,
+                  points[p].first, points[p].second);
+      }
+      summary.add(n, k, cdf.peak_bytes(),
+                  cdf.fraction_at_or_below(cdf.peak_bytes() / 2));
+    }
+  }
+  bench::emit(summary, "fig8_memory_summary");
+  knots.save_csv(bench::results_dir() + "/fig8_memory_cdf.csv");
+  std::cout << "full CDF knots saved: " << bench::results_dir()
+            << "/fig8_memory_cdf.csv\n";
+
+  // PARMA_RSS=1: additionally sample REAL resident-set size during one fully
+  // materialized formation (how the paper measured its Python processes).
+  // Only meaningful on hosts with memory to spare; n is kept moderate.
+  if (const char* env = std::getenv("PARMA_RSS"); env != nullptr && std::string(env) == "1") {
+    const Index n = 40;
+    const core::Engine engine = bench::make_engine(n);
+    RssSampler sampler(0.005);
+    core::StrategyOptions options;
+    options.strategy = core::Strategy::kFineGrained;
+    options.keep_system = true;
+    const core::FormationResult r = engine.form_equations(options);
+    const MemoryCdf rss_cdf(sampler.stop());
+    std::cout << "\nreal-RSS run (n=" << n << "): peak " << rss_cdf.peak_bytes() / 1.0e6
+              << " MB sampled vs " << r.equation_bytes / 1.0e6
+              << " MB modeled equation footprint\n";
+  }
+
+  std::cout << "\nexpected shape (paper Fig. 8): per n, peak_bytes identical across k;"
+               "\nfrac_time_below_half_peak shrinks as k grows (shorter warm-up)"
+               "\nand the effect is pronounced for n >= 40.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Headline reproduction (abstract / Section V): "the computation time is two
+// orders of magnitude faster on up to 1,024 cores with almost linear
+// scalability".
+//
+// Two comparisons:
+//  1. Parametrization-formulation cost: the BigData'18-style path-based
+//     baseline (exponential, infeasible past n ~ 6 -- reproduced by actually
+//     running it where feasible) vs Parma's polynomial joint constraints.
+//  2. Parma serial vs Parma on 1,024 simulated cluster ranks: the paper's
+//     two-orders-of-magnitude claim.
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+
+using namespace parma;
+
+int main() {
+  // --- 1. Path-based baseline vs joint constraints -------------------------
+  Table formulation({"n", "paths_total", "baseline_seconds", "joint_equations",
+                     "joint_seconds", "speedup"});
+  for (Index n = 2; n <= 6; ++n) {
+    const core::Engine engine = bench::make_engine(n);
+
+    // Baseline: enumerate every path for every endpoint pair and aggregate
+    // (what [15] does before equation solving).
+    Stopwatch baseline_clock;
+    std::uint64_t total_paths = 0;
+    const auto truth_z = engine.measurement().z;
+    circuit::ResistanceGrid z_as_grid(n, n);
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < n; ++j) z_as_grid.at(i, j) = truth_z(i, j);
+    }
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < n; ++j) {
+        const auto paths = circuit::enumerate_paths(n, n, i, j);
+        total_paths += paths.size();
+        // Touch every path the way the baseline's aggregation does.
+        Real sink = 0.0;
+        for (const auto& p : paths) sink += circuit::path_resistance(z_as_grid, p);
+        (void)sink;
+      }
+    }
+    const Real baseline_seconds = baseline_clock.elapsed_seconds();
+
+    core::StrategyOptions options;
+    options.strategy = core::Strategy::kSingleThread;
+    const core::FormationResult joint = engine.form_equations(options);
+    formulation.add(n, total_paths, baseline_seconds,
+                    static_cast<Index>(joint.system.equations.size()),
+                    joint.generation_seconds,
+                    baseline_seconds / std::max(joint.generation_seconds, 1e-9));
+  }
+  bench::emit(formulation, "headline_formulation");
+  std::cout << "\npath count grows as n^(n-1) per pair; the paper (and [15]) report"
+               "\nthe path-based approach infeasible for n > 6 -- the speedup column"
+               "\nis already diverging by n = 6.\n\n";
+
+  // --- 2. Serial vs 1,024 cluster ranks ------------------------------------
+  Table cluster({"series", "n", "serial_seconds", "p1024_seconds", "speedup"});
+  for (const Index n : {Index{50}, Index{100}}) {
+    const core::Engine engine = bench::make_engine(n);
+    core::StrategyOptions options;
+    options.strategy = core::Strategy::kFineGrained;
+    options.keep_system = false;
+    const core::FormationResult formation = engine.form_equations(options);
+    for (const Real scale : {1.0, 500.0}) {
+      mpisim::ClusterCostModel model;
+      model.task_cost_scale = scale;
+      const Real serial = formation.generation_seconds * scale;
+      const mpisim::ClusterResult wide = engine.distributed_formation(formation, 1024, model);
+      cluster.add(scale > 1.0 ? "paper-regime" : "cpp-native", n, serial,
+                  wide.makespan_seconds, serial / wide.makespan_seconds);
+    }
+  }
+  bench::emit(cluster, "headline_cluster");
+  std::cout << "\nexpected: paper-regime speedup >= 100x at n = 100 (the paper's two"
+               "\norders of magnitude on 1,024 cores); cpp-native lands below that"
+               "\nbecause each task is ~500x cheaper in C++, so fixed cluster costs"
+               "\nbite sooner (Amdahl at the overheads).\n";
+  return 0;
+}

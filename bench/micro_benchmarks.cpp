@@ -1,0 +1,155 @@
+// google-benchmark microbenchmarks for Parma's kernels: per-pair equation
+// generation, the per-pair nodal solve, effective resistance, GF(2) rank,
+// dense Cholesky, sparse matvec/CG, and the work-stealing deque.
+#include <benchmark/benchmark.h>
+
+#include "core/parma.hpp"
+#include "parallel/work_stealing_deque.hpp"
+#include "topology/boundary.hpp"
+#include "topology/gf2_matrix.hpp"
+
+namespace {
+
+using namespace parma;
+
+mea::Measurement measurement_for(Index n) {
+  Rng rng(5000 + static_cast<std::uint64_t>(n));
+  const mea::DeviceSpec spec = mea::square_device(n);
+  const auto truth = mea::generate_field(spec, mea::random_scenario(spec, 1, rng), rng);
+  return mea::measure_exact(spec, truth);
+}
+
+circuit::ResistanceGrid grid_for(Index n) {
+  Rng rng(6000 + static_cast<std::uint64_t>(n));
+  const mea::DeviceSpec spec = mea::square_device(n);
+  return mea::generate_field(spec, mea::random_scenario(spec, 1, rng), rng);
+}
+
+void BM_GeneratePairEquations(benchmark::State& state) {
+  const Index n = state.range(0);
+  const mea::Measurement m = measurement_for(n);
+  const equations::UnknownLayout layout(m.spec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(equations::generate_pair_equations(layout, m, n / 2, n / 2));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GeneratePairEquations)->Arg(10)->Arg(20)->Arg(40)->Arg(80)->Complexity();
+
+void BM_PairNodalSolve(benchmark::State& state) {
+  const Index n = state.range(0);
+  const circuit::ResistanceGrid grid = grid_for(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(equations::solve_pair(grid, n / 2, n / 2, 5.0));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_PairNodalSolve)->Arg(5)->Arg(10)->Arg(20)->Arg(40)->Complexity();
+
+void BM_EffectiveResistanceFactor(benchmark::State& state) {
+  const Index n = state.range(0);
+  const circuit::ResistanceGrid grid = grid_for(n);
+  const circuit::ResistorNetwork net = circuit::build_crossbar_network(grid);
+  for (auto _ : state) {
+    linalg::EffectiveResistance oracle(net.num_nodes(), net.weighted_edges());
+    benchmark::DoNotOptimize(oracle.between(0, n));
+  }
+}
+BENCHMARK(BM_EffectiveResistanceFactor)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_Gf2BoundaryRank(benchmark::State& state) {
+  const Index n = state.range(0);
+  const topology::WireComplex wc = topology::build_wire_complex(n, n);
+  const topology::Gf2Matrix d1 = topology::boundary_matrix(wc.complex, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d1.rank());
+  }
+}
+BENCHMARK(BM_Gf2BoundaryRank)->Arg(5)->Arg(10)->Arg(15);
+
+void BM_DenseCholesky(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(7000);
+  linalg::DenseMatrix a(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  linalg::DenseMatrix spd = a.multiply(a.transpose());
+  for (Index i = 0; i < n; ++i) spd(i, i) += static_cast<Real>(n);
+  for (auto _ : state) {
+    linalg::CholeskyFactorization chol(spd);
+    benchmark::DoNotOptimize(chol.lower());
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DenseCholesky)->Arg(32)->Arg(64)->Arg(128)->Complexity();
+
+void BM_SparseMatvec(benchmark::State& state) {
+  const Index n = state.range(0);
+  const circuit::ResistanceGrid grid = grid_for(n);
+  const circuit::ResistorNetwork net = circuit::build_crossbar_network(grid);
+  const linalg::CsrMatrix lap = linalg::build_sparse_laplacian(net.num_nodes(),
+                                                               net.weighted_edges());
+  std::vector<Real> x(static_cast<std::size_t>(lap.cols()), 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lap.multiply(x));
+  }
+}
+BENCHMARK(BM_SparseMatvec)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_ConjugateGradientLaplacian(benchmark::State& state) {
+  const Index n = state.range(0);
+  const circuit::ResistanceGrid grid = grid_for(n);
+  const circuit::ResistorNetwork net = circuit::build_crossbar_network(grid);
+  linalg::CooBuilder builder(net.num_nodes(), net.num_nodes());
+  for (const auto& e : net.weighted_edges()) {
+    builder.add(e.u, e.u, e.conductance);
+    builder.add(e.v, e.v, e.conductance);
+    builder.add(e.u, e.v, -e.conductance);
+    builder.add(e.v, e.u, -e.conductance);
+  }
+  for (Index v = 0; v < net.num_nodes(); ++v) builder.add(v, v, 1e-6);  // regularize
+  const linalg::CsrMatrix a = builder.build();
+  std::vector<Real> b(static_cast<std::size_t>(a.rows()), 0.0);
+  b.front() = 1.0;
+  b.back() = -1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::conjugate_gradient(a, b));
+  }
+}
+BENCHMARK(BM_ConjugateGradientLaplacian)->Arg(20)->Arg(50);
+
+void BM_WorkStealingDequePushPop(benchmark::State& state) {
+  parallel::WorkStealingDeque<int> deque;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) deque.push(i);
+    for (int i = 0; i < 64; ++i) benchmark::DoNotOptimize(deque.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * 128);
+}
+BENCHMARK(BM_WorkStealingDequePushPop);
+
+void BM_VirtualScheduleDynamic(benchmark::State& state) {
+  const Index tasks_count = state.range(0);
+  std::vector<parallel::VirtualTask> tasks(static_cast<std::size_t>(tasks_count));
+  Rng rng(8000);
+  for (auto& t : tasks) t = {rng.uniform(1e-6, 1e-4), 0, 100};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parallel::schedule_dynamic(tasks, 32, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * tasks_count);
+}
+BENCHMARK(BM_VirtualScheduleDynamic)->Arg(1000)->Arg(10000);
+
+void BM_InverseRecoveryIteration(benchmark::State& state) {
+  const Index n = state.range(0);
+  const mea::Measurement m = measurement_for(n);
+  for (auto _ : state) {
+    solver::InverseOptions options;
+    options.max_iterations = 1;
+    benchmark::DoNotOptimize(solver::recover_resistances(m, options));
+  }
+}
+BENCHMARK(BM_InverseRecoveryIteration)->Arg(4)->Arg(6)->Arg(8);
+
+}  // namespace

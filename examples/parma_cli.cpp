@@ -1,0 +1,202 @@
+// parma_cli -- command-line front end to the Parma pipeline.
+//
+//   parma_cli generate  <n> <out.txt> [--anomalies k] [--noise f] [--seed s]
+//                       [--truth out_truth.txt]
+//       synthesize a measurement file in the wet-lab text format
+//   parma_cli topology  <n>
+//       print the homology report of an n x n device
+//   parma_cli form      <measurement.txt> <out_dir> [--workers k]
+//       form the joint-constraint system and write the equation shards
+//   parma_cli solve     <measurement.txt> [--threshold kOhm] [--workers k]
+//                       [--truth truth.txt]
+//       recover the resistance field and print the anomaly map
+//   parma_cli render    <measurement.txt> <out.pgm> [--scale s]
+//       recover the field and write it as a grayscale image
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parma.hpp"
+
+namespace {
+
+using namespace parma;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::optional<std::string> flag(const std::string& name) const {
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+      if (raw[i] == "--" + name) return raw[i + 1];
+    }
+    return std::nullopt;
+  }
+  std::vector<std::string> raw;
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) args.raw.emplace_back(argv[i]);
+  for (std::size_t i = 0; i < args.raw.size(); ++i) {
+    if (args.raw[i].rfind("--", 0) == 0) {
+      ++i;  // skip the flag's value
+    } else {
+      args.positional.push_back(args.raw[i]);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr << "usage:\n"
+               "  parma_cli generate <n> <out.txt> [--anomalies k] [--noise f]"
+               " [--seed s] [--truth out_truth.txt]\n"
+               "  parma_cli topology <n>\n"
+               "  parma_cli form <measurement.txt> <out_dir> [--workers k]\n"
+               "  parma_cli solve <measurement.txt> [--threshold kOhm]"
+               " [--workers k] [--truth truth.txt]\n"
+               "  parma_cli render <measurement.txt> <out.pgm> [--scale s]\n";
+  return 1;
+}
+
+int cmd_generate(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  const Index n = parse_index(args.positional[0], "n");
+  const std::string out = args.positional[1];
+  const Index anomalies = args.flag("anomalies") ? parse_index(*args.flag("anomalies"), "anomalies") : 1;
+  const Real noise = args.flag("noise") ? parse_real(*args.flag("noise"), "noise") : 0.0;
+  const auto seed = static_cast<std::uint64_t>(
+      args.flag("seed") ? parse_index(*args.flag("seed"), "seed") : 42);
+
+  Rng rng(seed);
+  const mea::DeviceSpec spec = mea::square_device(n);
+  mea::GeneratorOptions scenario = mea::random_scenario(spec, anomalies, rng);
+  scenario.jitter_fraction = 0.01;
+  const circuit::ResistanceGrid truth = mea::generate_field(spec, scenario, rng);
+  mea::MeasurementOptions mopt;
+  mopt.noise_fraction = noise;
+  const mea::Measurement sweep = mea::measure(spec, truth, mopt, rng);
+  mea::write_measurement(out, sweep);
+  std::cout << "wrote " << out << " (" << n << "x" << n << ", " << anomalies
+            << " anomalies, noise " << noise << ")\n";
+  if (const auto truth_path = args.flag("truth")) {
+    mea::write_truth(*truth_path, spec, truth);
+    std::cout << "wrote ground truth " << *truth_path << "\n";
+  }
+  return 0;
+}
+
+int cmd_topology(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const Index n = parse_index(args.positional[0], "n");
+  const mea::DeviceSpec spec = mea::square_device(n);
+  // A dummy uniform measurement suffices; topology depends only on shape.
+  mea::Measurement m;
+  m.spec = spec;
+  m.z = linalg::DenseMatrix(n, n);
+  m.u = linalg::DenseMatrix(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      m.z(i, j) = 1000.0;
+      m.u(i, j) = spec.drive_voltage;
+    }
+  }
+  const core::TopologyReport report = core::Engine(m).analyze_topology(n <= 12);
+  std::cout << "device " << n << "x" << n << "\n"
+            << "  joints (0-simplices)      " << report.num_joints << "\n"
+            << "  total simplices           " << report.num_simplices << "\n"
+            << "  complex dimension         " << report.complex_dimension << "\n"
+            << "  beta_0 (components)       " << report.betti0 << "\n"
+            << "  beta_1 (Kirchhoff loops)  " << report.betti1 << "\n"
+            << "  cyclomatic number         " << report.cyclomatic_number << "\n"
+            << "  intrinsic parallelism     " << report.intrinsic_parallelism << "\n"
+            << "  Proposition 1 holds       " << (report.proposition1_holds ? "yes" : "no")
+            << "\n";
+  return 0;
+}
+
+int cmd_form(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  const mea::LoadedMeasurement loaded = mea::read_measurement(args.positional[0]);
+  const Index workers = args.flag("workers") ? parse_index(*args.flag("workers"), "workers") : 4;
+
+  core::Engine engine(loaded.measurement);
+  core::StrategyOptions options;
+  options.workers = workers;
+  options.keep_system = false;  // shards are streamed
+  const core::IoResult io = engine.write_equations(args.positional[1], options);
+  std::cout << "formed " << engine.spec().num_equations() << " equations in "
+            << io.formation.generation_seconds << " s, wrote " << io.bytes_written
+            << " bytes across " << io.shard_paths.size() << " shards ("
+            << io.write_seconds << " s)\n"
+            << "virtual end-to-end with " << workers << " workers: " << io.virtual_end_to_end
+            << " s\n";
+  return 0;
+}
+
+int cmd_solve(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const mea::LoadedMeasurement loaded = mea::read_measurement(args.positional[0]);
+  const Real threshold = args.flag("threshold") ? parse_real(*args.flag("threshold"), "threshold")
+                                                : mea::default_threshold();
+
+  core::Engine engine(loaded.measurement);
+  solver::InverseOptions options;
+  options.max_iterations = 80;
+  if (const auto workers = args.flag("workers")) {
+    options.workers = parse_index(*workers, "workers");
+  }
+  const solver::InverseResult result = engine.recover(options);
+  std::cout << "recovery: " << result.iterations << " iterations, misfit "
+            << result.final_misfit << (result.converged ? " (converged)" : " (stalled)")
+            << "\n";
+  const auto report = mea::detect_anomalies(result.recovered, threshold);
+  std::cout << "anomalies above " << threshold << " kOhm ('#'):\n"
+            << mea::render_mask(report.detected, engine.spec().rows, engine.spec().cols);
+  if (const auto truth_path = args.flag("truth")) {
+    const circuit::ResistanceGrid truth = mea::read_truth(*truth_path);
+    const auto truth_mask = mea::anomaly_mask(truth, threshold);
+    const auto scored = mea::detect_anomalies(result.recovered, threshold, truth_mask);
+    std::cout << "vs ground truth: precision " << scored.precision() << ", recall "
+              << scored.recall() << ", F1 " << scored.f1() << ", max rel. error "
+              << result.max_relative_error(truth) << "\n";
+  }
+  return 0;
+}
+
+int cmd_render(const Args& args) {
+  if (args.positional.size() != 2) return usage();
+  const mea::LoadedMeasurement loaded = mea::read_measurement(args.positional[0]);
+  const Index scale = args.flag("scale") ? parse_index(*args.flag("scale"), "scale") : 8;
+  core::Engine engine(loaded.measurement);
+  solver::InverseOptions options;
+  options.max_iterations = 80;
+  const solver::InverseResult result = engine.recover(options);
+  mea::write_pgm(args.positional[1], result.recovered, scale);
+  std::cout << "recovered field (misfit " << result.final_misfit << ") written to "
+            << args.positional[1] << "\n"
+            << mea::render_heatmap(result.recovered);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (command == "generate") return cmd_generate(args);
+    if (command == "topology") return cmd_topology(args);
+    if (command == "form") return cmd_form(args);
+    if (command == "solve") return cmd_solve(args);
+    if (command == "render") return cmd_render(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

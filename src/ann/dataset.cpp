@@ -1,0 +1,103 @@
+#include "ann/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "mea/generator.hpp"
+#include "mea/measurement.hpp"
+
+namespace parma::ann {
+namespace {
+
+Normalization fit_normalization(const std::vector<std::vector<Real>>& rows) {
+  PARMA_REQUIRE(!rows.empty(), "cannot normalize an empty dataset");
+  const std::size_t dim = rows.front().size();
+  Normalization norm;
+  norm.mean.assign(dim, 0.0);
+  norm.scale.assign(dim, 1.0);
+  for (const auto& row : rows) {
+    for (std::size_t d = 0; d < dim; ++d) norm.mean[d] += row[d];
+  }
+  for (Real& m : norm.mean) m /= static_cast<Real>(rows.size());
+  for (std::size_t d = 0; d < dim; ++d) {
+    Real var = 0.0;
+    for (const auto& row : rows) {
+      const Real diff = row[d] - norm.mean[d];
+      var += diff * diff;
+    }
+    norm.scale[d] = std::max(std::sqrt(var / static_cast<Real>(rows.size())), Real{1e-9});
+  }
+  return norm;
+}
+
+}  // namespace
+
+std::vector<Real> Normalization::apply(const std::vector<Real>& raw) const {
+  PARMA_REQUIRE(raw.size() == mean.size(), "normalization dimension mismatch");
+  std::vector<Real> out(raw.size());
+  for (std::size_t d = 0; d < raw.size(); ++d) out[d] = (raw[d] - mean[d]) / scale[d];
+  return out;
+}
+
+std::vector<Real> Normalization::invert(const std::vector<Real>& normalized) const {
+  PARMA_REQUIRE(normalized.size() == mean.size(), "normalization dimension mismatch");
+  std::vector<Real> out(normalized.size());
+  for (std::size_t d = 0; d < normalized.size(); ++d) {
+    out[d] = normalized[d] * scale[d] + mean[d];
+  }
+  return out;
+}
+
+Dataset generate_dataset(const mea::DeviceSpec& spec, const DatasetOptions& options, Rng& rng) {
+  spec.validate();
+  PARMA_REQUIRE(options.num_samples >= 4, "need at least 4 samples");
+  PARMA_REQUIRE(options.test_fraction > 0.0 && options.test_fraction < 1.0,
+                "test fraction in (0, 1)");
+
+  std::vector<std::vector<Real>> features;
+  std::vector<std::vector<Real>> labels;
+  features.reserve(static_cast<std::size_t>(options.num_samples));
+  labels.reserve(static_cast<std::size_t>(options.num_samples));
+
+  for (Index s = 0; s < options.num_samples; ++s) {
+    Rng sample_rng = rng.fork(static_cast<std::uint64_t>(s) + 1);
+    const Index anomalies =
+        static_cast<Index>(sample_rng.uniform_index(
+            static_cast<std::uint64_t>(options.max_anomalies) + 1));
+    mea::GeneratorOptions gen = mea::random_scenario(spec, anomalies, sample_rng);
+    gen.jitter_fraction = 0.02;
+    const circuit::ResistanceGrid truth = mea::generate_field(spec, gen, sample_rng);
+    mea::MeasurementOptions mopt;
+    mopt.noise_fraction = options.measurement_noise;
+    const mea::Measurement m = mea::measure(spec, truth, mopt, sample_rng);
+
+    std::vector<Real> z;
+    z.reserve(static_cast<std::size_t>(spec.rows * spec.cols));
+    for (Index i = 0; i < spec.rows; ++i) {
+      for (Index j = 0; j < spec.cols; ++j) z.push_back(m.z(i, j));
+    }
+    features.push_back(std::move(z));
+    labels.push_back(truth.flat());
+  }
+
+  Dataset dataset;
+  dataset.spec = spec;
+  dataset.feature_norm = fit_normalization(features);
+  dataset.label_norm = fit_normalization(labels);
+
+  const auto test_count = static_cast<std::size_t>(
+      std::max<Real>(1.0, options.test_fraction * static_cast<Real>(options.num_samples)));
+  for (std::size_t s = 0; s < features.size(); ++s) {
+    Sample sample{dataset.feature_norm.apply(features[s]),
+                  dataset.label_norm.apply(labels[s])};
+    if (s < test_count) {
+      dataset.test.push_back(std::move(sample));
+    } else {
+      dataset.train.push_back(std::move(sample));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace parma::ann

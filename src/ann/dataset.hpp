@@ -1,0 +1,55 @@
+// Training-data generation for the neural estimator.
+//
+// This is the workload the paper exists to accelerate (Section I): "While
+// the ANN can be efficiently trained, how to collect the training data,
+// i.e., parameterizing the MEAs, at such scales pose unprecedented
+// challenges in terms of computation cost." Each sample pairs a measured
+// impedance sweep (the network input) with the ground-truth resistance field
+// (the label) -- in a wet lab the labels come from Parma's parametrization;
+// here the synthetic generator provides them directly, which is equivalent
+// because Parma's recovery is exact on noise-free data (tested).
+//
+// Features and labels are normalized to zero-mean/unit-scale per dimension;
+// the normalization is part of the dataset so inference can invert it.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mea/device.hpp"
+
+namespace parma::ann {
+
+struct Sample {
+  std::vector<Real> features;  ///< normalized flattened Z
+  std::vector<Real> labels;    ///< normalized flattened R
+};
+
+struct Normalization {
+  std::vector<Real> mean;
+  std::vector<Real> scale;  ///< stddev floored away from zero
+
+  [[nodiscard]] std::vector<Real> apply(const std::vector<Real>& raw) const;
+  [[nodiscard]] std::vector<Real> invert(const std::vector<Real>& normalized) const;
+};
+
+struct Dataset {
+  mea::DeviceSpec spec;
+  std::vector<Sample> train;
+  std::vector<Sample> test;
+  Normalization feature_norm;
+  Normalization label_norm;
+};
+
+struct DatasetOptions {
+  Index num_samples = 200;
+  Real test_fraction = 0.2;
+  Index max_anomalies = 2;
+  Real measurement_noise = 0.0;
+};
+
+/// Generates `num_samples` random devices, measures them, and splits into
+/// train/test. Deterministic for a given rng seed.
+Dataset generate_dataset(const mea::DeviceSpec& spec, const DatasetOptions& options, Rng& rng);
+
+}  // namespace parma::ann

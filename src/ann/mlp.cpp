@@ -1,0 +1,114 @@
+#include "ann/mlp.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace parma::ann {
+
+Mlp::Mlp(std::vector<Index> layer_sizes, Rng& rng) : layer_sizes_(std::move(layer_sizes)) {
+  PARMA_REQUIRE(layer_sizes_.size() >= 2, "network needs input and output layers");
+  for (Index width : layer_sizes_) PARMA_REQUIRE(width >= 1, "layer widths must be positive");
+
+  std::size_t offset = 0;
+  for (std::size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    LayerView view;
+    view.in = layer_sizes_[l];
+    view.out = layer_sizes_[l + 1];
+    view.weights_offset = offset;
+    offset += static_cast<std::size_t>(view.in * view.out);
+    view.bias_offset = offset;
+    offset += static_cast<std::size_t>(view.out);
+    layers_.push_back(view);
+  }
+  params_.resize(offset);
+
+  // Xavier/Glorot uniform initialization; biases start at zero.
+  for (const auto& layer : layers_) {
+    const Real bound = std::sqrt(6.0 / static_cast<Real>(layer.in + layer.out));
+    for (Index w = 0; w < layer.in * layer.out; ++w) {
+      params_[layer.weights_offset + static_cast<std::size_t>(w)] = rng.uniform(-bound, bound);
+    }
+  }
+}
+
+Index Mlp::num_parameters() const { return static_cast<Index>(params_.size()); }
+
+void Mlp::forward_trace(const std::vector<Real>& input,
+                        std::vector<std::vector<Real>>& activations) const {
+  PARMA_REQUIRE(static_cast<Index>(input.size()) == input_size(), "input size mismatch");
+  activations.clear();
+  activations.push_back(input);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    const std::vector<Real>& x = activations.back();
+    std::vector<Real> y(static_cast<std::size_t>(layer.out));
+    for (Index o = 0; o < layer.out; ++o) {
+      Real sum = params_[layer.bias_offset + static_cast<std::size_t>(o)];
+      const Real* w = params_.data() + layer.weights_offset +
+                      static_cast<std::size_t>(o * layer.in);
+      for (Index i = 0; i < layer.in; ++i) sum += w[i] * x[static_cast<std::size_t>(i)];
+      // ReLU on hidden layers, identity on the output layer.
+      const bool is_output = (l + 1 == layers_.size());
+      y[static_cast<std::size_t>(o)] = is_output ? sum : std::max(sum, Real{0.0});
+    }
+    activations.push_back(std::move(y));
+  }
+}
+
+std::vector<Real> Mlp::predict(const std::vector<Real>& input) const {
+  std::vector<std::vector<Real>> activations;
+  forward_trace(input, activations);
+  return activations.back();
+}
+
+Real Mlp::accumulate_gradients(const std::vector<Real>& input,
+                               const std::vector<Real>& target,
+                               std::vector<Real>& gradients) const {
+  PARMA_REQUIRE(static_cast<Index>(target.size()) == output_size(), "target size mismatch");
+  PARMA_REQUIRE(gradients.size() == params_.size(), "gradient buffer size mismatch");
+
+  std::vector<std::vector<Real>> activations;
+  forward_trace(input, activations);
+  const std::vector<Real>& output = activations.back();
+
+  // Loss and its gradient at the (linear) output layer.
+  Real loss = 0.0;
+  std::vector<Real> delta(output.size());
+  for (std::size_t o = 0; o < output.size(); ++o) {
+    const Real diff = output[o] - target[o];
+    loss += 0.5 * diff * diff;
+    delta[o] = diff;
+  }
+
+  // Reverse pass.
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const auto& layer = layers_[l];
+    const std::vector<Real>& x = activations[l];
+    std::vector<Real> next_delta(static_cast<std::size_t>(layer.in), 0.0);
+    for (Index o = 0; o < layer.out; ++o) {
+      const Real d = delta[static_cast<std::size_t>(o)];
+      if (d == 0.0) continue;
+      gradients[layer.bias_offset + static_cast<std::size_t>(o)] += d;
+      Real* gw = gradients.data() + layer.weights_offset +
+                 static_cast<std::size_t>(o * layer.in);
+      const Real* w = params_.data() + layer.weights_offset +
+                      static_cast<std::size_t>(o * layer.in);
+      for (Index i = 0; i < layer.in; ++i) {
+        gw[i] += d * x[static_cast<std::size_t>(i)];
+        next_delta[static_cast<std::size_t>(i)] += d * w[i];
+      }
+    }
+    if (l > 0) {
+      // Pass through the previous layer's ReLU: zero where it was inactive.
+      const std::vector<Real>& activated = activations[l];
+      for (std::size_t i = 0; i < next_delta.size(); ++i) {
+        if (activated[i] <= 0.0) next_delta[i] = 0.0;
+      }
+    }
+    delta = std::move(next_delta);
+  }
+  return loss;
+}
+
+}  // namespace parma::ann

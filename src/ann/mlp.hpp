@@ -1,0 +1,60 @@
+// Multi-layer perceptron, from scratch.
+//
+// The paper's context (Sections I-II): the state of the art estimates MEA
+// resistances with neural networks (CNN [9], the authors' HDK ANN [8]), and
+// Parma's raison d'etre is producing the labelled (Z -> R) training data such
+// estimators need at scale. This module supplies the estimator side of that
+// pipeline: a dense feed-forward network with ReLU hidden layers, linear
+// output, Xavier initialization and reverse-mode gradients, deliberately
+// dependency-free and deterministic (seeded Rng).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace parma::ann {
+
+/// Dense feed-forward network: layers[0] inputs -> ... -> layers.back() outputs.
+class Mlp {
+ public:
+  /// `layer_sizes` includes input and output widths (>= 2 entries, all > 0).
+  Mlp(std::vector<Index> layer_sizes, Rng& rng);
+
+  [[nodiscard]] Index input_size() const { return layer_sizes_.front(); }
+  [[nodiscard]] Index output_size() const { return layer_sizes_.back(); }
+  [[nodiscard]] Index num_parameters() const;
+
+  /// Forward pass.
+  [[nodiscard]] std::vector<Real> predict(const std::vector<Real>& input) const;
+
+  /// Forward + backward for one sample under 0.5*||y - target||^2 loss;
+  /// accumulates parameter gradients into `gradients` (same shape as
+  /// parameters(); caller zeroes between batches) and returns the loss.
+  Real accumulate_gradients(const std::vector<Real>& input,
+                            const std::vector<Real>& target,
+                            std::vector<Real>& gradients) const;
+
+  /// Flat parameter vector (weights then biases, layer by layer).
+  [[nodiscard]] const std::vector<Real>& parameters() const { return params_; }
+  [[nodiscard]] std::vector<Real>& parameters() { return params_; }
+
+ private:
+  struct LayerView {
+    Index in = 0;
+    Index out = 0;
+    std::size_t weights_offset = 0;  ///< out x in row-major block
+    std::size_t bias_offset = 0;     ///< out entries
+  };
+
+  /// Forward pass keeping pre-activations and activations for backprop.
+  void forward_trace(const std::vector<Real>& input,
+                     std::vector<std::vector<Real>>& activations) const;
+
+  std::vector<Index> layer_sizes_;
+  std::vector<LayerView> layers_;
+  std::vector<Real> params_;
+};
+
+}  // namespace parma::ann

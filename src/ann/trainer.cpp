@@ -1,0 +1,96 @@
+#include "ann/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace parma::ann {
+
+Real evaluate_loss(const Mlp& network, const std::vector<Sample>& samples) {
+  if (samples.empty()) return 0.0;
+  Real total = 0.0;
+  for (const auto& sample : samples) {
+    const std::vector<Real> y = network.predict(sample.features);
+    for (std::size_t o = 0; o < y.size(); ++o) {
+      const Real diff = y[o] - sample.labels[o];
+      total += 0.5 * diff * diff;
+    }
+  }
+  return total / static_cast<Real>(samples.size());
+}
+
+TrainReport train(Mlp& network, const Dataset& dataset, const TrainOptions& options, Rng& rng) {
+  PARMA_REQUIRE(!dataset.train.empty(), "training split is empty");
+  PARMA_REQUIRE(options.epochs >= 1 && options.batch_size >= 1, "bad training options");
+  PARMA_REQUIRE(options.learning_rate > 0.0, "learning rate must be positive");
+
+  const std::size_t num_params = network.parameters().size();
+  std::vector<Real> gradients(num_params, 0.0);
+  std::vector<Real> m(num_params, 0.0);  // first moment
+  std::vector<Real> v(num_params, 0.0);  // second moment
+  std::vector<Index> order(dataset.train.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = static_cast<Index>(i);
+
+  TrainReport report;
+  std::uint64_t step = 0;
+  for (Index epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.shuffle(order);
+    Real epoch_loss = 0.0;
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(options.batch_size)) {
+      const std::size_t end =
+          std::min(order.size(), start + static_cast<std::size_t>(options.batch_size));
+      std::fill(gradients.begin(), gradients.end(), 0.0);
+      for (std::size_t k = start; k < end; ++k) {
+        const Sample& sample = dataset.train[static_cast<std::size_t>(order[k])];
+        epoch_loss += network.accumulate_gradients(sample.features, sample.labels, gradients);
+      }
+      const Real batch_scale = 1.0 / static_cast<Real>(end - start);
+
+      // Adam update with bias correction (and optional decoupled decay).
+      ++step;
+      const Real bc1 = 1.0 - std::pow(options.beta1, static_cast<Real>(step));
+      const Real bc2 = 1.0 - std::pow(options.beta2, static_cast<Real>(step));
+      std::vector<Real>& params = network.parameters();
+      for (std::size_t p = 0; p < num_params; ++p) {
+        const Real g = gradients[p] * batch_scale;
+        m[p] = options.beta1 * m[p] + (1.0 - options.beta1) * g;
+        v[p] = options.beta2 * v[p] + (1.0 - options.beta2) * g * g;
+        const Real m_hat = m[p] / bc1;
+        const Real v_hat = v[p] / bc2;
+        params[p] -= options.learning_rate *
+                     (m_hat / (std::sqrt(v_hat) + options.epsilon) +
+                      options.weight_decay * params[p]);
+      }
+    }
+    report.train_loss_per_epoch.push_back(epoch_loss /
+                                          static_cast<Real>(dataset.train.size()));
+  }
+
+  report.final_test_loss = evaluate_loss(network, dataset.test);
+
+  // De-normalized relative error on the test split.
+  Real rel_sum = 0.0;
+  std::size_t rel_count = 0;
+  for (const auto& sample : dataset.test) {
+    const std::vector<Real> predicted =
+        dataset.label_norm.invert(network.predict(sample.features));
+    const std::vector<Real> truth = dataset.label_norm.invert(sample.labels);
+    for (std::size_t o = 0; o < predicted.size(); ++o) {
+      rel_sum += std::abs(predicted[o] - truth[o]) / std::max(std::abs(truth[o]), Real{1e-9});
+      ++rel_count;
+    }
+  }
+  report.test_mean_relative_error =
+      rel_count == 0 ? 0.0 : rel_sum / static_cast<Real>(rel_count);
+  return report;
+}
+
+std::vector<Real> infer_resistances(const Mlp& network, const Dataset& dataset,
+                                    const std::vector<Real>& raw_features) {
+  return dataset.label_norm.invert(
+      network.predict(dataset.feature_norm.apply(raw_features)));
+}
+
+}  // namespace parma::ann

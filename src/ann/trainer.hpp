@@ -1,0 +1,37 @@
+// Mini-batch Adam trainer for the MEA estimator.
+#pragma once
+
+#include "ann/dataset.hpp"
+#include "ann/mlp.hpp"
+
+namespace parma::ann {
+
+struct TrainOptions {
+  Index epochs = 200;
+  Index batch_size = 16;
+  Real learning_rate = 1e-3;
+  Real beta1 = 0.9;
+  Real beta2 = 0.999;
+  Real epsilon = 1e-8;
+  Real weight_decay = 0.0;  ///< decoupled L2 (AdamW style)
+};
+
+struct TrainReport {
+  std::vector<Real> train_loss_per_epoch;  ///< mean per-sample loss
+  Real final_test_loss = 0.0;
+
+  /// Mean relative error of de-normalized predictions on the test split.
+  Real test_mean_relative_error = 0.0;
+};
+
+/// Mean 0.5*||y - t||^2 loss over a sample set.
+Real evaluate_loss(const Mlp& network, const std::vector<Sample>& samples);
+
+/// Trains in place; deterministic for a given rng (shuffling uses it).
+TrainReport train(Mlp& network, const Dataset& dataset, const TrainOptions& options, Rng& rng);
+
+/// De-normalized prediction: raw Z in, raw R out.
+std::vector<Real> infer_resistances(const Mlp& network, const Dataset& dataset,
+                                    const std::vector<Real>& raw_features);
+
+}  // namespace parma::ann

@@ -1,0 +1,58 @@
+#include "circuit/crossbar.hpp"
+
+#include "common/require.hpp"
+#include "linalg/laplacian.hpp"
+
+namespace parma::circuit {
+
+ResistanceGrid::ResistanceGrid(Index rows, Index cols, Real initial)
+    : rows_(rows),
+      cols_(cols),
+      values_(static_cast<std::size_t>(rows * cols), initial) {
+  PARMA_REQUIRE(rows >= 1 && cols >= 1, "grid needs positive dimensions");
+}
+
+Real& ResistanceGrid::at(Index i, Index j) {
+  PARMA_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_, "grid index out of range");
+  return values_[static_cast<std::size_t>(i * cols_ + j)];
+}
+
+Real ResistanceGrid::at(Index i, Index j) const {
+  PARMA_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_, "grid index out of range");
+  return values_[static_cast<std::size_t>(i * cols_ + j)];
+}
+
+Index horizontal_node(Index i) { return i; }
+Index vertical_node(Index rows, Index j) { return rows + j; }
+
+ResistorNetwork build_crossbar_network(const ResistanceGrid& grid) {
+  std::vector<Resistor> resistors;
+  resistors.reserve(static_cast<std::size_t>(grid.rows() * grid.cols()));
+  for (Index i = 0; i < grid.rows(); ++i) {
+    for (Index j = 0; j < grid.cols(); ++j) {
+      resistors.push_back(
+          {horizontal_node(i), vertical_node(grid.rows(), j), grid.at(i, j)});
+    }
+  }
+  return ResistorNetwork(grid.rows() + grid.cols(), std::move(resistors));
+}
+
+linalg::DenseMatrix measure_all_pairs(const ResistanceGrid& grid) {
+  const ResistorNetwork network = build_crossbar_network(grid);
+  const linalg::EffectiveResistance oracle(network.num_nodes(), network.weighted_edges());
+  linalg::DenseMatrix z(grid.rows(), grid.cols());
+  for (Index i = 0; i < grid.rows(); ++i) {
+    for (Index j = 0; j < grid.cols(); ++j) {
+      z(i, j) = oracle.between(horizontal_node(i), vertical_node(grid.rows(), j));
+    }
+  }
+  return z;
+}
+
+Real measure_pair(const ResistanceGrid& grid, Index i, Index j) {
+  const ResistorNetwork network = build_crossbar_network(grid);
+  const linalg::EffectiveResistance oracle(network.num_nodes(), network.weighted_edges());
+  return oracle.between(horizontal_node(i), vertical_node(grid.rows(), j));
+}
+
+}  // namespace parma::circuit

@@ -1,0 +1,58 @@
+// Crossbar forward model: the electrical behaviour of an m x n MEA.
+//
+// With ideal wires each horizontal wire i and vertical wire j is one
+// electrical node, and the device is the complete bipartite resistor network
+// K_{m,n} with R(i, j) joining them (paper Fig. 2). The *measurement* the
+// wet lab performs -- pairwise resistance Z_ij between the end-points of
+// wire i and wire j with everything else floating -- is the two-point
+// effective resistance of that network, which this module computes exactly.
+#pragma once
+
+#include <vector>
+
+#include "circuit/network.hpp"
+#include "common/types.hpp"
+#include "linalg/dense_matrix.hpp"
+
+namespace parma::circuit {
+
+/// Dense m x n field of crossing resistances (kilo-ohm).
+class ResistanceGrid {
+ public:
+  ResistanceGrid(Index rows, Index cols, Real initial = 0.0);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+
+  Real& at(Index i, Index j);
+  [[nodiscard]] Real at(Index i, Index j) const;
+
+  /// Row-major flat view, entry (i, j) at i*cols + j (the R_ij layout used by
+  /// the equation generator and the solvers).
+  [[nodiscard]] const std::vector<Real>& flat() const { return values_; }
+  [[nodiscard]] std::vector<Real>& flat() { return values_; }
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Real> values_;
+};
+
+/// Node numbering of the bipartite network: horizontal wire i -> node i,
+/// vertical wire j -> node rows + j.
+Index horizontal_node(Index i);
+Index vertical_node(Index rows, Index j);
+
+/// Builds the K_{m,n} resistor network of a grid. Requires all entries > 0.
+ResistorNetwork build_crossbar_network(const ResistanceGrid& grid);
+
+/// Exact forward measurement: Z(i, j) = effective resistance between wire
+/// nodes h_i and v_j, for all m*n pairs. One Laplacian factorization serves
+/// every pair.
+linalg::DenseMatrix measure_all_pairs(const ResistanceGrid& grid);
+
+/// Single-pair variant (refactors the same oracle; prefer measure_all_pairs
+/// in loops).
+Real measure_pair(const ResistanceGrid& grid, Index i, Index j);
+
+}  // namespace parma::circuit

@@ -1,0 +1,58 @@
+#include "circuit/kirchhoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "topology/cycle_basis.hpp"
+
+namespace parma::circuit {
+
+Real max_kcl_residual(const ResistorNetwork& network, const MnaSolution& solution,
+                      Index positive_node, Index negative_node) {
+  PARMA_REQUIRE(solution.branch_currents.size() == network.resistors().size(),
+                "solution does not match network");
+  std::vector<Real> net(static_cast<std::size_t>(network.num_nodes()), 0.0);
+  for (std::size_t k = 0; k < network.resistors().size(); ++k) {
+    const auto& r = network.resistors()[k];
+    const Real i = solution.branch_currents[k];
+    net[static_cast<std::size_t>(r.node_a)] -= i;  // current leaves node_a
+    net[static_cast<std::size_t>(r.node_b)] += i;  // and enters node_b
+  }
+  Real worst = 0.0;
+  for (Index v = 0; v < network.num_nodes(); ++v) {
+    if (v == positive_node || v == negative_node) continue;  // terminals carry source current
+    worst = std::max(worst, std::abs(net[static_cast<std::size_t>(v)]));
+  }
+  return worst;
+}
+
+Real max_kvl_residual(const ResistorNetwork& network, const MnaSolution& solution) {
+  PARMA_REQUIRE(solution.node_potentials.size() ==
+                    static_cast<std::size_t>(network.num_nodes()),
+                "solution does not match network");
+  const topology::CycleBasis basis(network.num_nodes(), network.graph_edges());
+  Real worst = 0.0;
+  for (const auto& cycle : basis.cycles()) {
+    Real drop = 0.0;
+    for (std::size_t step = 0; step < cycle.vertices.size(); ++step) {
+      const Index from = cycle.vertices[step];
+      const Index to = cycle.vertices[(step + 1) % cycle.vertices.size()];
+      drop += solution.node_potentials[static_cast<std::size_t>(from)] -
+              solution.node_potentials[static_cast<std::size_t>(to)];
+    }
+    worst = std::max(worst, std::abs(drop));
+  }
+  return worst;
+}
+
+Index num_independent_kvl_equations(const ResistorNetwork& network) {
+  return network.num_independent_loops();
+}
+
+Index num_independent_kcl_equations(const ResistorNetwork& network) {
+  const topology::CycleBasis basis(network.num_nodes(), network.graph_edges());
+  return network.num_nodes() - basis.num_components();
+}
+
+}  // namespace parma::circuit

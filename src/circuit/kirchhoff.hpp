@@ -1,0 +1,34 @@
+// Kirchhoff-law residual checks (paper Section II-A).
+//
+// Given a network plus a solved operating point, these helpers verify
+//   L1 (KCL): net current at every node other than the source terminals is 0;
+//   L2 (KVL): the voltage drop around every independent loop is 0,
+// with the independent loops supplied by the topology module's fundamental
+// cycle basis -- making the homology/Kirchhoff correspondence executable.
+#pragma once
+
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "circuit/network.hpp"
+#include "common/types.hpp"
+
+namespace parma::circuit {
+
+/// Max |net current| over all non-terminal nodes (should be ~0 for a valid
+/// operating point).
+Real max_kcl_residual(const ResistorNetwork& network, const MnaSolution& solution,
+                      Index positive_node, Index negative_node);
+
+/// Max |sum of signed voltage drops| over the fundamental cycles of the
+/// network (should be ~0 for ANY potential assignment -- KVL is a topological
+/// identity, which is exactly the paper's point).
+Real max_kvl_residual(const ResistorNetwork& network, const MnaSolution& solution);
+
+/// Number of independent KVL equations = cyclomatic number = beta_1.
+Index num_independent_kvl_equations(const ResistorNetwork& network);
+
+/// Number of independent KCL equations = |V| - #components.
+Index num_independent_kcl_equations(const ResistorNetwork& network);
+
+}  // namespace parma::circuit

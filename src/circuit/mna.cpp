@@ -1,0 +1,73 @@
+#include "circuit/mna.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "linalg/dense_solve.hpp"
+
+namespace parma::circuit {
+
+MnaSolution solve_mna(const ResistorNetwork& network, Index positive_node,
+                      Index negative_node, Real volts) {
+  const Index n = network.num_nodes();
+  PARMA_REQUIRE(positive_node >= 0 && positive_node < n, "positive node out of range");
+  PARMA_REQUIRE(negative_node >= 0 && negative_node < n, "negative node out of range");
+  PARMA_REQUIRE(positive_node != negative_node, "terminals must differ");
+  PARMA_REQUIRE(network.is_connected(), "MNA requires a connected network");
+
+  // Unknowns: potentials of all nodes except ground (negative_node), plus the
+  // source current. Map node -> unknown index.
+  std::vector<Index> unknown_of_node(static_cast<std::size_t>(n), -1);
+  Index next = 0;
+  for (Index v = 0; v < n; ++v) {
+    if (v != negative_node) unknown_of_node[static_cast<std::size_t>(v)] = next++;
+  }
+  const Index num_potentials = n - 1;
+  const Index dim = num_potentials + 1;  // + source current
+  linalg::DenseMatrix a(dim, dim);
+  std::vector<Real> rhs(static_cast<std::size_t>(dim), 0.0);
+
+  // Stamp resistor conductances.
+  for (const auto& r : network.resistors()) {
+    const Real g = 1.0 / r.resistance;
+    const Index ua = unknown_of_node[static_cast<std::size_t>(r.node_a)];
+    const Index ub = unknown_of_node[static_cast<std::size_t>(r.node_b)];
+    if (ua >= 0) a(ua, ua) += g;
+    if (ub >= 0) a(ub, ub) += g;
+    if (ua >= 0 && ub >= 0) {
+      a(ua, ub) -= g;
+      a(ub, ua) -= g;
+    }
+  }
+  // Stamp the voltage source between positive_node and ground.
+  const Index up = unknown_of_node[static_cast<std::size_t>(positive_node)];
+  const Index source_row = num_potentials;
+  // KCL at the positive node gains the source current flowing in.
+  a(up, source_row) -= 1.0;
+  // Source constraint: phi(positive) = volts.
+  a(source_row, up) = 1.0;
+  rhs[static_cast<std::size_t>(source_row)] = volts;
+
+  const std::vector<Real> x = linalg::solve_dense(a, rhs);
+
+  MnaSolution solution;
+  solution.node_potentials.assign(static_cast<std::size_t>(n), 0.0);
+  for (Index v = 0; v < n; ++v) {
+    const Index u = unknown_of_node[static_cast<std::size_t>(v)];
+    if (u >= 0) solution.node_potentials[static_cast<std::size_t>(v)] = x[static_cast<std::size_t>(u)];
+  }
+  solution.source_current = x[static_cast<std::size_t>(source_row)];
+  PARMA_REQUIRE(std::abs(solution.source_current) > 1e-300, "open circuit: no current flows");
+  solution.equivalent_resistance = volts / solution.source_current;
+
+  solution.branch_currents.reserve(network.resistors().size());
+  for (const auto& r : network.resistors()) {
+    const Real va = solution.node_potentials[static_cast<std::size_t>(r.node_a)];
+    const Real vb = solution.node_potentials[static_cast<std::size_t>(r.node_b)];
+    solution.branch_currents.push_back((va - vb) / r.resistance);
+  }
+  return solution;
+}
+
+}  // namespace parma::circuit

@@ -1,0 +1,34 @@
+// Modified nodal analysis (MNA) for resistor networks with one ideal
+// voltage source.
+//
+// Independent of the Laplacian effective-resistance path: MNA augments the
+// conductance matrix with the source's current unknown and solves
+//   [ G  b ] [ phi ]   [ 0 ]
+//   [ b' 0 ] [ i_s ] = [ V ]
+// The tests use it to cross-check both the forward crossbar model and the
+// joint-constraint nodal equations.
+#pragma once
+
+#include <vector>
+
+#include "circuit/network.hpp"
+#include "common/types.hpp"
+
+namespace parma::circuit {
+
+struct MnaSolution {
+  std::vector<Real> node_potentials;  ///< volts, ground node fixed at 0
+  Real source_current = 0.0;          ///< through the voltage source (mA if kOhm/V)
+  Real equivalent_resistance = 0.0;   ///< V / source_current
+
+  /// Branch current through each resistor (same order as the network's
+  /// resistor list, positive from node_a to node_b).
+  std::vector<Real> branch_currents;
+};
+
+/// Drives `volts` across (positive_node, negative_node); the negative node is
+/// the ground reference. Requires a connected network and distinct terminals.
+MnaSolution solve_mna(const ResistorNetwork& network, Index positive_node,
+                      Index negative_node, Real volts);
+
+}  // namespace parma::circuit

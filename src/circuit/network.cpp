@@ -1,0 +1,66 @@
+#include "circuit/network.hpp"
+
+#include <queue>
+
+#include "common/require.hpp"
+
+namespace parma::circuit {
+
+ResistorNetwork::ResistorNetwork(Index num_nodes, std::vector<Resistor> resistors)
+    : num_nodes_(num_nodes), resistors_(std::move(resistors)) {
+  PARMA_REQUIRE(num_nodes >= 1, "network needs at least one node");
+  for (const auto& r : resistors_) {
+    PARMA_REQUIRE(r.node_a >= 0 && r.node_a < num_nodes && r.node_b >= 0 && r.node_b < num_nodes,
+                  "resistor endpoint out of range");
+    PARMA_REQUIRE(r.node_a != r.node_b, "resistor endpoints must differ");
+    PARMA_REQUIRE(r.resistance > 0.0, "resistance must be positive");
+  }
+}
+
+std::vector<linalg::WeightedEdge> ResistorNetwork::weighted_edges() const {
+  std::vector<linalg::WeightedEdge> out;
+  out.reserve(resistors_.size());
+  for (const auto& r : resistors_) {
+    out.push_back({r.node_a, r.node_b, 1.0 / r.resistance});
+  }
+  return out;
+}
+
+std::vector<topology::GraphEdge> ResistorNetwork::graph_edges() const {
+  std::vector<topology::GraphEdge> out;
+  out.reserve(resistors_.size());
+  for (const auto& r : resistors_) out.push_back({r.node_a, r.node_b});
+  return out;
+}
+
+Index ResistorNetwork::num_independent_loops() const {
+  return topology::cyclomatic_number(num_nodes_, graph_edges());
+}
+
+bool ResistorNetwork::is_connected() const {
+  if (num_nodes_ == 0) return true;
+  std::vector<std::vector<Index>> adj(static_cast<std::size_t>(num_nodes_));
+  for (const auto& r : resistors_) {
+    adj[static_cast<std::size_t>(r.node_a)].push_back(r.node_b);
+    adj[static_cast<std::size_t>(r.node_b)].push_back(r.node_a);
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(num_nodes_), false);
+  std::queue<Index> frontier;
+  frontier.push(0);
+  seen[0] = true;
+  Index visited = 1;
+  while (!frontier.empty()) {
+    const Index u = frontier.front();
+    frontier.pop();
+    for (Index v : adj[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(v)]) {
+        seen[static_cast<std::size_t>(v)] = true;
+        ++visited;
+        frontier.push(v);
+      }
+    }
+  }
+  return visited == num_nodes_;
+}
+
+}  // namespace parma::circuit

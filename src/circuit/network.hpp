@@ -1,0 +1,43 @@
+// Resistor network: an undirected multigraph of nodes joined by resistors.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "linalg/laplacian.hpp"
+#include "topology/cycle_basis.hpp"
+
+namespace parma::circuit {
+
+/// A two-terminal resistor between circuit nodes.
+struct Resistor {
+  Index node_a = 0;
+  Index node_b = 0;
+  Real resistance = 0.0;  ///< kilo-ohm, must be positive
+};
+
+class ResistorNetwork {
+ public:
+  ResistorNetwork(Index num_nodes, std::vector<Resistor> resistors);
+
+  [[nodiscard]] Index num_nodes() const { return num_nodes_; }
+  [[nodiscard]] const std::vector<Resistor>& resistors() const { return resistors_; }
+
+  /// Conductance-weighted edges for Laplacian construction.
+  [[nodiscard]] std::vector<linalg::WeightedEdge> weighted_edges() const;
+
+  /// Plain graph edges for topological analysis.
+  [[nodiscard]] std::vector<topology::GraphEdge> graph_edges() const;
+
+  /// Number of independent Kirchhoff voltage loops (= beta_1 of the network's
+  /// 1-complex = Maxwell's cyclomatic number).
+  [[nodiscard]] Index num_independent_loops() const;
+
+  [[nodiscard]] bool is_connected() const;
+
+ private:
+  Index num_nodes_ = 0;
+  std::vector<Resistor> resistors_;
+};
+
+}  // namespace parma::circuit

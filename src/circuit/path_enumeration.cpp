@@ -1,0 +1,98 @@
+#include "circuit/path_enumeration.hpp"
+
+#include "common/require.hpp"
+
+namespace parma::circuit {
+namespace {
+
+struct DfsState {
+  Index rows = 0;
+  Index cols = 0;
+  Index target_col = 0;
+  std::uint64_t max_paths = 0;
+  std::vector<bool> row_used;
+  std::vector<bool> col_used;
+  std::vector<std::pair<Index, Index>> current;
+  std::vector<CrossingPath> paths;
+};
+
+// From horizontal wire `row`, either finish through R(row, target) or detour
+// through an unused vertical wire and then an unused horizontal wire.
+void dfs_from_row(DfsState& s, Index row) {
+  // Terminal move: cross to the target vertical wire.
+  s.current.emplace_back(row, s.target_col);
+  PARMA_REQUIRE(s.paths.size() < s.max_paths, "path enumeration exceeded max_paths");
+  s.paths.push_back({s.current});
+  s.current.pop_back();
+
+  // Detours: cross to vertical wire c (!= target, unused), then to another
+  // horizontal wire r (unused), and recurse.
+  for (Index c = 0; c < s.cols; ++c) {
+    if (c == s.target_col || s.col_used[static_cast<std::size_t>(c)]) continue;
+    s.col_used[static_cast<std::size_t>(c)] = true;
+    s.current.emplace_back(row, c);
+    for (Index r = 0; r < s.rows; ++r) {
+      if (s.row_used[static_cast<std::size_t>(r)]) continue;
+      s.row_used[static_cast<std::size_t>(r)] = true;
+      s.current.emplace_back(r, c);
+      dfs_from_row(s, r);
+      s.current.pop_back();
+      s.row_used[static_cast<std::size_t>(r)] = false;
+    }
+    s.current.pop_back();
+    s.col_used[static_cast<std::size_t>(c)] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<CrossingPath> enumerate_paths(Index rows, Index cols, Index i, Index j,
+                                          const PathEnumerationOptions& options) {
+  PARMA_REQUIRE(rows >= 1 && cols >= 1, "crossbar dimensions must be positive");
+  PARMA_REQUIRE(i >= 0 && i < rows && j >= 0 && j < cols, "endpoint out of range");
+  DfsState s;
+  s.rows = rows;
+  s.cols = cols;
+  s.target_col = j;
+  s.max_paths = options.max_paths;
+  s.row_used.assign(static_cast<std::size_t>(rows), false);
+  s.col_used.assign(static_cast<std::size_t>(cols), false);
+  s.row_used[static_cast<std::size_t>(i)] = true;
+  dfs_from_row(s, i);
+  return s.paths;
+}
+
+std::uint64_t count_paths(Index rows, Index cols) {
+  // sum over detour count k of P(rows-1, k) * P(cols-1, k), where P is the
+  // falling factorial (ordered choices of the intermediate wires).
+  const Index kmax = std::min(rows - 1, cols - 1);
+  std::uint64_t total = 0;
+  std::uint64_t rows_ff = 1;
+  std::uint64_t cols_ff = 1;
+  for (Index k = 0; k <= kmax; ++k) {
+    if (k > 0) {
+      rows_ff *= static_cast<std::uint64_t>(rows - k);
+      cols_ff *= static_cast<std::uint64_t>(cols - k);
+    }
+    total += rows_ff * cols_ff;
+  }
+  return total;
+}
+
+Real path_resistance(const ResistanceGrid& grid, const CrossingPath& path) {
+  Real sum = 0.0;
+  for (const auto& [r, c] : path.crossings) sum += grid.at(r, c);
+  return sum;
+}
+
+Real aggregate_parallel_paths(const ResistanceGrid& grid, Index i, Index j,
+                              const PathEnumerationOptions& options) {
+  const std::vector<CrossingPath> paths =
+      enumerate_paths(grid.rows(), grid.cols(), i, j, options);
+  Real inverse_sum = 0.0;
+  for (const auto& p : paths) inverse_sum += 1.0 / path_resistance(grid, p);
+  PARMA_REQUIRE(inverse_sum > 0.0, "no conducting path between endpoints");
+  return 1.0 / inverse_sum;
+}
+
+}  // namespace parma::circuit

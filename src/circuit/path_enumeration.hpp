@@ -1,0 +1,54 @@
+// Exponential all-paths baseline (paper Section II-C; Niu et al. BigData'18).
+//
+// Enumerates every simple path between a horizontal and a vertical wire node
+// of the crossbar's bipartite abstraction. The count between one endpoint
+// pair of an n x n array is sum_{k=0}^{n-1} [ (n-1)!/(n-1-k)! ]^2 ... for the
+// alternating structure it reduces to the closed form verified in tests
+// (9 paths for n = 3, matching the paper's Fig. 4 listing). The space and
+// time are exponential -- the paper reports the approach is infeasible for
+// n > 6 -- so callers must respect the `max_paths` guard.
+//
+// Also implements the baseline's parallel-path aggregation
+//   Z_ij^{-1} = sum_k P_k(R)^{-1}
+// which treats paths as independent parallel branches. That formula is an
+// approximation (shared resistors correlate paths); tests quantify its error
+// against the exact effective resistance, explaining why the joint-constraint
+// formulation is not merely faster but also exact.
+#pragma once
+
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+#include "common/types.hpp"
+
+namespace parma::circuit {
+
+/// One end-to-end path, as the ordered list of (row, col) resistor crossings
+/// it traverses.
+struct CrossingPath {
+  std::vector<std::pair<Index, Index>> crossings;
+};
+
+struct PathEnumerationOptions {
+  /// Hard cap; enumeration throws ContractError past it (exponential guard).
+  std::uint64_t max_paths = 10'000'000;
+};
+
+/// All simple alternating paths between horizontal wire i and vertical wire j
+/// of an m x n crossbar.
+std::vector<CrossingPath> enumerate_paths(Index rows, Index cols, Index i, Index j,
+                                          const PathEnumerationOptions& options = {});
+
+/// Closed-form count of such paths (no enumeration):
+/// sum over path lengths of falling-factorial products.
+std::uint64_t count_paths(Index rows, Index cols);
+
+/// The baseline estimate Z_ij ~= (sum_k 1/P_k)^-1 where P_k sums the
+/// resistances along path k.
+Real aggregate_parallel_paths(const ResistanceGrid& grid, Index i, Index j,
+                              const PathEnumerationOptions& options = {});
+
+/// Sum of resistances along one path.
+Real path_resistance(const ResistanceGrid& grid, const CrossingPath& path);
+
+}  // namespace parma::circuit

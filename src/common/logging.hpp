@@ -1,0 +1,34 @@
+// Minimal leveled logger. Library code logs sparingly (benchmarks/examples
+// are the main consumers); output goes to stderr, level filtered globally.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace parma {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default: kInfo.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits `[level] message` to stderr if `level` passes the threshold.
+/// Thread-safe (single write call per message).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+struct LogLine {
+  explicit LogLine(LogLevel level) : level(level) {}
+  ~LogLine() { log_message(level, os.str()); }
+  LogLevel level;
+  std::ostringstream os;
+};
+}  // namespace detail
+
+}  // namespace parma
+
+#define PARMA_LOG(level) ::parma::detail::LogLine(level).os
+#define PARMA_LOG_INFO PARMA_LOG(::parma::LogLevel::kInfo)
+#define PARMA_LOG_WARN PARMA_LOG(::parma::LogLevel::kWarn)
+#define PARMA_LOG_DEBUG PARMA_LOG(::parma::LogLevel::kDebug)

@@ -1,0 +1,149 @@
+#include "common/memory_sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/require.hpp"
+#include "common/stopwatch.hpp"
+
+namespace parma {
+namespace {
+
+std::uint64_t read_status_field_kib(const char* field) {
+  std::ifstream in("/proc/self/status");
+  if (!in) return 0;
+  std::string line;
+  const std::string key = field;
+  while (std::getline(in, line)) {
+    if (line.rfind(key, 0) == 0) {
+      std::istringstream is(line.substr(key.size()));
+      std::uint64_t kib = 0;
+      is >> kib;
+      return kib;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return read_status_field_kib("VmRSS:") * 1024; }
+
+std::uint64_t peak_rss_bytes() { return read_status_field_kib("VmHWM:") * 1024; }
+
+RssSampler::RssSampler(Real interval_seconds)
+    : thread_([this, interval_seconds] { run(interval_seconds); }) {}
+
+RssSampler::~RssSampler() {
+  done_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<MemorySample> RssSampler::stop() {
+  done_.store(true);
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard lock(mu_);
+  return samples_;
+}
+
+void RssSampler::run(Real interval_seconds) {
+  Stopwatch clock;
+  while (!done_.load()) {
+    MemorySample s{clock.elapsed_seconds(), current_rss_bytes()};
+    {
+      std::lock_guard lock(mu_);
+      samples_.push_back(s);
+    }
+    std::this_thread::sleep_for(std::chrono::duration<Real>(interval_seconds));
+  }
+}
+
+void HeapModel::allocate(Real t, std::uint64_t bytes) {
+  const std::uint64_t now = live_.fetch_add(bytes) + bytes;
+  std::uint64_t prev_peak = peak_.load();
+  while (now > prev_peak && !peak_.compare_exchange_weak(prev_peak, now)) {
+  }
+  std::lock_guard lock(mu_);
+  trace_.push_back({t, now});
+}
+
+void HeapModel::release(Real t, std::uint64_t bytes) {
+  PARMA_REQUIRE(live_.load() >= bytes, "HeapModel release exceeds live bytes");
+  const std::uint64_t now = live_.fetch_sub(bytes) - bytes;
+  std::lock_guard lock(mu_);
+  trace_.push_back({t, now});
+}
+
+std::vector<MemorySample> HeapModel::trace() const {
+  std::lock_guard lock(mu_);
+  std::vector<MemorySample> out = trace_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const MemorySample& a, const MemorySample& b) {
+                     return a.time_seconds < b.time_seconds;
+                   });
+  return out;
+}
+
+MemoryCdf::MemoryCdf(std::vector<MemorySample> trace) {
+  if (trace.size() < 2) {
+    if (trace.size() == 1) points_.emplace_back(trace[0].bytes, 1.0);
+    return;
+  }
+  std::stable_sort(trace.begin(), trace.end(),
+                   [](const MemorySample& a, const MemorySample& b) {
+                     return a.time_seconds < b.time_seconds;
+                   });
+  const Real total = trace.back().time_seconds - trace.front().time_seconds;
+  if (total <= 0.0) {
+    points_.emplace_back(trace.back().bytes, 1.0);
+    return;
+  }
+  // Accumulate dwell time per memory level, then integrate to a CDF.
+  std::vector<std::pair<std::uint64_t, Real>> dwell;
+  dwell.reserve(trace.size());
+  for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+    const Real dt = trace[i + 1].time_seconds - trace[i].time_seconds;
+    if (dt > 0.0) dwell.emplace_back(trace[i].bytes, dt);
+  }
+  std::sort(dwell.begin(), dwell.end());
+  Real acc = 0.0;
+  for (std::size_t i = 0; i < dwell.size(); ++i) {
+    acc += dwell[i].second;
+    if (i + 1 < dwell.size() && dwell[i + 1].first == dwell[i].first) continue;
+    points_.emplace_back(dwell[i].first, acc / total);
+  }
+  if (!points_.empty()) points_.back().second = 1.0;  // guard rounding
+  // A level observed only at the final instant has zero dwell but is still
+  // the run's peak; surface it so peak_bytes() reports true maximum memory.
+  std::uint64_t max_bytes = 0;
+  for (const auto& s : trace) max_bytes = std::max(max_bytes, s.bytes);
+  if (points_.empty() || points_.back().first < max_bytes) {
+    points_.emplace_back(max_bytes, 1.0);
+  }
+}
+
+Real MemoryCdf::fraction_at_or_below(std::uint64_t bytes) const {
+  Real best = 0.0;
+  for (const auto& [level, frac] : points_) {
+    if (level <= bytes) best = frac;
+    else break;
+  }
+  return best;
+}
+
+std::uint64_t MemoryCdf::quantile_bytes(Real quantile) const {
+  PARMA_REQUIRE(quantile >= 0.0 && quantile <= 1.0, "quantile in [0,1]");
+  for (const auto& [level, frac] : points_) {
+    if (frac >= quantile) return level;
+  }
+  return points_.empty() ? 0 : points_.back().first;
+}
+
+std::uint64_t MemoryCdf::peak_bytes() const {
+  return points_.empty() ? 0 : points_.back().first;
+}
+
+}  // namespace parma

@@ -1,0 +1,109 @@
+// Memory-footprint observation for the Fig. 8 experiment (CDFs of memory
+// usage over a run's lifetime).
+//
+// Two complementary mechanisms:
+//  * current_rss_bytes()/peak_rss_bytes() read the process statistics from
+//    /proc (Linux), matching how the paper measured its Python processes;
+//  * HeapModel is a deterministic, allocation-count-based model that the
+//    equation-formation code feeds explicitly. It provides identical numbers
+//    for any worker count and any machine, which is what the CDF comparison
+//    needs on a single-core harness.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma {
+
+/// Resident-set size of the current process in bytes (0 if unavailable).
+std::uint64_t current_rss_bytes();
+
+/// Peak resident-set size (VmHWM) of the current process in bytes.
+std::uint64_t peak_rss_bytes();
+
+/// One observation of memory in use at a moment of (virtual or real) time.
+struct MemorySample {
+  Real time_seconds = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+/// Background sampler: polls current_rss_bytes() on a fixed cadence from a
+/// dedicated thread for the lifetime of the object (RAII; joins on destroy).
+class RssSampler {
+ public:
+  explicit RssSampler(Real interval_seconds = 0.01);
+  ~RssSampler();
+
+  RssSampler(const RssSampler&) = delete;
+  RssSampler& operator=(const RssSampler&) = delete;
+
+  /// Stop sampling and return all samples collected so far.
+  std::vector<MemorySample> stop();
+
+ private:
+  void run(Real interval_seconds);
+
+  std::atomic<bool> done_{false};
+  std::mutex mu_;
+  std::vector<MemorySample> samples_;
+  std::thread thread_;
+};
+
+/// Deterministic heap model: tracks "bytes currently live" as reported by the
+/// instrumented equation-formation pipeline, recording a trace of
+/// (virtual time, live bytes) pairs. Thread-safe.
+class HeapModel {
+ public:
+  /// Record that `bytes` became live at virtual time `t`.
+  void allocate(Real t, std::uint64_t bytes);
+
+  /// Record that `bytes` were released at virtual time `t`.
+  void release(Real t, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t live_bytes() const { return live_.load(); }
+  [[nodiscard]] std::uint64_t peak_bytes() const { return peak_.load(); }
+
+  /// Trace sorted by time (sorts lazily on access).
+  [[nodiscard]] std::vector<MemorySample> trace() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> live_{0};
+  std::atomic<std::uint64_t> peak_{0};
+  std::vector<MemorySample> trace_;
+};
+
+/// Empirical CDF over the *time* a process spends at or below each memory
+/// level: given a trace of samples covering [0, total_time], cdf(m) = fraction
+/// of time with live memory <= m. Used to regenerate Fig. 8.
+class MemoryCdf {
+ public:
+  /// Builds the CDF from a trace; samples are interpreted as a step function
+  /// (live memory stays at sample[i].bytes during [t_i, t_{i+1})).
+  explicit MemoryCdf(std::vector<MemorySample> trace);
+
+  /// Fraction of run time spent at memory <= bytes, in [0, 1].
+  [[nodiscard]] Real fraction_at_or_below(std::uint64_t bytes) const;
+
+  /// Memory level (bytes) below which the process stays for `quantile` of the
+  /// time; quantile in [0, 1].
+  [[nodiscard]] std::uint64_t quantile_bytes(Real quantile) const;
+
+  [[nodiscard]] std::uint64_t peak_bytes() const;
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+
+  /// (bytes, cumulative fraction) knots of the CDF, ascending in bytes.
+  [[nodiscard]] const std::vector<std::pair<std::uint64_t, Real>>& points() const {
+    return points_;
+  }
+
+ private:
+  std::vector<std::pair<std::uint64_t, Real>> points_;
+};
+
+}  // namespace parma

@@ -1,0 +1,59 @@
+// Precondition / invariant checking.
+//
+// PARMA_REQUIRE(cond, msg)  -- contract check, always on; throws parma::ContractError.
+// PARMA_ASSERT(cond)        -- internal invariant; compiled out in NDEBUG builds.
+//
+// Following the Core Guidelines (I.6/E.12), contract violations are programming
+// errors and are reported with file/line context so callers can fail fast.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace parma {
+
+/// Thrown when a public-API precondition is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when an input file or data stream is malformed.
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a numerical routine fails to converge or encounters a
+/// singular / indefinite system.
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_failure(const char* cond, const char* file,
+                                          int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw ContractError(os.str());
+}
+
+}  // namespace detail
+}  // namespace parma
+
+#define PARMA_REQUIRE(cond, msg)                                              \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      ::parma::detail::contract_failure(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                                         \
+  } while (false)
+
+#ifdef NDEBUG
+#define PARMA_ASSERT(cond) ((void)0)
+#else
+#define PARMA_ASSERT(cond) PARMA_REQUIRE(cond, "internal invariant")
+#endif

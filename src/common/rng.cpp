@@ -1,0 +1,89 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace parma {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // SplitMix64 expansion guarantees a non-zero xoshiro state for any seed.
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Real Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<Real>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+Real Rng::uniform(Real lo, Real hi) {
+  PARMA_REQUIRE(lo < hi, "uniform(lo, hi) needs lo < hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  PARMA_REQUIRE(n > 0, "uniform_index needs n > 0");
+  const std::uint64_t threshold = -n % n;  // == 2^64 mod n
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+Real Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  Real u1 = uniform();
+  while (u1 <= 0.0) u1 = uniform();
+  const Real u2 = uniform();
+  const Real radius = std::sqrt(-2.0 * std::log(u1));
+  const Real angle = 2.0 * std::numbers::pi_v<Real> * u2;
+  cached_normal_ = radius * std::sin(angle);
+  has_cached_normal_ = true;
+  return radius * std::cos(angle);
+}
+
+Real Rng::normal(Real mean, Real stddev) { return mean + stddev * normal(); }
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  // Mix the parent state with the stream id through SplitMix64; distinct
+  // stream ids give statistically independent child generators.
+  std::uint64_t seed = state_[0] ^ rotl(state_[3], 13) ^ (stream_id * 0xD1B54A32D192ED03ULL + 1);
+  return Rng(splitmix64(seed));
+}
+
+void Rng::shuffle(std::vector<Index>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(uniform_index(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace parma

@@ -1,0 +1,30 @@
+// Monotonic wall-clock stopwatch used by benchmarks and the metrics layer.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.hpp"
+
+namespace parma {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  [[nodiscard]] Real elapsed_seconds() const {
+    return std::chrono::duration<Real>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction / last reset.
+  [[nodiscard]] Real elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace parma

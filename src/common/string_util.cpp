@@ -1,0 +1,82 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace parma {
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.emplace_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+Real parse_real(std::string_view s, std::string_view context) {
+  const std::string_view t = trim(s);
+  Real value = 0.0;
+  const auto* begin = t.data();
+  const auto* end = t.data() + t.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || t.empty()) {
+    std::ostringstream os;
+    os << "cannot parse real number from '" << std::string(s) << "' (" << std::string(context) << ")";
+    throw IoError(os.str());
+  }
+  return value;
+}
+
+Index parse_index(std::string_view s, std::string_view context) {
+  const std::string_view t = trim(s);
+  Index value = 0;
+  const auto* begin = t.data();
+  const auto* end = t.data() + t.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc{} || ptr != end || t.empty() || value < 0) {
+    std::ostringstream os;
+    os << "cannot parse index from '" << std::string(s) << "' (" << std::string(context) << ")";
+    throw IoError(os.str());
+  }
+  return value;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_real(Real v, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace parma

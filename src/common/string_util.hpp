@@ -1,0 +1,33 @@
+// Small string helpers for the text-format readers/writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma {
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Split on a delimiter character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Split on arbitrary runs of whitespace; empty fields are dropped.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Parse a Real, throwing parma::IoError with context on failure.
+Real parse_real(std::string_view s, std::string_view context);
+
+/// Parse a non-negative integer, throwing parma::IoError on failure.
+Index parse_index(std::string_view s, std::string_view context);
+
+/// true if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into std::string (type-safe wrapper).
+std::string format_real(Real v, int precision = 6);
+
+}  // namespace parma

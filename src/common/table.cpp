@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "common/require.hpp"
+
+namespace parma {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PARMA_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  PARMA_REQUIRE(row.size() == header_.size(), "row width must match header");
+  for (const auto& cell : row) {
+    PARMA_REQUIRE(cell.find(',') == std::string::npos, "cells must not contain commas");
+  }
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<std::string>& Table::row(std::size_t i) const {
+  PARMA_REQUIRE(i < rows_.size(), "row index out of range");
+  return rows_[i];
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      os << row[i];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::write_pretty(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c]) + 2) << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::save_csv(const std::string& path) const {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  write_csv(out);
+}
+
+namespace detail {
+
+std::string cell_to_string(const std::string& s) { return s; }
+std::string cell_to_string(const char* s) { return s; }
+
+std::string cell_to_string(Real v) {
+  std::ostringstream os;
+  os << std::setprecision(9) << v;
+  return os.str();
+}
+
+std::string cell_to_string(Index v) { return std::to_string(v); }
+std::string cell_to_string(int v) { return std::to_string(v); }
+std::string cell_to_string(unsigned v) { return std::to_string(v); }
+std::string cell_to_string(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace detail
+}  // namespace parma

@@ -1,0 +1,63 @@
+// Lightweight result-table builder used by the figure benchmarks.
+//
+// Every bench/figN binary emits its series as CSV rows (series,x,y[,extra...])
+// so the paper's plots can be regenerated with any plotting tool, plus an
+// aligned human-readable rendering to stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma {
+
+/// A rectangular table of string cells with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats arbitrary streamable cells.
+  template <typename... Ts>
+  void add(const Ts&... cells);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return header_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return header_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Writes `header\nrow\n...` with comma separation (no quoting; cells must
+  /// not contain commas -- enforced).
+  void write_csv(std::ostream& os) const;
+
+  /// Writes an aligned, padded rendering for terminals.
+  void write_pretty(std::ostream& os) const;
+
+  /// Writes CSV to a file, creating parent directories if needed.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+namespace detail {
+std::string cell_to_string(const std::string& s);
+std::string cell_to_string(const char* s);
+std::string cell_to_string(Real v);
+std::string cell_to_string(Index v);
+std::string cell_to_string(int v);
+std::string cell_to_string(unsigned v);
+std::string cell_to_string(std::uint64_t v);
+}  // namespace detail
+
+template <typename... Ts>
+void Table::add(const Ts&... cells) {
+  add_row({detail::cell_to_string(cells)...});
+}
+
+}  // namespace parma

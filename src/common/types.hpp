@@ -1,0 +1,23 @@
+// Fundamental scalar and index types shared by every Parma module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace parma {
+
+/// Floating-point scalar used throughout (resistances in kilo-ohm, voltages in
+/// volt, currents in milli-ampere under that unit system).
+using Real = double;
+
+/// Index type for matrix/vector dimensions and graph entities.
+using Index = std::int64_t;
+
+/// Kilo-ohm bounds of healthy-vs-anomalous cell resistance reported by the
+/// paper's wet lab (Section V-B): "resistance values of cells range between
+/// 2,000 and 11,000 Kilohm, while the electrical voltage is 5 volts."
+inline constexpr Real kWetLabMinResistanceKOhm = 2000.0;
+inline constexpr Real kWetLabMaxResistanceKOhm = 11000.0;
+inline constexpr Real kWetLabVoltage = 5.0;
+
+}  // namespace parma

@@ -1,0 +1,278 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/stopwatch.hpp"
+#include "equations/serializer.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "topology/boundary.hpp"
+
+namespace parma::core {
+
+MemoryCdf FormationResult::memory_cdf(std::uint64_t baseline_bytes) const {
+  return MemoryCdf(schedule.memory_trace(tasks, baseline_bytes));
+}
+
+Engine::Engine(mea::Measurement measurement) : measurement_(std::move(measurement)) {
+  measurement_.spec.validate();
+  PARMA_REQUIRE(measurement_.z.rows() == spec().rows && measurement_.z.cols() == spec().cols,
+                "measurement matrix does not match device");
+}
+
+TopologyReport Engine::analyze_topology(bool exact_homology) const {
+  const topology::WireComplex wc =
+      topology::build_wire_complex(spec().rows, spec().cols);
+  TopologyReport report;
+  report.num_joints = wc.num_vertices;
+  report.num_simplices = wc.complex.total_count();
+  report.complex_dimension = wc.complex.dimension();
+  report.intrinsic_parallelism =
+      topology::expected_betti1_crossbar(spec().rows, spec().cols);
+
+  const topology::CycleBasis basis(wc.num_vertices, wc.edges);
+  report.cyclomatic_number = basis.cyclomatic_number();
+
+  if (exact_homology) {
+    report.betti0 = topology::betti_number(wc.complex, 0);
+    report.betti1 = topology::betti_number(wc.complex, 1);
+  } else {
+    // Identical by rank-nullity over GF(2); the equality is asserted by the
+    // topology tests on devices small enough for the exact reduction.
+    report.betti0 = basis.num_components();
+    report.betti1 = report.cyclomatic_number;
+  }
+
+  // The full pairwise-intersection audit is quadratic in |E|; run it on
+  // devices where that is cheap and fall back to the structural dimension
+  // check (the load-bearing half of Proposition 1) on large ones.
+  if (static_cast<Index>(wc.edges.size()) <= 2000) {
+    report.proposition1_holds = topology::satisfies_proposition1(wc);
+  } else {
+    report.proposition1_holds = (report.complex_dimension == 1);
+  }
+  return report;
+}
+
+std::vector<parallel::VirtualTask> Engine::build_tasks(
+    const equations::EquationSystem& system, Real generation_seconds,
+    TaskGranularity granularity) const {
+  // Costs are apportioned from the measured total by each task's share of
+  // term count (terms dominate both allocation and arithmetic), preserving
+  // the cubic skew between the terminal and intermediate categories that
+  // drives the paper's balancing discussion.
+  const Index groups = (granularity == TaskGranularity::kFinePairCategory)
+                           ? spec().num_endpoint_pairs()
+                           : spec().rows;
+  std::vector<parallel::VirtualTask> tasks(
+      static_cast<std::size_t>(groups) * equations::kNumCategories);
+  std::uint64_t total_terms = 0;
+  for (const auto& eq : system.equations) total_terms += eq.terms.size();
+  PARMA_REQUIRE(total_terms > 0, "system has no terms");
+
+  const equations::UnknownLayout& layout = system.layout;
+  for (const auto& eq : system.equations) {
+    const Index group = (granularity == TaskGranularity::kFinePairCategory)
+                            ? layout.pair_id(eq.pair_i, eq.pair_j)
+                            : eq.pair_i;
+    auto& task = tasks[static_cast<std::size_t>(group * equations::kNumCategories +
+                                                 static_cast<Index>(eq.category))];
+    task.category = static_cast<Index>(eq.category);
+    task.cost_seconds += generation_seconds * static_cast<Real>(eq.terms.size()) /
+                         static_cast<Real>(total_terms);
+    task.bytes += eq.footprint_bytes();
+  }
+  return tasks;
+}
+
+FormationResult Engine::form_equations(const StrategyOptions& options) const {
+  PARMA_REQUIRE(options.workers >= 1, "need at least one worker");
+  FormationResult result{equations::EquationSystem{equations::UnknownLayout(spec()), {}},
+                         0.0,
+                         {},
+                         {},
+                         0};
+  if (options.keep_system) {
+    result.system.equations.reserve(static_cast<std::size_t>(spec().num_equations()));
+  }
+
+  // Coarse-grained strategies bundle one device row per category; the
+  // fine-grained (PyMP-style) strategy works at (pair x category) units.
+  const TaskGranularity granularity = (options.strategy == Strategy::kFineGrained)
+                                          ? TaskGranularity::kFinePairCategory
+                                          : TaskGranularity::kCoarseRowCategory;
+  const Index groups = (granularity == TaskGranularity::kFinePairCategory)
+                           ? spec().num_endpoint_pairs()
+                           : spec().rows;
+  result.tasks.assign(static_cast<std::size_t>(groups) * equations::kNumCategories, {});
+  std::vector<std::uint64_t> task_terms(result.tasks.size(), 0);
+  std::uint64_t total_terms = 0;
+
+  Stopwatch total;
+  for (Index i = 0; i < spec().rows; ++i) {
+    for (Index j = 0; j < spec().cols; ++j) {
+      std::vector<equations::JointEquation> pair_eqs =
+          equations::generate_pair_equations(result.system.layout, measurement_, i, j);
+      for (auto& eq : pair_eqs) {
+        const Index group = (granularity == TaskGranularity::kFinePairCategory)
+                                ? result.system.layout.pair_id(i, j)
+                                : i;
+        const std::size_t slot = static_cast<std::size_t>(
+            group * equations::kNumCategories + static_cast<Index>(eq.category));
+        task_terms[slot] += eq.terms.size();
+        total_terms += eq.terms.size();
+        result.tasks[slot].category = static_cast<Index>(eq.category);
+        result.tasks[slot].bytes += eq.footprint_bytes();
+        result.equation_bytes += eq.footprint_bytes();
+        if (options.keep_system) result.system.equations.push_back(std::move(eq));
+      }
+    }
+  }
+  result.generation_seconds = total.elapsed_seconds();
+  PARMA_REQUIRE(total_terms > 0, "system has no terms");
+  for (std::size_t t = 0; t < result.tasks.size(); ++t) {
+    result.tasks[t].cost_seconds = result.generation_seconds *
+                                   static_cast<Real>(task_terms[t]) /
+                                   static_cast<Real>(total_terms);
+  }
+
+  switch (options.strategy) {
+    case Strategy::kSingleThread:
+      result.schedule = parallel::schedule_serial(result.tasks, options.cost_model);
+      break;
+    case Strategy::kParallel:
+      // The paper: "we are restricted from having more than four threads".
+      result.schedule = parallel::schedule_by_category(
+          result.tasks, std::min<Index>(options.workers, equations::kNumCategories),
+          options.cost_model);
+      break;
+    case Strategy::kBalancedParallel:
+      // Work-stealing among the category threads (Section IV-C1): it lifts
+      // Parallel's skew, but keeps Parallel's four-thread structure -- the
+      // paper classifies it as coarse-grained, and it is the fine-grained
+      // strategy's ability to use k >> 4 workers that overtakes it at scale.
+      result.schedule = parallel::schedule_balanced_lpt(
+          result.tasks, std::min<Index>(options.workers, equations::kNumCategories),
+          options.cost_model);
+      break;
+    case Strategy::kFineGrained:
+      result.schedule = parallel::schedule_dynamic(result.tasks, options.workers,
+                                                   options.chunk, options.cost_model);
+      break;
+  }
+  return result;
+}
+
+IoResult Engine::write_equations(const std::string& directory,
+                                 const StrategyOptions& options) const {
+  IoResult io{form_equations(options), 0.0, 0.0, 0, {}};
+  const Index shards = std::max<Index>(options.workers, 1);
+  std::filesystem::create_directories(directory);
+
+  // One contiguous pair-range shard per worker. Shards are streamed pair by
+  // pair (regenerating equations when the formation pass discarded them), so
+  // resident memory stays bounded at large n; the virtual end-to-end adds the
+  // slowest shard's write on top of the formation makespan, modeling k
+  // concurrent writers on independent files.
+  const bool have_system = !io.formation.system.equations.empty();
+  const Index pairs = spec().num_endpoint_pairs();
+  std::vector<parallel::VirtualTask> write_tasks;
+  Stopwatch all_writes;
+  for (Index s = 0; s < shards; ++s) {
+    const Index first_pair = pairs * s / shards;
+    const Index last_pair = pairs * (s + 1) / shards;
+    std::ostringstream name;
+    name << directory << "/equations_shard_" << s << ".txt";
+    Stopwatch shard_clock;
+    std::ofstream out(name.str());
+    if (!out) throw IoError("cannot open '" + name.str() + "' for writing");
+    out << "# parma-equations v1 shard " << s << "/" << shards << '\n';
+    std::uint64_t bytes = 0;
+    Real shard_write_seconds = 0.0;
+    if (have_system) {
+      const std::size_t eq_per_pair =
+          static_cast<std::size_t>(spec().num_equations() / pairs);
+      bytes = equations::write_system_range(
+          out, io.formation.system, static_cast<std::size_t>(first_pair) * eq_per_pair,
+          static_cast<std::size_t>(last_pair) * eq_per_pair);
+      shard_write_seconds = shard_clock.elapsed_seconds();
+    } else {
+      // Regenerate pair by pair; bill only the serialization to the write
+      // phase (generation is already accounted in the formation schedule).
+      for (Index p = first_pair; p < last_pair; ++p) {
+        const auto pair_eqs = equations::generate_pair_equations(
+            io.formation.system.layout, measurement_, p / spec().cols, p % spec().cols);
+        Stopwatch write_clock;
+        for (const auto& eq : pair_eqs) bytes += equations::write_equation_line(out, eq);
+        shard_write_seconds += write_clock.elapsed_seconds();
+      }
+    }
+    out.flush();
+    if (!out) throw IoError("write to '" + name.str() + "' failed");
+    io.bytes_written += bytes;
+    io.shard_paths.push_back(name.str());
+    write_tasks.push_back({shard_write_seconds, 0, bytes});
+  }
+  io.write_seconds = all_writes.elapsed_seconds();
+
+  const parallel::ScheduleResult write_schedule =
+      parallel::schedule_balanced_lpt(write_tasks, shards, options.cost_model);
+  io.virtual_end_to_end =
+      io.formation.virtual_seconds() + write_schedule.makespan_seconds;
+  return io;
+}
+
+mpisim::ClusterResult Engine::distributed_formation(const FormationResult& formation,
+                                                    Index ranks,
+                                                    const mpisim::ClusterCostModel& model) const {
+  mpisim::ClusterCostModel tuned = model;
+  if (tuned.broadcast_bytes == 0) {
+    // Every rank needs the measured Z and U matrices.
+    tuned.broadcast_bytes =
+        2 * static_cast<std::uint64_t>(spec().rows * spec().cols) * sizeof(Real);
+  }
+  return mpisim::simulate_cluster(formation.tasks, ranks, tuned);
+}
+
+Real Engine::execute_real_threads(Index workers, equations::EquationSystem* out) const {
+  PARMA_REQUIRE(workers >= 1, "need at least one worker");
+  const Index pairs = spec().num_endpoint_pairs();
+  std::vector<std::vector<equations::JointEquation>> slots(static_cast<std::size_t>(pairs));
+  const equations::UnknownLayout layout(spec());
+
+  Stopwatch clock;
+  parallel::ThreadPool pool(workers);
+  parallel::ForOptions loop;
+  loop.schedule = parallel::Schedule::kDynamic;
+  loop.chunk = 4;
+  parallel::parallel_for(
+      pool, 0, pairs,
+      [&](Index p) {
+        const Index i = p / spec().cols;
+        const Index j = p % spec().cols;
+        slots[static_cast<std::size_t>(p)] =
+            equations::generate_pair_equations(layout, measurement_, i, j);
+      },
+      loop);
+  const Real elapsed = clock.elapsed_seconds();
+
+  equations::EquationSystem system{layout, {}};
+  system.equations.reserve(static_cast<std::size_t>(spec().num_equations()));
+  for (auto& slot : slots) {
+    for (auto& eq : slot) system.equations.push_back(std::move(eq));
+  }
+  PARMA_REQUIRE(static_cast<Index>(system.equations.size()) == spec().num_equations(),
+                "parallel formation produced wrong equation count");
+  if (out != nullptr) *out = std::move(system);
+  return elapsed;
+}
+
+solver::InverseResult Engine::recover(const solver::InverseOptions& options) const {
+  return solver::recover_resistances(measurement_, options);
+}
+
+}  // namespace parma::core

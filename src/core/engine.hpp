@@ -1,0 +1,124 @@
+// parma::core::Engine -- the system prototype of Section V.
+//
+// One Engine wraps one measurement session and exposes the paper's pipeline:
+//
+//   analyze_topology()      homology/Betti analysis of the device, sizing the
+//                           intrinsic parallelism (Section III);
+//   form_equations(opts)    the MEA + Parma components: generate the 2n^3
+//                           joint-constraint equations under a strategy,
+//                           reporting both the real single-core generation
+//                           time and the virtual-time makespan the strategy
+//                           achieves with k workers (Figs. 6-8);
+//   write_equations(...)    generation plus the sharded disk write of Fig. 9;
+//   distributed_formation() the MPI replay of Fig. 10;
+//   recover()               the inverse solve producing the resistance field
+//                           for anomaly detection.
+//
+// Real thread-pool execution (execute_real_threads) is provided for hosts
+// with actual cores and used by the integration tests to prove the strategies
+// compute identical systems.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/memory_sampler.hpp"
+#include "core/strategy.hpp"
+#include "equations/generator.hpp"
+#include "mea/measurement.hpp"
+#include "mpisim/cluster_model.hpp"
+#include "solver/inverse_solver.hpp"
+#include "topology/grid_complex.hpp"
+
+namespace parma::core {
+
+/// Homology summary of the device (Section III / IV-B).
+struct TopologyReport {
+  Index num_joints = 0;           ///< vertices of the wire complex (2mn)
+  Index num_simplices = 0;        ///< total simplex count of the complex
+  Index complex_dimension = 0;    ///< must be 1 (Proposition 1)
+  Index betti0 = 0;               ///< connected components
+  Index betti1 = 0;               ///< independent Kirchhoff loops
+  Index cyclomatic_number = 0;    ///< |E| - |V| + components (must equal betti1)
+  Index intrinsic_parallelism = 0;  ///< (m-1)(n-1), the paper's (n-1)^k
+  bool proposition1_holds = false;
+};
+
+/// Result of forming the equation system under one strategy.
+struct FormationResult {
+  equations::EquationSystem system;
+  Real generation_seconds = 0.0;      ///< real single-core time to build everything
+  parallel::ScheduleResult schedule;  ///< virtual k-worker replay
+  std::vector<parallel::VirtualTask> tasks;  ///< measured per-task costs
+  std::uint64_t equation_bytes = 0;   ///< modeled footprint of the system
+
+  [[nodiscard]] Real virtual_seconds() const { return schedule.makespan_seconds; }
+
+  /// Memory CDF of the run (Fig. 8): equations accumulate as tasks finish.
+  [[nodiscard]] MemoryCdf memory_cdf(std::uint64_t baseline_bytes) const;
+};
+
+/// Fig. 9: formation plus sharded write to disk.
+struct IoResult {
+  FormationResult formation;
+  Real write_seconds = 0.0;        ///< real time spent writing all shards
+  Real virtual_end_to_end = 0.0;   ///< virtual formation + parallel shard writes
+  std::uint64_t bytes_written = 0;
+  std::vector<std::string> shard_paths;
+};
+
+class Engine {
+ public:
+  explicit Engine(mea::Measurement measurement);
+
+  [[nodiscard]] const mea::Measurement& measurement() const { return measurement_; }
+  [[nodiscard]] const mea::DeviceSpec& spec() const { return measurement_.spec; }
+
+  /// Homology/Betti analysis of the device's wire complex. For large devices
+  /// the GF(2) reduction is skipped in favor of the spanning-tree cyclomatic
+  /// count (identical by the rank-nullity argument verified in tests);
+  /// `exact_homology` forces the GF(2) path.
+  [[nodiscard]] TopologyReport analyze_topology(bool exact_homology = false) const;
+
+  /// Forms the full joint-constraint system under `options`. Task costs are
+  /// measured for real during generation; the k-worker timing is the virtual
+  /// replay (see DESIGN.md Section 2).
+  [[nodiscard]] FormationResult form_equations(const StrategyOptions& options) const;
+
+  /// Fig. 9 pipeline: form, then write `workers` shards under `directory`.
+  [[nodiscard]] IoResult write_equations(const std::string& directory,
+                                         const StrategyOptions& options) const;
+
+  /// Fig. 10 replay: distribute the measured tasks over `ranks` cluster
+  /// ranks. Reuses a FormationResult's measured tasks.
+  [[nodiscard]] mpisim::ClusterResult distributed_formation(
+      const FormationResult& formation, Index ranks,
+      const mpisim::ClusterCostModel& model = {}) const;
+
+  /// Executes formation on a real ThreadPool with `workers` threads and
+  /// verifies it produces the same system as the serial path; returns the
+  /// wall-clock seconds it took. Intended for multi-core hosts and tests.
+  Real execute_real_threads(Index workers, equations::EquationSystem* out = nullptr) const;
+
+  /// Inverse solve: recover the resistance field (Section II-C workload).
+  [[nodiscard]] solver::InverseResult recover(const solver::InverseOptions& options = {}) const;
+
+  /// Task granularity of a strategy. The paper stresses that Parallel and
+  /// Balanced Parallel are coarse-grained (Section IV-C1) while the
+  /// PyMP-style strategy parallelizes inside each category loop: coarse
+  /// tasks bundle a whole device row per category (4m tasks), fine tasks are
+  /// one (pair x category) unit each (4mn tasks).
+  enum class TaskGranularity { kCoarseRowCategory, kFinePairCategory };
+
+  /// Builds tasks at the given granularity with measured costs, apportioning
+  /// the timed generation by term counts.
+  [[nodiscard]] std::vector<parallel::VirtualTask> build_tasks(
+      const equations::EquationSystem& system, Real generation_seconds,
+      TaskGranularity granularity) const;
+
+ private:
+  mea::Measurement measurement_;
+};
+
+}  // namespace parma::core

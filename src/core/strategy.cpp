@@ -1,0 +1,15 @@
+#include "core/strategy.hpp"
+
+namespace parma::core {
+
+const char* strategy_name(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kSingleThread: return "single-thread";
+    case Strategy::kParallel: return "parallel";
+    case Strategy::kBalancedParallel: return "balanced-parallel";
+    case Strategy::kFineGrained: return "fine-grained";
+  }
+  return "?";
+}
+
+}  // namespace parma::core

@@ -1,0 +1,50 @@
+// Parallelization strategies (paper Sections IV-A, IV-C and V).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "parallel/virtual_scheduler.hpp"
+
+namespace parma::core {
+
+/// The paper's evaluated configurations.
+enum class Strategy {
+  /// The serialized BigData'18-style implementation.
+  kSingleThread,
+  /// One dedicated thread per constraint category; at most four useful
+  /// workers and no balancing (Section IV-A).
+  kParallel,
+  /// Deterministic work-stealing rebalance of the category tasks
+  /// (Section IV-C1).
+  kBalancedParallel,
+  /// Betti-number-aware fine-grained multiprocessing, the PyMP-k analogue:
+  /// per-pair tasks self-scheduled onto k workers (Section IV-C2).
+  kFineGrained,
+};
+
+const char* strategy_name(Strategy strategy);
+
+struct StrategyOptions {
+  Strategy strategy = Strategy::kFineGrained;
+  Index workers = 4;        ///< k; ignored by kSingleThread, capped at 4 by kParallel
+  Index chunk = 1;          ///< dynamic chunk size for kFineGrained
+  parallel::CostModel cost_model;  ///< virtual-runtime overhead knobs
+
+  /// When false, equations are generated (and timed, and counted) pair by
+  /// pair but immediately discarded, bounding resident memory to one pair.
+  /// Large-n benchmark sweeps need this: a fully materialized n = 100 system
+  /// holds ~8 GB of term storage. The returned FormationResult then has an
+  /// empty `system.equations` but complete tasks/census/footprint metrics.
+  bool keep_system = true;
+};
+
+/// Task granularity used when forming equations under a strategy:
+/// category-level strategies operate on (pair x category) tasks, the
+/// fine-grained strategy on the same tasks claimed individually.
+struct TaskShape {
+  Index tasks_per_pair = 0;
+  std::string description;
+};
+
+}  // namespace parma::core

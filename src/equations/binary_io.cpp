@@ -1,0 +1,142 @@
+#include "equations/binary_io.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "common/require.hpp"
+
+namespace parma::equations {
+namespace {
+
+constexpr char kMagic[8] = {'P', 'A', 'R', 'M', 'A', 'E', 'Q', '1'};
+
+template <typename T>
+void put(std::ostream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T take(std::istream& is, const char* what) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!is) throw IoError(std::string("binary equation file truncated at ") + what);
+  return value;
+}
+
+}  // namespace
+
+std::uint64_t write_binary_header(std::ostream& os, const UnknownLayout& layout,
+                                  std::uint64_t equation_count) {
+  os.write(kMagic, sizeof(kMagic));
+  put(os, static_cast<std::uint32_t>(layout.rows()));
+  put(os, static_cast<std::uint32_t>(layout.cols()));
+  put(os, equation_count);
+  return sizeof(kMagic) + 2 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+}
+
+std::uint64_t write_binary_equation(std::ostream& os, const JointEquation& eq) {
+  // Category byte carries bit 7 = "rhs present" (only terminal equations
+  // have a nonzero rhs); pairs fit u16 up to n = 65535.
+  std::uint8_t category_byte = static_cast<std::uint8_t>(eq.category);
+  if (eq.rhs != 0.0) category_byte |= 0x80;
+  put(os, category_byte);
+  put(os, static_cast<std::uint16_t>(eq.pair_i));
+  put(os, static_cast<std::uint16_t>(eq.pair_j));
+  std::uint64_t bytes = 1 + 2 * sizeof(std::uint16_t) + sizeof(std::uint16_t);
+  if (eq.rhs != 0.0) {
+    put(os, eq.rhs);
+    bytes += sizeof(Real);
+  }
+  put(os, static_cast<std::uint16_t>(eq.terms.size()));
+  for (const auto& t : eq.terms) {
+    std::uint8_t flags = 0;
+    if (t.sign < 0.0) flags |= 1;
+    if (t.plus_unknown >= 0) flags |= 2;
+    if (t.minus_unknown >= 0) flags |= 4;
+    if (t.constant != 0.0) flags |= 8;
+    put(os, flags);
+    put(os, static_cast<std::int32_t>(t.resistor_unknown));
+    bytes += 1 + sizeof(std::int32_t);
+    if (flags & 2) {
+      put(os, static_cast<std::int32_t>(t.plus_unknown));
+      bytes += sizeof(std::int32_t);
+    }
+    if (flags & 4) {
+      put(os, static_cast<std::int32_t>(t.minus_unknown));
+      bytes += sizeof(std::int32_t);
+    }
+    if (flags & 8) {
+      put(os, t.constant);
+      bytes += sizeof(Real);
+    }
+  }
+  return bytes;
+}
+
+std::uint64_t save_system_binary(const std::string& path, const EquationSystem& system) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  std::uint64_t bytes =
+      write_binary_header(out, system.layout, system.equations.size());
+  for (const auto& eq : system.equations) bytes += write_binary_equation(out, eq);
+  out.flush();
+  if (!out) throw IoError("write to '" + path + "' failed");
+  return bytes;
+}
+
+EquationSystem load_system_binary(const std::string& path, const mea::DeviceSpec& spec) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw IoError("bad magic in binary equation file '" + path + "'");
+  }
+  const auto rows = take<std::uint32_t>(in, "rows");
+  const auto cols = take<std::uint32_t>(in, "cols");
+  const auto count = take<std::uint64_t>(in, "count");
+  PARMA_REQUIRE(static_cast<Index>(rows) == spec.rows && static_cast<Index>(cols) == spec.cols,
+                "device does not match binary file");
+
+  EquationSystem system{UnknownLayout(spec), {}};
+  system.equations.reserve(count);
+  const Index max_unknown = system.layout.num_unknowns();
+  for (std::uint64_t e = 0; e < count; ++e) {
+    JointEquation eq;
+    const auto cat_byte = take<std::uint8_t>(in, "category");
+    const std::uint8_t cat = cat_byte & 0x7F;
+    if (cat >= kNumCategories) throw IoError("corrupt category in '" + path + "'");
+    eq.category = static_cast<ConstraintCategory>(cat);
+    eq.pair_i = take<std::uint16_t>(in, "pair_i");
+    eq.pair_j = take<std::uint16_t>(in, "pair_j");
+    if (cat_byte & 0x80) eq.rhs = take<Real>(in, "rhs");
+    const auto terms = take<std::uint16_t>(in, "num_terms");
+    if (terms > static_cast<std::uint16_t>(std::min<Index>(2 * max_unknown, 65535))) {
+      throw IoError("corrupt term count in '" + path + "'");
+    }
+    eq.terms.reserve(terms);
+    for (std::uint32_t t = 0; t < terms; ++t) {
+      CurrentTerm term;
+      const auto flags = take<std::uint8_t>(in, "flags");
+      if (flags & ~std::uint8_t{0x0F}) throw IoError("corrupt term flags in '" + path + "'");
+      term.sign = (flags & 1) ? -1.0 : 1.0;
+      term.resistor_unknown = take<std::int32_t>(in, "resistor");
+      if (flags & 2) term.plus_unknown = take<std::int32_t>(in, "plus");
+      if (flags & 4) term.minus_unknown = take<std::int32_t>(in, "minus");
+      if (flags & 8) term.constant = take<Real>(in, "constant");
+      if (term.resistor_unknown < 0 || term.resistor_unknown >= max_unknown ||
+          term.plus_unknown >= max_unknown || term.minus_unknown >= max_unknown) {
+        throw IoError("corrupt unknown index in '" + path + "'");
+      }
+      eq.terms.push_back(term);
+    }
+    system.equations.push_back(std::move(eq));
+  }
+  return system;
+}
+
+}  // namespace parma::equations

@@ -1,0 +1,39 @@
+// Binary equation-system format.
+//
+// The text format (serializer.hpp) matches the paper's human-auditable dumps;
+// this binary format is the production path: ~3x smaller and ~10x faster to
+// write, with the same streaming (per-equation) granularity so concurrent
+// shard writers and bounded-memory pipelines work identically.
+//
+// Layout (little-endian, as on every supported platform):
+//   header:   magic "PARMAEQ1" | u32 rows | u32 cols | u64 equation count
+//   equation: u8 category | u32 pair_i | u32 pair_j | f64 rhs | u32 num_terms
+//   term:     u8 flags | i32 resistor [| i32 plus][| i32 minus][| f64 const]
+// where flags bit0 = sign is negative, bit1 = plus present, bit2 = minus
+// present, bit3 = constant present (absent fields default to -1 / 0.0).
+// Unknown indices fit i32 for every representable device ((2n-1)n^2 < 2^31
+// up to n ~ 1000).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "equations/generator.hpp"
+
+namespace parma::equations {
+
+/// Writes the 24-byte file header; returns bytes written.
+std::uint64_t write_binary_header(std::ostream& os, const UnknownLayout& layout,
+                                  std::uint64_t equation_count);
+
+/// Appends one equation; returns bytes written.
+std::uint64_t write_binary_equation(std::ostream& os, const JointEquation& eq);
+
+/// Whole-system convenience writer; returns total bytes.
+std::uint64_t save_system_binary(const std::string& path, const EquationSystem& system);
+
+/// Reads a binary system back; validates the header against `spec` and
+/// throws parma::IoError on truncation or corruption.
+EquationSystem load_system_binary(const std::string& path, const mea::DeviceSpec& spec);
+
+}  // namespace parma::equations

@@ -1,0 +1,15 @@
+#include "equations/equation.hpp"
+
+namespace parma::equations {
+
+const char* category_name(ConstraintCategory category) {
+  switch (category) {
+    case ConstraintCategory::kSource: return "source";
+    case ConstraintCategory::kDestination: return "destination";
+    case ConstraintCategory::kNearSource: return "near-source";
+    case ConstraintCategory::kNearDestination: return "near-destination";
+  }
+  return "?";
+}
+
+}  // namespace parma::equations

@@ -1,0 +1,56 @@
+// Structured representation of one Kirchhoff joint equation.
+//
+// Every equation of Section IV-A has the shape
+//     sum_t  sign_t * (const_t + x[plus_t] - x[minus_t]) / x[resistor_t]
+//   = rhs
+// where x is the global unknown vector (resistances first, then pair
+// voltages; see layout.hpp), const_t is the measured end-to-end voltage
+// U_ij or 0, and rhs is U_ij / Z_ij or 0. The representation is nonlinear in
+// the resistance unknowns (they divide) and linear in the voltage unknowns --
+// exactly the structure the paper exploits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma::equations {
+
+/// The paper's four joint categories (Section IV-A): sources and destinations
+/// carry 1 equation per pair; the intermediate categories carry n-1 each and
+/// dominate the work ("roughly in the cubic order of the former").
+enum class ConstraintCategory : std::uint8_t {
+  kSource = 0,           ///< KCL at the driven horizontal wire i
+  kDestination = 1,      ///< KCL at the grounded vertical wire j
+  kNearSource = 2,       ///< KCL at a Ua joint (vertical wire k != j)
+  kNearDestination = 3,  ///< KCL at a Ub joint (horizontal wire m != i)
+};
+
+inline constexpr int kNumCategories = 4;
+
+const char* category_name(ConstraintCategory category);
+
+/// One branch-current term: sign * (constant + x[plus] - x[minus]) / x[resistor].
+struct CurrentTerm {
+  Index resistor_unknown = -1;  ///< global index of the R in the denominator
+  Real constant = 0.0;          ///< numerator constant (U_ij or 0)
+  Index plus_unknown = -1;      ///< numerator + voltage unknown (-1: absent)
+  Index minus_unknown = -1;     ///< numerator - voltage unknown (-1: absent)
+  Real sign = 1.0;              ///< +1 or -1
+};
+
+struct JointEquation {
+  ConstraintCategory category = ConstraintCategory::kSource;
+  Index pair_i = 0;  ///< driven horizontal wire
+  Index pair_j = 0;  ///< grounded vertical wire
+  Real rhs = 0.0;    ///< measured U_ij / Z_ij for terminal equations, else 0
+  std::vector<CurrentTerm> terms;
+
+  /// Approximate heap footprint, used by the Fig. 8 memory model.
+  [[nodiscard]] std::uint64_t footprint_bytes() const {
+    return sizeof(JointEquation) + terms.capacity() * sizeof(CurrentTerm);
+  }
+};
+
+}  // namespace parma::equations

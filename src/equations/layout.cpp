@@ -1,0 +1,4 @@
+#include "equations/layout.hpp"
+
+// Header-only today; the translation unit anchors the module in the build
+// and reserves a home for future non-inline layout logic.

@@ -1,0 +1,77 @@
+// Global unknown layout of the joint-constraint system (paper Section IV-A).
+//
+// For an m x n device the unknown vector is
+//   [ R_00 .. R_{m-1,n-1} |  pair(0,0) voltages | pair(0,1) voltages | ... ]
+// where each pair (i, j) owns (n-1) Ua voltages (the vertical wires k != j)
+// followed by (m-1) Ub voltages (the horizontal wires m' != i). The paper's
+// primed subscripts k' = k if k <= j else k-1 (and likewise m') are exactly
+// the block-local offsets used here.
+//
+// Census (square n x n): (2n-1)*n^2 unknowns and 2n^3 equations -- asserted
+// by tests against the closed forms in DeviceSpec.
+#pragma once
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+#include "mea/device.hpp"
+
+namespace parma::equations {
+
+class UnknownLayout {
+ public:
+  explicit UnknownLayout(const mea::DeviceSpec& spec)
+      : rows_(spec.rows), cols_(spec.cols) {
+    spec.validate();
+  }
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+
+  [[nodiscard]] Index num_resistors() const { return rows_ * cols_; }
+  [[nodiscard]] Index voltages_per_pair() const { return (cols_ - 1) + (rows_ - 1); }
+  [[nodiscard]] Index num_pairs() const { return rows_ * cols_; }
+  [[nodiscard]] Index num_unknowns() const {
+    return num_resistors() + num_pairs() * voltages_per_pair();
+  }
+
+  /// Global index of the resistance unknown R(i, j).
+  [[nodiscard]] Index r_index(Index i, Index j) const {
+    PARMA_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_);
+    return i * cols_ + j;
+  }
+
+  /// Linear pair id of endpoint pair (i, j).
+  [[nodiscard]] Index pair_id(Index i, Index j) const { return i * cols_ + j; }
+
+  /// First unknown of the pair's voltage block.
+  [[nodiscard]] Index pair_block(Index i, Index j) const {
+    return num_resistors() + pair_id(i, j) * voltages_per_pair();
+  }
+
+  /// Global index of Ua for vertical wire k (k != j) within pair (i, j);
+  /// applies the paper's k' compression.
+  [[nodiscard]] Index ua_index(Index i, Index j, Index k) const {
+    PARMA_ASSERT(k >= 0 && k < cols_ && k != j);
+    const Index k_prime = (k < j) ? k : k - 1;
+    return pair_block(i, j) + k_prime;
+  }
+
+  /// Global index of Ub for horizontal wire m (m != i) within pair (i, j);
+  /// applies the paper's m' compression.
+  [[nodiscard]] Index ub_index(Index i, Index j, Index m) const {
+    PARMA_ASSERT(m >= 0 && m < rows_ && m != i);
+    const Index m_prime = (m < i) ? m : m - 1;
+    return pair_block(i, j) + (cols_ - 1) + m_prime;
+  }
+
+  /// true if `unknown` is a resistance (vs a pair voltage).
+  [[nodiscard]] bool is_resistance(Index unknown) const {
+    return unknown >= 0 && unknown < num_resistors();
+  }
+
+ private:
+  Index rows_;
+  Index cols_;
+};
+
+}  // namespace parma::equations

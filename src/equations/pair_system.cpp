@@ -1,0 +1,121 @@
+#include "equations/pair_system.hpp"
+
+#include "common/require.hpp"
+#include "linalg/dense_solve.hpp"
+
+namespace parma::equations {
+
+Real PairSolution::horizontal_potential(Index m) const {
+  if (m == i) return drive_voltage;
+  const Index m_prime = (m < i) ? m : m - 1;
+  return ub[static_cast<std::size_t>(m_prime)];
+}
+
+Real PairSolution::vertical_potential(Index k) const {
+  if (k == j) return 0.0;
+  const Index k_prime = (k < j) ? k : k - 1;
+  return ua[static_cast<std::size_t>(k_prime)];
+}
+
+PairSolution solve_pair(const circuit::ResistanceGrid& r, Index i, Index j, Real volts) {
+  const Index rows = r.rows();
+  const Index cols = r.cols();
+  PARMA_REQUIRE(i >= 0 && i < rows && j >= 0 && j < cols, "pair endpoint out of range");
+  PARMA_REQUIRE(volts > 0.0, "drive voltage must be positive");
+
+  const Index na = cols - 1;  // Ua unknowns
+  const Index nb = rows - 1;  // Ub unknowns
+  const Index dim = na + nb;
+
+  PairSolution solution;
+  solution.i = i;
+  solution.j = j;
+  solution.drive_voltage = volts;
+  solution.ua.assign(static_cast<std::size_t>(na), 0.0);
+  solution.ub.assign(static_cast<std::size_t>(nb), 0.0);
+
+  if (dim > 0) {
+    // Local unknown order: Ua (k' = 0..na-1), then Ub (m' = 0..nb-1).
+    linalg::DenseMatrix a(dim, dim);
+    std::vector<Real> rhs(static_cast<std::size_t>(dim), 0.0);
+
+    // Ua_k equation: a_k (1/R_ik + sum_m 1/R_mk) - sum_m b_m / R_mk = U / R_ik.
+    for (Index k = 0; k < cols; ++k) {
+      if (k == j) continue;
+      const Index row_idx = (k < j) ? k : k - 1;
+      Real diag = 1.0 / r.at(i, k);
+      rhs[static_cast<std::size_t>(row_idx)] = volts / r.at(i, k);
+      for (Index m = 0; m < rows; ++m) {
+        if (m == i) continue;
+        const Real g = 1.0 / r.at(m, k);
+        diag += g;
+        const Index col_idx = na + ((m < i) ? m : m - 1);
+        a(row_idx, col_idx) -= g;
+      }
+      a(row_idx, row_idx) = diag;
+    }
+    // Ub_m equation: b_m (1/R_mj + sum_k 1/R_mk) - sum_k a_k / R_mk = 0.
+    for (Index m = 0; m < rows; ++m) {
+      if (m == i) continue;
+      const Index row_idx = na + ((m < i) ? m : m - 1);
+      Real diag = 1.0 / r.at(m, j);
+      for (Index k = 0; k < cols; ++k) {
+        if (k == j) continue;
+        const Real g = 1.0 / r.at(m, k);
+        diag += g;
+        const Index col_idx = (k < j) ? k : k - 1;
+        a(row_idx, col_idx) -= g;
+      }
+      a(row_idx, row_idx) = diag;
+    }
+
+    // The interior system is SPD (a grounded Laplacian of a connected
+    // network); Cholesky both solves it and certifies that property.
+    const linalg::CholeskyFactorization chol(a);
+    const std::vector<Real> x = chol.solve(rhs);
+    for (Index t = 0; t < na; ++t) solution.ua[static_cast<std::size_t>(t)] = x[static_cast<std::size_t>(t)];
+    for (Index t = 0; t < nb; ++t) {
+      solution.ub[static_cast<std::size_t>(t)] = x[static_cast<std::size_t>(na + t)];
+    }
+  }
+
+  // Source current: through R_ij directly plus through each detour R_ik.
+  Real current = volts / r.at(i, j);
+  for (Index k = 0; k < cols; ++k) {
+    if (k == j) continue;
+    current += (volts - solution.vertical_potential(k)) / r.at(i, k);
+  }
+  PARMA_REQUIRE(current > 0.0, "non-positive source current");
+  solution.source_current = current;
+  solution.z_model = volts / current;
+  return solution;
+}
+
+linalg::DenseMatrix forward_model(const circuit::ResistanceGrid& r, Real volts) {
+  linalg::DenseMatrix z(r.rows(), r.cols());
+  for (Index i = 0; i < r.rows(); ++i) {
+    for (Index j = 0; j < r.cols(); ++j) {
+      z(i, j) = solve_pair(r, i, j, volts).z_model;
+    }
+  }
+  return z;
+}
+
+std::vector<Real> impedance_gradient(const circuit::ResistanceGrid& r,
+                                     const PairSolution& pair) {
+  // dR_eff / dR_e = (i_e / I)^2 for every branch e (Maxwell's sensitivity
+  // identity; follows from the adjoint of the Laplacian solve).
+  std::vector<Real> grad(static_cast<std::size_t>(r.rows() * r.cols()), 0.0);
+  const Real total = pair.source_current;
+  for (Index m = 0; m < r.rows(); ++m) {
+    for (Index k = 0; k < r.cols(); ++k) {
+      const Real branch =
+          (pair.horizontal_potential(m) - pair.vertical_potential(k)) / r.at(m, k);
+      const Real ratio = branch / total;
+      grad[static_cast<std::size_t>(m * r.cols() + k)] = ratio * ratio;
+    }
+  }
+  return grad;
+}
+
+}  // namespace parma::equations

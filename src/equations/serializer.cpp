@@ -1,0 +1,189 @@
+#include "equations/serializer.hpp"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/string_util.hpp"
+
+namespace parma::equations {
+namespace {
+
+// Renders an unknown index using the layout's naming.
+std::string unknown_name(const UnknownLayout& layout, Index unknown) {
+  if (unknown < 0) return "";
+  if (layout.is_resistance(unknown)) {
+    const Index i = unknown / layout.cols();
+    const Index j = unknown % layout.cols();
+    std::ostringstream os;
+    os << "R[" << i << ',' << j << ']';
+    return os.str();
+  }
+  const Index offset = unknown - layout.num_resistors();
+  const Index pair = offset / layout.voltages_per_pair();
+  const Index local = offset % layout.voltages_per_pair();
+  std::ostringstream os;
+  if (local < layout.cols() - 1) {
+    os << "Ua[p" << pair << ',' << local << ']';
+  } else {
+    os << "Ub[p" << pair << ',' << (local - (layout.cols() - 1)) << ']';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_equation(const UnknownLayout& layout, const JointEquation& eq) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& term : eq.terms) {
+    if (!first) os << (term.sign >= 0 ? " + " : " - ");
+    else if (term.sign < 0) os << "-";
+    first = false;
+    os << '(';
+    bool numerator_has_content = false;
+    if (term.constant != 0.0) {
+      os << term.constant;
+      numerator_has_content = true;
+    }
+    if (term.plus_unknown >= 0) {
+      if (numerator_has_content) os << " + ";
+      os << unknown_name(layout, term.plus_unknown);
+      numerator_has_content = true;
+    }
+    if (term.minus_unknown >= 0) {
+      os << " - " << unknown_name(layout, term.minus_unknown);
+      numerator_has_content = true;
+    }
+    if (!numerator_has_content) os << '0';
+    os << ")/" << unknown_name(layout, term.resistor_unknown);
+  }
+  os << " = " << eq.rhs << "    # " << category_name(eq.category) << ", pair (" << eq.pair_i
+     << ',' << eq.pair_j << ')';
+  return os.str();
+}
+
+namespace {
+
+// Thread-local line buffer with std::to_chars formatting: the serializer is
+// the hot path of the Fig. 9 experiment and iostream formatting is ~20x
+// slower than to_chars for this mix of integers and doubles.
+void append_integer(std::string& buf, long long v) {
+  char tmp[24];
+  const auto [ptr, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+  PARMA_ASSERT(ec == std::errc{});
+  buf.append(tmp, ptr);
+}
+
+void append_real(std::string& buf, Real v) {
+  char tmp[40];
+  // shortest round-trip representation
+  const auto [ptr, ec] = std::to_chars(tmp, tmp + sizeof(tmp), v);
+  PARMA_ASSERT(ec == std::errc{});
+  buf.append(tmp, ptr);
+}
+
+}  // namespace
+
+std::uint64_t write_equation_line(std::ostream& os, const JointEquation& eq) {
+  thread_local std::string line;
+  line.clear();
+  append_integer(line, static_cast<int>(eq.category));
+  line += ' ';
+  append_integer(line, eq.pair_i);
+  line += ' ';
+  append_integer(line, eq.pair_j);
+  line += ' ';
+  append_real(line, eq.rhs);
+  for (const auto& t : eq.terms) {
+    line += ' ';
+    append_real(line, t.sign);
+    line += ':';
+    append_integer(line, t.resistor_unknown);
+    line += ':';
+    append_real(line, t.constant);
+    line += ':';
+    append_integer(line, t.plus_unknown);
+    line += ':';
+    append_integer(line, t.minus_unknown);
+  }
+  line += '\n';
+  os.write(line.data(), static_cast<std::streamsize>(line.size()));
+  return line.size();
+}
+
+std::uint64_t write_system_range(std::ostream& os, const EquationSystem& system,
+                                 std::size_t first, std::size_t last) {
+  PARMA_REQUIRE(first <= last && last <= system.equations.size(), "shard out of range");
+  std::uint64_t bytes = 0;
+  for (std::size_t e = first; e < last; ++e) {
+    bytes += write_equation_line(os, system.equations[e]);
+  }
+  return bytes;
+}
+
+std::uint64_t write_system(std::ostream& os, const EquationSystem& system) {
+  os << "# parma-equations v1 " << system.layout.rows() << ' ' << system.layout.cols() << ' '
+     << system.equations.size() << '\n';
+  return write_system_range(os, system, 0, system.equations.size());
+}
+
+std::uint64_t save_system(const std::string& path, const EquationSystem& system) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  const std::uint64_t bytes = write_system(out, system);
+  if (!out) throw IoError("write to '" + path + "' failed");
+  return bytes;
+}
+
+EquationSystem load_system(const std::string& path, const mea::DeviceSpec& spec) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  if (!std::getline(in, line) || !starts_with(line, "# parma-equations v1")) {
+    throw IoError("bad header in '" + path + "'");
+  }
+  const std::vector<std::string> header = split_ws(line);
+  PARMA_REQUIRE(header.size() == 6, "malformed equation header");
+  const Index rows = parse_index(header[3], path);
+  const Index cols = parse_index(header[4], path);
+  const Index count = parse_index(header[5], path);
+  PARMA_REQUIRE(rows == spec.rows && cols == spec.cols, "device does not match file");
+
+  EquationSystem system{UnknownLayout(spec), {}};
+  system.equations.reserve(static_cast<std::size_t>(count));
+  while (std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    const std::vector<std::string> fields = split_ws(line);
+    if (fields.size() < 4) throw IoError("short equation line in '" + path + "'");
+    JointEquation eq;
+    const Index cat = parse_index(fields[0], path);
+    PARMA_REQUIRE(cat >= 0 && cat < kNumCategories, "bad category");
+    eq.category = static_cast<ConstraintCategory>(cat);
+    eq.pair_i = parse_index(fields[1], path);
+    eq.pair_j = parse_index(fields[2], path);
+    eq.rhs = parse_real(fields[3], path);
+    for (std::size_t f = 4; f < fields.size(); ++f) {
+      const std::vector<std::string> tuple = split(fields[f], ':');
+      if (tuple.size() != 5) throw IoError("bad term tuple in '" + path + "'");
+      CurrentTerm t;
+      t.sign = parse_real(tuple[0], path);
+      t.resistor_unknown = parse_index(tuple[1], path);
+      t.constant = parse_real(tuple[2], path);
+      // plus/minus may be -1; parse via signed real then cast.
+      t.plus_unknown = static_cast<Index>(parse_real(tuple[3], path));
+      t.minus_unknown = static_cast<Index>(parse_real(tuple[4], path));
+      eq.terms.push_back(t);
+    }
+    system.equations.push_back(std::move(eq));
+  }
+  PARMA_REQUIRE(static_cast<Index>(system.equations.size()) == count,
+                "equation count mismatch in file");
+  return system;
+}
+
+}  // namespace parma::equations

@@ -1,0 +1,43 @@
+// Equation-system serialization (the disk artifact of the Fig. 9 I/O
+// experiment: "the overall time taken to generate the set of equations and
+// write them to a file in disk").
+//
+// Two renderings:
+//  * human-readable algebra, e.g.
+//      (U - Ua[2])/R[1,3] + ... = U/Z    # near-source, pair (1,3)
+//  * a compact machine format (one line per equation: category, pair, rhs,
+//    then sign:resistor:const:plus:minus term tuples), which is what the
+//    benchmark writes because its volume scales like the paper's dumps.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "equations/generator.hpp"
+
+namespace parma::equations {
+
+/// Human-readable rendering of one equation.
+std::string render_equation(const UnknownLayout& layout, const JointEquation& eq);
+
+/// Writes one equation in the compact machine format; returns bytes written.
+/// Building block for streaming writers that never hold the whole system.
+std::uint64_t write_equation_line(std::ostream& os, const JointEquation& eq);
+
+/// Writes the whole system in the compact machine format; returns bytes
+/// written.
+std::uint64_t write_system(std::ostream& os, const EquationSystem& system);
+
+/// Writes equations [first, last) of the system (a shard, for concurrent
+/// writers); returns bytes written.
+std::uint64_t write_system_range(std::ostream& os, const EquationSystem& system,
+                                 std::size_t first, std::size_t last);
+
+/// Writes the system to `path` (single writer); returns bytes written.
+std::uint64_t save_system(const std::string& path, const EquationSystem& system);
+
+/// Reads the compact format back; validates against `layout` and throws
+/// parma::IoError on malformed input.
+EquationSystem load_system(const std::string& path, const mea::DeviceSpec& spec);
+
+}  // namespace parma::equations

@@ -1,0 +1,98 @@
+#include "linalg/dense_matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parma::linalg {
+
+DenseMatrix::DenseMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), 0.0) {
+  PARMA_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+DenseMatrix::DenseMatrix(std::initializer_list<std::initializer_list<Real>> rows) {
+  rows_ = static_cast<Index>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<Index>(rows.begin()->size());
+  data_.reserve(static_cast<std::size_t>(rows_ * cols_));
+  for (const auto& row : rows) {
+    PARMA_REQUIRE(static_cast<Index>(row.size()) == cols_, "ragged initializer list");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+DenseMatrix DenseMatrix::identity(Index n) {
+  DenseMatrix m(n, n);
+  for (Index i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<Real> DenseMatrix::multiply(const std::vector<Real>& x) const {
+  PARMA_REQUIRE(static_cast<Index>(x.size()) == cols_, "multiply: shape mismatch");
+  std::vector<Real> y(static_cast<std::size_t>(rows_), 0.0);
+  for (Index r = 0; r < rows_; ++r) {
+    Real sum = 0.0;
+    const Real* row = data_.data() + r * cols_;
+    for (Index c = 0; c < cols_; ++c) sum += row[c] * x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+  return y;
+}
+
+std::vector<Real> DenseMatrix::multiply_transpose(const std::vector<Real>& x) const {
+  PARMA_REQUIRE(static_cast<Index>(x.size()) == rows_, "multiply_transpose: shape mismatch");
+  std::vector<Real> y(static_cast<std::size_t>(cols_), 0.0);
+  for (Index r = 0; r < rows_; ++r) {
+    const Real xr = x[static_cast<std::size_t>(r)];
+    const Real* row = data_.data() + r * cols_;
+    for (Index c = 0; c < cols_; ++c) y[static_cast<std::size_t>(c)] += row[c] * xr;
+  }
+  return y;
+}
+
+DenseMatrix DenseMatrix::multiply(const DenseMatrix& other) const {
+  PARMA_REQUIRE(cols_ == other.rows_, "matmul: inner dimensions differ");
+  DenseMatrix out(rows_, other.cols_);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = 0; k < cols_; ++k) {
+      const Real aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (Index j = 0; j < other.cols_; ++j) out(i, j) += aik * other(k, j);
+    }
+  }
+  return out;
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix out(cols_, rows_);
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+Real DenseMatrix::frobenius_norm() const {
+  Real sum = 0.0;
+  for (Real v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Real DenseMatrix::max_abs_diff(const DenseMatrix& other) const {
+  PARMA_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  Real m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::abs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+bool DenseMatrix::is_symmetric(Real tol) const {
+  if (rows_ != cols_) return false;
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index j = i + 1; j < cols_; ++j) {
+      if (std::abs((*this)(i, j) - (*this)(j, i)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace parma::linalg

@@ -1,0 +1,67 @@
+// Row-major dense matrix with value semantics.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+
+namespace parma::linalg {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix of zeros.
+  DenseMatrix(Index rows, Index cols);
+
+  /// Construct from nested initializer lists (row per inner list).
+  DenseMatrix(std::initializer_list<std::initializer_list<Real>> rows);
+
+  static DenseMatrix identity(Index n);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  Real& operator()(Index r, Index c) {
+    PARMA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  Real operator()(Index r, Index c) const {
+    PARMA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Raw row-major storage (size rows*cols).
+  [[nodiscard]] const std::vector<Real>& data() const { return data_; }
+  [[nodiscard]] std::vector<Real>& data() { return data_; }
+
+  /// y = A x.
+  [[nodiscard]] std::vector<Real> multiply(const std::vector<Real>& x) const;
+
+  /// y = A^T x.
+  [[nodiscard]] std::vector<Real> multiply_transpose(const std::vector<Real>& x) const;
+
+  /// C = A B.
+  [[nodiscard]] DenseMatrix multiply(const DenseMatrix& other) const;
+
+  [[nodiscard]] DenseMatrix transpose() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] Real frobenius_norm() const;
+
+  /// Max |A - B| entrywise; requires equal shapes.
+  [[nodiscard]] Real max_abs_diff(const DenseMatrix& other) const;
+
+  /// true if |A(i,j) - A(j,i)| <= tol for all i, j (requires square).
+  [[nodiscard]] bool is_symmetric(Real tol = 1e-12) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Real> data_;
+};
+
+}  // namespace parma::linalg

@@ -1,0 +1,121 @@
+#include "linalg/dense_solve.hpp"
+
+#include <cmath>
+
+namespace parma::linalg {
+
+LuFactorization::LuFactorization(DenseMatrix a) : lu_(std::move(a)) {
+  PARMA_REQUIRE(lu_.rows() == lu_.cols(), "LU needs a square matrix");
+  const Index n = lu_.rows();
+  perm_.resize(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) perm_[static_cast<std::size_t>(i)] = i;
+
+  for (Index k = 0; k < n; ++k) {
+    // Partial pivot: largest magnitude in column k at or below the diagonal.
+    Index pivot = k;
+    Real best = std::abs(lu_(k, k));
+    for (Index i = k + 1; i < n; ++i) {
+      const Real v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    if (best < 1e-300) throw NumericalError("LU: matrix is singular");
+    if (pivot != k) {
+      for (Index c = 0; c < n; ++c) std::swap(lu_(k, c), lu_(pivot, c));
+      std::swap(perm_[static_cast<std::size_t>(k)], perm_[static_cast<std::size_t>(pivot)]);
+      perm_sign_ = -perm_sign_;
+    }
+    const Real inv_pivot = 1.0 / lu_(k, k);
+    for (Index i = k + 1; i < n; ++i) {
+      const Real factor = lu_(i, k) * inv_pivot;
+      lu_(i, k) = factor;
+      if (factor == 0.0) continue;
+      for (Index c = k + 1; c < n; ++c) lu_(i, c) -= factor * lu_(k, c);
+    }
+  }
+}
+
+std::vector<Real> LuFactorization::solve(const std::vector<Real>& b) const {
+  const Index n = lu_.rows();
+  PARMA_REQUIRE(static_cast<Index>(b.size()) == n, "solve: rhs size mismatch");
+  std::vector<Real> x(static_cast<std::size_t>(n));
+  // Apply permutation, then forward substitution with unit-diagonal L.
+  for (Index i = 0; i < n; ++i) {
+    Real sum = b[static_cast<std::size_t>(perm_[static_cast<std::size_t>(i)])];
+    for (Index j = 0; j < i; ++j) sum -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum;
+  }
+  // Back substitution with U.
+  for (Index i = n - 1; i >= 0; --i) {
+    Real sum = x[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < n; ++j) sum -= lu_(i, j) * x[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(i)] = sum / lu_(i, i);
+  }
+  return x;
+}
+
+DenseMatrix LuFactorization::solve(const DenseMatrix& b) const {
+  PARMA_REQUIRE(b.rows() == lu_.rows(), "solve: rhs rows mismatch");
+  DenseMatrix x(b.rows(), b.cols());
+  std::vector<Real> col(static_cast<std::size_t>(b.rows()));
+  for (Index c = 0; c < b.cols(); ++c) {
+    for (Index r = 0; r < b.rows(); ++r) col[static_cast<std::size_t>(r)] = b(r, c);
+    const std::vector<Real> sol = solve(col);
+    for (Index r = 0; r < b.rows(); ++r) x(r, c) = sol[static_cast<std::size_t>(r)];
+  }
+  return x;
+}
+
+Real LuFactorization::determinant() const {
+  Real det = static_cast<Real>(perm_sign_);
+  for (Index i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+CholeskyFactorization::CholeskyFactorization(const DenseMatrix& a) {
+  PARMA_REQUIRE(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  const Index n = a.rows();
+  l_ = DenseMatrix(n, n);
+  for (Index j = 0; j < n; ++j) {
+    Real diag = a(j, j);
+    for (Index k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0) throw NumericalError("Cholesky: matrix is not positive definite");
+    const Real ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    const Real inv = 1.0 / ljj;
+    for (Index i = j + 1; i < n; ++i) {
+      Real sum = a(i, j);
+      for (Index k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      l_(i, j) = sum * inv;
+    }
+  }
+}
+
+std::vector<Real> CholeskyFactorization::solve(const std::vector<Real>& b) const {
+  const Index n = l_.rows();
+  PARMA_REQUIRE(static_cast<Index>(b.size()) == n, "solve: rhs size mismatch");
+  std::vector<Real> y(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    Real sum = b[static_cast<std::size_t>(i)];
+    for (Index j = 0; j < i; ++j) sum -= l_(i, j) * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = sum / l_(i, i);
+  }
+  for (Index i = n - 1; i >= 0; --i) {
+    Real sum = y[static_cast<std::size_t>(i)];
+    for (Index j = i + 1; j < n; ++j) sum -= l_(j, i) * y[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = sum / l_(i, i);
+  }
+  return y;
+}
+
+std::vector<Real> solve_dense(const DenseMatrix& a, const std::vector<Real>& b) {
+  return LuFactorization(a).solve(b);
+}
+
+DenseMatrix invert(const DenseMatrix& a) {
+  return LuFactorization(a).solve(DenseMatrix::identity(a.rows()));
+}
+
+}  // namespace parma::linalg

@@ -1,0 +1,62 @@
+// Dense direct solvers: LU with partial pivoting and Cholesky (LL^T).
+//
+// The per-pair nodal systems of the joint-constraint formulation are dense,
+// symmetric positive-definite matrices of size 2(n-1); Cholesky is the
+// workhorse. LU covers the general (Jacobian) case.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace parma::linalg {
+
+/// LU factorization with partial pivoting (PA = LU), stored packed.
+class LuFactorization {
+ public:
+  /// Factorizes a square matrix. Throws NumericalError if singular to
+  /// machine precision.
+  explicit LuFactorization(DenseMatrix a);
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<Real> solve(const std::vector<Real>& b) const;
+
+  /// Solves A X = B column-by-column.
+  [[nodiscard]] DenseMatrix solve(const DenseMatrix& b) const;
+
+  /// det(A) from the diagonal of U and the permutation sign.
+  [[nodiscard]] Real determinant() const;
+
+  [[nodiscard]] Index size() const { return lu_.rows(); }
+
+ private:
+  DenseMatrix lu_;
+  std::vector<Index> perm_;
+  int perm_sign_ = 1;
+};
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+class CholeskyFactorization {
+ public:
+  /// Factorizes; throws NumericalError if not positive definite.
+  explicit CholeskyFactorization(const DenseMatrix& a);
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<Real> solve(const std::vector<Real>& b) const;
+
+  [[nodiscard]] Index size() const { return l_.rows(); }
+
+  /// Lower-triangular factor (upper part is zero).
+  [[nodiscard]] const DenseMatrix& lower() const { return l_; }
+
+ private:
+  DenseMatrix l_;
+};
+
+/// One-shot convenience: solve A x = b via LU.
+std::vector<Real> solve_dense(const DenseMatrix& a, const std::vector<Real>& b);
+
+/// Matrix inverse via LU (test/diagnostic use; prefer solve()).
+DenseMatrix invert(const DenseMatrix& a);
+
+}  // namespace parma::linalg

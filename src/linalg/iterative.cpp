@@ -1,0 +1,117 @@
+#include "linalg/iterative.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace parma::linalg {
+
+IterativeResult conjugate_gradient(const CsrMatrix& a, const std::vector<Real>& b,
+                                   const IterativeOptions& options,
+                                   std::vector<Real> x0) {
+  PARMA_REQUIRE(a.rows() == a.cols(), "CG needs a square matrix");
+  PARMA_REQUIRE(static_cast<Index>(b.size()) == a.rows(), "CG rhs size mismatch");
+  const std::size_t n = b.size();
+
+  IterativeResult result;
+  result.x = x0.empty() ? std::vector<Real>(n, 0.0) : std::move(x0);
+  PARMA_REQUIRE(result.x.size() == n, "CG x0 size mismatch");
+
+  const Real norm_b = norm2(b);
+  if (norm_b == 0.0) {
+    result.x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  // Jacobi preconditioner M = diag(A); fall back to identity on zero diagonal
+  // (e.g. a grounded Laplacian row removed elsewhere).
+  std::vector<Real> inv_diag = a.diagonal();
+  for (Real& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+
+  std::vector<Real> r = subtract(b, a.multiply(result.x));
+  std::vector<Real> z(n);
+  for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+  std::vector<Real> p = z;
+  Real rz = dot(r, z);
+
+  for (Index it = 0; it < options.max_iterations; ++it) {
+    result.relative_residual = norm2(r) / norm_b;
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      result.iterations = it;
+      return result;
+    }
+    const std::vector<Real> ap = a.multiply(p);
+    const Real pap = dot(p, ap);
+    if (pap <= 0.0) {
+      // Indefinite or numerically null direction: stop with current iterate.
+      result.iterations = it;
+      return result;
+    }
+    const Real alpha = rz / pap;
+    axpy(alpha, p, result.x);
+    axpy(-alpha, ap, r);
+    for (std::size_t i = 0; i < n; ++i) z[i] = inv_diag[i] * r[i];
+    const Real rz_new = dot(r, z);
+    const Real beta = rz_new / rz;
+    rz = rz_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+  result.iterations = options.max_iterations;
+  result.relative_residual = norm2(r) / norm_b;
+  result.converged = result.relative_residual <= options.tolerance;
+  return result;
+}
+
+IterativeResult gauss_seidel(const CsrMatrix& a, const std::vector<Real>& b,
+                             const IterativeOptions& options, std::vector<Real> x0) {
+  PARMA_REQUIRE(a.rows() == a.cols(), "Gauss-Seidel needs a square matrix");
+  PARMA_REQUIRE(static_cast<Index>(b.size()) == a.rows(), "rhs size mismatch");
+  const std::size_t n = b.size();
+
+  IterativeResult result;
+  result.x = x0.empty() ? std::vector<Real>(n, 0.0) : std::move(x0);
+  PARMA_REQUIRE(result.x.size() == n, "x0 size mismatch");
+
+  const Real norm_b = norm2(b);
+  if (norm_b == 0.0) {
+    result.x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  const auto& values = a.values();
+
+  for (Index it = 0; it < options.max_iterations; ++it) {
+    for (std::size_t r = 0; r < n; ++r) {
+      Real diag = 0.0;
+      Real sum = b[r];
+      for (Index k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+        const auto c = static_cast<std::size_t>(col_idx[static_cast<std::size_t>(k)]);
+        const Real v = values[static_cast<std::size_t>(k)];
+        if (c == r) {
+          diag = v;
+        } else {
+          sum -= v * result.x[c];
+        }
+      }
+      if (diag == 0.0) throw NumericalError("Gauss-Seidel: zero diagonal entry");
+      result.x[r] = sum / diag;
+    }
+    const std::vector<Real> residual = subtract(b, a.multiply(result.x));
+    result.relative_residual = norm2(residual) / norm_b;
+    if (result.relative_residual <= options.tolerance) {
+      result.converged = true;
+      result.iterations = it + 1;
+      return result;
+    }
+  }
+  result.iterations = options.max_iterations;
+  return result;
+}
+
+}  // namespace parma::linalg

@@ -1,0 +1,34 @@
+// Iterative solvers for sparse symmetric systems: Jacobi-preconditioned
+// conjugate gradient and Gauss-Seidel sweeps.
+#pragma once
+
+#include <vector>
+
+#include "linalg/sparse_matrix.hpp"
+
+namespace parma::linalg {
+
+struct IterativeOptions {
+  Index max_iterations = 10000;
+  Real tolerance = 1e-10;  ///< relative residual ||r|| / ||b||
+};
+
+struct IterativeResult {
+  std::vector<Real> x;
+  Index iterations = 0;
+  Real relative_residual = 0.0;
+  bool converged = false;
+};
+
+/// Conjugate gradient for symmetric positive-(semi)definite A, with Jacobi
+/// (diagonal) preconditioning. `x0` seeds the iteration (zeros if empty).
+IterativeResult conjugate_gradient(const CsrMatrix& a, const std::vector<Real>& b,
+                                   const IterativeOptions& options = {},
+                                   std::vector<Real> x0 = {});
+
+/// Gauss-Seidel relaxation; converges for diagonally-dominant / SPD systems.
+IterativeResult gauss_seidel(const CsrMatrix& a, const std::vector<Real>& b,
+                             const IterativeOptions& options = {},
+                             std::vector<Real> x0 = {});
+
+}  // namespace parma::linalg

@@ -1,0 +1,98 @@
+#include "linalg/laplacian.hpp"
+
+#include "common/require.hpp"
+#include "linalg/dense_solve.hpp"
+
+namespace parma::linalg {
+namespace {
+
+void check_edges(Index num_nodes, const std::vector<WeightedEdge>& edges) {
+  PARMA_REQUIRE(num_nodes > 0, "graph needs at least one node");
+  for (const auto& e : edges) {
+    PARMA_REQUIRE(e.u >= 0 && e.u < num_nodes && e.v >= 0 && e.v < num_nodes,
+                  "edge endpoint out of range");
+    PARMA_REQUIRE(e.u != e.v, "self-loops carry no current");
+    PARMA_REQUIRE(e.conductance > 0.0, "conductance must be positive");
+  }
+}
+
+}  // namespace
+
+DenseMatrix build_dense_laplacian(Index num_nodes, const std::vector<WeightedEdge>& edges) {
+  check_edges(num_nodes, edges);
+  DenseMatrix l(num_nodes, num_nodes);
+  for (const auto& e : edges) {
+    l(e.u, e.u) += e.conductance;
+    l(e.v, e.v) += e.conductance;
+    l(e.u, e.v) -= e.conductance;
+    l(e.v, e.u) -= e.conductance;
+  }
+  return l;
+}
+
+CsrMatrix build_sparse_laplacian(Index num_nodes, const std::vector<WeightedEdge>& edges) {
+  check_edges(num_nodes, edges);
+  CooBuilder builder(num_nodes, num_nodes);
+  for (const auto& e : edges) {
+    builder.add(e.u, e.u, e.conductance);
+    builder.add(e.v, e.v, e.conductance);
+    builder.add(e.u, e.v, -e.conductance);
+    builder.add(e.v, e.u, -e.conductance);
+  }
+  return builder.build();
+}
+
+EffectiveResistance::EffectiveResistance(Index num_nodes,
+                                         const std::vector<WeightedEdge>& edges)
+    : num_nodes_(num_nodes) {
+  check_edges(num_nodes, edges);
+  PARMA_REQUIRE(num_nodes >= 2, "effective resistance needs >= 2 nodes");
+  const DenseMatrix l = build_dense_laplacian(num_nodes, edges);
+  // Ground node 0: drop its row and column. The reduced Laplacian is SPD iff
+  // the graph is connected, which Cholesky detects for us.
+  const Index m = num_nodes - 1;
+  DenseMatrix reduced(m, m);
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < m; ++j) reduced(i, j) = l(i + 1, j + 1);
+  }
+  try {
+    const CholeskyFactorization chol(reduced);
+    // Invert by solving against unit vectors; m is O(2n) for MEA work.
+    reduced_inverse_ = DenseMatrix(m, m);
+    std::vector<Real> e(static_cast<std::size_t>(m), 0.0);
+    for (Index j = 0; j < m; ++j) {
+      e[static_cast<std::size_t>(j)] = 1.0;
+      const std::vector<Real> col = chol.solve(e);
+      e[static_cast<std::size_t>(j)] = 0.0;
+      for (Index i = 0; i < m; ++i) reduced_inverse_(i, j) = col[static_cast<std::size_t>(i)];
+    }
+  } catch (const NumericalError&) {
+    throw NumericalError(
+        "effective resistance: graph is disconnected (reduced Laplacian not SPD)");
+  }
+}
+
+Real EffectiveResistance::m_entry(Index a, Index b) const {
+  // Ground node 0 has zero pseudo-potential by construction.
+  if (a == 0 || b == 0) return 0.0;
+  return reduced_inverse_(a - 1, b - 1);
+}
+
+Real EffectiveResistance::between(Index s, Index t) const {
+  PARMA_REQUIRE(s >= 0 && s < num_nodes_ && t >= 0 && t < num_nodes_,
+                "node index out of range");
+  PARMA_REQUIRE(s != t, "effective resistance needs distinct nodes");
+  return m_entry(s, s) + m_entry(t, t) - 2.0 * m_entry(s, t);
+}
+
+std::vector<Real> EffectiveResistance::potentials(Index s, Index t) const {
+  PARMA_REQUIRE(s >= 0 && s < num_nodes_ && t >= 0 && t < num_nodes_,
+                "node index out of range");
+  std::vector<Real> phi(static_cast<std::size_t>(num_nodes_), 0.0);
+  for (Index v = 0; v < num_nodes_; ++v) {
+    phi[static_cast<std::size_t>(v)] = m_entry(v, s) - m_entry(v, t);
+  }
+  return phi;
+}
+
+}  // namespace parma::linalg

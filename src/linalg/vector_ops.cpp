@@ -1,0 +1,53 @@
+#include "linalg/vector_ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace parma::linalg {
+
+Real dot(const std::vector<Real>& a, const std::vector<Real>& b) {
+  PARMA_REQUIRE(a.size() == b.size(), "dot: size mismatch");
+  Real sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Real norm2(const std::vector<Real>& a) { return std::sqrt(dot(a, a)); }
+
+Real norm_inf(const std::vector<Real>& a) {
+  Real m = 0.0;
+  for (Real v : a) m = std::max(m, std::abs(v));
+  return m;
+}
+
+void axpy(Real alpha, const std::vector<Real>& x, std::vector<Real>& y) {
+  PARMA_REQUIRE(x.size() == y.size(), "axpy: size mismatch");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(Real alpha, std::vector<Real>& x) {
+  for (Real& v : x) v *= alpha;
+}
+
+std::vector<Real> subtract(const std::vector<Real>& a, const std::vector<Real>& b) {
+  PARMA_REQUIRE(a.size() == b.size(), "subtract: size mismatch");
+  std::vector<Real> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+std::vector<Real> add(const std::vector<Real>& a, const std::vector<Real>& b) {
+  PARMA_REQUIRE(a.size() == b.size(), "add: size mismatch");
+  std::vector<Real> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Real relative_error(const std::vector<Real>& a, const std::vector<Real>& b) {
+  const Real denom = std::max(norm2(b), Real{1e-300});
+  return norm2(subtract(a, b)) / denom;
+}
+
+}  // namespace parma::linalg

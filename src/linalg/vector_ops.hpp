@@ -1,0 +1,38 @@
+// Free-function BLAS-1 style operations on std::vector<Real>.
+//
+// Vectors are plain std::vector<Real> throughout the library (Core Guidelines
+// P.11: prefer the standard containers); these helpers supply the handful of
+// kernels the solvers need without dragging in an external BLAS.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma::linalg {
+
+/// Dot product. Requires equal sizes.
+Real dot(const std::vector<Real>& a, const std::vector<Real>& b);
+
+/// Euclidean norm.
+Real norm2(const std::vector<Real>& a);
+
+/// Max-norm.
+Real norm_inf(const std::vector<Real>& a);
+
+/// y += alpha * x. Requires equal sizes.
+void axpy(Real alpha, const std::vector<Real>& x, std::vector<Real>& y);
+
+/// x *= alpha.
+void scale(Real alpha, std::vector<Real>& x);
+
+/// out = a - b. Requires equal sizes.
+std::vector<Real> subtract(const std::vector<Real>& a, const std::vector<Real>& b);
+
+/// out = a + b. Requires equal sizes.
+std::vector<Real> add(const std::vector<Real>& a, const std::vector<Real>& b);
+
+/// Relative L2 error ||a - b|| / max(||b||, eps).
+Real relative_error(const std::vector<Real>& a, const std::vector<Real>& b);
+
+}  // namespace parma::linalg

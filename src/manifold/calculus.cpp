@@ -1,0 +1,103 @@
+#include "manifold/calculus.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parma::manifold {
+namespace {
+
+void check_rectangle(const EdgeField& f, const Rectangle& r) {
+  PARMA_REQUIRE(r.top >= 0 && r.left >= 0, "rectangle out of range");
+  PARMA_REQUIRE(r.bottom < f.rows() && r.right < f.cols(), "rectangle out of range");
+  PARMA_REQUIRE(r.top < r.bottom && r.left < r.right, "rectangle must be non-degenerate");
+}
+
+}  // namespace
+
+EdgeField gradient(const ScalarField& u) {
+  EdgeField g(u.rows(), u.cols());
+  for (Index i = 0; i < u.rows(); ++i) {
+    for (Index j = 0; j + 1 < u.cols(); ++j) g.horizontal(i, j) = u.at(i, j + 1) - u.at(i, j);
+  }
+  for (Index i = 0; i + 1 < u.rows(); ++i) {
+    for (Index j = 0; j < u.cols(); ++j) g.vertical(i, j) = u.at(i + 1, j) - u.at(i, j);
+  }
+  return g;
+}
+
+Real circulation(const EdgeField& f, const Rectangle& r) {
+  check_rectangle(f, r);
+  Real total = 0.0;
+  // Counter-clockwise: right along the top row, down the right column,
+  // left along the bottom row, up the left column.
+  for (Index j = r.left; j < r.right; ++j) total += f.horizontal(r.top, j);
+  for (Index i = r.top; i < r.bottom; ++i) total += f.vertical(i, r.right);
+  for (Index j = r.left; j < r.right; ++j) total -= f.horizontal(r.bottom, j);
+  for (Index i = r.top; i < r.bottom; ++i) total -= f.vertical(i, r.left);
+  return total;
+}
+
+Real plaquette_curl(const EdgeField& f, Index i, Index j) {
+  return circulation(f, {i, j, i + 1, j + 1});
+}
+
+Real interior_curl_sum(const EdgeField& f, const Rectangle& r) {
+  check_rectangle(f, r);
+  Real total = 0.0;
+  for (Index i = r.top; i < r.bottom; ++i) {
+    for (Index j = r.left; j < r.right; ++j) total += plaquette_curl(f, i, j);
+  }
+  return total;
+}
+
+Real divergence(const EdgeField& f, Index i, Index j) {
+  PARMA_REQUIRE(i >= 0 && i < f.rows() && j >= 0 && j < f.cols(), "node out of range");
+  Real net = 0.0;
+  if (j + 1 < f.cols()) net += f.horizontal(i, j);      // outgoing east
+  if (j > 0) net -= f.horizontal(i, j - 1);             // incoming west
+  if (i + 1 < f.rows()) net += f.vertical(i, j);        // outgoing south
+  if (i > 0) net -= f.vertical(i - 1, j);               // incoming north
+  return net;
+}
+
+MixedPartials mixed_partials(const ScalarField& u, Index i, Index j) {
+  PARMA_REQUIRE(i >= 0 && i + 1 < u.rows() && j >= 0 && j + 1 < u.cols(),
+                "cell out of range");
+  MixedPartials mp;
+  // d/dx then d/dy of the forward differences on the cell.
+  const Real du_dx_top = u.at(i, j + 1) - u.at(i, j);
+  const Real du_dx_bottom = u.at(i + 1, j + 1) - u.at(i + 1, j);
+  mp.dydx = du_dx_bottom - du_dx_top;
+  const Real du_dy_left = u.at(i + 1, j) - u.at(i, j);
+  const Real du_dy_right = u.at(i + 1, j + 1) - u.at(i, j + 1);
+  mp.dxdy = du_dy_right - du_dy_left;
+  return mp;
+}
+
+Real max_gradient_curl(const ScalarField& u) {
+  const EdgeField g = gradient(u);
+  Real worst = 0.0;
+  for (Index i = 0; i + 1 < u.rows(); ++i) {
+    for (Index j = 0; j + 1 < u.cols(); ++j) {
+      worst = std::max(worst, std::abs(plaquette_curl(g, i, j)));
+    }
+  }
+  return worst;
+}
+
+Real max_stokes_residual(const EdgeField& f) {
+  Real worst = 0.0;
+  for (Index top = 0; top + 1 < f.rows(); ++top) {
+    for (Index bottom = top + 1; bottom < f.rows(); ++bottom) {
+      for (Index left = 0; left + 1 < f.cols(); ++left) {
+        for (Index right = left + 1; right < f.cols(); ++right) {
+          const Rectangle r{top, left, bottom, right};
+          worst = std::max(worst, std::abs(circulation(f, r) - interior_curl_sum(f, r)));
+        }
+      }
+    }
+  }
+  return worst;
+}
+
+}  // namespace parma::manifold

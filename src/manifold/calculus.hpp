@@ -1,0 +1,70 @@
+// Discrete vector calculus on grid fields (paper Section IV-B).
+//
+// The paper's manifold argument: if the voltage field is smooth (continuous
+// change, the usual microelectronic assumption), its calculus can be done
+// with purely *local* data -- gradients along edges, curls on plaquettes --
+// and Stokes' theorem ties boundary circulation to interior curl, which is
+// what licenses parallelizing the parametrization per local patch. These
+// operators make that executable:
+//
+//   gradient(U)        node scalar field -> edge field (exact 1-form dU)
+//   circulation(F, R)  line integral of an edge field around rectangle R
+//   plaquette_curl     the 1x1-cell circulation (discrete exterior
+//                      derivative dF on 2-cells)
+//   divergence         net edge flux at a node (the KCL operator!)
+//
+// Exact discrete identities (tested, not approximations):
+//   * circulation(gradient(U), any rectangle) == 0          (d.d = 0)
+//   * circulation(F, R) == sum of plaquette curls inside R  (Stokes/Green)
+//   * mixed second differences commute                      (d2U/dxdy = d2U/dydx)
+#pragma once
+
+#include "manifold/grid_field.hpp"
+
+namespace parma::manifold {
+
+/// Exact discrete gradient: edge value = difference of endpoint samples.
+EdgeField gradient(const ScalarField& u);
+
+/// Axis-aligned rectangle of grid cells: rows [top, bottom], cols
+/// [left, right], inclusive of boundary nodes; requires top < bottom and
+/// left < right.
+struct Rectangle {
+  Index top = 0;
+  Index left = 0;
+  Index bottom = 1;
+  Index right = 1;
+};
+
+/// Counter-clockwise line integral of the edge field around the rectangle's
+/// boundary.
+Real circulation(const EdgeField& f, const Rectangle& r);
+
+/// Circulation around the unit cell with top-left corner (i, j).
+Real plaquette_curl(const EdgeField& f, Index i, Index j);
+
+/// Sum of plaquette curls strictly inside the rectangle.
+Real interior_curl_sum(const EdgeField& f, const Rectangle& r);
+
+/// Net outflow of the edge field at node (i, j) (boundary edges that do not
+/// exist contribute zero) -- the discrete divergence, aka the KCL residual
+/// when `f` carries branch currents.
+Real divergence(const EdgeField& f, Index i, Index j);
+
+/// Mixed second difference d2U/dxdy evaluated on cell (i, j) in the two
+/// orders; the pair is returned so tests can assert equality.
+struct MixedPartials {
+  Real dxdy = 0.0;
+  Real dydx = 0.0;
+};
+MixedPartials mixed_partials(const ScalarField& u, Index i, Index j);
+
+/// Max |circulation(gradient(u), cell)| over all cells: a residual that is
+/// zero (to rounding) for every scalar field -- the discrete d.d = 0.
+Real max_gradient_curl(const ScalarField& u);
+
+/// Max |circulation - interior curl sum| over all rectangles of a grid:
+/// the discrete Stokes/Green identity residual (zero to rounding).
+Real max_stokes_residual(const EdgeField& f);
+
+}  // namespace parma::manifold

@@ -1,0 +1,82 @@
+#include "manifold/frames.hpp"
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "linalg/dense_solve.hpp"
+
+namespace parma::manifold {
+
+CurvilinearGrid::CurvilinearGrid(Index rows, Index cols,
+                                 const std::function<Point(Real, Real)>& mapping)
+    : rows_(rows), cols_(cols) {
+  PARMA_REQUIRE(rows >= 2 && cols >= 2, "grid needs at least 2x2 nodes");
+  points_.reserve(static_cast<std::size_t>(rows * cols));
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      points_.push_back(mapping(static_cast<Real>(i), static_cast<Real>(j)));
+    }
+  }
+}
+
+CurvilinearGrid CurvilinearGrid::regular(Index rows, Index cols, Real pitch) {
+  PARMA_REQUIRE(pitch > 0.0, "pitch must be positive");
+  return CurvilinearGrid(rows, cols, [pitch](Real u, Real v) {
+    return Point{v * pitch, u * pitch};
+  });
+}
+
+Point CurvilinearGrid::position(Index i, Index j) const {
+  PARMA_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_, "node out of range");
+  return points_[static_cast<std::size_t>(i * cols_ + j)];
+}
+
+linalg::DenseMatrix CurvilinearGrid::jacobian(Index i, Index j) const {
+  PARMA_REQUIRE(i >= 0 && i + 1 < rows_ && j >= 0 && j + 1 < cols_, "cell out of range");
+  const Point p = position(i, j);
+  const Point du = position(i + 1, j);
+  const Point dv = position(i, j + 1);
+  linalg::DenseMatrix jac(2, 2);
+  jac(0, 0) = du.x - p.x;  // dx/du
+  jac(0, 1) = dv.x - p.x;  // dx/dv
+  jac(1, 0) = du.y - p.y;  // dy/du
+  jac(1, 1) = dv.y - p.y;  // dy/dv
+  return jac;
+}
+
+linalg::DenseMatrix CurvilinearGrid::metric(Index i, Index j) const {
+  const linalg::DenseMatrix jac = jacobian(i, j);
+  return jac.transpose().multiply(jac);
+}
+
+Real CurvilinearGrid::area_element(Index i, Index j) const {
+  const linalg::DenseMatrix jac = jacobian(i, j);
+  return std::abs(jac(0, 0) * jac(1, 1) - jac(0, 1) * jac(1, 0));
+}
+
+bool CurvilinearGrid::is_orthogonal(Index i, Index j, Real tol) const {
+  return std::abs(metric(i, j)(0, 1)) <= tol;
+}
+
+std::vector<Real> CurvilinearGrid::physical_gradient(const ScalarField& field, Index i,
+                                                     Index j) const {
+  PARMA_REQUIRE(field.rows() == rows_ && field.cols() == cols_, "field/grid shape mismatch");
+  PARMA_REQUIRE(i >= 0 && i + 1 < rows_ && j >= 0 && j + 1 < cols_, "cell out of range");
+  // Logical-coordinate gradient by forward differences on the cell corner.
+  const std::vector<Real> grad_uv{field.at(i + 1, j) - field.at(i, j),
+                                  field.at(i, j + 1) - field.at(i, j)};
+  // Chain rule: grad_uv = J^T grad_xy.
+  return linalg::solve_dense(jacobian(i, j).transpose(), grad_uv);
+}
+
+Real CurvilinearGrid::integrate(const std::function<Real(Index, Index)>& cell_value) const {
+  Real total = 0.0;
+  for (Index i = 0; i + 1 < rows_; ++i) {
+    for (Index j = 0; j + 1 < cols_; ++j) {
+      total += cell_value(i, j) * area_element(i, j);
+    }
+  }
+  return total;
+}
+
+}  // namespace parma::manifold

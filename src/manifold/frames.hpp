@@ -1,0 +1,74 @@
+// Local frames and Jacobians for non-uniform MEAs (paper Section IV-B).
+//
+// "With the introduction of frames, we can adopt the Jacobian matrix to
+// convert any arbitrary MEA into a locally orthogonal frame for parallel
+// computation on the directions of partial derivatives."
+//
+// A CurvilinearGrid carries the physical (x, y) position of every logical
+// node (u, v). Per cell it exposes the Jacobian J = d(x,y)/d(u,v), the
+// metric tensor g = J^T J, and the pullback of logical-coordinate gradients
+// to physical ones -- so a device manufactured on a warped substrate can be
+// parametrized with the same logical-grid algorithms, patch by patch and in
+// parallel, exactly as the paper argues.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "manifold/grid_field.hpp"
+
+namespace parma::manifold {
+
+struct Point {
+  Real x = 0.0;
+  Real y = 0.0;
+};
+
+class CurvilinearGrid {
+ public:
+  /// Physical embedding from an explicit mapping (u, v) -> (x, y), sampled
+  /// at the logical nodes of an m x n grid.
+  CurvilinearGrid(Index rows, Index cols,
+                  const std::function<Point(Real, Real)>& mapping);
+
+  /// The identity embedding (the paper's equidistant orthogonal device).
+  static CurvilinearGrid regular(Index rows, Index cols, Real pitch = 1.0);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] Point position(Index i, Index j) const;
+
+  /// Forward-difference Jacobian of the embedding on cell (i, j):
+  /// [[dx/du, dx/dv], [dy/du, dy/dv]] with u down rows, v across columns.
+  [[nodiscard]] linalg::DenseMatrix jacobian(Index i, Index j) const;
+
+  /// Metric tensor g = J^T J on the cell.
+  [[nodiscard]] linalg::DenseMatrix metric(Index i, Index j) const;
+
+  /// |det J|: physical area of the logical unit cell.
+  [[nodiscard]] Real area_element(Index i, Index j) const;
+
+  /// true if the frame at (i, j) is orthogonal to within `tol`
+  /// (off-diagonal of the metric ~ 0).
+  [[nodiscard]] bool is_orthogonal(Index i, Index j, Real tol = 1e-9) const;
+
+  /// Physical-space gradient of a node field on cell (i, j): solves
+  /// J^T grad_xy = grad_uv (the chain rule), so downstream physics can be
+  /// written against the orthogonal physical frame regardless of how the
+  /// device was laid out.
+  [[nodiscard]] std::vector<Real> physical_gradient(const ScalarField& field,
+                                                    Index i, Index j) const;
+
+  /// Integral of a cell-sampled function over the physical surface:
+  /// sum f(cell) * |det J|(cell) -- the area form the paper's Stokes
+  /// argument integrates against.
+  [[nodiscard]] Real integrate(const std::function<Real(Index, Index)>& cell_value) const;
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<Point> points_;
+};
+
+}  // namespace parma::manifold

@@ -1,0 +1,59 @@
+#include "manifold/grid_field.hpp"
+
+namespace parma::manifold {
+
+ScalarField::ScalarField(Index rows, Index cols, Real initial)
+    : rows_(rows), cols_(cols), values_(static_cast<std::size_t>(rows * cols), initial) {
+  PARMA_REQUIRE(rows >= 2 && cols >= 2, "field needs at least a 2x2 grid");
+}
+
+ScalarField ScalarField::sample(Index rows, Index cols,
+                                const std::function<Real(Real, Real)>& f) {
+  ScalarField field(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      field.at(i, j) = f(static_cast<Real>(i), static_cast<Real>(j));
+    }
+  }
+  return field;
+}
+
+Real& ScalarField::at(Index i, Index j) {
+  PARMA_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_, "field index out of range");
+  return values_[static_cast<std::size_t>(i * cols_ + j)];
+}
+
+Real ScalarField::at(Index i, Index j) const {
+  PARMA_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_, "field index out of range");
+  return values_[static_cast<std::size_t>(i * cols_ + j)];
+}
+
+EdgeField::EdgeField(Index rows, Index cols)
+    : rows_(rows),
+      cols_(cols),
+      horizontal_(static_cast<std::size_t>(rows * (cols - 1)), 0.0),
+      vertical_(static_cast<std::size_t>((rows - 1) * cols), 0.0) {
+  PARMA_REQUIRE(rows >= 2 && cols >= 2, "edge field needs at least a 2x2 grid");
+}
+
+Real& EdgeField::horizontal(Index i, Index j) {
+  PARMA_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_ - 1, "horizontal edge out of range");
+  return horizontal_[static_cast<std::size_t>(i * (cols_ - 1) + j)];
+}
+
+Real EdgeField::horizontal(Index i, Index j) const {
+  PARMA_REQUIRE(i >= 0 && i < rows_ && j >= 0 && j < cols_ - 1, "horizontal edge out of range");
+  return horizontal_[static_cast<std::size_t>(i * (cols_ - 1) + j)];
+}
+
+Real& EdgeField::vertical(Index i, Index j) {
+  PARMA_REQUIRE(i >= 0 && i < rows_ - 1 && j >= 0 && j < cols_, "vertical edge out of range");
+  return vertical_[static_cast<std::size_t>(i * cols_ + j)];
+}
+
+Real EdgeField::vertical(Index i, Index j) const {
+  PARMA_REQUIRE(i >= 0 && i < rows_ - 1 && j >= 0 && j < cols_, "vertical edge out of range");
+  return vertical_[static_cast<std::size_t>(i * cols_ + j)];
+}
+
+}  // namespace parma::manifold

@@ -1,0 +1,65 @@
+// Discrete fields on the MEA grid (paper Section IV-B).
+//
+// The manifold view treats the device as a sampled 2-D surface: voltages are
+// a scalar field on grid nodes, and currents/gradients live on grid edges
+// (a discrete 1-form). ScalarField stores node samples; EdgeField stores one
+// value per horizontal edge (between (i, j) and (i, j+1)) and one per
+// vertical edge (between (i, j) and (i+1, j)) -- the natural discretization
+// for circulation and Stokes'-theorem identities.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+
+namespace parma::manifold {
+
+/// Node-sampled scalar field on an m x n grid.
+class ScalarField {
+ public:
+  ScalarField(Index rows, Index cols, Real initial = 0.0);
+
+  /// Samples f(i, j) at every node.
+  static ScalarField sample(Index rows, Index cols,
+                            const std::function<Real(Real, Real)>& f);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+
+  Real& at(Index i, Index j);
+  [[nodiscard]] Real at(Index i, Index j) const;
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<Real> values_;
+};
+
+/// Edge-valued field (discrete 1-form): h(i, j) lives on the edge from
+/// (i, j) to (i, j+1); v(i, j) on the edge from (i, j) to (i+1, j).
+class EdgeField {
+ public:
+  EdgeField(Index rows, Index cols);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+
+  Real& horizontal(Index i, Index j);
+  [[nodiscard]] Real horizontal(Index i, Index j) const;
+
+  Real& vertical(Index i, Index j);
+  [[nodiscard]] Real vertical(Index i, Index j) const;
+
+  [[nodiscard]] Index num_horizontal_edges() const { return rows_ * (cols_ - 1); }
+  [[nodiscard]] Index num_vertical_edges() const { return (rows_ - 1) * cols_; }
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<Real> horizontal_;  // rows x (cols-1)
+  std::vector<Real> vertical_;    // (rows-1) x cols
+};
+
+}  // namespace parma::manifold

@@ -1,0 +1,64 @@
+#include "mea/anomaly.hpp"
+
+#include <string>
+
+#include "common/require.hpp"
+
+namespace parma::mea {
+
+Real DetectionReport::precision() const {
+  const Index denom = true_positives + false_positives;
+  return denom == 0 ? 0.0 : static_cast<Real>(true_positives) / static_cast<Real>(denom);
+}
+
+Real DetectionReport::recall() const {
+  const Index denom = true_positives + false_negatives;
+  return denom == 0 ? 0.0 : static_cast<Real>(true_positives) / static_cast<Real>(denom);
+}
+
+Real DetectionReport::f1() const {
+  const Real p = precision();
+  const Real r = recall();
+  return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+DetectionReport detect_anomalies(const circuit::ResistanceGrid& recovered, Real threshold,
+                                 const std::vector<bool>& truth_mask) {
+  PARMA_REQUIRE(threshold > 0.0, "threshold must be positive");
+  DetectionReport report;
+  const auto& values = recovered.flat();
+  report.detected.reserve(values.size());
+  for (Real v : values) report.detected.push_back(v > threshold);
+
+  if (!truth_mask.empty()) {
+    PARMA_REQUIRE(truth_mask.size() == values.size(), "truth mask size mismatch");
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const bool detected = report.detected[i];
+      const bool truth = truth_mask[i];
+      if (detected && truth) ++report.true_positives;
+      else if (detected && !truth) ++report.false_positives;
+      else if (!detected && truth) ++report.false_negatives;
+      else ++report.true_negatives;
+    }
+  }
+  return report;
+}
+
+Real default_threshold() {
+  return 0.5 * (kWetLabMinResistanceKOhm + kWetLabMaxResistanceKOhm);
+}
+
+std::string render_mask(const std::vector<bool>& mask, Index rows, Index cols) {
+  PARMA_REQUIRE(mask.size() == static_cast<std::size_t>(rows * cols), "mask size mismatch");
+  std::string art;
+  art.reserve(static_cast<std::size_t>(rows * (cols + 1)));
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      art += mask[static_cast<std::size_t>(i * cols + j)] ? '#' : '.';
+    }
+    art += '\n';
+  }
+  return art;
+}
+
+}  // namespace parma::mea

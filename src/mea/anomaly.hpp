@@ -1,0 +1,37 @@
+// Anomaly detection and detection-quality scoring (paper Section II-C: once
+// the R values are recovered, "the anomaly can be simply detected").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+#include "common/types.hpp"
+
+namespace parma::mea {
+
+struct DetectionReport {
+  std::vector<bool> detected;  ///< per-cell mask, row-major
+  Index true_positives = 0;
+  Index false_positives = 0;
+  Index false_negatives = 0;
+  Index true_negatives = 0;
+
+  [[nodiscard]] Real precision() const;
+  [[nodiscard]] Real recall() const;
+  [[nodiscard]] Real f1() const;
+};
+
+/// Thresholds the recovered grid at `threshold` kOhm and, when `truth_mask`
+/// is non-empty, scores against it.
+DetectionReport detect_anomalies(const circuit::ResistanceGrid& recovered, Real threshold,
+                                 const std::vector<bool>& truth_mask = {});
+
+/// Midpoint threshold between the wet-lab healthy and anomalous bands.
+Real default_threshold();
+
+/// Renders a small grid's mask as ASCII art ('#' anomaly, '.' healthy) for
+/// examples and logs.
+std::string render_mask(const std::vector<bool>& mask, Index rows, Index cols);
+
+}  // namespace parma::mea

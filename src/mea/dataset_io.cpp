@@ -1,0 +1,141 @@
+#include "mea/dataset_io.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "common/string_util.hpp"
+
+namespace parma::mea {
+namespace {
+
+constexpr const char* kMagic = "# parma-mea v1";
+
+struct Header {
+  Index rows = 0;
+  Index cols = 0;
+  Real voltage = 0.0;
+  Real epoch_hours = 0.0;
+  std::string block;  // "Z" or "R"
+};
+
+void write_grid_file(const std::string& path, const Header& header,
+                     const std::vector<Real>& values) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+  out << kMagic << '\n';
+  out << "rows " << header.rows << '\n';
+  out << "cols " << header.cols << '\n';
+  out.precision(17);  // round-trip exact for IEEE doubles
+  out << "voltage " << header.voltage << '\n';
+  out << "epoch_hours " << header.epoch_hours << '\n';
+  out << header.block << '\n';
+  for (Index i = 0; i < header.rows; ++i) {
+    for (Index j = 0; j < header.cols; ++j) {
+      if (j) out << ' ';
+      out << values[static_cast<std::size_t>(i * header.cols + j)];
+    }
+    out << '\n';
+  }
+  if (!out) throw IoError("write to '" + path + "' failed");
+}
+
+std::pair<Header, std::vector<Real>> read_grid_file(const std::string& path,
+                                                    const std::string& expected_block) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
+  std::string line;
+  auto next_line = [&](const char* what) {
+    if (!std::getline(in, line)) throw IoError(std::string("unexpected end of file: ") + what + " (" + path + ")");
+    return std::string_view(line);
+  };
+
+  if (std::string(trim(next_line("magic"))) != kMagic) {
+    throw IoError("bad magic line in '" + path + "'");
+  }
+  Header header;
+  auto read_field = [&](const char* key) -> std::string {
+    const std::vector<std::string> parts = split_ws(next_line(key));
+    if (parts.size() != 2 || parts[0] != key) {
+      throw IoError(std::string("expected '") + key + " <value>' in '" + path + "'");
+    }
+    return parts[1];
+  };
+  header.rows = parse_index(read_field("rows"), path);
+  header.cols = parse_index(read_field("cols"), path);
+  header.voltage = parse_real(read_field("voltage"), path);
+  header.epoch_hours = parse_real(read_field("epoch_hours"), path);
+  header.block = std::string(trim(next_line("block name")));
+  if (header.block != expected_block) {
+    throw IoError("expected block '" + expected_block + "' but found '" + header.block +
+                  "' in '" + path + "'");
+  }
+  PARMA_REQUIRE(header.rows >= 1 && header.cols >= 1, "file declares empty grid");
+
+  std::vector<Real> values;
+  values.reserve(static_cast<std::size_t>(header.rows * header.cols));
+  for (Index i = 0; i < header.rows; ++i) {
+    const std::vector<std::string> cells = split_ws(next_line("grid row"));
+    if (static_cast<Index>(cells.size()) != header.cols) {
+      std::ostringstream os;
+      os << "grid row " << i << " has " << cells.size() << " cells, expected " << header.cols
+         << " ('" << path << "')";
+      throw IoError(os.str());
+    }
+    for (const auto& cell : cells) values.push_back(parse_real(cell, path));
+  }
+  return {header, std::move(values)};
+}
+
+}  // namespace
+
+void write_measurement(const std::string& path, const Measurement& measurement,
+                       Real epoch_hours) {
+  measurement.spec.validate();
+  Header header{measurement.spec.rows, measurement.spec.cols,
+                measurement.spec.drive_voltage, epoch_hours, "Z"};
+  std::vector<Real> values;
+  values.reserve(static_cast<std::size_t>(header.rows * header.cols));
+  for (Index i = 0; i < header.rows; ++i) {
+    for (Index j = 0; j < header.cols; ++j) values.push_back(measurement.z(i, j));
+  }
+  write_grid_file(path, header, values);
+}
+
+LoadedMeasurement read_measurement(const std::string& path) {
+  const auto [header, values] = read_grid_file(path, "Z");
+  LoadedMeasurement loaded;
+  loaded.epoch_hours = header.epoch_hours;
+  loaded.measurement.spec = DeviceSpec{header.rows, header.cols, header.voltage};
+  loaded.measurement.spec.validate();
+  loaded.measurement.z = linalg::DenseMatrix(header.rows, header.cols);
+  loaded.measurement.u = linalg::DenseMatrix(header.rows, header.cols);
+  for (Index i = 0; i < header.rows; ++i) {
+    for (Index j = 0; j < header.cols; ++j) {
+      loaded.measurement.z(i, j) = values[static_cast<std::size_t>(i * header.cols + j)];
+      loaded.measurement.u(i, j) = header.voltage;
+    }
+  }
+  return loaded;
+}
+
+void write_truth(const std::string& path, const DeviceSpec& spec,
+                 const circuit::ResistanceGrid& grid) {
+  spec.validate();
+  PARMA_REQUIRE(grid.rows() == spec.rows && grid.cols() == spec.cols,
+                "grid does not match device");
+  Header header{spec.rows, spec.cols, spec.drive_voltage, 0.0, "R"};
+  write_grid_file(path, header, grid.flat());
+}
+
+circuit::ResistanceGrid read_truth(const std::string& path) {
+  const auto [header, values] = read_grid_file(path, "R");
+  circuit::ResistanceGrid grid(header.rows, header.cols);
+  grid.flat() = values;
+  return grid;
+}
+
+}  // namespace parma::mea

@@ -1,0 +1,44 @@
+// Text-format persistence for measurement data.
+//
+// The paper's wet lab saved measurements as Excel files "converted into text
+// files before being fed to the Parma system prototype" (Section V-B). This
+// module defines that text format:
+//
+//   # parma-mea v1
+//   rows <m>
+//   cols <n>
+//   voltage <volts>
+//   epoch_hours <h>
+//   Z
+//   <m rows of n whitespace-separated kOhm values>
+//
+// plus reader/writer pairs and round-trip guarantees covered by tests.
+#pragma once
+
+#include <string>
+
+#include "mea/measurement.hpp"
+
+namespace parma::mea {
+
+/// Serializes a measurement (epoch_hours annotates time-series membership).
+void write_measurement(const std::string& path, const Measurement& measurement,
+                       Real epoch_hours = 0.0);
+
+struct LoadedMeasurement {
+  Measurement measurement;
+  Real epoch_hours = 0.0;
+};
+
+/// Parses a measurement file; throws parma::IoError with line context on any
+/// malformed input.
+LoadedMeasurement read_measurement(const std::string& path);
+
+/// Serializes a ground-truth resistance field (same grid block, header
+/// `R` instead of `Z`) for experiment provenance.
+void write_truth(const std::string& path, const DeviceSpec& spec,
+                 const circuit::ResistanceGrid& grid);
+
+circuit::ResistanceGrid read_truth(const std::string& path);
+
+}  // namespace parma::mea

@@ -1,0 +1,41 @@
+#include "mea/device.hpp"
+
+namespace parma::mea {
+
+DeviceSpec square_device(Index n, Real drive_voltage) {
+  DeviceSpec spec{n, n, drive_voltage};
+  spec.validate();
+  return spec;
+}
+
+namespace {
+
+Index pow_index(Index base, Index exp) {
+  Index out = 1;
+  for (Index i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+}  // namespace
+
+Index KdDeviceSpec::num_resistors() const { return pow_index(n, dims); }
+
+Index KdDeviceSpec::num_endpoint_pairs() const { return pow_index(n, dims); }
+
+Index KdDeviceSpec::num_equations() const {
+  return num_endpoint_pairs() * equations_per_pair();
+}
+
+Index KdDeviceSpec::num_unknowns() const {
+  return num_resistors() + num_endpoint_pairs() * voltages_per_pair();
+}
+
+Index KdDeviceSpec::intrinsic_parallelism() const { return pow_index(n - 1, dims); }
+
+KdDeviceSpec kd_device(Index n, Index dims) {
+  KdDeviceSpec spec{n, dims};
+  spec.validate();
+  return spec;
+}
+
+}  // namespace parma::mea

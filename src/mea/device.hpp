@@ -1,0 +1,74 @@
+// MEA device description (paper Section II-B).
+//
+// An m x n device has m horizontal wires, n vertical wires, 2*m*n joints and
+// m*n point resistors; the wet-lab reference device is 64 x 64 and data is
+// collected up to 100 x 100 endpoints.
+#pragma once
+
+#include "common/require.hpp"
+#include "common/types.hpp"
+
+namespace parma::mea {
+
+struct DeviceSpec {
+  Index rows = 0;           ///< number of horizontal wires (m)
+  Index cols = 0;           ///< number of vertical wires (n)
+  Real drive_voltage = kWetLabVoltage;  ///< volts applied across each probed pair
+
+  [[nodiscard]] Index num_joints() const { return 2 * rows * cols; }
+  [[nodiscard]] Index num_resistors() const { return rows * cols; }
+  [[nodiscard]] Index num_endpoint_pairs() const { return rows * cols; }
+  [[nodiscard]] bool is_square() const { return rows == cols; }
+
+  /// Unknowns of the joint-constraint system: (rows-1 + cols-1) internal wire
+  /// voltages per pair plus the resistors themselves (Section IV-A; for
+  /// square n x n devices this is (2n-1)*n^2).
+  [[nodiscard]] Index num_unknowns() const {
+    return num_endpoint_pairs() * (rows - 1 + cols - 1) + num_resistors();
+  }
+
+  /// Equations of the joint-constraint system: 2 + (rows-1) + (cols-1) per
+  /// pair (2n^3 for square devices).
+  [[nodiscard]] Index num_equations() const {
+    return num_endpoint_pairs() * (2 + (rows - 1) + (cols - 1));
+  }
+
+  void validate() const {
+    PARMA_REQUIRE(rows >= 2 && cols >= 2, "device needs at least 2 wires per axis");
+    PARMA_REQUIRE(drive_voltage > 0.0, "drive voltage must be positive");
+  }
+};
+
+/// Convenience for the common square device.
+DeviceSpec square_device(Index n, Real drive_voltage = kWetLabVoltage);
+
+/// k-dimensional MEA census (paper Section IV-B: "the complexity can be
+/// trivially generalized into O(n^{k+1}) for an arbitrary k-dimensional
+/// MEA", with (n-1)^k-fold intrinsic parallelism reducing the theoretical
+/// parametrization cost to O(n)).
+struct KdDeviceSpec {
+  Index n = 0;     ///< endpoints per axis
+  Index dims = 0;  ///< k
+
+  [[nodiscard]] Index num_resistors() const;       ///< n^k crossing resistors
+  [[nodiscard]] Index num_endpoint_pairs() const;  ///< n^k probed pairs
+  /// Joint equations per pair: 2 terminals + k*(n-1) intermediate joints.
+  [[nodiscard]] Index equations_per_pair() const { return 2 + dims * (n - 1); }
+  /// Total equations: n^k * (2 + k(n-1)) = Theta(n^{k+1}) for fixed k.
+  [[nodiscard]] Index num_equations() const;
+  /// Intermediate voltage unknowns per pair: k*(n-1).
+  [[nodiscard]] Index voltages_per_pair() const { return dims * (n - 1); }
+  [[nodiscard]] Index num_unknowns() const;
+  /// beta_1-derived parallelism: (n-1)^k independent loops per the paper.
+  [[nodiscard]] Index intrinsic_parallelism() const;
+
+  void validate() const {
+    PARMA_REQUIRE(n >= 2, "k-dim device needs n >= 2");
+    PARMA_REQUIRE(dims >= 1 && dims <= 8, "dims in [1, 8]");
+  }
+};
+
+/// The 2-D specialization must agree with DeviceSpec's census (tested).
+KdDeviceSpec kd_device(Index n, Index dims);
+
+}  // namespace parma::mea

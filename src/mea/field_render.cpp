@@ -1,0 +1,72 @@
+#include "mea/field_render.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "common/require.hpp"
+
+namespace parma::mea {
+namespace {
+
+std::pair<Real, Real> resolve_range(const circuit::ResistanceGrid& grid, Real lo, Real hi) {
+  if (lo < hi) return {lo, hi};
+  Real min_v = grid.flat().front();
+  Real max_v = min_v;
+  for (Real v : grid.flat()) {
+    min_v = std::min(min_v, v);
+    max_v = std::max(max_v, v);
+  }
+  if (max_v <= min_v) max_v = min_v + 1.0;  // constant field
+  return {min_v, max_v};
+}
+
+Real normalized(Real v, Real lo, Real hi) {
+  return std::clamp((v - lo) / (hi - lo), Real{0.0}, Real{1.0});
+}
+
+}  // namespace
+
+std::string render_heatmap(const circuit::ResistanceGrid& grid, Real lo, Real hi) {
+  static constexpr char kRamp[] = " .:-=+*#%@";
+  constexpr int kSteps = static_cast<int>(sizeof(kRamp)) - 2;  // last index
+  const auto [min_v, max_v] = resolve_range(grid, lo, hi);
+  std::string art;
+  art.reserve(static_cast<std::size_t>(grid.rows() * (grid.cols() + 1)));
+  for (Index i = 0; i < grid.rows(); ++i) {
+    for (Index j = 0; j < grid.cols(); ++j) {
+      const Real t = normalized(grid.at(i, j), min_v, max_v);
+      art += kRamp[static_cast<int>(t * kSteps + 0.5)];
+    }
+    art += '\n';
+  }
+  return art;
+}
+
+void write_pgm(const std::string& path, const circuit::ResistanceGrid& grid, Index scale,
+               Real lo, Real hi) {
+  PARMA_REQUIRE(scale >= 1 && scale <= 64, "scale in [1, 64]");
+  const auto [min_v, max_v] = resolve_range(grid, lo, hi);
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream out(p, std::ios::binary);
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
+
+  const Index width = grid.cols() * scale;
+  const Index height = grid.rows() * scale;
+  out << "P5\n" << width << ' ' << height << "\n255\n";
+  std::string row(static_cast<std::size_t>(width), '\0');
+  for (Index i = 0; i < grid.rows(); ++i) {
+    for (Index j = 0; j < grid.cols(); ++j) {
+      const Real t = normalized(grid.at(i, j), min_v, max_v);
+      const char gray = static_cast<char>(static_cast<unsigned char>(t * 255.0 + 0.5));
+      for (Index s = 0; s < scale; ++s) row[static_cast<std::size_t>(j * scale + s)] = gray;
+    }
+    for (Index s = 0; s < scale; ++s) {
+      out.write(row.data(), static_cast<std::streamsize>(row.size()));
+    }
+  }
+  if (!out) throw IoError("write to '" + path + "' failed");
+}
+
+}  // namespace parma::mea

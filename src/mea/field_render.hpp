@@ -1,0 +1,23 @@
+// Resistance-field visualization: ASCII heatmaps for terminals and binary
+// PGM (portable graymap) images for reports. The wet-lab workflow's last
+// step is a clinician looking at the recovered field; these renderers are
+// that step.
+#pragma once
+
+#include <string>
+
+#include "circuit/crossbar.hpp"
+
+namespace parma::mea {
+
+/// ASCII heatmap: one character per cell from a 10-step ramp " .:-=+*#%@",
+/// scaled between lo and hi (values clamp). lo >= hi uses the field's range.
+std::string render_heatmap(const circuit::ResistanceGrid& grid, Real lo = 0.0, Real hi = 0.0);
+
+/// Writes an 8-bit binary PGM (P5) image, one pixel per cell, optionally
+/// upscaled by `scale` (nearest neighbour). Grayscale maps lo -> black,
+/// hi -> white; lo >= hi uses the field's range.
+void write_pgm(const std::string& path, const circuit::ResistanceGrid& grid,
+               Index scale = 8, Real lo = 0.0, Real hi = 0.0);
+
+}  // namespace parma::mea

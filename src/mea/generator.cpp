@@ -1,0 +1,67 @@
+#include "mea/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace parma::mea {
+
+circuit::ResistanceGrid generate_field(const DeviceSpec& spec, const GeneratorOptions& options,
+                                       Rng& rng) {
+  spec.validate();
+  PARMA_REQUIRE(options.healthy_resistance > 0.0, "healthy resistance must be positive");
+  PARMA_REQUIRE(options.jitter_fraction >= 0.0 && options.jitter_fraction < 0.5,
+                "jitter fraction in [0, 0.5)");
+
+  circuit::ResistanceGrid grid(spec.rows, spec.cols, options.healthy_resistance);
+  for (Index i = 0; i < spec.rows; ++i) {
+    for (Index j = 0; j < spec.cols; ++j) {
+      Real value = options.healthy_resistance;
+      // Blobs compose by taking the strongest local elevation; a Gaussian
+      // falloff keeps boundaries smooth (the "continuous voltage change"
+      // assumption of Section IV-B).
+      for (const auto& blob : options.anomalies) {
+        const Real dr = (static_cast<Real>(i) - blob.center_row) / blob.radius_row;
+        const Real dc = (static_cast<Real>(j) - blob.center_col) / blob.radius_col;
+        const Real falloff = std::exp(-(dr * dr + dc * dc));
+        const Real elevated =
+            options.healthy_resistance +
+            (blob.peak_resistance - options.healthy_resistance) * falloff;
+        value = std::max(value, elevated);
+      }
+      if (options.jitter_fraction > 0.0) {
+        value *= std::max(0.5, 1.0 + rng.normal(0.0, options.jitter_fraction));
+      }
+      grid.at(i, j) = value;
+    }
+  }
+  return grid;
+}
+
+GeneratorOptions random_scenario(const DeviceSpec& spec, Index num_anomalies, Rng& rng) {
+  spec.validate();
+  PARMA_REQUIRE(num_anomalies >= 0, "anomaly count must be non-negative");
+  GeneratorOptions options;
+  for (Index a = 0; a < num_anomalies; ++a) {
+    AnomalyBlob blob;
+    blob.center_row = rng.uniform(0.0, static_cast<Real>(spec.rows - 1));
+    blob.center_col = rng.uniform(0.0, static_cast<Real>(spec.cols - 1));
+    const Real max_radius = std::max(1.5, static_cast<Real>(std::min(spec.rows, spec.cols)) / 6.0);
+    blob.radius_row = rng.uniform(1.0, max_radius);
+    blob.radius_col = rng.uniform(1.0, max_radius);
+    blob.peak_resistance =
+        rng.uniform(0.6 * kWetLabMaxResistanceKOhm, kWetLabMaxResistanceKOhm);
+    options.anomalies.push_back(blob);
+  }
+  return options;
+}
+
+std::vector<bool> anomaly_mask(const circuit::ResistanceGrid& grid, Real threshold) {
+  std::vector<bool> mask;
+  mask.reserve(grid.flat().size());
+  for (Real v : grid.flat()) mask.push_back(v > threshold);
+  return mask;
+}
+
+}  // namespace parma::mea

@@ -1,0 +1,45 @@
+// Synthetic ground-truth resistance fields.
+//
+// Substitution for the paper's wet-lab measurements (DESIGN.md Section 2):
+// healthy tissue sits near the bottom of the 2,000-11,000 kilo-ohm band the
+// paper reports, while anomalies (the cancerous regions the device exists to
+// find) raise local resistance toward the top of the band. Fields are
+// generated from elliptical anomaly blobs with smooth falloff plus
+// multiplicative cell-to-cell jitter, all driven by an explicit Rng so every
+// benchmark and test is reproducible.
+#pragma once
+
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+#include "common/rng.hpp"
+#include "mea/device.hpp"
+
+namespace parma::mea {
+
+/// An elliptical high-resistance region, in grid coordinates.
+struct AnomalyBlob {
+  Real center_row = 0.0;
+  Real center_col = 0.0;
+  Real radius_row = 1.0;
+  Real radius_col = 1.0;
+  Real peak_resistance = kWetLabMaxResistanceKOhm;  ///< kOhm at blob center
+};
+
+struct GeneratorOptions {
+  Real healthy_resistance = kWetLabMinResistanceKOhm;  ///< baseline kOhm
+  Real jitter_fraction = 0.02;  ///< multiplicative cell noise (stddev)
+  std::vector<AnomalyBlob> anomalies;
+};
+
+/// Deterministic field from explicit blob placement.
+circuit::ResistanceGrid generate_field(const DeviceSpec& spec, const GeneratorOptions& options,
+                                       Rng& rng);
+
+/// Randomized scenario: `num_anomalies` blobs with sizes scaled to the grid.
+GeneratorOptions random_scenario(const DeviceSpec& spec, Index num_anomalies, Rng& rng);
+
+/// Boolean mask of cells whose ground-truth resistance exceeds `threshold`.
+std::vector<bool> anomaly_mask(const circuit::ResistanceGrid& grid, Real threshold);
+
+}  // namespace parma::mea

@@ -1,0 +1,37 @@
+#include "mea/measurement.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace parma::mea {
+
+Measurement measure(const DeviceSpec& spec, const circuit::ResistanceGrid& truth,
+                    const MeasurementOptions& options, Rng& rng) {
+  spec.validate();
+  PARMA_REQUIRE(truth.rows() == spec.rows && truth.cols() == spec.cols,
+                "ground-truth grid does not match device");
+  PARMA_REQUIRE(options.noise_fraction >= 0.0 && options.noise_fraction < 0.5,
+                "noise fraction in [0, 0.5)");
+
+  Measurement m;
+  m.spec = spec;
+  m.z = circuit::measure_all_pairs(truth);
+  m.u = linalg::DenseMatrix(spec.rows, spec.cols);
+  for (Index i = 0; i < spec.rows; ++i) {
+    for (Index j = 0; j < spec.cols; ++j) {
+      if (options.noise_fraction > 0.0) {
+        m.z(i, j) *= std::max(0.5, 1.0 + rng.normal(0.0, options.noise_fraction));
+      }
+      m.u(i, j) = spec.drive_voltage;
+    }
+  }
+  return m;
+}
+
+Measurement measure_exact(const DeviceSpec& spec, const circuit::ResistanceGrid& truth) {
+  Rng unused(0);
+  return measure(spec, truth, MeasurementOptions{}, unused);
+}
+
+}  // namespace parma::mea

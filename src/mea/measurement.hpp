@@ -1,0 +1,40 @@
+// Measurement simulation: what the wet-lab rig reports for a device placed
+// on a medium with ground-truth resistance field R.
+//
+// The rig drives `drive_voltage` across each (horizontal, vertical) wire pair
+// and reports the pairwise resistance Z_ij; physically that is the two-point
+// effective resistance of the K_{m,n} network (see circuit/crossbar.hpp),
+// optionally corrupted by multiplicative instrument noise.
+#pragma once
+
+#include "circuit/crossbar.hpp"
+#include "common/rng.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "mea/device.hpp"
+
+namespace parma::mea {
+
+/// One measurement session: everything Parma's inverse problem consumes.
+struct Measurement {
+  DeviceSpec spec;
+  linalg::DenseMatrix z;  ///< pairwise resistance Z(i, j), kOhm
+  /// End-to-end voltage per pair; the rig drives a constant supply, so every
+  /// entry equals spec.drive_voltage (kept per-pair for format fidelity with
+  /// the wet lab's dumps).
+  linalg::DenseMatrix u;
+};
+
+struct MeasurementOptions {
+  /// Multiplicative Gaussian instrument noise (stddev as a fraction of Z);
+  /// 0 gives exact synthetic measurements.
+  Real noise_fraction = 0.0;
+};
+
+/// Simulates a full measurement sweep of `truth`.
+Measurement measure(const DeviceSpec& spec, const circuit::ResistanceGrid& truth,
+                    const MeasurementOptions& options, Rng& rng);
+
+/// Noise-free convenience overload.
+Measurement measure_exact(const DeviceSpec& spec, const circuit::ResistanceGrid& truth);
+
+}  // namespace parma::mea

@@ -1,0 +1,49 @@
+#include "mea/timeseries.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/require.hpp"
+#include "mea/dataset_io.hpp"
+
+namespace parma::mea {
+
+std::vector<EpochFrame> simulate_campaign(const DeviceSpec& spec,
+                                          const TimeSeriesOptions& options, Rng& rng) {
+  spec.validate();
+  PARMA_REQUIRE(options.growth_per_hour >= 0.0, "growth must be non-negative");
+  PARMA_REQUIRE(options.peak_growth_per_hour >= 0.0, "peak growth must be non-negative");
+
+  std::vector<EpochFrame> frames;
+  for (Real hours : kWetLabEpochsHours) {
+    GeneratorOptions grown = options.scenario;
+    const Real radius_scale = 1.0 + options.growth_per_hour * hours;
+    const Real peak_scale = 1.0 + options.peak_growth_per_hour * hours;
+    for (auto& blob : grown.anomalies) {
+      blob.radius_row *= radius_scale;
+      blob.radius_col *= radius_scale;
+      blob.peak_resistance =
+          std::min(blob.peak_resistance * peak_scale, kWetLabMaxResistanceKOhm);
+    }
+    Rng epoch_rng = rng.fork(static_cast<std::uint64_t>(hours * 1000.0) + 17);
+    circuit::ResistanceGrid truth = generate_field(spec, grown, epoch_rng);
+    Measurement measurement = measure(spec, truth, options.measurement, epoch_rng);
+    frames.push_back({hours, std::move(truth), std::move(measurement)});
+  }
+  return frames;
+}
+
+std::vector<std::string> write_campaign(const std::string& directory,
+                                        const std::vector<EpochFrame>& frames) {
+  std::vector<std::string> paths;
+  paths.reserve(frames.size());
+  for (const auto& frame : frames) {
+    std::ostringstream name;
+    name << directory << "/epoch_" << frame.hours << "h.txt";
+    write_measurement(name.str(), frame.measurement, frame.hours);
+    paths.push_back(name.str());
+  }
+  return paths;
+}
+
+}  // namespace parma::mea

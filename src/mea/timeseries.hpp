@@ -1,0 +1,41 @@
+// Four-epoch measurement campaigns.
+//
+// The paper's wet lab measures "four times a day: 0 hour, 6 hour, 12 hour and
+// 24 hour, after the device setup is completed" (Section V-B). This module
+// simulates a growing anomaly across those epochs: each blob's radii and peak
+// expand with a per-epoch growth factor, modeling tissue change over a day.
+#pragma once
+
+#include <vector>
+
+#include "mea/generator.hpp"
+#include "mea/measurement.hpp"
+
+namespace parma::mea {
+
+/// The wet lab's sampling schedule, in hours after setup.
+inline constexpr Real kWetLabEpochsHours[] = {0.0, 6.0, 12.0, 24.0};
+
+struct EpochFrame {
+  Real hours = 0.0;
+  circuit::ResistanceGrid truth;
+  Measurement measurement;
+};
+
+struct TimeSeriesOptions {
+  GeneratorOptions scenario;       ///< epoch-0 anomaly layout
+  Real growth_per_hour = 0.02;     ///< fractional radius growth per hour
+  Real peak_growth_per_hour = 0.005;  ///< fractional peak-resistance growth per hour
+  MeasurementOptions measurement;  ///< per-epoch instrument noise
+};
+
+/// Simulates the full 0/6/12/24-hour campaign for one device.
+std::vector<EpochFrame> simulate_campaign(const DeviceSpec& spec,
+                                          const TimeSeriesOptions& options, Rng& rng);
+
+/// Writes a campaign as one file per epoch under `directory`
+/// (epoch_<hours>h.txt), returning the file paths.
+std::vector<std::string> write_campaign(const std::string& directory,
+                                        const std::vector<EpochFrame>& frames);
+
+}  // namespace parma::mea

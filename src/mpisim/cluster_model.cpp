@@ -1,0 +1,55 @@
+#include "mpisim/cluster_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+
+namespace parma::mpisim {
+
+ClusterResult simulate_cluster(const std::vector<parallel::VirtualTask>& tasks, Index ranks,
+                               const ClusterCostModel& model) {
+  PARMA_REQUIRE(ranks >= 1, "need at least one rank");
+  ClusterResult result;
+  result.rank_compute.assign(static_cast<std::size_t>(ranks), 0.0);
+
+  // Contiguous block partition of the task list (pair (i, j) order).
+  const std::size_t total = tasks.size();
+  std::uint64_t max_rank_output_bytes = 0;
+  for (Index r = 0; r < ranks; ++r) {
+    const std::size_t lo = total * static_cast<std::size_t>(r) / static_cast<std::size_t>(ranks);
+    const std::size_t hi =
+        total * static_cast<std::size_t>(r + 1) / static_cast<std::size_t>(ranks);
+    Real compute = 0.0;
+    std::uint64_t rank_bytes = 0;
+    for (std::size_t i = lo; i < hi; ++i) {
+      compute += tasks[i].cost_seconds * model.task_cost_scale + model.task_dispatch_overhead;
+      rank_bytes += tasks[i].bytes;
+    }
+    result.rank_compute[static_cast<std::size_t>(r)] = compute;
+    max_rank_output_bytes = std::max(max_rank_output_bytes, rank_bytes);
+  }
+  result.compute_seconds =
+      *std::max_element(result.rank_compute.begin(), result.rank_compute.end());
+
+  // Communication: binomial-tree broadcast of inputs plus a flat gather of
+  // tiny per-rank statistics (each rank writes its own equation shard to the
+  // parallel filesystem, so bulk output never crosses back to the root).
+  const Real tree_depth = std::ceil(std::log2(static_cast<Real>(std::max<Index>(ranks, 2))));
+  const Real bcast = (ranks > 1)
+                         ? tree_depth * (model.latency_seconds +
+                                         static_cast<Real>(model.broadcast_bytes) *
+                                             model.seconds_per_byte)
+                         : 0.0;
+  const Real stats_gather =
+      (ranks > 1) ? static_cast<Real>(ranks - 1) * model.latency_seconds : 0.0;
+  result.comm_seconds = bcast + stats_gather;
+  result.storage_seconds =
+      static_cast<Real>(max_rank_output_bytes) * model.storage_seconds_per_byte;
+  result.spawn_seconds = model.rank_spawn_overhead * std::log2(static_cast<Real>(ranks) + 1.0);
+  result.makespan_seconds = result.spawn_seconds + result.comm_seconds +
+                            result.compute_seconds + result.storage_seconds;
+  return result;
+}
+
+}  // namespace parma::mpisim

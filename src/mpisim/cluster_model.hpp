@@ -1,0 +1,62 @@
+// Virtual-time cluster replay for the Fig. 10 strong-scaling experiment.
+//
+// The paper deploys Parma with MPI on up to 1,024 cores (32 nodes x 32
+// cores, FDR InfiniBand, GPFS). simulate_cluster() replays a measured task
+// list onto p ranks under the standard alpha-beta (latency/bandwidth)
+// communication model:
+//   T(p) = spawn + T_scatter(p) + max_r(compute_r) + T_gather(p)
+// with contiguous block partitioning of the task list (Parma's distribution
+// of endpoint pairs over ranks). Defaults approximate the paper's testbed
+// (FDR ~6.8 GB/s per link, ~2 us latency, mpich process launch in the ms
+// range); the benchmarks print the parameters they used.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/virtual_scheduler.hpp"
+
+namespace parma::mpisim {
+
+struct ClusterCostModel {
+  Real rank_spawn_overhead = 2e-3;   ///< per-run mpiexec/rank startup (amortized)
+  Real latency_seconds = 2e-6;       ///< alpha: per-message latency
+  Real seconds_per_byte = 1.47e-10;  ///< beta: 1 / 6.8 GB/s (FDR InfiniBand)
+  Real task_dispatch_overhead = 5e-7;
+
+  /// Per-client parallel-filesystem write bandwidth (the paper's GPFS): each
+  /// rank streams its own equation shard, so the storage phase scales with
+  /// ranks instead of funnelling output through rank 0.
+  Real storage_seconds_per_byte = 2.0e-10;  ///< ~5 GB/s per GPFS client
+
+  /// Bytes of input each rank needs (measured Z/U values broadcast to all).
+  std::uint64_t broadcast_bytes = 0;
+
+  /// Uniform multiplier on task costs; 1.0 replays the measured C++ costs,
+  /// larger values replay the schedule under a slower per-task substrate
+  /// (e.g. ~500x approximates the paper's Python prototype -- see
+  /// EXPERIMENTS.md for the calibration).
+  Real task_cost_scale = 1.0;
+};
+
+struct ClusterResult {
+  Real makespan_seconds = 0.0;
+  Real compute_seconds = 0.0;    ///< slowest rank's pure compute time
+  Real comm_seconds = 0.0;       ///< broadcast + stats-gather latency
+  Real storage_seconds = 0.0;    ///< slowest rank's shard write to the parallel FS
+  Real spawn_seconds = 0.0;
+  std::vector<Real> rank_compute;  ///< per-rank compute time
+
+  [[nodiscard]] Real efficiency(Real serial_seconds, Index ranks) const {
+    return serial_seconds / (static_cast<Real>(ranks) * makespan_seconds);
+  }
+};
+
+/// Block-partitions `tasks` over `ranks` and accumulates the alpha-beta costs.
+/// Each task's `bytes` field is the size of the output it contributes to the
+/// final gather.
+ClusterResult simulate_cluster(const std::vector<parallel::VirtualTask>& tasks, Index ranks,
+                               const ClusterCostModel& model = {});
+
+}  // namespace parma::mpisim

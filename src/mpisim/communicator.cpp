@@ -1,0 +1,206 @@
+#include "mpisim/communicator.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "common/require.hpp"
+
+namespace parma::mpisim {
+namespace detail {
+
+void Mailbox::put(Index source, int tag, Payload payload) {
+  {
+    std::lock_guard lock(mu_);
+    queues_[{source, tag}].push_back(std::move(payload));
+  }
+  arrived_.notify_all();
+}
+
+Payload Mailbox::take(Index source, int tag) {
+  std::unique_lock lock(mu_);
+  auto& queue = queues_[{source, tag}];
+  arrived_.wait(lock, [&queue] { return !queue.empty(); });
+  Payload payload = std::move(queue.front());
+  queue.pop_front();
+  return payload;
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock lock(mu_);
+  const std::uint64_t my_generation = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    released_.notify_all();
+    return;
+  }
+  released_.wait(lock, [this, my_generation] { return generation_ != my_generation; });
+}
+
+World::World(Index size) : size(size), barrier(size) {
+  PARMA_REQUIRE(size >= 1, "world size must be >= 1");
+  mailboxes.reserve(static_cast<std::size_t>(size));
+  for (Index i = 0; i < size; ++i) mailboxes.push_back(std::make_unique<Mailbox>());
+}
+
+}  // namespace detail
+
+void Communicator::send(Index dest, int tag, Payload payload) {
+  PARMA_REQUIRE(dest >= 0 && dest < size(), "send: destination out of range");
+  PARMA_REQUIRE(tag >= 0 && tag < kCollectiveTagBase, "send: tag reserved for collectives");
+  world_->mailboxes[static_cast<std::size_t>(dest)]->put(rank_, tag, std::move(payload));
+}
+
+Payload Communicator::recv(Index source, int tag) {
+  PARMA_REQUIRE(source >= 0 && source < size(), "recv: source out of range");
+  PARMA_REQUIRE(tag >= 0 && tag < kCollectiveTagBase, "recv: tag reserved for collectives");
+  return world_->mailboxes[static_cast<std::size_t>(rank_)]->take(source, tag);
+}
+
+void Communicator::barrier() { world_->barrier.arrive_and_wait(); }
+
+Payload Communicator::broadcast(Index root, Payload payload) {
+  PARMA_REQUIRE(root >= 0 && root < size(), "broadcast: root out of range");
+  const int tag = kCollectiveTagBase + (collective_epoch_++ % kCollectiveTagBase);
+  const Index p = size();
+  // Binomial tree over ranks relative to the root.
+  const Index vrank = (rank_ - root + p) % p;
+  if (vrank != 0) {
+    // Receive from parent: clear the lowest set bit of vrank.
+    const Index parent_v = vrank & (vrank - 1);
+    const Index parent = (parent_v + root) % p;
+    payload = world_->mailboxes[static_cast<std::size_t>(rank_)]->take(parent, tag);
+  }
+  // Forward to children: set each bit above the lowest set bit while < p.
+  for (Index bit = 1; bit < p; bit <<= 1) {
+    if (vrank & (bit - 1)) break;           // only aligned ranks forward at this level
+    if (vrank & bit) break;                 // past our lowest set bit
+    const Index child_v = vrank | bit;
+    if (child_v >= p) break;
+    const Index child = (child_v + root) % p;
+    world_->mailboxes[static_cast<std::size_t>(child)]->put(rank_, tag, payload);
+  }
+  return payload;
+}
+
+Payload Communicator::reduce_sum(Index root, Payload contribution) {
+  PARMA_REQUIRE(root >= 0 && root < size(), "reduce: root out of range");
+  const int tag = kCollectiveTagBase + (collective_epoch_++ % kCollectiveTagBase);
+  const Index p = size();
+  const Index vrank = (rank_ - root + p) % p;
+  // Binomial-tree fold: children send up, parents accumulate.
+  for (Index bit = 1; bit < p; bit <<= 1) {
+    if (vrank & bit) {
+      const Index parent_v = vrank & ~bit;
+      const Index parent = (parent_v + root) % p;
+      world_->mailboxes[static_cast<std::size_t>(parent)]->put(rank_, tag,
+                                                               std::move(contribution));
+      return {};
+    }
+    const Index child_v = vrank | bit;
+    if (child_v < p) {
+      const Index child = (child_v + root) % p;
+      Payload other = world_->mailboxes[static_cast<std::size_t>(rank_)]->take(child, tag);
+      PARMA_REQUIRE(other.size() == contribution.size(),
+                    "reduce: payload sizes differ across ranks");
+      for (std::size_t i = 0; i < other.size(); ++i) contribution[i] += other[i];
+    }
+  }
+  return contribution;
+}
+
+Payload Communicator::allreduce_sum(Payload contribution) {
+  Payload reduced = reduce_sum(0, std::move(contribution));
+  return broadcast(0, std::move(reduced));
+}
+
+std::vector<Payload> Communicator::gather(Index root, Payload payload) {
+  PARMA_REQUIRE(root >= 0 && root < size(), "gather: root out of range");
+  const int tag = kCollectiveTagBase + (collective_epoch_++ % kCollectiveTagBase);
+  if (rank_ != root) {
+    world_->mailboxes[static_cast<std::size_t>(root)]->put(rank_, tag, std::move(payload));
+    return {};
+  }
+  std::vector<Payload> out(static_cast<std::size_t>(size()));
+  out[static_cast<std::size_t>(root)] = std::move(payload);
+  for (Index r = 0; r < size(); ++r) {
+    if (r == root) continue;
+    out[static_cast<std::size_t>(r)] =
+        world_->mailboxes[static_cast<std::size_t>(rank_)]->take(r, tag);
+  }
+  return out;
+}
+
+Payload Communicator::scatter(Index root, std::vector<Payload> shards) {
+  PARMA_REQUIRE(root >= 0 && root < size(), "scatter: root out of range");
+  const int tag = kCollectiveTagBase + (collective_epoch_++ % kCollectiveTagBase);
+  if (rank_ == root) {
+    PARMA_REQUIRE(static_cast<Index>(shards.size()) == size(),
+                  "scatter: need one shard per rank");
+    for (Index r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      world_->mailboxes[static_cast<std::size_t>(r)]->put(rank_, tag,
+                                                          std::move(shards[static_cast<std::size_t>(r)]));
+    }
+    return std::move(shards[static_cast<std::size_t>(root)]);
+  }
+  return world_->mailboxes[static_cast<std::size_t>(rank_)]->take(root, tag);
+}
+
+Payload Communicator::sendrecv(Index dest, Index source, int tag, Payload payload) {
+  PARMA_REQUIRE(dest >= 0 && dest < size(), "sendrecv: destination out of range");
+  PARMA_REQUIRE(source >= 0 && source < size(), "sendrecv: source out of range");
+  PARMA_REQUIRE(tag >= 0 && tag < kCollectiveTagBase, "sendrecv: tag reserved");
+  // Buffered semantics: deposit first, then block on the matching receive.
+  world_->mailboxes[static_cast<std::size_t>(dest)]->put(rank_, tag, std::move(payload));
+  return world_->mailboxes[static_cast<std::size_t>(rank_)]->take(source, tag);
+}
+
+std::vector<Payload> Communicator::alltoall(std::vector<Payload> outgoing) {
+  PARMA_REQUIRE(static_cast<Index>(outgoing.size()) == size(),
+                "alltoall: need one payload per rank");
+  const int tag = kCollectiveTagBase + (collective_epoch_++ % kCollectiveTagBase);
+  const Index p = size();
+  std::vector<Payload> incoming(static_cast<std::size_t>(p));
+  incoming[static_cast<std::size_t>(rank_)] =
+      std::move(outgoing[static_cast<std::size_t>(rank_)]);
+  // Deposit every outgoing message first (buffered, so no ordering hazard),
+  // then drain the inbox.
+  for (Index r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    world_->mailboxes[static_cast<std::size_t>(r)]->put(
+        rank_, tag, std::move(outgoing[static_cast<std::size_t>(r)]));
+  }
+  for (Index r = 0; r < p; ++r) {
+    if (r == rank_) continue;
+    incoming[static_cast<std::size_t>(r)] =
+        world_->mailboxes[static_cast<std::size_t>(rank_)]->take(r, tag);
+  }
+  return incoming;
+}
+
+void run_ranks(Index num_ranks, const std::function<void(Communicator&)>& body) {
+  PARMA_REQUIRE(num_ranks >= 1, "need at least one rank");
+  detail::World world(num_ranks);
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(num_ranks));
+  for (Index r = 0; r < num_ranks; ++r) {
+    threads.emplace_back([&world, &body, &error_mu, &first_error, r] {
+      Communicator comm(world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace parma::mpisim

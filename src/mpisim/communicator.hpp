@@ -1,0 +1,120 @@
+// In-process message-passing runtime with MPI-style semantics.
+//
+// The paper's scalability experiment (Fig. 10) runs Parma with mpi4py/mpich
+// on a 58-node InfiniBand cluster. This harness has no cluster and no MPI
+// installation, so mpisim supplies the same programming model inside one
+// process: `run_ranks(p, fn)` launches p ranks (threads), each receiving a
+// Communicator that supports tagged point-to-point sends/receives and the
+// collectives Parma uses. Rank code written against this interface maps
+// one-to-one onto real MPI calls.
+//
+// Messages carry std::vector<Real> payloads (sufficient for Parma's traffic:
+// task shards, equation coefficients, timing reductions).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma::mpisim {
+
+using Payload = std::vector<Real>;
+
+namespace detail {
+
+/// One rank's inbox: tagged messages keyed by (source, tag).
+class Mailbox {
+ public:
+  void put(Index source, int tag, Payload payload);
+  Payload take(Index source, int tag);  // blocks until a match arrives
+
+ private:
+  std::mutex mu_;
+  std::condition_variable arrived_;
+  std::map<std::pair<Index, int>, std::deque<Payload>> queues_;
+};
+
+/// Reusable sense-reversing barrier.
+class Barrier {
+ public:
+  explicit Barrier(Index parties) : parties_(parties) {}
+  void arrive_and_wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable released_;
+  Index parties_;
+  Index waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+struct World {
+  explicit World(Index size);
+  Index size;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  Barrier barrier;
+};
+
+}  // namespace detail
+
+class Communicator {
+ public:
+  Communicator(detail::World& world, Index rank) : world_(&world), rank_(rank) {}
+
+  [[nodiscard]] Index rank() const { return rank_; }
+  [[nodiscard]] Index size() const { return world_->size; }
+
+  /// Blocking tagged send (buffered: never deadlocks on unmatched receives).
+  void send(Index dest, int tag, Payload payload);
+
+  /// Blocking tagged receive from a specific source.
+  [[nodiscard]] Payload recv(Index source, int tag);
+
+  /// All ranks must call; releases when every rank has arrived.
+  void barrier();
+
+  /// Binomial-tree broadcast from `root`; returns the broadcast value on
+  /// every rank (pass the payload on the root, anything elsewhere).
+  [[nodiscard]] Payload broadcast(Index root, Payload payload);
+
+  /// Element-wise sum reduction to `root` (empty payload elsewhere).
+  [[nodiscard]] Payload reduce_sum(Index root, Payload contribution);
+
+  /// reduce_sum followed by broadcast.
+  [[nodiscard]] Payload allreduce_sum(Payload contribution);
+
+  /// Gathers every rank's (variable-length) payload at `root`, ordered by
+  /// rank; other ranks get an empty vector.
+  [[nodiscard]] std::vector<Payload> gather(Index root, Payload payload);
+
+  /// Root scatters shards[r] to rank r; returns this rank's shard.
+  [[nodiscard]] Payload scatter(Index root, std::vector<Payload> shards);
+
+  /// Combined send+receive (deadlock-free even for ring exchanges, since
+  /// sends are buffered): sends `payload` to `dest` and returns the message
+  /// received from `source` under the same tag.
+  [[nodiscard]] Payload sendrecv(Index dest, Index source, int tag, Payload payload);
+
+  /// Personalized all-to-all: `outgoing[r]` goes to rank r; returns the
+  /// vector of payloads received, indexed by source rank. The transpose
+  /// primitive of distributed matrix kernels.
+  [[nodiscard]] std::vector<Payload> alltoall(std::vector<Payload> outgoing);
+
+ private:
+  static constexpr int kCollectiveTagBase = 1 << 20;  // reserved tag space
+  detail::World* world_;
+  Index rank_;
+  int collective_epoch_ = 0;  // distinguishes back-to-back collectives
+};
+
+/// Launches `num_ranks` threads running `body(comm)` and joins them.
+/// The first exception thrown by any rank is rethrown after all join.
+void run_ranks(Index num_ranks, const std::function<void(Communicator&)>& body);
+
+}  // namespace parma::mpisim

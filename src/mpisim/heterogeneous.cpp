@@ -1,0 +1,130 @@
+#include "mpisim/heterogeneous.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace parma::mpisim {
+
+std::vector<RankProfile> uniform_fleet(Index ranks, Real speed) {
+  PARMA_REQUIRE(ranks >= 1, "fleet needs at least one rank");
+  PARMA_REQUIRE(speed > 0.0, "speed must be positive");
+  return std::vector<RankProfile>(static_cast<std::size_t>(ranks), {speed});
+}
+
+std::vector<RankProfile> two_tier_fleet(Index ranks, Real fast_fraction, Real fast_speed,
+                                        Real slow_speed) {
+  PARMA_REQUIRE(ranks >= 1, "fleet needs at least one rank");
+  PARMA_REQUIRE(fast_fraction >= 0.0 && fast_fraction <= 1.0, "fraction in [0,1]");
+  PARMA_REQUIRE(fast_speed > 0.0 && slow_speed > 0.0, "speeds must be positive");
+  std::vector<RankProfile> fleet(static_cast<std::size_t>(ranks));
+  const auto fast_count =
+      static_cast<std::size_t>(std::llround(fast_fraction * static_cast<Real>(ranks)));
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    fleet[r].speed = (r < fast_count) ? fast_speed : slow_speed;
+  }
+  return fleet;
+}
+
+Partition block_partition(std::size_t num_tasks, Index ranks) {
+  PARMA_REQUIRE(ranks >= 1, "need at least one rank");
+  Partition partition;
+  partition.reserve(static_cast<std::size_t>(ranks));
+  for (Index r = 0; r < ranks; ++r) {
+    partition.emplace_back(num_tasks * static_cast<std::size_t>(r) / static_cast<std::size_t>(ranks),
+                           num_tasks * static_cast<std::size_t>(r + 1) /
+                               static_cast<std::size_t>(ranks));
+  }
+  return partition;
+}
+
+Partition speed_weighted_partition(const std::vector<parallel::VirtualTask>& tasks,
+                                   const std::vector<RankProfile>& fleet) {
+  PARMA_REQUIRE(!fleet.empty(), "fleet must not be empty");
+  Real total_cost = 0.0;
+  for (const auto& t : tasks) total_cost += t.cost_seconds;
+  Real total_speed = 0.0;
+  for (const auto& r : fleet) {
+    PARMA_REQUIRE(r.speed > 0.0, "speed must be positive");
+    total_speed += r.speed;
+  }
+
+  Partition partition;
+  partition.reserve(fleet.size());
+  std::size_t cursor = 0;
+  Real consumed = 0.0;
+  Real speed_prefix = 0.0;
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    speed_prefix += fleet[r].speed;
+    // This rank's shard ends where the cumulative cost reaches its
+    // speed-proportional share of the total.
+    const Real target = total_cost * speed_prefix / total_speed;
+    const std::size_t begin = cursor;
+    if (r + 1 == fleet.size()) {
+      cursor = tasks.size();  // last rank takes the remainder exactly
+    } else {
+      while (cursor < tasks.size() && consumed + tasks[cursor].cost_seconds / 2.0 < target) {
+        consumed += tasks[cursor].cost_seconds;
+        ++cursor;
+      }
+    }
+    partition.emplace_back(begin, cursor);
+  }
+  return partition;
+}
+
+Real HeterogeneousResult::imbalance() const {
+  Real busiest = 0.0;
+  Real lightest = std::numeric_limits<Real>::infinity();
+  for (Real c : rank_compute) {
+    busiest = std::max(busiest, c);
+    if (c > 0.0) lightest = std::min(lightest, c);
+  }
+  if (!std::isfinite(lightest) || lightest == 0.0) return 1.0;
+  return busiest / lightest;
+}
+
+HeterogeneousResult simulate_heterogeneous(const std::vector<parallel::VirtualTask>& tasks,
+                                           const std::vector<RankProfile>& fleet,
+                                           const Partition& partition,
+                                           const ClusterCostModel& model) {
+  PARMA_REQUIRE(partition.size() == fleet.size(), "partition/fleet size mismatch");
+  HeterogeneousResult result;
+  result.rank_compute.assign(fleet.size(), 0.0);
+
+  std::uint64_t max_rank_bytes = 0;
+  for (std::size_t r = 0; r < fleet.size(); ++r) {
+    const auto [begin, end] = partition[r];
+    PARMA_REQUIRE(begin <= end && end <= tasks.size(), "partition range out of bounds");
+    Real compute = 0.0;
+    std::uint64_t bytes = 0;
+    for (std::size_t t = begin; t < end; ++t) {
+      compute += tasks[t].cost_seconds * model.task_cost_scale / fleet[r].speed +
+                 model.task_dispatch_overhead;
+      bytes += tasks[t].bytes;
+    }
+    result.rank_compute[r] = compute;
+    max_rank_bytes = std::max(max_rank_bytes, bytes);
+  }
+  result.compute_seconds =
+      *std::max_element(result.rank_compute.begin(), result.rank_compute.end());
+
+  const auto ranks = static_cast<Index>(fleet.size());
+  const Real tree_depth = std::ceil(std::log2(static_cast<Real>(std::max<Index>(ranks, 2))));
+  const Real bcast = (ranks > 1)
+                         ? tree_depth * (model.latency_seconds +
+                                         static_cast<Real>(model.broadcast_bytes) *
+                                             model.seconds_per_byte)
+                         : 0.0;
+  const Real stats = (ranks > 1) ? static_cast<Real>(ranks - 1) * model.latency_seconds : 0.0;
+  result.comm_seconds = bcast + stats;
+  result.spawn_seconds = model.rank_spawn_overhead * std::log2(static_cast<Real>(ranks) + 1.0);
+  result.makespan_seconds = result.spawn_seconds + result.comm_seconds +
+                            result.compute_seconds +
+                            static_cast<Real>(max_rank_bytes) * model.storage_seconds_per_byte;
+  return result;
+}
+
+}  // namespace parma::mpisim

@@ -1,0 +1,65 @@
+// Heterogeneous-cluster extension (the paper's future work, Section VII:
+// "we will extend the proposed approach into a cluster of heterogeneous
+// nodes").
+//
+// Ranks now carry a relative speed factor (1.0 = the measuring machine).
+// Two partitioners are provided for the same measured task list:
+//   * block_partition        -- the homogeneous contiguous split (what the
+//                               paper's MPI prototype does), which a
+//                               heterogeneous fleet turns into a straggler
+//                               problem: makespan = slowest rank;
+//   * speed_weighted_partition -- contiguous split with boundaries placed so
+//                               every rank receives work proportional to its
+//                               speed, restoring balance.
+// simulate_heterogeneous replays either assignment under the usual
+// alpha-beta communication model.
+#pragma once
+
+#include <vector>
+
+#include "mpisim/cluster_model.hpp"
+
+namespace parma::mpisim {
+
+/// One rank's capability: cost_seconds of a task are divided by `speed`.
+struct RankProfile {
+  Real speed = 1.0;
+};
+
+/// A fleet description; helpers build the common shapes.
+std::vector<RankProfile> uniform_fleet(Index ranks, Real speed = 1.0);
+
+/// `fast_fraction` of ranks run at `fast_speed`, the rest at `slow_speed`
+/// (e.g. a cluster of new and old nodes).
+std::vector<RankProfile> two_tier_fleet(Index ranks, Real fast_fraction, Real fast_speed,
+                                        Real slow_speed);
+
+/// Task index ranges per rank, contiguous: [begin, end) pairs.
+using Partition = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// Equal task-count split (ignores speeds).
+Partition block_partition(std::size_t num_tasks, Index ranks);
+
+/// Contiguous split with per-rank shares proportional to speed (cost-aware:
+/// boundaries are placed on the cumulative measured cost, not the count).
+Partition speed_weighted_partition(const std::vector<parallel::VirtualTask>& tasks,
+                                   const std::vector<RankProfile>& fleet);
+
+struct HeterogeneousResult {
+  Real makespan_seconds = 0.0;
+  Real compute_seconds = 0.0;   ///< slowest rank's compute
+  Real comm_seconds = 0.0;
+  Real spawn_seconds = 0.0;
+  std::vector<Real> rank_compute;
+
+  /// Ratio slowest/fastest busy rank: 1.0 = perfectly balanced.
+  [[nodiscard]] Real imbalance() const;
+};
+
+/// Replays `tasks` assigned by `partition` onto `fleet`.
+HeterogeneousResult simulate_heterogeneous(const std::vector<parallel::VirtualTask>& tasks,
+                                           const std::vector<RankProfile>& fleet,
+                                           const Partition& partition,
+                                           const ClusterCostModel& model = {});
+
+}  // namespace parma::mpisim

@@ -1,0 +1,126 @@
+#include "parallel/parallel_for.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace parma::parallel {
+namespace {
+
+// Shared loop state: chunk claiming + first-exception capture.
+struct LoopState {
+  std::atomic<Index> next{0};
+  Index end = 0;
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  void capture_exception() {
+    std::lock_guard lock(error_mu);
+    if (!error) error = std::current_exception();
+  }
+};
+
+Index claim_chunk(LoopState& state, Schedule schedule, Index chunk, Index workers,
+                  Index& out_begin) {
+  // Returns chunk length (0 when exhausted) and writes its begin.
+  for (;;) {
+    const Index current = state.next.load(std::memory_order_relaxed);
+    if (current >= state.end) return 0;
+    Index len = chunk;
+    if (schedule == Schedule::kGuided) {
+      const Index remaining = state.end - current;
+      len = std::max(chunk, remaining / (2 * workers));
+    }
+    len = std::min(len, state.end - current);
+    Index expected = current;
+    if (state.next.compare_exchange_weak(expected, current + len, std::memory_order_relaxed)) {
+      out_begin = current;
+      return len;
+    }
+  }
+}
+
+}  // namespace
+
+void parallel_for_chunked(ThreadPool& pool, Index begin, Index end,
+                          const std::function<void(Index, Index)>& body,
+                          const ForOptions& options) {
+  PARMA_REQUIRE(begin <= end, "parallel_for: begin must not exceed end");
+  PARMA_REQUIRE(options.chunk >= 1, "parallel_for: chunk must be >= 1");
+  if (begin == end) return;
+  const Index workers = pool.num_threads();
+  const Index span = end - begin;
+
+  auto state = std::make_shared<LoopState>();
+  state->end = span;
+
+  std::vector<std::future<void>> futures;
+  if (options.schedule == Schedule::kStatic) {
+    // Contiguous blocks of ~span/workers.
+    const Index block = (span + workers - 1) / workers;
+    for (Index w = 0; w < workers; ++w) {
+      const Index lo = w * block;
+      const Index hi = std::min(span, lo + block);
+      if (lo >= hi) break;
+      futures.push_back(pool.submit([&body, state, begin, lo, hi] {
+        try {
+          body(begin + lo, begin + hi);
+        } catch (...) {
+          state->capture_exception();
+        }
+      }));
+    }
+  } else {
+    const Schedule schedule = options.schedule;
+    const Index chunk = options.chunk;
+    for (Index w = 0; w < workers; ++w) {
+      futures.push_back(pool.submit([&body, state, begin, schedule, chunk, workers] {
+        Index lo = 0;
+        Index len = 0;
+        while ((len = claim_chunk(*state, schedule, chunk, workers, lo)) > 0) {
+          try {
+            body(begin + lo, begin + lo + len);
+          } catch (...) {
+            state->capture_exception();
+            return;
+          }
+        }
+      }));
+    }
+  }
+  for (auto& f : futures) f.get();
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void parallel_for(ThreadPool& pool, Index begin, Index end,
+                  const std::function<void(Index)>& body, const ForOptions& options) {
+  parallel_for_chunked(
+      pool, begin, end,
+      [&body](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) body(i);
+      },
+      options);
+}
+
+Real parallel_reduce_sum(ThreadPool& pool, Index begin, Index end,
+                         const std::function<Real(Index)>& body, const ForOptions& options) {
+  std::mutex mu;
+  Real total = 0.0;
+  parallel_for_chunked(
+      pool, begin, end,
+      [&](Index lo, Index hi) {
+        Real local = 0.0;
+        for (Index i = lo; i < hi; ++i) local += body(i);
+        std::lock_guard lock(mu);
+        total += local;
+      },
+      options);
+  return total;
+}
+
+}  // namespace parma::parallel

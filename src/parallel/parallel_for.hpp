@@ -1,0 +1,40 @@
+// OpenMP-style parallel loop over an index range, with the three classic
+// scheduling policies. Mirrors the PyMP work-sharing constructs the paper's
+// prototype relied on (Section IV-C2) for real multi-core execution.
+#pragma once
+
+#include <functional>
+
+#include "common/types.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace parma::parallel {
+
+enum class Schedule {
+  kStatic,   ///< contiguous blocks, one per worker
+  kDynamic,  ///< fixed-size chunks claimed from a shared counter
+  kGuided,   ///< exponentially shrinking chunks (remaining / workers)
+};
+
+struct ForOptions {
+  Schedule schedule = Schedule::kStatic;
+  Index chunk = 1;  ///< minimum chunk size for dynamic/guided
+};
+
+/// Runs body(i) for every i in [begin, end) on the pool's workers and waits
+/// for completion. Exceptions thrown by the body propagate to the caller
+/// (first one wins).
+void parallel_for(ThreadPool& pool, Index begin, Index end,
+                  const std::function<void(Index)>& body, const ForOptions& options = {});
+
+/// Range-chunk variant: body(chunk_begin, chunk_end) to amortize dispatch.
+void parallel_for_chunked(ThreadPool& pool, Index begin, Index end,
+                          const std::function<void(Index, Index)>& body,
+                          const ForOptions& options = {});
+
+/// Parallel sum-reduction of body(i) over [begin, end).
+Real parallel_reduce_sum(ThreadPool& pool, Index begin, Index end,
+                         const std::function<Real(Index)>& body,
+                         const ForOptions& options = {});
+
+}  // namespace parma::parallel

@@ -1,0 +1,58 @@
+#include "parallel/thread_pool.hpp"
+
+#include "common/require.hpp"
+
+namespace parma::parallel {
+
+ThreadPool::ThreadPool(Index num_threads) {
+  PARMA_REQUIRE(num_threads >= 1, "thread pool needs at least one worker");
+  workers_.reserve(static_cast<std::size_t>(num_threads));
+  for (Index i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    PARMA_REQUIRE(!shutting_down_, "submit after shutdown");
+    queue_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_available_.wait(lock, [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down with nothing left
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();  // packaged_task captures exceptions into the future
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace parma::parallel

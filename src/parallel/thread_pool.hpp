@@ -1,0 +1,63 @@
+// Fixed-size thread pool with a shared FIFO queue.
+//
+// This is the *real* shared-memory runtime (used by the FineGrained strategy
+// when Parma runs on a multi-core host and by the correctness tests). The
+// figure benchmarks use VirtualScheduler instead, because the harness
+// machine exposes a single core -- see DESIGN.md Section 2.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1).
+  explicit ThreadPool(Index num_threads);
+
+  /// Drains outstanding work, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>>;
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+  [[nodiscard]] Index num_threads() const { return static_cast<Index>(workers_.size()); }
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  Index in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+template <typename F>
+auto ThreadPool::submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+  using R = std::invoke_result_t<F>;
+  auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+  std::future<R> result = task->get_future();
+  enqueue([task] { (*task)(); });
+  return result;
+}
+
+}  // namespace parma::parallel

@@ -1,0 +1,192 @@
+#include "parallel/virtual_scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "common/require.hpp"
+
+namespace parma::parallel {
+namespace {
+
+Real sum_costs(const std::vector<VirtualTask>& tasks) {
+  Real total = 0.0;
+  for (const auto& t : tasks) {
+    PARMA_REQUIRE(t.cost_seconds >= 0.0, "task cost must be non-negative");
+    total += t.cost_seconds;
+  }
+  return total;
+}
+
+Index distinct_categories(const std::vector<VirtualTask>& tasks) {
+  Index max_cat = -1;
+  for (const auto& t : tasks) {
+    PARMA_REQUIRE(t.category >= 0, "category must be non-negative");
+    max_cat = std::max(max_cat, t.category);
+  }
+  return max_cat + 1;
+}
+
+void init_result(ScheduleResult& r, std::size_t num_tasks, Index workers) {
+  r.worker_finish.assign(static_cast<std::size_t>(workers), 0.0);
+  r.assignment.assign(num_tasks, 0);
+  r.start_time.assign(num_tasks, 0.0);
+}
+
+// Fork-join semantics: the master spawns every worker sequentially and joins
+// all of them, so even an idle worker contributes its spawn slot to the
+// critical path (this is what makes very wide pools lose on tiny workloads).
+void finalize_parallel_makespan(ScheduleResult& r, const CostModel& model) {
+  const Real join_floor = model.worker_spawn_overhead *
+                          static_cast<Real>(r.worker_finish.size());
+  r.makespan_seconds =
+      std::max(*std::max_element(r.worker_finish.begin(), r.worker_finish.end()),
+               join_floor);
+}
+
+}  // namespace
+
+Real ScheduleResult::efficiency() const {
+  if (worker_finish.empty() || makespan_seconds <= 0.0) return 0.0;
+  return total_work_seconds /
+         (static_cast<Real>(worker_finish.size()) * makespan_seconds);
+}
+
+std::vector<MemorySample> ScheduleResult::memory_trace(
+    const std::vector<VirtualTask>& tasks, std::uint64_t baseline_bytes) const {
+  PARMA_REQUIRE(tasks.size() == assignment.size(), "schedule/task size mismatch");
+  // Completion events sorted by time; live memory is the running sum.
+  std::vector<std::pair<Real, std::uint64_t>> completions;
+  completions.reserve(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    completions.emplace_back(start_time[i] + tasks[i].cost_seconds, tasks[i].bytes);
+  }
+  std::sort(completions.begin(), completions.end());
+
+  std::vector<MemorySample> trace;
+  trace.reserve(tasks.size() + 2);
+  trace.push_back({0.0, baseline_bytes});
+  std::uint64_t live = baseline_bytes;
+  for (const auto& [t, bytes] : completions) {
+    live += bytes;
+    trace.push_back({t, live});
+  }
+  trace.push_back({makespan_seconds, live});
+  return trace;
+}
+
+ScheduleResult schedule_serial(const std::vector<VirtualTask>& tasks, const CostModel& model) {
+  ScheduleResult r;
+  init_result(r, tasks.size(), 1);
+  r.total_work_seconds = sum_costs(tasks);
+  Real clock = model.worker_spawn_overhead;  // one worker: one spawn
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    clock += model.task_dispatch_overhead;
+    r.start_time[i] = clock;
+    clock += tasks[i].cost_seconds;
+  }
+  r.worker_finish[0] = clock;
+  r.makespan_seconds = clock;
+  return r;
+}
+
+ScheduleResult schedule_by_category(const std::vector<VirtualTask>& tasks, Index workers,
+                                    const CostModel& model) {
+  const Index categories = distinct_categories(tasks);
+  if (workers <= 0) workers = std::max<Index>(categories, 1);
+  ScheduleResult r;
+  init_result(r, tasks.size(), workers);
+  r.total_work_seconds = sum_costs(tasks);
+  for (std::size_t w = 0; w < r.worker_finish.size(); ++w) {
+    // Sequential spawning: worker w is live after w+1 spawn intervals.
+    r.worker_finish[w] = model.worker_spawn_overhead * static_cast<Real>(w + 1);
+  }
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Index w = tasks[i].category % workers;
+    Real& clock = r.worker_finish[static_cast<std::size_t>(w)];
+    clock += model.task_dispatch_overhead;
+    r.assignment[i] = w;
+    r.start_time[i] = clock;
+    clock += tasks[i].cost_seconds;
+  }
+  finalize_parallel_makespan(r, model);
+  return r;
+}
+
+ScheduleResult schedule_balanced_lpt(const std::vector<VirtualTask>& tasks, Index workers,
+                                     const CostModel& model) {
+  PARMA_REQUIRE(workers >= 1, "need at least one worker");
+  ScheduleResult r;
+  init_result(r, tasks.size(), workers);
+  r.total_work_seconds = sum_costs(tasks);
+
+  // Longest processing time first, deterministic tie-break on index.
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&tasks](std::size_t a, std::size_t b) {
+    return tasks[a].cost_seconds > tasks[b].cost_seconds;
+  });
+
+  // Min-heap over (finish time, worker id).
+  using Slot = std::pair<Real, Index>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (Index w = 0; w < workers; ++w) {
+    heap.emplace(model.worker_spawn_overhead * static_cast<Real>(w + 1), w);
+  }
+
+  for (std::size_t idx : order) {
+    auto [clock, w] = heap.top();
+    heap.pop();
+    clock += model.task_dispatch_overhead;
+    // Work executed off its home (category) worker pays the re-balance cost,
+    // modeling the migration a work-stealing runtime performs.
+    if (tasks[idx].category % workers != w) {
+      clock += model.rebalance_overhead;
+      ++r.moved_tasks;
+    }
+    r.assignment[idx] = w;
+    r.start_time[idx] = clock;
+    clock += tasks[idx].cost_seconds;
+    r.worker_finish[static_cast<std::size_t>(w)] = clock;
+    heap.emplace(clock, w);
+  }
+  finalize_parallel_makespan(r, model);
+  return r;
+}
+
+ScheduleResult schedule_dynamic(const std::vector<VirtualTask>& tasks, Index workers,
+                                Index chunk, const CostModel& model) {
+  PARMA_REQUIRE(workers >= 1, "need at least one worker");
+  PARMA_REQUIRE(chunk >= 1, "chunk must be >= 1");
+  ScheduleResult r;
+  init_result(r, tasks.size(), workers);
+  r.total_work_seconds = sum_costs(tasks);
+
+  using Slot = std::pair<Real, Index>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (Index w = 0; w < workers; ++w) {
+    heap.emplace(model.worker_spawn_overhead * static_cast<Real>(w + 1), w);
+  }
+
+  std::size_t next = 0;
+  while (next < tasks.size()) {
+    auto [clock, w] = heap.top();
+    heap.pop();
+    clock += model.chunk_claim_overhead;
+    const std::size_t end = std::min(tasks.size(), next + static_cast<std::size_t>(chunk));
+    for (std::size_t i = next; i < end; ++i) {
+      clock += model.task_dispatch_overhead;
+      r.assignment[i] = w;
+      r.start_time[i] = clock;
+      clock += tasks[i].cost_seconds;
+      if (tasks[i].category % workers != w) ++r.moved_tasks;
+    }
+    next = end;
+    r.worker_finish[static_cast<std::size_t>(w)] = clock;
+    heap.emplace(clock, w);
+  }
+  finalize_parallel_makespan(r, model);
+  return r;
+}
+
+}  // namespace parma::parallel

@@ -1,0 +1,120 @@
+// Chase-Lev work-stealing deque (Chase & Lev, SPAA'05; memory orders per
+// Le et al., PPoPP'13 "Correct and Efficient Work-Stealing for Weak Memory
+// Models").
+//
+// Single owner pushes/pops at the bottom; any number of thieves steal from
+// the top. Used by WorkStealingPool to implement the paper's Balanced
+// Parallel strategy faithfully in the real runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace parma::parallel {
+
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::size_t initial_capacity = 64)
+      : buffer_(std::make_shared<Buffer>(initial_capacity)) {
+    PARMA_REQUIRE(initial_capacity > 0 && (initial_capacity & (initial_capacity - 1)) == 0,
+                  "capacity must be a power of two");
+  }
+
+  /// Owner-only: push a task at the bottom. Grows the buffer when full.
+  void push(T item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    std::shared_ptr<Buffer> buf = std::atomic_load_explicit(&buffer_, std::memory_order_relaxed);
+    if (b - t > static_cast<std::int64_t>(buf->capacity()) - 1) {
+      buf = buf->grow(t, b);
+      std::atomic_store_explicit(&buffer_, buf, std::memory_order_release);
+    }
+    buf->put(b, std::move(item));
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner-only: pop from the bottom (LIFO). Empty optional if none left.
+  std::optional<T> pop() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    std::shared_ptr<Buffer> buf = std::atomic_load_explicit(&buffer_, std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was already empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    T item = buf->get(b);
+    if (t == b) {
+      // Last element: race against thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return std::nullopt;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Thief: steal from the top (FIFO). Empty optional on miss.
+  std::optional<T> steal() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return std::nullopt;
+    std::shared_ptr<Buffer> buf = std::atomic_load_explicit(&buffer_, std::memory_order_consume);
+    T item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return std::nullopt;  // lost the race
+    }
+    return item;
+  }
+
+  /// Approximate size (racy; for heuristics/diagnostics only).
+  [[nodiscard]] std::int64_t size_estimate() const {
+    return bottom_.load(std::memory_order_relaxed) - top_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // Circular buffer with power-of-two capacity; old buffers are kept alive by
+  // shared_ptr until concurrent thieves are done with them.
+  class Buffer {
+   public:
+    explicit Buffer(std::size_t capacity) : mask_(capacity - 1), slots_(capacity) {}
+
+    [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+    void put(std::int64_t index, T item) {
+      slots_[static_cast<std::size_t>(index) & mask_] = std::move(item);
+    }
+    T get(std::int64_t index) const {
+      return slots_[static_cast<std::size_t>(index) & mask_];
+    }
+
+    std::shared_ptr<Buffer> grow(std::int64_t top, std::int64_t bottom) const {
+      auto bigger = std::make_shared<Buffer>(capacity() * 2);
+      for (std::int64_t i = top; i < bottom; ++i) bigger->put(i, get(i));
+      return bigger;
+    }
+
+   private:
+    std::size_t mask_;
+    std::vector<T> slots_;
+  };
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::shared_ptr<Buffer> buffer_;  // accessed via std::atomic_load/store
+};
+
+}  // namespace parma::parallel

@@ -1,0 +1,79 @@
+#include "parallel/work_stealing_pool.hpp"
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+
+namespace parma::parallel {
+
+WorkStealingPool::WorkStealingPool(Index num_threads) {
+  PARMA_REQUIRE(num_threads >= 1, "work-stealing pool needs at least one worker");
+  deques_.reserve(static_cast<std::size_t>(num_threads));
+  for (Index i = 0; i < num_threads; ++i) {
+    deques_.push_back(std::make_unique<WorkStealingDeque<std::function<void()>>>());
+  }
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (Index i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  wait_idle();
+  shutting_down_.store(true, std::memory_order_release);
+  for (auto& t : threads_) t.join();
+}
+
+void WorkStealingPool::submit(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard lock(injector_mu_);
+  injector_.push_back(std::move(task));
+}
+
+void WorkStealingPool::wait_idle() {
+  while (pending_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+}
+
+bool WorkStealingPool::take_from_injector(std::function<void()>& out) {
+  std::lock_guard lock(injector_mu_);
+  if (injector_.empty()) return false;
+  out = std::move(injector_.front());
+  injector_.pop_front();
+  return true;
+}
+
+void WorkStealingPool::worker_loop(Index worker_id) {
+  Rng rng(0xC0FFEEULL + static_cast<std::uint64_t>(worker_id));
+  auto& own = *deques_[static_cast<std::size_t>(worker_id)];
+  const Index n = num_threads();
+
+  for (;;) {
+    std::optional<std::function<void()>> task = own.pop();
+    if (!task && n > 1) {
+      // Local miss: try random victims, up to two rounds.
+      for (Index attempt = 0; attempt < 2 * n && !task; ++attempt) {
+        const Index victim = static_cast<Index>(rng.uniform_index(static_cast<std::uint64_t>(n)));
+        if (victim == worker_id) continue;
+        task = deques_[static_cast<std::size_t>(victim)]->steal();
+        if (task) steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (!task) {
+      std::function<void()> injected;
+      if (take_from_injector(injected)) task = std::move(injected);
+    }
+    if (task) {
+      (*task)();
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (shutting_down_.load(std::memory_order_acquire) &&
+        pending_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    std::this_thread::yield();
+  }
+}
+
+}  // namespace parma::parallel

@@ -1,0 +1,55 @@
+// Work-stealing executor: one Chase-Lev deque per worker, random victim
+// selection on miss. Implements the runtime behind the paper's Balanced
+// Parallel strategy (Section IV-C1) in real threads.
+//
+// External submissions land in a mutex-protected injector queue (a Chase-Lev
+// deque only permits owner-side pushes); each worker drains the injector into
+// its own deque when local work and stealing both miss, so the steady-state
+// fast path stays lock-free.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/work_stealing_deque.hpp"
+
+namespace parma::parallel {
+
+class WorkStealingPool {
+ public:
+  explicit WorkStealingPool(Index num_threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  /// Submit a task. Tasks must not throw; wrap fallible work yourself.
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have been executed.
+  void wait_idle();
+
+  [[nodiscard]] Index num_threads() const { return static_cast<Index>(threads_.size()); }
+
+  /// Number of successful deque steals since construction (diagnostics).
+  [[nodiscard]] std::uint64_t steal_count() const { return steals_.load(); }
+
+ private:
+  void worker_loop(Index worker_id);
+  bool take_from_injector(std::function<void()>& out);
+
+  std::vector<std::unique_ptr<WorkStealingDeque<std::function<void()>>>> deques_;
+  std::mutex injector_mu_;
+  std::deque<std::function<void()>> injector_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutting_down_{false};
+  std::atomic<Index> pending_{0};
+  std::atomic<std::uint64_t> steals_{0};
+};
+
+}  // namespace parma::parallel

@@ -1,0 +1,148 @@
+#include "solver/classical.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "equations/pair_system.hpp"
+#include "linalg/dense_solve.hpp"
+#include "solver/inverse_solver.hpp"
+
+namespace parma::solver {
+namespace {
+
+std::vector<Real> impedance_residual(const linalg::DenseMatrix& z_model,
+                                     const linalg::DenseMatrix& z_measured) {
+  std::vector<Real> r;
+  r.reserve(static_cast<std::size_t>(z_model.rows() * z_model.cols()));
+  for (Index i = 0; i < z_model.rows(); ++i) {
+    for (Index j = 0; j < z_model.cols(); ++j) r.push_back(z_measured(i, j) - z_model(i, j));
+  }
+  return r;
+}
+
+}  // namespace
+
+SensitivityModel build_sensitivity(const mea::Measurement& measurement,
+                                   Real background_resistance) {
+  measurement.spec.validate();
+  const Index rows = measurement.spec.rows;
+  const Index cols = measurement.spec.cols;
+  const Index pairs = rows * cols;
+
+  Real background = background_resistance;
+  if (background <= 0.0) {
+    // Practitioner's fallback: Z under-reads R (the crossbar shunts), so the
+    // mean measured Z scaled up makes a serviceable uniform background.
+    Real mean_z = 0.0;
+    for (Index i = 0; i < rows; ++i) {
+      for (Index j = 0; j < cols; ++j) mean_z += measurement.z(i, j);
+    }
+    mean_z /= static_cast<Real>(pairs);
+    background = 1.5 * mean_z;
+  }
+
+  SensitivityModel model;
+  model.background = circuit::ResistanceGrid(rows, cols, background);
+  model.z_background = linalg::DenseMatrix(rows, cols);
+  model.sensitivity = linalg::DenseMatrix(pairs, pairs);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      const equations::PairSolution pair =
+          equations::solve_pair(model.background, i, j, measurement.spec.drive_voltage);
+      model.z_background(i, j) = pair.z_model;
+      const std::vector<Real> grad = equations::impedance_gradient(model.background, pair);
+      for (Index e = 0; e < pairs; ++e) {
+        model.sensitivity(i * cols + j, e) = grad[static_cast<std::size_t>(e)];
+      }
+    }
+  }
+  return model;
+}
+
+circuit::ResistanceGrid linear_back_projection(const mea::Measurement& measurement,
+                                               const SensitivityModel& model) {
+  const Index rows = measurement.spec.rows;
+  const Index cols = measurement.spec.cols;
+  const Index pairs = rows * cols;
+  PARMA_REQUIRE(model.sensitivity.rows() == pairs, "sensitivity/measurement shape mismatch");
+
+  const std::vector<Real> dz = impedance_residual(model.z_background, measurement.z);
+  const std::vector<Real> numerator = model.sensitivity.multiply_transpose(dz);
+  circuit::ResistanceGrid out = model.background;
+  for (Index e = 0; e < pairs; ++e) {
+    Real weight = 0.0;
+    for (Index p = 0; p < pairs; ++p) weight += model.sensitivity(p, e);
+    const Real delta = (weight > 0.0) ? numerator[static_cast<std::size_t>(e)] / weight : 0.0;
+    out.flat()[static_cast<std::size_t>(e)] =
+        std::max(out.flat()[static_cast<std::size_t>(e)] + delta, 1.0);
+  }
+  return out;
+}
+
+circuit::ResistanceGrid tikhonov_reconstruction(const mea::Measurement& measurement,
+                                                const SensitivityModel& model, Real lambda) {
+  PARMA_REQUIRE(lambda > 0.0, "Tikhonov lambda must be positive");
+  const Index rows = measurement.spec.rows;
+  const Index cols = measurement.spec.cols;
+  const Index pairs = rows * cols;
+  PARMA_REQUIRE(model.sensitivity.rows() == pairs, "sensitivity/measurement shape mismatch");
+
+  const std::vector<Real> dz = impedance_residual(model.z_background, measurement.z);
+  const linalg::DenseMatrix st = model.sensitivity.transpose();
+  linalg::DenseMatrix normal = st.multiply(model.sensitivity);
+  Real trace = 0.0;
+  for (Index d = 0; d < pairs; ++d) trace += normal(d, d);
+  const Real damping = lambda * trace / static_cast<Real>(pairs);
+  for (Index d = 0; d < pairs; ++d) normal(d, d) += damping;
+
+  const std::vector<Real> delta = linalg::solve_dense(normal, st.multiply(dz));
+  circuit::ResistanceGrid out = model.background;
+  for (Index e = 0; e < pairs; ++e) {
+    out.flat()[static_cast<std::size_t>(e)] =
+        std::max(out.flat()[static_cast<std::size_t>(e)] + delta[static_cast<std::size_t>(e)],
+                 1.0);
+  }
+  return out;
+}
+
+LandweberResult landweber(const mea::Measurement& measurement, const SensitivityModel& model,
+                          const LandweberOptions& options) {
+  PARMA_REQUIRE(options.relaxation > 0.0 && options.relaxation < 1.0,
+                "Landweber relaxation in (0, 1)");
+  PARMA_REQUIRE(options.max_iterations >= 1, "need at least one iteration");
+  const Index rows = measurement.spec.rows;
+  const Index cols = measurement.spec.cols;
+  const Index pairs = rows * cols;
+
+  // Convergence-safe step: alpha = relaxation * 2 / ||S||_F^2 (the Frobenius
+  // norm dominates the spectral norm).
+  Real frob2 = 0.0;
+  for (Index p = 0; p < pairs; ++p) {
+    for (Index e = 0; e < pairs; ++e) frob2 += model.sensitivity(p, e) * model.sensitivity(p, e);
+  }
+  PARMA_REQUIRE(frob2 > 0.0, "degenerate sensitivity matrix");
+  const Real alpha = options.relaxation * 2.0 / frob2;
+
+  LandweberResult result;
+  result.recovered = model.background;
+  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    const linalg::DenseMatrix z_model =
+        equations::forward_model(result.recovered, measurement.spec.drive_voltage);
+    const Real misfit = impedance_misfit(z_model, measurement.z);
+    result.misfit_history.push_back(misfit);
+    result.final_misfit = misfit;
+    if (misfit <= options.tolerance) break;
+
+    const std::vector<Real> dz = impedance_residual(z_model, measurement.z);
+    const std::vector<Real> update = model.sensitivity.multiply_transpose(dz);
+    for (Index e = 0; e < pairs; ++e) {
+      Real& value = result.recovered.flat()[static_cast<std::size_t>(e)];
+      value = std::max(value + alpha * update[static_cast<std::size_t>(e)], 1.0);
+    }
+  }
+  return result;
+}
+
+}  // namespace parma::solver

@@ -1,0 +1,70 @@
+// Classical reconstruction baselines (paper Section I).
+//
+// "Conventional computational approaches include Landweber method, linear
+// back projection, and Tikhonov regularization methods, all of which exhibit
+// an ill-posed computational problem: the solution is largely dependent on
+// the input and results in an unacceptable variance."
+//
+// These are the electrical-tomography workhorses the paper positions Parma
+// against, implemented on the same exact forward model so the comparison is
+// apples-to-apples:
+//   * all three linearize around a uniform background via the sensitivity
+//     matrix S = dZ/dR (computed with the exact adjoint, not perturbation);
+//   * linear back projection is the one-shot normalized transpose;
+//   * Tikhonov solves the damped normal equations once;
+//   * Landweber iterates R <- R + alpha S^T (Z_meas - f(R)) against the
+//     true nonlinear forward model.
+// The ablation benchmark quantifies the accuracy/variance gap vs Parma's LM.
+#pragma once
+
+#include "circuit/crossbar.hpp"
+#include "linalg/dense_matrix.hpp"
+#include "mea/measurement.hpp"
+
+namespace parma::solver {
+
+/// Linearization of the forward model around a uniform background.
+struct SensitivityModel {
+  circuit::ResistanceGrid background{1, 1};
+  linalg::DenseMatrix z_background{1, 1};  ///< f(background)
+  linalg::DenseMatrix sensitivity{1, 1};   ///< S[p][e] = dZ_p / dR_e at background
+};
+
+/// Builds the linearized model. `background_resistance` <= 0 uses the mean of
+/// the measured Z as a crude background estimate (what a practitioner without
+/// ground truth would do).
+SensitivityModel build_sensitivity(const mea::Measurement& measurement,
+                                   Real background_resistance = 0.0);
+
+/// One-shot normalized back projection:
+/// dR_e = sum_p S[p][e] dZ_p / sum_p S[p][e].
+circuit::ResistanceGrid linear_back_projection(const mea::Measurement& measurement,
+                                               const SensitivityModel& model);
+
+/// One-shot Tikhonov-regularized linear inversion:
+/// dR = (S^T S + lambda * trace(S^T S)/m * I)^-1 S^T dZ.
+circuit::ResistanceGrid tikhonov_reconstruction(const mea::Measurement& measurement,
+                                                const SensitivityModel& model,
+                                                Real lambda = 1e-3);
+
+struct LandweberOptions {
+  Index max_iterations = 200;
+  /// Relaxation as a fraction of 2 / ||S||^2 (the convergence bound);
+  /// values in (0, 1).
+  Real relaxation = 0.5;
+  Real tolerance = 1e-8;  ///< relative RMS misfit stop
+};
+
+struct LandweberResult {
+  circuit::ResistanceGrid recovered{1, 1};
+  Index iterations = 0;
+  Real final_misfit = 0.0;
+  std::vector<Real> misfit_history;
+};
+
+/// Nonlinear Landweber iteration against the exact forward model, with
+/// positivity projection (resistances are clamped above a small floor).
+LandweberResult landweber(const mea::Measurement& measurement, const SensitivityModel& model,
+                          const LandweberOptions& options = {});
+
+}  // namespace parma::solver

@@ -1,0 +1,131 @@
+#include "solver/full_system_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/require.hpp"
+#include "equations/pair_system.hpp"
+#include "equations/residual.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace parma::solver {
+namespace {
+
+Real residual_rms(const std::vector<Real>& r) {
+  if (r.empty()) return 0.0;
+  Real sum = 0.0;
+  for (Real v : r) sum += v * v;
+  return std::sqrt(sum / static_cast<Real>(r.size()));
+}
+
+// Normal-equation matrix-free product would need J twice per CG step; the
+// Jacobian is sparse and reassembled per outer iteration, so we form
+// A = J^T J explicitly once per step instead (each row has O(m + n) nnz,
+// keeping the product sparse for MEA-scale problems).
+linalg::CsrMatrix normal_matrix(const linalg::CsrMatrix& j) {
+  linalg::CooBuilder builder(j.cols(), j.cols());
+  const auto& row_ptr = j.row_ptr();
+  const auto& col_idx = j.col_idx();
+  const auto& values = j.values();
+  for (Index r = 0; r < j.rows(); ++r) {
+    for (Index a = row_ptr[static_cast<std::size_t>(r)];
+         a < row_ptr[static_cast<std::size_t>(r) + 1]; ++a) {
+      for (Index b = row_ptr[static_cast<std::size_t>(r)];
+           b < row_ptr[static_cast<std::size_t>(r) + 1]; ++b) {
+        builder.add(col_idx[static_cast<std::size_t>(a)], col_idx[static_cast<std::size_t>(b)],
+                    values[static_cast<std::size_t>(a)] * values[static_cast<std::size_t>(b)]);
+      }
+    }
+  }
+  return builder.build();
+}
+
+}  // namespace
+
+std::vector<Real> initial_guess(const equations::EquationSystem& system,
+                                const mea::Measurement& measurement) {
+  const auto& layout = system.layout;
+  circuit::ResistanceGrid guess(layout.rows(), layout.cols());
+  for (Index i = 0; i < layout.rows(); ++i) {
+    for (Index j = 0; j < layout.cols(); ++j) guess.at(i, j) = measurement.z(i, j);
+  }
+  std::vector<Real> x(static_cast<std::size_t>(layout.num_unknowns()), 0.0);
+  for (Index e = 0; e < layout.num_resistors(); ++e) {
+    x[static_cast<std::size_t>(e)] = guess.flat()[static_cast<std::size_t>(e)];
+  }
+  for (Index i = 0; i < layout.rows(); ++i) {
+    for (Index j = 0; j < layout.cols(); ++j) {
+      const equations::PairSolution pair =
+          equations::solve_pair(guess, i, j, measurement.spec.drive_voltage);
+      for (Index k = 0; k < layout.cols(); ++k) {
+        if (k == j) continue;
+        x[static_cast<std::size_t>(layout.ua_index(i, j, k))] = pair.vertical_potential(k);
+      }
+      for (Index m = 0; m < layout.rows(); ++m) {
+        if (m == i) continue;
+        x[static_cast<std::size_t>(layout.ub_index(i, j, m))] = pair.horizontal_potential(m);
+      }
+    }
+  }
+  return x;
+}
+
+FullSystemResult solve_full_system(const equations::EquationSystem& system,
+                                   const mea::Measurement& measurement,
+                                   const FullSystemOptions& options) {
+  const auto& layout = system.layout;
+  FullSystemResult result;
+  result.unknowns = initial_guess(system, measurement);
+
+  std::vector<Real> residual = equations::system_residual(system, result.unknowns);
+  Real rms = residual_rms(residual);
+  result.residual_history.push_back(rms);
+
+  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (rms <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    const linalg::CsrMatrix jac = equations::system_jacobian(system, result.unknowns);
+    const linalg::CsrMatrix jtj = normal_matrix(jac);
+    std::vector<Real> rhs = jac.multiply_transpose(residual);
+    for (Real& v : rhs) v = -v;
+
+    linalg::IterativeOptions cg;
+    cg.max_iterations = options.cg_max_iterations;
+    cg.tolerance = options.cg_tolerance;
+    const linalg::IterativeResult step = linalg::conjugate_gradient(jtj, rhs, cg);
+
+    // Damped update with relative clamping; resistances must stay positive.
+    std::vector<Real> candidate = result.unknowns;
+    for (std::size_t u = 0; u < candidate.size(); ++u) {
+      Real delta = step.x[u];
+      const Real scale = std::max(std::abs(candidate[u]), Real{1e-6});
+      delta = std::clamp(delta, -options.step_clamp * scale, options.step_clamp * scale);
+      candidate[u] += delta;
+      if (layout.is_resistance(static_cast<Index>(u)) && candidate[u] <= 0.0) {
+        candidate[u] = 0.5 * scale;  // project back into the feasible region
+      }
+    }
+    std::vector<Real> candidate_residual = equations::system_residual(system, candidate);
+    const Real candidate_rms = residual_rms(candidate_residual);
+    if (candidate_rms >= rms) break;  // stalled
+    result.unknowns = std::move(candidate);
+    residual = std::move(candidate_residual);
+    rms = candidate_rms;
+    result.residual_history.push_back(rms);
+  }
+
+  result.final_residual_rms = rms;
+  result.converged = result.converged || rms <= options.tolerance;
+  result.recovered = circuit::ResistanceGrid(layout.rows(), layout.cols());
+  for (Index e = 0; e < layout.num_resistors(); ++e) {
+    result.recovered.flat()[static_cast<std::size_t>(e)] =
+        result.unknowns[static_cast<std::size_t>(e)];
+  }
+  return result;
+}
+
+}  // namespace parma::solver

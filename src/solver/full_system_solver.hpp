@@ -1,0 +1,48 @@
+// Gauss-Newton over the FULL joint-constraint system.
+//
+// Works directly on the 2n^3 equations in (2n-1) n^2 unknowns produced by
+// equations::generate_system -- resistances and pair voltages solved jointly,
+// exactly the system the paper's Parma forms. The system is overdetermined
+// by n^2 rows; each Gauss-Newton step solves the normal equations
+// J^T J delta = -J^T r with Jacobi-preconditioned CG on the sparse Jacobian.
+//
+// Complements inverse_solver.hpp (which eliminates the voltages pair-by-pair
+// and is the faster production path); tests assert both recover the same
+// grids, which validates the generated equation set end to end.
+#pragma once
+
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+#include "equations/generator.hpp"
+#include "mea/measurement.hpp"
+
+namespace parma::solver {
+
+struct FullSystemOptions {
+  Index max_iterations = 30;
+  Real tolerance = 1e-10;        ///< stop when the residual RMS falls below
+  Index cg_max_iterations = 2000;
+  Real cg_tolerance = 1e-12;
+  Real step_clamp = 0.5;         ///< max |relative| change of any unknown per step
+};
+
+struct FullSystemResult {
+  std::vector<Real> unknowns;  ///< full vector: resistances then pair voltages
+  circuit::ResistanceGrid recovered{1, 1};
+  Index iterations = 0;
+  bool converged = false;
+  Real final_residual_rms = 0.0;
+  std::vector<Real> residual_history;
+};
+
+/// Initial guess: R = Z (diagonal-dominant approximation) and pair voltages
+/// from the per-pair linear solve under that guess.
+std::vector<Real> initial_guess(const equations::EquationSystem& system,
+                                const mea::Measurement& measurement);
+
+FullSystemResult solve_full_system(const equations::EquationSystem& system,
+                                   const mea::Measurement& measurement,
+                                   const FullSystemOptions& options = {});
+
+}  // namespace parma::solver

@@ -1,0 +1,190 @@
+#include "solver/inverse_solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/require.hpp"
+#include "equations/pair_system.hpp"
+#include "linalg/dense_solve.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace parma::solver {
+namespace {
+
+// Forward sweep: model impedances and the dense log-space Jacobian
+// J[p][e] = dZ_p/dR_e * R_e (rows = pairs, cols = resistors).
+struct ForwardSweep {
+  linalg::DenseMatrix z_model{1, 1};
+  linalg::DenseMatrix jacobian{1, 1};
+};
+
+// Per-pair work is independent (the paper's fine-grained unit), so the sweep
+// parallelizes over endpoint pairs; every pair writes disjoint rows, and the
+// result is identical for any worker count.
+ForwardSweep forward_sweep(const circuit::ResistanceGrid& grid, Real volts,
+                           parallel::ThreadPool* pool) {
+  const Index rows = grid.rows();
+  const Index cols = grid.cols();
+  const Index pairs = rows * cols;
+  ForwardSweep sweep;
+  sweep.z_model = linalg::DenseMatrix(rows, cols);
+  sweep.jacobian = linalg::DenseMatrix(pairs, pairs);
+
+  const auto solve_one = [&](Index p) {
+    const Index i = p / cols;
+    const Index j = p % cols;
+    const equations::PairSolution pair = equations::solve_pair(grid, i, j, volts);
+    sweep.z_model(i, j) = pair.z_model;
+    const std::vector<Real> grad = equations::impedance_gradient(grid, pair);
+    for (Index e = 0; e < pairs; ++e) {
+      sweep.jacobian(p, e) = grad[static_cast<std::size_t>(e)] *
+                             grid.flat()[static_cast<std::size_t>(e)];
+    }
+  };
+
+  if (pool != nullptr) {
+    parallel::ForOptions loop;
+    loop.schedule = parallel::Schedule::kDynamic;
+    loop.chunk = 4;
+    parallel::parallel_for(*pool, 0, pairs, solve_one, loop);
+  } else {
+    for (Index p = 0; p < pairs; ++p) solve_one(p);
+  }
+  return sweep;
+}
+
+}  // namespace
+
+Real impedance_misfit(const linalg::DenseMatrix& z_model,
+                      const linalg::DenseMatrix& z_measured) {
+  PARMA_REQUIRE(z_model.rows() == z_measured.rows() && z_model.cols() == z_measured.cols(),
+                "impedance shapes differ");
+  Real num = 0.0;
+  Real den = 0.0;
+  for (Index i = 0; i < z_model.rows(); ++i) {
+    for (Index j = 0; j < z_model.cols(); ++j) {
+      const Real d = z_model(i, j) - z_measured(i, j);
+      num += d * d;
+      den += z_measured(i, j) * z_measured(i, j);
+    }
+  }
+  PARMA_REQUIRE(den > 0.0, "measured impedances are all zero");
+  return std::sqrt(num / den);
+}
+
+Real InverseResult::max_relative_error(const circuit::ResistanceGrid& truth) const {
+  PARMA_REQUIRE(truth.rows() == recovered.rows() && truth.cols() == recovered.cols(),
+                "truth grid shape mismatch");
+  Real worst = 0.0;
+  for (std::size_t e = 0; e < truth.flat().size(); ++e) {
+    worst = std::max(worst, std::abs(recovered.flat()[e] - truth.flat()[e]) /
+                                std::abs(truth.flat()[e]));
+  }
+  return worst;
+}
+
+InverseResult recover_resistances(const mea::Measurement& measurement,
+                                  const InverseOptions& options) {
+  measurement.spec.validate();
+  PARMA_REQUIRE(options.max_iterations >= 1, "need at least one iteration");
+  const Index rows = measurement.spec.rows;
+  const Index cols = measurement.spec.cols;
+  const Index pairs = rows * cols;
+  const Real volts = measurement.spec.drive_voltage;
+
+  InverseResult result;
+  result.recovered = circuit::ResistanceGrid(rows, cols);
+  if (options.initial_grid.has_value()) {
+    PARMA_REQUIRE(options.initial_grid->rows() == rows && options.initial_grid->cols() == cols,
+                  "initial grid shape mismatch");
+    result.recovered = *options.initial_grid;
+    for (Real v : result.recovered.flat()) {
+      PARMA_REQUIRE(v > 0.0, "initial grid must be positive");
+    }
+  } else {
+    // Z(i, j) itself is a decent starting guess: it equals R_ij exactly when
+    // every other resistor is infinite, and underestimates otherwise.
+    for (Index i = 0; i < rows; ++i) {
+      for (Index j = 0; j < cols; ++j) {
+        result.recovered.at(i, j) = options.initial_resistance > 0.0
+                                        ? options.initial_resistance
+                                        : measurement.z(i, j);
+        PARMA_REQUIRE(result.recovered.at(i, j) > 0.0, "initial guess must be positive");
+      }
+    }
+  }
+
+  PARMA_REQUIRE(options.workers >= 1, "need at least one worker");
+  std::unique_ptr<parallel::ThreadPool> pool;
+  if (options.workers > 1) pool = std::make_unique<parallel::ThreadPool>(options.workers);
+
+  Real lambda = options.initial_lambda;
+  ForwardSweep sweep = forward_sweep(result.recovered, volts, pool.get());
+  Real misfit = impedance_misfit(sweep.z_model, measurement.z);
+  result.misfit_history.push_back(misfit);
+
+  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (misfit <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    // Residual r_p = Z_model - Z_measured, normal equations in log-space:
+    // (J^T J + lambda diag(J^T J)) delta = -J^T r.
+    std::vector<Real> residual(static_cast<std::size_t>(pairs));
+    for (Index i = 0; i < rows; ++i) {
+      for (Index j = 0; j < cols; ++j) {
+        residual[static_cast<std::size_t>(i * cols + j)] =
+            sweep.z_model(i, j) - measurement.z(i, j);
+      }
+    }
+    const linalg::DenseMatrix jt = sweep.jacobian.transpose();
+    linalg::DenseMatrix jtj = jt.multiply(sweep.jacobian);
+    std::vector<Real> rhs = jt.multiply(residual);
+    for (Real& v : rhs) v = -v;
+
+    bool accepted = false;
+    for (int attempt = 0; attempt < 8 && !accepted; ++attempt) {
+      linalg::DenseMatrix damped = jtj;
+      for (Index d = 0; d < pairs; ++d) {
+        damped(d, d) += lambda * std::max(jtj(d, d), Real{1e-12});
+      }
+      std::vector<Real> delta;
+      try {
+        delta = linalg::solve_dense(damped, rhs);
+      } catch (const NumericalError&) {
+        lambda *= options.lambda_grow;
+        continue;
+      }
+
+      // Apply in log-space with a trust-region style step clamp.
+      circuit::ResistanceGrid candidate = result.recovered;
+      for (Index e = 0; e < pairs; ++e) {
+        const Real step = std::clamp(delta[static_cast<std::size_t>(e)], Real{-2.0}, Real{2.0});
+        candidate.flat()[static_cast<std::size_t>(e)] *= std::exp(step);
+      }
+      ForwardSweep candidate_sweep = forward_sweep(candidate, volts, pool.get());
+      const Real candidate_misfit = impedance_misfit(candidate_sweep.z_model, measurement.z);
+      if (candidate_misfit < misfit) {
+        result.recovered = std::move(candidate);
+        sweep = std::move(candidate_sweep);
+        misfit = candidate_misfit;
+        lambda = std::max(lambda * options.lambda_shrink, Real{1e-12});
+        accepted = true;
+      } else {
+        lambda *= options.lambda_grow;
+      }
+    }
+    result.misfit_history.push_back(misfit);
+    if (!accepted) break;  // stalled: LM cannot improve further
+  }
+
+  result.final_misfit = misfit;
+  result.converged = result.converged || misfit <= options.tolerance;
+  return result;
+}
+
+}  // namespace parma::solver

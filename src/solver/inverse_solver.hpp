@@ -1,0 +1,58 @@
+// The MEA inverse problem: recover the resistance grid R from the measured
+// pairwise impedances Z (paper Section II-C).
+//
+// Parametrization is in log-space (theta = ln R), which enforces R > 0 --
+// the paper notes "resistance cannot be non-positive values" -- and evens out
+// the 2,000-11,000 kOhm dynamic range. Levenberg-Marquardt iterations use
+// the exact adjoint gradient dZ/dR = (i_branch / I)^2 from
+// equations/pair_system.hpp, so one forward sweep yields the full dense
+// Jacobian row per pair.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "circuit/crossbar.hpp"
+#include "mea/measurement.hpp"
+
+namespace parma::solver {
+
+struct InverseOptions {
+  Index max_iterations = 50;
+  Real tolerance = 1e-8;          ///< stop when relative RMS misfit falls below
+  Real initial_lambda = 1e-3;     ///< LM damping start
+  Real lambda_shrink = 0.3;       ///< on accepted step
+  Real lambda_grow = 4.0;         ///< on rejected step
+  Real initial_resistance = 0.0;  ///< starting guess; 0 means "use Z(i,j)"
+
+  /// Worker threads for the forward sweeps (per-pair nodal solves are the
+  /// independent units the topology exposes; they dominate each iteration).
+  /// 1 = serial. Results are bit-identical for any worker count.
+  Index workers = 1;
+
+  /// Warm start: a full starting grid (e.g. the previous epoch's recovery in
+  /// the 0/6/12/24-hour campaigns). Takes precedence over
+  /// `initial_resistance`; must match the device shape and be positive.
+  std::optional<circuit::ResistanceGrid> initial_grid;
+};
+
+struct InverseResult {
+  circuit::ResistanceGrid recovered{1, 1};
+  Index iterations = 0;
+  bool converged = false;
+  Real final_misfit = 0.0;              ///< relative RMS of Z_model vs Z_measured
+  std::vector<Real> misfit_history;     ///< one entry per accepted iteration
+
+  /// Max relative error against a known ground truth (test/diagnostic).
+  [[nodiscard]] Real max_relative_error(const circuit::ResistanceGrid& truth) const;
+};
+
+/// Relative RMS misfit between a model's Z and the measurement's Z.
+Real impedance_misfit(const linalg::DenseMatrix& z_model, const linalg::DenseMatrix& z_measured);
+
+/// Runs log-space Levenberg-Marquardt; throws NumericalError if the normal
+/// equations become singular (should not happen for positive damping).
+InverseResult recover_resistances(const mea::Measurement& measurement,
+                                  const InverseOptions& options = {});
+
+}  // namespace parma::solver

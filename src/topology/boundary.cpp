@@ -1,0 +1,63 @@
+#include "topology/boundary.hpp"
+
+#include <map>
+
+#include "common/require.hpp"
+
+namespace parma::topology {
+
+Gf2Matrix boundary_matrix(const SimplicialComplex& complex, Index k) {
+  PARMA_REQUIRE(k >= 0, "boundary dimension must be non-negative");
+  const std::vector<Simplex> k_simplices = complex.simplices_of_dimension(k);
+  if (k == 0) {
+    // d_0 maps vertices to the (-1)-chain group, which is trivial here
+    // (reduced homology is not used by the paper).
+    return Gf2Matrix(0, static_cast<Index>(k_simplices.size()));
+  }
+  const std::vector<Simplex> faces = complex.simplices_of_dimension(k - 1);
+  std::map<Simplex, Index> face_index;
+  for (std::size_t i = 0; i < faces.size(); ++i) face_index[faces[i]] = static_cast<Index>(i);
+
+  Gf2Matrix d(static_cast<Index>(faces.size()), static_cast<Index>(k_simplices.size()));
+  for (std::size_t col = 0; col < k_simplices.size(); ++col) {
+    for (const Simplex& facet : k_simplices[col].facets()) {
+      const auto it = face_index.find(facet);
+      PARMA_REQUIRE(it != face_index.end(), "complex not closed under faces");
+      d.set(it->second, static_cast<Index>(col), true);
+    }
+  }
+  return d;
+}
+
+ChainGroupRanks chain_group_ranks(const SimplicialComplex& complex, Index k) {
+  ChainGroupRanks ranks;
+  ranks.chain_rank = complex.count(k);
+  const Gf2Matrix dk = boundary_matrix(complex, k);
+  ranks.cycle_rank = ranks.chain_rank - dk.rank();
+  if (k + 1 <= complex.dimension()) {
+    ranks.boundary_rank = boundary_matrix(complex, k + 1).rank();
+  }
+  return ranks;
+}
+
+Index betti_number(const SimplicialComplex& complex, Index k) {
+  return chain_group_ranks(complex, k).betti();
+}
+
+std::vector<Index> betti_numbers(const SimplicialComplex& complex) {
+  std::vector<Index> out;
+  for (Index k = 0; k <= complex.dimension(); ++k) out.push_back(betti_number(complex, k));
+  return out;
+}
+
+bool boundary_squared_is_zero(const SimplicialComplex& complex) {
+  for (Index k = 1; k + 1 <= complex.dimension() + 1; ++k) {
+    const Gf2Matrix dk = boundary_matrix(complex, k);
+    const Gf2Matrix dk1 = boundary_matrix(complex, k + 1);
+    if (dk1.rows() == 0 || dk.rows() == 0) continue;
+    if (!dk.multiply(dk1).is_zero()) return false;
+  }
+  return true;
+}
+
+}  // namespace parma::topology

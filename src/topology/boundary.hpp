@@ -1,0 +1,44 @@
+// Boundary operators and mod-2 homology of a simplicial complex
+// (paper Section III-B).
+//
+// The boundary operator d_k maps the k-chain group C^k to C^{k-1}; over
+// GF(2) it is the incidence matrix between k-simplices and their facets.
+// From its ranks:
+//   rank Z_k (cycles)     = count(k) - rank d_k
+//   rank B_k (boundaries) = rank d_{k+1}
+//   beta_k                = rank Z_k - rank B_k   (Betti number)
+// and d_{k-1} . d_k = 0 (the fundamental identity), which the tests verify.
+#pragma once
+
+#include <vector>
+
+#include "topology/gf2_matrix.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace parma::topology {
+
+/// GF(2) matrix of d_k: rows = (k-1)-simplices, cols = k-simplices, entry 1
+/// when the row simplex is a facet of the column simplex. d_0 is the map to
+/// the empty complex and is represented as a 0 x count(0) zero matrix.
+Gf2Matrix boundary_matrix(const SimplicialComplex& complex, Index k);
+
+/// Ranks of chain, cycle, and boundary groups at one dimension.
+struct ChainGroupRanks {
+  Index chain_rank = 0;     ///< dim C^k = number of k-simplices
+  Index cycle_rank = 0;     ///< dim Z_k = ker d_k
+  Index boundary_rank = 0;  ///< dim B_k = im d_{k+1}
+  [[nodiscard]] Index betti() const { return cycle_rank - boundary_rank; }
+};
+
+ChainGroupRanks chain_group_ranks(const SimplicialComplex& complex, Index k);
+
+/// beta_k of the complex.
+Index betti_number(const SimplicialComplex& complex, Index k);
+
+/// All Betti numbers from dimension 0 through dim K.
+std::vector<Index> betti_numbers(const SimplicialComplex& complex);
+
+/// Verifies d_{k} . d_{k+1} = 0 for every k (test/diagnostic helper).
+bool boundary_squared_is_zero(const SimplicialComplex& complex);
+
+}  // namespace parma::topology

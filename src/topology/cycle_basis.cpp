@@ -1,0 +1,142 @@
+#include "topology/cycle_basis.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/require.hpp"
+
+namespace parma::topology {
+namespace {
+
+// Disjoint-set union for counting components without a traversal.
+class UnionFind {
+ public:
+  explicit UnionFind(Index n) : parent_(static_cast<std::size_t>(n)) {
+    for (Index i = 0; i < n; ++i) parent_[static_cast<std::size_t>(i)] = i;
+  }
+  Index find(Index x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  bool unite(Index a, Index b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[static_cast<std::size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<Index> parent_;
+};
+
+}  // namespace
+
+CycleBasis::CycleBasis(Index num_vertices, std::vector<GraphEdge> edges)
+    : num_vertices_(num_vertices), edges_(std::move(edges)) {
+  PARMA_REQUIRE(num_vertices >= 0, "vertex count must be non-negative");
+  for (const auto& e : edges_) {
+    PARMA_REQUIRE(e.u >= 0 && e.u < num_vertices && e.v >= 0 && e.v < num_vertices,
+                  "edge endpoint out of range");
+    PARMA_REQUIRE(e.u != e.v, "self-loops are not simplicial edges");
+  }
+
+  // BFS spanning forest; parent pointers let us recover tree paths.
+  std::vector<std::vector<std::pair<Index, Index>>> adj(
+      static_cast<std::size_t>(num_vertices));  // (neighbor, edge id)
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    adj[static_cast<std::size_t>(edges_[i].u)].emplace_back(edges_[i].v, static_cast<Index>(i));
+    adj[static_cast<std::size_t>(edges_[i].v)].emplace_back(edges_[i].u, static_cast<Index>(i));
+  }
+
+  std::vector<Index> parent(static_cast<std::size_t>(num_vertices), -1);
+  std::vector<Index> parent_edge(static_cast<std::size_t>(num_vertices), -1);
+  std::vector<Index> depth(static_cast<std::size_t>(num_vertices), -1);
+  std::vector<bool> edge_in_tree(edges_.size(), false);
+
+  for (Index root = 0; root < num_vertices; ++root) {
+    if (depth[static_cast<std::size_t>(root)] >= 0) continue;
+    ++num_components_;
+    depth[static_cast<std::size_t>(root)] = 0;
+    std::queue<Index> frontier;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const Index u = frontier.front();
+      frontier.pop();
+      for (const auto& [v, eid] : adj[static_cast<std::size_t>(u)]) {
+        if (depth[static_cast<std::size_t>(v)] >= 0) continue;
+        depth[static_cast<std::size_t>(v)] = depth[static_cast<std::size_t>(u)] + 1;
+        parent[static_cast<std::size_t>(v)] = u;
+        parent_edge[static_cast<std::size_t>(v)] = eid;
+        edge_in_tree[static_cast<std::size_t>(eid)] = true;
+        tree_edges_.push_back(eid);
+        frontier.push(v);
+      }
+    }
+  }
+
+  // Each non-tree edge (u, v) closes the cycle u ~> lca ~> v plus the edge.
+  for (std::size_t eid = 0; eid < edges_.size(); ++eid) {
+    if (edge_in_tree[eid]) continue;
+    Index a = edges_[eid].u;
+    Index b = edges_[eid].v;
+    std::vector<Index> path_a{a};
+    std::vector<Index> path_a_edges;
+    std::vector<Index> path_b{b};
+    std::vector<Index> path_b_edges;
+    while (a != b) {
+      if (depth[static_cast<std::size_t>(a)] >= depth[static_cast<std::size_t>(b)]) {
+        path_a_edges.push_back(parent_edge[static_cast<std::size_t>(a)]);
+        a = parent[static_cast<std::size_t>(a)];
+        path_a.push_back(a);
+      } else {
+        path_b_edges.push_back(parent_edge[static_cast<std::size_t>(b)]);
+        b = parent[static_cast<std::size_t>(b)];
+        path_b.push_back(b);
+      }
+    }
+    Cycle cycle;
+    // u -> ... -> lca (path_a), then lca -> ... -> v reversed (path_b),
+    // closed by the non-tree edge.
+    cycle.vertices = path_a;
+    for (auto it = path_b.rbegin() + 1; it != path_b.rend(); ++it) cycle.vertices.push_back(*it);
+    cycle.edge_ids = path_a_edges;
+    for (auto it = path_b_edges.rbegin(); it != path_b_edges.rend(); ++it) {
+      cycle.edge_ids.push_back(*it);
+    }
+    cycle.edge_ids.push_back(static_cast<Index>(eid));
+    cycles_.push_back(std::move(cycle));
+  }
+}
+
+Index CycleBasis::cyclomatic_number() const {
+  return static_cast<Index>(edges_.size()) - num_vertices_ + num_components_;
+}
+
+bool CycleBasis::is_valid_cycle(const Cycle& cycle) const {
+  if (cycle.vertices.size() < 3) return false;
+  if (cycle.edge_ids.size() != cycle.vertices.size()) return false;
+  for (std::size_t i = 0; i < cycle.vertices.size(); ++i) {
+    const Index a = cycle.vertices[i];
+    const Index b = cycle.vertices[(i + 1) % cycle.vertices.size()];
+    const GraphEdge& e = edges_[static_cast<std::size_t>(cycle.edge_ids[i])];
+    const bool matches = (e.u == a && e.v == b) || (e.u == b && e.v == a);
+    if (!matches) return false;
+  }
+  return true;
+}
+
+Index cyclomatic_number(Index num_vertices, const std::vector<GraphEdge>& edges) {
+  UnionFind uf(num_vertices);
+  Index components = num_vertices;
+  for (const auto& e : edges) {
+    if (uf.unite(e.u, e.v)) --components;
+  }
+  return static_cast<Index>(edges.size()) - num_vertices + components;
+}
+
+}  // namespace parma::topology

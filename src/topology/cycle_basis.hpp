@@ -1,0 +1,63 @@
+// Fundamental cycle basis of an undirected graph (Maxwell's cyclomatic
+// number, paper Section II-A).
+//
+// A spanning forest is grown by BFS; every non-tree edge closes exactly one
+// independent cycle, giving |E| - |V| + #components independent cycles. For
+// the MEA wire graph these cycles are the independent Kirchhoff voltage loops
+// that Parma parallelizes over, and their count equals beta_1 of the
+// 1-dimensional complex (verified in tests against the GF(2) homology path).
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma::topology {
+
+/// Undirected edge between graph vertices (ids in [0, num_vertices)).
+struct GraphEdge {
+  Index u = 0;
+  Index v = 0;
+};
+
+/// One independent cycle, as the sequence of vertices it visits (closed:
+/// front() is revisited after back()), plus the edge ids it uses.
+struct Cycle {
+  std::vector<Index> vertices;
+  std::vector<Index> edge_ids;
+};
+
+class CycleBasis {
+ public:
+  CycleBasis(Index num_vertices, std::vector<GraphEdge> edges);
+
+  /// |E| - |V| + #components: the number of independent cycles.
+  [[nodiscard]] Index cyclomatic_number() const;
+
+  [[nodiscard]] Index num_components() const { return num_components_; }
+
+  /// The fundamental cycles; size() == cyclomatic_number().
+  [[nodiscard]] const std::vector<Cycle>& cycles() const { return cycles_; }
+
+  /// Edge ids of the BFS spanning forest.
+  [[nodiscard]] const std::vector<Index>& tree_edges() const { return tree_edges_; }
+
+  [[nodiscard]] Index num_vertices() const { return num_vertices_; }
+  [[nodiscard]] const std::vector<GraphEdge>& edges() const { return edges_; }
+
+  /// Verifies a cycle is closed and alternates along real edges.
+  [[nodiscard]] bool is_valid_cycle(const Cycle& cycle) const;
+
+ private:
+  Index num_vertices_ = 0;
+  std::vector<GraphEdge> edges_;
+  std::vector<Index> tree_edges_;
+  std::vector<Cycle> cycles_;
+  Index num_components_ = 0;
+};
+
+/// Convenience: cyclomatic number |E| - |V| + #components without
+/// materializing the cycles.
+Index cyclomatic_number(Index num_vertices, const std::vector<GraphEdge>& edges);
+
+}  // namespace parma::topology

@@ -1,0 +1,130 @@
+#include "topology/gf2_matrix.hpp"
+
+#include "common/require.hpp"
+
+namespace parma::topology {
+
+Gf2Matrix::Gf2Matrix(Index rows, Index cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(static_cast<std::size_t>((cols + kWordBits - 1) / kWordBits)),
+      words_(static_cast<std::size_t>(rows) * words_per_row_, 0) {
+  PARMA_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+bool Gf2Matrix::get(Index r, Index c) const {
+  PARMA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return (words_[word_index(r, c)] >> (c % kWordBits)) & 1U;
+}
+
+void Gf2Matrix::set(Index r, Index c, bool value) {
+  PARMA_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const std::uint64_t mask = std::uint64_t{1} << (c % kWordBits);
+  if (value) {
+    words_[word_index(r, c)] |= mask;
+  } else {
+    words_[word_index(r, c)] &= ~mask;
+  }
+}
+
+void Gf2Matrix::add_row(Index r, Index s) {
+  PARMA_REQUIRE(r >= 0 && r < rows_ && s >= 0 && s < rows_, "row index out of range");
+  auto* dst = words_.data() + static_cast<std::size_t>(r) * words_per_row_;
+  const auto* src = words_.data() + static_cast<std::size_t>(s) * words_per_row_;
+  for (std::size_t w = 0; w < words_per_row_; ++w) dst[w] ^= src[w];
+}
+
+Index Gf2Matrix::rank() const {
+  Gf2Matrix a = *this;
+  Index rank = 0;
+  for (Index col = 0; col < a.cols_ && rank < a.rows_; ++col) {
+    // Find a pivot row at or below `rank` with a 1 in this column.
+    Index pivot = -1;
+    for (Index r = rank; r < a.rows_; ++r) {
+      if (a.get(r, col)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    if (pivot != rank) {
+      for (std::size_t w = 0; w < a.words_per_row_; ++w) {
+        std::swap(a.words_[static_cast<std::size_t>(pivot) * a.words_per_row_ + w],
+                  a.words_[static_cast<std::size_t>(rank) * a.words_per_row_ + w]);
+      }
+    }
+    for (Index r = 0; r < a.rows_; ++r) {
+      if (r != rank && a.get(r, col)) a.add_row(r, rank);
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+std::vector<std::vector<bool>> Gf2Matrix::null_space_basis() const {
+  // Reduce to RREF while remembering pivot columns, then read off one basis
+  // vector per free column.
+  Gf2Matrix a = *this;
+  std::vector<Index> pivot_col_of_row;
+  std::vector<bool> is_pivot_col(static_cast<std::size_t>(cols_), false);
+  Index rank = 0;
+  for (Index col = 0; col < a.cols_ && rank < a.rows_; ++col) {
+    Index pivot = -1;
+    for (Index r = rank; r < a.rows_; ++r) {
+      if (a.get(r, col)) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) continue;
+    if (pivot != rank) {
+      for (std::size_t w = 0; w < a.words_per_row_; ++w) {
+        std::swap(a.words_[static_cast<std::size_t>(pivot) * a.words_per_row_ + w],
+                  a.words_[static_cast<std::size_t>(rank) * a.words_per_row_ + w]);
+      }
+    }
+    for (Index r = 0; r < a.rows_; ++r) {
+      if (r != rank && a.get(r, col)) a.add_row(r, rank);
+    }
+    pivot_col_of_row.push_back(col);
+    is_pivot_col[static_cast<std::size_t>(col)] = true;
+    ++rank;
+  }
+
+  std::vector<std::vector<bool>> basis;
+  for (Index free_col = 0; free_col < cols_; ++free_col) {
+    if (is_pivot_col[static_cast<std::size_t>(free_col)]) continue;
+    std::vector<bool> x(static_cast<std::size_t>(cols_), false);
+    x[static_cast<std::size_t>(free_col)] = true;
+    // Back-substitute: pivot variable r equals the free column's coefficient.
+    for (Index r = 0; r < rank; ++r) {
+      if (a.get(r, free_col)) x[static_cast<std::size_t>(pivot_col_of_row[static_cast<std::size_t>(r)])] = true;
+    }
+    basis.push_back(std::move(x));
+  }
+  return basis;
+}
+
+Gf2Matrix Gf2Matrix::multiply(const Gf2Matrix& other) const {
+  PARMA_REQUIRE(cols_ == other.rows_, "GF(2) matmul: inner dimensions differ");
+  Gf2Matrix out(rows_, other.cols_);
+  for (Index i = 0; i < rows_; ++i) {
+    for (Index k = 0; k < cols_; ++k) {
+      if (!get(i, k)) continue;
+      // out.row(i) ^= other.row(k)
+      auto* dst = out.words_.data() + static_cast<std::size_t>(i) * out.words_per_row_;
+      const auto* src = other.words_.data() + static_cast<std::size_t>(k) * other.words_per_row_;
+      for (std::size_t w = 0; w < out.words_per_row_; ++w) dst[w] ^= src[w];
+    }
+  }
+  return out;
+}
+
+bool Gf2Matrix::is_zero() const {
+  for (std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace parma::topology

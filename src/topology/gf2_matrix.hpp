@@ -1,0 +1,54 @@
+// Dense matrices over GF(2) with bit-packed rows.
+//
+// Chain groups of a simplicial complex are Z/2 vector spaces (the paper's
+// "modulo-2 inclusion" operation); ranks of the boundary operators over GF(2)
+// give the cycle/boundary group ranks and hence the Betti numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma::topology {
+
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+  Gf2Matrix(Index rows, Index cols);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+
+  [[nodiscard]] bool get(Index r, Index c) const;
+  void set(Index r, Index c, bool value);
+
+  /// row r ^= row s (GF(2) row addition).
+  void add_row(Index r, Index s);
+
+  /// Rank via Gaussian elimination on a copy.
+  [[nodiscard]] Index rank() const;
+
+  /// Basis of the right null space {x : A x = 0}; each basis vector is a
+  /// bool-vector of length cols(). Dimension = cols - rank (rank-nullity).
+  [[nodiscard]] std::vector<std::vector<bool>> null_space_basis() const;
+
+  /// C = A * B over GF(2).
+  [[nodiscard]] Gf2Matrix multiply(const Gf2Matrix& other) const;
+
+  /// true if every entry is zero.
+  [[nodiscard]] bool is_zero() const;
+
+ private:
+  static constexpr Index kWordBits = 64;
+  [[nodiscard]] std::size_t word_index(Index r, Index c) const {
+    return static_cast<std::size_t>(r) * words_per_row_ + static_cast<std::size_t>(c / kWordBits);
+  }
+
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace parma::topology

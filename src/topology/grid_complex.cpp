@@ -1,0 +1,106 @@
+#include "topology/grid_complex.hpp"
+
+#include "common/require.hpp"
+
+namespace parma::topology {
+namespace {
+
+Index pow_index(Index base, Index exp) {
+  Index out = 1;
+  for (Index i = 0; i < exp; ++i) out *= base;
+  return out;
+}
+
+}  // namespace
+
+WireComplex build_wire_complex(Index num_horizontal, Index num_vertical) {
+  PARMA_REQUIRE(num_horizontal >= 1 && num_vertical >= 1, "need at least one wire per axis");
+  WireComplex wc;
+  const Index m = num_horizontal;
+  const Index n = num_vertical;
+  wc.num_vertices = 2 * m * n;
+
+  const auto h_joint = [n](Index r, Index c) { return 2 * (r * n + c); };
+  const auto v_joint = [n](Index r, Index c) { return 2 * (r * n + c) + 1; };
+
+  auto add_edge = [&wc](Index u, Index v) {
+    wc.edges.push_back({u, v});
+    wc.complex.insert(Simplex{u, v});
+  };
+
+  // Resistor edges: one per crossing, joining the two joints of the crossing.
+  for (Index r = 0; r < m; ++r) {
+    for (Index c = 0; c < n; ++c) {
+      wc.resistor_edges.push_back(static_cast<Index>(wc.edges.size()));
+      add_edge(h_joint(r, c), v_joint(r, c));
+    }
+  }
+  // Wire segments along each horizontal wire...
+  for (Index r = 0; r < m; ++r) {
+    for (Index c = 0; c + 1 < n; ++c) add_edge(h_joint(r, c), h_joint(r, c + 1));
+  }
+  // ...and along each vertical wire.
+  for (Index c = 0; c < n; ++c) {
+    for (Index r = 0; r + 1 < m; ++r) add_edge(v_joint(r, c), v_joint(r + 1, c));
+  }
+  return wc;
+}
+
+std::vector<GraphEdge> build_bipartite_graph(Index m, Index n) {
+  PARMA_REQUIRE(m >= 1 && n >= 1, "need at least one wire per axis");
+  std::vector<GraphEdge> edges;
+  edges.reserve(static_cast<std::size_t>(m * n));
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) edges.push_back({i, m + j});
+  }
+  return edges;
+}
+
+LatticeComplex build_lattice_complex(Index n, Index dims) {
+  PARMA_REQUIRE(n >= 1, "lattice needs n >= 1");
+  PARMA_REQUIRE(dims >= 1 && dims <= 6, "lattice dims in [1, 6]");
+  LatticeComplex lc;
+  lc.num_vertices = pow_index(n, dims);
+
+  // Mixed-radix vertex id: coordinate d contributes coord[d] * n^d.
+  std::vector<Index> stride(static_cast<std::size_t>(dims));
+  for (Index d = 0; d < dims; ++d) stride[static_cast<std::size_t>(d)] = pow_index(n, d);
+
+  for (Index v = 0; v < lc.num_vertices; ++v) {
+    for (Index d = 0; d < dims; ++d) {
+      const Index coord = (v / stride[static_cast<std::size_t>(d)]) % n;
+      if (coord + 1 < n) {
+        const Index u = v + stride[static_cast<std::size_t>(d)];
+        lc.edges.push_back({v, u});
+        lc.complex.insert(Simplex{v, u});
+      }
+    }
+  }
+  return lc;
+}
+
+Index expected_betti1_crossbar(Index m, Index n) { return (m - 1) * (n - 1); }
+
+Index expected_betti1_lattice(Index n, Index dims) {
+  const Index vertices = pow_index(n, dims);
+  const Index edges = dims * pow_index(n, dims - 1) * (n - 1);
+  return edges - vertices + 1;
+}
+
+bool satisfies_proposition1(const WireComplex& wc) {
+  if (wc.complex.dimension() != 1) return false;
+  // By construction the complex is face-closed; check the intersection
+  // property on the maximal simplices (edges): any two distinct edges share
+  // at most one vertex, and that vertex is a simplex of the complex.
+  const std::vector<Simplex> edges = wc.complex.simplices_of_dimension(1);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      const Simplex overlap = edges[i].intersect(edges[j]);
+      if (overlap.dimension() > 0) return false;  // two edges sharing a segment
+      if (!overlap.empty() && !wc.complex.contains(overlap)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace parma::topology

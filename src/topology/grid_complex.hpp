@@ -1,0 +1,64 @@
+// MEA-to-topology abstractions (paper Section III, Proposition 1).
+//
+// Three related objects:
+//  * the *physical wire complex* of Fig. 1 -- every crossing of horizontal
+//    wire r and vertical wire c contributes two joints (one per wire) linked
+//    by the resistor R_rc, and consecutive joints along a wire are linked by
+//    ideal wire segments. This is the 1-dimensional abstract simplicial
+//    complex Proposition 1 talks about;
+//  * the *electrical bipartite graph* K_{m,n} -- with ideal wires each wire
+//    collapses to a single node, resistors become edges (Fig. 2 abstraction);
+//  * *k-dimensional lattice complexes* for the higher-dimensional MEAs of
+//    Section IV-B.
+// All three have first Betti number (m-1)(n-1) (or its k-dim analogue), the
+// quantity the paper uses to size the fine-grained parallelism.
+#pragma once
+
+#include <vector>
+
+#include "topology/cycle_basis.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace parma::topology {
+
+/// Physical crossbar complex of an m x n MEA (m horizontal, n vertical wires).
+/// Vertex ids: joint on horizontal wire r at column c -> 2*(r*n + c);
+///             joint on vertical wire c at row r      -> 2*(r*n + c) + 1.
+/// (For the 3x3 device of Fig. 1 this yields 18 joints as in the paper.)
+struct WireComplex {
+  SimplicialComplex complex;
+  std::vector<GraphEdge> edges;       ///< 1-simplices in insertion order
+  std::vector<Index> resistor_edges;  ///< indices into `edges` that are resistors
+  Index num_vertices = 0;
+};
+
+WireComplex build_wire_complex(Index num_horizontal, Index num_vertical);
+
+/// Electrical abstraction: complete bipartite graph K_{m,n}. Node ids:
+/// horizontal wire i -> i (0-based); vertical wire j -> m + j.
+/// Edge order: (i, j) -> i*n + j, matching the R_ij layout.
+std::vector<GraphEdge> build_bipartite_graph(Index m, Index n);
+
+/// k-dimensional lattice complex: vertices are points of an n^k grid, edges
+/// join lattice neighbors along each axis.
+struct LatticeComplex {
+  SimplicialComplex complex;
+  std::vector<GraphEdge> edges;
+  Index num_vertices = 0;
+};
+
+LatticeComplex build_lattice_complex(Index n, Index dims);
+
+/// Closed-form first Betti number of the m x n structures above:
+/// (m-1) * (n-1).
+Index expected_betti1_crossbar(Index m, Index n);
+
+/// Closed-form beta_1 of the n^k lattice: k*n^(k-1)*(n-1) - n^k + 1.
+Index expected_betti1_lattice(Index n, Index dims);
+
+/// Proposition 1 checks for a wire complex: dimension == 1, and pairwise
+/// simplex intersections are faces of both (always true by construction;
+/// exposed so tests can assert the proposition on concrete devices).
+bool satisfies_proposition1(const WireComplex& wc);
+
+}  // namespace parma::topology

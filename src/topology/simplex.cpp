@@ -1,0 +1,73 @@
+#include "topology/simplex.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/require.hpp"
+
+namespace parma::topology {
+
+Simplex::Simplex(std::vector<Index> vertices) : vertices_(std::move(vertices)) {
+  std::sort(vertices_.begin(), vertices_.end());
+  vertices_.erase(std::unique(vertices_.begin(), vertices_.end()), vertices_.end());
+}
+
+Simplex::Simplex(std::initializer_list<Index> vertices)
+    : Simplex(std::vector<Index>(vertices)) {}
+
+std::vector<Simplex> Simplex::facets() const {
+  std::vector<Simplex> out;
+  if (vertices_.empty()) return out;
+  out.reserve(vertices_.size());
+  for (std::size_t skip = 0; skip < vertices_.size(); ++skip) {
+    std::vector<Index> face;
+    face.reserve(vertices_.size() - 1);
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+      if (i != skip) face.push_back(vertices_[i]);
+    }
+    out.emplace_back(std::move(face));
+  }
+  return out;
+}
+
+std::vector<Simplex> Simplex::all_faces() const {
+  PARMA_REQUIRE(vertices_.size() <= 20, "face lattice too large to enumerate");
+  const std::size_t count = std::size_t{1} << vertices_.size();
+  std::vector<Simplex> out;
+  out.reserve(count);
+  for (std::size_t mask = 0; mask < count; ++mask) {
+    std::vector<Index> sub;
+    for (std::size_t i = 0; i < vertices_.size(); ++i) {
+      if (mask & (std::size_t{1} << i)) sub.push_back(vertices_[i]);
+    }
+    out.emplace_back(std::move(sub));
+  }
+  return out;
+}
+
+bool Simplex::has_face(const Simplex& other) const {
+  return std::includes(vertices_.begin(), vertices_.end(), other.vertices_.begin(),
+                       other.vertices_.end());
+}
+
+Simplex Simplex::intersect(const Simplex& other) const {
+  std::vector<Index> out;
+  std::set_intersection(vertices_.begin(), vertices_.end(), other.vertices_.begin(),
+                        other.vertices_.end(), std::back_inserter(out));
+  return Simplex(std::move(out));
+}
+
+bool Simplex::contains_vertex(Index v) const {
+  return std::binary_search(vertices_.begin(), vertices_.end(), v);
+}
+
+std::ostream& operator<<(std::ostream& os, const Simplex& s) {
+  os << '{';
+  for (std::size_t i = 0; i < s.vertices().size(); ++i) {
+    if (i) os << ',';
+    os << s.vertices()[i];
+  }
+  return os << '}';
+}
+
+}  // namespace parma::topology

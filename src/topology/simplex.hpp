@@ -1,0 +1,57 @@
+// Abstract simplex: a finite set of vertex ids (paper Section III-A).
+//
+// dim(sigma) = |sigma| - 1; every subset of a simplex is a face and is itself
+// a simplex. Vertices are stored sorted and deduplicated, giving simplices
+// value semantics and a total order usable as map keys.
+#pragma once
+
+#include <compare>
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma::topology {
+
+class Simplex {
+ public:
+  Simplex() = default;
+
+  /// From an arbitrary vertex list; sorts and removes duplicates.
+  explicit Simplex(std::vector<Index> vertices);
+  Simplex(std::initializer_list<Index> vertices);
+
+  /// Number of vertices minus one; the empty simplex has dimension -1.
+  [[nodiscard]] Index dimension() const { return static_cast<Index>(vertices_.size()) - 1; }
+
+  [[nodiscard]] bool empty() const { return vertices_.empty(); }
+  [[nodiscard]] std::size_t size() const { return vertices_.size(); }
+  [[nodiscard]] const std::vector<Index>& vertices() const { return vertices_; }
+
+  /// All faces of codimension 1 (the (d-1)-faces); the boundary operator's
+  /// support. The empty simplex has no faces.
+  [[nodiscard]] std::vector<Simplex> facets() const;
+
+  /// Every subset (the full face lattice, 2^|sigma| entries incl. empty set).
+  /// Intended for small simplices only (asserts |sigma| <= 20).
+  [[nodiscard]] std::vector<Simplex> all_faces() const;
+
+  /// true if `other`'s vertex set is a subset of this simplex's.
+  [[nodiscard]] bool has_face(const Simplex& other) const;
+
+  /// Set intersection of vertex sets.
+  [[nodiscard]] Simplex intersect(const Simplex& other) const;
+
+  [[nodiscard]] bool contains_vertex(Index v) const;
+
+  friend auto operator<=>(const Simplex&, const Simplex&) = default;
+  friend bool operator==(const Simplex&, const Simplex&) = default;
+
+ private:
+  std::vector<Index> vertices_;  // sorted, unique
+};
+
+std::ostream& operator<<(std::ostream& os, const Simplex& s);
+
+}  // namespace parma::topology

@@ -1,0 +1,76 @@
+#include "topology/simplicial_complex.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace parma::topology {
+
+void SimplicialComplex::insert(const Simplex& s) {
+  if (s.empty()) return;
+  if (simplices_.contains(s)) return;
+  // Insert the simplex and recursively its facets; small dimensions in MEA
+  // work keep this cheap (closure of an edge is 3 simplices).
+  simplices_.insert(s);
+  for (const Simplex& f : s.facets()) insert(f);
+}
+
+void SimplicialComplex::insert_all(const std::vector<Simplex>& simplices) {
+  for (const Simplex& s : simplices) insert(s);
+}
+
+bool SimplicialComplex::contains(const Simplex& s) const { return simplices_.contains(s); }
+
+Index SimplicialComplex::dimension() const {
+  Index dim = -1;
+  for (const Simplex& s : simplices_) dim = std::max(dim, s.dimension());
+  return dim;
+}
+
+std::vector<Simplex> SimplicialComplex::simplices_of_dimension(Index k) const {
+  std::vector<Simplex> out;
+  for (const Simplex& s : simplices_) {
+    if (s.dimension() == k) out.push_back(s);
+  }
+  return out;  // std::set iteration is already sorted
+}
+
+Index SimplicialComplex::count(Index k) const {
+  Index c = 0;
+  for (const Simplex& s : simplices_) {
+    if (s.dimension() == k) ++c;
+  }
+  return c;
+}
+
+Index SimplicialComplex::total_count() const { return static_cast<Index>(simplices_.size()); }
+
+Index SimplicialComplex::euler_characteristic() const {
+  Index chi = 0;
+  for (const Simplex& s : simplices_) {
+    chi += (s.dimension() % 2 == 0) ? 1 : -1;
+  }
+  return chi;
+}
+
+bool SimplicialComplex::soup_is_valid_complex(const std::vector<Simplex>& soup) {
+  std::set<Simplex> listed(soup.begin(), soup.end());
+  // Closed under faces?
+  for (const Simplex& s : soup) {
+    for (const Simplex& f : s.facets()) {
+      if (!f.empty() && !listed.contains(f)) return false;
+    }
+  }
+  // Pairwise intersections must be faces of both (the empty intersection is
+  // vacuously a face). This is the property Fig. 3 shows can fail.
+  for (auto it = listed.begin(); it != listed.end(); ++it) {
+    for (auto jt = std::next(it); jt != listed.end(); ++jt) {
+      const Simplex overlap = it->intersect(*jt);
+      if (overlap.empty()) continue;
+      if (!listed.contains(overlap)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace parma::topology

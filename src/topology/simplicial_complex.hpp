@@ -1,0 +1,58 @@
+// Abstract simplicial complex (paper Section III-A).
+//
+// A complex K is a family of simplices closed under taking faces, such that
+// the intersection of any two members is a face of both. Insertion closes
+// under faces automatically, so a SimplicialComplex is valid by construction;
+// `would_violate_intersection_property` exposes the Fig. 3 failure mode
+// (two triangles glued along a segment that is not an edge of either) as a
+// queryable predicate for polyhedra given as raw simplex soup.
+#pragma once
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "topology/simplex.hpp"
+
+namespace parma::topology {
+
+class SimplicialComplex {
+ public:
+  SimplicialComplex() = default;
+
+  /// Inserts `s` and all of its faces (excluding the empty simplex).
+  void insert(const Simplex& s);
+
+  /// Inserts many simplices.
+  void insert_all(const std::vector<Simplex>& simplices);
+
+  [[nodiscard]] bool contains(const Simplex& s) const;
+
+  /// dim K = max dim sigma over sigma in K; -1 for the empty complex.
+  [[nodiscard]] Index dimension() const;
+
+  /// All simplices of dimension k, sorted (stable order for operators).
+  [[nodiscard]] std::vector<Simplex> simplices_of_dimension(Index k) const;
+
+  /// Number of k-simplices.
+  [[nodiscard]] Index count(Index k) const;
+
+  /// Total number of simplices (all dimensions, excluding the empty simplex).
+  [[nodiscard]] Index total_count() const;
+
+  /// Euler characteristic: sum over k of (-1)^k * count(k).
+  [[nodiscard]] Index euler_characteristic() const;
+
+  /// Checks whether adding raw simplex set `soup` (WITHOUT face closure, as a
+  /// polyhedron given by its maximal cells plus whatever faces the caller
+  /// listed) violates the simplicial intersection property of Section III-A:
+  /// returns a witness pair whose intersection is not listed, if any.
+  static bool soup_is_valid_complex(const std::vector<Simplex>& soup);
+
+  [[nodiscard]] const std::set<Simplex>& simplices() const { return simplices_; }
+
+ private:
+  std::set<Simplex> simplices_;
+};
+
+}  // namespace parma::topology

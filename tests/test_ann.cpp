@@ -1,0 +1,168 @@
+// Tests for src/ann: the from-scratch MLP, its gradients, the Adam trainer,
+// and the HDK-style Z -> R estimator pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ann/dataset.hpp"
+#include "ann/mlp.hpp"
+#include "ann/trainer.hpp"
+#include "common/require.hpp"
+#include "mea/device.hpp"
+
+namespace parma::ann {
+namespace {
+
+TEST(Mlp, ShapesAndParameterCount) {
+  Rng rng(801);
+  const Mlp net({3, 5, 2}, rng);
+  EXPECT_EQ(net.input_size(), 3);
+  EXPECT_EQ(net.output_size(), 2);
+  // (3*5 + 5) + (5*2 + 2) = 32.
+  EXPECT_EQ(net.num_parameters(), 32);
+  EXPECT_EQ(net.predict({1.0, 2.0, 3.0}).size(), 2u);
+  EXPECT_THROW(Mlp({4}, rng), ContractError);
+  EXPECT_THROW(Mlp({4, 0, 2}, rng), ContractError);
+}
+
+TEST(Mlp, DeterministicInitializationPerSeed) {
+  Rng a(802);
+  Rng b(802);
+  const Mlp net_a({4, 6, 3}, a);
+  const Mlp net_b({4, 6, 3}, b);
+  EXPECT_EQ(net_a.parameters(), net_b.parameters());
+}
+
+TEST(Mlp, GradientsMatchFiniteDifferences) {
+  Rng rng(803);
+  Mlp net({3, 4, 2}, rng);
+  const std::vector<Real> x{0.3, -0.7, 1.1};
+  const std::vector<Real> t{0.5, -0.2};
+
+  std::vector<Real> analytic(net.parameters().size(), 0.0);
+  net.accumulate_gradients(x, t, analytic);
+
+  const Real h = 1e-6;
+  for (std::size_t p = 0; p < net.parameters().size(); ++p) {
+    std::vector<Real> dummy(net.parameters().size(), 0.0);
+    const Real original = net.parameters()[p];
+    net.parameters()[p] = original + h;
+    const Real up = net.accumulate_gradients(x, t, dummy);
+    net.parameters()[p] = original - h;
+    const Real down = net.accumulate_gradients(x, t, dummy);
+    net.parameters()[p] = original;
+    const Real fd = (up - down) / (2.0 * h);
+    EXPECT_NEAR(analytic[p], fd, 1e-4 * std::max(std::abs(fd), 1.0)) << "param " << p;
+  }
+}
+
+TEST(Mlp, LearnsALinearMap) {
+  // Sanity regression: y = 2x0 - x1 learned to high accuracy.
+  Rng rng(804);
+  Mlp net({2, 8, 1}, rng);
+  Dataset dataset;
+  dataset.spec = mea::square_device(2);
+  dataset.feature_norm.mean = {0.0, 0.0};
+  dataset.feature_norm.scale = {1.0, 1.0};
+  dataset.label_norm = dataset.feature_norm;
+  dataset.label_norm.mean = {0.0};
+  dataset.label_norm.scale = {1.0};
+  Rng data_rng(805);
+  for (int s = 0; s < 128; ++s) {
+    const Real x0 = data_rng.uniform(-1.0, 1.0);
+    const Real x1 = data_rng.uniform(-1.0, 1.0);
+    Sample sample{{x0, x1}, {2.0 * x0 - x1}};
+    if (s < 16) dataset.test.push_back(sample);
+    else dataset.train.push_back(sample);
+  }
+  TrainOptions options;
+  options.epochs = 300;
+  options.learning_rate = 5e-3;
+  Rng train_rng(806);
+  const TrainReport report = train(net, dataset, options, train_rng);
+  EXPECT_LT(report.final_test_loss, 1e-4);
+  EXPECT_LT(report.train_loss_per_epoch.back(), report.train_loss_per_epoch.front());
+}
+
+TEST(Normalization, RoundTrips) {
+  Normalization norm;
+  norm.mean = {10.0, -5.0};
+  norm.scale = {2.0, 4.0};
+  const std::vector<Real> raw{12.0, -1.0};
+  const std::vector<Real> normalized = norm.apply(raw);
+  EXPECT_DOUBLE_EQ(normalized[0], 1.0);
+  EXPECT_DOUBLE_EQ(normalized[1], 1.0);
+  const std::vector<Real> back = norm.invert(normalized);
+  EXPECT_DOUBLE_EQ(back[0], raw[0]);
+  EXPECT_DOUBLE_EQ(back[1], raw[1]);
+  EXPECT_THROW(norm.apply({1.0}), ContractError);
+}
+
+TEST(Dataset, ShapesSplitsAndDeterminism) {
+  const mea::DeviceSpec spec = mea::square_device(4);
+  DatasetOptions options;
+  options.num_samples = 40;
+  options.test_fraction = 0.25;
+  Rng rng_a(807);
+  Rng rng_b(807);
+  const Dataset a = generate_dataset(spec, options, rng_a);
+  const Dataset b = generate_dataset(spec, options, rng_b);
+  EXPECT_EQ(a.train.size(), 30u);
+  EXPECT_EQ(a.test.size(), 10u);
+  ASSERT_FALSE(a.train.empty());
+  EXPECT_EQ(a.train[0].features.size(), 16u);
+  EXPECT_EQ(a.train[0].labels.size(), 16u);
+  EXPECT_EQ(a.train[0].features, b.train[0].features);
+
+  // Normalized features are roughly standardized.
+  Real mean = 0.0;
+  for (const auto& s : a.train) mean += s.features[0];
+  mean /= static_cast<Real>(a.train.size());
+  EXPECT_LT(std::abs(mean), 1.0);
+}
+
+TEST(Estimator, LearnsTheInverseMapBetterThanChance) {
+  // The HDK workflow: Parma-labelled data in, an estimator that maps a
+  // measured sweep to the resistance field out. With a small device and a
+  // few hundred samples the net must clearly beat the untrained baseline
+  // and land within tens of percent mean relative error.
+  const mea::DeviceSpec spec = mea::square_device(3);
+  DatasetOptions data_options;
+  data_options.num_samples = 240;
+  Rng data_rng(808);
+  const Dataset dataset = generate_dataset(spec, data_options, data_rng);
+
+  Rng net_rng(809);
+  Mlp net({9, 32, 32, 9}, net_rng);
+  const Real untrained_loss = evaluate_loss(net, dataset.test);
+
+  TrainOptions options;
+  options.epochs = 150;
+  options.learning_rate = 2e-3;
+  Rng train_rng(810);
+  const TrainReport report = train(net, dataset, options, train_rng);
+
+  EXPECT_LT(report.final_test_loss, untrained_loss * 0.3);
+  EXPECT_LT(report.test_mean_relative_error, 0.35);
+}
+
+TEST(Estimator, InferenceInvertsNormalization) {
+  const mea::DeviceSpec spec = mea::square_device(3);
+  DatasetOptions data_options;
+  data_options.num_samples = 16;
+  Rng rng(811);
+  const Dataset dataset = generate_dataset(spec, data_options, rng);
+  Rng net_rng(812);
+  const Mlp net({9, 8, 9}, net_rng);
+  // Any raw feature vector must produce label-scale outputs (kilo-ohms).
+  std::vector<Real> raw(9, 1500.0);
+  const std::vector<Real> r = infer_resistances(net, dataset, raw);
+  ASSERT_EQ(r.size(), 9u);
+  for (Real v : r) {
+    EXPECT_GT(v, -kWetLabMaxResistanceKOhm);
+    EXPECT_LT(v, 3.0 * kWetLabMaxResistanceKOhm);
+  }
+}
+
+}  // namespace
+}  // namespace parma::ann

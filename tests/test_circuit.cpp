@@ -1,0 +1,322 @@
+// Tests for src/circuit: networks, MNA, the crossbar forward model,
+// Kirchhoff residuals, and the exponential path baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "circuit/crossbar.hpp"
+#include "circuit/kirchhoff.hpp"
+#include "circuit/mna.hpp"
+#include "circuit/network.hpp"
+#include "circuit/path_enumeration.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "linalg/laplacian.hpp"
+
+namespace parma::circuit {
+namespace {
+
+ResistanceGrid random_grid(Index rows, Index cols, Rng& rng) {
+  ResistanceGrid grid(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      grid.at(i, j) = rng.uniform(kWetLabMinResistanceKOhm, kWetLabMaxResistanceKOhm);
+    }
+  }
+  return grid;
+}
+
+TEST(Network, ValidatesInputs) {
+  EXPECT_THROW(ResistorNetwork(2, {{0, 0, 1.0}}), ContractError);
+  EXPECT_THROW(ResistorNetwork(2, {{0, 1, -5.0}}), ContractError);
+  EXPECT_THROW(ResistorNetwork(2, {{0, 3, 1.0}}), ContractError);
+  EXPECT_NO_THROW(ResistorNetwork(2, {{0, 1, 1.0}}));
+}
+
+TEST(Network, ConnectivityAndLoops) {
+  const ResistorNetwork triangle(3, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}});
+  EXPECT_TRUE(triangle.is_connected());
+  EXPECT_EQ(triangle.num_independent_loops(), 1);
+
+  const ResistorNetwork split(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  EXPECT_FALSE(split.is_connected());
+  EXPECT_EQ(split.num_independent_loops(), 0);
+}
+
+TEST(Mna, VoltageDividerPotentials) {
+  // 5 V across 0 -1k- 1 -4k- 2: node 1 sits at 4 V (4k of 5k above ground).
+  const ResistorNetwork net(3, {{0, 1, 1000.0}, {1, 2, 4000.0}});
+  const MnaSolution sol = solve_mna(net, 0, 2, 5.0);
+  EXPECT_NEAR(sol.node_potentials[0], 5.0, 1e-9);
+  EXPECT_NEAR(sol.node_potentials[1], 4.0, 1e-9);
+  EXPECT_NEAR(sol.node_potentials[2], 0.0, 1e-9);
+  EXPECT_NEAR(sol.equivalent_resistance, 5000.0, 1e-6);
+  EXPECT_NEAR(sol.source_current, 0.001, 1e-12);  // 5 V / 5 MOhm-in-kOhm units
+}
+
+TEST(Mna, ParallelBranchesSplitCurrent) {
+  const ResistorNetwork net(2, {{0, 1, 2000.0}, {0, 1, 2000.0}});
+  const MnaSolution sol = solve_mna(net, 0, 1, 5.0);
+  EXPECT_NEAR(sol.equivalent_resistance, 1000.0, 1e-9);
+  EXPECT_NEAR(sol.branch_currents[0], sol.branch_currents[1], 1e-12);
+}
+
+TEST(Mna, AgreesWithEffectiveResistanceOnRandomNetworks) {
+  Rng rng(31);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Index n = 4 + static_cast<Index>(rng.uniform_index(5));
+    std::vector<Resistor> resistors;
+    // Ring + random chords keeps it connected.
+    for (Index v = 0; v < n; ++v) {
+      resistors.push_back({v, (v + 1) % n, rng.uniform(500.0, 5000.0)});
+    }
+    for (int c = 0; c < 4; ++c) {
+      const Index a = static_cast<Index>(rng.uniform_index(n));
+      const Index b = static_cast<Index>(rng.uniform_index(n));
+      if (a != b) resistors.push_back({a, b, rng.uniform(500.0, 5000.0)});
+    }
+    const ResistorNetwork net(n, resistors);
+    const linalg::EffectiveResistance oracle(n, net.weighted_edges());
+    const Index s = 0;
+    const Index t = n / 2;
+    const MnaSolution sol = solve_mna(net, s, t, 5.0);
+    EXPECT_NEAR(sol.equivalent_resistance, oracle.between(s, t),
+                1e-8 * oracle.between(s, t));
+  }
+}
+
+TEST(Mna, RejectsDisconnectedAndDegenerate) {
+  const ResistorNetwork split(4, {{0, 1, 1.0}, {2, 3, 1.0}});
+  EXPECT_THROW(solve_mna(split, 0, 3, 5.0), ContractError);
+  const ResistorNetwork ok(2, {{0, 1, 1.0}});
+  EXPECT_THROW(solve_mna(ok, 0, 0, 5.0), ContractError);
+}
+
+TEST(Kirchhoff, ResidualsVanishAtOperatingPoint) {
+  Rng rng(32);
+  const ResistanceGrid grid = random_grid(4, 4, rng);
+  const ResistorNetwork net = build_crossbar_network(grid);
+  const MnaSolution sol = solve_mna(net, horizontal_node(1), vertical_node(4, 2), 5.0);
+  EXPECT_LT(max_kcl_residual(net, sol, horizontal_node(1), vertical_node(4, 2)), 1e-10);
+  EXPECT_LT(max_kvl_residual(net, sol), 1e-10);
+}
+
+TEST(Kirchhoff, KvlIsATopologicalIdentity) {
+  // KVL holds for ANY potential assignment -- that is the paper's point that
+  // loops are homological, not physical. Feed garbage potentials.
+  const ResistorNetwork net(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}, {3, 0, 1.0}});
+  MnaSolution fake;
+  fake.node_potentials = {3.7, -1.2, 99.0, 0.5};
+  fake.branch_currents = {0, 0, 0, 0};
+  EXPECT_LT(max_kvl_residual(net, fake), 1e-12);
+}
+
+TEST(Kirchhoff, IndependentEquationCountsMatchPaper) {
+  // Section II-A: |V|-1 independent KCL equations, |E|-|V|+1 KVL equations.
+  const ResistanceGrid grid(3, 3, 1000.0);
+  const ResistorNetwork net = build_crossbar_network(grid);
+  EXPECT_EQ(num_independent_kcl_equations(net), 6 - 1);
+  EXPECT_EQ(num_independent_kvl_equations(net), 9 - 6 + 1);
+  EXPECT_EQ(num_independent_kcl_equations(net) + num_independent_kvl_equations(net),
+            static_cast<Index>(net.resistors().size()));  // |E| unknown currents
+}
+
+TEST(Crossbar, UniformGridHasSymmetricMeasurements) {
+  const ResistanceGrid grid(3, 3, 3000.0);
+  const linalg::DenseMatrix z = measure_all_pairs(grid);
+  // All pairs are equivalent by symmetry.
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) EXPECT_NEAR(z(i, j), z(0, 0), 1e-8);
+  }
+  // The crossbar shunts: measured Z is well below the single resistor.
+  EXPECT_LT(z(0, 0), 3000.0);
+  EXPECT_GT(z(0, 0), 0.0);
+}
+
+TEST(Crossbar, UniformGridClosedForm) {
+  // For uniform R on K_{n,n} the pairwise effective resistance has the
+  // closed form Z = R (2n - 1) / n^2 (n=1: R; n=2: 3R/4 -- the direct
+  // resistor in parallel with the single 3R detour).
+  for (Index n : {1, 2, 3, 5, 8, 12}) {
+    const Real r = 4000.0;
+    const ResistanceGrid grid(n, n, r);
+    const Real expected = r * static_cast<Real>(2 * n - 1) / static_cast<Real>(n * n);
+    EXPECT_NEAR(measure_pair(grid, 0, 0), expected, 1e-7 * expected) << "n=" << n;
+  }
+}
+
+TEST(Crossbar, SinglePairMatchesFullSweepAndMna) {
+  Rng rng(33);
+  const ResistanceGrid grid = random_grid(3, 4, rng);
+  const linalg::DenseMatrix z = measure_all_pairs(grid);
+  const ResistorNetwork net = build_crossbar_network(grid);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      EXPECT_NEAR(measure_pair(grid, i, j), z(i, j), 1e-9 * z(i, j));
+      const MnaSolution sol = solve_mna(net, horizontal_node(i), vertical_node(3, j), 5.0);
+      EXPECT_NEAR(sol.equivalent_resistance, z(i, j), 1e-8 * z(i, j));
+    }
+  }
+}
+
+TEST(Crossbar, AnomalyRaisesItsOwnPairMost) {
+  ResistanceGrid grid(5, 5, 2000.0);
+  const linalg::DenseMatrix base = measure_all_pairs(grid);
+  grid.at(2, 3) = 11000.0;
+  const linalg::DenseMatrix bumped = measure_all_pairs(grid);
+  Real best_gain = 0.0;
+  Index best_i = -1, best_j = -1;
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      const Real gain = bumped(i, j) - base(i, j);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  EXPECT_EQ(best_i, 2);
+  EXPECT_EQ(best_j, 3);
+}
+
+TEST(Crossbar, RayleighMonotonicity) {
+  // Physics property test: raising ANY single resistance must not lower ANY
+  // pairwise measured resistance (Rayleigh's monotonicity law). This is a
+  // strong whole-model invariant the forward solver must respect.
+  Rng rng(35);
+  const ResistanceGrid grid = random_grid(4, 4, rng);
+  const linalg::DenseMatrix base = measure_all_pairs(grid);
+  for (Index e = 0; e < 16; ++e) {
+    ResistanceGrid bumped = grid;
+    bumped.flat()[static_cast<std::size_t>(e)] *= 1.3;
+    const linalg::DenseMatrix z = measure_all_pairs(bumped);
+    for (Index i = 0; i < 4; ++i) {
+      for (Index j = 0; j < 4; ++j) {
+        EXPECT_GE(z(i, j), base(i, j) - 1e-9)
+            << "raising R(" << e / 4 << ',' << e % 4 << ") lowered Z(" << i << ',' << j << ')';
+      }
+    }
+  }
+}
+
+TEST(Crossbar, ReciprocityUnderTranspose) {
+  // Transposing the device (swapping wire roles) transposes the measurement:
+  // Z(R^T) = Z(R)^T. Catches row/column confusions in the forward model.
+  Rng rng(36);
+  const ResistanceGrid grid = random_grid(3, 5, rng);
+  ResistanceGrid transposed(5, 3);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 5; ++j) transposed.at(j, i) = grid.at(i, j);
+  }
+  const linalg::DenseMatrix z = measure_all_pairs(grid);
+  const linalg::DenseMatrix zt = measure_all_pairs(transposed);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 5; ++j) EXPECT_NEAR(z(i, j), zt(j, i), 1e-9 * z(i, j));
+  }
+}
+
+TEST(Crossbar, MeasurementBounds) {
+  // Z is at most the direct resistor (parallel paths only shunt) and at
+  // least the full-parallel lower bound.
+  Rng rng(37);
+  const ResistanceGrid grid = random_grid(5, 5, rng);
+  const linalg::DenseMatrix z = measure_all_pairs(grid);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      EXPECT_LT(z(i, j), grid.at(i, j));
+      EXPECT_GT(z(i, j), 0.0);
+    }
+  }
+}
+
+// --- Path enumeration --------------------------------------------------------
+
+TEST(Paths, Figure4CountsNinePathsFor3x3) {
+  const auto paths = enumerate_paths(3, 3, 2, 0);  // the paper's C -> I pair
+  EXPECT_EQ(paths.size(), 9u);
+  EXPECT_EQ(count_paths(3, 3), 9u);
+  // Shortest path is the direct crossing.
+  bool found_direct = false;
+  for (const auto& p : paths) {
+    if (p.crossings.size() == 1) {
+      EXPECT_EQ(p.crossings[0], (std::pair<Index, Index>{2, 0}));
+      found_direct = true;
+    }
+  }
+  EXPECT_TRUE(found_direct);
+}
+
+class PathCounts : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(PathCounts, EnumerationMatchesClosedForm) {
+  const auto [m, n] = GetParam();
+  const auto paths = enumerate_paths(m, n, 0, 0);
+  EXPECT_EQ(paths.size(), count_paths(m, n));
+  // Every path is simple: no repeated crossings.
+  for (const auto& p : paths) {
+    std::set<std::pair<Index, Index>> seen(p.crossings.begin(), p.crossings.end());
+    EXPECT_EQ(seen.size(), p.crossings.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallDevices, PathCounts,
+                         ::testing::Values(std::pair<Index, Index>{1, 1},
+                                           std::pair<Index, Index>{2, 2},
+                                           std::pair<Index, Index>{2, 4},
+                                           std::pair<Index, Index>{3, 3},
+                                           std::pair<Index, Index>{4, 4},
+                                           std::pair<Index, Index>{5, 4}));
+
+TEST(Paths, GrowthIsExponential) {
+  // The paper's n^(n-1)-per-pair scaling: n = 5 already has 1,689 paths and
+  // n = 6 is 20x that again.
+  EXPECT_EQ(count_paths(2, 2), 2u);
+  EXPECT_EQ(count_paths(3, 3), 9u);
+  EXPECT_EQ(count_paths(4, 4), 82u);  // 1 + 9 + 36 + 36
+  EXPECT_GT(count_paths(6, 6), 10000u);
+  EXPECT_GT(count_paths(8, 8), 1000000u);
+}
+
+TEST(Paths, EnumerationGuardTrips) {
+  PathEnumerationOptions options;
+  options.max_paths = 5;
+  EXPECT_THROW(enumerate_paths(3, 3, 0, 0, options), ContractError);
+}
+
+TEST(Paths, SingleCrossingDeviceIsExact) {
+  ResistanceGrid grid(1, 1, 4321.0);
+  EXPECT_NEAR(aggregate_parallel_paths(grid, 0, 0), 4321.0, 1e-12);
+  EXPECT_NEAR(measure_pair(grid, 0, 0), 4321.0, 1e-9);
+}
+
+TEST(Paths, ParallelAggregationUnderestimatesTrueResistance) {
+  // Treating correlated paths as independent parallel branches over-counts
+  // conductance, so the baseline's formula is a strict lower bound -- the
+  // quantitative reason the joint-constraint reformulation matters.
+  Rng rng(34);
+  for (int trial = 0; trial < 5; ++trial) {
+    const ResistanceGrid grid = random_grid(3, 3, rng);
+    for (Index i = 0; i < 3; ++i) {
+      for (Index j = 0; j < 3; ++j) {
+        const Real estimate = aggregate_parallel_paths(grid, i, j);
+        const Real exact = measure_pair(grid, i, j);
+        EXPECT_LT(estimate, exact * 1.0000001);
+      }
+    }
+  }
+}
+
+TEST(Paths, PathResistanceSumsCrossings) {
+  ResistanceGrid grid(2, 2, 0.0);
+  grid.at(0, 0) = 1.0;
+  grid.at(0, 1) = 2.0;
+  grid.at(1, 0) = 4.0;
+  grid.at(1, 1) = 8.0;
+  CrossingPath path{{{0, 1}, {1, 1}, {1, 0}}};
+  EXPECT_DOUBLE_EQ(path_resistance(grid, path), 14.0);
+}
+
+}  // namespace
+}  // namespace parma::circuit

@@ -1,0 +1,170 @@
+// Tests for the classical reconstruction baselines (Section I's conventional
+// approaches) and their comparison against Parma's LM recovery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "mea/generator.hpp"
+#include "mea/measurement.hpp"
+#include "solver/classical.hpp"
+#include "solver/inverse_solver.hpp"
+
+namespace parma::solver {
+namespace {
+
+struct Scene {
+  mea::DeviceSpec spec;
+  circuit::ResistanceGrid truth{1, 1};
+  mea::Measurement measurement;
+  Index anomaly_cell = 0;
+};
+
+Scene single_anomaly_scene(Index n, Real noise, std::uint64_t seed) {
+  Rng rng(seed);
+  Scene scene{mea::square_device(n), circuit::ResistanceGrid(1, 1), {}, 0};
+  mea::GeneratorOptions gen;
+  gen.jitter_fraction = 0.0;
+  const Index ai = n / 2;
+  const Index aj = n / 3;
+  gen.anomalies.push_back({static_cast<Real>(ai), static_cast<Real>(aj), 0.6, 0.6, 9000.0});
+  scene.anomaly_cell = ai * n + aj;
+  scene.truth = mea::generate_field(scene.spec, gen, rng);
+  mea::MeasurementOptions mopt;
+  mopt.noise_fraction = noise;
+  scene.measurement = mea::measure(scene.spec, scene.truth, mopt, rng);
+  return scene;
+}
+
+Index argmax_cell(const circuit::ResistanceGrid& grid) {
+  Index best = 0;
+  for (Index e = 1; e < static_cast<Index>(grid.flat().size()); ++e) {
+    if (grid.flat()[static_cast<std::size_t>(e)] > grid.flat()[static_cast<std::size_t>(best)]) {
+      best = e;
+    }
+  }
+  return best;
+}
+
+TEST(Sensitivity, BackgroundModelIsConsistent) {
+  const Scene scene = single_anomaly_scene(5, 0.0, 501);
+  const SensitivityModel model = build_sensitivity(scene.measurement, 2000.0);
+  // Sensitivities are the adjoint (i/I)^2 values: non-negative, and the
+  // direct crossing dominates its own pair's row.
+  for (Index p = 0; p < 25; ++p) {
+    Index best = 0;
+    for (Index e = 0; e < 25; ++e) {
+      EXPECT_GE(model.sensitivity(p, e), 0.0);
+      if (model.sensitivity(p, e) > model.sensitivity(p, best)) best = e;
+    }
+    EXPECT_EQ(best, p);  // dZ(i,j) most sensitive to R(i,j)
+  }
+}
+
+TEST(Sensitivity, AutomaticBackgroundIsReasonable) {
+  const Scene scene = single_anomaly_scene(5, 0.0, 502);
+  const SensitivityModel model = build_sensitivity(scene.measurement);
+  const Real bg = model.background.at(0, 0);
+  EXPECT_GT(bg, 500.0);
+  EXPECT_LT(bg, 20000.0);
+}
+
+TEST(LinearBackProjection, LocalizesTheAnomaly) {
+  const Scene scene = single_anomaly_scene(6, 0.0, 503);
+  const SensitivityModel model = build_sensitivity(scene.measurement, 2000.0);
+  const circuit::ResistanceGrid lbp = linear_back_projection(scene.measurement, model);
+  EXPECT_EQ(argmax_cell(lbp), scene.anomaly_cell);
+}
+
+TEST(Tikhonov, LocalizesTheAnomalyAndRespectsDamping) {
+  const Scene scene = single_anomaly_scene(6, 0.0, 504);
+  const SensitivityModel model = build_sensitivity(scene.measurement, 2000.0);
+  const circuit::ResistanceGrid light = tikhonov_reconstruction(scene.measurement, model, 1e-4);
+  const circuit::ResistanceGrid heavy = tikhonov_reconstruction(scene.measurement, model, 10.0);
+  EXPECT_EQ(argmax_cell(light), scene.anomaly_cell);
+  // Heavier damping shrinks the update toward the background.
+  const Real light_peak = light.flat()[static_cast<std::size_t>(scene.anomaly_cell)];
+  const Real heavy_peak = heavy.flat()[static_cast<std::size_t>(scene.anomaly_cell)];
+  const Real bg = model.background.at(0, 0);
+  EXPECT_GT(light_peak - bg, heavy_peak - bg);
+  EXPECT_THROW(tikhonov_reconstruction(scene.measurement, model, 0.0), ContractError);
+}
+
+TEST(Landweber, MisfitDecreasesAndAnomalyEmerges) {
+  const Scene scene = single_anomaly_scene(5, 0.0, 505);
+  const SensitivityModel model = build_sensitivity(scene.measurement, 2000.0);
+  LandweberOptions options;
+  options.max_iterations = 150;
+  const LandweberResult result = landweber(scene.measurement, model, options);
+  ASSERT_GE(result.misfit_history.size(), 2u);
+  EXPECT_LT(result.final_misfit, result.misfit_history.front() * 0.5);
+  EXPECT_EQ(argmax_cell(result.recovered), scene.anomaly_cell);
+  for (Real v : result.recovered.flat()) EXPECT_GT(v, 0.0);
+}
+
+TEST(Landweber, RejectsBadOptions) {
+  const Scene scene = single_anomaly_scene(4, 0.0, 506);
+  const SensitivityModel model = build_sensitivity(scene.measurement, 2000.0);
+  LandweberOptions bad;
+  bad.relaxation = 1.5;
+  EXPECT_THROW(landweber(scene.measurement, model, bad), ContractError);
+}
+
+TEST(Comparison, ParmaLmBeatsEveryClassicalBaseline) {
+  // The paper's core positioning: the conventional linearized methods leave
+  // large reconstruction error where the exact nonlinear recovery does not.
+  const Scene scene = single_anomaly_scene(5, 0.0, 507);
+  const SensitivityModel model = build_sensitivity(scene.measurement, 2000.0);
+
+  auto max_rel_error = [&](const circuit::ResistanceGrid& grid) {
+    Real worst = 0.0;
+    for (std::size_t e = 0; e < grid.flat().size(); ++e) {
+      worst = std::max(worst, std::abs(grid.flat()[e] - scene.truth.flat()[e]) /
+                                  scene.truth.flat()[e]);
+    }
+    return worst;
+  };
+
+  InverseOptions lm_options;
+  lm_options.max_iterations = 80;
+  const Real lm_error = recover_resistances(scene.measurement, lm_options)
+                            .max_relative_error(scene.truth);
+  const Real lbp_error = max_rel_error(linear_back_projection(scene.measurement, model));
+  const Real tik_error = max_rel_error(tikhonov_reconstruction(scene.measurement, model));
+  LandweberOptions lw_options;
+  lw_options.max_iterations = 150;
+  const Real lw_error = max_rel_error(landweber(scene.measurement, model, lw_options).recovered);
+
+  EXPECT_LT(lm_error, 1e-4);
+  EXPECT_GT(lbp_error, 10.0 * lm_error);
+  EXPECT_GT(tik_error, 10.0 * lm_error);
+  EXPECT_GT(lw_error, 10.0 * lm_error);
+}
+
+TEST(Comparison, ClassicalMethodsAreNoiseSensitive) {
+  // The ill-posedness the paper cites: across noise realizations the
+  // linearized reconstructions vary much more than the measurements do.
+  const Index n = 5;
+  std::vector<Real> tik_peaks;
+  for (std::uint64_t seed : {601u, 602u, 603u, 604u}) {
+    const Scene scene = single_anomaly_scene(n, 0.01, seed);
+    const SensitivityModel model = build_sensitivity(scene.measurement, 2000.0);
+    const circuit::ResistanceGrid tik =
+        tikhonov_reconstruction(scene.measurement, model, 1e-4);
+    tik_peaks.push_back(tik.flat()[static_cast<std::size_t>(scene.anomaly_cell)]);
+  }
+  Real mean = 0.0;
+  for (Real v : tik_peaks) mean += v;
+  mean /= static_cast<Real>(tik_peaks.size());
+  Real var = 0.0;
+  for (Real v : tik_peaks) var += (v - mean) * (v - mean);
+  var /= static_cast<Real>(tik_peaks.size());
+  // 1% measurement noise is not damped: the recovered peak's spread stays at
+  // least at the noise's order of magnitude (the ill-posed amplification the
+  // paper cites; a well-posed inversion could average it down).
+  EXPECT_GT(std::sqrt(var) / mean, 0.005);
+}
+
+}  // namespace
+}  // namespace parma::solver

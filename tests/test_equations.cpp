@@ -1,0 +1,454 @@
+// Tests for src/equations: the joint-constraint formulation itself -- unknown
+// layout, equation census, exactness against the independent circuit solvers,
+// residual/Jacobian consistency, and serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "circuit/crossbar.hpp"
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "equations/binary_io.hpp"
+#include "equations/generator.hpp"
+#include "equations/layout.hpp"
+#include "equations/pair_system.hpp"
+#include "equations/residual.hpp"
+#include "equations/serializer.hpp"
+#include "linalg/vector_ops.hpp"
+#include "mea/generator.hpp"
+#include "mea/measurement.hpp"
+
+namespace parma::equations {
+namespace {
+
+circuit::ResistanceGrid random_grid(Index rows, Index cols, Rng& rng) {
+  circuit::ResistanceGrid grid(rows, cols);
+  for (Real& v : grid.flat()) {
+    v = rng.uniform(kWetLabMinResistanceKOhm, kWetLabMaxResistanceKOhm);
+  }
+  return grid;
+}
+
+mea::Measurement exact_measurement(Index rows, Index cols, Rng& rng,
+                                   circuit::ResistanceGrid* truth_out = nullptr) {
+  const mea::DeviceSpec spec{rows, cols, kWetLabVoltage};
+  circuit::ResistanceGrid truth = random_grid(rows, cols, rng);
+  if (truth_out != nullptr) *truth_out = truth;
+  return mea::measure_exact(spec, truth);
+}
+
+TEST(Layout, IndicesArePairwiseDistinctAndDense) {
+  const mea::DeviceSpec spec{3, 4, 5.0};
+  const UnknownLayout layout(spec);
+  std::set<Index> seen;
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) seen.insert(layout.r_index(i, j));
+  }
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      for (Index k = 0; k < 4; ++k) {
+        if (k != j) seen.insert(layout.ua_index(i, j, k));
+      }
+      for (Index m = 0; m < 3; ++m) {
+        if (m != i) seen.insert(layout.ub_index(i, j, m));
+      }
+    }
+  }
+  // Dense cover of [0, num_unknowns): no collisions, no gaps.
+  EXPECT_EQ(static_cast<Index>(seen.size()), layout.num_unknowns());
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), layout.num_unknowns() - 1);
+}
+
+TEST(Layout, MatchesDeviceCensus) {
+  for (Index n : {2, 3, 7, 10}) {
+    const UnknownLayout layout(mea::square_device(n));
+    EXPECT_EQ(layout.num_unknowns(), (2 * n - 1) * n * n);
+    EXPECT_EQ(layout.voltages_per_pair(), 2 * (n - 1));
+  }
+}
+
+TEST(Layout, ResistancePredicate) {
+  const UnknownLayout layout(mea::square_device(3));
+  EXPECT_TRUE(layout.is_resistance(0));
+  EXPECT_TRUE(layout.is_resistance(8));
+  EXPECT_FALSE(layout.is_resistance(9));
+  EXPECT_FALSE(layout.is_resistance(-1));
+}
+
+TEST(Generator, PerPairEquationCountAndCategories) {
+  Rng rng(61);
+  const mea::Measurement m = exact_measurement(4, 3, rng);
+  const UnknownLayout layout(m.spec);
+  const auto eqs = generate_pair_equations(layout, m, 2, 1);
+  // 2 terminal + (cols-1) near-source + (rows-1) near-destination.
+  ASSERT_EQ(static_cast<Index>(eqs.size()), 2 + 2 + 3);
+  EXPECT_EQ(eqs[0].category, ConstraintCategory::kSource);
+  EXPECT_EQ(eqs[1].category, ConstraintCategory::kDestination);
+  Index near_source = 0, near_dest = 0;
+  for (const auto& eq : eqs) {
+    if (eq.category == ConstraintCategory::kNearSource) ++near_source;
+    if (eq.category == ConstraintCategory::kNearDestination) ++near_dest;
+    EXPECT_EQ(eq.pair_i, 2);
+    EXPECT_EQ(eq.pair_j, 1);
+  }
+  EXPECT_EQ(near_source, 2);
+  EXPECT_EQ(near_dest, 3);
+}
+
+TEST(Generator, FullSystemCensusMatchesPaper) {
+  Rng rng(62);
+  for (Index n : {2, 3, 5}) {
+    const mea::Measurement m = exact_measurement(n, n, rng);
+    const EquationSystem system = generate_system(m);
+    EXPECT_EQ(static_cast<Index>(system.equations.size()), 2 * n * n * n);
+    const auto census = system.category_census();
+    EXPECT_EQ(census[0], n * n);            // one source eq per pair
+    EXPECT_EQ(census[1], n * n);            // one destination eq per pair
+    EXPECT_EQ(census[2], n * n * (n - 1));  // near-source
+    EXPECT_EQ(census[3], n * n * (n - 1));  // near-destination
+  }
+}
+
+TEST(Generator, IntermediateCategoriesCarryTheCubicSkew) {
+  // Section IV-C1: intermediate joints outnumber terminals by ~n.
+  Rng rng(63);
+  const mea::Measurement m = exact_measurement(10, 10, rng);
+  const auto census = generate_system(m).category_census();
+  EXPECT_EQ(census[2] / census[0], 9);
+}
+
+// The decisive exactness test: the joint-constraint equations are satisfied
+// by (and only by) the physically correct voltages, and the implied Z matches
+// the independent Laplacian oracle.
+class Exactness : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(Exactness, ForwardModelEqualsEffectiveResistance) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(64 + rows * 13 + cols);
+  const circuit::ResistanceGrid grid = random_grid(rows, cols, rng);
+  const linalg::DenseMatrix z_oracle = circuit::measure_all_pairs(grid);
+  const linalg::DenseMatrix z_joint = forward_model(grid, kWetLabVoltage);
+  EXPECT_LT(z_joint.max_abs_diff(z_oracle), 1e-7);
+}
+
+TEST_P(Exactness, ResidualVanishesAtThePhysicalSolution) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(65 + rows * 13 + cols);
+  circuit::ResistanceGrid truth(1, 1);
+  const mea::Measurement m = [&] {
+    const mea::DeviceSpec spec{rows, cols, kWetLabVoltage};
+    truth = random_grid(rows, cols, rng);
+    return mea::measure_exact(spec, truth);
+  }();
+  const EquationSystem system = generate_system(m);
+
+  // Pack the exact unknowns: truth resistances + per-pair solved voltages.
+  std::vector<Real> voltages;
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) {
+      const PairSolution pair = solve_pair(truth, i, j, kWetLabVoltage);
+      voltages.insert(voltages.end(), pair.ua.begin(), pair.ua.end());
+      voltages.insert(voltages.end(), pair.ub.begin(), pair.ub.end());
+    }
+  }
+  const std::vector<Real> x = pack_unknowns(system.layout, truth.flat(), voltages);
+  const std::vector<Real> residual = system_residual(system, x);
+  // Residuals are currents (V / kOhm); the drive is 5 V across ~1e3 kOhm.
+  EXPECT_LT(linalg::norm_inf(residual), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, Exactness,
+                         ::testing::Values(std::pair<Index, Index>{2, 2},
+                                           std::pair<Index, Index>{3, 3},
+                                           std::pair<Index, Index>{2, 5},
+                                           std::pair<Index, Index>{5, 3},
+                                           std::pair<Index, Index>{6, 6},
+                                           std::pair<Index, Index>{8, 8}));
+
+TEST(Exactness, PerturbedResistancesBreakTheResidual) {
+  // Soundness in the other direction: a wrong R cannot satisfy the system.
+  Rng rng(66);
+  circuit::ResistanceGrid truth(1, 1);
+  const mea::DeviceSpec spec{3, 3, kWetLabVoltage};
+  truth = random_grid(3, 3, rng);
+  const mea::Measurement m = mea::measure_exact(spec, truth);
+  const EquationSystem system = generate_system(m);
+
+  circuit::ResistanceGrid wrong = truth;
+  wrong.at(1, 1) *= 1.5;
+  std::vector<Real> voltages;
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      const PairSolution pair = solve_pair(wrong, i, j, kWetLabVoltage);
+      voltages.insert(voltages.end(), pair.ua.begin(), pair.ua.end());
+      voltages.insert(voltages.end(), pair.ub.begin(), pair.ub.end());
+    }
+  }
+  const std::vector<Real> x = pack_unknowns(system.layout, wrong.flat(), voltages);
+  EXPECT_GT(linalg::norm_inf(system_residual(system, x)), 1e-8);
+}
+
+TEST(PairSystem, DestinationCurrentBalancesSource) {
+  // Current into wire j must equal current out of wire i (global KCL).
+  Rng rng(67);
+  const circuit::ResistanceGrid grid = random_grid(4, 4, rng);
+  const PairSolution pair = solve_pair(grid, 1, 2, 5.0);
+  Real into_destination = 5.0 / grid.at(1, 2) * 0.0;  // direct branch below
+  into_destination += (pair.horizontal_potential(1) - 0.0) / grid.at(1, 2);
+  for (Index m = 0; m < 4; ++m) {
+    if (m == 1) continue;
+    into_destination += pair.horizontal_potential(m) / grid.at(m, 2);
+  }
+  EXPECT_NEAR(into_destination, pair.source_current, 1e-10 * pair.source_current);
+}
+
+TEST(PairSystem, InternalVoltagesAreBetweenRails) {
+  Rng rng(68);
+  const circuit::ResistanceGrid grid = random_grid(5, 5, rng);
+  const PairSolution pair = solve_pair(grid, 0, 0, 5.0);
+  for (Real v : pair.ua) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 5.0);
+  }
+  for (Real v : pair.ub) {
+    EXPECT_GT(v, 0.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(PairSystem, TwoByTwoClosedForm) {
+  // n = 2 is solvable by hand: R_ij direct, plus one detour through three
+  // resistors; they are in parallel only via the single internal loop.
+  circuit::ResistanceGrid grid(2, 2, 0.0);
+  grid.at(0, 0) = 1000.0;
+  grid.at(0, 1) = 2000.0;
+  grid.at(1, 0) = 3000.0;
+  grid.at(1, 1) = 4000.0;
+  // Z(0,0) = R00 || (R01 + R11 + R10) = 1000 || 9000 = 900.
+  const PairSolution pair = solve_pair(grid, 0, 0, 5.0);
+  EXPECT_NEAR(pair.z_model, 900.0, 1e-9);
+}
+
+TEST(PairSystem, GradientMatchesFiniteDifferences) {
+  Rng rng(69);
+  const circuit::ResistanceGrid grid = random_grid(3, 3, rng);
+  const PairSolution pair = solve_pair(grid, 1, 1, 5.0);
+  const std::vector<Real> grad = impedance_gradient(grid, pair);
+  const Real h = 1e-4;
+  for (Index e = 0; e < 9; ++e) {
+    circuit::ResistanceGrid up = grid;
+    circuit::ResistanceGrid down = grid;
+    up.flat()[static_cast<std::size_t>(e)] += h;
+    down.flat()[static_cast<std::size_t>(e)] -= h;
+    const Real fd = (solve_pair(up, 1, 1, 5.0).z_model - solve_pair(down, 1, 1, 5.0).z_model) /
+                    (2.0 * h);
+    EXPECT_NEAR(grad[static_cast<std::size_t>(e)], fd,
+                1e-5 * std::max(std::abs(fd), 1e-8));
+  }
+}
+
+TEST(Residual, JacobianMatchesFiniteDifferences) {
+  Rng rng(70);
+  const mea::Measurement m = exact_measurement(3, 3, rng);
+  const EquationSystem system = generate_system(m);
+  // Arbitrary (not necessarily consistent) positive state.
+  std::vector<Real> x(static_cast<std::size_t>(system.layout.num_unknowns()));
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    x[u] = system.layout.is_resistance(static_cast<Index>(u)) ? rng.uniform(2000.0, 8000.0)
+                                                              : rng.uniform(0.5, 4.5);
+  }
+  const linalg::CsrMatrix jac = system_jacobian(system, x);
+  const std::vector<Real> base = system_residual(system, x);
+  Rng pick(71);
+  for (int probe = 0; probe < 25; ++probe) {
+    const Index u = static_cast<Index>(pick.uniform_index(x.size()));
+    const Real h = std::max(std::abs(x[static_cast<std::size_t>(u)]) * 1e-6, 1e-9);
+    std::vector<Real> xp = x;
+    xp[static_cast<std::size_t>(u)] += h;
+    const std::vector<Real> bumped = system_residual(system, xp);
+    for (std::size_t e = 0; e < base.size(); ++e) {
+      const Real fd = (bumped[e] - base[e]) / h;
+      const Real analytic = jac.at(static_cast<Index>(e), u);
+      EXPECT_NEAR(analytic, fd, 1e-4 * std::max(std::abs(fd), 1e-10))
+          << "equation " << e << " unknown " << u;
+    }
+  }
+}
+
+TEST(Serializer, HumanRenderingCoversEveryCategory) {
+  Rng rng(81);
+  const mea::Measurement m = exact_measurement(3, 3, rng);
+  const EquationSystem system = generate_system(m);
+  bool saw[kNumCategories] = {false, false, false, false};
+  for (const auto& eq : system.equations) {
+    const std::string text = render_equation(system.layout, eq);
+    EXPECT_NE(text.find(category_name(eq.category)), std::string::npos);
+    EXPECT_NE(text.find(")/R["), std::string::npos);  // every term divides by an R
+    saw[static_cast<int>(eq.category)] = true;
+  }
+  for (bool s : saw) EXPECT_TRUE(s);
+  // Intermediate equations reference both Ua and Ub voltages by name.
+  const std::string near_source =
+      render_equation(system.layout, system.equations[2]);  // first near-source
+  EXPECT_NE(near_source.find("Ua["), std::string::npos);
+  EXPECT_NE(near_source.find("Ub["), std::string::npos);
+}
+
+TEST(Serializer, HumanRenderingShowsStructure) {
+  Rng rng(72);
+  const mea::Measurement m = exact_measurement(2, 2, rng);
+  const EquationSystem system = generate_system(m);
+  const std::string text = render_equation(system.layout, system.equations[0]);
+  EXPECT_NE(text.find("R[0,0]"), std::string::npos);
+  EXPECT_NE(text.find("source"), std::string::npos);
+  EXPECT_NE(text.find("= "), std::string::npos);
+}
+
+TEST(Serializer, SystemRoundTripsThroughDisk) {
+  Rng rng(73);
+  const mea::Measurement m = exact_measurement(3, 3, rng);
+  const EquationSystem system = generate_system(m);
+  const std::string path = testing::TempDir() + "parma_eq_test/system.txt";
+  const std::uint64_t bytes = save_system(path, system);
+  EXPECT_GT(bytes, 1000u);
+
+  const EquationSystem loaded = load_system(path, m.spec);
+  ASSERT_EQ(loaded.equations.size(), system.equations.size());
+  // Residuals of original and loaded systems agree at a random state.
+  std::vector<Real> x(static_cast<std::size_t>(system.layout.num_unknowns()));
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    x[u] = system.layout.is_resistance(static_cast<Index>(u)) ? 3000.0 : 2.0;
+  }
+  EXPECT_LT(linalg::relative_error(system_residual(loaded, x), system_residual(system, x)),
+            1e-9);
+}
+
+TEST(Serializer, LoadRejectsWrongDevice) {
+  Rng rng(74);
+  const mea::Measurement m = exact_measurement(3, 3, rng);
+  const std::string path = testing::TempDir() + "parma_eq_test/mismatch.txt";
+  save_system(path, generate_system(m));
+  EXPECT_THROW(load_system(path, mea::square_device(4)), ContractError);
+  EXPECT_THROW(load_system(path + ".missing", m.spec), IoError);
+}
+
+TEST(BinaryIo, SystemRoundTripsExactly) {
+  Rng rng(76);
+  const mea::Measurement m = exact_measurement(4, 3, rng);
+  const EquationSystem system = generate_system(m);
+  const std::string path = testing::TempDir() + "parma_eq_test/system.bin";
+  const std::uint64_t bytes = save_system_binary(path, system);
+  EXPECT_GT(bytes, 100u);
+
+  const EquationSystem loaded = load_system_binary(path, m.spec);
+  ASSERT_EQ(loaded.equations.size(), system.equations.size());
+  for (std::size_t e = 0; e < system.equations.size(); ++e) {
+    const auto& a = system.equations[e];
+    const auto& b = loaded.equations[e];
+    EXPECT_EQ(a.category, b.category);
+    EXPECT_EQ(a.pair_i, b.pair_i);
+    EXPECT_EQ(a.pair_j, b.pair_j);
+    EXPECT_DOUBLE_EQ(a.rhs, b.rhs);
+    ASSERT_EQ(a.terms.size(), b.terms.size());
+    for (std::size_t t = 0; t < a.terms.size(); ++t) {
+      EXPECT_EQ(a.terms[t].resistor_unknown, b.terms[t].resistor_unknown);
+      EXPECT_EQ(a.terms[t].plus_unknown, b.terms[t].plus_unknown);
+      EXPECT_EQ(a.terms[t].minus_unknown, b.terms[t].minus_unknown);
+      EXPECT_DOUBLE_EQ(a.terms[t].constant, b.terms[t].constant);
+      EXPECT_DOUBLE_EQ(a.terms[t].sign, b.terms[t].sign);
+    }
+  }
+}
+
+TEST(BinaryIo, BinaryIsSmallerThanText) {
+  Rng rng(77);
+  const mea::Measurement m = exact_measurement(5, 5, rng);
+  const EquationSystem system = generate_system(m);
+  const std::string text_path = testing::TempDir() + "parma_eq_test/size.txt";
+  const std::string bin_path = testing::TempDir() + "parma_eq_test/size.bin";
+  const std::uint64_t text_bytes = save_system(text_path, system);
+  const std::uint64_t bin_bytes = save_system_binary(bin_path, system);
+  EXPECT_LT(bin_bytes, text_bytes);
+}
+
+TEST(BinaryIo, DetectsCorruption) {
+  Rng rng(78);
+  const mea::Measurement m = exact_measurement(3, 3, rng);
+  const EquationSystem system = generate_system(m);
+  const std::string path = testing::TempDir() + "parma_eq_test/corrupt.bin";
+  save_system_binary(path, system);
+
+  // Wrong device.
+  EXPECT_THROW(load_system_binary(path, mea::square_device(4)), ContractError);
+  // Truncation.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path + ".trunc", std::ios::binary);
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_THROW(load_system_binary(path + ".trunc", m.spec), IoError);
+  // Bad magic.
+  {
+    std::ofstream out(path + ".magic", std::ios::binary);
+    out << "NOTPARMA garbage";
+  }
+  EXPECT_THROW(load_system_binary(path + ".magic", m.spec), IoError);
+  EXPECT_THROW(load_system_binary(path + ".missing", m.spec), IoError);
+}
+
+TEST(BinaryIo, RandomCorruptionNeverCrashes) {
+  // Fuzz-flavoured robustness: flipping bytes anywhere in a valid file must
+  // either still parse (flips in float payloads) or throw IoError /
+  // ContractError -- never crash or hand back out-of-range indices.
+  Rng rng(79);
+  const mea::Measurement m = exact_measurement(3, 3, rng);
+  const EquationSystem system = generate_system(m);
+  const std::string path = testing::TempDir() + "parma_eq_test/fuzz.bin";
+  save_system_binary(path, system);
+  std::string original;
+  {
+    std::ifstream in(path, std::ios::binary);
+    original.assign((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  }
+  Rng fuzz(80);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string corrupted = original;
+    const std::size_t pos = static_cast<std::size_t>(fuzz.uniform_index(corrupted.size()));
+    corrupted[pos] = static_cast<char>(fuzz.uniform_index(256));
+    const std::string fuzz_path = path + ".fuzzed";
+    {
+      std::ofstream out(fuzz_path, std::ios::binary);
+      out.write(corrupted.data(), static_cast<std::streamsize>(corrupted.size()));
+    }
+    try {
+      const EquationSystem loaded = load_system_binary(fuzz_path, m.spec);
+      // If it parsed, every index must be in range (the loader's contract).
+      for (const auto& eq : loaded.equations) {
+        for (const auto& term : eq.terms) {
+          EXPECT_GE(term.resistor_unknown, 0);
+          EXPECT_LT(term.resistor_unknown, system.layout.num_unknowns());
+          EXPECT_LT(term.plus_unknown, system.layout.num_unknowns());
+          EXPECT_LT(term.minus_unknown, system.layout.num_unknowns());
+        }
+      }
+    } catch (const IoError&) {
+    } catch (const ContractError&) {
+    }
+  }
+}
+
+TEST(Footprint, GrowsWithDeviceSize) {
+  Rng rng(75);
+  const EquationSystem small = generate_system(exact_measurement(3, 3, rng));
+  const EquationSystem large = generate_system(exact_measurement(6, 6, rng));
+  // 2n^3 equations x O(n) terms: ~n^4 scaling.
+  EXPECT_GT(large.footprint_bytes(), small.footprint_bytes() * 8);
+}
+
+}  // namespace
+}  // namespace parma::equations

@@ -1,0 +1,99 @@
+// Tests for the heterogeneous-cluster extension (paper future work).
+#include <gtest/gtest.h>
+
+#include "common/require.hpp"
+#include "mpisim/heterogeneous.hpp"
+
+namespace parma::mpisim {
+namespace {
+
+std::vector<parallel::VirtualTask> uniform_work(int count, Real cost) {
+  std::vector<parallel::VirtualTask> tasks(static_cast<std::size_t>(count));
+  for (auto& t : tasks) t = {cost, 0, 100};
+  return tasks;
+}
+
+TEST(Fleet, Builders) {
+  const auto uniform = uniform_fleet(4, 2.0);
+  ASSERT_EQ(uniform.size(), 4u);
+  EXPECT_DOUBLE_EQ(uniform[3].speed, 2.0);
+
+  const auto tiered = two_tier_fleet(10, 0.3, 4.0, 1.0);
+  Index fast = 0;
+  for (const auto& r : tiered) fast += (r.speed == 4.0);
+  EXPECT_EQ(fast, 3);
+  EXPECT_THROW(two_tier_fleet(4, 1.5, 1.0, 1.0), ContractError);
+  EXPECT_THROW(uniform_fleet(0), ContractError);
+}
+
+TEST(Partition, BlockCoversAllTasksContiguously) {
+  const Partition p = block_partition(103, 8);
+  ASSERT_EQ(p.size(), 8u);
+  EXPECT_EQ(p.front().first, 0u);
+  EXPECT_EQ(p.back().second, 103u);
+  for (std::size_t r = 1; r < p.size(); ++r) EXPECT_EQ(p[r].first, p[r - 1].second);
+}
+
+TEST(Partition, SpeedWeightedGivesFasterRanksMoreWork) {
+  const auto tasks = uniform_work(100, 0.01);
+  const auto fleet = two_tier_fleet(4, 0.5, 3.0, 1.0);  // ranks 0,1 fast
+  const Partition p = speed_weighted_partition(tasks, fleet);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.back().second, 100u);
+  const auto share = [&](std::size_t r) { return p[r].second - p[r].first; };
+  EXPECT_GT(share(0), share(2) * 2);  // 3x speed -> ~3x tasks
+  EXPECT_NEAR(static_cast<Real>(share(0)), 37.5, 3.0);
+}
+
+TEST(Partition, SpeedWeightedReducesToBlockOnUniformFleet) {
+  const auto tasks = uniform_work(64, 0.01);
+  const Partition weighted = speed_weighted_partition(tasks, uniform_fleet(8));
+  const Partition block = block_partition(64, 8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    EXPECT_NEAR(static_cast<Real>(weighted[r].second),
+                static_cast<Real>(block[r].second), 1.0);
+  }
+}
+
+TEST(Heterogeneous, BlockPartitionStragglesOnMixedFleet) {
+  const auto tasks = uniform_work(400, 0.005);
+  const auto fleet = two_tier_fleet(8, 0.5, 4.0, 1.0);
+  const auto block = simulate_heterogeneous(tasks, fleet, block_partition(tasks.size(), 8));
+  const auto weighted =
+      simulate_heterogeneous(tasks, fleet, speed_weighted_partition(tasks, fleet));
+  // The slow ranks dominate the block split; weighting fixes it.
+  EXPECT_GT(block.imbalance(), 3.0);
+  EXPECT_LT(weighted.imbalance(), 1.3);
+  EXPECT_LT(weighted.makespan_seconds, block.makespan_seconds * 0.7);
+}
+
+TEST(Heterogeneous, UniformFleetMatchesHomogeneousModel) {
+  const auto tasks = uniform_work(128, 0.002);
+  const auto hetero = simulate_heterogeneous(tasks, uniform_fleet(16),
+                                             block_partition(tasks.size(), 16));
+  const ClusterResult homo = simulate_cluster(tasks, 16);
+  EXPECT_NEAR(hetero.makespan_seconds, homo.makespan_seconds,
+              homo.makespan_seconds * 0.05);
+}
+
+TEST(Heterogeneous, FasterFleetFinishesSooner) {
+  const auto tasks = uniform_work(256, 0.004);
+  const auto slow =
+      simulate_heterogeneous(tasks, uniform_fleet(8, 1.0), block_partition(tasks.size(), 8));
+  const auto fast =
+      simulate_heterogeneous(tasks, uniform_fleet(8, 2.0), block_partition(tasks.size(), 8));
+  EXPECT_LT(fast.compute_seconds, slow.compute_seconds * 0.6);
+}
+
+TEST(Heterogeneous, ValidatesShapes) {
+  const auto tasks = uniform_work(10, 0.01);
+  EXPECT_THROW(
+      simulate_heterogeneous(tasks, uniform_fleet(4), block_partition(tasks.size(), 3)),
+      ContractError);
+  Partition bad = block_partition(10, 2);
+  bad[1].second = 99;
+  EXPECT_THROW(simulate_heterogeneous(tasks, uniform_fleet(2), bad), ContractError);
+}
+
+}  // namespace
+}  // namespace parma::mpisim

@@ -1,0 +1,209 @@
+// Tests for src/manifold: discrete vector calculus and local frames
+// (the Section IV-B machinery).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "manifold/calculus.hpp"
+#include "manifold/frames.hpp"
+#include "manifold/grid_field.hpp"
+
+namespace parma::manifold {
+namespace {
+
+ScalarField random_field(Index rows, Index cols, std::uint64_t seed) {
+  Rng rng(seed);
+  ScalarField f(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) f.at(i, j) = rng.uniform(-5.0, 5.0);
+  }
+  return f;
+}
+
+EdgeField random_edge_field(Index rows, Index cols, std::uint64_t seed) {
+  Rng rng(seed);
+  EdgeField f(rows, cols);
+  for (Index i = 0; i < rows; ++i) {
+    for (Index j = 0; j + 1 < cols; ++j) f.horizontal(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  for (Index i = 0; i + 1 < rows; ++i) {
+    for (Index j = 0; j < cols; ++j) f.vertical(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return f;
+}
+
+TEST(Fields, BoundsAreEnforced) {
+  ScalarField s(3, 4);
+  EXPECT_THROW(s.at(3, 0), ContractError);
+  EdgeField e(3, 4);
+  EXPECT_THROW(e.horizontal(0, 3), ContractError);  // only cols-1 horizontal edges
+  EXPECT_THROW(e.vertical(2, 0), ContractError);    // only rows-1 vertical edges
+  EXPECT_EQ(e.num_horizontal_edges(), 3 * 3);
+  EXPECT_EQ(e.num_vertical_edges(), 2 * 4);
+}
+
+TEST(Calculus, GradientOfLinearFieldIsConstant) {
+  const ScalarField u = ScalarField::sample(4, 5, [](Real i, Real j) { return 3.0 * i - 2.0 * j; });
+  const EdgeField g = gradient(u);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j + 1 < 5; ++j) EXPECT_DOUBLE_EQ(g.horizontal(i, j), -2.0);
+  }
+  for (Index i = 0; i + 1 < 4; ++i) {
+    for (Index j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(g.vertical(i, j), 3.0);
+  }
+}
+
+TEST(Calculus, GradientFieldsHaveZeroCurlEverywhere) {
+  // d.d = 0: the circulation of ANY potential's gradient vanishes on every
+  // plaquette -- the discrete version of the paper's conservative-voltage
+  // argument (and of KVL).
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const ScalarField u = random_field(6, 7, seed);
+    EXPECT_LT(max_gradient_curl(u), 1e-12);
+  }
+}
+
+TEST(Calculus, GradientCirculationVanishesOnLargeLoopsToo) {
+  const ScalarField u = random_field(6, 6, 99);
+  const EdgeField g = gradient(u);
+  EXPECT_NEAR(circulation(g, {0, 0, 5, 5}), 0.0, 1e-12);
+  EXPECT_NEAR(circulation(g, {1, 2, 4, 5}), 0.0, 1e-12);
+}
+
+TEST(Calculus, StokesTheoremIsExactForArbitraryEdgeFields) {
+  // circulation(F, R) == sum of interior plaquette curls, for EVERY
+  // rectangle and every (not necessarily conservative) field.
+  for (std::uint64_t seed : {10u, 11u, 12u}) {
+    const EdgeField f = random_edge_field(5, 6, seed);
+    EXPECT_LT(max_stokes_residual(f), 1e-12);
+  }
+}
+
+TEST(Calculus, NonConservativeFieldHasNonzeroCurl) {
+  EdgeField f(3, 3);
+  f.horizontal(0, 0) = 1.0;  // a single rotational edge
+  EXPECT_NE(plaquette_curl(f, 0, 0), 0.0);
+}
+
+TEST(Calculus, DivergenceDetectsSourcesAndSinks) {
+  EdgeField f(3, 3);
+  // Unit flow along the top edge: (0,0) is a source, (0,1) carries through.
+  f.horizontal(0, 0) = 1.0;
+  f.horizontal(0, 1) = 1.0;
+  EXPECT_DOUBLE_EQ(divergence(f, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(divergence(f, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(divergence(f, 0, 2), -1.0);
+}
+
+TEST(Calculus, TotalDivergenceIsZero) {
+  // Sum over all nodes of the divergence telescopes to zero for any field
+  // (every edge contributes once positively and once negatively).
+  const EdgeField f = random_edge_field(5, 5, 21);
+  Real total = 0.0;
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) total += divergence(f, i, j);
+  }
+  EXPECT_NEAR(total, 0.0, 1e-12);
+}
+
+TEST(Calculus, MixedPartialsCommuteExactly) {
+  // The paper's d2U/dxdy = d2U/dydx claim holds exactly for the discrete
+  // difference operators, for any sampled field.
+  const ScalarField u = random_field(5, 5, 31);
+  for (Index i = 0; i + 1 < 5; ++i) {
+    for (Index j = 0; j + 1 < 5; ++j) {
+      const MixedPartials mp = mixed_partials(u, i, j);
+      EXPECT_DOUBLE_EQ(mp.dxdy, mp.dydx);
+    }
+  }
+}
+
+TEST(Calculus, RejectsDegenerateRectangles) {
+  const EdgeField f = random_edge_field(4, 4, 41);
+  EXPECT_THROW(circulation(f, {2, 2, 2, 3}), ContractError);
+  EXPECT_THROW(circulation(f, {0, 0, 5, 2}), ContractError);
+}
+
+// --- Frames -------------------------------------------------------------------
+
+TEST(Frames, RegularGridIsOrthogonalWithUnitArea) {
+  const CurvilinearGrid grid = CurvilinearGrid::regular(4, 4, 2.0);
+  for (Index i = 0; i + 1 < 4; ++i) {
+    for (Index j = 0; j + 1 < 4; ++j) {
+      EXPECT_TRUE(grid.is_orthogonal(i, j));
+      EXPECT_NEAR(grid.area_element(i, j), 4.0, 1e-12);  // pitch^2
+    }
+  }
+}
+
+TEST(Frames, ShearedGridIsNotOrthogonalButFramesRecoverGradients) {
+  // Embed with a shear: x = v + 0.5 u, y = u. A field linear in physical
+  // space must yield its true physical gradient through the Jacobian frame,
+  // even though the logical axes are skewed.
+  const CurvilinearGrid grid(5, 5, [](Real u, Real v) {
+    return Point{v + 0.5 * u, u};
+  });
+  EXPECT_FALSE(grid.is_orthogonal(0, 0));
+
+  // f(x, y) = 2x + 3y sampled at the physical positions.
+  ScalarField f(5, 5);
+  for (Index i = 0; i < 5; ++i) {
+    for (Index j = 0; j < 5; ++j) {
+      const Point p = grid.position(i, j);
+      f.at(i, j) = 2.0 * p.x + 3.0 * p.y;
+    }
+  }
+  const std::vector<Real> grad = grid.physical_gradient(f, 2, 2);
+  ASSERT_EQ(grad.size(), 2u);
+  EXPECT_NEAR(grad[0], 2.0, 1e-10);  // df/dx
+  EXPECT_NEAR(grad[1], 3.0, 1e-10);  // df/dy
+}
+
+TEST(Frames, MetricEncodesEdgeLengths) {
+  const CurvilinearGrid grid(3, 3, [](Real u, Real v) {
+    return Point{3.0 * v, 2.0 * u};  // anisotropic but orthogonal
+  });
+  const auto g = grid.metric(0, 0);
+  EXPECT_NEAR(g(0, 0), 4.0, 1e-12);  // |d/du|^2 = 2^2
+  EXPECT_NEAR(g(1, 1), 9.0, 1e-12);  // |d/dv|^2 = 3^2
+  EXPECT_TRUE(grid.is_orthogonal(0, 0));
+}
+
+TEST(Frames, IntegrationWeightsByAreaElement) {
+  // A polar-ish warp: cells farther out are bigger; integrating the constant
+  // function 1 must give the total physical area.
+  const CurvilinearGrid grid(3, 3, [](Real u, Real v) {
+    return Point{v * (1.0 + 0.1 * u), u};
+  });
+  Real expected = 0.0;
+  for (Index i = 0; i + 1 < 3; ++i) {
+    for (Index j = 0; j + 1 < 3; ++j) expected += grid.area_element(i, j);
+  }
+  const Real integral = grid.integrate([](Index, Index) { return 1.0; });
+  EXPECT_NEAR(integral, expected, 1e-12);
+  EXPECT_GT(integral, 0.0);
+}
+
+TEST(Frames, StokesHoldsOnWarpedDevices) {
+  // The Section IV-B pipeline end-to-end: sample a potential on a warped
+  // device, take its (logical) gradient, and verify the circulation /
+  // interior-curl identity -- locality survives the warp, which is what
+  // justifies per-patch parallel parametrization.
+  const CurvilinearGrid grid(6, 6, [](Real u, Real v) {
+    return Point{v + 0.3 * std::sin(0.5 * u), u + 0.2 * std::cos(0.4 * v)};
+  });
+  ScalarField potential(6, 6);
+  for (Index i = 0; i < 6; ++i) {
+    for (Index j = 0; j < 6; ++j) {
+      const Point p = grid.position(i, j);
+      potential.at(i, j) = std::exp(-0.1 * (p.x * p.x + p.y * p.y));
+    }
+  }
+  EXPECT_LT(max_gradient_curl(potential), 1e-12);
+  EXPECT_LT(max_stokes_residual(gradient(potential)), 1e-12);
+}
+
+}  // namespace
+}  // namespace parma::manifold

@@ -1,0 +1,322 @@
+// Tests for src/mea: device censuses, synthetic field generation, measurement
+// simulation, text I/O, time series, and anomaly detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "common/require.hpp"
+#include "mea/anomaly.hpp"
+#include "mea/dataset_io.hpp"
+#include "mea/device.hpp"
+#include "mea/field_render.hpp"
+#include "mea/generator.hpp"
+#include "mea/measurement.hpp"
+#include "mea/timeseries.hpp"
+
+namespace parma::mea {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return testing::TempDir() + "parma_mea_test/" + name;
+}
+
+TEST(Device, SquareCensusMatchesPaperFormulas) {
+  // Section IV-A: 2n^3 equations, (2n-1) n^2 unknowns; Section II-B: 2n^2
+  // joints and n^2 resistors.
+  for (Index n : {2, 3, 10, 64, 100}) {
+    const DeviceSpec spec = square_device(n);
+    EXPECT_EQ(spec.num_joints(), 2 * n * n);
+    EXPECT_EQ(spec.num_resistors(), n * n);
+    EXPECT_EQ(spec.num_equations(), 2 * n * n * n);
+    EXPECT_EQ(spec.num_unknowns(), (2 * n - 1) * n * n);
+  }
+}
+
+TEST(Device, RectangularCensusGeneralizes) {
+  const DeviceSpec spec{3, 5, 5.0};
+  EXPECT_EQ(spec.num_equations(), 15 * (2 + 4 + 2));
+  EXPECT_EQ(spec.num_unknowns(), 15 * (4 + 2) + 15);
+  EXPECT_FALSE(spec.is_square());
+}
+
+TEST(Device, KdCensusSpecializesToTwoDim) {
+  // The k = 2 instance must reproduce the square device's Section IV-A
+  // numbers exactly.
+  for (Index n : {2, 3, 10, 100}) {
+    const KdDeviceSpec kd = kd_device(n, 2);
+    const DeviceSpec flat = square_device(n);
+    EXPECT_EQ(kd.num_resistors(), flat.num_resistors());
+    EXPECT_EQ(kd.num_equations(), flat.num_equations());
+    EXPECT_EQ(kd.num_unknowns(), flat.num_unknowns());
+    EXPECT_EQ(kd.equations_per_pair(), 2 * n);
+  }
+}
+
+TEST(Device, KdCensusGrowsAsNToTheKPlusOne) {
+  // Section IV-B: O(n^{k+1}) equations and (n-1)^k parallelism, so the
+  // theoretical parallel cost O(n^{k+1})/(n-1)^k stays O(n) for every k.
+  for (Index k : {1, 2, 3, 4}) {
+    const KdDeviceSpec small = kd_device(8, k);
+    const KdDeviceSpec big = kd_device(16, k);
+    const Real growth = static_cast<Real>(big.num_equations()) /
+                        static_cast<Real>(small.num_equations());
+    const Real expected = std::pow(2.0, static_cast<Real>(k + 1));
+    EXPECT_NEAR(growth, expected, expected * 0.35) << "k=" << k;
+
+    const Real per_loop = static_cast<Real>(big.num_equations()) /
+                          static_cast<Real>(big.intrinsic_parallelism());
+    // equations/loops ~ k*n*(n/(n-1))^k: linear in n for fixed k.
+    EXPECT_LT(per_loop, 1.5 * static_cast<Real>(k) * 16.0) << "k=" << k;
+  }
+  EXPECT_THROW(kd_device(1, 2), ContractError);
+  EXPECT_THROW(kd_device(4, 0), ContractError);
+}
+
+TEST(Device, ValidationRejectsDegenerateSpecs) {
+  EXPECT_THROW((DeviceSpec{1, 5, 5.0}).validate(), ContractError);
+  EXPECT_THROW((DeviceSpec{3, 3, 0.0}).validate(), ContractError);
+  EXPECT_NO_THROW(square_device(2));
+}
+
+TEST(Generator, HealthyFieldStaysNearBaseline) {
+  Rng rng(41);
+  GeneratorOptions options;
+  options.jitter_fraction = 0.0;
+  const auto grid = generate_field(square_device(6), options, rng);
+  for (Real v : grid.flat()) EXPECT_DOUBLE_EQ(v, kWetLabMinResistanceKOhm);
+}
+
+TEST(Generator, AnomalyBlobElevatesItsNeighborhood) {
+  Rng rng(42);
+  GeneratorOptions options;
+  options.jitter_fraction = 0.0;
+  options.anomalies.push_back({4.0, 4.0, 1.5, 1.5, 11000.0});
+  const auto grid = generate_field(square_device(9), options, rng);
+  EXPECT_NEAR(grid.at(4, 4), 11000.0, 1.0);
+  EXPECT_GT(grid.at(4, 5), grid.at(0, 8));  // near the blob > far corner
+  EXPECT_NEAR(grid.at(0, 8), kWetLabMinResistanceKOhm, 200.0);
+}
+
+TEST(Generator, ValuesStayWithinWetLabBand) {
+  Rng rng(43);
+  const DeviceSpec spec = square_device(12);
+  const GeneratorOptions options = random_scenario(spec, 3, rng);
+  const auto grid = generate_field(spec, options, rng);
+  for (Real v : grid.flat()) {
+    EXPECT_GT(v, 0.5 * kWetLabMinResistanceKOhm);
+    EXPECT_LT(v, 1.5 * kWetLabMaxResistanceKOhm);
+  }
+}
+
+TEST(Generator, DeterministicUnderSameSeed) {
+  const DeviceSpec spec = square_device(8);
+  Rng rng_a(44);
+  Rng rng_b(44);
+  const GeneratorOptions opt_a = random_scenario(spec, 2, rng_a);
+  const GeneratorOptions opt_b = random_scenario(spec, 2, rng_b);
+  const auto grid_a = generate_field(spec, opt_a, rng_a);
+  const auto grid_b = generate_field(spec, opt_b, rng_b);
+  EXPECT_EQ(grid_a.flat(), grid_b.flat());
+}
+
+TEST(Generator, MaskSelectsElevatedCells) {
+  Rng rng(45);
+  GeneratorOptions options;
+  options.jitter_fraction = 0.0;
+  options.anomalies.push_back({1.0, 1.0, 0.8, 0.8, 11000.0});
+  const auto grid = generate_field(square_device(4), options, rng);
+  const auto mask = anomaly_mask(grid, default_threshold());
+  EXPECT_TRUE(mask[1 * 4 + 1]);
+  EXPECT_FALSE(mask[3 * 4 + 3]);
+}
+
+TEST(Measurement, ExactMeasurementMatchesForwardModel) {
+  Rng rng(46);
+  const DeviceSpec spec = square_device(4);
+  const auto grid = generate_field(spec, random_scenario(spec, 1, rng), rng);
+  const Measurement m = measure_exact(spec, grid);
+  EXPECT_EQ(m.z.rows(), 4);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      EXPECT_GT(m.z(i, j), 0.0);
+      EXPECT_DOUBLE_EQ(m.u(i, j), spec.drive_voltage);
+    }
+  }
+}
+
+TEST(Measurement, NoiseIsBoundedAndSeeded) {
+  Rng rng(47);
+  const DeviceSpec spec = square_device(4);
+  const auto grid = generate_field(spec, {}, rng);
+  MeasurementOptions noisy;
+  noisy.noise_fraction = 0.02;
+  Rng rng_a(1);
+  Rng rng_b(1);
+  const Measurement a = measure(spec, grid, noisy, rng_a);
+  const Measurement b = measure(spec, grid, noisy, rng_b);
+  const Measurement clean = measure_exact(spec, grid);
+  EXPECT_NEAR(a.z(0, 0), b.z(0, 0), 1e-15);
+  EXPECT_NEAR(a.z(1, 2), clean.z(1, 2), 0.15 * clean.z(1, 2));
+  EXPECT_THROW(measure(spec, grid, {0.7}, rng_a), ContractError);
+}
+
+TEST(DatasetIo, MeasurementRoundTrips) {
+  Rng rng(48);
+  const DeviceSpec spec = square_device(5);
+  const auto grid = generate_field(spec, random_scenario(spec, 1, rng), rng);
+  const Measurement m = measure_exact(spec, grid);
+  const std::string path = temp_path("roundtrip.txt");
+  write_measurement(path, m, 6.0);
+  const LoadedMeasurement loaded = read_measurement(path);
+  EXPECT_EQ(loaded.epoch_hours, 6.0);
+  EXPECT_EQ(loaded.measurement.spec.rows, 5);
+  EXPECT_NEAR(loaded.measurement.z.max_abs_diff(m.z), 0.0, 1e-9);
+}
+
+TEST(DatasetIo, TruthRoundTrips) {
+  Rng rng(49);
+  const DeviceSpec spec = square_device(3);
+  const auto grid = generate_field(spec, random_scenario(spec, 1, rng), rng);
+  const std::string path = temp_path("truth.txt");
+  write_truth(path, spec, grid);
+  const auto loaded = read_truth(path);
+  for (std::size_t e = 0; e < grid.flat().size(); ++e) {
+    EXPECT_NEAR(loaded.flat()[e], grid.flat()[e], 1e-9);
+  }
+}
+
+TEST(DatasetIo, RejectsMalformedFiles) {
+  const std::string dir = temp_path("bad");
+  std::filesystem::create_directories(dir);
+  auto write_file = [&](const std::string& name, const std::string& contents) {
+    std::ofstream out(dir + "/" + name);
+    out << contents;
+    return dir + "/" + name;
+  };
+  EXPECT_THROW(read_measurement(write_file("magic.txt", "nope\n")), IoError);
+  EXPECT_THROW(read_measurement(write_file(
+                   "short.txt", "# parma-mea v1\nrows 2\ncols 2\nvoltage 5\n")),
+               IoError);
+  EXPECT_THROW(read_measurement(write_file("ragged.txt",
+                                           "# parma-mea v1\nrows 2\ncols 2\nvoltage 5\n"
+                                           "epoch_hours 0\nZ\n1 2\n3\n")),
+               IoError);
+  EXPECT_THROW(read_measurement(write_file("wrongblock.txt",
+                                           "# parma-mea v1\nrows 1\ncols 1\nvoltage 5\n"
+                                           "epoch_hours 0\nR\n1\n")),
+               IoError);
+  EXPECT_THROW(read_measurement(dir + "/does_not_exist.txt"), IoError);
+}
+
+TEST(TimeSeries, FourEpochsWithGrowingAnomaly) {
+  Rng rng(50);
+  const DeviceSpec spec = square_device(6);
+  TimeSeriesOptions options;
+  options.scenario.jitter_fraction = 0.0;
+  options.scenario.anomalies.push_back({2.0, 2.0, 1.0, 1.0, 8000.0});
+  const auto frames = simulate_campaign(spec, options, rng);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].hours, 0.0);
+  EXPECT_EQ(frames[3].hours, 24.0);
+  // The blob's footprint (cells above threshold) must not shrink over time.
+  Index prev_count = -1;
+  for (const auto& frame : frames) {
+    Index count = 0;
+    for (bool b : anomaly_mask(frame.truth, 4000.0)) count += b;
+    EXPECT_GE(count, prev_count);
+    prev_count = count;
+  }
+  EXPECT_GT(prev_count, 0);
+}
+
+TEST(TimeSeries, CampaignFilesRoundTrip) {
+  Rng rng(51);
+  const DeviceSpec spec = square_device(4);
+  TimeSeriesOptions options;
+  options.scenario.anomalies.push_back({1.0, 1.0, 1.0, 1.0, 9000.0});
+  const auto frames = simulate_campaign(spec, options, rng);
+  const std::string dir = temp_path("campaign");
+  const auto paths = write_campaign(dir, frames);
+  ASSERT_EQ(paths.size(), 4u);
+  for (std::size_t f = 0; f < paths.size(); ++f) {
+    const LoadedMeasurement loaded = read_measurement(paths[f]);
+    EXPECT_EQ(loaded.epoch_hours, frames[f].hours);
+    EXPECT_NEAR(loaded.measurement.z.max_abs_diff(frames[f].measurement.z), 0.0, 1e-9);
+  }
+}
+
+TEST(Anomaly, PerfectRecoveryScoresPerfectly) {
+  Rng rng(52);
+  GeneratorOptions options;
+  options.jitter_fraction = 0.0;
+  options.anomalies.push_back({2.0, 2.0, 0.9, 0.9, 11000.0});
+  const auto grid = generate_field(square_device(5), options, rng);
+  const auto truth = anomaly_mask(grid, default_threshold());
+  const DetectionReport report = detect_anomalies(grid, default_threshold(), truth);
+  EXPECT_DOUBLE_EQ(report.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(report.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.f1(), 1.0);
+  EXPECT_EQ(report.false_positives, 0);
+}
+
+TEST(Anomaly, MissedAndSpuriousDetectionsCounted) {
+  circuit::ResistanceGrid recovered(2, 2, 1000.0);
+  recovered.at(0, 0) = 9000.0;  // detected
+  // truth says (0,0) healthy and (1,1) anomalous:
+  std::vector<bool> truth{false, false, false, true};
+  const DetectionReport report = detect_anomalies(recovered, 5000.0, truth);
+  EXPECT_EQ(report.true_positives, 0);
+  EXPECT_EQ(report.false_positives, 1);
+  EXPECT_EQ(report.false_negatives, 1);
+  EXPECT_EQ(report.true_negatives, 2);
+  EXPECT_DOUBLE_EQ(report.f1(), 0.0);
+}
+
+TEST(FieldRender, HeatmapUsesFullRamp) {
+  circuit::ResistanceGrid grid(2, 2, 0.0);
+  grid.at(0, 0) = 0.0;
+  grid.at(0, 1) = 1.0;
+  grid.at(1, 0) = 0.5;
+  grid.at(1, 1) = 1.0;
+  const std::string art = render_heatmap(grid);
+  ASSERT_EQ(art.size(), 6u);  // 2 rows x (2 chars + newline)
+  EXPECT_EQ(art[0], ' ');     // min maps to lightest
+  EXPECT_EQ(art[1], '@');     // max maps to densest
+}
+
+TEST(FieldRender, ConstantFieldDoesNotDivideByZero) {
+  const circuit::ResistanceGrid grid(3, 3, 42.0);
+  const std::string art = render_heatmap(grid);
+  EXPECT_EQ(art.size(), 12u);
+}
+
+TEST(FieldRender, PgmHasValidHeaderAndSize) {
+  circuit::ResistanceGrid grid(3, 4, 1000.0);
+  grid.at(1, 2) = 9000.0;
+  const std::string path = temp_path("field.pgm");
+  write_pgm(path, grid, 4);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  Index width = 0, height = 0, maxval = 0;
+  in >> magic >> width >> height >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(width, 16);   // 4 cols x scale 4
+  EXPECT_EQ(height, 12);  // 3 rows x scale 4
+  EXPECT_EQ(maxval, 255);
+  in.get();  // the single whitespace after maxval
+  std::string pixels((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(pixels.size(), 16u * 12u);
+  EXPECT_THROW(write_pgm(path, grid, 0), ContractError);
+}
+
+TEST(Anomaly, RenderMaskDrawsGrid) {
+  const std::string art = render_mask({true, false, false, true}, 2, 2);
+  EXPECT_EQ(art, "#.\n.#\n");
+  EXPECT_THROW(render_mask({true}, 2, 2), ContractError);
+}
+
+}  // namespace
+}  // namespace parma::mea

@@ -1,0 +1,286 @@
+// Tests for src/mpisim: the in-process message-passing runtime and the
+// virtual-time cluster model.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/require.hpp"
+#include "mpisim/cluster_model.hpp"
+#include "mpisim/communicator.hpp"
+
+namespace parma::mpisim {
+namespace {
+
+TEST(Communicator, PointToPointRoundTrip) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 7, {1.0, 2.0, 3.0});
+      const Payload reply = comm.recv(1, 8);
+      ASSERT_EQ(reply.size(), 1u);
+      EXPECT_DOUBLE_EQ(reply[0], 6.0);
+    } else {
+      const Payload msg = comm.recv(0, 7);
+      Real sum = 0.0;
+      for (Real v : msg) sum += v;
+      comm.send(0, 8, {sum});
+    }
+  });
+}
+
+TEST(Communicator, TaggedMessagesDoNotCross) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, {1.0});
+      comm.send(1, 2, {2.0});
+    } else {
+      // Receive in reverse tag order; matching must be by tag, not arrival.
+      EXPECT_DOUBLE_EQ(comm.recv(0, 2)[0], 2.0);
+      EXPECT_DOUBLE_EQ(comm.recv(0, 1)[0], 1.0);
+    }
+  });
+}
+
+TEST(Communicator, BarrierSynchronizesPhases) {
+  std::atomic<int> phase_one{0};
+  std::atomic<bool> violated{false};
+  run_ranks(8, [&](Communicator& comm) {
+    phase_one.fetch_add(1);
+    comm.barrier();
+    if (phase_one.load() != 8) violated.store(true);
+    comm.barrier();
+  });
+  EXPECT_FALSE(violated.load());
+}
+
+class CollectiveSizes : public ::testing::TestWithParam<Index> {};
+
+TEST_P(CollectiveSizes, BroadcastDeliversToAllRanks) {
+  const Index p = GetParam();
+  std::atomic<int> correct{0};
+  run_ranks(p, [&](Communicator& comm) {
+    for (Index root = 0; root < std::min<Index>(p, 3); ++root) {
+      Payload payload;
+      if (comm.rank() == root) payload = {static_cast<Real>(root), 42.0};
+      const Payload got = comm.broadcast(root, std::move(payload));
+      if (got.size() == 2 && got[0] == static_cast<Real>(root) && got[1] == 42.0) {
+        correct.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(correct.load(), p * std::min<Index>(p, 3));
+}
+
+TEST_P(CollectiveSizes, ReduceSumAccumulatesEveryRank) {
+  const Index p = GetParam();
+  run_ranks(p, [p](Communicator& comm) {
+    const Payload result =
+        comm.reduce_sum(0, {static_cast<Real>(comm.rank()), 1.0});
+    if (comm.rank() == 0) {
+      ASSERT_EQ(result.size(), 2u);
+      EXPECT_DOUBLE_EQ(result[0], static_cast<Real>(p * (p - 1) / 2));
+      EXPECT_DOUBLE_EQ(result[1], static_cast<Real>(p));
+    } else {
+      EXPECT_TRUE(result.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, AllreduceGivesEveryoneTheSum) {
+  const Index p = GetParam();
+  std::atomic<int> correct{0};
+  run_ranks(p, [&, p](Communicator& comm) {
+    const Payload result = comm.allreduce_sum({1.0});
+    if (result.size() == 1 && result[0] == static_cast<Real>(p)) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), p);
+}
+
+TEST_P(CollectiveSizes, GatherCollectsInRankOrder) {
+  const Index p = GetParam();
+  run_ranks(p, [p](Communicator& comm) {
+    const auto all = comm.gather(0, {static_cast<Real>(comm.rank() * 10)});
+    if (comm.rank() == 0) {
+      ASSERT_EQ(static_cast<Index>(all.size()), p);
+      for (Index r = 0; r < p; ++r) {
+        ASSERT_EQ(all[static_cast<std::size_t>(r)].size(), 1u);
+        EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(r)][0], static_cast<Real>(r * 10));
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSizes, ScatterDeliversPerRankShards) {
+  const Index p = GetParam();
+  run_ranks(p, [p](Communicator& comm) {
+    std::vector<Payload> shards;
+    if (comm.rank() == 0) {
+      for (Index r = 0; r < p; ++r) shards.push_back({static_cast<Real>(r), 7.0});
+    }
+    const Payload mine = comm.scatter(0, std::move(shards));
+    ASSERT_EQ(mine.size(), 2u);
+    EXPECT_DOUBLE_EQ(mine[0], static_cast<Real>(comm.rank()));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16));
+
+TEST(Communicator, SendrecvRingShiftDoesNotDeadlock) {
+  // Every rank sends to its right neighbour and receives from its left --
+  // the classic pattern that deadlocks naive unbuffered send/recv.
+  const Index p = 8;
+  std::atomic<int> correct{0};
+  run_ranks(p, [&, p](Communicator& comm) {
+    const Index right = (comm.rank() + 1) % p;
+    const Index left = (comm.rank() + p - 1) % p;
+    const Payload got = comm.sendrecv(right, left, 5, {static_cast<Real>(comm.rank())});
+    if (got.size() == 1 && got[0] == static_cast<Real>(left)) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), p);
+}
+
+class AlltoallSizes : public ::testing::TestWithParam<Index> {};
+
+TEST_P(AlltoallSizes, TransposesThePayloadMatrix) {
+  const Index p = GetParam();
+  std::atomic<int> correct{0};
+  run_ranks(p, [&, p](Communicator& comm) {
+    // outgoing[r] encodes (me, r); after alltoall, incoming[r] must encode
+    // (r, me) -- the transpose.
+    std::vector<Payload> outgoing;
+    for (Index r = 0; r < p; ++r) {
+      outgoing.push_back({static_cast<Real>(comm.rank()), static_cast<Real>(r)});
+    }
+    const auto incoming = comm.alltoall(std::move(outgoing));
+    bool ok = static_cast<Index>(incoming.size()) == p;
+    for (Index r = 0; ok && r < p; ++r) {
+      ok = incoming[static_cast<std::size_t>(r)].size() == 2 &&
+           incoming[static_cast<std::size_t>(r)][0] == static_cast<Real>(r) &&
+           incoming[static_cast<std::size_t>(r)][1] == static_cast<Real>(comm.rank());
+    }
+    if (ok) correct.fetch_add(1);
+  });
+  EXPECT_EQ(correct.load(), p);
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, AlltoallSizes, ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(Communicator, AlltoallValidatesShape) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW((void)comm.alltoall({{1.0}}), ContractError);  // wrong size
+      // Complete the collective correctly so rank 1 is not left waiting.
+      (void)comm.alltoall({{}, {}});
+    } else {
+      (void)comm.alltoall({{}, {}});
+    }
+  });
+}
+
+TEST(Communicator, ExceptionInRankPropagates) {
+  EXPECT_THROW(run_ranks(3,
+                         [](Communicator& comm) {
+                           if (comm.rank() == 2) throw std::runtime_error("rank failure");
+                         }),
+               std::runtime_error);
+}
+
+TEST(Communicator, RejectsBadArguments) {
+  run_ranks(2, [](Communicator& comm) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(comm.send(5, 0, {}), ContractError);
+      EXPECT_THROW(comm.send(1, -1, {}), ContractError);
+    }
+    comm.barrier();
+  });
+}
+
+TEST(Communicator, ManyRanksCollectiveStress) {
+  // Well beyond physical cores; exercises oversubscription.
+  const Index p = 64;
+  std::atomic<int> ok{0};
+  run_ranks(p, [&, p](Communicator& comm) {
+    const Payload sum = comm.allreduce_sum({static_cast<Real>(comm.rank())});
+    if (sum[0] == static_cast<Real>(p * (p - 1) / 2)) ok.fetch_add(1);
+  });
+  EXPECT_EQ(ok.load(), p);
+}
+
+// --- Cluster model -----------------------------------------------------------
+
+std::vector<parallel::VirtualTask> work(int count, Real cost, std::uint64_t bytes = 1000) {
+  std::vector<parallel::VirtualTask> tasks(static_cast<std::size_t>(count));
+  for (auto& t : tasks) t = {cost, 0, bytes};
+  return tasks;
+}
+
+TEST(ClusterModel, SingleRankHasNoCommunication) {
+  const ClusterResult r = simulate_cluster(work(100, 0.001), 1);
+  EXPECT_DOUBLE_EQ(r.comm_seconds, 0.0);
+  EXPECT_GT(r.compute_seconds, 0.09);
+}
+
+TEST(ClusterModel, StrongScalingOnLargeWork) {
+  // 10 s of total work: compute should scale ~linearly through 1,024 ranks.
+  const auto tasks = work(10000, 0.001);
+  Real prev = simulate_cluster(tasks, 32).makespan_seconds;
+  for (Index p : {64, 128, 256, 512, 1024}) {
+    const ClusterResult r = simulate_cluster(tasks, p);
+    EXPECT_LT(r.makespan_seconds, prev);
+    prev = r.makespan_seconds;
+  }
+  const ClusterResult serial = simulate_cluster(tasks, 1);
+  const ClusterResult wide = simulate_cluster(tasks, 1024);
+  EXPECT_GT(serial.makespan_seconds / wide.makespan_seconds, 100.0);
+}
+
+TEST(ClusterModel, SmallWorkDoesNotScale) {
+  // 4 ms of total work: at p = 1024 the spawn/comm overheads dominate and
+  // adding ranks stops helping -- the flat n <= 20 curves of Fig. 10.
+  const auto tasks = work(40, 0.0001);
+  const ClusterResult narrow = simulate_cluster(tasks, 32);
+  const ClusterResult wide = simulate_cluster(tasks, 1024);
+  EXPECT_LT(narrow.makespan_seconds / wide.makespan_seconds, 3.0);
+}
+
+TEST(ClusterModel, ComputeBalancedAcrossRanks) {
+  const ClusterResult r = simulate_cluster(work(128, 0.001), 8);
+  ASSERT_EQ(r.rank_compute.size(), 8u);
+  for (Real c : r.rank_compute) EXPECT_NEAR(c, r.compute_seconds, r.compute_seconds * 0.2);
+}
+
+TEST(ClusterModel, StorageCostGrowsWithOutputBytesButScalesWithRanks) {
+  const ClusterResult small = simulate_cluster(work(100, 0.001, 10), 64);
+  const ClusterResult large = simulate_cluster(work(100, 0.001, 1000000), 64);
+  EXPECT_GT(large.storage_seconds, small.storage_seconds);
+  // Each rank writes its own shard: more ranks, less per-rank storage time.
+  const ClusterResult narrow = simulate_cluster(work(1024, 0.001, 1000000), 8);
+  const ClusterResult wide = simulate_cluster(work(1024, 0.001, 1000000), 128);
+  EXPECT_GT(narrow.storage_seconds, wide.storage_seconds * 4);
+}
+
+TEST(ClusterModel, TaskCostScaleMultipliesCompute) {
+  ClusterCostModel scaled;
+  scaled.task_cost_scale = 500.0;
+  const ClusterResult base = simulate_cluster(work(100, 0.001), 8);
+  const ClusterResult python_regime = simulate_cluster(work(100, 0.001), 8, scaled);
+  EXPECT_NEAR(python_regime.compute_seconds / base.compute_seconds, 500.0, 25.0);
+}
+
+TEST(ClusterModel, EfficiencyIsBoundedByOne) {
+  const auto tasks = work(1000, 0.001);
+  const Real serial = simulate_cluster(tasks, 1).makespan_seconds;
+  for (Index p : {2, 8, 32, 128}) {
+    const ClusterResult r = simulate_cluster(tasks, p);
+    EXPECT_LE(r.efficiency(serial, p), 1.05);
+    EXPECT_GT(r.efficiency(serial, p), 0.0);
+  }
+}
+
+TEST(ClusterModel, RejectsZeroRanks) {
+  EXPECT_THROW(simulate_cluster(work(1, 1.0), 0), ContractError);
+}
+
+}  // namespace
+}  // namespace parma::mpisim

@@ -1,0 +1,366 @@
+// Tests for src/parallel: thread pool, work stealing, parallel_for, and the
+// virtual-time schedulers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "common/require.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/virtual_scheduler.hpp"
+#include "parallel/work_stealing_deque.hpp"
+#include "parallel/work_stealing_pool.hpp"
+
+namespace parma::parallel {
+namespace {
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValuesThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WaitIdleDrainsQueue) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.submit([&done] {
+      std::this_thread::yield();
+      done.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), ContractError); }
+
+TEST(WorkStealingDeque, LifoForOwnerFifoForThief) {
+  WorkStealingDeque<int> deque;
+  deque.push(1);
+  deque.push(2);
+  deque.push(3);
+  EXPECT_EQ(deque.steal().value(), 1);  // oldest from the top
+  EXPECT_EQ(deque.pop().value(), 3);    // newest from the bottom
+  EXPECT_EQ(deque.pop().value(), 2);
+  EXPECT_FALSE(deque.pop().has_value());
+  EXPECT_FALSE(deque.steal().has_value());
+}
+
+TEST(WorkStealingDeque, GrowsPastInitialCapacity) {
+  WorkStealingDeque<int> deque(2);
+  for (int i = 0; i < 100; ++i) deque.push(i);
+  for (int i = 99; i >= 0; --i) EXPECT_EQ(deque.pop().value(), i);
+}
+
+TEST(WorkStealingDeque, ConcurrentStealersReceiveEachItemOnce) {
+  WorkStealingDeque<int> deque;
+  const int items = 20000;
+  std::atomic<long long> sum{0};
+  std::atomic<int> taken{0};
+
+  std::vector<std::thread> thieves;
+  std::atomic<bool> start{false};
+  for (int t = 0; t < 3; ++t) {
+    thieves.emplace_back([&] {
+      while (!start.load()) std::this_thread::yield();
+      while (taken.load() < items) {
+        if (auto v = deque.steal()) {
+          sum.fetch_add(*v);
+          taken.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread owner([&] {
+    start.store(true);
+    for (int i = 1; i <= items; ++i) deque.push(i);
+    // Owner also pops; anything it takes counts too.
+    while (taken.load() < items) {
+      if (auto v = deque.pop()) {
+        sum.fetch_add(*v);
+        taken.fetch_add(1);
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  owner.join();
+  for (auto& t : thieves) t.join();
+  EXPECT_EQ(sum.load(), static_cast<long long>(items) * (items + 1) / 2);
+}
+
+TEST(WorkStealingPool, RunsEveryTask) {
+  WorkStealingPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 500; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnceAllSchedules) {
+  for (const Schedule schedule : {Schedule::kStatic, Schedule::kDynamic, Schedule::kGuided}) {
+    ThreadPool pool(4);
+    std::vector<std::atomic<int>> hits(1000);
+    ForOptions options;
+    options.schedule = schedule;
+    options.chunk = 7;
+    parallel_for(pool, 0, 1000, [&hits](Index i) { hits[static_cast<std::size_t>(i)]++; },
+                 options);
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(pool, 5, 5, [&calls](Index) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, PropagatesBodyExceptions) {
+  ThreadPool pool(4);
+  ForOptions options;
+  options.schedule = Schedule::kDynamic;
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [](Index i) {
+                              if (i == 37) throw std::runtime_error("bad index");
+                            },
+                            options),
+               std::runtime_error);
+}
+
+TEST(ParallelFor, ChunkedSeesContiguousRanges) {
+  ThreadPool pool(3);
+  std::mutex mu;
+  std::vector<std::pair<Index, Index>> chunks;
+  ForOptions options;
+  options.schedule = Schedule::kGuided;
+  options.chunk = 5;
+  parallel_for_chunked(pool, 0, 103,
+                       [&](Index lo, Index hi) {
+                         std::lock_guard lock(mu);
+                         chunks.emplace_back(lo, hi);
+                       },
+                       options);
+  Index covered = 0;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_LT(lo, hi);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 103);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  ThreadPool pool(4);
+  const Real total =
+      parallel_reduce_sum(pool, 1, 101, [](Index i) { return static_cast<Real>(i); });
+  EXPECT_DOUBLE_EQ(total, 5050.0);
+}
+
+// --- Virtual schedulers ------------------------------------------------------
+
+std::vector<VirtualTask> uniform_tasks(int count, Real cost, Index categories = 4) {
+  std::vector<VirtualTask> tasks(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    tasks[static_cast<std::size_t>(i)] = {cost, i % categories, 100};
+  }
+  return tasks;
+}
+
+CostModel zero_overheads() {
+  CostModel m;
+  m.worker_spawn_overhead = 0.0;
+  m.task_dispatch_overhead = 0.0;
+  m.chunk_claim_overhead = 0.0;
+  m.rebalance_overhead = 0.0;
+  return m;
+}
+
+TEST(VirtualScheduler, SerialMakespanIsSumPlusOverheads) {
+  const auto tasks = uniform_tasks(10, 1.0);
+  const ScheduleResult r = schedule_serial(tasks, zero_overheads());
+  EXPECT_NEAR(r.makespan_seconds, 10.0, 1e-12);
+  EXPECT_NEAR(r.total_work_seconds, 10.0, 1e-12);
+  EXPECT_NEAR(r.efficiency(), 1.0, 1e-12);
+}
+
+TEST(VirtualScheduler, ByCategoryBoundByLargestCategory) {
+  // Category 0 holds 9s of work, the rest 1s each: makespan = 9.
+  std::vector<VirtualTask> tasks;
+  for (int i = 0; i < 9; ++i) tasks.push_back({1.0, 0, 0});
+  for (Index c = 1; c < 4; ++c) tasks.push_back({1.0, c, 0});
+  const ScheduleResult r = schedule_by_category(tasks, 4, zero_overheads());
+  EXPECT_NEAR(r.makespan_seconds, 9.0, 1e-12);
+  // Every task must be on its category worker.
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    EXPECT_EQ(r.assignment[t], tasks[t].category % 4);
+  }
+}
+
+TEST(VirtualScheduler, LptBeatsCategoryOnSkewedLoad) {
+  std::vector<VirtualTask> tasks;
+  for (int i = 0; i < 8; ++i) tasks.push_back({1.0, 0, 0});  // skewed category
+  tasks.push_back({1.0, 1, 0});
+  const Real by_cat = schedule_by_category(tasks, 4, zero_overheads()).makespan_seconds;
+  const ScheduleResult lpt = schedule_balanced_lpt(tasks, 4, zero_overheads());
+  EXPECT_LT(lpt.makespan_seconds, by_cat);
+  EXPECT_GT(lpt.moved_tasks, 0);
+  // LPT is within 4/3 - 1/(3m) of optimal; optimal here is ceil(9/4) = 3.
+  EXPECT_LE(lpt.makespan_seconds, 3.0 + 1e-12);
+}
+
+TEST(VirtualScheduler, MakespanLowerBoundsHold) {
+  const auto tasks = uniform_tasks(97, 0.01);
+  for (Index workers : {1, 2, 4, 8, 16}) {
+    for (const auto& r : {schedule_balanced_lpt(tasks, workers, zero_overheads()),
+                          schedule_dynamic(tasks, workers, 1, zero_overheads())}) {
+      EXPECT_GE(r.makespan_seconds + 1e-12, r.total_work_seconds / static_cast<Real>(workers));
+      EXPECT_GE(r.makespan_seconds + 1e-12, 0.01);  // longest task
+      EXPECT_LE(r.efficiency(), 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(VirtualScheduler, DynamicImprovesWithWorkers) {
+  const auto tasks = uniform_tasks(256, 0.005);
+  Real prev = schedule_dynamic(tasks, 1, 1, zero_overheads()).makespan_seconds;
+  for (Index workers : {2, 4, 8, 16}) {
+    const Real t = schedule_dynamic(tasks, workers, 1, zero_overheads()).makespan_seconds;
+    EXPECT_LT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(VirtualScheduler, OverheadsDominateTinyTasks) {
+  // When per-task overhead exceeds task cost, adding workers cannot win
+  // much -- the n = 10 regime of Fig. 6/7.
+  CostModel heavy;
+  heavy.worker_spawn_overhead = 1e-2;
+  heavy.task_dispatch_overhead = 1e-4;
+  heavy.chunk_claim_overhead = 1e-4;
+  const auto tasks = uniform_tasks(40, 1e-5);
+  const Real serial = schedule_serial(tasks, heavy).makespan_seconds;
+  const Real wide = schedule_dynamic(tasks, 32, 1, heavy).makespan_seconds;
+  EXPECT_GT(wide, serial * 0.5);  // nowhere near 32x
+}
+
+TEST(VirtualScheduler, DeterministicAcrossCalls) {
+  const auto tasks = uniform_tasks(100, 0.001);
+  const ScheduleResult a = schedule_balanced_lpt(tasks, 8);
+  const ScheduleResult b = schedule_balanced_lpt(tasks, 8);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.makespan_seconds, b.makespan_seconds);
+}
+
+TEST(VirtualScheduler, StartTimesNonOverlappingPerWorker) {
+  const auto tasks = uniform_tasks(50, 0.002);
+  const ScheduleResult r = schedule_dynamic(tasks, 4, 3, zero_overheads());
+  // Group tasks by worker and check intervals do not overlap.
+  for (Index w = 0; w < 4; ++w) {
+    std::vector<std::pair<Real, Real>> intervals;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (r.assignment[t] == w) {
+        intervals.emplace_back(r.start_time[t], r.start_time[t] + tasks[t].cost_seconds);
+      }
+    }
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t k = 1; k < intervals.size(); ++k) {
+      EXPECT_GE(intervals[k].first + 1e-12, intervals[k - 1].second);
+    }
+  }
+}
+
+TEST(VirtualScheduler, MemoryTraceAccumulatesToTotal) {
+  const auto tasks = uniform_tasks(10, 0.001);
+  const ScheduleResult r = schedule_dynamic(tasks, 2, 1, zero_overheads());
+  const auto trace = r.memory_trace(tasks, 1000);
+  EXPECT_EQ(trace.front().bytes, 1000u);
+  EXPECT_EQ(trace.back().bytes, 1000u + 10u * 100u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i].bytes, trace[i - 1].bytes);  // formed equations persist
+    EXPECT_GE(trace[i].time_seconds + 1e-12, trace[i - 1].time_seconds);
+  }
+}
+
+TEST(VirtualScheduler, MoreWorkersReachPeakMemorySooner) {
+  // The Fig. 8 phenomenon: peaks match across k, but the formation ramp
+  // compresses with more workers while the terminal phase (write/solve, at
+  // peak memory) does not scale -- so high-k runs spend a smaller fraction
+  // of their life at low footprint.
+  const auto tasks = uniform_tasks(64, 0.01);
+  const Real tail_seconds = 0.2;  // non-scaling phase at peak memory
+  auto cdf_for = [&](Index workers) {
+    const ScheduleResult r = schedule_dynamic(tasks, workers, 1, zero_overheads());
+    auto trace = r.memory_trace(tasks, 0);
+    trace.push_back({r.makespan_seconds + tail_seconds, trace.back().bytes});
+    return MemoryCdf(std::move(trace));
+  };
+  const MemoryCdf cdf_slow = cdf_for(2);
+  const MemoryCdf cdf_fast = cdf_for(8);
+  EXPECT_EQ(cdf_slow.peak_bytes(), cdf_fast.peak_bytes());
+  const std::uint64_t half_peak = cdf_slow.peak_bytes() / 2;
+  EXPECT_LT(cdf_fast.fraction_at_or_below(half_peak),
+            cdf_slow.fraction_at_or_below(half_peak));
+}
+
+TEST(VirtualScheduler, SequentialSpawnGatesWideIdlePools) {
+  // Fork-join semantics: even if one task finishes instantly, a 64-worker
+  // pool cannot beat 64 sequential spawns -- the mechanism behind the
+  // paper's n = 10 inversion.
+  CostModel model;
+  model.worker_spawn_overhead = 1e-3;
+  const std::vector<VirtualTask> tiny{{1e-9, 0, 0}};
+  const ScheduleResult wide = schedule_dynamic(tiny, 64, 1, model);
+  EXPECT_GE(wide.makespan_seconds, 64.0 * 1e-3 - 1e-12);
+  const ScheduleResult narrow = schedule_dynamic(tiny, 1, 1, model);
+  EXPECT_LT(narrow.makespan_seconds, wide.makespan_seconds / 10.0);
+}
+
+TEST(VirtualScheduler, CategoryDefaultWorkerCountIsCategoryCount) {
+  std::vector<VirtualTask> tasks{{1.0, 0, 0}, {1.0, 1, 0}, {1.0, 2, 0}};
+  const ScheduleResult r = schedule_by_category(tasks, /*workers=*/0, zero_overheads());
+  EXPECT_EQ(r.worker_finish.size(), 3u);
+  EXPECT_NEAR(r.makespan_seconds, 1.0, 1e-12);
+}
+
+TEST(VirtualScheduler, EmptyTaskListIsHandled) {
+  const std::vector<VirtualTask> none;
+  EXPECT_NEAR(schedule_serial(none).total_work_seconds, 0.0, 1e-15);
+  const ScheduleResult r = schedule_dynamic(none, 4, 1);
+  EXPECT_TRUE(r.assignment.empty());
+  EXPECT_GE(r.makespan_seconds, 0.0);
+}
+
+TEST(VirtualScheduler, RejectsInvalidArguments) {
+  const auto tasks = uniform_tasks(4, 1.0);
+  EXPECT_THROW(schedule_balanced_lpt(tasks, 0), ContractError);
+  EXPECT_THROW(schedule_dynamic(tasks, 2, 0), ContractError);
+  std::vector<VirtualTask> negative{{-1.0, 0, 0}};
+  EXPECT_THROW(schedule_serial(negative), ContractError);
+}
+
+}  // namespace
+}  // namespace parma::parallel

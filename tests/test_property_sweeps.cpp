@@ -1,0 +1,169 @@
+// Cross-module property sweeps: randomized devices driven through the whole
+// pipeline, asserting the invariants that tie the modules together. Where
+// unit suites test one behaviour each, these parameterized cases assert that
+// the *composition* holds on arbitrary inputs:
+//
+//   P1  joint-constraint forward model == Laplacian oracle == MNA
+//   P2  GF(2) homology == spanning-tree cyclomatic count == (m-1)(n-1)
+//   P3  LM recovery round-trips exact measurements
+//   P4  text and binary serialization both reproduce the system exactly
+//   P5  schedules conserve work and respect capacity for random task sets
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/parma.hpp"
+#include "topology/boundary.hpp"
+
+namespace parma {
+namespace {
+
+struct DeviceCase {
+  Index rows;
+  Index cols;
+  std::uint64_t seed;
+};
+
+std::string case_name(const ::testing::TestParamInfo<DeviceCase>& info) {
+  return "d" + std::to_string(info.param.rows) + "x" + std::to_string(info.param.cols) +
+         "_s" + std::to_string(info.param.seed);
+}
+
+circuit::ResistanceGrid random_device(const DeviceCase& c) {
+  Rng rng(c.seed);
+  circuit::ResistanceGrid grid(c.rows, c.cols);
+  for (Real& v : grid.flat()) {
+    v = rng.uniform(kWetLabMinResistanceKOhm, kWetLabMaxResistanceKOhm);
+  }
+  return grid;
+}
+
+class DeviceSweep : public ::testing::TestWithParam<DeviceCase> {};
+
+TEST_P(DeviceSweep, P1_ForwardModelsAgree) {
+  const DeviceCase c = GetParam();
+  const circuit::ResistanceGrid grid = random_device(c);
+  const linalg::DenseMatrix oracle = circuit::measure_all_pairs(grid);
+  const linalg::DenseMatrix joint = equations::forward_model(grid, kWetLabVoltage);
+  EXPECT_LT(joint.max_abs_diff(oracle), 1e-7);
+
+  const circuit::ResistorNetwork net = circuit::build_crossbar_network(grid);
+  const circuit::MnaSolution mna = circuit::solve_mna(
+      net, circuit::horizontal_node(0), circuit::vertical_node(c.rows, c.cols - 1), 5.0);
+  EXPECT_NEAR(mna.equivalent_resistance, oracle(0, c.cols - 1),
+              1e-8 * oracle(0, c.cols - 1));
+}
+
+TEST_P(DeviceSweep, P2_HomologyAgreesAcrossAlgorithms) {
+  const DeviceCase c = GetParam();
+  const topology::WireComplex wc = topology::build_wire_complex(c.rows, c.cols);
+  const Index closed_form = topology::expected_betti1_crossbar(c.rows, c.cols);
+  EXPECT_EQ(topology::CycleBasis(wc.num_vertices, wc.edges).cyclomatic_number(),
+            closed_form);
+  if (wc.num_vertices <= 60) {
+    EXPECT_EQ(topology::betti_number(wc.complex, 1), closed_form);
+  }
+}
+
+TEST_P(DeviceSweep, P3_RecoveryRoundTripsExactMeasurements) {
+  const DeviceCase c = GetParam();
+  const circuit::ResistanceGrid truth = random_device(c);
+  const mea::DeviceSpec spec{c.rows, c.cols, kWetLabVoltage};
+  const mea::Measurement m = mea::measure_exact(spec, truth);
+  solver::InverseOptions options;
+  options.max_iterations = 80;
+  options.tolerance = 1e-11;
+  const solver::InverseResult result = solver::recover_resistances(m, options);
+  EXPECT_LT(result.max_relative_error(truth), 1e-4)
+      << "misfit " << result.final_misfit;
+}
+
+TEST_P(DeviceSweep, P4_SerializationFormatsAreLossless) {
+  const DeviceCase c = GetParam();
+  const circuit::ResistanceGrid truth = random_device(c);
+  const mea::DeviceSpec spec{c.rows, c.cols, kWetLabVoltage};
+  const mea::Measurement m = mea::measure_exact(spec, truth);
+  const equations::EquationSystem system = equations::generate_system(m);
+
+  const std::string base = testing::TempDir() + "parma_sweep_" + std::to_string(c.seed);
+  equations::save_system(base + ".txt", system);
+  equations::save_system_binary(base + ".bin", system);
+  const equations::EquationSystem from_text = equations::load_system(base + ".txt", spec);
+  const equations::EquationSystem from_bin =
+      equations::load_system_binary(base + ".bin", spec);
+
+  // Identical residuals at a random interior state => identical algebra.
+  Rng rng(c.seed ^ 0xABCD);
+  std::vector<Real> x(static_cast<std::size_t>(system.layout.num_unknowns()));
+  for (std::size_t u = 0; u < x.size(); ++u) {
+    x[u] = system.layout.is_resistance(static_cast<Index>(u)) ? rng.uniform(2000.0, 11000.0)
+                                                              : rng.uniform(0.0, 5.0);
+  }
+  const std::vector<Real> reference = equations::system_residual(system, x);
+  EXPECT_LT(linalg::relative_error(equations::system_residual(from_text, x), reference),
+            1e-12);
+  EXPECT_LT(linalg::relative_error(equations::system_residual(from_bin, x), reference),
+            1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDevices, DeviceSweep,
+                         ::testing::Values(DeviceCase{2, 2, 1}, DeviceCase{3, 3, 2},
+                                           DeviceCase{2, 6, 3}, DeviceCase{6, 2, 4},
+                                           DeviceCase{4, 5, 5}, DeviceCase{5, 5, 6},
+                                           DeviceCase{7, 3, 7}, DeviceCase{6, 6, 8}),
+                         case_name);
+
+// --- P5: schedules conserve work for random task sets ------------------------
+
+class SchedulerSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerSweep, WorkIsConservedAndCapacityRespected) {
+  Rng rng(GetParam());
+  const auto count = 20 + rng.uniform_index(300);
+  std::vector<parallel::VirtualTask> tasks(count);
+  Real total = 0.0;
+  for (auto& t : tasks) {
+    t.cost_seconds = rng.uniform(1e-6, 1e-3);
+    t.category = static_cast<Index>(rng.uniform_index(4));
+    t.bytes = rng.uniform_index(10000);
+    total += t.cost_seconds;
+  }
+  const Index workers = 1 + static_cast<Index>(rng.uniform_index(32));
+
+  parallel::CostModel zero;
+  zero.worker_spawn_overhead = 0.0;
+  zero.task_dispatch_overhead = 0.0;
+  zero.chunk_claim_overhead = 0.0;
+  zero.rebalance_overhead = 0.0;
+
+  for (const auto& schedule :
+       {parallel::schedule_balanced_lpt(tasks, workers, zero),
+        parallel::schedule_dynamic(tasks, workers, 1 + static_cast<Index>(rng.uniform_index(8)),
+                                   zero),
+        parallel::schedule_by_category(tasks, workers, zero)}) {
+    EXPECT_NEAR(schedule.total_work_seconds, total, 1e-12);
+    // Per-worker busy time reconstructed from assignments must equal the
+    // worker's finish time (no lost or duplicated work).
+    std::vector<Real> busy(static_cast<std::size_t>(workers), 0.0);
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      busy[static_cast<std::size_t>(schedule.assignment[t])] += tasks[t].cost_seconds;
+    }
+    Real reconstructed = 0.0;
+    for (Real b : busy) reconstructed += b;
+    EXPECT_NEAR(reconstructed, total, 1e-12);
+    for (Index w = 0; w < workers; ++w) {
+      EXPECT_LE(busy[static_cast<std::size_t>(w)],
+                schedule.makespan_seconds + 1e-12);
+    }
+    // Memory trace ends at the byte total.
+    std::uint64_t bytes = 0;
+    for (const auto& t : tasks) bytes += t.bytes;
+    EXPECT_EQ(schedule.memory_trace(tasks, 0).back().bytes, bytes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace parma

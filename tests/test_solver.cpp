@@ -1,0 +1,234 @@
+// Tests for src/solver: inverse recovery by log-space LM and the full-system
+// Gauss-Newton, against known ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/require.hpp"
+#include "common/rng.hpp"
+#include "equations/generator.hpp"
+#include "mea/generator.hpp"
+#include "mea/measurement.hpp"
+#include "solver/full_system_solver.hpp"
+#include "solver/inverse_solver.hpp"
+
+namespace parma::solver {
+namespace {
+
+struct Scenario {
+  mea::DeviceSpec spec;
+  circuit::ResistanceGrid truth{1, 1};
+  mea::Measurement measurement;
+};
+
+Scenario make_scenario(Index n, std::uint64_t seed, Index anomalies = 1,
+                       Real noise = 0.0) {
+  Rng rng(seed);
+  Scenario s{mea::square_device(n), circuit::ResistanceGrid(1, 1), {}};
+  mea::GeneratorOptions options = mea::random_scenario(s.spec, anomalies, rng);
+  options.jitter_fraction = 0.01;
+  s.truth = mea::generate_field(s.spec, options, rng);
+  mea::MeasurementOptions mopt;
+  mopt.noise_fraction = noise;
+  s.measurement = mea::measure(s.spec, s.truth, mopt, rng);
+  return s;
+}
+
+class ExactRecovery : public ::testing::TestWithParam<Index> {};
+
+TEST_P(ExactRecovery, RecoversGroundTruthFromExactMeasurements) {
+  const Index n = GetParam();
+  const Scenario s = make_scenario(n, 100 + static_cast<std::uint64_t>(n));
+  InverseOptions options;
+  options.max_iterations = 80;
+  options.tolerance = 1e-10;
+  const InverseResult result = recover_resistances(s.measurement, options);
+  EXPECT_TRUE(result.converged) << "misfit " << result.final_misfit;
+  EXPECT_LT(result.max_relative_error(s.truth), 1e-4)
+      << "n=" << n << " misfit=" << result.final_misfit;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ExactRecovery, ::testing::Values(2, 3, 4, 5, 6));
+
+TEST(Recovery, MisfitHistoryIsMonotoneNonIncreasing) {
+  const Scenario s = make_scenario(4, 123);
+  const InverseResult result = recover_resistances(s.measurement);
+  ASSERT_GE(result.misfit_history.size(), 2u);
+  for (std::size_t k = 1; k < result.misfit_history.size(); ++k) {
+    EXPECT_LE(result.misfit_history[k], result.misfit_history[k - 1] + 1e-15);
+  }
+}
+
+TEST(Recovery, NoisyMeasurementsDegradeGracefully) {
+  const Scenario s = make_scenario(4, 124, 1, 0.01);
+  InverseOptions options;
+  options.max_iterations = 60;
+  const InverseResult result = recover_resistances(s.measurement, options);
+  // Cannot fit below the noise floor, but must stay in its vicinity.
+  EXPECT_LT(result.final_misfit, 0.05);
+  EXPECT_LT(result.max_relative_error(s.truth), 0.5);
+}
+
+TEST(Recovery, RecoveredValuesStayPositive) {
+  const Scenario s = make_scenario(5, 125, 2);
+  const InverseResult result = recover_resistances(s.measurement);
+  for (Real v : result.recovered.flat()) EXPECT_GT(v, 0.0);
+}
+
+TEST(Recovery, AnomalyCellsAreLocalized) {
+  // Plant a strong anomaly; the recovered field must rank that cell highest.
+  Rng rng(126);
+  const mea::DeviceSpec spec = mea::square_device(5);
+  mea::GeneratorOptions options;
+  options.jitter_fraction = 0.0;
+  options.anomalies.push_back({3.0, 1.0, 0.7, 0.7, 11000.0});
+  const auto truth = mea::generate_field(spec, options, rng);
+  const mea::Measurement m = mea::measure_exact(spec, truth);
+  const InverseResult result = recover_resistances(m);
+  Index argmax = 0;
+  for (Index e = 1; e < 25; ++e) {
+    if (result.recovered.flat()[static_cast<std::size_t>(e)] >
+        result.recovered.flat()[static_cast<std::size_t>(argmax)]) {
+      argmax = e;
+    }
+  }
+  EXPECT_EQ(argmax, 3 * 5 + 1);
+}
+
+TEST(Recovery, ExplicitInitialGuessIsHonored) {
+  const Scenario s = make_scenario(3, 127);
+  InverseOptions options;
+  options.initial_resistance = 5000.0;
+  options.max_iterations = 80;
+  options.tolerance = 1e-10;
+  const InverseResult result = recover_resistances(s.measurement, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.max_relative_error(s.truth), 1e-3);
+}
+
+TEST(Recovery, RejectsBadOptions) {
+  const Scenario s = make_scenario(3, 128);
+  InverseOptions options;
+  options.max_iterations = 0;
+  EXPECT_THROW(recover_resistances(s.measurement, options), ContractError);
+}
+
+TEST(Recovery, WarmStartConvergesFaster) {
+  // The time-series workflow: epoch t's recovery seeds epoch t+1. A warm
+  // start from (a slightly perturbed) truth must need fewer iterations than
+  // the cold Z-based guess.
+  const Scenario s = make_scenario(5, 150);
+  InverseOptions cold;
+  cold.max_iterations = 60;
+  cold.tolerance = 1e-9;
+  const InverseResult from_cold = recover_resistances(s.measurement, cold);
+
+  InverseOptions warm = cold;
+  circuit::ResistanceGrid near_truth = s.truth;
+  for (Real& v : near_truth.flat()) v *= 1.02;
+  warm.initial_grid = near_truth;
+  const InverseResult from_warm = recover_resistances(s.measurement, warm);
+
+  EXPECT_TRUE(from_warm.converged);
+  EXPECT_LT(from_warm.iterations, from_cold.iterations);
+  EXPECT_LT(from_warm.max_relative_error(s.truth), 1e-3);
+}
+
+TEST(Recovery, WarmStartValidatesShapeAndPositivity) {
+  const Scenario s = make_scenario(3, 151);
+  InverseOptions options;
+  options.initial_grid = circuit::ResistanceGrid(4, 4, 1000.0);  // wrong shape
+  EXPECT_THROW(recover_resistances(s.measurement, options), ContractError);
+  circuit::ResistanceGrid negative(3, 3, 1000.0);
+  negative.at(1, 1) = -5.0;
+  options.initial_grid = negative;
+  EXPECT_THROW(recover_resistances(s.measurement, options), ContractError);
+}
+
+TEST(Recovery, ParallelSweepsAreBitIdenticalToSerial) {
+  // The per-pair forward solves are independent; with any worker count the
+  // recovery must be exactly the same (determinism is a release criterion).
+  const Scenario s = make_scenario(4, 140);
+  InverseOptions serial;
+  serial.max_iterations = 20;
+  InverseOptions threaded = serial;
+  threaded.workers = 4;
+  const InverseResult a = recover_resistances(s.measurement, serial);
+  const InverseResult b = recover_resistances(s.measurement, threaded);
+  ASSERT_EQ(a.recovered.flat().size(), b.recovered.flat().size());
+  for (std::size_t e = 0; e < a.recovered.flat().size(); ++e) {
+    EXPECT_DOUBLE_EQ(a.recovered.flat()[e], b.recovered.flat()[e]);
+  }
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_DOUBLE_EQ(a.final_misfit, b.final_misfit);
+}
+
+TEST(Misfit, ZeroForIdenticalMatrices) {
+  linalg::DenseMatrix a{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(impedance_misfit(a, a), 0.0);
+}
+
+TEST(Misfit, ScalesWithPerturbation) {
+  linalg::DenseMatrix a{{100.0}};
+  linalg::DenseMatrix b{{110.0}};
+  EXPECT_NEAR(impedance_misfit(b, a), 0.1, 1e-12);
+}
+
+// --- Full-system Gauss-Newton ------------------------------------------------
+
+TEST(FullSystem, InitialGuessIsFeasibleAndStructured) {
+  const Scenario s = make_scenario(3, 129);
+  const equations::EquationSystem system = equations::generate_system(s.measurement);
+  const std::vector<Real> x0 = initial_guess(system, s.measurement);
+  ASSERT_EQ(static_cast<Index>(x0.size()), system.layout.num_unknowns());
+  for (Index u = 0; u < system.layout.num_resistors(); ++u) {
+    EXPECT_GT(x0[static_cast<std::size_t>(u)], 0.0);
+  }
+  // Voltage guesses must lie within the rails.
+  for (Index u = system.layout.num_resistors(); u < system.layout.num_unknowns(); ++u) {
+    EXPECT_GE(x0[static_cast<std::size_t>(u)], 0.0);
+    EXPECT_LE(x0[static_cast<std::size_t>(u)], kWetLabVoltage);
+  }
+}
+
+class FullSystemRecovery : public ::testing::TestWithParam<Index> {};
+
+TEST_P(FullSystemRecovery, DrivesResidualDownAndRecoversR) {
+  const Index n = GetParam();
+  const Scenario s = make_scenario(n, 130 + static_cast<std::uint64_t>(n));
+  const equations::EquationSystem system = equations::generate_system(s.measurement);
+  FullSystemOptions options;
+  options.max_iterations = 60;
+  const FullSystemResult result = solve_full_system(system, s.measurement, options);
+  ASSERT_GE(result.residual_history.size(), 2u);
+  EXPECT_LT(result.final_residual_rms, result.residual_history.front() * 1e-3);
+  // The recovered grid must be close to truth (residual metric is currents,
+  // so allow a looser relative bound than the LM path).
+  Real worst = 0.0;
+  for (std::size_t e = 0; e < s.truth.flat().size(); ++e) {
+    worst = std::max(worst, std::abs(result.recovered.flat()[e] - s.truth.flat()[e]) /
+                                s.truth.flat()[e]);
+  }
+  EXPECT_LT(worst, 0.02) << "n=" << n << " rms=" << result.final_residual_rms;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FullSystemRecovery, ::testing::Values(2, 3, 4));
+
+TEST(FullSystem, AgreesWithLevenbergMarquardt) {
+  const Scenario s = make_scenario(3, 131);
+  const equations::EquationSystem system = equations::generate_system(s.measurement);
+  FullSystemOptions fopt;
+  fopt.max_iterations = 60;
+  const FullSystemResult full = solve_full_system(system, s.measurement, fopt);
+  InverseOptions iopt;
+  iopt.max_iterations = 80;
+  iopt.tolerance = 1e-12;
+  const InverseResult lm = recover_resistances(s.measurement, iopt);
+  for (std::size_t e = 0; e < s.truth.flat().size(); ++e) {
+    EXPECT_NEAR(full.recovered.flat()[e], lm.recovered.flat()[e],
+                0.02 * lm.recovered.flat()[e]);
+  }
+}
+
+}  // namespace
+}  // namespace parma::solver

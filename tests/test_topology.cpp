@@ -1,0 +1,351 @@
+// Tests for src/topology: simplices, complexes, GF(2) algebra, boundary
+// operators, Betti numbers, cycle bases, and the MEA abstractions of
+// Proposition 1.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/require.hpp"
+#include "topology/boundary.hpp"
+#include "topology/cycle_basis.hpp"
+#include "topology/gf2_matrix.hpp"
+#include "topology/grid_complex.hpp"
+#include "topology/simplex.hpp"
+#include "topology/simplicial_complex.hpp"
+
+namespace parma::topology {
+namespace {
+
+TEST(Simplex, SortsAndDeduplicates) {
+  const Simplex s{3, 1, 2, 1};
+  EXPECT_EQ(s.dimension(), 2);
+  EXPECT_EQ(s.vertices(), (std::vector<Index>{1, 2, 3}));
+}
+
+TEST(Simplex, EmptySimplexHasDimensionMinusOne) {
+  EXPECT_EQ(Simplex{}.dimension(), -1);
+  EXPECT_TRUE(Simplex{}.facets().empty());
+}
+
+TEST(Simplex, FacetsOfTriangle) {
+  const Simplex triangle{0, 1, 2};
+  const auto facets = triangle.facets();
+  ASSERT_EQ(facets.size(), 3u);
+  for (const auto& f : facets) EXPECT_EQ(f.dimension(), 1);
+}
+
+TEST(Simplex, AllFacesCountsPowerSet) {
+  const Simplex triangle{0, 1, 2};
+  EXPECT_EQ(triangle.all_faces().size(), 8u);  // incl. empty set
+}
+
+TEST(Simplex, FaceAndIntersection) {
+  const Simplex tetra{0, 1, 2, 3};
+  EXPECT_TRUE(tetra.has_face(Simplex{1, 3}));
+  EXPECT_FALSE(Simplex({0, 1}).has_face(tetra));
+  EXPECT_EQ(Simplex({0, 1, 2}).intersect(Simplex{1, 2, 3}), (Simplex{1, 2}));
+}
+
+TEST(Simplex, StreamRendering) {
+  std::ostringstream os;
+  os << Simplex{2, 0};
+  EXPECT_EQ(os.str(), "{0,2}");
+}
+
+TEST(Complex, InsertClosesUnderFaces) {
+  SimplicialComplex k;
+  k.insert(Simplex{0, 1, 2});
+  EXPECT_EQ(k.count(2), 1);
+  EXPECT_EQ(k.count(1), 3);
+  EXPECT_EQ(k.count(0), 3);
+  EXPECT_TRUE(k.contains(Simplex{0, 2}));
+  EXPECT_EQ(k.dimension(), 2);
+  EXPECT_EQ(k.euler_characteristic(), 1);  // a filled triangle is contractible
+}
+
+TEST(Complex, Figure3SoupIsNotAComplex) {
+  // Two triangles glued along segment {b, f} that is not an edge of either:
+  // vertices a=0 b=1 c=2, d=3 e=4 f=5, shared segment {1, 5}.
+  std::vector<Simplex> soup{{0}, {1}, {2}, {3},      {4},    {5},    {0, 1},
+                            {1, 2}, {0, 2}, {3, 4}, {3, 5}, {4, 5}, {0, 1, 2},
+                            {3, 4, 5}, {1, 5}};
+  // With {1,5} listed as a raw segment the face-closure holds, but the two
+  // triangles' planes cross it -- the paper's figure. Model the crossing by
+  // giving triangle {3,4,5} the extra face {1,5} it geometrically overlaps:
+  // the soup without {1,5} listed must fail face-closure once a simplex
+  // {1, 3, 5} referencing it exists.
+  soup.push_back(Simplex{1, 3, 5});
+  soup.push_back(Simplex{1, 3});
+  EXPECT_TRUE(SimplicialComplex::soup_is_valid_complex(soup));
+  // Remove the shared segment from the listing: intersection {1,5} of
+  // {0,1,5}... construct directly the violating pair instead.
+  std::vector<Simplex> violating{{0, 1, 5}, {1, 5, 4}, {0, 1}, {0, 5}, {1, 5},
+                                 {1, 4},    {5, 4},    {0},    {1},    {5},
+                                 {4}};
+  EXPECT_TRUE(SimplicialComplex::soup_is_valid_complex(violating));
+  // Now a pair whose overlap {1,5} is NOT listed:
+  std::vector<Simplex> bad{{0, 1, 5}, {1, 5, 4}, {0, 1}, {0, 5}, {1, 4}, {5, 4},
+                           {0},       {1},       {5},    {4}};
+  EXPECT_FALSE(SimplicialComplex::soup_is_valid_complex(bad));
+}
+
+TEST(Gf2, SetGetAndRowAddition) {
+  Gf2Matrix m(2, 70);  // spans two 64-bit words
+  m.set(0, 0, true);
+  m.set(0, 69, true);
+  m.set(1, 69, true);
+  m.add_row(0, 1);
+  EXPECT_TRUE(m.get(0, 0));
+  EXPECT_FALSE(m.get(0, 69));  // cancelled mod 2
+}
+
+TEST(Gf2, RankOfIdentityAndSingular) {
+  Gf2Matrix id(4, 4);
+  for (Index i = 0; i < 4; ++i) id.set(i, i, true);
+  EXPECT_EQ(id.rank(), 4);
+
+  Gf2Matrix dup(2, 3);
+  dup.set(0, 0, true);
+  dup.set(0, 1, true);
+  dup.set(1, 0, true);
+  dup.set(1, 1, true);  // identical rows
+  EXPECT_EQ(dup.rank(), 1);
+}
+
+TEST(Gf2, NullSpaceSatisfiesRankNullity) {
+  Gf2Matrix m(3, 5);
+  m.set(0, 0, true);
+  m.set(0, 2, true);
+  m.set(1, 1, true);
+  m.set(1, 2, true);
+  m.set(2, 3, true);
+  const auto basis = m.null_space_basis();
+  EXPECT_EQ(static_cast<Index>(basis.size()), 5 - m.rank());
+  // Every basis vector must actually be in the kernel.
+  for (const auto& x : basis) {
+    for (Index r = 0; r < 3; ++r) {
+      bool parity = false;
+      for (Index c = 0; c < 5; ++c) {
+        parity ^= (m.get(r, c) && x[static_cast<std::size_t>(c)]);
+      }
+      EXPECT_FALSE(parity);
+    }
+  }
+}
+
+TEST(Gf2, MultiplyAssociatesWithRank) {
+  Gf2Matrix a(2, 2);
+  a.set(0, 0, true);
+  a.set(0, 1, true);
+  a.set(1, 1, true);
+  const Gf2Matrix a2 = a.multiply(a);
+  // a is invertible over GF(2) so a^2 has full rank.
+  EXPECT_EQ(a2.rank(), 2);
+  EXPECT_FALSE(a2.is_zero());
+}
+
+TEST(Boundary, SquaredIsZeroOnFilledTetrahedron) {
+  SimplicialComplex k;
+  k.insert(Simplex{0, 1, 2, 3});
+  EXPECT_TRUE(boundary_squared_is_zero(k));
+}
+
+TEST(Boundary, BettiOfPathGraph) {
+  SimplicialComplex k;
+  k.insert(Simplex{0, 1});
+  k.insert(Simplex{1, 2});
+  EXPECT_EQ(betti_number(k, 0), 1);  // connected
+  EXPECT_EQ(betti_number(k, 1), 0);  // no loop
+}
+
+TEST(Boundary, BettiOfCircle) {
+  SimplicialComplex k;  // triangle boundary, not filled
+  k.insert(Simplex{0, 1});
+  k.insert(Simplex{1, 2});
+  k.insert(Simplex{0, 2});
+  EXPECT_EQ(betti_number(k, 0), 1);
+  EXPECT_EQ(betti_number(k, 1), 1);  // one hole
+}
+
+TEST(Boundary, FillingTheTriangleKillsTheHole) {
+  SimplicialComplex k;
+  k.insert(Simplex{0, 1, 2});
+  EXPECT_EQ(betti_number(k, 1), 0);
+}
+
+TEST(Boundary, BettiOfTwoComponentsWithTwoHoles) {
+  SimplicialComplex k;
+  // Square cycle 0-1-2-3 and separate triangle cycle 4-5-6.
+  k.insert(Simplex{0, 1});
+  k.insert(Simplex{1, 2});
+  k.insert(Simplex{2, 3});
+  k.insert(Simplex{0, 3});
+  k.insert(Simplex{4, 5});
+  k.insert(Simplex{5, 6});
+  k.insert(Simplex{4, 6});
+  EXPECT_EQ(betti_number(k, 0), 2);
+  EXPECT_EQ(betti_number(k, 1), 2);
+}
+
+TEST(Boundary, SphereBoundaryOfTetrahedron) {
+  // The four triangular faces of a tetrahedron (not filled) form S^2:
+  // beta = (1, 0, 1).
+  SimplicialComplex k;
+  k.insert(Simplex{0, 1, 2});
+  k.insert(Simplex{0, 1, 3});
+  k.insert(Simplex{0, 2, 3});
+  k.insert(Simplex{1, 2, 3});
+  const auto betti = betti_numbers(k);
+  ASSERT_EQ(betti.size(), 3u);
+  EXPECT_EQ(betti[0], 1);
+  EXPECT_EQ(betti[1], 0);
+  EXPECT_EQ(betti[2], 1);
+}
+
+TEST(Boundary, EulerCharacteristicMatchesAlternatingBetti) {
+  SimplicialComplex k;
+  k.insert(Simplex{0, 1, 2});
+  k.insert(Simplex{2, 3});
+  k.insert(Simplex{3, 4});
+  k.insert(Simplex{2, 4});
+  const auto betti = betti_numbers(k);
+  Index chi = 0;
+  for (std::size_t d = 0; d < betti.size(); ++d) {
+    chi += (d % 2 == 0 ? betti[d] : -betti[d]);
+  }
+  EXPECT_EQ(chi, k.euler_characteristic());
+}
+
+TEST(CycleBasis, TreeHasNoCycles) {
+  CycleBasis basis(4, {{0, 1}, {1, 2}, {1, 3}});
+  EXPECT_EQ(basis.cyclomatic_number(), 0);
+  EXPECT_TRUE(basis.cycles().empty());
+  EXPECT_EQ(basis.num_components(), 1);
+}
+
+TEST(CycleBasis, SquareHasOneValidCycle) {
+  CycleBasis basis(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_EQ(basis.cyclomatic_number(), 1);
+  ASSERT_EQ(basis.cycles().size(), 1u);
+  EXPECT_TRUE(basis.is_valid_cycle(basis.cycles()[0]));
+  EXPECT_EQ(basis.cycles()[0].vertices.size(), 4u);
+}
+
+TEST(CycleBasis, DisconnectedComponentsCounted) {
+  CycleBasis basis(6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}});
+  EXPECT_EQ(basis.num_components(), 3);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(basis.cyclomatic_number(), 1);
+}
+
+TEST(CycleBasis, FastCountAgreesWithConstruction) {
+  const std::vector<GraphEdge> edges{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}};
+  EXPECT_EQ(cyclomatic_number(5, edges), CycleBasis(5, edges).cyclomatic_number());
+}
+
+TEST(CycleBasis, EveryFundamentalCycleIsValid) {
+  // K_{3,3}: 9 edges, 6 vertices, beta_1 = 4.
+  const auto edges = build_bipartite_graph(3, 3);
+  CycleBasis basis(6, edges);
+  EXPECT_EQ(basis.cyclomatic_number(), 4);
+  EXPECT_EQ(basis.cycles().size(), 4u);
+  for (const auto& c : basis.cycles()) EXPECT_TRUE(basis.is_valid_cycle(c));
+}
+
+// --- MEA abstractions -------------------------------------------------------
+
+class WireComplexBetti : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(WireComplexBetti, HomologyMatchesClosedFormAndCyclomatic) {
+  const auto [m, n] = GetParam();
+  const WireComplex wc = build_wire_complex(m, n);
+  EXPECT_EQ(wc.num_vertices, 2 * m * n);
+  EXPECT_EQ(wc.complex.count(0), 2 * m * n);
+  EXPECT_EQ(static_cast<Index>(wc.resistor_edges.size()), m * n);
+
+  // GF(2) homology, spanning-tree cyclomatic number, and the closed form
+  // (m-1)(n-1) must all coincide.
+  const Index beta1 = betti_number(wc.complex, 1);
+  EXPECT_EQ(beta1, expected_betti1_crossbar(m, n));
+  EXPECT_EQ(beta1, CycleBasis(wc.num_vertices, wc.edges).cyclomatic_number());
+  EXPECT_EQ(betti_number(wc.complex, 0), 1);
+  EXPECT_TRUE(satisfies_proposition1(wc));
+  EXPECT_TRUE(boundary_squared_is_zero(wc.complex));
+}
+
+INSTANTIATE_TEST_SUITE_P(Devices, WireComplexBetti,
+                         ::testing::Values(std::pair<Index, Index>{2, 2},
+                                           std::pair<Index, Index>{3, 3},
+                                           std::pair<Index, Index>{2, 5},
+                                           std::pair<Index, Index>{4, 3},
+                                           std::pair<Index, Index>{5, 5}));
+
+TEST(WireComplex, Figure1DeviceHas18Joints) {
+  const WireComplex wc = build_wire_complex(3, 3);
+  EXPECT_EQ(wc.num_vertices, 18);                           // paper's joints 0..17
+  EXPECT_EQ(static_cast<Index>(wc.edges.size()), 9 + 2 * 3 * 2);  // 9 R + 12 segments
+  EXPECT_EQ(betti_number(wc.complex, 1), 4);                // (3-1)^2
+}
+
+TEST(BipartiteGraph, EdgeOrderMatchesResistorLayout) {
+  const auto edges = build_bipartite_graph(2, 3);
+  ASSERT_EQ(edges.size(), 6u);
+  // Edge (i, j) at index i*n + j joins node i and node m + j.
+  EXPECT_EQ(edges[4].u, 1);      // i = 1, j = 1
+  EXPECT_EQ(edges[4].v, 2 + 1);  // m + j
+}
+
+class LatticeBetti : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(LatticeBetti, MatchesClosedForm) {
+  const auto [n, dims] = GetParam();
+  const LatticeComplex lc = build_lattice_complex(n, dims);
+  const Index beta1 = CycleBasis(lc.num_vertices, lc.edges).cyclomatic_number();
+  EXPECT_EQ(beta1, expected_betti1_lattice(n, dims));
+  if (lc.num_vertices <= 64) {
+    EXPECT_EQ(betti_number(lc.complex, 1), beta1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lattices, LatticeBetti,
+                         ::testing::Values(std::pair<Index, Index>{4, 1},
+                                           std::pair<Index, Index>{3, 2},
+                                           std::pair<Index, Index>{4, 2},
+                                           std::pair<Index, Index>{3, 3},
+                                           std::pair<Index, Index>{2, 4}));
+
+TEST(Lattice, OneDimensionalChainHasNoLoops) {
+  const LatticeComplex lc = build_lattice_complex(7, 1);
+  EXPECT_EQ(expected_betti1_lattice(7, 1), 0);
+  EXPECT_EQ(CycleBasis(lc.num_vertices, lc.edges).cyclomatic_number(), 0);
+}
+
+TEST(WireComplex, RectangularDevicesSatisfyProposition1) {
+  for (const auto& [m, n] : std::vector<std::pair<Index, Index>>{{2, 7}, {6, 2}, {4, 5}}) {
+    const WireComplex wc = build_wire_complex(m, n);
+    EXPECT_TRUE(satisfies_proposition1(wc)) << m << "x" << n;
+    EXPECT_EQ(wc.complex.dimension(), 1);
+  }
+}
+
+TEST(WireComplex, EulerCharacteristicMatchesBettiDifference) {
+  // chi = V - E = beta_0 - beta_1 for a 1-complex.
+  const WireComplex wc = build_wire_complex(4, 4);
+  const Index chi = wc.complex.euler_characteristic();
+  EXPECT_EQ(chi, 1 - expected_betti1_crossbar(4, 4));
+}
+
+TEST(CycleBasis, MultigraphParallelEdgesFormCycles) {
+  // Two parallel edges between the same endpoints are one independent cycle
+  // (the circuit-theoretic "parallel resistors" loop).
+  CycleBasis basis(2, {{0, 1}, {0, 1}, {0, 1}});
+  EXPECT_EQ(basis.cyclomatic_number(), 2);
+}
+
+TEST(Lattice, TwoDimGridBettiIsSquareOfNMinus1) {
+  // The paper's (n-1)^k parallelism claim for k = 2.
+  EXPECT_EQ(expected_betti1_lattice(10, 2), 81);
+  EXPECT_EQ(expected_betti1_crossbar(10, 10), 81);
+}
+
+}  // namespace
+}  // namespace parma::topology
