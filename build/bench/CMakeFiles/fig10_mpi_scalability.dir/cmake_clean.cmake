@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_mpi_scalability.dir/fig10_mpi_scalability.cpp.o"
+  "CMakeFiles/fig10_mpi_scalability.dir/fig10_mpi_scalability.cpp.o.d"
+  "fig10_mpi_scalability"
+  "fig10_mpi_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_mpi_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_speedup.dir/headline_speedup.cpp.o"
+  "CMakeFiles/headline_speedup.dir/headline_speedup.cpp.o.d"
+  "headline_speedup"
+  "headline_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_benchmarks.cpp" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o" "gcc" "bench/CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/parma_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/parma_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/manifold/CMakeFiles/parma_manifold.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/parma_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/parma_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parma_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/equations/CMakeFiles/parma_equations.dir/DependInfo.cmake"
+  "/root/repo/build/src/mea/CMakeFiles/parma_mea.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/parma_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parma_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/parma_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/parma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

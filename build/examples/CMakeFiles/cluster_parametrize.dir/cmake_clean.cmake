@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_parametrize.dir/cluster_parametrize.cpp.o"
+  "CMakeFiles/cluster_parametrize.dir/cluster_parametrize.cpp.o.d"
+  "cluster_parametrize"
+  "cluster_parametrize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_parametrize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_cli.dir/parma_cli.cpp.o"
+  "CMakeFiles/parma_cli.dir/parma_cli.cpp.o.d"
+  "parma_cli"
+  "parma_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_estimator.dir/train_estimator.cpp.o"
+  "CMakeFiles/train_estimator.dir/train_estimator.cpp.o.d"
+  "train_estimator"
+  "train_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlsi_power_grid.dir/vlsi_power_grid.cpp.o"
+  "CMakeFiles/vlsi_power_grid.dir/vlsi_power_grid.cpp.o.d"
+  "vlsi_power_grid"
+  "vlsi_power_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlsi_power_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wetlab_timeseries.dir/wetlab_timeseries.cpp.o"
+  "CMakeFiles/wetlab_timeseries.dir/wetlab_timeseries.cpp.o.d"
+  "wetlab_timeseries"
+  "wetlab_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wetlab_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

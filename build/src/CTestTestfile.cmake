@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ann")
+subdirs("linalg")
+subdirs("topology")
+subdirs("manifold")
+subdirs("parallel")
+subdirs("mpisim")
+subdirs("circuit")
+subdirs("mea")
+subdirs("equations")
+subdirs("solver")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_ann.dir/dataset.cpp.o"
+  "CMakeFiles/parma_ann.dir/dataset.cpp.o.d"
+  "CMakeFiles/parma_ann.dir/mlp.cpp.o"
+  "CMakeFiles/parma_ann.dir/mlp.cpp.o.d"
+  "CMakeFiles/parma_ann.dir/trainer.cpp.o"
+  "CMakeFiles/parma_ann.dir/trainer.cpp.o.d"
+  "libparma_ann.a"
+  "libparma_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

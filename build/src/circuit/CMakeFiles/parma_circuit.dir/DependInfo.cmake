@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/crossbar.cpp" "src/circuit/CMakeFiles/parma_circuit.dir/crossbar.cpp.o" "gcc" "src/circuit/CMakeFiles/parma_circuit.dir/crossbar.cpp.o.d"
+  "/root/repo/src/circuit/kirchhoff.cpp" "src/circuit/CMakeFiles/parma_circuit.dir/kirchhoff.cpp.o" "gcc" "src/circuit/CMakeFiles/parma_circuit.dir/kirchhoff.cpp.o.d"
+  "/root/repo/src/circuit/mna.cpp" "src/circuit/CMakeFiles/parma_circuit.dir/mna.cpp.o" "gcc" "src/circuit/CMakeFiles/parma_circuit.dir/mna.cpp.o.d"
+  "/root/repo/src/circuit/network.cpp" "src/circuit/CMakeFiles/parma_circuit.dir/network.cpp.o" "gcc" "src/circuit/CMakeFiles/parma_circuit.dir/network.cpp.o.d"
+  "/root/repo/src/circuit/path_enumeration.cpp" "src/circuit/CMakeFiles/parma_circuit.dir/path_enumeration.cpp.o" "gcc" "src/circuit/CMakeFiles/parma_circuit.dir/path_enumeration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parma_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/parma_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

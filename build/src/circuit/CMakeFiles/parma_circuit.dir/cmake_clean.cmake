@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_circuit.dir/crossbar.cpp.o"
+  "CMakeFiles/parma_circuit.dir/crossbar.cpp.o.d"
+  "CMakeFiles/parma_circuit.dir/kirchhoff.cpp.o"
+  "CMakeFiles/parma_circuit.dir/kirchhoff.cpp.o.d"
+  "CMakeFiles/parma_circuit.dir/mna.cpp.o"
+  "CMakeFiles/parma_circuit.dir/mna.cpp.o.d"
+  "CMakeFiles/parma_circuit.dir/network.cpp.o"
+  "CMakeFiles/parma_circuit.dir/network.cpp.o.d"
+  "CMakeFiles/parma_circuit.dir/path_enumeration.cpp.o"
+  "CMakeFiles/parma_circuit.dir/path_enumeration.cpp.o.d"
+  "libparma_circuit.a"
+  "libparma_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

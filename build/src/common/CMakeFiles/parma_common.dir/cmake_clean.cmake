@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_common.dir/logging.cpp.o"
+  "CMakeFiles/parma_common.dir/logging.cpp.o.d"
+  "CMakeFiles/parma_common.dir/memory_sampler.cpp.o"
+  "CMakeFiles/parma_common.dir/memory_sampler.cpp.o.d"
+  "CMakeFiles/parma_common.dir/rng.cpp.o"
+  "CMakeFiles/parma_common.dir/rng.cpp.o.d"
+  "CMakeFiles/parma_common.dir/string_util.cpp.o"
+  "CMakeFiles/parma_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/parma_common.dir/table.cpp.o"
+  "CMakeFiles/parma_common.dir/table.cpp.o.d"
+  "libparma_common.a"
+  "libparma_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

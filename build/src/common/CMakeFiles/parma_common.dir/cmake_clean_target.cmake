@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libparma_common.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_core.dir/engine.cpp.o"
+  "CMakeFiles/parma_core.dir/engine.cpp.o.d"
+  "CMakeFiles/parma_core.dir/strategy.cpp.o"
+  "CMakeFiles/parma_core.dir/strategy.cpp.o.d"
+  "libparma_core.a"
+  "libparma_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/equations/binary_io.cpp" "src/equations/CMakeFiles/parma_equations.dir/binary_io.cpp.o" "gcc" "src/equations/CMakeFiles/parma_equations.dir/binary_io.cpp.o.d"
+  "/root/repo/src/equations/equation.cpp" "src/equations/CMakeFiles/parma_equations.dir/equation.cpp.o" "gcc" "src/equations/CMakeFiles/parma_equations.dir/equation.cpp.o.d"
+  "/root/repo/src/equations/generator.cpp" "src/equations/CMakeFiles/parma_equations.dir/generator.cpp.o" "gcc" "src/equations/CMakeFiles/parma_equations.dir/generator.cpp.o.d"
+  "/root/repo/src/equations/layout.cpp" "src/equations/CMakeFiles/parma_equations.dir/layout.cpp.o" "gcc" "src/equations/CMakeFiles/parma_equations.dir/layout.cpp.o.d"
+  "/root/repo/src/equations/pair_system.cpp" "src/equations/CMakeFiles/parma_equations.dir/pair_system.cpp.o" "gcc" "src/equations/CMakeFiles/parma_equations.dir/pair_system.cpp.o.d"
+  "/root/repo/src/equations/residual.cpp" "src/equations/CMakeFiles/parma_equations.dir/residual.cpp.o" "gcc" "src/equations/CMakeFiles/parma_equations.dir/residual.cpp.o.d"
+  "/root/repo/src/equations/serializer.cpp" "src/equations/CMakeFiles/parma_equations.dir/serializer.cpp.o" "gcc" "src/equations/CMakeFiles/parma_equations.dir/serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parma_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mea/CMakeFiles/parma_mea.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/parma_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/parma_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_equations.dir/binary_io.cpp.o"
+  "CMakeFiles/parma_equations.dir/binary_io.cpp.o.d"
+  "CMakeFiles/parma_equations.dir/equation.cpp.o"
+  "CMakeFiles/parma_equations.dir/equation.cpp.o.d"
+  "CMakeFiles/parma_equations.dir/generator.cpp.o"
+  "CMakeFiles/parma_equations.dir/generator.cpp.o.d"
+  "CMakeFiles/parma_equations.dir/layout.cpp.o"
+  "CMakeFiles/parma_equations.dir/layout.cpp.o.d"
+  "CMakeFiles/parma_equations.dir/pair_system.cpp.o"
+  "CMakeFiles/parma_equations.dir/pair_system.cpp.o.d"
+  "CMakeFiles/parma_equations.dir/residual.cpp.o"
+  "CMakeFiles/parma_equations.dir/residual.cpp.o.d"
+  "CMakeFiles/parma_equations.dir/serializer.cpp.o"
+  "CMakeFiles/parma_equations.dir/serializer.cpp.o.d"
+  "libparma_equations.a"
+  "libparma_equations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_equations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/dense_matrix.cpp" "src/linalg/CMakeFiles/parma_linalg.dir/dense_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/parma_linalg.dir/dense_matrix.cpp.o.d"
+  "/root/repo/src/linalg/dense_solve.cpp" "src/linalg/CMakeFiles/parma_linalg.dir/dense_solve.cpp.o" "gcc" "src/linalg/CMakeFiles/parma_linalg.dir/dense_solve.cpp.o.d"
+  "/root/repo/src/linalg/iterative.cpp" "src/linalg/CMakeFiles/parma_linalg.dir/iterative.cpp.o" "gcc" "src/linalg/CMakeFiles/parma_linalg.dir/iterative.cpp.o.d"
+  "/root/repo/src/linalg/laplacian.cpp" "src/linalg/CMakeFiles/parma_linalg.dir/laplacian.cpp.o" "gcc" "src/linalg/CMakeFiles/parma_linalg.dir/laplacian.cpp.o.d"
+  "/root/repo/src/linalg/sparse_matrix.cpp" "src/linalg/CMakeFiles/parma_linalg.dir/sparse_matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/parma_linalg.dir/sparse_matrix.cpp.o.d"
+  "/root/repo/src/linalg/vector_ops.cpp" "src/linalg/CMakeFiles/parma_linalg.dir/vector_ops.cpp.o" "gcc" "src/linalg/CMakeFiles/parma_linalg.dir/vector_ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

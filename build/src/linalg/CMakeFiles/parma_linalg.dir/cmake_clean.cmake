@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_linalg.dir/dense_matrix.cpp.o"
+  "CMakeFiles/parma_linalg.dir/dense_matrix.cpp.o.d"
+  "CMakeFiles/parma_linalg.dir/dense_solve.cpp.o"
+  "CMakeFiles/parma_linalg.dir/dense_solve.cpp.o.d"
+  "CMakeFiles/parma_linalg.dir/iterative.cpp.o"
+  "CMakeFiles/parma_linalg.dir/iterative.cpp.o.d"
+  "CMakeFiles/parma_linalg.dir/laplacian.cpp.o"
+  "CMakeFiles/parma_linalg.dir/laplacian.cpp.o.d"
+  "CMakeFiles/parma_linalg.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/parma_linalg.dir/sparse_matrix.cpp.o.d"
+  "CMakeFiles/parma_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/parma_linalg.dir/vector_ops.cpp.o.d"
+  "libparma_linalg.a"
+  "libparma_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

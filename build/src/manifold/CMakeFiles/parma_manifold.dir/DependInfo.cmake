@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/manifold/calculus.cpp" "src/manifold/CMakeFiles/parma_manifold.dir/calculus.cpp.o" "gcc" "src/manifold/CMakeFiles/parma_manifold.dir/calculus.cpp.o.d"
+  "/root/repo/src/manifold/frames.cpp" "src/manifold/CMakeFiles/parma_manifold.dir/frames.cpp.o" "gcc" "src/manifold/CMakeFiles/parma_manifold.dir/frames.cpp.o.d"
+  "/root/repo/src/manifold/grid_field.cpp" "src/manifold/CMakeFiles/parma_manifold.dir/grid_field.cpp.o" "gcc" "src/manifold/CMakeFiles/parma_manifold.dir/grid_field.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parma_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

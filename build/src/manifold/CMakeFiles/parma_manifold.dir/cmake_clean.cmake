@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_manifold.dir/calculus.cpp.o"
+  "CMakeFiles/parma_manifold.dir/calculus.cpp.o.d"
+  "CMakeFiles/parma_manifold.dir/frames.cpp.o"
+  "CMakeFiles/parma_manifold.dir/frames.cpp.o.d"
+  "CMakeFiles/parma_manifold.dir/grid_field.cpp.o"
+  "CMakeFiles/parma_manifold.dir/grid_field.cpp.o.d"
+  "libparma_manifold.a"
+  "libparma_manifold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_manifold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mea/anomaly.cpp" "src/mea/CMakeFiles/parma_mea.dir/anomaly.cpp.o" "gcc" "src/mea/CMakeFiles/parma_mea.dir/anomaly.cpp.o.d"
+  "/root/repo/src/mea/dataset_io.cpp" "src/mea/CMakeFiles/parma_mea.dir/dataset_io.cpp.o" "gcc" "src/mea/CMakeFiles/parma_mea.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/mea/device.cpp" "src/mea/CMakeFiles/parma_mea.dir/device.cpp.o" "gcc" "src/mea/CMakeFiles/parma_mea.dir/device.cpp.o.d"
+  "/root/repo/src/mea/field_render.cpp" "src/mea/CMakeFiles/parma_mea.dir/field_render.cpp.o" "gcc" "src/mea/CMakeFiles/parma_mea.dir/field_render.cpp.o.d"
+  "/root/repo/src/mea/generator.cpp" "src/mea/CMakeFiles/parma_mea.dir/generator.cpp.o" "gcc" "src/mea/CMakeFiles/parma_mea.dir/generator.cpp.o.d"
+  "/root/repo/src/mea/measurement.cpp" "src/mea/CMakeFiles/parma_mea.dir/measurement.cpp.o" "gcc" "src/mea/CMakeFiles/parma_mea.dir/measurement.cpp.o.d"
+  "/root/repo/src/mea/timeseries.cpp" "src/mea/CMakeFiles/parma_mea.dir/timeseries.cpp.o" "gcc" "src/mea/CMakeFiles/parma_mea.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/parma_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parma_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/parma_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

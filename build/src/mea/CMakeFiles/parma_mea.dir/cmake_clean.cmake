@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_mea.dir/anomaly.cpp.o"
+  "CMakeFiles/parma_mea.dir/anomaly.cpp.o.d"
+  "CMakeFiles/parma_mea.dir/dataset_io.cpp.o"
+  "CMakeFiles/parma_mea.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/parma_mea.dir/device.cpp.o"
+  "CMakeFiles/parma_mea.dir/device.cpp.o.d"
+  "CMakeFiles/parma_mea.dir/field_render.cpp.o"
+  "CMakeFiles/parma_mea.dir/field_render.cpp.o.d"
+  "CMakeFiles/parma_mea.dir/generator.cpp.o"
+  "CMakeFiles/parma_mea.dir/generator.cpp.o.d"
+  "CMakeFiles/parma_mea.dir/measurement.cpp.o"
+  "CMakeFiles/parma_mea.dir/measurement.cpp.o.d"
+  "CMakeFiles/parma_mea.dir/timeseries.cpp.o"
+  "CMakeFiles/parma_mea.dir/timeseries.cpp.o.d"
+  "libparma_mea.a"
+  "libparma_mea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_mea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

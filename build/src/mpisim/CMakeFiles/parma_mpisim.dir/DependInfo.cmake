@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mpisim/cluster_model.cpp" "src/mpisim/CMakeFiles/parma_mpisim.dir/cluster_model.cpp.o" "gcc" "src/mpisim/CMakeFiles/parma_mpisim.dir/cluster_model.cpp.o.d"
+  "/root/repo/src/mpisim/communicator.cpp" "src/mpisim/CMakeFiles/parma_mpisim.dir/communicator.cpp.o" "gcc" "src/mpisim/CMakeFiles/parma_mpisim.dir/communicator.cpp.o.d"
+  "/root/repo/src/mpisim/heterogeneous.cpp" "src/mpisim/CMakeFiles/parma_mpisim.dir/heterogeneous.cpp.o" "gcc" "src/mpisim/CMakeFiles/parma_mpisim.dir/heterogeneous.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parma_parallel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_mpisim.dir/cluster_model.cpp.o"
+  "CMakeFiles/parma_mpisim.dir/cluster_model.cpp.o.d"
+  "CMakeFiles/parma_mpisim.dir/communicator.cpp.o"
+  "CMakeFiles/parma_mpisim.dir/communicator.cpp.o.d"
+  "CMakeFiles/parma_mpisim.dir/heterogeneous.cpp.o"
+  "CMakeFiles/parma_mpisim.dir/heterogeneous.cpp.o.d"
+  "libparma_mpisim.a"
+  "libparma_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

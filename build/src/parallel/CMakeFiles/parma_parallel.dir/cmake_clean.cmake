@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_parallel.dir/parallel_for.cpp.o"
+  "CMakeFiles/parma_parallel.dir/parallel_for.cpp.o.d"
+  "CMakeFiles/parma_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/parma_parallel.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/parma_parallel.dir/virtual_scheduler.cpp.o"
+  "CMakeFiles/parma_parallel.dir/virtual_scheduler.cpp.o.d"
+  "CMakeFiles/parma_parallel.dir/work_stealing_pool.cpp.o"
+  "CMakeFiles/parma_parallel.dir/work_stealing_pool.cpp.o.d"
+  "libparma_parallel.a"
+  "libparma_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/classical.cpp" "src/solver/CMakeFiles/parma_solver.dir/classical.cpp.o" "gcc" "src/solver/CMakeFiles/parma_solver.dir/classical.cpp.o.d"
+  "/root/repo/src/solver/full_system_solver.cpp" "src/solver/CMakeFiles/parma_solver.dir/full_system_solver.cpp.o" "gcc" "src/solver/CMakeFiles/parma_solver.dir/full_system_solver.cpp.o.d"
+  "/root/repo/src/solver/inverse_solver.cpp" "src/solver/CMakeFiles/parma_solver.dir/inverse_solver.cpp.o" "gcc" "src/solver/CMakeFiles/parma_solver.dir/inverse_solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parma_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/equations/CMakeFiles/parma_equations.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/parma_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/mea/CMakeFiles/parma_mea.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/parma_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/parma_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/parma_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

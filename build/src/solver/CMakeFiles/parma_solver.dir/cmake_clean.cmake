@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_solver.dir/classical.cpp.o"
+  "CMakeFiles/parma_solver.dir/classical.cpp.o.d"
+  "CMakeFiles/parma_solver.dir/full_system_solver.cpp.o"
+  "CMakeFiles/parma_solver.dir/full_system_solver.cpp.o.d"
+  "CMakeFiles/parma_solver.dir/inverse_solver.cpp.o"
+  "CMakeFiles/parma_solver.dir/inverse_solver.cpp.o.d"
+  "libparma_solver.a"
+  "libparma_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

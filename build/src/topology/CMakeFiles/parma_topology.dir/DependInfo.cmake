@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/boundary.cpp" "src/topology/CMakeFiles/parma_topology.dir/boundary.cpp.o" "gcc" "src/topology/CMakeFiles/parma_topology.dir/boundary.cpp.o.d"
+  "/root/repo/src/topology/cycle_basis.cpp" "src/topology/CMakeFiles/parma_topology.dir/cycle_basis.cpp.o" "gcc" "src/topology/CMakeFiles/parma_topology.dir/cycle_basis.cpp.o.d"
+  "/root/repo/src/topology/gf2_matrix.cpp" "src/topology/CMakeFiles/parma_topology.dir/gf2_matrix.cpp.o" "gcc" "src/topology/CMakeFiles/parma_topology.dir/gf2_matrix.cpp.o.d"
+  "/root/repo/src/topology/grid_complex.cpp" "src/topology/CMakeFiles/parma_topology.dir/grid_complex.cpp.o" "gcc" "src/topology/CMakeFiles/parma_topology.dir/grid_complex.cpp.o.d"
+  "/root/repo/src/topology/simplex.cpp" "src/topology/CMakeFiles/parma_topology.dir/simplex.cpp.o" "gcc" "src/topology/CMakeFiles/parma_topology.dir/simplex.cpp.o.d"
+  "/root/repo/src/topology/simplicial_complex.cpp" "src/topology/CMakeFiles/parma_topology.dir/simplicial_complex.cpp.o" "gcc" "src/topology/CMakeFiles/parma_topology.dir/simplicial_complex.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/parma_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parma_topology.dir/boundary.cpp.o"
+  "CMakeFiles/parma_topology.dir/boundary.cpp.o.d"
+  "CMakeFiles/parma_topology.dir/cycle_basis.cpp.o"
+  "CMakeFiles/parma_topology.dir/cycle_basis.cpp.o.d"
+  "CMakeFiles/parma_topology.dir/gf2_matrix.cpp.o"
+  "CMakeFiles/parma_topology.dir/gf2_matrix.cpp.o.d"
+  "CMakeFiles/parma_topology.dir/grid_complex.cpp.o"
+  "CMakeFiles/parma_topology.dir/grid_complex.cpp.o.d"
+  "CMakeFiles/parma_topology.dir/simplex.cpp.o"
+  "CMakeFiles/parma_topology.dir/simplex.cpp.o.d"
+  "CMakeFiles/parma_topology.dir/simplicial_complex.cpp.o"
+  "CMakeFiles/parma_topology.dir/simplicial_complex.cpp.o.d"
+  "libparma_topology.a"
+  "libparma_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parma_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

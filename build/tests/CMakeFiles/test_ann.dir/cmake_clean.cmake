@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ann.dir/test_ann.cpp.o"
+  "CMakeFiles/test_ann.dir/test_ann.cpp.o.d"
+  "test_ann"
+  "test_ann.pdb"
+  "test_ann[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_equations.dir/test_equations.cpp.o"
+  "CMakeFiles/test_equations.dir/test_equations.cpp.o.d"
+  "test_equations"
+  "test_equations.pdb"
+  "test_equations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_equations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mea.dir/test_mea.cpp.o"
+  "CMakeFiles/test_mea.dir/test_mea.cpp.o.d"
+  "test_mea"
+  "test_mea.pdb"
+  "test_mea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
