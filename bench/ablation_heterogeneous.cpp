@@ -8,6 +8,7 @@ using namespace parma;
 int main() {
   const core::Engine engine = bench::make_engine(50);
   core::StrategyOptions options;
+  options.timing_mode = core::TimingMode::kVirtualReplay;  // replays the task timeline
   options.keep_system = false;
   const core::FormationResult formation = engine.form_equations(options);
   mpisim::ClusterCostModel model;

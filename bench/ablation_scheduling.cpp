@@ -31,6 +31,7 @@ int main() {
     const core::Engine engine = bench::make_engine(n);
     core::StrategyOptions options;
     options.strategy = core::Strategy::kFineGrained;  // builds fine tasks
+    options.timing_mode = core::TimingMode::kVirtualReplay;
     options.keep_system = false;
     const core::FormationResult fine = engine.form_equations(options);
     options.strategy = core::Strategy::kBalancedParallel;  // builds coarse tasks
@@ -59,6 +60,7 @@ int main() {
     core::StrategyOptions options;
     options.strategy = core::Strategy::kParallel;
     options.workers = 4;
+    options.timing_mode = core::TimingMode::kVirtualReplay;
     options.keep_system = false;
     const core::FormationResult r = engine.form_equations(options);
     const auto bound = parallel::schedule_by_category(r.tasks, 4, model);
@@ -77,6 +79,7 @@ int main() {
     const core::Engine engine = bench::make_engine(n);
     core::StrategyOptions options;
     options.strategy = core::Strategy::kFineGrained;
+    options.timing_mode = core::TimingMode::kVirtualReplay;
     options.keep_system = false;
     const core::FormationResult r = engine.form_equations(options);
     for (const Index chunk : {Index{1}, Index{4}, Index{16}, Index{64}}) {

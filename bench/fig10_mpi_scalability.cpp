@@ -34,6 +34,7 @@ int main() {
     core::StrategyOptions options;
     options.strategy = core::Strategy::kFineGrained;
     options.chunk = 4;
+    options.timing_mode = core::TimingMode::kVirtualReplay;
     options.keep_system = false;
     const core::FormationResult formation = engine.form_equations(options);
 

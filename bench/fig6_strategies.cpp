@@ -42,6 +42,7 @@ int main() {
       options.strategy = config.strategy;
       options.workers = config.workers;
       options.chunk = 4;
+      options.timing_mode = core::TimingMode::kVirtualReplay;  // Fig. 6 is virtual time
       options.cost_model = model;
       options.keep_system = false;  // bound memory at large n
       const core::FormationResult result = engine.form_equations(options);

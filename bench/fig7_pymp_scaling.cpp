@@ -26,6 +26,7 @@ int main() {
     options.strategy = core::Strategy::kFineGrained;
     options.workers = 2;  // replays below use the measured tasks directly
     options.chunk = 4;
+    options.timing_mode = core::TimingMode::kVirtualReplay;
     options.keep_system = false;
     const core::FormationResult formation = engine.form_equations(options);
 

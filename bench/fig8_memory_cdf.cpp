@@ -29,6 +29,7 @@ int main() {
     core::StrategyOptions options;
     options.strategy = core::Strategy::kFineGrained;
     options.chunk = 4;
+    options.timing_mode = core::TimingMode::kVirtualReplay;  // memory trace needs the timeline
     options.keep_system = false;
     const core::FormationResult formation = engine.form_equations(options);
     const std::uint64_t baseline =

@@ -34,6 +34,7 @@ int main() {
       options.strategy = core::Strategy::kFineGrained;
       options.workers = k;
       options.chunk = 4;
+      options.timing_mode = core::TimingMode::kVirtualReplay;  // modeled k writers
       options.cost_model = model;
       options.keep_system = false;  // stream shards; bound memory
       const core::IoResult io = engine.write_equations(scratch, options);

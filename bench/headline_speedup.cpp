@@ -61,6 +61,7 @@ int main() {
     const core::Engine engine = bench::make_engine(n);
     core::StrategyOptions options;
     options.strategy = core::Strategy::kFineGrained;
+    options.timing_mode = core::TimingMode::kVirtualReplay;  // cluster replay needs tasks
     options.keep_system = false;
     const core::FormationResult formation = engine.form_equations(options);
     for (const Real scale : {1.0, 500.0}) {

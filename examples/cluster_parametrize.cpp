@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
   // The same workload on the virtual 1,024-rank cluster (Fig. 10 regime).
   core::Engine engine(sweep);
   core::StrategyOptions options;
+  options.timing_mode = core::TimingMode::kVirtualReplay;  // Fig. 10 regime
   options.keep_system = false;
   const core::FormationResult formation = engine.form_equations(options);
   for (Index p : {Index{32}, Index{256}, Index{1024}}) {

@@ -132,8 +132,8 @@ int cmd_form(const Args& args) {
             << io.formation.generation_seconds << " s, wrote " << io.bytes_written
             << " bytes across " << io.shard_paths.size() << " shards ("
             << io.write_seconds << " s)\n"
-            << "virtual end-to-end with " << workers << " workers: " << io.virtual_end_to_end
-            << " s\n";
+            << "end-to-end with " << workers << " workers (real threads): "
+            << io.virtual_end_to_end << " s\n";
   return 0;
 }
 

@@ -24,22 +24,27 @@ int main() {
   const circuit::ResistanceGrid truth = mea::generate_field(device, tissue, rng);
   const mea::Measurement sweep = mea::measure_exact(device, truth);
 
-  // 3. Parma: topology report, equation formation, inverse recovery.
-  core::Engine engine(sweep);
+  // 3. Parma: one Session drives topology analysis, real-thread equation
+  //    formation, and inverse recovery; repeated sessions on the same device
+  //    shape reuse the cached topology and layout.
+  const core::Session session = core::Session::on(sweep)
+                                    .strategy(core::Strategy::kFineGrained)
+                                    .workers(4)
+                                    .build();
 
-  const core::TopologyReport topology = engine.analyze_topology();
+  const core::TopologyReport topology = session.topology();
   std::cout << "device: " << device.rows << "x" << device.cols << ", joints "
             << topology.num_joints << ", independent Kirchhoff loops (beta_1) "
             << topology.betti1 << "\n";
 
-  core::StrategyOptions strategy;  // fine-grained, 4 workers by default
-  const core::FormationResult formation = engine.form_equations(strategy);
+  const core::FormationResult formation = session.form();
   std::cout << "formed " << formation.system.equations.size()
             << " joint-constraint equations ("
             << device.num_unknowns() << " unknowns) in "
-            << formation.generation_seconds * 1e3 << " ms\n";
+            << formation.generation_seconds * 1e3 << " ms on "
+            << formation.effective_workers << " worker threads\n";
 
-  const solver::InverseResult recovery = engine.recover();
+  const solver::InverseResult recovery = session.recover();
   std::cout << "recovered R field: converged=" << recovery.converged
             << ", misfit=" << recovery.final_misfit
             << ", max rel. error vs truth=" << recovery.max_relative_error(truth)

@@ -3,18 +3,65 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
+#include "common/logging.hpp"
 #include "common/require.hpp"
 #include "common/stopwatch.hpp"
 #include "equations/serializer.hpp"
-#include "parallel/parallel_for.hpp"
-#include "parallel/thread_pool.hpp"
+#include "exec/executor.hpp"
 #include "topology/boundary.hpp"
 
 namespace parma::core {
 
+namespace {
+
+/// Real-mode chunking mirrors each strategy's task shape: the serial baseline
+/// is one chunk, the coarse category-bound strategies bundle one device row
+/// of pairs per task, and the fine-grained strategy self-schedules
+/// `options.chunk` pairs at a time.
+Index real_chunk(const StrategyOptions& options, const mea::DeviceSpec& spec) {
+  switch (options.strategy) {
+    case Strategy::kSingleThread:
+      return std::max<Index>(spec.num_endpoint_pairs(), 1);
+    case Strategy::kParallel:
+    case Strategy::kBalancedParallel:
+      return spec.cols;
+    case Strategy::kFineGrained:
+      return options.chunk;
+  }
+  return 1;
+}
+
+void warn_if_capped(const StrategyOptions& options) {
+  if ((options.strategy == Strategy::kParallel ||
+       options.strategy == Strategy::kBalancedParallel) &&
+      options.workers > kCategoryWorkerCap) {
+    PARMA_LOG_WARN << strategy_name(options.strategy) << " strategy caps workers at "
+                   << kCategoryWorkerCap << " (one per constraint category); requested "
+                   << options.workers << ", using " << kCategoryWorkerCap;
+  }
+}
+
+// EquationSystem's layout member has no default constructor, so the aggregate
+// needs every field spelled out.
+FormationResult empty_formation(const mea::DeviceSpec& spec) {
+  return FormationResult{equations::EquationSystem{equations::UnknownLayout(spec), {}},
+                         0.0,
+                         parallel::ScheduleResult{},
+                         {},
+                         0,
+                         1,
+                         TimingMode::kRealThreads};
+}
+
+}  // namespace
+
 MemoryCdf FormationResult::memory_cdf(std::uint64_t baseline_bytes) const {
+  PARMA_REQUIRE(schedule.assignment.size() == tasks.size(),
+                "memory_cdf requires the per-task virtual timeline; form with "
+                "timing_mode = TimingMode::kVirtualReplay");
   return MemoryCdf(schedule.memory_trace(tasks, baseline_bytes));
 }
 
@@ -90,12 +137,106 @@ std::vector<parallel::VirtualTask> Engine::build_tasks(
 }
 
 FormationResult Engine::form_equations(const StrategyOptions& options) const {
-  PARMA_REQUIRE(options.workers >= 1, "need at least one worker");
-  FormationResult result{equations::EquationSystem{equations::UnknownLayout(spec()), {}},
-                         0.0,
-                         {},
-                         {},
-                         0};
+  options.validate();
+  warn_if_capped(options);
+  return (options.timing_mode == TimingMode::kRealThreads)
+             ? form_equations_real(options)
+             : form_equations_virtual(options);
+}
+
+FormationResult Engine::form_equations_real(const StrategyOptions& options) const {
+  FormationResult result = empty_formation(spec());
+  result.timing_mode = TimingMode::kRealThreads;
+  result.effective_workers = effective_workers(options);
+
+  const TaskGranularity granularity = (options.strategy == Strategy::kFineGrained)
+                                          ? TaskGranularity::kFinePairCategory
+                                          : TaskGranularity::kCoarseRowCategory;
+  const Index groups = (granularity == TaskGranularity::kFinePairCategory)
+                           ? spec().num_endpoint_pairs()
+                           : spec().rows;
+  result.tasks.assign(static_cast<std::size_t>(groups) * equations::kNumCategories, {});
+  std::vector<std::uint64_t> task_terms(result.tasks.size(), 0);
+  std::uint64_t total_terms = 0;
+
+  const Index pairs = spec().num_endpoint_pairs();
+  std::vector<std::vector<equations::JointEquation>> slots(
+      options.keep_system ? static_cast<std::size_t>(pairs) : 0);
+
+  const auto executor = exec::make_executor(backend_for(options), result.effective_workers);
+  std::mutex accum_mu;
+  const exec::BulkResult bulk = executor->submit_bulk(
+      0, pairs, real_chunk(options, spec()),
+      [&](Index lo, Index hi) {
+        for (Index p = lo; p < hi; ++p) {
+          const Index i = p / spec().cols;
+          const Index j = p % spec().cols;
+          std::vector<equations::JointEquation> pair_eqs =
+              equations::generate_pair_equations(result.system.layout, measurement_, i, j);
+          // All equations of a pair share one group (the pair for fine
+          // granularity, the device row for coarse); pre-aggregate per
+          // category so the lock only covers a handful of slot updates.
+          const Index group = (granularity == TaskGranularity::kFinePairCategory) ? p : i;
+          std::uint64_t local_terms[equations::kNumCategories] = {};
+          std::uint64_t local_bytes[equations::kNumCategories] = {};
+          std::uint64_t pair_bytes = 0;
+          for (const auto& eq : pair_eqs) {
+            const auto c = static_cast<std::size_t>(eq.category);
+            local_terms[c] += eq.terms.size();
+            local_bytes[c] += eq.footprint_bytes();
+            pair_bytes += eq.footprint_bytes();
+          }
+          {
+            std::lock_guard lock(accum_mu);
+            for (int c = 0; c < equations::kNumCategories; ++c) {
+              if (local_terms[c] == 0 && local_bytes[c] == 0) continue;
+              const std::size_t slot =
+                  static_cast<std::size_t>(group * equations::kNumCategories + c);
+              result.tasks[slot].category = c;
+              result.tasks[slot].bytes += local_bytes[c];
+              task_terms[slot] += local_terms[c];
+              total_terms += local_terms[c];
+            }
+            result.equation_bytes += pair_bytes;
+          }
+          if (options.keep_system) slots[static_cast<std::size_t>(p)] = std::move(pair_eqs);
+        }
+      },
+      /*capture_costs=*/true);
+  result.generation_seconds = bulk.elapsed_seconds;
+  PARMA_REQUIRE(total_terms > 0, "system has no terms");
+
+  // Apportion the aggregate measured CPU time (sum of per-chunk wall times
+  // across workers) by term share, as the virtual path does with the serial
+  // generation time.
+  const Real cpu_seconds = bulk.cpu_seconds();
+  for (std::size_t t = 0; t < result.tasks.size(); ++t) {
+    result.tasks[t].cost_seconds =
+        cpu_seconds * static_cast<Real>(task_terms[t]) / static_cast<Real>(total_terms);
+  }
+
+  if (options.keep_system) {
+    result.system.equations.reserve(static_cast<std::size_t>(spec().num_equations()));
+    for (auto& slot : slots) {
+      for (auto& eq : slot) result.system.equations.push_back(std::move(eq));
+    }
+    PARMA_REQUIRE(static_cast<Index>(result.system.equations.size()) == spec().num_equations(),
+                  "real-thread formation produced wrong equation count");
+  }
+
+  // Measured summary: real wall-clock makespan, aggregate work, no virtual
+  // per-task timeline (assignment/start_time stay empty by design).
+  result.schedule.makespan_seconds = bulk.elapsed_seconds;
+  result.schedule.total_work_seconds = cpu_seconds;
+  result.schedule.worker_finish.assign(static_cast<std::size_t>(result.effective_workers),
+                                       bulk.elapsed_seconds);
+  return result;
+}
+
+FormationResult Engine::form_equations_virtual(const StrategyOptions& options) const {
+  FormationResult result = empty_formation(spec());
+  result.timing_mode = TimingMode::kVirtualReplay;
+  result.effective_workers = effective_workers(options);
   if (options.keep_system) {
     result.system.equations.reserve(static_cast<std::size_t>(spec().num_equations()));
   }
@@ -147,8 +288,7 @@ FormationResult Engine::form_equations(const StrategyOptions& options) const {
     case Strategy::kParallel:
       // The paper: "we are restricted from having more than four threads".
       result.schedule = parallel::schedule_by_category(
-          result.tasks, std::min<Index>(options.workers, equations::kNumCategories),
-          options.cost_model);
+          result.tasks, result.effective_workers, options.cost_model);
       break;
     case Strategy::kBalancedParallel:
       // Work-stealing among the category threads (Section IV-C1): it lifts
@@ -156,8 +296,7 @@ FormationResult Engine::form_equations(const StrategyOptions& options) const {
       // paper classifies it as coarse-grained, and it is the fine-grained
       // strategy's ability to use k >> 4 workers that overtakes it at scale.
       result.schedule = parallel::schedule_balanced_lpt(
-          result.tasks, std::min<Index>(options.workers, equations::kNumCategories),
-          options.cost_model);
+          result.tasks, result.effective_workers, options.cost_model);
       break;
     case Strategy::kFineGrained:
       result.schedule = parallel::schedule_dynamic(result.tasks, options.workers,
@@ -169,20 +308,21 @@ FormationResult Engine::form_equations(const StrategyOptions& options) const {
 
 IoResult Engine::write_equations(const std::string& directory,
                                  const StrategyOptions& options) const {
+  options.validate();
   IoResult io{form_equations(options), 0.0, 0.0, 0, {}};
-  const Index shards = std::max<Index>(options.workers, 1);
+  const Index shards = options.workers;
   std::filesystem::create_directories(directory);
 
   // One contiguous pair-range shard per worker. Shards are streamed pair by
   // pair (regenerating equations when the formation pass discarded them), so
-  // resident memory stays bounded at large n; the virtual end-to-end adds the
-  // slowest shard's write on top of the formation makespan, modeling k
-  // concurrent writers on independent files.
+  // resident memory stays bounded at large n.
   const bool have_system = !io.formation.system.equations.empty();
   const Index pairs = spec().num_endpoint_pairs();
-  std::vector<parallel::VirtualTask> write_tasks;
-  Stopwatch all_writes;
-  for (Index s = 0; s < shards; ++s) {
+
+  // Writes shard `s` to its own file; returns bytes written and fills
+  // `serialize_seconds` with the time spent serializing (excluding any
+  // regeneration, which is billed to the formation phase).
+  auto write_shard = [&](Index s, Real& serialize_seconds) -> std::pair<std::string, std::uint64_t> {
     const Index first_pair = pairs * s / shards;
     const Index last_pair = pairs * (s + 1) / shards;
     std::ostringstream name;
@@ -192,37 +332,73 @@ IoResult Engine::write_equations(const std::string& directory,
     if (!out) throw IoError("cannot open '" + name.str() + "' for writing");
     out << "# parma-equations v1 shard " << s << "/" << shards << '\n';
     std::uint64_t bytes = 0;
-    Real shard_write_seconds = 0.0;
+    serialize_seconds = 0.0;
     if (have_system) {
       const std::size_t eq_per_pair =
           static_cast<std::size_t>(spec().num_equations() / pairs);
       bytes = equations::write_system_range(
           out, io.formation.system, static_cast<std::size_t>(first_pair) * eq_per_pair,
           static_cast<std::size_t>(last_pair) * eq_per_pair);
-      shard_write_seconds = shard_clock.elapsed_seconds();
+      serialize_seconds = shard_clock.elapsed_seconds();
     } else {
-      // Regenerate pair by pair; bill only the serialization to the write
-      // phase (generation is already accounted in the formation schedule).
       for (Index p = first_pair; p < last_pair; ++p) {
         const auto pair_eqs = equations::generate_pair_equations(
             io.formation.system.layout, measurement_, p / spec().cols, p % spec().cols);
         Stopwatch write_clock;
         for (const auto& eq : pair_eqs) bytes += equations::write_equation_line(out, eq);
-        shard_write_seconds += write_clock.elapsed_seconds();
+        serialize_seconds += write_clock.elapsed_seconds();
       }
     }
     out.flush();
     if (!out) throw IoError("write to '" + name.str() + "' failed");
-    io.bytes_written += bytes;
-    io.shard_paths.push_back(name.str());
-    write_tasks.push_back({shard_write_seconds, 0, bytes});
+    return {name.str(), bytes};
+  };
+
+  std::vector<std::string> shard_paths(static_cast<std::size_t>(shards));
+  std::vector<std::uint64_t> shard_bytes(static_cast<std::size_t>(shards), 0);
+  std::vector<Real> shard_serialize(static_cast<std::size_t>(shards), 0.0);
+
+  Stopwatch all_writes;
+  if (options.timing_mode == TimingMode::kRealThreads) {
+    // Real mode: shards go to independent files, so each is one executor
+    // task and the k concurrent writers are actual threads.
+    const auto executor = exec::make_executor(
+        backend_for(options), std::min<Index>(io.formation.effective_workers, shards));
+    executor->submit_bulk(0, shards, 1, [&](Index lo, Index hi) {
+      for (Index s = lo; s < hi; ++s) {
+        auto [path, bytes] = write_shard(s, shard_serialize[static_cast<std::size_t>(s)]);
+        shard_paths[static_cast<std::size_t>(s)] = std::move(path);
+        shard_bytes[static_cast<std::size_t>(s)] = bytes;
+      }
+    });
+  } else {
+    for (Index s = 0; s < shards; ++s) {
+      auto [path, bytes] = write_shard(s, shard_serialize[static_cast<std::size_t>(s)]);
+      shard_paths[static_cast<std::size_t>(s)] = std::move(path);
+      shard_bytes[static_cast<std::size_t>(s)] = bytes;
+    }
   }
   io.write_seconds = all_writes.elapsed_seconds();
 
-  const parallel::ScheduleResult write_schedule =
-      parallel::schedule_balanced_lpt(write_tasks, shards, options.cost_model);
-  io.virtual_end_to_end =
-      io.formation.virtual_seconds() + write_schedule.makespan_seconds;
+  io.shard_paths = std::move(shard_paths);
+  for (const std::uint64_t b : shard_bytes) io.bytes_written += b;
+
+  if (options.timing_mode == TimingMode::kRealThreads) {
+    io.virtual_end_to_end = io.formation.generation_seconds + io.write_seconds;
+  } else {
+    // Virtual end-to-end: the formation makespan plus the slowest shard's
+    // write, modeling k concurrent writers on independent files.
+    std::vector<parallel::VirtualTask> write_tasks;
+    write_tasks.reserve(static_cast<std::size_t>(shards));
+    for (Index s = 0; s < shards; ++s) {
+      write_tasks.push_back({shard_serialize[static_cast<std::size_t>(s)], 0,
+                             shard_bytes[static_cast<std::size_t>(s)]});
+    }
+    const parallel::ScheduleResult write_schedule =
+        parallel::schedule_balanced_lpt(write_tasks, shards, options.cost_model);
+    io.virtual_end_to_end =
+        io.formation.virtual_seconds() + write_schedule.makespan_seconds;
+  }
   return io;
 }
 
@@ -239,36 +415,15 @@ mpisim::ClusterResult Engine::distributed_formation(const FormationResult& forma
 }
 
 Real Engine::execute_real_threads(Index workers, equations::EquationSystem* out) const {
-  PARMA_REQUIRE(workers >= 1, "need at least one worker");
-  const Index pairs = spec().num_endpoint_pairs();
-  std::vector<std::vector<equations::JointEquation>> slots(static_cast<std::size_t>(pairs));
-  const equations::UnknownLayout layout(spec());
-
-  Stopwatch clock;
-  parallel::ThreadPool pool(workers);
-  parallel::ForOptions loop;
-  loop.schedule = parallel::Schedule::kDynamic;
-  loop.chunk = 4;
-  parallel::parallel_for(
-      pool, 0, pairs,
-      [&](Index p) {
-        const Index i = p / spec().cols;
-        const Index j = p % spec().cols;
-        slots[static_cast<std::size_t>(p)] =
-            equations::generate_pair_equations(layout, measurement_, i, j);
-      },
-      loop);
-  const Real elapsed = clock.elapsed_seconds();
-
-  equations::EquationSystem system{layout, {}};
-  system.equations.reserve(static_cast<std::size_t>(spec().num_equations()));
-  for (auto& slot : slots) {
-    for (auto& eq : slot) system.equations.push_back(std::move(eq));
-  }
-  PARMA_REQUIRE(static_cast<Index>(system.equations.size()) == spec().num_equations(),
-                "parallel formation produced wrong equation count");
-  if (out != nullptr) *out = std::move(system);
-  return elapsed;
+  StrategyOptions options;
+  options.strategy = Strategy::kFineGrained;
+  options.workers = workers;
+  options.chunk = 4;
+  options.timing_mode = TimingMode::kRealThreads;
+  options.backend = exec::Backend::kPooled;
+  FormationResult result = form_equations(options);
+  if (out != nullptr) *out = std::move(result.system);
+  return result.generation_seconds;
 }
 
 solver::InverseResult Engine::recover(const solver::InverseOptions& options) const {

@@ -5,18 +5,23 @@
 //   analyze_topology()      homology/Betti analysis of the device, sizing the
 //                           intrinsic parallelism (Section III);
 //   form_equations(opts)    the MEA + Parma components: generate the 2n^3
-//                           joint-constraint equations under a strategy,
-//                           reporting both the real single-core generation
-//                           time and the virtual-time makespan the strategy
-//                           achieves with k workers (Figs. 6-8);
-//   write_equations(...)    generation plus the sharded disk write of Fig. 9;
+//                           joint-constraint equations under a strategy. By
+//                           default (TimingMode::kRealThreads) the strategy
+//                           maps to a real exec::Executor backend and the
+//                           reported times are wall-clock on the host's
+//                           cores; TimingMode::kVirtualReplay reproduces the
+//                           paper's figures by measuring single-core costs
+//                           and replaying the k-worker schedule virtually
+//                           (Figs. 6-8);
+//   write_equations(...)    generation plus the sharded disk write of Fig. 9
+//                           (shards written concurrently in real mode);
 //   distributed_formation() the MPI replay of Fig. 10;
 //   recover()               the inverse solve producing the resistance field
 //                           for anomaly detection.
 //
-// Real thread-pool execution (execute_real_threads) is provided for hosts
-// with actual cores and used by the integration tests to prove the strategies
-// compute identical systems.
+// Engine is the implementation layer; new code should enter through
+// parma::core::Session (core/session.hpp), which adds the cross-call
+// FormationCache and a builder-style configuration surface.
 #pragma once
 
 #include <optional>
@@ -48,14 +53,25 @@ struct TopologyReport {
 /// Result of forming the equation system under one strategy.
 struct FormationResult {
   equations::EquationSystem system;
-  Real generation_seconds = 0.0;      ///< real single-core time to build everything
-  parallel::ScheduleResult schedule;  ///< virtual k-worker replay
+  /// Wall-clock seconds of the formation run: the real parallel run in
+  /// kRealThreads mode, the single-core generation pass in kVirtualReplay.
+  Real generation_seconds = 0.0;
+  /// kVirtualReplay: the deterministic k-worker replay (per-task assignment
+  /// and start times). kRealThreads: a measured summary -- makespan is the
+  /// real wall-clock, total_work the aggregate per-chunk CPU time, and the
+  /// per-task timeline (assignment/start_time) is empty.
+  parallel::ScheduleResult schedule;
   std::vector<parallel::VirtualTask> tasks;  ///< measured per-task costs
   std::uint64_t equation_bytes = 0;   ///< modeled footprint of the system
+  /// Workers the strategy actually used (kParallel / kBalancedParallel cap
+  /// at kCategoryWorkerCap; requests above the cap are logged).
+  Index effective_workers = 1;
+  TimingMode timing_mode = TimingMode::kRealThreads;
 
   [[nodiscard]] Real virtual_seconds() const { return schedule.makespan_seconds; }
 
   /// Memory CDF of the run (Fig. 8): equations accumulate as tasks finish.
+  /// Requires the per-task timeline, i.e. TimingMode::kVirtualReplay.
   [[nodiscard]] MemoryCdf memory_cdf(std::uint64_t baseline_bytes) const;
 };
 
@@ -63,7 +79,9 @@ struct FormationResult {
 struct IoResult {
   FormationResult formation;
   Real write_seconds = 0.0;        ///< real time spent writing all shards
-  Real virtual_end_to_end = 0.0;   ///< virtual formation + parallel shard writes
+  /// kVirtualReplay: virtual formation + modeled parallel shard writes.
+  /// kRealThreads: measured formation + measured concurrent shard writes.
+  Real virtual_end_to_end = 0.0;
   std::uint64_t bytes_written = 0;
   std::vector<std::string> shard_paths;
 };
@@ -81,12 +99,13 @@ class Engine {
   /// `exact_homology` forces the GF(2) path.
   [[nodiscard]] TopologyReport analyze_topology(bool exact_homology = false) const;
 
-  /// Forms the full joint-constraint system under `options`. Task costs are
-  /// measured for real during generation; the k-worker timing is the virtual
-  /// replay (see DESIGN.md Section 2).
+  /// Forms the full joint-constraint system under `options`. Throws
+  /// InvalidOptions for out-of-range options. Real threads by default;
+  /// options.timing_mode = kVirtualReplay selects the paper-figure replay.
   [[nodiscard]] FormationResult form_equations(const StrategyOptions& options) const;
 
-  /// Fig. 9 pipeline: form, then write `workers` shards under `directory`.
+  /// Fig. 9 pipeline: form, then write `workers` shards under `directory`
+  /// (concurrently, one shard per executor task, in real mode).
   [[nodiscard]] IoResult write_equations(const std::string& directory,
                                          const StrategyOptions& options) const;
 
@@ -96,9 +115,10 @@ class Engine {
       const FormationResult& formation, Index ranks,
       const mpisim::ClusterCostModel& model = {}) const;
 
-  /// Executes formation on a real ThreadPool with `workers` threads and
-  /// verifies it produces the same system as the serial path; returns the
-  /// wall-clock seconds it took. Intended for multi-core hosts and tests.
+  /// DEPRECATED shim: real-thread formation predating the Executor API.
+  /// Equivalent to form_equations with kFineGrained, kRealThreads and the
+  /// pooled backend; prefer Session/form_equations (see DESIGN.md migration
+  /// note). Returns the wall-clock seconds; fills `out` when non-null.
   Real execute_real_threads(Index workers, equations::EquationSystem* out = nullptr) const;
 
   /// Inverse solve: recover the resistance field (Section II-C workload).
@@ -118,6 +138,9 @@ class Engine {
       TaskGranularity granularity) const;
 
  private:
+  [[nodiscard]] FormationResult form_equations_real(const StrategyOptions& options) const;
+  [[nodiscard]] FormationResult form_equations_virtual(const StrategyOptions& options) const;
+
   mea::Measurement measurement_;
 };
 

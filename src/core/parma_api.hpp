@@ -1,0 +1,19 @@
+// Slim public API: the session-facing surface of Parma.
+//
+//   #include "core/parma_api.hpp"
+//
+// exports exactly what a caller needs to run the pipeline -- Session (the
+// supported entry point), the strategy/timing configuration, the result
+// types (TopologyReport, FormationResult, IoResult, InverseResult), the
+// execution backends, and the measurement/device model -- without the
+// internal machinery the umbrella header core/parma.hpp pulls in.
+#pragma once
+
+#include "core/formation_cache.hpp"  // FormationCache (cross-session reuse)
+#include "core/session.hpp"          // Session, Session::Builder
+#include "core/strategy.hpp"         // Strategy, StrategyOptions, TimingMode, InvalidOptions
+#include "core/engine.hpp"           // Engine (implementation layer), result types
+#include "exec/executor.hpp"         // exec::Backend, exec::Executor
+#include "mea/device.hpp"            // DeviceSpec
+#include "mea/measurement.hpp"       // Measurement, measure()/measure_exact()
+#include "solver/inverse_solver.hpp" // InverseOptions, InverseResult

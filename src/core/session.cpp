@@ -1,0 +1,34 @@
+#include "core/session.hpp"
+
+namespace parma::core {
+
+Session Session::Builder::build() {
+  options_.validate();
+  return Session(std::move(measurement_), options_,
+                 cache_ ? std::move(cache_) : FormationCache::global());
+}
+
+Session::Session(mea::Measurement measurement, StrategyOptions options,
+                 std::shared_ptr<FormationCache> cache)
+    : engine_(std::move(measurement)), options_(options), cache_(std::move(cache)) {}
+
+TopologyReport Session::topology(bool exact_homology) const {
+  return cache_->topology(engine_, exact_homology);
+}
+
+std::shared_ptr<const equations::UnknownLayout> Session::layout() const {
+  return cache_->layout(engine_.spec());
+}
+
+FormationResult Session::form() const { return engine_.form_equations(options_); }
+
+IoResult Session::write(const std::string& directory) const {
+  return engine_.write_equations(directory, options_);
+}
+
+solver::InverseResult Session::recover(solver::InverseOptions options) const {
+  if (options.workers <= 1) options.workers = options_.workers;
+  return engine_.recover(options);
+}
+
+}  // namespace parma::core

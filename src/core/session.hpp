@@ -1,0 +1,118 @@
+// parma::core::Session -- the supported entry point to the Parma pipeline.
+//
+//   auto session = Session::on(measurement)
+//                      .strategy(Strategy::kFineGrained)
+//                      .workers(8)
+//                      .build();
+//   const TopologyReport topo = session.topology();   // cached across sessions
+//   const FormationResult eqs = session.form();       // real threads by default
+//   const solver::InverseResult r = session.recover();
+//
+// A Session owns one measurement, the strategy configuration, and a
+// FormationCache (shared process-wide by default) that memoizes the device's
+// topology analysis and unknown layout, so repeated sessions on the same
+// device -- the many-recordings-per-device workload -- skip redundant setup.
+// Engine (core/engine.hpp) remains the implementation layer underneath.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/formation_cache.hpp"
+#include "core/strategy.hpp"
+
+namespace parma::core {
+
+class Session {
+ public:
+  class Builder {
+   public:
+    explicit Builder(mea::Measurement measurement)
+        : measurement_(std::move(measurement)) {}
+
+    Builder& strategy(Strategy strategy) {
+      options_.strategy = strategy;
+      return *this;
+    }
+    Builder& workers(Index workers) {
+      options_.workers = workers;
+      return *this;
+    }
+    Builder& chunk(Index chunk) {
+      options_.chunk = chunk;
+      return *this;
+    }
+    Builder& timing_mode(TimingMode mode) {
+      options_.timing_mode = mode;
+      return *this;
+    }
+    Builder& backend(exec::Backend backend) {
+      options_.backend = backend;
+      return *this;
+    }
+    Builder& keep_system(bool keep) {
+      options_.keep_system = keep;
+      return *this;
+    }
+    Builder& cost_model(const parallel::CostModel& model) {
+      options_.cost_model = model;
+      return *this;
+    }
+    Builder& options(const StrategyOptions& options) {
+      options_ = options;
+      return *this;
+    }
+    /// Share a cache across sessions explicitly (defaults to the process
+    /// global cache).
+    Builder& cache(std::shared_ptr<FormationCache> cache) {
+      cache_ = std::move(cache);
+      return *this;
+    }
+
+    /// Validates the configuration (throws InvalidOptions) and constructs
+    /// the Session.
+    [[nodiscard]] Session build();
+
+   private:
+    mea::Measurement measurement_;
+    StrategyOptions options_;
+    std::shared_ptr<FormationCache> cache_;
+  };
+
+  /// Entry point: configure a session on one measurement sweep.
+  [[nodiscard]] static Builder on(mea::Measurement measurement) {
+    return Builder(std::move(measurement));
+  }
+
+  [[nodiscard]] const Engine& engine() const { return engine_; }
+  [[nodiscard]] const mea::DeviceSpec& spec() const { return engine_.spec(); }
+  [[nodiscard]] const StrategyOptions& options() const { return options_; }
+  [[nodiscard]] const std::shared_ptr<FormationCache>& cache() const { return cache_; }
+
+  /// Topology report, memoized in the cache across sessions on this shape.
+  [[nodiscard]] TopologyReport topology(bool exact_homology = false) const;
+
+  /// Shared unknown layout of this device shape, memoized in the cache.
+  [[nodiscard]] std::shared_ptr<const equations::UnknownLayout> layout() const;
+
+  /// Forms the joint-constraint system under this session's configuration.
+  [[nodiscard]] FormationResult form() const;
+
+  /// Formation plus the sharded disk write (Fig. 9 pipeline).
+  [[nodiscard]] IoResult write(const std::string& directory) const;
+
+  /// Inverse solve: recover the resistance field. The session's worker count
+  /// drives the forward sweeps unless `options` says otherwise.
+  [[nodiscard]] solver::InverseResult recover(solver::InverseOptions options = {}) const;
+
+ private:
+  Session(mea::Measurement measurement, StrategyOptions options,
+          std::shared_ptr<FormationCache> cache);
+
+  Engine engine_;
+  StrategyOptions options_;
+  std::shared_ptr<FormationCache> cache_;
+};
+
+}  // namespace parma::core

@@ -1,5 +1,8 @@
 #include "core/strategy.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 namespace parma::core {
 
 const char* strategy_name(Strategy strategy) {
@@ -10,6 +13,49 @@ const char* strategy_name(Strategy strategy) {
     case Strategy::kFineGrained: return "fine-grained";
   }
   return "?";
+}
+
+const char* timing_mode_name(TimingMode mode) {
+  switch (mode) {
+    case TimingMode::kRealThreads: return "real-threads";
+    case TimingMode::kVirtualReplay: return "virtual-replay";
+  }
+  return "?";
+}
+
+void StrategyOptions::validate() const {
+  if (workers < 1) {
+    std::ostringstream os;
+    os << "invalid StrategyOptions: workers must be >= 1, got " << workers;
+    throw InvalidOptions(os.str());
+  }
+  if (chunk < 1) {
+    std::ostringstream os;
+    os << "invalid StrategyOptions: chunk must be >= 1, got " << chunk;
+    throw InvalidOptions(os.str());
+  }
+}
+
+Index effective_workers(const StrategyOptions& options) {
+  switch (options.strategy) {
+    case Strategy::kSingleThread: return 1;
+    case Strategy::kParallel:
+    case Strategy::kBalancedParallel:
+      return std::min<Index>(options.workers, kCategoryWorkerCap);
+    case Strategy::kFineGrained: return options.workers;
+  }
+  return 1;
+}
+
+exec::Backend backend_for(const StrategyOptions& options) {
+  if (options.backend != exec::Backend::kAuto) return options.backend;
+  switch (options.strategy) {
+    case Strategy::kSingleThread: return exec::Backend::kSerial;
+    case Strategy::kParallel: return exec::Backend::kPooled;
+    case Strategy::kBalancedParallel: return exec::Backend::kStealing;
+    case Strategy::kFineGrained: return exec::Backend::kPooled;
+  }
+  return exec::Backend::kSerial;
 }
 
 }  // namespace parma::core

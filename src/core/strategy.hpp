@@ -3,7 +3,9 @@
 
 #include <string>
 
+#include "common/require.hpp"
 #include "common/types.hpp"
+#include "exec/executor.hpp"
 #include "parallel/virtual_scheduler.hpp"
 
 namespace parma::core {
@@ -25,6 +27,35 @@ enum class Strategy {
 
 const char* strategy_name(Strategy strategy);
 
+/// How a formation run is timed.
+enum class TimingMode {
+  /// Default: the strategy maps to a real exec::Executor backend and the
+  /// reported times are wall-clock on the host's actual cores.
+  kRealThreads,
+  /// Paper-figure reproduction: generation is measured single-threaded and
+  /// the k-worker timing is the deterministic virtual replay of
+  /// parallel/virtual_scheduler.hpp (see DESIGN.md Section 2).
+  kVirtualReplay,
+};
+
+const char* timing_mode_name(TimingMode mode);
+
+/// Thrown by StrategyOptions::validate() for out-of-range options (e.g.
+/// workers < 1 or chunk < 1). A ContractError subtype so existing callers
+/// that catch ContractError keep working.
+class InvalidOptions : public ContractError {
+ public:
+  using ContractError::ContractError;
+};
+
+/// The Parallel / Balanced Parallel strategies dedicate one worker per
+/// constraint category; the paper's Section IV-A has four categories, so
+/// those strategies can use at most four workers ("we are restricted from
+/// having more than four threads"). Requests above the cap are honored up to
+/// the cap and surfaced via FormationResult::effective_workers plus a logged
+/// warning.
+inline constexpr Index kCategoryWorkerCap = 4;
+
 struct StrategyOptions {
   Strategy strategy = Strategy::kFineGrained;
   Index workers = 4;        ///< k; ignored by kSingleThread, capped at 4 by kParallel
@@ -37,7 +68,28 @@ struct StrategyOptions {
   /// holds ~8 GB of term storage. The returned FormationResult then has an
   /// empty `system.equations` but complete tasks/census/footprint metrics.
   bool keep_system = true;
+
+  /// Real threads by default; kVirtualReplay opts into the deterministic
+  /// schedule replay that reproduces the paper's figures on any host.
+  TimingMode timing_mode = TimingMode::kRealThreads;
+
+  /// Real-thread backend override. kAuto (default) derives the backend from
+  /// the strategy: kSingleThread -> serial, kParallel / kFineGrained ->
+  /// pooled, kBalancedParallel -> stealing. Ignored by kVirtualReplay.
+  exec::Backend backend = exec::Backend::kAuto;
+
+  /// Throws InvalidOptions when workers < 1 or chunk < 1. Called by every
+  /// Engine entry point that consumes options.
+  void validate() const;
 };
+
+/// Worker count a strategy actually uses: 1 for kSingleThread, at most
+/// kCategoryWorkerCap for the category-bound strategies, `workers` for
+/// kFineGrained.
+Index effective_workers(const StrategyOptions& options);
+
+/// The real-thread backend for `options` (resolves kAuto per the strategy).
+exec::Backend backend_for(const StrategyOptions& options);
 
 /// Task granularity used when forming equations under a strategy:
 /// category-level strategies operate on (pair x category) tasks, the

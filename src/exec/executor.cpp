@@ -1,0 +1,114 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <mutex>
+
+#include "common/require.hpp"
+#include "common/stopwatch.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace parma::exec {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kAuto: return "auto";
+    case Backend::kSerial: return "serial";
+    case Backend::kPooled: return "pooled";
+    case Backend::kStealing: return "stealing";
+  }
+  return "?";
+}
+
+Real BulkResult::cpu_seconds() const {
+  Real total = 0.0;
+  for (const TaskCost& cost : task_costs) total += cost.seconds;
+  return total;
+}
+
+BulkResult Executor::submit_bulk(Index begin, Index end, Index chunk,
+                                 const std::function<void(Index, Index)>& fn,
+                                 bool capture_costs) {
+  PARMA_REQUIRE(begin <= end, "submit_bulk: begin must not exceed end");
+  PARMA_REQUIRE(chunk >= 1, "submit_bulk: chunk must be >= 1");
+  BulkResult result;
+  Stopwatch clock;
+  if (begin == end) {
+    result.elapsed_seconds = clock.elapsed_seconds();
+    return result;
+  }
+  if (!capture_costs) {
+    run_chunks(begin, end, chunk, fn);
+  } else {
+    std::mutex mu;
+    std::vector<TaskCost> costs;
+    costs.reserve(static_cast<std::size_t>((end - begin + chunk - 1) / chunk));
+    run_chunks(begin, end, chunk, [&](Index lo, Index hi) {
+      Stopwatch chunk_clock;
+      fn(lo, hi);
+      const Real seconds = chunk_clock.elapsed_seconds();
+      std::lock_guard lock(mu);
+      costs.push_back({lo, hi, seconds});
+    });
+    std::sort(costs.begin(), costs.end(),
+              [](const TaskCost& a, const TaskCost& b) { return a.begin < b.begin; });
+    result.task_costs = std::move(costs);
+  }
+  result.elapsed_seconds = clock.elapsed_seconds();
+  return result;
+}
+
+void SerialExecutor::run_chunks(Index begin, Index end, Index chunk,
+                                const std::function<void(Index, Index)>& fn) {
+  for (Index lo = begin; lo < end; lo += chunk) {
+    fn(lo, std::min(end, lo + chunk));
+  }
+}
+
+PooledExecutor::PooledExecutor(Index workers) : pool_(workers) {}
+
+void PooledExecutor::run_chunks(Index begin, Index end, Index chunk,
+                                const std::function<void(Index, Index)>& fn) {
+  parallel::ForOptions options;
+  options.schedule = parallel::Schedule::kDynamic;
+  options.chunk = chunk;
+  parallel::parallel_for_chunked(pool_, begin, end, fn, options);
+}
+
+StealingExecutor::StealingExecutor(Index workers) : pool_(workers) {}
+
+void StealingExecutor::run_chunks(Index begin, Index end, Index chunk,
+                                  const std::function<void(Index, Index)>& fn) {
+  // WorkStealingPool tasks must not throw; capture the first exception and
+  // rethrow it once the bulk completes (mirrors parallel_for semantics).
+  std::mutex error_mu;
+  std::exception_ptr error;
+  for (Index lo = begin; lo < end; lo += chunk) {
+    const Index hi = std::min(end, lo + chunk);
+    pool_.submit([&fn, &error_mu, &error, lo, hi] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  pool_.wait_idle();
+  if (error) std::rethrow_exception(error);
+}
+
+std::unique_ptr<Executor> make_executor(Backend backend, Index workers) {
+  PARMA_REQUIRE(backend != Backend::kAuto, "make_executor needs a concrete backend");
+  PARMA_REQUIRE(workers >= 1, "executor needs at least one worker");
+  switch (backend) {
+    case Backend::kSerial: return std::make_unique<SerialExecutor>();
+    case Backend::kPooled: return std::make_unique<PooledExecutor>(workers);
+    case Backend::kStealing: return std::make_unique<StealingExecutor>(workers);
+    case Backend::kAuto: break;
+  }
+  PARMA_REQUIRE(false, "unreachable backend");
+  return nullptr;
+}
+
+}  // namespace parma::exec

@@ -1,0 +1,139 @@
+// parma::exec -- the unified real-thread execution backend.
+//
+// Everything that runs work for real (as opposed to the virtual-time replay
+// in parallel/virtual_scheduler.hpp) goes through one interface:
+//
+//   Executor::submit_bulk(begin, end, chunk, fn)
+//
+// runs fn(lo, hi) over chunked subranges covering [begin, end) and blocks
+// until every chunk has finished. Three concrete backends implement it:
+//
+//   SerialExecutor    -- the calling thread, chunks in order (the baseline);
+//   PooledExecutor    -- a fixed ThreadPool with dynamic chunk claiming
+//                        (the PyMP-style self-scheduling runtime);
+//   StealingExecutor  -- a WorkStealingPool (the Balanced Parallel runtime).
+//
+// All backends are interchangeable: for a pure bulk loop they produce the
+// same side effects, and the engine's cross-backend equivalence tests assert
+// bit-identical equation systems. Per-chunk wall times can be captured
+// (capture_costs) to feed the virtual schedulers and the cluster replay with
+// costs measured under real concurrency.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/work_stealing_pool.hpp"
+
+namespace parma::exec {
+
+/// The available real-thread backends. kAuto defers the choice to the caller
+/// (the engine maps each core::Strategy to a backend; see strategy.hpp).
+enum class Backend { kAuto, kSerial, kPooled, kStealing };
+
+const char* backend_name(Backend backend);
+
+/// Wall-clock cost of one executed chunk [begin, end).
+struct TaskCost {
+  Index begin = 0;
+  Index end = 0;
+  Real seconds = 0.0;
+};
+
+/// Outcome of one submit_bulk call.
+struct BulkResult {
+  Real elapsed_seconds = 0.0;        ///< wall-clock of the whole bulk run
+  std::vector<TaskCost> task_costs;  ///< per chunk, sorted by begin (when captured)
+
+  /// Aggregate CPU-side work: the sum of per-chunk wall times across all
+  /// workers (>= elapsed_seconds on a multi-core run of a parallel backend).
+  [[nodiscard]] Real cpu_seconds() const;
+};
+
+/// Abstract real-thread executor. Implementations own their workers; one
+/// executor can serve many submit_bulk calls (workers persist between calls).
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  [[nodiscard]] virtual Backend backend() const = 0;
+
+  /// Number of worker threads this executor runs chunks on (1 for serial).
+  [[nodiscard]] virtual Index workers() const = 0;
+
+  [[nodiscard]] const char* name() const { return backend_name(backend()); }
+
+  /// Runs fn(lo, hi) over subranges of size <= chunk covering [begin, end)
+  /// exactly once each, blocking until all have completed. Exceptions thrown
+  /// by fn propagate to the caller (first one wins). With capture_costs the
+  /// result carries one TaskCost per chunk.
+  BulkResult submit_bulk(Index begin, Index end, Index chunk,
+                         const std::function<void(Index, Index)>& fn,
+                         bool capture_costs = false);
+
+ protected:
+  Executor() = default;
+
+  /// Backend-specific chunk dispatch; must cover [begin, end) exactly once
+  /// and block until done.
+  virtual void run_chunks(Index begin, Index end, Index chunk,
+                          const std::function<void(Index, Index)>& fn) = 0;
+};
+
+/// Runs every chunk on the calling thread, in range order.
+class SerialExecutor final : public Executor {
+ public:
+  SerialExecutor() = default;
+  [[nodiscard]] Backend backend() const override { return Backend::kSerial; }
+  [[nodiscard]] Index workers() const override { return 1; }
+
+ protected:
+  void run_chunks(Index begin, Index end, Index chunk,
+                  const std::function<void(Index, Index)>& fn) override;
+};
+
+/// Shared-queue thread pool with dynamic chunk self-scheduling (the real
+/// runtime behind the paper's fine-grained PyMP-style strategy).
+class PooledExecutor final : public Executor {
+ public:
+  explicit PooledExecutor(Index workers);
+  [[nodiscard]] Backend backend() const override { return Backend::kPooled; }
+  [[nodiscard]] Index workers() const override { return pool_.num_threads(); }
+
+ protected:
+  void run_chunks(Index begin, Index end, Index chunk,
+                  const std::function<void(Index, Index)>& fn) override;
+
+ private:
+  parallel::ThreadPool pool_;
+};
+
+/// Chase-Lev work-stealing pool (the real runtime behind Balanced Parallel).
+class StealingExecutor final : public Executor {
+ public:
+  explicit StealingExecutor(Index workers);
+  [[nodiscard]] Backend backend() const override { return Backend::kStealing; }
+  [[nodiscard]] Index workers() const override { return pool_.num_threads(); }
+
+  /// Successful deque steals since construction (diagnostics).
+  [[nodiscard]] std::uint64_t steal_count() const { return pool_.steal_count(); }
+
+ protected:
+  void run_chunks(Index begin, Index end, Index chunk,
+                  const std::function<void(Index, Index)>& fn) override;
+
+ private:
+  parallel::WorkStealingPool pool_;
+};
+
+/// Factory. `backend` must be concrete (not kAuto); workers >= 1 (ignored by
+/// kSerial).
+std::unique_ptr<Executor> make_executor(Backend backend, Index workers);
+
+}  // namespace parma::exec

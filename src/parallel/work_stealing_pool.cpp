@@ -5,7 +5,7 @@
 
 namespace parma::parallel {
 
-WorkStealingPool::WorkStealingPool(Index num_threads) {
+WorkStealingPool::WorkStealingPool(Index num_threads) : count_(num_threads) {
   PARMA_REQUIRE(num_threads >= 1, "work-stealing pool needs at least one worker");
   deques_.reserve(static_cast<std::size_t>(num_threads));
   for (Index i = 0; i < num_threads; ++i) {

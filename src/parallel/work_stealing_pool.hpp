@@ -34,7 +34,7 @@ class WorkStealingPool {
   /// Blocks until all submitted tasks have been executed.
   void wait_idle();
 
-  [[nodiscard]] Index num_threads() const { return static_cast<Index>(threads_.size()); }
+  [[nodiscard]] Index num_threads() const { return count_; }
 
   /// Number of successful deque steals since construction (diagnostics).
   [[nodiscard]] std::uint64_t steal_count() const { return steals_.load(); }
@@ -43,6 +43,9 @@ class WorkStealingPool {
   void worker_loop(Index worker_id);
   bool take_from_injector(std::function<void()>& out);
 
+  // Fixed worker count, set before any thread launches: workers must not read
+  // threads_.size() while the constructor is still emplacing into threads_.
+  Index count_ = 0;
   std::vector<std::unique_ptr<WorkStealingDeque<std::function<void()>>>> deques_;
   std::mutex injector_mu_;
   std::deque<std::function<void()>> injector_;

@@ -23,11 +23,21 @@ Engine make_engine(Index n, std::uint64_t seed = 7) {
   return Engine(mea::measure_exact(spec, truth));
 }
 
+// The schedule-centric assertions below exercise the paper-figure replay, so
+// they opt into kVirtualReplay; real-thread mode (the default) is covered by
+// the dedicated tests further down and by tests/test_exec.cpp.
 StrategyOptions options_for(Strategy strategy, Index workers, Index chunk = 1) {
   StrategyOptions o;
   o.strategy = strategy;
   o.workers = workers;
   o.chunk = chunk;
+  o.timing_mode = TimingMode::kVirtualReplay;
+  return o;
+}
+
+StrategyOptions real_options_for(Strategy strategy, Index workers, Index chunk = 1) {
+  StrategyOptions o = options_for(strategy, workers, chunk);
+  o.timing_mode = TimingMode::kRealThreads;
   return o;
 }
 
@@ -238,11 +248,191 @@ TEST(Engine, StreamingWriteMatchesMaterializedBytes) {
   }
 }
 
+TEST(Engine, RealThreadsIsTheDefaultTimingMode) {
+  const Engine engine = make_engine(4);
+  StrategyOptions defaults;
+  EXPECT_EQ(defaults.timing_mode, TimingMode::kRealThreads);
+  const FormationResult r = engine.form_equations(defaults);
+  EXPECT_EQ(r.timing_mode, TimingMode::kRealThreads);
+  EXPECT_EQ(static_cast<Index>(r.system.equations.size()), engine.spec().num_equations());
+  EXPECT_GT(r.generation_seconds, 0.0);
+  EXPECT_EQ(r.effective_workers, defaults.workers);
+  // Real runs report a measured summary, not a virtual per-task timeline.
+  EXPECT_TRUE(r.schedule.assignment.empty());
+  EXPECT_EQ(r.schedule.makespan_seconds, r.generation_seconds);
+}
+
+TEST(Engine, RealModeMatchesVirtualSystemForEveryStrategy) {
+  const Engine engine = make_engine(4);
+  const FormationResult base = engine.form_equations(options_for(Strategy::kSingleThread, 1));
+  for (const Strategy s : {Strategy::kSingleThread, Strategy::kParallel,
+                           Strategy::kBalancedParallel, Strategy::kFineGrained}) {
+    const FormationResult real = engine.form_equations(real_options_for(s, 3));
+    ASSERT_EQ(real.system.equations.size(), base.system.equations.size());
+    std::vector<Real> x(static_cast<std::size_t>(base.system.layout.num_unknowns()));
+    for (std::size_t u = 0; u < x.size(); ++u) {
+      x[u] = base.system.layout.is_resistance(static_cast<Index>(u)) ? 2500.0 : 1.0;
+    }
+    EXPECT_LT(linalg::relative_error(equations::system_residual(real.system, x),
+                                     equations::system_residual(base.system, x)),
+              1e-12);
+  }
+}
+
+TEST(Engine, InvalidOptionsAreRejectedWithTypedError) {
+  const Engine engine = make_engine(4);
+  StrategyOptions zero_workers;
+  zero_workers.workers = 0;
+  EXPECT_THROW((void)engine.form_equations(zero_workers), InvalidOptions);
+  EXPECT_THROW((void)engine.write_equations(testing::TempDir() + "parma_invalid",
+                                            zero_workers),
+               InvalidOptions);
+
+  StrategyOptions zero_chunk;
+  zero_chunk.chunk = 0;
+  EXPECT_THROW((void)engine.form_equations(zero_chunk), InvalidOptions);
+  EXPECT_THROW(zero_chunk.validate(), InvalidOptions);
+
+  StrategyOptions negative;
+  negative.workers = -3;
+  EXPECT_THROW(negative.validate(), InvalidOptions);
+
+  // InvalidOptions stays catchable as the base contract error.
+  EXPECT_THROW(zero_workers.validate(), ContractError);
+  StrategyOptions fine;
+  EXPECT_NO_THROW(fine.validate());
+}
+
+TEST(Engine, EffectiveWorkersSurfacesTheCategoryCap) {
+  const Engine engine = make_engine(4);
+  for (const auto mode : {TimingMode::kRealThreads, TimingMode::kVirtualReplay}) {
+    StrategyOptions capped = options_for(Strategy::kParallel, 32);
+    capped.timing_mode = mode;
+    EXPECT_EQ(engine.form_equations(capped).effective_workers, kCategoryWorkerCap);
+
+    StrategyOptions balanced = options_for(Strategy::kBalancedParallel, 9);
+    balanced.timing_mode = mode;
+    EXPECT_EQ(engine.form_equations(balanced).effective_workers, kCategoryWorkerCap);
+
+    StrategyOptions fine = options_for(Strategy::kFineGrained, 9);
+    fine.timing_mode = mode;
+    EXPECT_EQ(engine.form_equations(fine).effective_workers, 9);
+
+    StrategyOptions serial = options_for(Strategy::kSingleThread, 9);
+    serial.timing_mode = mode;
+    EXPECT_EQ(engine.form_equations(serial).effective_workers, 1);
+  }
+}
+
+TEST(Engine, MemoryCdfRequiresTheVirtualTimeline) {
+  const Engine engine = make_engine(4);
+  const FormationResult real = engine.form_equations(real_options_for(Strategy::kFineGrained, 2));
+  EXPECT_THROW((void)real.memory_cdf(0), ContractError);
+}
+
+TEST(Engine, RealWriteEquationsProducesIdenticalShards) {
+  const Engine engine = make_engine(4);
+  const std::string dir_virtual = testing::TempDir() + "parma_write_virtual";
+  const std::string dir_real = testing::TempDir() + "parma_write_real";
+  std::filesystem::remove_all(dir_virtual);
+  std::filesystem::remove_all(dir_real);
+  const IoResult v = engine.write_equations(dir_virtual, options_for(Strategy::kFineGrained, 3));
+  const IoResult r =
+      engine.write_equations(dir_real, real_options_for(Strategy::kFineGrained, 3));
+  ASSERT_EQ(v.shard_paths.size(), r.shard_paths.size());
+  EXPECT_EQ(v.bytes_written, r.bytes_written);
+  EXPECT_GE(r.virtual_end_to_end, r.write_seconds);
+  for (std::size_t s = 0; s < v.shard_paths.size(); ++s) {
+    EXPECT_EQ(std::filesystem::file_size(v.shard_paths[s]),
+              std::filesystem::file_size(r.shard_paths[s]));
+  }
+}
+
+TEST(Session, BuilderFormsAndRecovers) {
+  Rng rng(91);
+  const mea::DeviceSpec spec = mea::square_device(4);
+  mea::GeneratorOptions gen;
+  gen.jitter_fraction = 0.01;
+  gen.anomalies.push_back({2.0, 2.0, 1.0, 1.0, 9000.0});
+  const auto truth = mea::generate_field(spec, gen, rng);
+
+  const core::Session session = core::Session::on(mea::measure_exact(spec, truth))
+                                    .strategy(Strategy::kFineGrained)
+                                    .workers(2)
+                                    .chunk(2)
+                                    .build();
+  const FormationResult formation = session.form();
+  EXPECT_EQ(static_cast<Index>(formation.system.equations.size()), spec.num_equations());
+  EXPECT_EQ(formation.timing_mode, TimingMode::kRealThreads);
+  EXPECT_EQ(formation.effective_workers, 2);
+
+  solver::InverseOptions inverse;
+  inverse.max_iterations = 80;
+  const solver::InverseResult recovery = session.recover(inverse);
+  EXPECT_LT(recovery.max_relative_error(truth), 1e-3);
+}
+
+TEST(Session, BuilderRejectsInvalidOptions) {
+  const Engine engine = make_engine(4);
+  EXPECT_THROW((void)core::Session::on(engine.measurement()).workers(0).build(),
+               InvalidOptions);
+  EXPECT_THROW((void)core::Session::on(engine.measurement()).chunk(0).build(),
+               InvalidOptions);
+}
+
+TEST(Session, FormationCacheIsSharedAcrossSessions) {
+  const auto cache = std::make_shared<FormationCache>();
+  const Engine proto = make_engine(5);
+
+  const core::Session first =
+      core::Session::on(proto.measurement()).cache(cache).build();
+  const TopologyReport a = first.topology();
+  EXPECT_EQ(cache->stats().topology_misses, 1u);
+  EXPECT_EQ(cache->stats().topology_hits, 0u);
+
+  const TopologyReport b = first.topology();  // same session: hit
+  EXPECT_EQ(cache->stats().topology_hits, 1u);
+  EXPECT_EQ(a.betti1, b.betti1);
+
+  // A second session on the same device shape reuses the analysis.
+  const core::Session second =
+      core::Session::on(make_engine(5, 99).measurement()).cache(cache).build();
+  const TopologyReport c = second.topology();
+  EXPECT_EQ(cache->stats().topology_hits, 2u);
+  EXPECT_EQ(cache->stats().topology_misses, 1u);
+  EXPECT_EQ(c.betti1, a.betti1);
+
+  // Layouts are memoized too, and shared by shape.
+  const auto layout1 = first.layout();
+  const auto layout2 = second.layout();
+  EXPECT_EQ(layout1.get(), layout2.get());
+  EXPECT_EQ(cache->stats().layout_misses, 1u);
+  EXPECT_EQ(cache->stats().layout_hits, 1u);
+
+  // A different shape misses.
+  const core::Session other =
+      core::Session::on(make_engine(6).measurement()).cache(cache).build();
+  (void)other.topology();
+  EXPECT_EQ(cache->stats().topology_misses, 2u);
+
+  cache->clear();
+  EXPECT_EQ(cache->size(), 0u);
+  EXPECT_EQ(cache->stats().topology_hits, 0u);
+}
+
+TEST(Session, DefaultsToTheProcessGlobalCache) {
+  const Engine proto = make_engine(4);
+  const core::Session session = core::Session::on(proto.measurement()).build();
+  EXPECT_EQ(session.cache().get(), FormationCache::global().get());
+}
+
 TEST(Engine, StrategyNamesAreStable) {
   EXPECT_STREQ(strategy_name(Strategy::kSingleThread), "single-thread");
   EXPECT_STREQ(strategy_name(Strategy::kParallel), "parallel");
   EXPECT_STREQ(strategy_name(Strategy::kBalancedParallel), "balanced-parallel");
   EXPECT_STREQ(strategy_name(Strategy::kFineGrained), "fine-grained");
+  EXPECT_STREQ(timing_mode_name(TimingMode::kRealThreads), "real-threads");
+  EXPECT_STREQ(timing_mode_name(TimingMode::kVirtualReplay), "virtual-replay");
 }
 
 // Property sweep: schedule invariants must hold for every (strategy, n, k)

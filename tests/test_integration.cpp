@@ -166,6 +166,7 @@ TEST(Integration, Figure6OrderingEmergesFromTheEngine) {
     core::Engine engine(mea::measure_exact(spec, truth));
     core::StrategyOptions options;
     options.strategy = core::Strategy::kFineGrained;
+    options.timing_mode = core::TimingMode::kVirtualReplay;
     core::FormationResult formation = engine.form_equations(options);
     std::uint64_t total_terms = 0;
     for (const auto& eq : formation.system.equations) total_terms += eq.terms.size();
