@@ -12,12 +12,17 @@
 //       recover the resistance field and print the anomaly map
 //   parma_cli render    <measurement.txt> <out.pgm> [--scale s]
 //       recover the field and write it as a grayscale image
+//   parma_cli serve-bench [--requests r] [--shapes 6,8,10] [--workers k]
+//                         [--queue q] [--batch b] [--seed s]
+//       drive a serve::Server with synthetic requests and print its stats
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <chrono>
 #include <cstring>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/parma.hpp"
@@ -58,7 +63,9 @@ int usage() {
                "  parma_cli form <measurement.txt> <out_dir> [--workers k]\n"
                "  parma_cli solve <measurement.txt> [--threshold kOhm]"
                " [--workers k] [--truth truth.txt]\n"
-               "  parma_cli render <measurement.txt> <out.pgm> [--scale s]\n";
+               "  parma_cli render <measurement.txt> <out.pgm> [--scale s]\n"
+               "  parma_cli serve-bench [--requests r] [--shapes 6,8,10]"
+               " [--workers k] [--queue q] [--batch b] [--seed s]\n";
   return 1;
 }
 
@@ -182,6 +189,77 @@ int cmd_render(const Args& args) {
   return 0;
 }
 
+int cmd_serve_bench(const Args& args) {
+  if (!args.positional.empty()) return usage();
+  const Index requests =
+      args.flag("requests") ? parse_index(*args.flag("requests"), "requests") : 32;
+  const auto seed = static_cast<std::uint64_t>(
+      args.flag("seed") ? parse_index(*args.flag("seed"), "seed") : 2022);
+  std::vector<Index> shapes;
+  for (const std::string& tok : split(args.flag("shapes").value_or("6,8,10"), ',')) {
+    shapes.push_back(parse_index(tok, "shapes"));
+  }
+  PARMA_REQUIRE(!shapes.empty(), "serve-bench: --shapes must name at least one size");
+  PARMA_REQUIRE(requests >= 1, "serve-bench: --requests must be >= 1");
+
+  serve::ServerOptions sopts;
+  if (const auto w = args.flag("workers")) sopts.workers = parse_index(*w, "workers");
+  if (const auto q = args.flag("queue")) sopts.queue_capacity = parse_index(*q, "queue");
+  if (const auto b = args.flag("batch")) sopts.max_batch = parse_index(*b, "batch");
+  serve::Server server(sopts);
+
+  // Pre-generate the measurements so the timed section is pure serving.
+  std::vector<serve::ParametrizeRequest> pending;
+  pending.reserve(static_cast<std::size_t>(requests));
+  Rng rng(seed);
+  for (Index i = 0; i < requests; ++i) {
+    const Index n = shapes[static_cast<std::size_t>(i) % shapes.size()];
+    const mea::DeviceSpec spec = mea::square_device(n);
+    const auto truth = mea::generate_field(spec, mea::random_scenario(spec, 1, rng), rng);
+    serve::ParametrizeRequest request;
+    request.measurement = mea::measure_exact(spec, truth);
+    request.options.strategy = core::Strategy::kFineGrained;
+    request.options.workers = 2;
+    request.options.chunk = 4;
+    request.options.keep_system = false;
+    request.inverse.max_iterations = 20;
+    pending.push_back(std::move(request));
+  }
+
+  Stopwatch wall;
+  std::vector<serve::Ticket> tickets;
+  tickets.reserve(pending.size());
+  for (serve::ParametrizeRequest& request : pending) {
+    tickets.push_back(server.submit(std::move(request), std::chrono::seconds(30)));
+  }
+  server.drain();
+  const Real wall_seconds = wall.elapsed_seconds();
+  Index ok = 0;
+  for (serve::Ticket& t : tickets) {
+    if (t.accepted() && t.future().get().status == serve::RequestStatus::kOk) ++ok;
+  }
+  server.shutdown();
+
+  const serve::Stats stats = server.stats();
+  std::cout << "served " << ok << "/" << requests << " requests in " << wall_seconds
+            << " s (" << static_cast<Real>(requests) / wall_seconds << " req/s), "
+            << stats.batches << " batches, mean batch " << stats.mean_batch_size
+            << ", queue high-water " << stats.queue_high_water << "/"
+            << sopts.queue_capacity << "\n";
+  Table table({"stage", "count", "mean_ms", "p50_ms", "p99_ms", "max_ms"});
+  const auto add_stage = [&table](const char* name, const serve::StageStats& s) {
+    table.add(name, static_cast<std::uint64_t>(s.count), s.mean_seconds * 1e3,
+              s.p50_seconds * 1e3, s.p99_seconds * 1e3, s.max_seconds * 1e3);
+  };
+  add_stage("queue_wait", stats.queue_wait);
+  add_stage("form", stats.form);
+  add_stage("solve", stats.solve);
+  add_stage("reconstruct", stats.reconstruct);
+  add_stage("end_to_end", stats.end_to_end);
+  table.write_pretty(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -194,6 +272,7 @@ int main(int argc, char** argv) {
     if (command == "form") return cmd_form(args);
     if (command == "solve") return cmd_solve(args);
     if (command == "render") return cmd_render(args);
+    if (command == "serve-bench") return cmd_serve_bench(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

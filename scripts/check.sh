@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Repo check: the tier-1 gate plus the ThreadSanitizer pass over the
+# concurrency-sensitive suites (ctest label `tsan`: test_exec, test_serve).
+#
+#   scripts/check.sh            # tier-1 build + full ctest, then TSan tsan-label run
+#   scripts/check.sh --no-tsan  # tier-1 only (fast inner loop)
+#
+# Build trees: ./build (tier-1) and ./build-tsan (-DPARMA_SANITIZE=thread).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 2)"
+run_tsan=1
+[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+
+echo "== tier-1: configure + build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}"
+
+echo "== tier-1: ctest =="
+(cd build && ctest --output-on-failure -j "${jobs}")
+
+if [[ "${run_tsan}" == "1" ]]; then
+  echo "== tsan: configure + build (label: tsan) =="
+  cmake -B build-tsan -S . -DPARMA_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "${jobs}" --target test_exec test_serve
+  echo "== tsan: ctest -L tsan =="
+  (cd build-tsan && ctest -L tsan --output-on-failure -j "${jobs}")
+fi
+
+echo "OK"

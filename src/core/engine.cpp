@@ -144,7 +144,15 @@ FormationResult Engine::form_equations(const StrategyOptions& options) const {
              : form_equations_virtual(options);
 }
 
-FormationResult Engine::form_equations_real(const StrategyOptions& options) const {
+FormationResult Engine::form_equations(const StrategyOptions& options,
+                                       exec::Executor& executor) const {
+  PARMA_REQUIRE(options.timing_mode == TimingMode::kRealThreads,
+                "caller-supplied executors require TimingMode::kRealThreads");
+  return form_equations_real(options, &executor);
+}
+
+FormationResult Engine::form_equations_real(const StrategyOptions& options,
+                                            exec::Executor* external) const {
   FormationResult result = empty_formation(spec());
   result.timing_mode = TimingMode::kRealThreads;
   result.effective_workers = effective_workers(options);
@@ -163,9 +171,15 @@ FormationResult Engine::form_equations_real(const StrategyOptions& options) cons
   std::vector<std::vector<equations::JointEquation>> slots(
       options.keep_system ? static_cast<std::size_t>(pairs) : 0);
 
-  const auto executor = exec::make_executor(backend_for(options), result.effective_workers);
+  std::unique_ptr<exec::Executor> owned;
+  if (external == nullptr) {
+    owned = exec::make_executor(backend_for(options), result.effective_workers);
+    external = owned.get();
+  }
+  exec::Executor& executor = *external;
+  result.effective_workers = executor.workers();
   std::mutex accum_mu;
-  const exec::BulkResult bulk = executor->submit_bulk(
+  const exec::BulkResult bulk = executor.submit_bulk(
       0, pairs, real_chunk(options, spec()),
       [&](Index lo, Index hi) {
         for (Index p = lo; p < hi; ++p) {

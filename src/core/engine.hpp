@@ -104,6 +104,15 @@ class Engine {
   /// options.timing_mode = kVirtualReplay selects the paper-figure replay.
   [[nodiscard]] FormationResult form_equations(const StrategyOptions& options) const;
 
+  /// Serving hook (parma::serve): forms on a caller-supplied, already-warmed
+  /// executor instead of constructing one per call, and skips option
+  /// re-validation -- the serving layer validates once at admission, so the
+  /// per-request hot path pays neither validation nor pool construction. The
+  /// executor's thread count is what actually runs (it wins over
+  /// options.workers). Requires timing_mode == kRealThreads.
+  [[nodiscard]] FormationResult form_equations(const StrategyOptions& options,
+                                               exec::Executor& executor) const;
+
   /// Fig. 9 pipeline: form, then write `workers` shards under `directory`
   /// (concurrently, one shard per executor task, in real mode).
   [[nodiscard]] IoResult write_equations(const std::string& directory,
@@ -138,7 +147,10 @@ class Engine {
       TaskGranularity granularity) const;
 
  private:
-  [[nodiscard]] FormationResult form_equations_real(const StrategyOptions& options) const;
+  /// `external` non-null runs on that executor (serving); null constructs
+  /// one per call from the strategy's backend mapping.
+  [[nodiscard]] FormationResult form_equations_real(const StrategyOptions& options,
+                                                    exec::Executor* external = nullptr) const;
   [[nodiscard]] FormationResult form_equations_virtual(const StrategyOptions& options) const;
 
   mea::Measurement measurement_;

@@ -16,4 +16,5 @@
 #include "exec/executor.hpp"         // exec::Backend, exec::Executor
 #include "mea/device.hpp"            // DeviceSpec
 #include "mea/measurement.hpp"       // Measurement, measure()/measure_exact()
+#include "serve/server.hpp"          // serve::Server (link parma_serve to use)
 #include "solver/inverse_solver.hpp" // InverseOptions, InverseResult

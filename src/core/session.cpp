@@ -22,6 +22,10 @@ std::shared_ptr<const equations::UnknownLayout> Session::layout() const {
 
 FormationResult Session::form() const { return engine_.form_equations(options_); }
 
+FormationResult Session::form(exec::Executor& executor) const {
+  return engine_.form_equations(options_, executor);
+}
+
 IoResult Session::write(const std::string& directory) const {
   return engine_.write_equations(directory, options_);
 }

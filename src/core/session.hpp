@@ -99,6 +99,11 @@ class Session {
   /// Forms the joint-constraint system under this session's configuration.
   [[nodiscard]] FormationResult form() const;
 
+  /// Serving hook: forms on a caller-supplied warmed executor. The options
+  /// were validated once at build(), so this path revalidates nothing per
+  /// call (see Engine::form_equations overload); requires kRealThreads.
+  [[nodiscard]] FormationResult form(exec::Executor& executor) const;
+
   /// Formation plus the sharded disk write (Fig. 9 pipeline).
   [[nodiscard]] IoResult write(const std::string& directory) const;
 

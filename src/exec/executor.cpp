@@ -111,4 +111,16 @@ std::unique_ptr<Executor> make_executor(Backend backend, Index workers) {
   return nullptr;
 }
 
+Executor& ExecutorCache::get(Backend backend, Index workers) {
+  // Serial executors ignore the worker count; collapse them onto one key so
+  // the cache never holds redundant instances.
+  const std::pair<Backend, Index> key{backend,
+                                      backend == Backend::kSerial ? Index{1} : workers};
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, make_executor(key.first, key.second)).first;
+  }
+  return *it->second;
+}
+
 }  // namespace parma::exec

@@ -21,7 +21,9 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/types.hpp"
@@ -135,5 +137,22 @@ class StealingExecutor final : public Executor {
 /// Factory. `backend` must be concrete (not kAuto); workers >= 1 (ignored by
 /// kSerial).
 std::unique_ptr<Executor> make_executor(Backend backend, Index workers);
+
+/// Keeps executors warm across calls: get() constructs one executor per
+/// (backend, workers) pair and returns the same instance thereafter, so a
+/// serving worker reuses spawned threads across batches instead of paying
+/// pool construction per request. NOT thread-safe -- intended to be owned by
+/// one thread (each serve pipeline worker carries its own cache).
+class ExecutorCache {
+ public:
+  /// The warmed executor for this configuration (constructed on first use).
+  [[nodiscard]] Executor& get(Backend backend, Index workers);
+
+  /// Distinct executor configurations constructed so far.
+  [[nodiscard]] std::size_t size() const { return cache_.size(); }
+
+ private:
+  std::map<std::pair<Backend, Index>, std::unique_ptr<Executor>> cache_;
+};
 
 }  // namespace parma::exec

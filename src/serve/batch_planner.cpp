@@ -1,0 +1,23 @@
+#include "serve/batch_planner.hpp"
+
+#include <sstream>
+
+namespace parma::serve {
+
+BatchKey batch_key(const mea::DeviceSpec& spec, const core::StrategyOptions& options) {
+  BatchKey key;
+  key.rows = spec.rows;
+  key.cols = spec.cols;
+  key.backend = core::backend_for(options);
+  key.workers = core::effective_workers(options);
+  return key;
+}
+
+std::string describe(const BatchKey& key) {
+  std::ostringstream os;
+  os << key.rows << "x" << key.cols << "/" << exec::backend_name(key.backend)
+     << " x" << key.workers;
+  return os.str();
+}
+
+}  // namespace parma::serve

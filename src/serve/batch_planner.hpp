@@ -1,0 +1,47 @@
+// Batch planning: which queued requests may share one serving batch.
+//
+// A batch reuses one warmed exec::Executor and one FormationCache entry, so
+// two requests are batchable iff they agree on the device shape (the cache
+// key: topology and unknown layout depend only on rows x cols) and on the
+// executor configuration their strategy resolves to (backend + effective
+// worker count). Strategy chunk size and keep_system may differ within a
+// batch -- they are per-submit_bulk parameters, not executor state.
+#pragma once
+
+#include <string>
+
+#include "core/strategy.hpp"
+#include "exec/executor.hpp"
+#include "mea/device.hpp"
+#include "serve/request.hpp"
+
+namespace parma::serve {
+
+struct BatchKey {
+  Index rows = 0;
+  Index cols = 0;
+  exec::Backend backend = exec::Backend::kSerial;
+  Index workers = 1;
+
+  bool operator==(const BatchKey&) const = default;
+};
+
+/// The batch key a request serves under (resolves kAuto backends and the
+/// category-strategy worker cap exactly as formation will).
+[[nodiscard]] BatchKey batch_key(const mea::DeviceSpec& spec,
+                                 const core::StrategyOptions& options);
+
+[[nodiscard]] inline BatchKey batch_key(const ParametrizeRequest& request) {
+  return batch_key(request.measurement.spec, request.options);
+}
+
+/// "8x8/pooled x4" -- for logs and the stats table.
+[[nodiscard]] std::string describe(const BatchKey& key);
+
+/// True when `candidate` may ride in a batch led by `front`.
+[[nodiscard]] inline bool batchable(const ParametrizeRequest& front,
+                                    const ParametrizeRequest& candidate) {
+  return batch_key(front) == batch_key(candidate);
+}
+
+}  // namespace parma::serve

@@ -1,0 +1,138 @@
+// Bounded, thread-safe admission queue with explicit backpressure and
+// batch-aware dequeue.
+//
+// try_push never blocks (false = full, the kQueueFull signal); push blocks
+// up to a timeout for space. pop_batch blocks for work and removes the front
+// item plus up to max_batch-1 later items the caller's predicate accepts
+// (FIFO order preserved) -- this is how the server groups same-shape
+// requests into one batch. close() wakes every waiter; a closed queue
+// rejects pushes and pop_batch returns empty once drained.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/require.hpp"
+
+namespace parma::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    PARMA_REQUIRE(capacity >= 1, "queue capacity must be >= 1");
+  }
+
+  /// Non-blocking push; false when the queue is full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+      high_water_ = std::max(high_water_, items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking push: waits up to `timeout` for space. False on timeout or
+  /// when the queue is (or becomes) closed.
+  bool push(T value, std::chrono::milliseconds timeout) {
+    {
+      std::unique_lock lock(mu_);
+      if (!not_full_.wait_for(lock, timeout, [&] {
+            return closed_ || items_.size() < capacity_;
+          })) {
+        return false;  // still full after the timeout
+      }
+      if (closed_) return false;
+      items_.push_back(std::move(value));
+      high_water_ = std::max(high_water_, items_.size());
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue is closed and empty, in
+  /// which case the result is empty). Returns the front item plus up to
+  /// max_batch-1 further queued items for which batchable(front, candidate)
+  /// is true, removed in FIFO order.
+  std::vector<T> pop_batch(std::size_t max_batch,
+                           const std::function<bool(const T&, const T&)>& batchable) {
+    PARMA_REQUIRE(max_batch >= 1, "max_batch must be >= 1");
+    std::vector<T> batch;
+    {
+      std::unique_lock lock(mu_);
+      not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return batch;  // closed and drained
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+      for (auto it = items_.begin(); it != items_.end() && batch.size() < max_batch;) {
+        if (batchable(batch.front(), *it)) {
+          batch.push_back(std::move(*it));
+          it = items_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+    not_full_.notify_all();
+    return batch;
+  }
+
+  /// Removes and returns everything currently queued (teardown path).
+  std::vector<T> drain_now() {
+    std::vector<T> all;
+    {
+      std::lock_guard lock(mu_);
+      all.assign(std::make_move_iterator(items_.begin()),
+                 std::make_move_iterator(items_.end()));
+      items_.clear();
+    }
+    not_full_.notify_all();
+    return all;
+  }
+
+  /// Rejects further pushes and wakes every waiter.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Deepest the queue has ever been (backpressure diagnostics).
+  [[nodiscard]] std::size_t high_water() const {
+    std::lock_guard lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace parma::serve

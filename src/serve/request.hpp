@@ -1,0 +1,92 @@
+// parma::serve -- request/response types of the parametrization service.
+//
+// A ParametrizeRequest is one unit of serving work: a measurement sweep plus
+// the strategy configuration to form it under, the inverse-solver options for
+// the solve stage, and an optional deadline. The server completes every
+// admitted request with a ParametrizeResult whose `status` says what
+// happened; a failed or expired request never takes down the server.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+
+#include "core/engine.hpp"
+#include "core/strategy.hpp"
+#include "mea/measurement.hpp"
+#include "solver/inverse_solver.hpp"
+
+namespace parma::serve {
+
+/// Monotonic clock used for deadlines and latency accounting.
+using Clock = std::chrono::steady_clock;
+
+/// Terminal status of one served request.
+enum class RequestStatus {
+  kOk,                ///< full pipeline ran; `inverse` holds the recovery
+  kDeadlineExceeded,  ///< the request's deadline passed before completion
+  kCancelled,         ///< cancelled via Ticket::cancel() (or server teardown)
+  kRejected,          ///< never admitted (queue full, shutdown, bad options)
+  kSolverFailed,      ///< a pipeline stage threw; `message` has the reason
+};
+
+const char* request_status_name(RequestStatus status);
+
+/// Outcome of a submit/try_submit call (admission-time backpressure signal;
+/// the request-level outcome is RequestStatus on the future).
+enum class SubmitStatus {
+  kAccepted,       ///< queued; the future completes when a worker finishes it
+  kQueueFull,      ///< bounded admission queue is full (after the timeout,
+                   ///< for the blocking submit); future completes kRejected
+  kShuttingDown,   ///< drain()/shutdown() already stopped admission
+  kInvalidOptions, ///< request failed admission validation
+};
+
+const char* submit_status_name(SubmitStatus status);
+
+/// One unit of serving work.
+struct ParametrizeRequest {
+  mea::Measurement measurement;
+  /// Formation configuration; validated once at admission. Serving runs on
+  /// real threads, so timing_mode must stay kRealThreads.
+  core::StrategyOptions options;
+  /// Solve-stage configuration (validated by the solver inside the pipeline;
+  /// a violation surfaces as kSolverFailed, not as an admission reject).
+  solver::InverseOptions inverse;
+  /// Relative deadline, converted to an absolute one at admission. A request
+  /// whose deadline passes while queued or between stages completes with
+  /// kDeadlineExceeded.
+  std::optional<std::chrono::milliseconds> timeout;
+  /// When set, the reconstruct stage also thresholds the recovered field at
+  /// this resistance (kOhm) and reports the anomaly count.
+  std::optional<Real> anomaly_threshold;
+};
+
+/// Completion record of one request.
+struct ParametrizeResult {
+  RequestStatus status = RequestStatus::kRejected;
+  std::string message;             ///< failure detail for non-kOk statuses
+
+  /// The recovery (valid when status == kOk).
+  solver::InverseResult inverse;
+  /// Topology report of the device shape, memoized in the server's
+  /// FormationCache across requests/batches (valid when kOk).
+  core::TopologyReport topology;
+  /// Anomalous cells above `anomaly_threshold` (when requested; kOk only).
+  Index anomalies = 0;
+
+  // Formation summary (the equation system itself is not returned).
+  Index equations = 0;
+  std::uint64_t equation_bytes = 0;
+
+  // Per-stage wall-clock seconds and batch placement.
+  Real queue_seconds = 0.0;   ///< admission to batch pickup
+  Real form_seconds = 0.0;
+  Real solve_seconds = 0.0;
+  Real reconstruct_seconds = 0.0;
+  Index batch_size = 0;       ///< size of the batch this request rode in
+
+  [[nodiscard]] bool ok() const { return status == RequestStatus::kOk; }
+};
+
+}  // namespace parma::serve

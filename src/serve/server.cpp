@@ -1,0 +1,361 @@
+#include "serve/server.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "common/stopwatch.hpp"
+#include "core/engine.hpp"
+
+namespace parma::serve {
+
+namespace {
+
+Real seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<Real>(to - from).count();
+}
+
+ParametrizeResult make_reject(std::string message) {
+  ParametrizeResult r;
+  r.status = RequestStatus::kRejected;
+  r.message = std::move(message);
+  return r;
+}
+
+}  // namespace
+
+const char* request_status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case RequestStatus::kCancelled: return "cancelled";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kSolverFailed: return "solver-failed";
+  }
+  return "?";
+}
+
+const char* submit_status_name(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kQueueFull: return "queue-full";
+    case SubmitStatus::kShuttingDown: return "shutting-down";
+    case SubmitStatus::kInvalidOptions: return "invalid-options";
+  }
+  return "?";
+}
+
+void ServerOptions::validate() const {
+  const auto fail = [](const char* what, auto got) {
+    std::ostringstream os;
+    os << "invalid ServerOptions: " << what << ", got " << got;
+    throw core::InvalidOptions(os.str());
+  };
+  if (queue_capacity < 1) fail("queue_capacity must be >= 1", queue_capacity);
+  if (workers < 1) fail("workers must be >= 1", workers);
+  if (max_batch < 1) fail("max_batch must be >= 1", max_batch);
+}
+
+void Ticket::cancel() {
+  if (pending_) pending_->cancelled.store(true, std::memory_order_relaxed);
+}
+
+Server::Server(ServerOptions options)
+    : options_(options),
+      cache_(std::make_shared<core::FormationCache>()),
+      queue_(options.queue_capacity) {
+  options_.validate();
+  if (!options_.deferred_start) start();
+}
+
+Server::~Server() { shutdown(); }
+
+void Server::start() {
+  std::lock_guard lock(state_mu_);
+  PARMA_REQUIRE(!shut_down_, "cannot start a server after shutdown");
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (Index w = 0; w < options_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Ticket Server::try_submit(ParametrizeRequest request) {
+  return admit(std::move(request), /*blocking=*/false, std::chrono::milliseconds{0});
+}
+
+Ticket Server::submit(ParametrizeRequest request, std::chrono::milliseconds timeout) {
+  return admit(std::move(request), /*blocking=*/true, timeout);
+}
+
+Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
+                     std::chrono::milliseconds timeout) {
+  stats_.on_submitted();
+  Ticket ticket;
+
+  // Admission-time validation -- the single validation the request ever
+  // gets; the pipeline hot path (Engine::form_equations overload) skips it.
+  std::string invalid;
+  try {
+    request.options.validate();
+    PARMA_REQUIRE(request.options.timing_mode == core::TimingMode::kRealThreads,
+                  "serving runs on real threads; kVirtualReplay is not servable");
+    request.measurement.spec.validate();
+    PARMA_REQUIRE(request.measurement.z.rows() == request.measurement.spec.rows &&
+                      request.measurement.z.cols() == request.measurement.spec.cols,
+                  "measurement matrix does not match device");
+  } catch (const std::exception& e) {
+    invalid = e.what();
+  }
+  if (!invalid.empty()) {
+    stats_.on_rejected_invalid();
+    std::promise<ParametrizeResult> promise;
+    ticket.future_ = promise.get_future();
+    ticket.admission_ = SubmitStatus::kInvalidOptions;
+    promise.set_value(make_reject(std::move(invalid)));
+    return ticket;
+  }
+
+  auto pending = std::make_shared<detail::PendingRequest>();
+  pending->request = std::move(request);
+  pending->enqueued_at = Clock::now();
+  if (pending->request.timeout) {
+    pending->deadline = pending->enqueued_at + *pending->request.timeout;
+  }
+  ticket.future_ = pending->promise.get_future();
+
+  {
+    std::lock_guard lock(state_mu_);
+    if (!accepting_ || shut_down_) {
+      stats_.on_rejected_shutting_down();
+      ticket.admission_ = SubmitStatus::kShuttingDown;
+      pending->promise.set_value(make_reject("server is shutting down"));
+      return ticket;
+    }
+    // Counted before the push so drain() cannot observe a zero-outstanding
+    // instant between admission and enqueue.
+    ++outstanding_;
+  }
+
+  const bool pushed =
+      blocking ? queue_.push(pending, timeout) : queue_.try_push(pending);
+  if (!pushed) {
+    {
+      std::lock_guard lock(state_mu_);
+      --outstanding_;
+      if (outstanding_ == 0) all_done_.notify_all();
+    }
+    const bool closed = queue_.closed();
+    if (closed) {
+      stats_.on_rejected_shutting_down();
+    } else {
+      stats_.on_rejected_queue_full();
+    }
+    ticket.admission_ = closed ? SubmitStatus::kShuttingDown : SubmitStatus::kQueueFull;
+    pending->promise.set_value(
+        make_reject(closed ? "server is shutting down" : "admission queue full"));
+    return ticket;
+  }
+
+  stats_.on_accepted();
+  ticket.admission_ = SubmitStatus::kAccepted;
+  ticket.pending_ = std::move(pending);
+  return ticket;
+}
+
+void Server::worker_loop() {
+  exec::ExecutorCache warm;  // this worker's executors, reused across batches
+  const auto can_batch = [](const PendingPtr& front, const PendingPtr& candidate) {
+    return batchable(front->request, candidate->request);
+  };
+  for (;;) {
+    std::vector<PendingPtr> batch = queue_.pop_batch(options_.max_batch, can_batch);
+    if (batch.empty()) return;  // queue closed and drained
+    process_batch(batch, warm);
+  }
+}
+
+void Server::process_batch(std::vector<PendingPtr>& batch, exec::ExecutorCache& warm) {
+  const auto batch_size = static_cast<Index>(batch.size());
+  stats_.on_batch(batch.size());
+  const Clock::time_point picked_up = Clock::now();
+
+  // Admit-stage exit checks: cancelled or expired requests leave the batch
+  // here, before any formation work.
+  std::vector<PendingPtr> runnable;
+  runnable.reserve(batch.size());
+  for (PendingPtr& p : batch) {
+    p->queue_seconds = seconds_between(p->enqueued_at, picked_up);
+    stats_.queue_wait.record(p->queue_seconds);
+    if (p->cancelled.load(std::memory_order_relaxed)) {
+      ParametrizeResult r;
+      r.status = RequestStatus::kCancelled;
+      r.message = "cancelled while queued";
+      r.queue_seconds = p->queue_seconds;
+      complete(p, std::move(r));
+      continue;
+    }
+    if (p->deadline && picked_up >= *p->deadline) {
+      ParametrizeResult r;
+      r.status = RequestStatus::kDeadlineExceeded;
+      r.message = "deadline passed while queued";
+      r.queue_seconds = p->queue_seconds;
+      complete(p, std::move(r));
+      continue;
+    }
+    runnable.push_back(std::move(p));
+  }
+  if (runnable.empty()) return;
+
+  // One warmed executor serves the whole batch (the requests agreed on
+  // backend + workers via the batch key). warm_executors = false is the
+  // naive baseline: serve_one lets the engine build a fresh executor per
+  // request.
+  exec::Executor* executor = nullptr;
+  if (options_.warm_executors) {
+    const BatchKey key = batch_key(runnable.front()->request);
+    executor = &warm.get(key.backend, key.workers);
+  }
+  for (const PendingPtr& p : runnable) {
+    const std::shared_ptr<core::FormationCache> cache =
+        options_.share_cache ? cache_ : std::make_shared<core::FormationCache>();
+    serve_one(p, executor, cache, batch_size);
+  }
+}
+
+void Server::serve_one(const PendingPtr& pending, exec::Executor* executor,
+                       const std::shared_ptr<core::FormationCache>& cache,
+                       Index batch_size) {
+  ParametrizeResult result;
+  result.batch_size = batch_size;
+  result.queue_seconds = pending->queue_seconds;
+  const auto expired = [&] {
+    return pending->deadline && Clock::now() >= *pending->deadline;
+  };
+  const auto cancelled = [&] {
+    return pending->cancelled.load(std::memory_order_relaxed);
+  };
+  // Any stage throwing completes this request alone -- the server and the
+  // rest of the batch carry on.
+  try {
+    core::Engine engine(std::move(pending->request.measurement));
+
+    // Stage: form.
+    Stopwatch form_clock;
+    const core::FormationResult formation =
+        (executor != nullptr)
+            ? engine.form_equations(pending->request.options, *executor)
+            : engine.form_equations(pending->request.options);
+    result.form_seconds = form_clock.elapsed_seconds();
+    stats_.form.record(result.form_seconds);
+    result.equations = engine.spec().num_equations();
+    result.equation_bytes = formation.equation_bytes;
+    if (cancelled()) {
+      result.status = RequestStatus::kCancelled;
+      result.message = "cancelled after formation";
+      complete(pending, std::move(result));
+      return;
+    }
+    if (expired()) {
+      result.status = RequestStatus::kDeadlineExceeded;
+      result.message = "deadline passed after formation";
+      complete(pending, std::move(result));
+      return;
+    }
+
+    // Stage: solve.
+    Stopwatch solve_clock;
+    solver::InverseResult inverse = engine.recover(pending->request.inverse);
+    result.solve_seconds = solve_clock.elapsed_seconds();
+    stats_.solve.record(result.solve_seconds);
+    if (cancelled()) {
+      result.status = RequestStatus::kCancelled;
+      result.message = "cancelled after solve";
+      complete(pending, std::move(result));
+      return;
+    }
+    if (expired()) {
+      result.status = RequestStatus::kDeadlineExceeded;
+      result.message = "deadline passed after solve";
+      complete(pending, std::move(result));
+      return;
+    }
+
+    // Stage: reconstruct -- assemble the response; the shape's topology
+    // report comes from the FormationCache (one analysis per shape).
+    Stopwatch reconstruct_clock;
+    result.topology = cache->topology(engine);
+    if (pending->request.anomaly_threshold) {
+      const auto& grid = inverse.recovered;
+      for (Index i = 0; i < grid.rows(); ++i) {
+        for (Index j = 0; j < grid.cols(); ++j) {
+          if (grid.at(i, j) > *pending->request.anomaly_threshold) ++result.anomalies;
+        }
+      }
+    }
+    result.inverse = std::move(inverse);
+    result.status = RequestStatus::kOk;
+    result.reconstruct_seconds = reconstruct_clock.elapsed_seconds();
+    stats_.reconstruct.record(result.reconstruct_seconds);
+    complete(pending, std::move(result));
+  } catch (const std::exception& e) {
+    result.status = RequestStatus::kSolverFailed;
+    result.message = e.what();
+    complete(pending, std::move(result));
+  }
+}
+
+void Server::complete(const PendingPtr& pending, ParametrizeResult&& result) {
+  switch (result.status) {
+    case RequestStatus::kOk: stats_.on_completed_ok(); break;
+    case RequestStatus::kDeadlineExceeded: stats_.on_deadline_exceeded(); break;
+    case RequestStatus::kCancelled: stats_.on_cancelled(); break;
+    case RequestStatus::kSolverFailed: stats_.on_solver_failed(); break;
+    case RequestStatus::kRejected: break;  // rejections never reach here
+  }
+  stats_.end_to_end.record(seconds_between(pending->enqueued_at, Clock::now()));
+  pending->promise.set_value(std::move(result));
+  std::lock_guard lock(state_mu_);
+  --outstanding_;
+  if (outstanding_ == 0) all_done_.notify_all();
+}
+
+void Server::drain() {
+  bool flush_unstarted = false;
+  {
+    std::lock_guard lock(state_mu_);
+    accepting_ = false;
+    flush_unstarted = !started_;
+  }
+  if (flush_unstarted) {
+    // No workers exist to serve what's queued; cancel it explicitly so every
+    // accepted future still completes exactly once.
+    for (PendingPtr& p : queue_.drain_now()) {
+      ParametrizeResult r;
+      r.status = RequestStatus::kCancelled;
+      r.message = "server drained before start";
+      complete(p, std::move(r));
+    }
+  }
+  std::unique_lock lock(state_mu_);
+  all_done_.wait(lock, [&] { return outstanding_ == 0; });
+}
+
+void Server::shutdown() {
+  drain();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(state_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+    workers.swap(workers_);
+  }
+  queue_.close();  // wakes idle workers; pop_batch returns empty
+  for (std::thread& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+Stats Server::stats() const { return stats_.snapshot(queue_.high_water()); }
+
+}  // namespace parma::serve

@@ -1,0 +1,170 @@
+// parma::serve::Server -- the batched, backpressured parametrization service.
+//
+//   serve::ServerOptions opts;
+//   opts.workers = 4;                       // pipeline worker threads
+//   opts.queue_capacity = 64;               // bounded admission queue
+//   serve::Server server(opts);
+//   serve::Ticket t = server.try_submit({measurement, strategy_options});
+//   if (t.admission() == serve::SubmitStatus::kQueueFull) { /* backpressure */ }
+//   serve::ParametrizeResult r = t.future().get();
+//   server.drain();      // stop admission, finish everything queued
+//   server.shutdown();   // then stop and join the workers
+//
+// Requests flow through a staged pipeline -- admit -> form -> solve ->
+// reconstruct -- run by a configurable pool of pipeline workers. The admit
+// stage is the bounded queue: try_submit never blocks (kQueueFull is the
+// backpressure signal), submit blocks for space up to a timeout. Workers
+// dequeue *batches* keyed by device shape (see batch_planner.hpp), so every
+// request in a batch reuses one warmed exec::Executor and one FormationCache
+// entry instead of paying thread-pool construction and topology analysis per
+// request. Every admitted request completes exactly once via its
+// std::future, with a per-request status; a failed or expired request never
+// takes down the server or poisons the rest of its batch.
+#pragma once
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/formation_cache.hpp"
+#include "serve/batch_planner.hpp"
+#include "serve/bounded_queue.hpp"
+#include "serve/request.hpp"
+#include "serve/stats.hpp"
+
+namespace parma::serve {
+
+struct ServerOptions {
+  /// Capacity of the bounded admission queue (the backpressure knob).
+  std::size_t queue_capacity = 64;
+  /// Pipeline worker threads running form/solve/reconstruct.
+  Index workers = 2;
+  /// Max requests per batch; 1 disables batching (the naive
+  /// one-session-per-request baseline the throughput bench compares against).
+  std::size_t max_batch = 8;
+  /// Keep one executor per (backend, workers) warm on each pipeline worker;
+  /// false constructs a fresh executor per request (naive baseline).
+  bool warm_executors = true;
+  /// Share one FormationCache across all requests (topology/layout computed
+  /// once per device shape); false gives every request a cold cache.
+  bool share_cache = true;
+  /// Construct stopped; call start() explicitly. Lets tests and benches
+  /// stage a full queue deterministically before any worker runs.
+  bool deferred_start = false;
+
+  /// Throws core::InvalidOptions for out-of-range values.
+  void validate() const;
+};
+
+namespace detail {
+
+/// Shared state of one admitted request; owned by the queue until a worker
+/// takes it, and by the Ticket for cancellation.
+struct PendingRequest {
+  ParametrizeRequest request;
+  std::promise<ParametrizeResult> promise;
+  std::atomic<bool> cancelled{false};
+  std::optional<Clock::time_point> deadline;
+  Clock::time_point enqueued_at{};
+  Real queue_seconds = 0.0;  ///< set by the worker at batch pickup
+};
+
+}  // namespace detail
+
+/// Handle to one submission: the admission verdict, the result future
+/// (always valid -- rejected submissions carry an already-completed future
+/// with status kRejected), and best-effort cancellation.
+class Ticket {
+ public:
+  Ticket() = default;
+
+  [[nodiscard]] SubmitStatus admission() const { return admission_; }
+  [[nodiscard]] bool accepted() const { return admission_ == SubmitStatus::kAccepted; }
+
+  /// The request's completion future. Valid exactly once per ticket.
+  [[nodiscard]] std::future<ParametrizeResult>& future() { return future_; }
+
+  /// Requests cancellation. Best-effort: a request already past its solve
+  /// stage completes kOk; one still queued (or between stages) completes
+  /// kCancelled. No-op on rejected tickets.
+  void cancel();
+
+ private:
+  friend class Server;
+  SubmitStatus admission_ = SubmitStatus::kShuttingDown;
+  std::future<ParametrizeResult> future_;
+  std::shared_ptr<detail::PendingRequest> pending_;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options = {});
+  ~Server();  // shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Spawns the pipeline workers (no-op when already started; constructor
+  /// calls this unless options.deferred_start).
+  void start();
+
+  /// Non-blocking admission: kQueueFull when the bounded queue is at
+  /// capacity. The ticket's future is always valid.
+  [[nodiscard]] Ticket try_submit(ParametrizeRequest request);
+
+  /// Blocking admission: waits up to `timeout` for queue space, then gives
+  /// up with kQueueFull.
+  [[nodiscard]] Ticket submit(ParametrizeRequest request,
+                              std::chrono::milliseconds timeout);
+
+  /// Stops admission (subsequent submissions come back kShuttingDown) and
+  /// blocks until every already-accepted request has completed. Requests
+  /// queued on a deferred-start server that was never started complete
+  /// kCancelled. Idempotent.
+  void drain();
+
+  /// drain(), then stops and joins the pipeline workers. Idempotent; called
+  /// by the destructor.
+  void shutdown();
+
+  /// Live snapshot; safe to call while the server is running.
+  [[nodiscard]] Stats stats() const;
+
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  [[nodiscard]] const std::shared_ptr<core::FormationCache>& cache() const {
+    return cache_;
+  }
+
+ private:
+  using PendingPtr = std::shared_ptr<detail::PendingRequest>;
+
+  Ticket admit(ParametrizeRequest&& request, bool blocking,
+               std::chrono::milliseconds timeout);
+  void worker_loop();
+  void process_batch(std::vector<PendingPtr>& batch, exec::ExecutorCache& warm);
+  void serve_one(const PendingPtr& pending, exec::Executor* executor,
+                 const std::shared_ptr<core::FormationCache>& cache,
+                 Index batch_size);
+  /// Completes the promise, records end-to-end latency + status counters,
+  /// and releases the drain waiter when this was the last outstanding
+  /// request.
+  void complete(const PendingPtr& pending, ParametrizeResult&& result);
+
+  ServerOptions options_;
+  std::shared_ptr<core::FormationCache> cache_;
+  BoundedQueue<PendingPtr> queue_;
+  StatsCollector stats_;
+
+  mutable std::mutex state_mu_;
+  std::condition_variable all_done_;
+  std::vector<std::thread> workers_;
+  std::int64_t outstanding_ = 0;  ///< accepted but not yet completed
+  bool accepting_ = true;
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace parma::serve

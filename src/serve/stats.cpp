@@ -1,0 +1,107 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace parma::serve {
+
+namespace {
+
+void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t current = target.load(std::memory_order_relaxed);
+  while (current < value &&
+         !target.compare_exchange_weak(current, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t LatencyHistogram::bucket_for(Real seconds) {
+  if (!(seconds > 0.0)) return 0;
+  Real us = seconds * 1e6;
+  std::size_t bucket = 0;
+  while (us >= 2.0 && bucket + 1 < kBuckets) {
+    us *= 0.5;
+    ++bucket;
+  }
+  return bucket;
+}
+
+Real LatencyHistogram::bucket_upper_seconds(std::size_t bucket) {
+  return std::ldexp(1e-6, static_cast<int>(bucket) + 1);
+}
+
+void LatencyHistogram::record(Real seconds) {
+  if (seconds < 0.0) seconds = 0.0;
+  counts_[bucket_for(seconds)].fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<std::uint64_t>(seconds * 1e9),
+                         std::memory_order_relaxed);
+  atomic_max(max_nanos_, static_cast<std::uint64_t>(seconds * 1e9));
+}
+
+Real LatencyHistogram::quantile_locked(
+    Real q, std::uint64_t total, const std::array<std::uint64_t, kBuckets>& counts) const {
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<Real>(total)));
+  std::uint64_t cumulative = 0;
+  const Real max_seconds = static_cast<Real>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += counts[b];
+    if (cumulative >= target) {
+      // Upper bucket boundary, clamped by the exact observed maximum.
+      return std::min(bucket_upper_seconds(b), max_seconds);
+    }
+  }
+  return max_seconds;
+}
+
+StageStats LatencyHistogram::snapshot() const {
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    counts[b] = counts_[b].load(std::memory_order_relaxed);
+    total += counts[b];
+  }
+  StageStats s;
+  s.count = total;
+  if (total == 0) return s;
+  s.mean_seconds = static_cast<Real>(total_nanos_.load(std::memory_order_relaxed)) * 1e-9 /
+                   static_cast<Real>(total);
+  s.max_seconds = static_cast<Real>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  s.p50_seconds = quantile_locked(0.50, total, counts);
+  s.p99_seconds = quantile_locked(0.99, total, counts);
+  return s;
+}
+
+void StatsCollector::on_batch(std::size_t size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  batched_requests_.fetch_add(size, std::memory_order_relaxed);
+  atomic_max(max_batch_, size);
+}
+
+Stats StatsCollector::snapshot(std::size_t queue_high_water) const {
+  Stats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.rejected_shutting_down = rejected_shutting_down_.load(std::memory_order_relaxed);
+  s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.completed_ok = completed_ok_.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.solver_failed = solver_failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  const std::uint64_t batched = batched_requests_.load(std::memory_order_relaxed);
+  s.mean_batch_size =
+      (s.batches > 0) ? static_cast<Real>(batched) / static_cast<Real>(s.batches) : 0.0;
+  s.queue_high_water = queue_high_water;
+  s.queue_wait = queue_wait.snapshot();
+  s.form = form.snapshot();
+  s.solve = solve.snapshot();
+  s.reconstruct = reconstruct.snapshot();
+  s.end_to_end = end_to_end.snapshot();
+  return s;
+}
+
+}  // namespace parma::serve

@@ -1,0 +1,121 @@
+// Serving statistics: lock-free counters plus per-stage latency histograms,
+// snapshotable while the server runs.
+//
+// Latencies go into fixed log2-bucketed histograms (1 us granularity at the
+// bottom, ~9 days at the top), so p50/p99 are deterministic bucket-boundary
+// estimates with no per-request allocation and no lock on the hot path.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace parma::serve {
+
+/// Snapshot of one stage's latency distribution.
+struct StageStats {
+  std::uint64_t count = 0;
+  Real mean_seconds = 0.0;
+  Real p50_seconds = 0.0;  ///< bucket-boundary estimate
+  Real p99_seconds = 0.0;  ///< bucket-boundary estimate
+  Real max_seconds = 0.0;  ///< exact
+};
+
+/// Snapshot of the whole server (Server::stats()).
+struct Stats {
+  // Admission counters.
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_shutting_down = 0;
+  std::uint64_t rejected_invalid = 0;
+
+  // Completion counters (one per admitted request, by terminal status).
+  std::uint64_t completed_ok = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t solver_failed = 0;
+
+  // Batching.
+  std::uint64_t batches = 0;
+  std::uint64_t max_batch = 0;
+  Real mean_batch_size = 0.0;
+
+  /// Deepest the admission queue has ever been.
+  std::size_t queue_high_water = 0;
+
+  // Per-stage latency distributions.
+  StageStats queue_wait;    ///< admission -> batch pickup
+  StageStats form;          ///< equation formation
+  StageStats solve;         ///< inverse recovery
+  StageStats reconstruct;   ///< result assembly + anomaly thresholding
+  StageStats end_to_end;    ///< admission -> completion
+
+  [[nodiscard]] std::uint64_t rejected() const {
+    return rejected_queue_full + rejected_shutting_down + rejected_invalid;
+  }
+  [[nodiscard]] std::uint64_t completed() const {
+    return completed_ok + deadline_exceeded + cancelled + solver_failed;
+  }
+};
+
+/// Thread-safe latency histogram; record() is wait-free (relaxed atomics).
+class LatencyHistogram {
+ public:
+  void record(Real seconds);
+  [[nodiscard]] StageStats snapshot() const;
+
+ private:
+  /// Bucket b covers [2^b, 2^(b+1)) microseconds; b = 0 also absorbs sub-us.
+  static constexpr std::size_t kBuckets = 40;
+  [[nodiscard]] static std::size_t bucket_for(Real seconds);
+  [[nodiscard]] static Real bucket_upper_seconds(std::size_t bucket);
+  [[nodiscard]] Real quantile_locked(Real q, std::uint64_t total,
+                                     const std::array<std::uint64_t, kBuckets>& counts) const;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> total_nanos_{0};
+  std::atomic<std::uint64_t> max_nanos_{0};
+};
+
+/// The server's live accumulator; every member is safe to bump from any
+/// worker/submitter thread while stats() snapshots concurrently.
+class StatsCollector {
+ public:
+  void on_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_accepted() { accepted_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected_queue_full() { rejected_queue_full_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected_shutting_down() { rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected_invalid() { rejected_invalid_.fetch_add(1, std::memory_order_relaxed); }
+  void on_completed_ok() { completed_ok_.fetch_add(1, std::memory_order_relaxed); }
+  void on_deadline_exceeded() { deadline_exceeded_.fetch_add(1, std::memory_order_relaxed); }
+  void on_cancelled() { cancelled_.fetch_add(1, std::memory_order_relaxed); }
+  void on_solver_failed() { solver_failed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_batch(std::size_t size);
+
+  LatencyHistogram queue_wait;
+  LatencyHistogram form;
+  LatencyHistogram solve;
+  LatencyHistogram reconstruct;
+  LatencyHistogram end_to_end;
+
+  [[nodiscard]] Stats snapshot(std::size_t queue_high_water) const;
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_queue_full_{0};
+  std::atomic<std::uint64_t> rejected_shutting_down_{0};
+  std::atomic<std::uint64_t> rejected_invalid_{0};
+  std::atomic<std::uint64_t> completed_ok_{0};
+  std::atomic<std::uint64_t> deadline_exceeded_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<std::uint64_t> solver_failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> batched_requests_{0};
+  std::atomic<std::uint64_t> max_batch_{0};
+};
+
+}  // namespace parma::serve
