@@ -257,6 +257,19 @@ int cmd_serve_bench(const Args& args) {
   add_stage("reconstruct", stats.reconstruct);
   add_stage("end_to_end", stats.end_to_end);
   table.write_pretty(std::cout);
+
+  // Resilience counters: all zero on a healthy run; retries/fallback rungs/
+  // breaker events say where the serving layer absorbed trouble.
+  std::cout << "resilience: retries " << stats.retries << " (successful "
+            << stats.retry_successes << "), solver not-converged "
+            << stats.solver_not_converged << ", fallback rungs tikhonov "
+            << stats.fallback_tikhonov << " dense " << stats.fallback_dense
+            << ", breaker opened " << stats.breaker_opened_events
+            << " (open shapes " << stats.breaker_open_shapes
+            << "), load-shed " << stats.rejected_load_shed
+            << ", degraded entered " << stats.degraded_entered
+            << ", invalid input " << stats.invalid_input + stats.rejected_invalid
+            << "\n";
   return 0;
 }
 

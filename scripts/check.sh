@@ -1,17 +1,28 @@
 #!/usr/bin/env bash
-# Repo check: the tier-1 gate plus the ThreadSanitizer pass over the
-# concurrency-sensitive suites (ctest label `tsan`: test_exec, test_serve).
+# Repo check: the tier-1 gate plus the sanitizer passes.
 #
-#   scripts/check.sh            # tier-1 build + full ctest, then TSan tsan-label run
-#   scripts/check.sh --no-tsan  # tier-1 only (fast inner loop)
+#   scripts/check.sh            # tier-1 build + full ctest, then TSan + ASan/UBSan passes
+#   scripts/check.sh --no-tsan  # skip the ThreadSanitizer pass
+#   scripts/check.sh --no-asan  # skip the ASan+UBSan pass
 #
-# Build trees: ./build (tier-1) and ./build-tsan (-DPARMA_SANITIZE=thread).
+# Sanitizer passes:
+#   - TSan (-DPARMA_SANITIZE=thread) over the concurrency-sensitive suites
+#     (ctest label `tsan`: test_exec, test_serve, test_fault) plus the chaos
+#     storms (`chaos` label: test_fault's all-points fault storm under three
+#     distinct PARMA_CHAOS_SEED values).
+#   - ASan+UBSan (-DPARMA_SANITIZE=address,undefined) over the same suites.
+#
+# Build trees: ./build (tier-1), ./build-tsan, ./build-asan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 2)"
 run_tsan=1
-[[ "${1:-}" == "--no-tsan" ]] && run_tsan=0
+run_asan=1
+for arg in "$@"; do
+  [[ "${arg}" == "--no-tsan" ]] && run_tsan=0
+  [[ "${arg}" == "--no-asan" ]] && run_asan=0
+done
 
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
@@ -21,11 +32,23 @@ echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "${jobs}")
 
 if [[ "${run_tsan}" == "1" ]]; then
-  echo "== tsan: configure + build (label: tsan) =="
+  echo "== tsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-tsan -S . -DPARMA_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${jobs}" --target test_exec test_serve
+  cmake --build build-tsan -j "${jobs}" --target test_exec test_serve test_fault
   echo "== tsan: ctest -L tsan =="
   (cd build-tsan && ctest -L tsan --output-on-failure -j "${jobs}")
+  echo "== tsan: ctest -L chaos (3 seeds) =="
+  (cd build-tsan && ctest -L chaos --output-on-failure -j "${jobs}")
+fi
+
+if [[ "${run_asan}" == "1" ]]; then
+  echo "== asan+ubsan: configure + build (labels: tsan, chaos) =="
+  cmake -B build-asan -S . -DPARMA_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "${jobs}" --target test_exec test_serve test_fault
+  echo "== asan+ubsan: ctest -L tsan =="
+  (cd build-asan && ctest -L tsan --output-on-failure -j "${jobs}")
+  echo "== asan+ubsan: ctest -L chaos (3 seeds) =="
+  (cd build-asan && ctest -L chaos --output-on-failure -j "${jobs}")
 fi
 
 echo "OK"

@@ -69,6 +69,10 @@ Engine::Engine(mea::Measurement measurement) : measurement_(std::move(measuremen
   measurement_.spec.validate();
   PARMA_REQUIRE(measurement_.z.rows() == spec().rows && measurement_.z.cols() == spec().cols,
                 "measurement matrix does not match device");
+  // Payload validation after the structural checks: a NaN or non-positive Z
+  // entry surfaces here as a typed InvalidMeasurement instead of propagating
+  // into the solve.
+  mea::validate_measurement(measurement_);
 }
 
 TopologyReport Engine::analyze_topology(bool exact_homology) const {

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <exception>
 #include <mutex>
+#include <thread>
 
 #include "common/require.hpp"
 #include "common/stopwatch.hpp"
+#include "fault/injector.hpp"
 #include "parallel/parallel_for.hpp"
 
 namespace parma::exec {
@@ -37,15 +39,39 @@ BulkResult Executor::submit_bulk(Index begin, Index end, Index chunk,
     result.elapsed_seconds = clock.elapsed_seconds();
     return result;
   }
+
+  // Chaos hooks: with an injector installed, each chunk may stall (slow-task
+  // simulation) or throw InjectedFault (spurious worker failure, surfaced to
+  // the caller through the normal exception path). The wrapper exists only
+  // while an injector is live -- the disabled path runs `fn` untouched, so
+  // production pays one atomic load per submit_bulk, not per chunk.
+  std::function<void(Index, Index)> chaos_fn;
+  const std::function<void(Index, Index)>* run = &fn;
+  if (fault::installed() != nullptr) {
+    chaos_fn = [&fn](Index lo, Index hi) {
+      if (fault::should_fire(fault::Point::kSlowTask)) {
+        if (fault::Injector* injector = fault::installed()) {
+          std::this_thread::sleep_for(injector->stall);
+        }
+      }
+      if (fault::should_fire(fault::Point::kTaskFailure)) {
+        throw fault::InjectedFault("injected task failure");
+      }
+      fn(lo, hi);
+    };
+    run = &chaos_fn;
+  }
+  const std::function<void(Index, Index)>& fn_maybe_chaotic = *run;
+
   if (!capture_costs) {
-    run_chunks(begin, end, chunk, fn);
+    run_chunks(begin, end, chunk, fn_maybe_chaotic);
   } else {
     std::mutex mu;
     std::vector<TaskCost> costs;
     costs.reserve(static_cast<std::size_t>((end - begin + chunk - 1) / chunk));
     run_chunks(begin, end, chunk, [&](Index lo, Index hi) {
       Stopwatch chunk_clock;
-      fn(lo, hi);
+      fn_maybe_chaotic(lo, hi);
       const Real seconds = chunk_clock.elapsed_seconds();
       std::lock_guard lock(mu);
       costs.push_back({lo, hi, seconds});

@@ -1,0 +1,90 @@
+#include "fault/injector.hpp"
+
+#include "common/require.hpp"
+
+namespace parma::fault {
+
+namespace detail {
+std::atomic<Injector*> g_injector{nullptr};
+}  // namespace detail
+
+namespace {
+
+/// SplitMix64 finalizer: a well-mixed 64-bit hash of the combined
+/// (seed, point, query) identity. Same construction as Rng's seeding.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+const char* point_name(Point point) {
+  switch (point) {
+    case Point::kDropMeasurement: return "drop-measurement";
+    case Point::kNoiseMeasurement: return "noise-measurement";
+    case Point::kCgNonConvergence: return "cg-non-convergence";
+    case Point::kTaskFailure: return "task-failure";
+    case Point::kSlowTask: return "slow-task";
+    case Point::kAllocFailure: return "alloc-failure";
+  }
+  return "?";
+}
+
+Injector::Injector(std::uint64_t seed) : seed_(seed) {}
+
+void Injector::arm(Point point, Schedule schedule) {
+  PARMA_REQUIRE(schedule.probability >= 0.0 && schedule.probability <= 1.0,
+                "fault probability must be in [0, 1]");
+  points_[static_cast<std::size_t>(point)].schedule = schedule;
+}
+
+void Injector::arm_all(Schedule schedule) {
+  for (int p = 0; p < kNumPoints; ++p) arm(static_cast<Point>(p), schedule);
+}
+
+bool Injector::should_fire(Point point) {
+  PointState& state = points_[static_cast<std::size_t>(point)];
+  // Claim this query's index first so the (seed, point, index) decision is
+  // stable no matter how threads interleave.
+  const std::uint64_t query = state.queries.fetch_add(1, std::memory_order_relaxed);
+  const Schedule& schedule = state.schedule;  // immutable while installed
+  if (schedule.probability <= 0.0) return false;
+  if (query < schedule.skip_first) return false;
+  if (schedule.probability < 1.0) {
+    const std::uint64_t draw = mix64(
+        mix64(seed_ ^ (static_cast<std::uint64_t>(point) + 1)) + query);
+    // Top 53 bits -> uniform double in [0, 1), the same mapping Rng uses.
+    const Real u = static_cast<Real>(draw >> 11) * 0x1.0p-53;
+    if (u >= schedule.probability) return false;
+  }
+  // Claim one of the max_fires slots; losing the CAS race re-checks the cap.
+  std::uint64_t fired = state.fires.load(std::memory_order_relaxed);
+  do {
+    if (fired >= schedule.max_fires) return false;
+  } while (!state.fires.compare_exchange_weak(fired, fired + 1,
+                                              std::memory_order_relaxed));
+  return true;
+}
+
+std::uint64_t Injector::queries(Point point) const {
+  return points_[static_cast<std::size_t>(point)].queries.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::fires(Point point) const {
+  return points_[static_cast<std::size_t>(point)].fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Injector::total_fires() const {
+  std::uint64_t total = 0;
+  for (int p = 0; p < kNumPoints; ++p) total += fires(static_cast<Point>(p));
+  return total;
+}
+
+void install(Injector* injector) {
+  detail::g_injector.store(injector, std::memory_order_release);
+}
+
+}  // namespace parma::fault

@@ -1,0 +1,139 @@
+// parma::fault -- deterministic, seeded fault injection for chaos testing.
+//
+// The library is compiled with named injection points at the spots that can
+// fail in production: measurement entries can drop or pick up noise in
+// flight, the CG solve can refuse to converge, an executor chunk can throw
+// or stall, an allocation can fail. Each point is a single inline call
+//
+//   if (fault::should_fire(fault::Point::kCgNonConvergence)) { ... }
+//
+// which costs one relaxed atomic load and a predictable branch when no
+// injector is installed -- the disabled configuration is the production
+// configuration, and bench/fault_overhead.cpp holds it to <2% serve
+// throughput overhead.
+//
+// Decisions are deterministic: whether query #q at point p fires depends
+// only on (seed, p, q) via a SplitMix64-style hash, never on thread
+// interleaving, so a chaos run with a given seed injects a reproducible
+// fault schedule. Per-point schedules bound the blast radius (probability,
+// max_fires, skip_first), which is how tests arrange "faults that are
+// retried away": a point armed with max_fires = 1 poisons the first attempt
+// and leaves every retry clean.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/types.hpp"
+
+namespace parma::fault {
+
+/// Named injection points compiled into the library.
+enum class Point : int {
+  kDropMeasurement = 0,  ///< serve: one Z entry becomes NaN for this attempt
+  kNoiseMeasurement,     ///< serve: one Z entry is negated for this attempt
+  kCgNonConvergence,     ///< linalg: conjugate_gradient reports converged=false
+  kTaskFailure,          ///< exec: a bulk chunk throws InjectedFault
+  kSlowTask,             ///< exec: a bulk chunk stalls for Injector::stall
+  kAllocFailure,         ///< serve: the form stage throws std::bad_alloc
+};
+
+inline constexpr int kNumPoints = 6;
+
+const char* point_name(Point point);
+
+/// Thrown by a fired kTaskFailure point (and usable by tests to distinguish
+/// injected failures from organic ones).
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-point firing schedule.
+struct Schedule {
+  /// Probability that a query fires, in [0, 1]. 0 disarms the point.
+  Real probability = 0.0;
+  /// Hard cap on total fires at this point (claimed atomically, so the cap
+  /// holds under concurrency). Defaults to unlimited.
+  std::uint64_t max_fires = ~std::uint64_t{0};
+  /// Queries to let through before the schedule applies.
+  std::uint64_t skip_first = 0;
+};
+
+/// Seeded, thread-safe fault injector. Configure the points (arm/arm_all)
+/// BEFORE installing; should_fire is safe from any thread, reconfiguring a
+/// live injector is not.
+class Injector {
+ public:
+  explicit Injector(std::uint64_t seed = 0);
+
+  void arm(Point point, Schedule schedule);
+  void arm_all(Schedule schedule);
+
+  /// Decides query #n at `point` (n = this point's query counter, claimed
+  /// atomically). Deterministic in (seed, point, n); thread-safe.
+  bool should_fire(Point point);
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] std::uint64_t queries(Point point) const;
+  [[nodiscard]] std::uint64_t fires(Point point) const;
+  [[nodiscard]] std::uint64_t total_fires() const;
+
+  /// How long a fired kSlowTask point stalls its chunk.
+  std::chrono::milliseconds stall{2};
+
+ private:
+  struct PointState {
+    Schedule schedule;
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  std::uint64_t seed_;
+  std::array<PointState, kNumPoints> points_;
+};
+
+namespace detail {
+extern std::atomic<Injector*> g_injector;
+}
+
+/// Installs `injector` as the process-wide active injector; nullptr disarms.
+/// Not meant to race with in-flight work at the injection points.
+void install(Injector* injector);
+
+/// The active injector, or nullptr when fault injection is disabled.
+inline Injector* installed() noexcept {
+  return detail::g_injector.load(std::memory_order_acquire);
+}
+
+/// The hot-path check every injection point uses. When no injector is
+/// installed this is one atomic load + branch.
+inline bool should_fire(Point point) {
+  Injector* injector = installed();
+  return injector != nullptr && injector->should_fire(point);
+}
+
+/// RAII install/uninstall for tests:
+///   fault::ScopedInjector chaos(seed);
+///   chaos->arm(fault::Point::kTaskFailure, {1.0, 1});
+class ScopedInjector {
+ public:
+  explicit ScopedInjector(std::uint64_t seed = 0) : injector_(seed) {
+    install(&injector_);
+  }
+  ~ScopedInjector() { install(nullptr); }
+
+  ScopedInjector(const ScopedInjector&) = delete;
+  ScopedInjector& operator=(const ScopedInjector&) = delete;
+
+  Injector* operator->() { return &injector_; }
+  [[nodiscard]] Injector& get() { return injector_; }
+
+ private:
+  Injector injector_;
+};
+
+}  // namespace parma::fault

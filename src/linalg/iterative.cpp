@@ -3,13 +3,19 @@
 #include <cmath>
 
 #include "common/require.hpp"
+#include "fault/injector.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace parma::linalg {
 
-IterativeResult conjugate_gradient(const CsrMatrix& a, const std::vector<Real>& b,
-                                   const IterativeOptions& options,
-                                   std::vector<Real> x0) {
+namespace {
+
+// Shared CG body over any matrix with multiply(vector); `diag` is the main
+// diagonal for the Jacobi preconditioner.
+template <typename Matrix>
+IterativeResult cg_impl(const Matrix& a, std::vector<Real> diag,
+                        const std::vector<Real>& b, const IterativeOptions& options,
+                        std::vector<Real> x0) {
   PARMA_REQUIRE(a.rows() == a.cols(), "CG needs a square matrix");
   PARMA_REQUIRE(static_cast<Index>(b.size()) == a.rows(), "CG rhs size mismatch");
   const std::size_t n = b.size();
@@ -17,6 +23,15 @@ IterativeResult conjugate_gradient(const CsrMatrix& a, const std::vector<Real>& 
   IterativeResult result;
   result.x = x0.empty() ? std::vector<Real>(n, 0.0) : std::move(x0);
   PARMA_REQUIRE(result.x.size() == n, "CG x0 size mismatch");
+
+  // Chaos hook: a fired kCgNonConvergence point reports the seed iterate as
+  // non-converged with a full residual, exactly what an ill-conditioned
+  // system stalling at max_iterations looks like to the caller.
+  if (fault::should_fire(fault::Point::kCgNonConvergence)) {
+    result.relative_residual = 1.0;
+    result.converged = false;
+    return result;
+  }
 
   const Real norm_b = norm2(b);
   if (norm_b == 0.0) {
@@ -27,7 +42,7 @@ IterativeResult conjugate_gradient(const CsrMatrix& a, const std::vector<Real>& 
 
   // Jacobi preconditioner M = diag(A); fall back to identity on zero diagonal
   // (e.g. a grounded Laplacian row removed elsewhere).
-  std::vector<Real> inv_diag = a.diagonal();
+  std::vector<Real> inv_diag = std::move(diag);
   for (Real& d : inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
 
   std::vector<Real> r = subtract(b, a.multiply(result.x));
@@ -63,6 +78,24 @@ IterativeResult conjugate_gradient(const CsrMatrix& a, const std::vector<Real>& 
   result.relative_residual = norm2(r) / norm_b;
   result.converged = result.relative_residual <= options.tolerance;
   return result;
+}
+
+}  // namespace
+
+IterativeResult conjugate_gradient(const CsrMatrix& a, const std::vector<Real>& b,
+                                   const IterativeOptions& options,
+                                   std::vector<Real> x0) {
+  PARMA_REQUIRE(a.rows() == a.cols(), "CG needs a square matrix");
+  return cg_impl(a, a.diagonal(), b, options, std::move(x0));
+}
+
+IterativeResult conjugate_gradient(const DenseMatrix& a, const std::vector<Real>& b,
+                                   const IterativeOptions& options,
+                                   std::vector<Real> x0) {
+  PARMA_REQUIRE(a.rows() == a.cols(), "CG needs a square matrix");
+  std::vector<Real> diag(static_cast<std::size_t>(a.rows()));
+  for (Index i = 0; i < a.rows(); ++i) diag[static_cast<std::size_t>(i)] = a(i, i);
+  return cg_impl(a, std::move(diag), b, options, std::move(x0));
 }
 
 IterativeResult gauss_seidel(const CsrMatrix& a, const std::vector<Real>& b,

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "linalg/dense_matrix.hpp"
 #include "linalg/sparse_matrix.hpp"
 
 namespace parma::linalg {
@@ -23,6 +24,13 @@ struct IterativeResult {
 /// Conjugate gradient for symmetric positive-(semi)definite A, with Jacobi
 /// (diagonal) preconditioning. `x0` seeds the iteration (zeros if empty).
 IterativeResult conjugate_gradient(const CsrMatrix& a, const std::vector<Real>& b,
+                                   const IterativeOptions& options = {},
+                                   std::vector<Real> x0 = {});
+
+/// Dense overload (same algorithm and preconditioning); lets the solver
+/// fallback ladder drive the LM normal equations through the identical
+/// CG -> Tikhonov -> dense escalation as the sparse full-system path.
+IterativeResult conjugate_gradient(const DenseMatrix& a, const std::vector<Real>& b,
                                    const IterativeOptions& options = {},
                                    std::vector<Real> x0 = {});
 

@@ -1,6 +1,8 @@
 #include "mea/measurement.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <sstream>
 
 #include "common/require.hpp"
 
@@ -32,6 +34,27 @@ Measurement measure(const DeviceSpec& spec, const circuit::ResistanceGrid& truth
 Measurement measure_exact(const DeviceSpec& spec, const circuit::ResistanceGrid& truth) {
   Rng unused(0);
   return measure(spec, truth, MeasurementOptions{}, unused);
+}
+
+void validate_measurement(const Measurement& measurement) {
+  const auto fail = [](const char* what, Index i, Index j, Real value) {
+    std::ostringstream os;
+    os << "invalid measurement: " << what << " at (" << i << ", " << j << "): " << value;
+    throw InvalidMeasurement(os.str());
+  };
+  for (Index i = 0; i < measurement.z.rows(); ++i) {
+    for (Index j = 0; j < measurement.z.cols(); ++j) {
+      const Real z = measurement.z(i, j);
+      if (!std::isfinite(z)) fail("non-finite Z", i, j, z);
+      if (z <= 0.0) fail("non-positive Z", i, j, z);
+    }
+  }
+  for (Index i = 0; i < measurement.u.rows(); ++i) {
+    for (Index j = 0; j < measurement.u.cols(); ++j) {
+      const Real u = measurement.u(i, j);
+      if (!std::isfinite(u)) fail("non-finite U", i, j, u);
+    }
+  }
 }
 
 }  // namespace parma::mea

@@ -7,12 +7,24 @@
 // optionally corrupted by multiplicative instrument noise.
 #pragma once
 
+#include <stdexcept>
+
 #include "circuit/crossbar.hpp"
 #include "common/rng.hpp"
 #include "linalg/dense_matrix.hpp"
 #include "mea/device.hpp"
 
 namespace parma::mea {
+
+/// A measurement whose payload is physically impossible: non-finite or
+/// non-positive Z (two-point resistance of a positive network is > 0), or a
+/// non-finite drive voltage. Thrown by validate_measurement; callers that
+/// admit external data (core::Engine, serve admission) surface it as a typed
+/// invalid-input error instead of letting NaN reach the solver.
+class InvalidMeasurement : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// One measurement session: everything Parma's inverse problem consumes.
 struct Measurement {
@@ -36,5 +48,10 @@ Measurement measure(const DeviceSpec& spec, const circuit::ResistanceGrid& truth
 
 /// Noise-free convenience overload.
 Measurement measure_exact(const DeviceSpec& spec, const circuit::ResistanceGrid& truth);
+
+/// Payload validation (spec/shape checks live in DeviceSpec::validate and
+/// the consumers): every Z entry finite and positive, every U entry finite.
+/// Throws InvalidMeasurement naming the first offending entry.
+void validate_measurement(const Measurement& measurement);
 
 }  // namespace parma::mea

@@ -5,6 +5,7 @@
 #include <exception>
 #include <future>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/require.hpp"
@@ -94,7 +95,14 @@ void parallel_for_chunked(ThreadPool& pool, Index begin, Index end,
     }
   }
   for (auto& f : futures) f.get();
-  if (state->error) std::rethrow_exception(state->error);
+  if (state->error) {
+    // Move the exception out of the shared state before rethrowing: pool
+    // workers may still hold `state` and would otherwise perform the final
+    // release of the exception object on their own thread, concurrent with
+    // the caller inspecting what() after catching the rethrow.
+    std::exception_ptr error = std::exchange(state->error, nullptr);
+    std::rethrow_exception(std::move(error));
+  }
 }
 
 void parallel_for(ThreadPool& pool, Index begin, Index end,

@@ -1,0 +1,105 @@
+#include "serve/circuit_breaker.hpp"
+
+namespace parma::serve {
+
+const char* breaker_state_name(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+BreakerBoard::BreakerBoard(BreakerOptions options) : options_(options) {}
+
+void BreakerBoard::open(Breaker& breaker, Clock::time_point now) {
+  breaker.state = BreakerState::kOpen;
+  breaker.opened_at = now;
+  breaker.consecutive_failures = 0;
+  breaker.probe_in_flight = false;
+  ++opened_events_;
+}
+
+bool BreakerBoard::allow(const Shape& shape, Clock::time_point now) {
+  if (options_.failure_threshold <= 0) return true;
+  std::lock_guard lock(mu_);
+  auto it = breakers_.find(shape);
+  if (it == breakers_.end()) return true;  // never failed: implicitly closed
+  Breaker& breaker = it->second;
+  switch (breaker.state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - breaker.opened_at < options_.cooldown) return false;
+      breaker.state = BreakerState::kHalfOpen;
+      breaker.probe_in_flight = true;
+      return true;  // this request is the probe
+    case BreakerState::kHalfOpen:
+      if (breaker.probe_in_flight) return false;  // one probe at a time
+      breaker.probe_in_flight = true;
+      return true;
+  }
+  return true;
+}
+
+void BreakerBoard::on_success(const Shape& shape) {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard lock(mu_);
+  auto it = breakers_.find(shape);
+  if (it == breakers_.end()) return;
+  it->second = Breaker{};  // fully healthy again
+}
+
+void BreakerBoard::on_failure(const Shape& shape, Clock::time_point now) {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard lock(mu_);
+  Breaker& breaker = breakers_[shape];
+  switch (breaker.state) {
+    case BreakerState::kHalfOpen:
+      // The probe failed: straight back to open for another cooldown.
+      open(breaker, now);
+      break;
+    case BreakerState::kClosed:
+      if (++breaker.consecutive_failures >= options_.failure_threshold) {
+        open(breaker, now);
+      }
+      break;
+    case BreakerState::kOpen:
+      // A request that was already in flight when the breaker opened; the
+      // breaker is open, nothing more to record.
+      break;
+  }
+}
+
+void BreakerBoard::on_neutral(const Shape& shape) {
+  if (options_.failure_threshold <= 0) return;
+  std::lock_guard lock(mu_);
+  auto it = breakers_.find(shape);
+  if (it == breakers_.end()) return;
+  if (it->second.state == BreakerState::kHalfOpen) {
+    it->second.probe_in_flight = false;  // let another probe try
+  }
+}
+
+BreakerState BreakerBoard::state(const Shape& shape) const {
+  std::lock_guard lock(mu_);
+  auto it = breakers_.find(shape);
+  return it == breakers_.end() ? BreakerState::kClosed : it->second.state;
+}
+
+std::size_t BreakerBoard::open_shapes() const {
+  std::lock_guard lock(mu_);
+  std::size_t open = 0;
+  for (const auto& [shape, breaker] : breakers_) {
+    if (breaker.state != BreakerState::kClosed) ++open;
+  }
+  return open;
+}
+
+std::uint64_t BreakerBoard::opened_events() const {
+  std::lock_guard lock(mu_);
+  return opened_events_;
+}
+
+}  // namespace parma::serve

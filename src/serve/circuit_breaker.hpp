@@ -1,0 +1,93 @@
+// Per-shape circuit breaker for the serving pipeline.
+//
+// Solver failures cluster by device shape: an ill-conditioned batch of
+// 12x12 sweeps keeps being ill-conditioned, and every doomed solve burns a
+// pipeline worker for a full solver timeout. The breaker turns that into a
+// fast failure: after `failure_threshold` consecutive kSolverFailed
+// completions of a shape, the shape's breaker OPENS and requests for it
+// complete kBreakerOpen immediately (no solve). After `cooldown` the breaker
+// goes HALF-OPEN and lets exactly one probe request through; a successful
+// probe closes the breaker, a failed one re-opens it for another cooldown.
+//
+//          success               failure x threshold
+//   CLOSED <------- HALF-OPEN <------------------ CLOSED
+//      \               ^   \                        ^
+//       failure x N    |    `- probe failed -> OPEN |
+//        `-> OPEN -----'        (cooldown again)    |
+//             (after cooldown, one probe)       success
+//
+// State is per BatchKey-shape, guarded by one mutex -- the breaker sits on
+// the batch path (a handful of lookups per batch), not inside the solve.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+
+#include "common/types.hpp"
+#include "serve/request.hpp"
+
+namespace parma::serve {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* breaker_state_name(BreakerState state);
+
+struct BreakerOptions {
+  /// Consecutive solver failures of one shape that open its breaker.
+  /// 0 disables the breaker entirely (every allow() passes).
+  Index failure_threshold = 5;
+  /// How long an open breaker rejects before letting a half-open probe by.
+  std::chrono::milliseconds cooldown{250};
+};
+
+/// The per-shape breaker board. All methods are thread-safe.
+class BreakerBoard {
+ public:
+  explicit BreakerBoard(BreakerOptions options = {});
+
+  /// Shape identity: requests batch by rows x cols (plus execution config,
+  /// which does not affect solver health).
+  struct Shape {
+    Index rows = 0;
+    Index cols = 0;
+    bool operator<(const Shape& other) const {
+      return rows != other.rows ? rows < other.rows : cols < other.cols;
+    }
+  };
+
+  /// May a request for `shape` run now? Open breakers reject until the
+  /// cooldown elapses, then admit exactly one probe (half-open).
+  [[nodiscard]] bool allow(const Shape& shape, Clock::time_point now);
+
+  /// Terminal-status feedback for a request that was allowed through.
+  void on_success(const Shape& shape);
+  void on_failure(const Shape& shape, Clock::time_point now);
+  /// Neutral outcome (deadline/cancel): releases a half-open probe slot
+  /// without judging the shape.
+  void on_neutral(const Shape& shape);
+
+  [[nodiscard]] BreakerState state(const Shape& shape) const;
+  /// Shapes currently open or half-open (stats gauge).
+  [[nodiscard]] std::size_t open_shapes() const;
+  /// Closed->open and half-open->open transitions since construction.
+  [[nodiscard]] std::uint64_t opened_events() const;
+
+ private:
+  struct Breaker {
+    BreakerState state = BreakerState::kClosed;
+    Index consecutive_failures = 0;
+    Clock::time_point opened_at{};
+    bool probe_in_flight = false;
+  };
+
+  void open(Breaker& breaker, Clock::time_point now);
+
+  BreakerOptions options_;
+  mutable std::mutex mu_;
+  std::map<Shape, Breaker> breakers_;
+  std::uint64_t opened_events_ = 0;
+};
+
+}  // namespace parma::serve

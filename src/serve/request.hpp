@@ -14,6 +14,7 @@
 #include "core/engine.hpp"
 #include "core/strategy.hpp"
 #include "mea/measurement.hpp"
+#include "solver/full_system_solver.hpp"
 #include "solver/inverse_solver.hpp"
 
 namespace parma::serve {
@@ -28,6 +29,8 @@ enum class RequestStatus {
   kCancelled,         ///< cancelled via Ticket::cancel() (or server teardown)
   kRejected,          ///< never admitted (queue full, shutdown, bad options)
   kSolverFailed,      ///< a pipeline stage threw; `message` has the reason
+  kInvalidInput,      ///< measurement payload rejected (non-finite/negative Z)
+  kBreakerOpen,       ///< fast-failed: this shape's circuit breaker is open
 };
 
 const char* request_status_name(RequestStatus status);
@@ -40,9 +43,24 @@ enum class SubmitStatus {
                    ///< for the blocking submit); future completes kRejected
   kShuttingDown,   ///< drain()/shutdown() already stopped admission
   kInvalidOptions, ///< request failed admission validation
+  kLoadShed,       ///< degraded mode fast-rejected this low-priority request
 };
 
 const char* submit_status_name(SubmitStatus status);
+
+/// Scheduling weight under degraded mode: when the admission queue stays at
+/// its high-water mark, kLow work is shed at admission (kLoadShed) so the
+/// server keeps absorbing the traffic that matters.
+enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+const char* priority_name(Priority priority);
+
+/// Which solver runs the solve stage.
+enum class SolveMethod {
+  kLevenbergMarquardt,  ///< per-pair elimination LM (the fast production path)
+  kFullSystem,          ///< Gauss-Newton + CG on the full joint-constraint
+                        ///< system (paper IV-A); exercises the fallback ladder
+};
 
 /// One unit of serving work.
 struct ParametrizeRequest {
@@ -53,6 +71,11 @@ struct ParametrizeRequest {
   /// Solve-stage configuration (validated by the solver inside the pipeline;
   /// a violation surfaces as kSolverFailed, not as an admission reject).
   solver::InverseOptions inverse;
+  /// Solver selection; kFullSystem uses `full_system` instead of `inverse`
+  /// and forces keep_system for its formation.
+  SolveMethod solve_method = SolveMethod::kLevenbergMarquardt;
+  /// Full-system solve configuration (used when solve_method == kFullSystem).
+  solver::FullSystemOptions full_system;
   /// Relative deadline, converted to an absolute one at admission. A request
   /// whose deadline passes while queued or between stages completes with
   /// kDeadlineExceeded.
@@ -60,6 +83,8 @@ struct ParametrizeRequest {
   /// When set, the reconstruct stage also thresholds the recovered field at
   /// this resistance (kOhm) and reports the anomaly count.
   std::optional<Real> anomaly_threshold;
+  /// Degraded-mode shedding class (see Priority).
+  Priority priority = Priority::kNormal;
 };
 
 /// Completion record of one request.
@@ -67,8 +92,13 @@ struct ParametrizeResult {
   RequestStatus status = RequestStatus::kRejected;
   std::string message;             ///< failure detail for non-kOk statuses
 
-  /// The recovery (valid when status == kOk).
+  /// The recovery (valid when status == kOk). For solve_method ==
+  /// kFullSystem the FullSystemResult is mapped onto these fields
+  /// (recovered/iterations/converged; final_misfit is the residual RMS).
   solver::InverseResult inverse;
+  /// Fallback-ladder usage of the solve that produced `inverse` (which rung
+  /// each linear solve needed; see fallback.hpp).
+  solver::SolveDiagnostics solve_diagnostics;
   /// Topology report of the device shape, memoized in the server's
   /// FormationCache across requests/batches (valid when kOk).
   core::TopologyReport topology;
@@ -85,6 +115,9 @@ struct ParametrizeResult {
   Real solve_seconds = 0.0;
   Real reconstruct_seconds = 0.0;
   Index batch_size = 0;       ///< size of the batch this request rode in
+  /// Pipeline attempts this request took (1 = no retry). Stage timings above
+  /// are from the final attempt.
+  Index attempts = 0;
 
   [[nodiscard]] bool ok() const { return status == RequestStatus::kOk; }
 };

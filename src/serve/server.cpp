@@ -1,10 +1,16 @@
 #include "serve/server.hpp"
 
+#include <cmath>
+#include <limits>
+#include <new>
 #include <sstream>
 #include <utility>
 
+#include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "core/engine.hpp"
+#include "fault/injector.hpp"
+#include "solver/full_system_solver.hpp"
 
 namespace parma::serve {
 
@@ -30,6 +36,8 @@ const char* request_status_name(RequestStatus status) {
     case RequestStatus::kCancelled: return "cancelled";
     case RequestStatus::kRejected: return "rejected";
     case RequestStatus::kSolverFailed: return "solver-failed";
+    case RequestStatus::kInvalidInput: return "invalid-input";
+    case RequestStatus::kBreakerOpen: return "breaker-open";
   }
   return "?";
 }
@@ -40,6 +48,16 @@ const char* submit_status_name(SubmitStatus status) {
     case SubmitStatus::kQueueFull: return "queue-full";
     case SubmitStatus::kShuttingDown: return "shutting-down";
     case SubmitStatus::kInvalidOptions: return "invalid-options";
+    case SubmitStatus::kLoadShed: return "load-shed";
+  }
+  return "?";
+}
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kLow: return "low";
+    case Priority::kNormal: return "normal";
+    case Priority::kHigh: return "high";
   }
   return "?";
 }
@@ -53,6 +71,23 @@ void ServerOptions::validate() const {
   if (queue_capacity < 1) fail("queue_capacity must be >= 1", queue_capacity);
   if (workers < 1) fail("workers must be >= 1", workers);
   if (max_batch < 1) fail("max_batch must be >= 1", max_batch);
+  if (max_attempts < 1) fail("max_attempts must be >= 1", max_attempts);
+  if (retry_backoff.count() < 0) fail("retry_backoff must be >= 0 ms", retry_backoff.count());
+  if (retry_backoff_cap < retry_backoff) {
+    fail("retry_backoff_cap must be >= retry_backoff", retry_backoff_cap.count());
+  }
+  if (breaker_failure_threshold < 0) {
+    fail("breaker_failure_threshold must be >= 0", breaker_failure_threshold);
+  }
+  if (breaker_cooldown.count() < 0) {
+    fail("breaker_cooldown must be >= 0 ms", breaker_cooldown.count());
+  }
+  if (degraded_high_water < 0.0 || degraded_high_water > 1.0) {
+    fail("degraded_high_water must be in [0, 1]", degraded_high_water);
+  }
+  if (degraded_sustain.count() < 0) {
+    fail("degraded_sustain must be >= 0 ms", degraded_sustain.count());
+  }
 }
 
 void Ticket::cancel() {
@@ -62,7 +97,9 @@ void Ticket::cancel() {
 Server::Server(ServerOptions options)
     : options_(options),
       cache_(std::make_shared<core::FormationCache>()),
-      queue_(options.queue_capacity) {
+      queue_(options.queue_capacity),
+      breakers_(BreakerOptions{options.breaker_failure_threshold,
+                               options.breaker_cooldown}) {
   options_.validate();
   if (!options_.deferred_start) start();
 }
@@ -96,6 +133,7 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
   // Admission-time validation -- the single validation the request ever
   // gets; the pipeline hot path (Engine::form_equations overload) skips it.
   std::string invalid;
+  bool bad_payload = false;
   try {
     request.options.validate();
     PARMA_REQUIRE(request.options.timing_mode == core::TimingMode::kRealThreads,
@@ -104,6 +142,10 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
     PARMA_REQUIRE(request.measurement.z.rows() == request.measurement.spec.rows &&
                       request.measurement.z.cols() == request.measurement.spec.cols,
                   "measurement matrix does not match device");
+    mea::validate_measurement(request.measurement);
+  } catch (const mea::InvalidMeasurement& e) {
+    invalid = e.what();
+    bad_payload = true;
   } catch (const std::exception& e) {
     invalid = e.what();
   }
@@ -112,7 +154,21 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
     std::promise<ParametrizeResult> promise;
     ticket.future_ = promise.get_future();
     ticket.admission_ = SubmitStatus::kInvalidOptions;
-    promise.set_value(make_reject(std::move(invalid)));
+    ParametrizeResult reject = make_reject(std::move(invalid));
+    if (bad_payload) reject.status = RequestStatus::kInvalidInput;
+    promise.set_value(std::move(reject));
+    return ticket;
+  }
+
+  // Degraded-mode shedding: evaluated on every admission (the bookkeeping has
+  // to see queue pressure even from high-priority traffic), sheds only kLow.
+  if (should_shed(request.priority)) {
+    stats_.on_rejected_load_shed();
+    std::promise<ParametrizeResult> promise;
+    ticket.future_ = promise.get_future();
+    ticket.admission_ = SubmitStatus::kLoadShed;
+    promise.set_value(
+        make_reject("degraded mode: low-priority request shed at admission"));
     return ticket;
   }
 
@@ -223,9 +279,100 @@ void Server::process_batch(std::vector<PendingPtr>& batch, exec::ExecutorCache& 
   }
 }
 
+bool Server::should_shed(Priority priority) {
+  if (options_.degraded_high_water <= 0.0) return false;
+  const auto threshold = static_cast<std::size_t>(std::ceil(
+      options_.degraded_high_water * static_cast<Real>(options_.queue_capacity)));
+  const std::size_t depth = queue_.size();
+  const Clock::time_point now = Clock::now();
+  std::lock_guard lock(state_mu_);
+  if (depth >= threshold) {
+    if (!queue_hot_since_) queue_hot_since_ = now;
+    if (!degraded_.load(std::memory_order_relaxed) &&
+        now - *queue_hot_since_ >= options_.degraded_sustain) {
+      degraded_.store(true, std::memory_order_relaxed);
+      stats_.on_degraded_entered();
+    }
+  } else if (depth * 2 < threshold) {
+    // Hysteresis: exit only once the queue has fallen below half the
+    // threshold, so degraded mode does not flap at the boundary.
+    queue_hot_since_.reset();
+    degraded_.store(false, std::memory_order_relaxed);
+  } else if (!degraded_.load(std::memory_order_relaxed)) {
+    // Pressure relaxed before the sustain window elapsed.
+    queue_hot_since_.reset();
+  }
+  return degraded_.load(std::memory_order_relaxed) && priority == Priority::kLow;
+}
+
+std::chrono::microseconds Server::backoff_delay(Index attempt) {
+  const Real base_ms = static_cast<Real>(options_.retry_backoff.count());
+  const Real cap_ms = static_cast<Real>(options_.retry_backoff_cap.count());
+  const int doublings = static_cast<int>(std::min<Index>(attempt > 0 ? attempt - 1 : 0, 20));
+  const Real ms = std::min(std::ldexp(base_ms, doublings), cap_ms);
+  // One deterministic jitter draw per retry server-wide: with a fixed seed
+  // and submission order, the backoff schedule replays exactly.
+  Rng rng(options_.retry_jitter_seed +
+          retry_sequence_.fetch_add(1, std::memory_order_relaxed));
+  const Real jitter = rng.uniform(0.5, 1.0);
+  return std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0 * jitter));
+}
+
 void Server::serve_one(const PendingPtr& pending, exec::Executor* executor,
                        const std::shared_ptr<core::FormationCache>& cache,
                        Index batch_size) {
+  const BreakerBoard::Shape shape{pending->request.measurement.spec.rows,
+                                  pending->request.measurement.spec.cols};
+  if (!breakers_.allow(shape, Clock::now())) {
+    ParametrizeResult result;
+    result.batch_size = batch_size;
+    result.queue_seconds = pending->queue_seconds;
+    result.status = RequestStatus::kBreakerOpen;
+    result.message = "circuit breaker open for this device shape";
+    complete(pending, std::move(result));
+    return;
+  }
+
+  ParametrizeResult result;
+  Index attempt = 0;
+  for (;;) {
+    ++attempt;
+    AttemptFailure failure = AttemptFailure::kNone;
+    result = run_attempt(pending, executor, cache, batch_size, failure);
+    result.attempts = attempt;
+    if (failure == AttemptFailure::kNone || failure == AttemptFailure::kFatal) break;
+    if (attempt >= options_.max_attempts) break;
+    stats_.on_retry();
+    const std::chrono::microseconds delay = backoff_delay(attempt);
+    if (pending->deadline && Clock::now() + delay >= *pending->deadline) {
+      result.status = RequestStatus::kDeadlineExceeded;
+      result.message = "deadline would pass during retry backoff";
+      break;
+    }
+    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    if (pending->cancelled.load(std::memory_order_relaxed)) {
+      result.status = RequestStatus::kCancelled;
+      result.message = "cancelled between attempts";
+      break;
+    }
+  }
+  if (result.status == RequestStatus::kOk && attempt > 1) stats_.on_retry_success();
+
+  // Breaker feedback: only solver failures trip it -- deadline, cancel, and
+  // invalid input say nothing about the shape's health.
+  switch (result.status) {
+    case RequestStatus::kOk: breakers_.on_success(shape); break;
+    case RequestStatus::kSolverFailed: breakers_.on_failure(shape, Clock::now()); break;
+    default: breakers_.on_neutral(shape); break;
+  }
+  complete(pending, std::move(result));
+}
+
+ParametrizeResult Server::run_attempt(const PendingPtr& pending,
+                                      exec::Executor* executor,
+                                      const std::shared_ptr<core::FormationCache>& cache,
+                                      Index batch_size, AttemptFailure& failure) {
+  failure = AttemptFailure::kNone;
   ParametrizeResult result;
   result.batch_size = batch_size;
   result.queue_seconds = pending->queue_seconds;
@@ -235,17 +382,32 @@ void Server::serve_one(const PendingPtr& pending, exec::Executor* executor,
   const auto cancelled = [&] {
     return pending->cancelled.load(std::memory_order_relaxed);
   };
-  // Any stage throwing completes this request alone -- the server and the
-  // rest of the batch carry on.
+  // Any stage throwing fails this attempt alone -- the server and the rest
+  // of the batch carry on; `failure` tells serve_one whether to retry.
   try {
-    core::Engine engine(std::move(pending->request.measurement));
+    // Retries need the original payload intact, so every attempt runs on a
+    // copy of the measurement.
+    mea::Measurement measurement = pending->request.measurement;
+    if (fault::should_fire(fault::Point::kDropMeasurement)) {
+      measurement.z(measurement.z.rows() / 2, measurement.z.cols() / 2) =
+          std::numeric_limits<Real>::quiet_NaN();
+    }
+    if (fault::should_fire(fault::Point::kNoiseMeasurement)) {
+      Real& entry = measurement.z(0, measurement.z.cols() - 1);
+      entry = -entry;  // flips sign: physically impossible, caught on admit
+    }
+    core::Engine engine(std::move(measurement));
 
     // Stage: form.
+    if (fault::should_fire(fault::Point::kAllocFailure)) throw std::bad_alloc{};
     Stopwatch form_clock;
+    core::StrategyOptions form_options = pending->request.options;
+    if (pending->request.solve_method == SolveMethod::kFullSystem) {
+      form_options.keep_system = true;  // the full-system solver consumes it
+    }
     const core::FormationResult formation =
-        (executor != nullptr)
-            ? engine.form_equations(pending->request.options, *executor)
-            : engine.form_equations(pending->request.options);
+        (executor != nullptr) ? engine.form_equations(form_options, *executor)
+                              : engine.form_equations(form_options);
     result.form_seconds = form_clock.elapsed_seconds();
     stats_.form.record(result.form_seconds);
     result.equations = engine.spec().num_equations();
@@ -253,32 +415,41 @@ void Server::serve_one(const PendingPtr& pending, exec::Executor* executor,
     if (cancelled()) {
       result.status = RequestStatus::kCancelled;
       result.message = "cancelled after formation";
-      complete(pending, std::move(result));
-      return;
+      return result;
     }
     if (expired()) {
       result.status = RequestStatus::kDeadlineExceeded;
       result.message = "deadline passed after formation";
-      complete(pending, std::move(result));
-      return;
+      return result;
     }
 
     // Stage: solve.
     Stopwatch solve_clock;
-    solver::InverseResult inverse = engine.recover(pending->request.inverse);
+    solver::InverseResult inverse;
+    if (pending->request.solve_method == SolveMethod::kFullSystem) {
+      solver::FullSystemResult full = solver::solve_full_system(
+          formation.system, engine.measurement(), pending->request.full_system);
+      inverse.recovered = std::move(full.recovered);
+      inverse.iterations = full.iterations;
+      inverse.converged = full.converged;
+      inverse.final_misfit = full.final_residual_rms;
+      inverse.misfit_history = std::move(full.residual_history);
+      inverse.diagnostics = full.diagnostics;
+    } else {
+      inverse = engine.recover(pending->request.inverse);
+    }
+    result.solve_diagnostics = inverse.diagnostics;
     result.solve_seconds = solve_clock.elapsed_seconds();
     stats_.solve.record(result.solve_seconds);
     if (cancelled()) {
       result.status = RequestStatus::kCancelled;
       result.message = "cancelled after solve";
-      complete(pending, std::move(result));
-      return;
+      return result;
     }
     if (expired()) {
       result.status = RequestStatus::kDeadlineExceeded;
       result.message = "deadline passed after solve";
-      complete(pending, std::move(result));
-      return;
+      return result;
     }
 
     // Stage: reconstruct -- assemble the response; the shape's topology
@@ -297,12 +468,28 @@ void Server::serve_one(const PendingPtr& pending, exec::Executor* executor,
     result.status = RequestStatus::kOk;
     result.reconstruct_seconds = reconstruct_clock.elapsed_seconds();
     stats_.reconstruct.record(result.reconstruct_seconds);
-    complete(pending, std::move(result));
-  } catch (const std::exception& e) {
+  } catch (const mea::InvalidMeasurement& e) {
+    // The original payload passed admission validation, so the corruption
+    // happened in flight (e.g. an injected fault): retrying the pristine
+    // copy can succeed.
+    failure = AttemptFailure::kInvalidInput;
+    result.status = RequestStatus::kInvalidInput;
+    result.message = e.what();
+  } catch (const ContractError& e) {
+    failure = AttemptFailure::kFatal;  // config/contract bug; retry can't help
     result.status = RequestStatus::kSolverFailed;
     result.message = e.what();
-    complete(pending, std::move(result));
+  } catch (const std::bad_alloc&) {
+    failure = AttemptFailure::kRetryable;
+    result.status = RequestStatus::kSolverFailed;
+    result.message = "allocation failure in the pipeline";
+  } catch (const std::exception& e) {
+    // NumericalError, fault::InjectedFault, and anything else transient.
+    failure = AttemptFailure::kRetryable;
+    result.status = RequestStatus::kSolverFailed;
+    result.message = e.what();
   }
+  return result;
 }
 
 void Server::complete(const PendingPtr& pending, ParametrizeResult&& result) {
@@ -311,7 +498,14 @@ void Server::complete(const PendingPtr& pending, ParametrizeResult&& result) {
     case RequestStatus::kDeadlineExceeded: stats_.on_deadline_exceeded(); break;
     case RequestStatus::kCancelled: stats_.on_cancelled(); break;
     case RequestStatus::kSolverFailed: stats_.on_solver_failed(); break;
+    case RequestStatus::kInvalidInput: stats_.on_invalid_input(); break;
+    case RequestStatus::kBreakerOpen: stats_.on_breaker_open(); break;
     case RequestStatus::kRejected: break;  // rejections never reach here
+  }
+  if (result.status == RequestStatus::kOk) {
+    stats_.on_solve(result.inverse.iterations, result.inverse.converged,
+                    result.solve_diagnostics.tikhonov_retries,
+                    result.solve_diagnostics.dense_fallbacks);
   }
   stats_.end_to_end.record(seconds_between(pending->enqueued_at, Clock::now()));
   pending->promise.set_value(std::move(result));
@@ -356,6 +550,11 @@ void Server::shutdown() {
   }
 }
 
-Stats Server::stats() const { return stats_.snapshot(queue_.high_water()); }
+Stats Server::stats() const {
+  Stats s = stats_.snapshot(queue_.high_water(), breakers_.opened_events());
+  s.breaker_open_shapes = breakers_.open_shapes();
+  s.degraded = degraded_.load(std::memory_order_relaxed);
+  return s;
+}
 
 }  // namespace parma::serve

@@ -31,6 +31,7 @@
 #include "core/formation_cache.hpp"
 #include "serve/batch_planner.hpp"
 #include "serve/bounded_queue.hpp"
+#include "serve/circuit_breaker.hpp"
 #include "serve/request.hpp"
 #include "serve/stats.hpp"
 
@@ -53,6 +54,32 @@ struct ServerOptions {
   /// Construct stopped; call start() explicitly. Lets tests and benches
   /// stage a full queue deterministically before any worker runs.
   bool deferred_start = false;
+
+  // --- Resilience (see DESIGN.md section 8) ---
+
+  /// Pipeline attempts per request (1 = no retry). Retries cover transient
+  /// failures -- injected faults, numerical blow-ups, allocation failure,
+  /// in-flight measurement corruption -- with exponential backoff + jitter;
+  /// they never override the request's deadline.
+  Index max_attempts = 3;
+  /// Backoff before attempt k+1 is retry_backoff * 2^(k-1), capped at
+  /// retry_backoff_cap, scaled by a deterministic jitter in [0.5, 1].
+  std::chrono::milliseconds retry_backoff{1};
+  std::chrono::milliseconds retry_backoff_cap{50};
+  /// Seed of the jitter stream (deterministic given submission order).
+  std::uint64_t retry_jitter_seed = 0x7a17;
+
+  /// Per-shape circuit breaker: consecutive kSolverFailed completions of a
+  /// shape that open it (0 disables). See circuit_breaker.hpp.
+  Index breaker_failure_threshold = 5;
+  std::chrono::milliseconds breaker_cooldown{250};
+
+  /// Degraded mode: when the queue sits at or above this fill fraction for
+  /// `degraded_sustain`, the server sheds Priority::kLow submissions at
+  /// admission (SubmitStatus::kLoadShed) until the queue falls below half
+  /// the threshold. 0 disables shedding.
+  Real degraded_high_water = 0.75;
+  std::chrono::milliseconds degraded_sustain{50};
 
   /// Throws core::InvalidOptions for out-of-range values.
   void validate() const;
@@ -138,16 +165,47 @@ class Server {
     return cache_;
   }
 
+  /// Degraded mode active right now (low-priority submissions are shed).
+  [[nodiscard]] bool degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  /// Breaker state of one device shape (tests/diagnostics).
+  [[nodiscard]] BreakerState breaker_state(Index rows, Index cols) const {
+    return breakers_.state({rows, cols});
+  }
+
  private:
   using PendingPtr = std::shared_ptr<detail::PendingRequest>;
 
+  /// How one pipeline attempt failed (drives the retry decision).
+  enum class AttemptFailure {
+    kNone,          ///< attempt produced a terminal result (ok/deadline/cancel)
+    kRetryable,     ///< transient: injected fault, numerics, alloc, corruption
+    kInvalidInput,  ///< measurement payload rejected (retryable: the original
+                    ///< passed admission, so corruption happened in flight)
+    kFatal,         ///< contract/config error; retrying cannot help
+  };
+
   Ticket admit(ParametrizeRequest&& request, bool blocking,
                std::chrono::milliseconds timeout);
+  /// Degraded-mode bookkeeping at admission; true when a kLow-priority
+  /// request must be shed right now.
+  bool should_shed(Priority priority);
   void worker_loop();
   void process_batch(std::vector<PendingPtr>& batch, exec::ExecutorCache& warm);
+  /// Runs the retry/breaker loop around run_attempt and completes the
+  /// request exactly once.
   void serve_one(const PendingPtr& pending, exec::Executor* executor,
                  const std::shared_ptr<core::FormationCache>& cache,
                  Index batch_size);
+  /// One pipeline pass (form -> solve -> reconstruct) over a fresh copy of
+  /// the measurement. Never throws: failures come back via `failure` with
+  /// the status/message already set on the result.
+  ParametrizeResult run_attempt(const PendingPtr& pending, exec::Executor* executor,
+                                const std::shared_ptr<core::FormationCache>& cache,
+                                Index batch_size, AttemptFailure& failure);
+  /// Deterministically jittered exponential backoff before attempt + 1.
+  [[nodiscard]] std::chrono::microseconds backoff_delay(Index attempt);
   /// Completes the promise, records end-to-end latency + status counters,
   /// and releases the drain waiter when this was the last outstanding
   /// request.
@@ -157,6 +215,13 @@ class Server {
   std::shared_ptr<core::FormationCache> cache_;
   BoundedQueue<PendingPtr> queue_;
   StatsCollector stats_;
+  BreakerBoard breakers_;
+
+  // Degraded-mode state: sampled at admission under state_mu_; the flag is
+  // atomic so stats()/degraded() read it without the lock.
+  std::atomic<bool> degraded_{false};
+  std::optional<Clock::time_point> queue_hot_since_;
+  std::atomic<std::uint64_t> retry_sequence_{0};
 
   mutable std::mutex state_mu_;
   std::condition_variable all_done_;

@@ -73,23 +73,50 @@ StageStats LatencyHistogram::snapshot() const {
   return s;
 }
 
+void StatsCollector::on_solve(Index iterations, bool converged, Index tikhonov_retries,
+                              Index dense_fallbacks) {
+  solver_iterations_.fetch_add(static_cast<std::uint64_t>(iterations),
+                               std::memory_order_relaxed);
+  if (!converged) solver_not_converged_.fetch_add(1, std::memory_order_relaxed);
+  if (tikhonov_retries > 0) {
+    fallback_tikhonov_.fetch_add(static_cast<std::uint64_t>(tikhonov_retries),
+                                 std::memory_order_relaxed);
+  }
+  if (dense_fallbacks > 0) {
+    fallback_dense_.fetch_add(static_cast<std::uint64_t>(dense_fallbacks),
+                              std::memory_order_relaxed);
+  }
+}
+
 void StatsCollector::on_batch(std::size_t size) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(size, std::memory_order_relaxed);
   atomic_max(max_batch_, size);
 }
 
-Stats StatsCollector::snapshot(std::size_t queue_high_water) const {
+Stats StatsCollector::snapshot(std::size_t queue_high_water,
+                               std::uint64_t breaker_opened_events) const {
   Stats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.accepted = accepted_.load(std::memory_order_relaxed);
   s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
   s.rejected_shutting_down = rejected_shutting_down_.load(std::memory_order_relaxed);
   s.rejected_invalid = rejected_invalid_.load(std::memory_order_relaxed);
+  s.rejected_load_shed = rejected_load_shed_.load(std::memory_order_relaxed);
   s.completed_ok = completed_ok_.load(std::memory_order_relaxed);
   s.deadline_exceeded = deadline_exceeded_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.solver_failed = solver_failed_.load(std::memory_order_relaxed);
+  s.invalid_input = invalid_input_.load(std::memory_order_relaxed);
+  s.breaker_open = breaker_open_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.retry_successes = retry_successes_.load(std::memory_order_relaxed);
+  s.breaker_opened_events = breaker_opened_events;
+  s.degraded_entered = degraded_entered_.load(std::memory_order_relaxed);
+  s.solver_not_converged = solver_not_converged_.load(std::memory_order_relaxed);
+  s.solver_iterations = solver_iterations_.load(std::memory_order_relaxed);
+  s.fallback_tikhonov = fallback_tikhonov_.load(std::memory_order_relaxed);
+  s.fallback_dense = fallback_dense_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
   const std::uint64_t batched = batched_requests_.load(std::memory_order_relaxed);

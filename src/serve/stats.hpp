@@ -31,12 +31,29 @@ struct Stats {
   std::uint64_t rejected_queue_full = 0;
   std::uint64_t rejected_shutting_down = 0;
   std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_load_shed = 0;  ///< degraded-mode fast rejects
 
   // Completion counters (one per admitted request, by terminal status).
   std::uint64_t completed_ok = 0;
   std::uint64_t deadline_exceeded = 0;
   std::uint64_t cancelled = 0;
   std::uint64_t solver_failed = 0;
+  std::uint64_t invalid_input = 0;   ///< corrupt measurement survived retries
+  std::uint64_t breaker_open = 0;    ///< fast-failed by an open breaker
+
+  // Resilience counters.
+  std::uint64_t retries = 0;             ///< extra pipeline attempts
+  std::uint64_t retry_successes = 0;     ///< kOk completions that needed > 1 attempt
+  std::uint64_t breaker_opened_events = 0;  ///< closed/half-open -> open transitions
+  std::uint64_t degraded_entered = 0;    ///< degraded-mode entries
+  std::uint64_t solver_not_converged = 0;  ///< kOk completions with converged=false
+  std::uint64_t solver_iterations = 0;   ///< total outer iterations over kOk solves
+  std::uint64_t fallback_tikhonov = 0;   ///< linear solves that needed rung 2
+  std::uint64_t fallback_dense = 0;      ///< linear solves that needed rung 3
+
+  // Live gauges (filled by Server::stats()).
+  std::size_t breaker_open_shapes = 0;  ///< shapes currently open/half-open
+  bool degraded = false;                ///< degraded mode active right now
 
   // Batching.
   std::uint64_t batches = 0;
@@ -54,10 +71,12 @@ struct Stats {
   StageStats end_to_end;    ///< admission -> completion
 
   [[nodiscard]] std::uint64_t rejected() const {
-    return rejected_queue_full + rejected_shutting_down + rejected_invalid;
+    return rejected_queue_full + rejected_shutting_down + rejected_invalid +
+           rejected_load_shed;
   }
   [[nodiscard]] std::uint64_t completed() const {
-    return completed_ok + deadline_exceeded + cancelled + solver_failed;
+    return completed_ok + deadline_exceeded + cancelled + solver_failed +
+           invalid_input + breaker_open;
   }
 };
 
@@ -89,10 +108,20 @@ class StatsCollector {
   void on_rejected_queue_full() { rejected_queue_full_.fetch_add(1, std::memory_order_relaxed); }
   void on_rejected_shutting_down() { rejected_shutting_down_.fetch_add(1, std::memory_order_relaxed); }
   void on_rejected_invalid() { rejected_invalid_.fetch_add(1, std::memory_order_relaxed); }
+  void on_rejected_load_shed() { rejected_load_shed_.fetch_add(1, std::memory_order_relaxed); }
   void on_completed_ok() { completed_ok_.fetch_add(1, std::memory_order_relaxed); }
   void on_deadline_exceeded() { deadline_exceeded_.fetch_add(1, std::memory_order_relaxed); }
   void on_cancelled() { cancelled_.fetch_add(1, std::memory_order_relaxed); }
   void on_solver_failed() { solver_failed_.fetch_add(1, std::memory_order_relaxed); }
+  void on_invalid_input() { invalid_input_.fetch_add(1, std::memory_order_relaxed); }
+  void on_breaker_open() { breaker_open_.fetch_add(1, std::memory_order_relaxed); }
+  void on_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void on_retry_success() { retry_successes_.fetch_add(1, std::memory_order_relaxed); }
+  void on_degraded_entered() { degraded_entered_.fetch_add(1, std::memory_order_relaxed); }
+  /// Solver outcome of a kOk completion: outer iterations, convergence, and
+  /// how far up the fallback ladder its linear solves went.
+  void on_solve(Index iterations, bool converged, Index tikhonov_retries,
+                Index dense_fallbacks);
   void on_batch(std::size_t size);
 
   LatencyHistogram queue_wait;
@@ -101,7 +130,10 @@ class StatsCollector {
   LatencyHistogram reconstruct;
   LatencyHistogram end_to_end;
 
-  [[nodiscard]] Stats snapshot(std::size_t queue_high_water) const;
+  /// `breaker_opened_events` comes from the BreakerBoard (the breaker owns
+  /// its transition count); the live gauges are filled by Server::stats().
+  [[nodiscard]] Stats snapshot(std::size_t queue_high_water,
+                               std::uint64_t breaker_opened_events = 0) const;
 
  private:
   std::atomic<std::uint64_t> submitted_{0};
@@ -109,10 +141,20 @@ class StatsCollector {
   std::atomic<std::uint64_t> rejected_queue_full_{0};
   std::atomic<std::uint64_t> rejected_shutting_down_{0};
   std::atomic<std::uint64_t> rejected_invalid_{0};
+  std::atomic<std::uint64_t> rejected_load_shed_{0};
   std::atomic<std::uint64_t> completed_ok_{0};
   std::atomic<std::uint64_t> deadline_exceeded_{0};
   std::atomic<std::uint64_t> cancelled_{0};
   std::atomic<std::uint64_t> solver_failed_{0};
+  std::atomic<std::uint64_t> invalid_input_{0};
+  std::atomic<std::uint64_t> breaker_open_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> retry_successes_{0};
+  std::atomic<std::uint64_t> degraded_entered_{0};
+  std::atomic<std::uint64_t> solver_not_converged_{0};
+  std::atomic<std::uint64_t> solver_iterations_{0};
+  std::atomic<std::uint64_t> fallback_tikhonov_{0};
+  std::atomic<std::uint64_t> fallback_dense_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};

@@ -1,0 +1,73 @@
+// The solver fallback ladder: one linear solve, three escalating attempts.
+//
+//   rung 1  CG          Jacobi-preconditioned conjugate gradient as-is;
+//   rung 2  Tikhonov    CG retried on the ridge-regularized system
+//                       (A + tau I) x = b with an adapted (looser) tolerance,
+//                       warm-started from rung 1's iterate;
+//   rung 3  Dense       direct LU via linalg::solve_dense, with the same
+//                       ridge added if the plain matrix is singular.
+//
+// The ladder is how the iterative joint-constraint solve (paper Section
+// IV-A) survives the ill-conditioned or noisy measurements where CG alone
+// stalls: escalation happens only on non-convergence or a non-finite
+// iterate, so the fast path's numerics are untouched -- when CG converges,
+// the result is bit-identical to calling conjugate_gradient directly.
+//
+// SolveDiagnostics accumulates which rungs ran across the outer iteration
+// and is surfaced end-to-end (solver results -> serve::ParametrizeResult ->
+// serve::Stats), so a production operator can see "this shape is living on
+// the dense rung" before it becomes an outage.
+#pragma once
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/sparse_matrix.hpp"
+
+namespace parma::solver {
+
+/// The ladder rung that produced a solution (kNone = no solve ran yet).
+enum class FallbackRung : int { kNone = 0, kCg = 1, kTikhonov = 2, kDense = 3 };
+
+const char* fallback_rung_name(FallbackRung rung);
+
+/// Aggregate of every linear solve inside one outer (GN/LM) solve.
+struct SolveDiagnostics {
+  FallbackRung highest_rung = FallbackRung::kNone;  ///< worst rung needed
+  Index linear_solves = 0;      ///< ladder invocations
+  Index cg_iterations = 0;      ///< total CG iterations across all rungs
+  Index tikhonov_retries = 0;   ///< solves that needed rung 2
+  Index dense_fallbacks = 0;    ///< solves that needed rung 3
+  bool converged = true;        ///< outer solve converged (set by the solver)
+
+  /// True when any solve escalated past plain CG.
+  [[nodiscard]] bool degraded() const { return highest_rung > FallbackRung::kCg; }
+
+  /// Fold another solve's diagnostics in (e.g. per-attempt aggregation).
+  void merge(const SolveDiagnostics& other);
+};
+
+struct FallbackOptions {
+  linalg::IterativeOptions cg;      ///< rung 1 configuration
+  /// Rung 2 ridge: tau = tikhonov_scale * max |diag(A)| (floored at 1e-300).
+  Real tikhonov_scale = 1e-8;
+  /// Rung 2 tolerance = cg.tolerance * tikhonov_tolerance_factor.
+  Real tikhonov_tolerance_factor = 100.0;
+};
+
+/// Runs the ladder on A x = b. Escalates CG -> Tikhonov -> dense; records
+/// into `diagnostics`; throws NumericalError only if every rung fails
+/// (including the ridged dense solve).
+std::vector<Real> solve_with_fallback(const linalg::CsrMatrix& a,
+                                      const std::vector<Real>& b,
+                                      const FallbackOptions& options,
+                                      SolveDiagnostics& diagnostics);
+
+/// Dense overload (the LM normal equations path).
+std::vector<Real> solve_with_fallback(const linalg::DenseMatrix& a,
+                                      const std::vector<Real>& b,
+                                      const FallbackOptions& options,
+                                      SolveDiagnostics& diagnostics);
+
+}  // namespace parma::solver

@@ -80,7 +80,14 @@ FullSystemResult solve_full_system(const equations::EquationSystem& system,
 
   std::vector<Real> residual = equations::system_residual(system, result.unknowns);
   Real rms = residual_rms(residual);
+  PARMA_REQUIRE(std::isfinite(rms), "full-system solve started from a non-finite residual");
   result.residual_history.push_back(rms);
+
+  FallbackOptions ladder;
+  ladder.cg.max_iterations = options.cg_max_iterations;
+  ladder.cg.tolerance = options.cg_tolerance;
+  ladder.tikhonov_scale = options.tikhonov_scale;
+  ladder.tikhonov_tolerance_factor = options.tikhonov_tolerance_factor;
 
   for (Index iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
@@ -93,15 +100,16 @@ FullSystemResult solve_full_system(const equations::EquationSystem& system,
     std::vector<Real> rhs = jac.multiply_transpose(residual);
     for (Real& v : rhs) v = -v;
 
-    linalg::IterativeOptions cg;
-    cg.max_iterations = options.cg_max_iterations;
-    cg.tolerance = options.cg_tolerance;
-    const linalg::IterativeResult step = linalg::conjugate_gradient(jtj, rhs, cg);
+    // Per-step normal-equation solve through the fallback ladder: plain CG
+    // when it converges (bit-identical to the pre-ladder behavior), Tikhonov
+    // retry and then a dense direct solve when it does not.
+    const std::vector<Real> step =
+        solve_with_fallback(jtj, rhs, ladder, result.diagnostics);
 
     // Damped update with relative clamping; resistances must stay positive.
     std::vector<Real> candidate = result.unknowns;
     for (std::size_t u = 0; u < candidate.size(); ++u) {
-      Real delta = step.x[u];
+      Real delta = step[u];
       const Real scale = std::max(std::abs(candidate[u]), Real{1e-6});
       delta = std::clamp(delta, -options.step_clamp * scale, options.step_clamp * scale);
       candidate[u] += delta;
@@ -111,7 +119,9 @@ FullSystemResult solve_full_system(const equations::EquationSystem& system,
     }
     std::vector<Real> candidate_residual = equations::system_residual(system, candidate);
     const Real candidate_rms = residual_rms(candidate_residual);
-    if (candidate_rms >= rms) break;  // stalled
+    // A non-finite candidate (overflow/NaN from a poisoned step) must never
+    // be accepted -- NaN fails every comparison, so test it explicitly.
+    if (!std::isfinite(candidate_rms) || candidate_rms >= rms) break;  // stalled
     result.unknowns = std::move(candidate);
     residual = std::move(candidate_residual);
     rms = candidate_rms;
@@ -120,6 +130,7 @@ FullSystemResult solve_full_system(const equations::EquationSystem& system,
 
   result.final_residual_rms = rms;
   result.converged = result.converged || rms <= options.tolerance;
+  result.diagnostics.converged = result.converged;
   result.recovered = circuit::ResistanceGrid(layout.rows(), layout.cols());
   for (Index e = 0; e < layout.num_resistors(); ++e) {
     result.recovered.flat()[static_cast<std::size_t>(e)] =

@@ -16,6 +16,7 @@
 #include "circuit/crossbar.hpp"
 #include "equations/generator.hpp"
 #include "mea/measurement.hpp"
+#include "solver/fallback.hpp"
 
 namespace parma::solver {
 
@@ -25,6 +26,11 @@ struct FullSystemOptions {
   Index cg_max_iterations = 2000;
   Real cg_tolerance = 1e-12;
   Real step_clamp = 0.5;         ///< max |relative| change of any unknown per step
+  /// Escalation knobs for the per-step normal-equation solve (the CG ->
+  /// Tikhonov -> dense ladder; cg_max_iterations/cg_tolerance configure the
+  /// first rung). See fallback.hpp.
+  Real tikhonov_scale = 1e-8;
+  Real tikhonov_tolerance_factor = 100.0;
 };
 
 struct FullSystemResult {
@@ -34,6 +40,10 @@ struct FullSystemResult {
   bool converged = false;
   Real final_residual_rms = 0.0;
   std::vector<Real> residual_history;
+  /// Which fallback rungs the per-step linear solves needed (kCg only on a
+  /// healthy run; Tikhonov/dense mean the system was ill-conditioned or a
+  /// fault was injected).
+  SolveDiagnostics diagnostics;
 };
 
 /// Initial guess: R = Z (diagonal-dominant approximation) and pair voltages

@@ -123,6 +123,9 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
   Real lambda = options.initial_lambda;
   ForwardSweep sweep = forward_sweep(result.recovered, volts, pool.get());
   Real misfit = impedance_misfit(sweep.z_model, measurement.z);
+  if (!std::isfinite(misfit)) {
+    throw NumericalError("inverse solve: non-finite initial misfit (corrupt measurement?)");
+  }
   result.misfit_history.push_back(misfit);
 
   for (Index iter = 0; iter < options.max_iterations; ++iter) {
@@ -154,7 +157,15 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
       }
       std::vector<Real> delta;
       try {
-        delta = linalg::solve_dense(damped, rhs);
+        if (options.use_fallback_ladder) {
+          FallbackOptions ladder;
+          ladder.cg.max_iterations = options.ladder_cg_max_iterations;
+          ladder.cg.tolerance = options.ladder_cg_tolerance;
+          delta = solve_with_fallback(damped, rhs, ladder, result.diagnostics);
+        } else {
+          delta = linalg::solve_dense(damped, rhs);
+          ++result.diagnostics.linear_solves;
+        }
       } catch (const NumericalError&) {
         lambda *= options.lambda_grow;
         continue;
@@ -168,7 +179,9 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
       }
       ForwardSweep candidate_sweep = forward_sweep(candidate, volts, pool.get());
       const Real candidate_misfit = impedance_misfit(candidate_sweep.z_model, measurement.z);
-      if (candidate_misfit < misfit) {
+      // NaN misfit (a poisoned forward solve) must count as a rejected step,
+      // not slip through the comparison.
+      if (std::isfinite(candidate_misfit) && candidate_misfit < misfit) {
         result.recovered = std::move(candidate);
         sweep = std::move(candidate_sweep);
         misfit = candidate_misfit;
@@ -184,6 +197,7 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
 
   result.final_misfit = misfit;
   result.converged = result.converged || misfit <= options.tolerance;
+  result.diagnostics.converged = result.converged;
   return result;
 }
 

@@ -14,6 +14,7 @@
 
 #include "circuit/crossbar.hpp"
 #include "mea/measurement.hpp"
+#include "solver/fallback.hpp"
 
 namespace parma::solver {
 
@@ -34,6 +35,17 @@ struct InverseOptions {
   /// the 0/6/12/24-hour campaigns). Takes precedence over
   /// `initial_resistance`; must match the device shape and be positive.
   std::optional<circuit::ResistanceGrid> initial_grid;
+
+  /// Route the damped normal-equation solves through the CG -> Tikhonov ->
+  /// dense fallback ladder (fallback.hpp) instead of going straight to the
+  /// dense LU. Off by default: the direct dense solve is the established
+  /// production numerics; the ladder is for resilient serving, where a
+  /// poisoned system should degrade (and be observable) rather than throw.
+  bool use_fallback_ladder = false;
+  /// Rung 1 CG iteration cap when use_fallback_ladder is set.
+  Index ladder_cg_max_iterations = 500;
+  /// Rung 1 CG relative tolerance when use_fallback_ladder is set.
+  Real ladder_cg_tolerance = 1e-12;
 };
 
 struct InverseResult {
@@ -42,6 +54,9 @@ struct InverseResult {
   bool converged = false;
   Real final_misfit = 0.0;              ///< relative RMS of Z_model vs Z_measured
   std::vector<Real> misfit_history;     ///< one entry per accepted iteration
+  /// Linear-solve fallback usage (populated when use_fallback_ladder is on;
+  /// otherwise records the dense solves as kDense-free direct solves).
+  SolveDiagnostics diagnostics;
 
   /// Max relative error against a known ground truth (test/diagnostic).
   [[nodiscard]] Real max_relative_error(const circuit::ResistanceGrid& truth) const;

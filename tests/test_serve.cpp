@@ -49,10 +49,16 @@ TEST(Serve, StatusNamesAreStable) {
   EXPECT_STREQ(request_status_name(RequestStatus::kCancelled), "cancelled");
   EXPECT_STREQ(request_status_name(RequestStatus::kRejected), "rejected");
   EXPECT_STREQ(request_status_name(RequestStatus::kSolverFailed), "solver-failed");
+  EXPECT_STREQ(request_status_name(RequestStatus::kInvalidInput), "invalid-input");
+  EXPECT_STREQ(request_status_name(RequestStatus::kBreakerOpen), "breaker-open");
   EXPECT_STREQ(submit_status_name(SubmitStatus::kAccepted), "accepted");
   EXPECT_STREQ(submit_status_name(SubmitStatus::kQueueFull), "queue-full");
   EXPECT_STREQ(submit_status_name(SubmitStatus::kShuttingDown), "shutting-down");
   EXPECT_STREQ(submit_status_name(SubmitStatus::kInvalidOptions), "invalid-options");
+  EXPECT_STREQ(submit_status_name(SubmitStatus::kLoadShed), "load-shed");
+  EXPECT_STREQ(priority_name(Priority::kLow), "low");
+  EXPECT_STREQ(priority_name(Priority::kNormal), "normal");
+  EXPECT_STREQ(priority_name(Priority::kHigh), "high");
 }
 
 TEST(Serve, ServerOptionsValidate) {
@@ -66,6 +72,19 @@ TEST(Serve, ServerOptionsValidate) {
   bad.max_batch = 0;
   EXPECT_THROW(bad.validate(), core::InvalidOptions);
   EXPECT_THROW(Server{bad}, core::InvalidOptions);
+  bad = ServerOptions{};
+  bad.max_attempts = 0;
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
+  bad = ServerOptions{};
+  bad.retry_backoff_cap = 0ms;
+  bad.retry_backoff = 10ms;  // cap below base
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
+  bad = ServerOptions{};
+  bad.breaker_failure_threshold = -1;
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
+  bad = ServerOptions{};
+  bad.degraded_high_water = 1.5;
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
 }
 
 TEST(BoundedQueue, BackpressureAndBatchedPop) {
@@ -86,6 +105,79 @@ TEST(BoundedQueue, BackpressureAndBatchedPop) {
   queue.close();
   EXPECT_FALSE(queue.try_push(4));
   EXPECT_TRUE(queue.pop_batch(1, [](const int&, const int&) { return true; }).empty());
+}
+
+TEST(BoundedQueue, CapacityZeroViolatesTheContract) {
+  EXPECT_THROW(BoundedQueue<int>{0}, ContractError);
+}
+
+TEST(BoundedQueue, CapacityOneAlternatesPushAndPop) {
+  BoundedQueue<int> queue(1);
+  const auto any = [](const int&, const int&) { return true; };
+  for (int v = 0; v < 4; ++v) {
+    EXPECT_TRUE(queue.try_push(v));
+    EXPECT_FALSE(queue.try_push(v + 100));  // full at one item
+    const auto batch = queue.pop_batch(8, any);
+    ASSERT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch[0], v);
+  }
+  EXPECT_EQ(queue.high_water(), 1u);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(BoundedQueue, BlockedPushIsReleasedByClose) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.try_push(1));  // now full
+  std::atomic<bool> push_returned{false};
+  std::atomic<bool> push_result{true};
+  std::thread blocked([&] {
+    // Blocks for space; close() must wake it with a false verdict well
+    // before the timeout.
+    push_result.store(queue.push(2, 10'000ms));
+    push_returned.store(true);
+  });
+  std::this_thread::sleep_for(20ms);  // let the thread block
+  EXPECT_FALSE(push_returned.load());
+  queue.close();
+  blocked.join();
+  EXPECT_TRUE(push_returned.load());
+  EXPECT_FALSE(push_result.load());
+  EXPECT_TRUE(queue.closed());
+  // The item admitted before the close is still drainable.
+  EXPECT_EQ(queue.drain_now(), std::vector<int>{1});
+}
+
+TEST(BoundedQueue, ConcurrentTryPushVersusDrainConservesItems) {
+  BoundedQueue<int> queue(8);
+  constexpr int kPushers = 4;
+  constexpr int kPerPusher = 200;
+  std::atomic<int> pushed{0};
+  std::atomic<int> drained{0};
+  std::atomic<bool> stop{false};
+
+  std::thread drainer([&] {
+    while (!stop.load()) {
+      drained.fetch_add(static_cast<int>(queue.drain_now().size()));
+    }
+    drained.fetch_add(static_cast<int>(queue.drain_now().size()));
+  });
+  std::vector<std::thread> pushers;
+  pushers.reserve(kPushers);
+  for (int t = 0; t < kPushers; ++t) {
+    pushers.emplace_back([&] {
+      for (int i = 0; i < kPerPusher; ++i) {
+        if (queue.try_push(i)) pushed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& p : pushers) p.join();
+  stop.store(true);
+  drainer.join();
+
+  // Every successfully admitted item comes back out exactly once.
+  EXPECT_EQ(pushed.load(), drained.load());
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_LE(queue.high_water(), 8u);
 }
 
 TEST(BoundedQueue, PredicateSelectsNonAdjacentItems) {
