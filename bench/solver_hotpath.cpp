@@ -1,0 +1,210 @@
+// Solver hot-path bench: the symbolic/numeric split against the historical
+// rebuild-per-iteration assembly.
+//
+// Claim under test (the kernel layer's reason to exist): refreshing J and
+// A = J^T J in place through the precomputed pattern + scatter map is >= 2x
+// faster than the CooBuilder path (build + stable sort for J, the
+// O(row-nnz^2) triple loop + sort for A) at n >= 16, with bit-identical
+// results (asserted in tests/test_kernels.cpp, not here).
+//
+// Three per-iteration assembly modes, best-of-repeats wall time:
+//   legacy    system_jacobian + reference_normal_matrix + multiply_transpose
+//             (exactly what the pre-kernel Gauss-Newton step did);
+//   kernel    SystemKernels::refresh + multiply_transpose_into, serial;
+//   kernel-mt kernel with a work-stealing executor (adds the parallel
+//             refresh on top of the allocation/sort savings).
+//
+// Plus an end-to-end Gauss-Newton comparison (fixed iteration budget) at the
+// largest n as context -- there the shared CG work dilutes the assembly win.
+//
+// Output: pretty table + CSV via bench_util, and
+// bench_results/solver_hotpath.json with the measured speedups. `--quick`
+// trims the sweep for CI (scripts/check.sh).
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "equations/residual.hpp"
+#include "solver/system_kernels.hpp"
+
+using namespace parma;
+
+namespace {
+
+struct HotpathResult {
+  Index n = 0;
+  Index equations = 0;
+  Index unknowns = 0;
+  std::size_t j_nnz = 0;
+  std::size_t a_nnz = 0;
+  Real legacy_seconds = 0.0;       ///< per-iteration legacy assembly
+  Real kernel_seconds = 0.0;       ///< per-iteration serial kernel refresh
+  Real kernel_mt_seconds = 0.0;    ///< per-iteration parallel kernel refresh
+  Real assembly_speedup = 0.0;     ///< legacy / kernel (serial)
+  Real assembly_speedup_mt = 0.0;  ///< legacy / kernel-mt
+  Real symbolic_seconds = 0.0;     ///< one-time analyze() cost (amortized away)
+  Real legacy_solve_seconds = 0.0;  ///< end-to-end GN, largest n only
+  Real kernel_solve_seconds = 0.0;
+  Real solve_speedup = 0.0;
+};
+
+// Best-of-repeats per-iteration wall time of `body` run `iters` times.
+template <typename Body>
+Real time_per_iteration(int repeats, int iters, const Body& body) {
+  Real best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    Stopwatch clock;
+    for (int i = 0; i < iters; ++i) body();
+    const Real per_iter = clock.elapsed_seconds() / static_cast<Real>(iters);
+    if (r == 0 || per_iter < best) best = per_iter;
+  }
+  return best;
+}
+
+HotpathResult run_size(Index n, int repeats, int iters, bool solve_comparison) {
+  core::Engine engine = bench::make_engine(n);
+  const equations::EquationSystem system =
+      equations::generate_system(engine.measurement());
+  const std::vector<Real> x = solver::initial_guess(system, engine.measurement());
+  const std::vector<Real> residual = equations::system_residual(system, x);
+
+  HotpathResult result;
+  result.n = n;
+  result.equations = static_cast<Index>(system.equations.size());
+  result.unknowns = system.layout.num_unknowns();
+
+  Stopwatch analyze_clock;
+  const auto symbolic = solver::SystemSymbolic::analyze(system);
+  result.symbolic_seconds = analyze_clock.elapsed_seconds();
+  result.j_nnz = symbolic->j_nnz();
+  result.a_nnz = symbolic->a_nnz();
+
+  // Legacy per-iteration assembly: rebuild J, form J^T J through the COO
+  // triple loop, allocate the transpose product.
+  std::vector<Real> sink;
+  result.legacy_seconds = time_per_iteration(repeats, iters, [&] {
+    const linalg::CsrMatrix jac = equations::system_jacobian(system, x);
+    const linalg::CsrMatrix jtj = solver::reference_normal_matrix(jac);
+    sink = jac.multiply_transpose(residual);
+    PARMA_REQUIRE(jtj.rows() == result.unknowns, "bench sanity");
+  });
+
+  // Kernel refresh, serial.
+  solver::SystemKernels kernels(system, symbolic);
+  result.kernel_seconds = time_per_iteration(repeats, iters, [&] {
+    kernels.refresh(x);
+    kernels.jacobian().multiply_transpose_into(residual, sink);
+  });
+
+  // Kernel refresh, work-stealing executor.
+  const auto executor = exec::make_executor(exec::Backend::kStealing, 4);
+  result.kernel_mt_seconds = time_per_iteration(repeats, iters, [&] {
+    kernels.refresh(x, executor.get());
+    kernels.jacobian().multiply_transpose_into(residual, sink);
+  });
+
+  result.assembly_speedup = result.legacy_seconds / result.kernel_seconds;
+  result.assembly_speedup_mt = result.legacy_seconds / result.kernel_mt_seconds;
+
+  if (solve_comparison) {
+    // Fixed-budget Gauss-Newton end to end; the linear solves are shared
+    // work, so this understates the assembly win by construction.
+    solver::FullSystemOptions options;
+    options.max_iterations = 3;
+    options.cg_max_iterations = 300;
+    options.tolerance = 0.0;  // spend the full iteration budget
+    options.use_kernels = false;
+    Stopwatch legacy_clock;
+    const auto legacy = solver::solve_full_system(system, engine.measurement(), options);
+    result.legacy_solve_seconds = legacy_clock.elapsed_seconds();
+
+    options.use_kernels = true;
+    solver::KernelContext context;
+    context.symbolic = symbolic;
+    Stopwatch kernel_clock;
+    const auto kernel =
+        solver::solve_full_system(system, engine.measurement(), options, context);
+    result.kernel_solve_seconds = kernel_clock.elapsed_seconds();
+    result.solve_speedup = result.legacy_solve_seconds / result.kernel_solve_seconds;
+    PARMA_REQUIRE(kernel.iterations == legacy.iterations, "bench paths diverged");
+  }
+  return result;
+}
+
+void write_json(const std::vector<HotpathResult>& results, const std::string& path) {
+  std::filesystem::create_directories(std::filesystem::path(path).parent_path());
+  std::ofstream os(path);
+  os << "{\n  \"bench\": \"solver_hotpath\",\n  \"target_assembly_speedup\": 2.0,\n"
+     << "  \"target_n\": 16,\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const HotpathResult& r = results[i];
+    os << "    {\"n\": " << r.n << ", \"equations\": " << r.equations
+       << ", \"unknowns\": " << r.unknowns << ", \"j_nnz\": " << r.j_nnz
+       << ", \"a_nnz\": " << r.a_nnz
+       << ", \"symbolic_seconds\": " << r.symbolic_seconds
+       << ", \"legacy_assembly_seconds\": " << r.legacy_seconds
+       << ", \"kernel_refresh_seconds\": " << r.kernel_seconds
+       << ", \"kernel_refresh_mt_seconds\": " << r.kernel_mt_seconds
+       << ", \"assembly_speedup\": " << r.assembly_speedup
+       << ", \"assembly_speedup_mt\": " << r.assembly_speedup_mt
+       << ", \"legacy_solve_seconds\": " << r.legacy_solve_seconds
+       << ", \"kernel_solve_seconds\": " << r.kernel_solve_seconds
+       << ", \"solve_speedup\": " << r.solve_speedup << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  const std::vector<Index> sweep =
+      quick ? std::vector<Index>{8, 16}
+            : (bench::full_sweep() ? std::vector<Index>{8, 12, 16, 20, 24}
+                                   : std::vector<Index>{8, 12, 16, 20});
+  const int repeats = quick ? 2 : 3;
+
+  // Untimed warmup: allocator arenas, cold instruction cache.
+  (void)run_size(6, 1, 1, /*solve_comparison=*/false);
+
+  std::vector<HotpathResult> results;
+  for (const Index n : sweep) {
+    const int iters = n <= 8 ? 10 : (n <= 16 ? 3 : 2);
+    const bool solve_comparison = n == sweep.back();
+    results.push_back(run_size(n, repeats, iters, solve_comparison));
+    std::cout << "n=" << results.back().n << " assembly speedup x"
+              << results.back().assembly_speedup << " (mt x"
+              << results.back().assembly_speedup_mt << ")\n";
+  }
+
+  Table table({"series", "n", "equations", "unknowns", "per_iter_seconds", "speedup"});
+  for (const HotpathResult& r : results) {
+    table.add("legacy", r.n, r.equations, r.unknowns, r.legacy_seconds, 1.0);
+    table.add("kernel", r.n, r.equations, r.unknowns, r.kernel_seconds,
+              r.assembly_speedup);
+    table.add("kernel-mt", r.n, r.equations, r.unknowns, r.kernel_mt_seconds,
+              r.assembly_speedup_mt);
+  }
+  bench::emit(table, "solver_hotpath");
+
+  const std::string json_path = bench::results_dir() + "/solver_hotpath.json";
+  write_json(results, json_path);
+  std::cout << "saved: " << json_path << "\n";
+
+  // The acceptance gate: >= 2x serial assembly speedup at n >= 16.
+  bool met = false;
+  for (const HotpathResult& r : results) {
+    if (r.n >= 16 && r.assembly_speedup >= 2.0) met = true;
+  }
+  std::cout << (met ? "PASS" : "MISS")
+            << ": kernel refresh vs CooBuilder assembly at n >= 16 (target 2x)\n";
+  return met ? 0 : 1;
+}

@@ -16,6 +16,7 @@
 #include "core/engine.hpp"
 #include "equations/layout.hpp"
 #include "mea/device.hpp"
+#include "solver/system_kernels.hpp"
 
 namespace parma::core {
 
@@ -26,6 +27,8 @@ class FormationCache {
     std::uint64_t topology_misses = 0;
     std::uint64_t layout_hits = 0;
     std::uint64_t layout_misses = 0;
+    std::uint64_t symbolic_hits = 0;
+    std::uint64_t symbolic_misses = 0;
   };
 
   /// Topology report for the engine's device, computed at most once per
@@ -35,6 +38,14 @@ class FormationCache {
   /// Shared unknown layout for the device shape, constructed at most once.
   [[nodiscard]] std::shared_ptr<const equations::UnknownLayout> layout(
       const mea::DeviceSpec& spec);
+
+  /// Shared symbolic analysis of the joint-constraint system (the one-time
+  /// pattern / scatter-map side of the solver's symbolic/numeric split),
+  /// computed at most once per device shape. `system` supplies the term
+  /// structure on a miss; the sparsity pattern depends only on the shape,
+  /// never on measured values, so the result is reused across recordings.
+  [[nodiscard]] std::shared_ptr<const solver::SystemSymbolic> system_symbolic(
+      const equations::EquationSystem& system);
 
   [[nodiscard]] Stats stats() const;
 
@@ -63,6 +74,7 @@ class FormationCache {
   mutable std::mutex mu_;
   std::map<ShapeKey, TopologyReport> topology_;
   std::map<ShapeKey, std::shared_ptr<const equations::UnknownLayout>> layouts_;
+  std::map<ShapeKey, std::shared_ptr<const solver::SystemSymbolic>> symbolics_;
   Stats stats_;
 };
 

@@ -30,25 +30,22 @@ std::vector<Real> system_residual(const EquationSystem& system, const std::vecto
   return r;
 }
 
-linalg::CsrMatrix system_jacobian(const EquationSystem& system, const std::vector<Real>& x) {
+linalg::CsrMatrix system_jacobian(const EquationSystem& system, const std::vector<Real>& x,
+                                  linalg::ZeroPolicy policy) {
   PARMA_REQUIRE(static_cast<Index>(x.size()) == system.layout.num_unknowns(),
                 "unknown vector size mismatch");
   linalg::CooBuilder builder(static_cast<Index>(system.equations.size()),
                              system.layout.num_unknowns());
   for (std::size_t row = 0; row < system.equations.size(); ++row) {
     for (const auto& term : system.equations[row].terms) {
-      const Real r = x[static_cast<std::size_t>(term.resistor_unknown)];
-      PARMA_REQUIRE(r != 0.0, "zero resistance in Jacobian");
-      Real numerator = term.constant;
-      if (term.plus_unknown >= 0) numerator += x[static_cast<std::size_t>(term.plus_unknown)];
-      if (term.minus_unknown >= 0) numerator -= x[static_cast<std::size_t>(term.minus_unknown)];
+      const TermPartials p = term_partials(term, x);
       const Index row_idx = static_cast<Index>(row);
-      if (term.plus_unknown >= 0) builder.add(row_idx, term.plus_unknown, term.sign / r);
-      if (term.minus_unknown >= 0) builder.add(row_idx, term.minus_unknown, -term.sign / r);
-      builder.add(row_idx, term.resistor_unknown, -term.sign * numerator / (r * r));
+      if (term.plus_unknown >= 0) builder.add(row_idx, term.plus_unknown, p.d_plus);
+      if (term.minus_unknown >= 0) builder.add(row_idx, term.minus_unknown, p.d_minus);
+      builder.add(row_idx, term.resistor_unknown, p.d_resistor);
     }
   }
-  return builder.build();
+  return builder.build(policy);
 }
 
 std::vector<Real> pack_unknowns(const UnknownLayout& layout,

@@ -38,6 +38,17 @@ std::vector<Real> DenseMatrix::multiply(const std::vector<Real>& x) const {
   return y;
 }
 
+void DenseMatrix::multiply_into(const std::vector<Real>& x, std::vector<Real>& y) const {
+  PARMA_REQUIRE(static_cast<Index>(x.size()) == cols_, "multiply_into: shape mismatch");
+  y.resize(static_cast<std::size_t>(rows_));
+  for (Index r = 0; r < rows_; ++r) {
+    Real sum = 0.0;
+    const Real* row = data_.data() + r * cols_;
+    for (Index c = 0; c < cols_; ++c) sum += row[c] * x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
 std::vector<Real> DenseMatrix::multiply_transpose(const std::vector<Real>& x) const {
   PARMA_REQUIRE(static_cast<Index>(x.size()) == rows_, "multiply_transpose: shape mismatch");
   std::vector<Real> y(static_cast<std::size_t>(cols_), 0.0);

@@ -41,6 +41,10 @@ class DenseMatrix {
   /// y = A x.
   [[nodiscard]] std::vector<Real> multiply(const std::vector<Real>& x) const;
 
+  /// y = A x into a preallocated y (resized if needed) -- the zero-allocation
+  /// variant the workspace CG uses.
+  void multiply_into(const std::vector<Real>& x, std::vector<Real>& y) const;
+
   /// y = A^T x.
   [[nodiscard]] std::vector<Real> multiply_transpose(const std::vector<Real>& x) const;
 

@@ -19,11 +19,14 @@ void CooBuilder::add(Index row, Index col, Real value) {
   values_.push_back(value);
 }
 
-CsrMatrix CooBuilder::build() const {
+CsrMatrix CooBuilder::build(ZeroPolicy policy) const {
   const std::size_t nnz_in = values_.size();
   std::vector<std::size_t> order(nnz_in);
   std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+  // Stable: duplicates at one coordinate sum in insertion order, which pins
+  // the floating-point result and lets the scatter-map refresh in
+  // solver/system_kernels reproduce it bit for bit.
+  std::stable_sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
     if (rows_idx_[a] != rows_idx_[b]) return rows_idx_[a] < rows_idx_[b];
     return cols_idx_[a] < cols_idx_[b];
   });
@@ -42,7 +45,7 @@ CsrMatrix CooBuilder::build() const {
       sum += values_[order[k]];
       ++k;
     }
-    if (sum != 0.0) {
+    if (sum != 0.0 || policy == ZeroPolicy::kKeep) {
       col_idx.push_back(c);
       values.push_back(sum);
       ++row_ptr[static_cast<std::size_t>(r) + 1];
@@ -81,6 +84,43 @@ std::vector<Real> CsrMatrix::multiply(const std::vector<Real>& x) const {
     y[static_cast<std::size_t>(r)] = sum;
   }
   return y;
+}
+
+void CsrMatrix::multiply_into(const std::vector<Real>& x, std::vector<Real>& y) const {
+  y.resize(static_cast<std::size_t>(rows_));
+  multiply_rows_into(x, y, 0, rows_);
+}
+
+void CsrMatrix::multiply_rows_into(const std::vector<Real>& x, std::vector<Real>& y,
+                                   Index lo, Index hi) const {
+  PARMA_REQUIRE(static_cast<Index>(x.size()) == cols_, "multiply_rows_into: size mismatch");
+  PARMA_REQUIRE(static_cast<Index>(y.size()) == rows_ && lo >= 0 && hi <= rows_,
+                "multiply_rows_into: bad output or row range");
+  for (Index r = lo; r < hi; ++r) {
+    Real sum = 0.0;
+    for (Index k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      sum += values_[static_cast<std::size_t>(k)] *
+             x[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])];
+    }
+    y[static_cast<std::size_t>(r)] = sum;
+  }
+}
+
+void CsrMatrix::multiply_transpose_into(const std::vector<Real>& x,
+                                        std::vector<Real>& y) const {
+  PARMA_REQUIRE(static_cast<Index>(x.size()) == rows_,
+                "multiply_transpose_into: size mismatch");
+  y.assign(static_cast<std::size_t>(cols_), 0.0);
+  for (Index r = 0; r < rows_; ++r) {
+    const Real xr = x[static_cast<std::size_t>(r)];
+    if (xr == 0.0) continue;
+    for (Index k = row_ptr_[static_cast<std::size_t>(r)];
+         k < row_ptr_[static_cast<std::size_t>(r) + 1]; ++k) {
+      y[static_cast<std::size_t>(col_idx_[static_cast<std::size_t>(k)])] +=
+          values_[static_cast<std::size_t>(k)] * xr;
+    }
+  }
 }
 
 std::vector<Real> CsrMatrix::multiply_transpose(const std::vector<Real>& x) const {

@@ -13,6 +13,13 @@ namespace parma::linalg {
 
 class CsrMatrix;
 
+/// What CooBuilder::build does with coordinates whose accumulated value is
+/// exactly zero. kDrop (the historical default) removes them, which makes the
+/// sparsity pattern value-dependent; kKeep retains them as explicit zeros so
+/// the pattern is a pure function of the coordinates added -- required by any
+/// consumer that reuses the symbolic structure across numeric refreshes.
+enum class ZeroPolicy { kDrop, kKeep };
+
 /// Coordinate-format staging area: push (row, col, value) triplets in any
 /// order, then freeze into CSR.
 class CooBuilder {
@@ -26,8 +33,9 @@ class CooBuilder {
   [[nodiscard]] Index cols() const { return cols_; }
   [[nodiscard]] std::size_t num_triplets() const { return rows_idx_.size(); }
 
-  /// Sorts, merges duplicates, drops explicit zeros, and produces CSR.
-  [[nodiscard]] CsrMatrix build() const;
+  /// Sorts (stably: duplicates sum in insertion order) and merges duplicates
+  /// into CSR. `policy` decides whether exact-zero sums keep their slot.
+  [[nodiscard]] CsrMatrix build(ZeroPolicy policy = ZeroPolicy::kDrop) const;
 
  private:
   Index rows_;
@@ -51,11 +59,27 @@ class CsrMatrix {
   [[nodiscard]] const std::vector<Index>& col_idx() const { return col_idx_; }
   [[nodiscard]] const std::vector<Real>& values() const { return values_; }
 
+  /// Mutable numeric values for in-place refresh of a fixed pattern (the
+  /// symbolic/numeric split in solver/system_kernels.hpp). The pattern
+  /// (row_ptr/col_idx) stays immutable.
+  [[nodiscard]] std::vector<Real>& values_mut() { return values_; }
+
   /// y = A x.
   [[nodiscard]] std::vector<Real> multiply(const std::vector<Real>& x) const;
 
   /// y = A^T x.
   [[nodiscard]] std::vector<Real> multiply_transpose(const std::vector<Real>& x) const;
+
+  /// y = A x into a preallocated y (resized if needed; no per-call allocation
+  /// once y has capacity). `lo`/`hi` restrict to the row range [lo, hi) so
+  /// callers can partition rows across threads (disjoint writes).
+  void multiply_into(const std::vector<Real>& x, std::vector<Real>& y) const;
+  void multiply_rows_into(const std::vector<Real>& x, std::vector<Real>& y,
+                          Index lo, Index hi) const;
+
+  /// y = A^T x into a preallocated y (serial: transpose products scatter
+  /// across columns, so this is not row-partitionable).
+  void multiply_transpose_into(const std::vector<Real>& x, std::vector<Real>& y) const;
 
   /// Entry lookup (binary search within the row); zero if absent.
   [[nodiscard]] Real at(Index row, Index col) const;

@@ -16,6 +16,33 @@ Real dot(const std::vector<Real>& a, const std::vector<Real>& b) {
 
 Real norm2(const std::vector<Real>& a) { return std::sqrt(dot(a, a)); }
 
+std::size_t dot_chunk_count(std::size_t n) {
+  if (n <= kSerialDotThreshold) return 1;
+  return (n + kDotChunk - 1) / kDotChunk;
+}
+
+Real dot_chunk_partial(const std::vector<Real>& a, const std::vector<Real>& b,
+                       std::size_t c) {
+  const std::size_t n = a.size();
+  const std::size_t chunks = dot_chunk_count(n);
+  const std::size_t lo = (chunks == 1) ? 0 : c * kDotChunk;
+  const std::size_t hi = (chunks == 1) ? n : std::min(n, lo + kDotChunk);
+  Real sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+Real ordered_dot(const std::vector<Real>& a, const std::vector<Real>& b,
+                 std::vector<Real>& partials) {
+  PARMA_REQUIRE(a.size() == b.size(), "ordered_dot: size mismatch");
+  const std::size_t chunks = dot_chunk_count(a.size());
+  partials.resize(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) partials[c] = dot_chunk_partial(a, b, c);
+  Real sum = 0.0;
+  for (Real p : partials) sum += p;
+  return sum;
+}
+
 Real norm_inf(const std::vector<Real>& a) {
   Real m = 0.0;
   for (Real v : a) m = std::max(m, std::abs(v));

@@ -14,6 +14,29 @@ namespace parma::linalg {
 /// Dot product. Requires equal sizes.
 Real dot(const std::vector<Real>& a, const std::vector<Real>& b);
 
+/// Fixed chunk boundaries for ordered dot reductions. Below the threshold the
+/// whole range is ONE chunk (an ordered_dot is then bit-identical to dot());
+/// above it the range splits into kDotChunk-sized pieces. The boundaries are
+/// a pure function of the length -- never of the backend or worker count --
+/// so chunked reductions are deterministic across executors.
+inline constexpr std::size_t kSerialDotThreshold = std::size_t{1} << 15;
+inline constexpr std::size_t kDotChunk = std::size_t{1} << 14;
+
+/// Number of chunks ordered_dot uses for vectors of length n.
+[[nodiscard]] std::size_t dot_chunk_count(std::size_t n);
+
+/// Partial sum of a[i]*b[i] over the c-th fixed chunk of length-n vectors.
+[[nodiscard]] Real dot_chunk_partial(const std::vector<Real>& a,
+                                     const std::vector<Real>& b, std::size_t c);
+
+/// Ordered chunked dot product: per-chunk partials over the fixed boundaries
+/// above, summed in chunk order. The bits are the same whether the partials
+/// were computed serially (this function) or in parallel and then reduced in
+/// order (ParallelCsrOperator in solver/system_kernels.hpp). `partials` is
+/// caller-provided scratch so the hot path allocates nothing.
+[[nodiscard]] Real ordered_dot(const std::vector<Real>& a, const std::vector<Real>& b,
+                               std::vector<Real>& partials);
+
 /// Euclidean norm.
 Real norm2(const std::vector<Real>& a);
 

@@ -427,8 +427,17 @@ ParametrizeResult Server::run_attempt(const PendingPtr& pending,
     Stopwatch solve_clock;
     solver::InverseResult inverse;
     if (pending->request.solve_method == SolveMethod::kFullSystem) {
-      solver::FullSystemResult full = solver::solve_full_system(
-          formation.system, engine.measurement(), pending->request.full_system);
+      // The kernel context hands the solver this worker's warm executor and
+      // the shape-shared symbolic analysis, so repeated requests of one
+      // shape skip the pattern computation entirely.
+      solver::KernelContext kernel_context;
+      kernel_context.executor = executor;
+      if (pending->request.full_system.use_kernels) {
+        kernel_context.symbolic = cache->system_symbolic(formation.system);
+      }
+      solver::FullSystemResult full =
+          solver::solve_full_system(formation.system, engine.measurement(),
+                                    pending->request.full_system, kernel_context);
       inverse.recovered = std::move(full.recovered);
       inverse.iterations = full.iterations;
       inverse.converged = full.converged;
@@ -554,6 +563,9 @@ Stats Server::stats() const {
   Stats s = stats_.snapshot(queue_.high_water(), breakers_.opened_events());
   s.breaker_open_shapes = breakers_.open_shapes();
   s.degraded = degraded_.load(std::memory_order_relaxed);
+  const core::FormationCache::Stats cache_stats = cache_->stats();
+  s.symbolic_cache_hits = cache_stats.symbolic_hits;
+  s.symbolic_cache_misses = cache_stats.symbolic_misses;
   return s;
 }
 

@@ -55,6 +55,11 @@ struct Stats {
   std::size_t breaker_open_shapes = 0;  ///< shapes currently open/half-open
   bool degraded = false;                ///< degraded mode active right now
 
+  // Kernel symbolic-structure cache (full-system solves; one symbolic
+  // analysis per device shape, from the shared FormationCache).
+  std::uint64_t symbolic_cache_hits = 0;
+  std::uint64_t symbolic_cache_misses = 0;
+
   // Batching.
   std::uint64_t batches = 0;
   std::uint64_t max_batch = 0;

@@ -5,6 +5,7 @@
 
 #include "common/require.hpp"
 #include "linalg/dense_solve.hpp"
+#include "solver/system_kernels.hpp"
 
 namespace parma::solver {
 
@@ -69,6 +70,45 @@ std::vector<Real> diagonal_of(const linalg::DenseMatrix& a) {
   return diag;
 }
 
+// Rung 3 shared by every ladder variant: direct LU, then the ridged retry.
+std::vector<Real> dense_rung(const linalg::DenseMatrix& dense, const std::vector<Real>& b,
+                             Real tau) {
+  try {
+    std::vector<Real> x = linalg::solve_dense(dense, b);
+    if (all_finite(x)) return x;
+  } catch (const NumericalError&) {
+    // fall through to the ridged attempt
+  }
+  std::vector<Real> x = linalg::solve_dense(add_ridge(dense, tau), b);
+  if (!all_finite(x)) {
+    throw NumericalError("fallback ladder exhausted: dense solve produced non-finite values");
+  }
+  return x;
+}
+
+// Pattern-preserving ridge: copies A and adds tau on the diagonal slots in
+// place. Requires every A(i, i) structurally present (kernel-built normal
+// matrices force the diagonal); falls back to the CooBuilder rebuild when one
+// is missing.
+linalg::CsrMatrix add_ridge_in_pattern(const linalg::CsrMatrix& a, Real tau) {
+  const auto& row_ptr = a.row_ptr();
+  const auto& col_idx = a.col_idx();
+  std::vector<Index> diag_slots(static_cast<std::size_t>(a.rows()));
+  for (Index r = 0; r < a.rows(); ++r) {
+    const auto begin = col_idx.begin() + row_ptr[static_cast<std::size_t>(r)];
+    const auto end = col_idx.begin() + row_ptr[static_cast<std::size_t>(r) + 1];
+    const auto it = std::lower_bound(begin, end, r);
+    if (it == end || *it != r) return add_ridge(a, tau);
+    diag_slots[static_cast<std::size_t>(r)] = static_cast<Index>(it - col_idx.begin());
+  }
+  linalg::CsrMatrix ridged = a;
+  auto& values = ridged.values_mut();
+  for (Index r = 0; r < a.rows(); ++r) {
+    values[static_cast<std::size_t>(diag_slots[static_cast<std::size_t>(r)])] += tau;
+  }
+  return ridged;
+}
+
 template <typename Matrix>
 std::vector<Real> ladder(const Matrix& a, const std::vector<Real>& b,
                          const FallbackOptions& options, SolveDiagnostics& diagnostics) {
@@ -110,18 +150,48 @@ std::vector<Real> ladder(const Matrix& a, const std::vector<Real>& b,
   // ridge; only if that also fails does the ladder give up.
   ++diagnostics.dense_fallbacks;
   note_rung(FallbackRung::kDense);
-  const linalg::DenseMatrix& dense = densify(a);
-  try {
-    std::vector<Real> x = linalg::solve_dense(dense, b);
-    if (all_finite(x)) return x;
-  } catch (const NumericalError&) {
-    // fall through to the ridged attempt
+  return dense_rung(densify(a), b, tau);
+}
+
+// Workspace ladder shared by the sparse and dense overloads: identical rungs
+// and escalation rules to `ladder`, with the CG solves running through
+// conjugate_gradient_with on a reused CgWorkspace. `make_op` adapts a matrix
+// to the CG operator; `ridge` builds the rung-2 system.
+template <typename Matrix, typename MakeOp, typename Ridge>
+std::vector<Real> workspace_ladder(const Matrix& a, const std::vector<Real>& b,
+                                   const FallbackOptions& options,
+                                   SolveDiagnostics& diagnostics, linalg::CgWorkspace& ws,
+                                   const MakeOp& make_op, const Ridge& ridge) {
+  PARMA_REQUIRE(a.rows() == a.cols(), "fallback ladder needs a square matrix");
+  ++diagnostics.linear_solves;
+  const auto note_rung = [&](FallbackRung rung) {
+    diagnostics.highest_rung = std::max(diagnostics.highest_rung, rung);
+  };
+
+  linalg::IterativeResult cg = linalg::conjugate_gradient_with(make_op(a), b, options.cg, ws);
+  diagnostics.cg_iterations += cg.iterations;
+  if (cg.converged && all_finite(cg.x)) {
+    note_rung(FallbackRung::kCg);
+    return std::move(cg.x);
   }
-  std::vector<Real> x = linalg::solve_dense(add_ridge(dense, tau), b);
-  if (!all_finite(x)) {
-    throw NumericalError("fallback ladder exhausted: dense solve produced non-finite values");
+
+  ++diagnostics.tikhonov_retries;
+  note_rung(FallbackRung::kTikhonov);
+  const Real tau = ridge_for(diagonal_of(a), options.tikhonov_scale);
+  const Matrix ridged = ridge(a, tau);
+  linalg::IterativeOptions relaxed = options.cg;
+  relaxed.tolerance = options.cg.tolerance * options.tikhonov_tolerance_factor;
+  std::vector<Real> warm = all_finite(cg.x) ? std::move(cg.x) : std::vector<Real>{};
+  linalg::IterativeResult retry =
+      linalg::conjugate_gradient_with(make_op(ridged), b, relaxed, ws, std::move(warm));
+  diagnostics.cg_iterations += retry.iterations;
+  if (retry.converged && all_finite(retry.x)) {
+    return std::move(retry.x);
   }
-  return x;
+
+  ++diagnostics.dense_fallbacks;
+  note_rung(FallbackRung::kDense);
+  return dense_rung(densify(a), b, tau);
 }
 
 }  // namespace
@@ -157,6 +227,28 @@ std::vector<Real> solve_with_fallback(const linalg::DenseMatrix& a,
                                       const FallbackOptions& options,
                                       SolveDiagnostics& diagnostics) {
   return ladder(a, b, options, diagnostics);
+}
+
+std::vector<Real> solve_with_fallback(const linalg::CsrMatrix& a,
+                                      const std::vector<Real>& b,
+                                      const FallbackOptions& options,
+                                      SolveDiagnostics& diagnostics,
+                                      LadderWorkspace& workspace) {
+  return workspace_ladder(
+      a, b, options, diagnostics, workspace.cg,
+      [&](const linalg::CsrMatrix& m) { return ParallelCsrOperator(m, workspace.executor); },
+      [](const linalg::CsrMatrix& m, Real tau) { return add_ridge_in_pattern(m, tau); });
+}
+
+std::vector<Real> solve_with_fallback(const linalg::DenseMatrix& a,
+                                      const std::vector<Real>& b,
+                                      const FallbackOptions& options,
+                                      SolveDiagnostics& diagnostics,
+                                      linalg::CgWorkspace& workspace) {
+  return workspace_ladder(
+      a, b, options, diagnostics, workspace,
+      [](const linalg::DenseMatrix& m) { return linalg::SerialDenseOperator(m); },
+      [](const linalg::DenseMatrix& m, Real tau) { return add_ridge(m, tau); });
 }
 
 }  // namespace parma::solver

@@ -25,6 +25,10 @@
 #include "linalg/iterative.hpp"
 #include "linalg/sparse_matrix.hpp"
 
+namespace parma::exec {
+class Executor;
+}
+
 namespace parma::solver {
 
 /// The ladder rung that produced a solution (kNone = no solve ran yet).
@@ -69,5 +73,34 @@ std::vector<Real> solve_with_fallback(const linalg::DenseMatrix& a,
                                       const std::vector<Real>& b,
                                       const FallbackOptions& options,
                                       SolveDiagnostics& diagnostics);
+
+/// Scratch state for the workspace ladder overloads below: one CG workspace
+/// reused across every linear solve of an outer iteration (zero allocations
+/// per CG iteration) plus the executor driving parallel SpMV / ordered dot
+/// reductions inside CG (null = serial; the parallel reductions are
+/// bit-identical to serial, see linalg/vector_ops.hpp).
+struct LadderWorkspace {
+  linalg::CgWorkspace cg;
+  exec::Executor* executor = nullptr;
+};
+
+/// Workspace ladder on a sparse system. Same three rungs and escalation rules
+/// as the allocate-per-call overload; rung 2 reuses A's sparsity pattern and
+/// adds the ridge in place when the diagonal is structurally present (it
+/// always is for kernel-built normal matrices), instead of rebuilding through
+/// a CooBuilder.
+std::vector<Real> solve_with_fallback(const linalg::CsrMatrix& a,
+                                      const std::vector<Real>& b,
+                                      const FallbackOptions& options,
+                                      SolveDiagnostics& diagnostics,
+                                      LadderWorkspace& workspace);
+
+/// Workspace ladder on a dense system (the LM path: one CgWorkspace threaded
+/// through every damped solve).
+std::vector<Real> solve_with_fallback(const linalg::DenseMatrix& a,
+                                      const std::vector<Real>& b,
+                                      const FallbackOptions& options,
+                                      SolveDiagnostics& diagnostics,
+                                      linalg::CgWorkspace& workspace);
 
 }  // namespace parma::solver

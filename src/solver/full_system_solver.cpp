@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/require.hpp"
 #include "equations/pair_system.hpp"
 #include "equations/residual.hpp"
+#include "exec/executor.hpp"
 #include "linalg/iterative.hpp"
 #include "linalg/vector_ops.hpp"
 
@@ -19,64 +21,18 @@ Real residual_rms(const std::vector<Real>& r) {
   return std::sqrt(sum / static_cast<Real>(r.size()));
 }
 
-// Normal-equation matrix-free product would need J twice per CG step; the
-// Jacobian is sparse and reassembled per outer iteration, so we form
-// A = J^T J explicitly once per step instead (each row has O(m + n) nnz,
-// keeping the product sparse for MEA-scale problems).
-linalg::CsrMatrix normal_matrix(const linalg::CsrMatrix& j) {
-  linalg::CooBuilder builder(j.cols(), j.cols());
-  const auto& row_ptr = j.row_ptr();
-  const auto& col_idx = j.col_idx();
-  const auto& values = j.values();
-  for (Index r = 0; r < j.rows(); ++r) {
-    for (Index a = row_ptr[static_cast<std::size_t>(r)];
-         a < row_ptr[static_cast<std::size_t>(r) + 1]; ++a) {
-      for (Index b = row_ptr[static_cast<std::size_t>(r)];
-           b < row_ptr[static_cast<std::size_t>(r) + 1]; ++b) {
-        builder.add(col_idx[static_cast<std::size_t>(a)], col_idx[static_cast<std::size_t>(b)],
-                    values[static_cast<std::size_t>(a)] * values[static_cast<std::size_t>(b)]);
-      }
-    }
-  }
-  return builder.build();
-}
+// One endpoint pair per chunk: each per-pair solve is a full linear system,
+// coarse enough to schedule individually.
+constexpr Index kPairChunk = 1;
 
-}  // namespace
-
-std::vector<Real> initial_guess(const equations::EquationSystem& system,
-                                const mea::Measurement& measurement) {
-  const auto& layout = system.layout;
-  circuit::ResistanceGrid guess(layout.rows(), layout.cols());
-  for (Index i = 0; i < layout.rows(); ++i) {
-    for (Index j = 0; j < layout.cols(); ++j) guess.at(i, j) = measurement.z(i, j);
-  }
-  std::vector<Real> x(static_cast<std::size_t>(layout.num_unknowns()), 0.0);
-  for (Index e = 0; e < layout.num_resistors(); ++e) {
-    x[static_cast<std::size_t>(e)] = guess.flat()[static_cast<std::size_t>(e)];
-  }
-  for (Index i = 0; i < layout.rows(); ++i) {
-    for (Index j = 0; j < layout.cols(); ++j) {
-      const equations::PairSolution pair =
-          equations::solve_pair(guess, i, j, measurement.spec.drive_voltage);
-      for (Index k = 0; k < layout.cols(); ++k) {
-        if (k == j) continue;
-        x[static_cast<std::size_t>(layout.ua_index(i, j, k))] = pair.vertical_potential(k);
-      }
-      for (Index m = 0; m < layout.rows(); ++m) {
-        if (m == i) continue;
-        x[static_cast<std::size_t>(layout.ub_index(i, j, m))] = pair.horizontal_potential(m);
-      }
-    }
-  }
-  return x;
-}
-
-FullSystemResult solve_full_system(const equations::EquationSystem& system,
-                                   const mea::Measurement& measurement,
-                                   const FullSystemOptions& options) {
+// The legacy rebuild-per-iteration Gauss-Newton loop, kept verbatim as the
+// benchmark baseline and the bit-identity reference for the kernel path.
+FullSystemResult solve_legacy(const equations::EquationSystem& system,
+                              const mea::Measurement& measurement,
+                              const FullSystemOptions& options, exec::Executor* executor) {
   const auto& layout = system.layout;
   FullSystemResult result;
-  result.unknowns = initial_guess(system, measurement);
+  result.unknowns = initial_guess(system, measurement, executor);
 
   std::vector<Real> residual = equations::system_residual(system, result.unknowns);
   Real rms = residual_rms(residual);
@@ -96,7 +52,7 @@ FullSystemResult solve_full_system(const equations::EquationSystem& system,
       break;
     }
     const linalg::CsrMatrix jac = equations::system_jacobian(system, result.unknowns);
-    const linalg::CsrMatrix jtj = normal_matrix(jac);
+    const linalg::CsrMatrix jtj = reference_normal_matrix(jac);
     std::vector<Real> rhs = jac.multiply_transpose(residual);
     for (Real& v : rhs) v = -v;
 
@@ -137,6 +93,140 @@ FullSystemResult solve_full_system(const equations::EquationSystem& system,
         result.unknowns[static_cast<std::size_t>(e)];
   }
   return result;
+}
+
+// The kernel hot path: the same Gauss-Newton iteration with the per-step
+// assembly replaced by in-place symbolic/numeric refreshes and the linear
+// solves running through the workspace ladder. Serial execution is
+// bit-identical to solve_legacy (tests/test_kernels.cpp).
+FullSystemResult solve_kernels(const equations::EquationSystem& system,
+                               const mea::Measurement& measurement,
+                               const FullSystemOptions& options,
+                               const KernelContext& context) {
+  const auto& layout = system.layout;
+  exec::Executor* executor = context.executor;
+  FullSystemResult result;
+  result.unknowns = initial_guess(system, measurement, executor);
+
+  SystemKernels kernels(system, context.symbolic);
+  std::vector<Real> residual;
+  kernels.residual_into(result.unknowns, residual, executor);
+  Real rms = residual_rms(residual);
+  PARMA_REQUIRE(std::isfinite(rms), "full-system solve started from a non-finite residual");
+  result.residual_history.push_back(rms);
+
+  FallbackOptions ladder;
+  ladder.cg.max_iterations = options.cg_max_iterations;
+  ladder.cg.tolerance = options.cg_tolerance;
+  ladder.tikhonov_scale = options.tikhonov_scale;
+  ladder.tikhonov_tolerance_factor = options.tikhonov_tolerance_factor;
+  LadderWorkspace workspace;
+  workspace.executor = executor;
+
+  // Buffers outliving the loop: no per-iteration reallocation.
+  std::vector<Real> rhs;
+  std::vector<Real> candidate;
+  std::vector<Real> candidate_residual;
+
+  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (rms <= options.tolerance) {
+      result.converged = true;
+      break;
+    }
+    kernels.refresh(result.unknowns, executor);
+    kernels.jacobian().multiply_transpose_into(residual, rhs);
+    for (Real& v : rhs) v = -v;
+
+    const std::vector<Real> step =
+        solve_with_fallback(kernels.normal(), rhs, ladder, result.diagnostics, workspace);
+
+    candidate = result.unknowns;
+    for (std::size_t u = 0; u < candidate.size(); ++u) {
+      Real delta = step[u];
+      const Real scale = std::max(std::abs(candidate[u]), Real{1e-6});
+      delta = std::clamp(delta, -options.step_clamp * scale, options.step_clamp * scale);
+      candidate[u] += delta;
+      if (layout.is_resistance(static_cast<Index>(u)) && candidate[u] <= 0.0) {
+        candidate[u] = 0.5 * scale;  // project back into the feasible region
+      }
+    }
+    kernels.residual_into(candidate, candidate_residual, executor);
+    const Real candidate_rms = residual_rms(candidate_residual);
+    if (!std::isfinite(candidate_rms) || candidate_rms >= rms) break;  // stalled
+    std::swap(result.unknowns, candidate);
+    std::swap(residual, candidate_residual);
+    rms = candidate_rms;
+    result.residual_history.push_back(rms);
+  }
+
+  result.final_residual_rms = rms;
+  result.converged = result.converged || rms <= options.tolerance;
+  result.diagnostics.converged = result.converged;
+  result.recovered = circuit::ResistanceGrid(layout.rows(), layout.cols());
+  for (Index e = 0; e < layout.num_resistors(); ++e) {
+    result.recovered.flat()[static_cast<std::size_t>(e)] =
+        result.unknowns[static_cast<std::size_t>(e)];
+  }
+  return result;
+}
+
+}  // namespace
+
+std::vector<Real> initial_guess(const equations::EquationSystem& system,
+                                const mea::Measurement& measurement,
+                                exec::Executor* executor) {
+  const auto& layout = system.layout;
+  circuit::ResistanceGrid guess(layout.rows(), layout.cols());
+  for (Index i = 0; i < layout.rows(); ++i) {
+    for (Index j = 0; j < layout.cols(); ++j) guess.at(i, j) = measurement.z(i, j);
+  }
+  std::vector<Real> x(static_cast<std::size_t>(layout.num_unknowns()), 0.0);
+  for (Index e = 0; e < layout.num_resistors(); ++e) {
+    x[static_cast<std::size_t>(e)] = guess.flat()[static_cast<std::size_t>(e)];
+  }
+  // The per-pair solves are independent and write disjoint slots of x (the
+  // ua/ub blocks of their own pair), so any chunking / backend gives
+  // bit-identical results.
+  const Index pairs = layout.rows() * layout.cols();
+  const auto solve_pairs = [&](Index lo, Index hi) {
+    for (Index p = lo; p < hi; ++p) {
+      const Index i = p / layout.cols();
+      const Index j = p % layout.cols();
+      const equations::PairSolution pair =
+          equations::solve_pair(guess, i, j, measurement.spec.drive_voltage);
+      for (Index k = 0; k < layout.cols(); ++k) {
+        if (k == j) continue;
+        x[static_cast<std::size_t>(layout.ua_index(i, j, k))] = pair.vertical_potential(k);
+      }
+      for (Index m = 0; m < layout.rows(); ++m) {
+        if (m == i) continue;
+        x[static_cast<std::size_t>(layout.ub_index(i, j, m))] = pair.horizontal_potential(m);
+      }
+    }
+  };
+  if (executor == nullptr) {
+    solve_pairs(0, pairs);
+  } else {
+    executor->submit_bulk(0, pairs, kPairChunk, solve_pairs);
+  }
+  return x;
+}
+
+FullSystemResult solve_full_system(const equations::EquationSystem& system,
+                                   const mea::Measurement& measurement,
+                                   const FullSystemOptions& options) {
+  return solve_full_system(system, measurement, options, KernelContext{});
+}
+
+FullSystemResult solve_full_system(const equations::EquationSystem& system,
+                                   const mea::Measurement& measurement,
+                                   const FullSystemOptions& options,
+                                   const KernelContext& context) {
+  if (!options.use_kernels) {
+    return solve_legacy(system, measurement, options, context.executor);
+  }
+  return solve_kernels(system, measurement, options, context);
 }
 
 }  // namespace parma::solver

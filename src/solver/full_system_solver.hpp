@@ -11,12 +11,14 @@
 // grids, which validates the generated equation set end to end.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "circuit/crossbar.hpp"
 #include "equations/generator.hpp"
 #include "mea/measurement.hpp"
 #include "solver/fallback.hpp"
+#include "solver/system_kernels.hpp"
 
 namespace parma::solver {
 
@@ -31,6 +33,21 @@ struct FullSystemOptions {
   /// first rung). See fallback.hpp.
   Real tikhonov_scale = 1e-8;
   Real tikhonov_tolerance_factor = 100.0;
+  /// Default: the symbolic/numeric kernel hot path (system_kernels.hpp) --
+  /// in-place J / J^T J refreshes and workspace CG, bit-identical to the
+  /// legacy rebuild-per-iteration path (asserted in tests/test_kernels.cpp).
+  /// false selects the legacy path (the benchmark baseline).
+  bool use_kernels = true;
+};
+
+/// Optional amortization state for solve_full_system: a warm executor to
+/// parallelize refreshes, residuals, and CG products (null = serial; the
+/// results are bit-identical either way), and the shape-cached symbolic
+/// structure (null = analyze on entry; core::FormationCache shares one
+/// analysis across every system of a shape).
+struct KernelContext {
+  exec::Executor* executor = nullptr;
+  std::shared_ptr<const SystemSymbolic> symbolic;
 };
 
 struct FullSystemResult {
@@ -47,12 +64,22 @@ struct FullSystemResult {
 };
 
 /// Initial guess: R = Z (diagonal-dominant approximation) and pair voltages
-/// from the per-pair linear solve under that guess.
+/// from the per-pair linear solve under that guess. The n^2 per-pair solves
+/// are independent and write disjoint slots of x, so a non-null executor
+/// runs them in parallel with bit-identical results.
 std::vector<Real> initial_guess(const equations::EquationSystem& system,
-                                const mea::Measurement& measurement);
+                                const mea::Measurement& measurement,
+                                exec::Executor* executor = nullptr);
 
 FullSystemResult solve_full_system(const equations::EquationSystem& system,
                                    const mea::Measurement& measurement,
                                    const FullSystemOptions& options = {});
+
+/// Context-threading overload for serving: reuses a warm executor and the
+/// shape-cached symbolic analysis across requests.
+FullSystemResult solve_full_system(const equations::EquationSystem& system,
+                                   const mea::Measurement& measurement,
+                                   const FullSystemOptions& options,
+                                   const KernelContext& context);
 
 }  // namespace parma::solver

@@ -121,6 +121,9 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
   if (options.workers > 1) pool = std::make_unique<parallel::ThreadPool>(options.workers);
 
   Real lambda = options.initial_lambda;
+  // One CG workspace reused by every damped ladder solve across all LM
+  // iterations and retries (the damped systems share their size).
+  linalg::CgWorkspace ladder_workspace;
   ForwardSweep sweep = forward_sweep(result.recovered, volts, pool.get());
   Real misfit = impedance_misfit(sweep.z_model, measurement.z);
   if (!std::isfinite(misfit)) {
@@ -161,7 +164,8 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
           FallbackOptions ladder;
           ladder.cg.max_iterations = options.ladder_cg_max_iterations;
           ladder.cg.tolerance = options.ladder_cg_tolerance;
-          delta = solve_with_fallback(damped, rhs, ladder, result.diagnostics);
+          delta = solve_with_fallback(damped, rhs, ladder, result.diagnostics,
+                                      ladder_workspace);
         } else {
           delta = linalg::solve_dense(damped, rhs);
           ++result.diagnostics.linear_solves;

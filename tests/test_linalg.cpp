@@ -301,5 +301,146 @@ TEST(Laplacian, RejectsBadEdges) {
   EXPECT_THROW(build_dense_laplacian(2, {{0, 5, 1.0}}), ContractError);
 }
 
+// A ragged random CSR with an empty row, an empty column, and duplicate COO
+// coordinates -- the cases the CsrMatrix accessors have to survive.
+CsrMatrix ragged_fixture(DenseMatrix& dense_out) {
+  const Index rows = 5;
+  const Index cols = 4;
+  CooBuilder builder(rows, cols);
+  dense_out = DenseMatrix(rows, cols);
+  const auto put = [&](Index r, Index c, Real v) {
+    builder.add(r, c, v);
+    dense_out(r, c) += v;
+  };
+  // Row 2 and column 3 stay empty; (0, 1) accumulates three duplicates.
+  put(0, 1, 1.5);
+  put(0, 1, -0.25);
+  put(0, 1, 2.0);
+  put(0, 0, 3.0);
+  put(1, 2, -4.0);
+  put(3, 0, 0.5);
+  put(3, 1, 1.0);
+  put(4, 2, 2.5);
+  put(4, 0, -1.0);
+  return builder.build();
+}
+
+TEST(Csr, TransposeProductMatchesDenseReference) {
+  DenseMatrix dense(1, 1);
+  const CsrMatrix m = ragged_fixture(dense);
+  const std::vector<Real> x{1.0, -2.0, 0.5, 3.0, -0.75};
+  const std::vector<Real> expected = dense.transpose().multiply(x);
+  const std::vector<Real> got = m.multiply_transpose(x);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) EXPECT_NEAR(got[i], expected[i], 1e-14);
+  // The in-place variant reuses a dirty buffer and must fully overwrite it.
+  std::vector<Real> buffer(17, 1e9);
+  m.multiply_transpose_into(x, buffer);
+  ASSERT_EQ(buffer.size(), expected.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) EXPECT_EQ(buffer[i], got[i]);
+}
+
+TEST(Csr, TransposeAtDiagonalMatchDenseReference) {
+  DenseMatrix dense(1, 1);
+  const CsrMatrix m = ragged_fixture(dense);
+  const CsrMatrix t = m.transpose();
+  ASSERT_EQ(t.rows(), m.cols());
+  ASSERT_EQ(t.cols(), m.rows());
+  for (Index r = 0; r < m.rows(); ++r) {
+    for (Index c = 0; c < m.cols(); ++c) {
+      EXPECT_EQ(m.at(r, c), dense(r, c)) << r << "," << c;
+      EXPECT_EQ(t.at(c, r), dense(r, c)) << r << "," << c;
+    }
+  }
+  // diagonal() on a square duplicate-accumulating matrix, zero where absent.
+  CooBuilder sq(3, 3);
+  sq.add(0, 0, 1.0);
+  sq.add(0, 0, 2.0);
+  sq.add(1, 2, 5.0);
+  sq.add(2, 2, -3.0);
+  const std::vector<Real> diag = sq.build().diagonal();
+  ASSERT_EQ(diag.size(), 3u);
+  EXPECT_EQ(diag[0], 3.0);
+  EXPECT_EQ(diag[1], 0.0);
+  EXPECT_EQ(diag[2], -3.0);
+}
+
+TEST(Csr, InPlaceMultiplyMatchesAllocatingMultiply) {
+  DenseMatrix dense(1, 1);
+  const CsrMatrix m = ragged_fixture(dense);
+  const std::vector<Real> x{0.25, -1.0, 2.0, 4.0};
+  const std::vector<Real> expected = m.multiply(x);
+  std::vector<Real> y(3, -7.0);  // wrong size and dirty on purpose
+  m.multiply_into(x, y);
+  ASSERT_EQ(y.size(), expected.size());
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_EQ(y[i], expected[i]);
+  // Row-range partition covering [0, rows) reproduces the same bits.
+  std::vector<Real> partitioned(static_cast<std::size_t>(m.rows()), 0.0);
+  m.multiply_rows_into(x, partitioned, 0, 2);
+  m.multiply_rows_into(x, partitioned, 2, m.rows());
+  for (std::size_t i = 0; i < partitioned.size(); ++i) EXPECT_EQ(partitioned[i], expected[i]);
+}
+
+TEST(Csr, ZeroPolicyControlsExplicitZeroSlots) {
+  // The latent pattern-instability bug: with kDrop, coordinates whose values
+  // cancel to exactly 0.0 vanish from the pattern, so the sparsity structure
+  // depends on the numeric values. kKeep pins the structural pattern.
+  CooBuilder builder(2, 2);
+  builder.add(0, 0, 1.0);
+  builder.add(0, 1, 2.5);
+  builder.add(0, 1, -2.5);  // cancels exactly
+  builder.add(1, 1, 4.0);
+
+  const CsrMatrix dropped = builder.build(ZeroPolicy::kDrop);
+  EXPECT_EQ(dropped.nnz(), 2u) << "historical behavior: the cancelled slot vanishes";
+  EXPECT_EQ(dropped.at(0, 1), 0.0);
+
+  const CsrMatrix kept = builder.build(ZeroPolicy::kKeep);
+  EXPECT_EQ(kept.nnz(), 3u) << "structural pattern: the slot stays as explicit zero";
+  EXPECT_EQ(kept.at(0, 1), 0.0);
+  EXPECT_EQ(kept.row_ptr()[1] - kept.row_ptr()[0], 2);
+  // Numerics agree wherever both have a value.
+  for (Index r = 0; r < 2; ++r) {
+    for (Index c = 0; c < 2; ++c) EXPECT_EQ(kept.at(r, c), dropped.at(r, c));
+  }
+}
+
+TEST(VectorOps, OrderedDotIsBitIdenticalToDotBelowThreshold) {
+  Rng rng(991);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{257}, kSerialDotThreshold}) {
+    std::vector<Real> a(n);
+    std::vector<Real> b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = rng.uniform(-1.0, 1.0);
+      b[i] = rng.uniform(-1.0, 1.0);
+    }
+    ASSERT_EQ(dot_chunk_count(n), 1u);
+    std::vector<Real> partials;
+    EXPECT_EQ(ordered_dot(a, b, partials), dot(a, b)) << "n=" << n;
+  }
+}
+
+TEST(VectorOps, OrderedDotAboveThresholdSumsFixedChunksInOrder) {
+  Rng rng(992);
+  const std::size_t n = kSerialDotThreshold + kDotChunk + 17;
+  std::vector<Real> a(n);
+  std::vector<Real> b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = rng.uniform(-1.0, 1.0);
+    b[i] = rng.uniform(-1.0, 1.0);
+  }
+  const std::size_t chunks = dot_chunk_count(n);
+  ASSERT_GT(chunks, 1u);
+  // The deterministic contract: ordered_dot == the in-order sum of the fixed
+  // chunk partials, and the partials tile [0, n) exactly.
+  std::vector<Real> partials;
+  const Real got = ordered_dot(a, b, partials);
+  ASSERT_EQ(partials.size(), chunks);
+  Real manual = 0.0;
+  for (std::size_t c = 0; c < chunks; ++c) manual += dot_chunk_partial(a, b, c);
+  EXPECT_EQ(got, manual);
+  EXPECT_NEAR(got, dot(a, b), 1e-9 * static_cast<Real>(n));
+}
+
 }  // namespace
 }  // namespace parma::linalg
