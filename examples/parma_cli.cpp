@@ -270,6 +270,13 @@ int cmd_serve_bench(const Args& args) {
             << ", degraded entered " << stats.degraded_entered
             << ", invalid input " << stats.invalid_input + stats.rejected_invalid
             << "\n";
+  // Input-quality counters: masked / auto-masked Z entries, robustly
+  // down-weighted outliers, degraded completions, numerical breakdowns.
+  std::cout << "quality: masked entries " << stats.masked_entries << " (auto "
+            << stats.auto_masked_entries << "), outliers down-weighted "
+            << stats.outliers_downweighted << ", degraded results "
+            << stats.degraded_results << ", numerical breakdowns "
+            << stats.numerical_breakdowns << "\n";
   return 0;
 }
 

@@ -7,14 +7,19 @@
 #
 # Sanitizer passes:
 #   - TSan (-DPARMA_SANITIZE=thread) over the concurrency-sensitive suites
-#     (ctest label `tsan`: test_kernels, test_exec, test_serve, test_fault)
-#     plus the chaos storms (`chaos` label: test_fault's all-points fault
-#     storm under three distinct PARMA_CHAOS_SEED values).
+#     (ctest label `tsan`: test_kernels, test_exec, test_serve, test_fault,
+#     test_robust) plus the chaos storms (`chaos` label: test_fault's
+#     all-points fault storm and test_robust's corruption-recovery suite,
+#     each under three distinct PARMA_CHAOS_SEED values).
 #   - ASan+UBSan (-DPARMA_SANITIZE=address,undefined) over the same suites.
 #
 # Also runs the solver hot-path bench in --quick mode, which fails (non-zero
 # exit) unless the kernel refresh holds its 2x-at-n>=16 speedup over the
-# CooBuilder assembly path; refreshes bench_results/solver_hotpath.json.
+# CooBuilder assembly path, and the robust-accuracy bench in --quick mode,
+# which fails unless the robust+masked pipeline stays within 2x of the
+# fault-free error at 10% corruption (and plain least squares is measurably
+# worse); refreshes bench_results/solver_hotpath.json and
+# bench_results/robust_accuracy.json.
 #
 # Build trees: ./build (tier-1), ./build-tsan, ./build-asan.
 set -euo pipefail
@@ -38,10 +43,13 @@ echo "== tier-1: ctest =="
 echo "== bench: solver_hotpath --quick (2x refresh-speedup gate) =="
 ./build/bench/solver_hotpath --quick
 
+echo "== bench: robust_accuracy --quick (2x dirty-input accuracy gate) =="
+./build/bench/robust_accuracy --quick
+
 if [[ "${run_tsan}" == "1" ]]; then
   echo "== tsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-tsan -S . -DPARMA_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${jobs}" --target test_kernels test_exec test_serve test_fault
+  cmake --build build-tsan -j "${jobs}" --target test_kernels test_exec test_serve test_fault test_robust
   echo "== tsan: ctest -L tsan =="
   (cd build-tsan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== tsan: ctest -L chaos (3 seeds) =="
@@ -51,7 +59,7 @@ fi
 if [[ "${run_asan}" == "1" ]]; then
   echo "== asan+ubsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-asan -S . -DPARMA_SANITIZE=address,undefined >/dev/null
-  cmake --build build-asan -j "${jobs}" --target test_kernels test_exec test_serve test_fault
+  cmake --build build-asan -j "${jobs}" --target test_kernels test_exec test_serve test_fault test_robust
   echo "== asan+ubsan: ctest -L tsan =="
   (cd build-asan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== asan+ubsan: ctest -L chaos (3 seeds) =="

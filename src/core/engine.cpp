@@ -159,6 +159,7 @@ FormationResult Engine::form_equations_real(const StrategyOptions& options,
                                             exec::Executor* external) const {
   FormationResult result = empty_formation(spec());
   result.timing_mode = TimingMode::kRealThreads;
+  result.system.mask_signature = mea::mask_signature(measurement_);
   result.effective_workers = effective_workers(options);
 
   const TaskGranularity granularity = (options.strategy == Strategy::kFineGrained)
@@ -234,11 +235,12 @@ FormationResult Engine::form_equations_real(const StrategyOptions& options,
   }
 
   if (options.keep_system) {
-    result.system.equations.reserve(static_cast<std::size_t>(spec().num_equations()));
+    const Index expected = equations::expected_equation_count(measurement_);
+    result.system.equations.reserve(static_cast<std::size_t>(expected));
     for (auto& slot : slots) {
       for (auto& eq : slot) result.system.equations.push_back(std::move(eq));
     }
-    PARMA_REQUIRE(static_cast<Index>(result.system.equations.size()) == spec().num_equations(),
+    PARMA_REQUIRE(static_cast<Index>(result.system.equations.size()) == expected,
                   "real-thread formation produced wrong equation count");
   }
 
@@ -254,9 +256,11 @@ FormationResult Engine::form_equations_real(const StrategyOptions& options,
 FormationResult Engine::form_equations_virtual(const StrategyOptions& options) const {
   FormationResult result = empty_formation(spec());
   result.timing_mode = TimingMode::kVirtualReplay;
+  result.system.mask_signature = mea::mask_signature(measurement_);
   result.effective_workers = effective_workers(options);
   if (options.keep_system) {
-    result.system.equations.reserve(static_cast<std::size_t>(spec().num_equations()));
+    result.system.equations.reserve(
+        static_cast<std::size_t>(equations::expected_equation_count(measurement_)));
   }
 
   // Coarse-grained strategies bundle one device row per category; the
@@ -327,6 +331,11 @@ FormationResult Engine::form_equations_virtual(const StrategyOptions& options) c
 IoResult Engine::write_equations(const std::string& directory,
                                  const StrategyOptions& options) const {
   options.validate();
+  // The shard layout assumes the full fixed per-pair equation census; a
+  // masked sweep (variable equations per pair) is a serve-path concern, not a
+  // serialization one.
+  PARMA_REQUIRE(mea::masked_entry_count(measurement_) == 0,
+                "write_equations does not support masked measurements");
   IoResult io{form_equations(options), 0.0, 0.0, 0, {}};
   const Index shards = options.workers;
   std::filesystem::create_directories(directory);

@@ -38,7 +38,8 @@ std::shared_ptr<const equations::UnknownLayout> FormationCache::layout(
 
 std::shared_ptr<const solver::SystemSymbolic> FormationCache::system_symbolic(
     const equations::EquationSystem& system) {
-  const ShapeKey key{system.layout.rows(), system.layout.cols(), false};
+  const ShapeKey key{system.layout.rows(), system.layout.cols(), false,
+                     system.mask_signature};
   {
     std::lock_guard lock(mu_);
     const auto it = symbolics_.find(key);

@@ -41,9 +41,11 @@ class FormationCache {
 
   /// Shared symbolic analysis of the joint-constraint system (the one-time
   /// pattern / scatter-map side of the solver's symbolic/numeric split),
-  /// computed at most once per device shape. `system` supplies the term
-  /// structure on a miss; the sparsity pattern depends only on the shape,
-  /// never on measured values, so the result is reused across recordings.
+  /// computed at most once per (device shape, measurement-mask signature).
+  /// `system` supplies the term structure on a miss; the sparsity pattern
+  /// depends only on the shape and on which pairs were dropped by the mask
+  /// (EquationSystem::mask_signature, 0 for a complete sweep), never on
+  /// measured values, so the result is reused across recordings.
   [[nodiscard]] std::shared_ptr<const solver::SystemSymbolic> system_symbolic(
       const equations::EquationSystem& system);
 
@@ -63,11 +65,13 @@ class FormationCache {
   struct ShapeKey {
     Index rows = 0;
     Index cols = 0;
-    bool exact = false;  // only meaningful for topology entries
+    bool exact = false;        // only meaningful for topology entries
+    std::uint64_t mask = 0;    // mask signature; only meaningful for symbolics
     bool operator<(const ShapeKey& other) const {
       if (rows != other.rows) return rows < other.rows;
       if (cols != other.cols) return cols < other.cols;
-      return exact < other.exact;
+      if (exact != other.exact) return exact < other.exact;
+      return mask < other.mask;
     }
   };
 

@@ -25,40 +25,45 @@ std::vector<JointEquation> generate_pair_equations(const UnknownLayout& layout,
   const Index cols = layout.cols();
   PARMA_REQUIRE(i >= 0 && i < rows && j >= 0 && j < cols, "pair endpoint out of range");
   const Real u = measurement.u(i, j);
-  const Real z = measurement.z(i, j);
-  PARMA_REQUIRE(z > 0.0, "measured Z must be positive");
+  // A masked pair contributes no terminal equations (the only two that read
+  // Z), so its Z entry -- possibly a NaN placeholder -- is never touched.
+  const bool masked = !mea::entry_valid(measurement, i, j);
 
   std::vector<JointEquation> eqs;
-  eqs.reserve(static_cast<std::size_t>(2 + (cols - 1) + (rows - 1)));
+  eqs.reserve(static_cast<std::size_t>((masked ? 0 : 2) + (cols - 1) + (rows - 1)));
 
   // --- Source joint: U/Z = U/R_ij + sum_k (U - Ua_k)/R_ik -------------------
-  {
-    JointEquation eq;
-    eq.category = ConstraintCategory::kSource;
-    eq.pair_i = i;
-    eq.pair_j = j;
-    eq.rhs = u / z;
-    eq.terms.push_back({layout.r_index(i, j), u, -1, -1, 1.0});
-    for (Index k = 0; k < cols; ++k) {
-      if (k == j) continue;
-      eq.terms.push_back({layout.r_index(i, k), u, -1, layout.ua_index(i, j, k), 1.0});
+  if (!masked) {
+    const Real z = measurement.z(i, j);
+    PARMA_REQUIRE(z > 0.0, "measured Z must be positive");
+    {
+      JointEquation eq;
+      eq.category = ConstraintCategory::kSource;
+      eq.pair_i = i;
+      eq.pair_j = j;
+      eq.rhs = u / z;
+      eq.terms.push_back({layout.r_index(i, j), u, -1, -1, 1.0});
+      for (Index k = 0; k < cols; ++k) {
+        if (k == j) continue;
+        eq.terms.push_back({layout.r_index(i, k), u, -1, layout.ua_index(i, j, k), 1.0});
+      }
+      eqs.push_back(std::move(eq));
     }
-    eqs.push_back(std::move(eq));
-  }
 
-  // --- Destination joint: U/Z = U/R_ij + sum_m Ub_m/R_mj --------------------
-  {
-    JointEquation eq;
-    eq.category = ConstraintCategory::kDestination;
-    eq.pair_i = i;
-    eq.pair_j = j;
-    eq.rhs = u / z;
-    eq.terms.push_back({layout.r_index(i, j), u, -1, -1, 1.0});
-    for (Index m = 0; m < rows; ++m) {
-      if (m == i) continue;
-      eq.terms.push_back({layout.r_index(m, j), 0.0, layout.ub_index(i, j, m), -1, 1.0});
+    // --- Destination joint: U/Z = U/R_ij + sum_m Ub_m/R_mj ------------------
+    {
+      JointEquation eq;
+      eq.category = ConstraintCategory::kDestination;
+      eq.pair_i = i;
+      eq.pair_j = j;
+      eq.rhs = u / z;
+      eq.terms.push_back({layout.r_index(i, j), u, -1, -1, 1.0});
+      for (Index m = 0; m < rows; ++m) {
+        if (m == i) continue;
+        eq.terms.push_back({layout.r_index(m, j), 0.0, layout.ub_index(i, j, m), -1, 1.0});
+      }
+      eqs.push_back(std::move(eq));
     }
-    eqs.push_back(std::move(eq));
   }
 
   // --- Near-source joints (Ua): (U - Ua_k)/R_ik = sum_m (Ua_k - Ub_m)/R_mk --
@@ -100,10 +105,15 @@ std::vector<JointEquation> generate_pair_equations(const UnknownLayout& layout,
   return eqs;
 }
 
+Index expected_equation_count(const mea::Measurement& measurement) {
+  return measurement.spec.num_equations() - 2 * mea::masked_entry_count(measurement);
+}
+
 EquationSystem generate_system(const mea::Measurement& measurement) {
   measurement.spec.validate();
   EquationSystem system{UnknownLayout(measurement.spec), {}};
-  system.equations.reserve(static_cast<std::size_t>(measurement.spec.num_equations()));
+  system.mask_signature = mea::mask_signature(measurement);
+  system.equations.reserve(static_cast<std::size_t>(expected_equation_count(measurement)));
   for (Index i = 0; i < measurement.spec.rows; ++i) {
     for (Index j = 0; j < measurement.spec.cols; ++j) {
       std::vector<JointEquation> pair_eqs =
@@ -112,7 +122,7 @@ EquationSystem generate_system(const mea::Measurement& measurement) {
     }
   }
   PARMA_REQUIRE(static_cast<Index>(system.equations.size()) ==
-                    measurement.spec.num_equations(),
+                    expected_equation_count(measurement),
                 "equation census mismatch");
   return system;
 }

@@ -20,6 +20,12 @@ namespace parma::equations {
 struct EquationSystem {
   UnknownLayout layout;
   std::vector<JointEquation> equations;
+  /// Signature of the measurement mask the system was generated under
+  /// (mea::mask_signature): 0 for a complete sweep. Part of the structural
+  /// identity of the system -- masked pairs drop their two terminal
+  /// equations, so the sparsity pattern (and any cached symbolic analysis)
+  /// is keyed on (shape, mask_signature).
+  std::uint64_t mask_signature = 0;
 
   /// Number of equations per constraint category.
   [[nodiscard]] std::vector<Index> category_census() const;
@@ -30,10 +36,17 @@ struct EquationSystem {
 
 /// Equations of a single endpoint pair, in category order: source,
 /// destination, the (n-1) near-source joints, the (m-1) near-destination
-/// joints.
+/// joints. When the pair's Z entry is masked out, the source and destination
+/// equations (the only two that consume Z) are omitted; the interior joints
+/// remain -- (n-1) + (m-1) equations for the pair's (n-1) + (m-1) voltage
+/// unknowns, so the pair's voltage system stays square given R.
 std::vector<JointEquation> generate_pair_equations(const UnknownLayout& layout,
                                                    const mea::Measurement& measurement,
                                                    Index i, Index j);
+
+/// Equation count the measurement's mask leaves standing: the full census
+/// minus two terminal equations per masked pair.
+[[nodiscard]] Index expected_equation_count(const mea::Measurement& measurement);
 
 /// The whole system, pairs in row-major order.
 EquationSystem generate_system(const mea::Measurement& measurement);

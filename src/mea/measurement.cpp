@@ -8,6 +8,57 @@
 
 namespace parma::mea {
 
+Index MeasurementMask::masked_count() const {
+  Index count = 0;
+  for (const std::uint8_t b : bits) {
+    if (b == 0) ++count;
+  }
+  return count;
+}
+
+std::uint64_t MeasurementMask::signature() const {
+  if (all_valid()) return 0;
+  // FNV-1a over the shape and the bit vector.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(rows));
+  mix(static_cast<std::uint64_t>(cols));
+  for (const std::uint8_t b : bits) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  // 0 is reserved for "unmasked / all valid".
+  return h == 0 ? 1 : h;
+}
+
+Index masked_entry_count(const Measurement& m) {
+  return m.mask ? m.mask->masked_count() : 0;
+}
+
+std::uint64_t mask_signature(const Measurement& m) {
+  return m.mask ? m.mask->signature() : 0;
+}
+
+Index mask_invalid_entries(Measurement& m) {
+  Index newly_masked = 0;
+  for (Index i = 0; i < m.z.rows(); ++i) {
+    for (Index j = 0; j < m.z.cols(); ++j) {
+      const Real z = m.z(i, j);
+      if (std::isfinite(z) && z > 0.0) continue;
+      if (m.mask && !m.mask->valid(i, j)) continue;  // already masked
+      if (!m.mask) m.mask.emplace(m.z.rows(), m.z.cols());
+      m.mask->drop(i, j);
+      ++newly_masked;
+    }
+  }
+  return newly_masked;
+}
+
 Measurement measure(const DeviceSpec& spec, const circuit::ResistanceGrid& truth,
                     const MeasurementOptions& options, Rng& rng) {
   spec.validate();
@@ -42,8 +93,30 @@ void validate_measurement(const Measurement& measurement) {
     os << "invalid measurement: " << what << " at (" << i << ", " << j << "): " << value;
     throw InvalidMeasurement(os.str());
   };
+  const Real volts = measurement.spec.drive_voltage;
+  if (!std::isfinite(volts)) {
+    std::ostringstream os;
+    os << "invalid measurement: non-finite drive voltage: " << volts;
+    throw InvalidMeasurement(os.str());
+  }
+  if (volts <= 0.0) {
+    std::ostringstream os;
+    os << "invalid measurement: non-positive drive voltage: " << volts;
+    throw InvalidMeasurement(os.str());
+  }
+  if (measurement.mask) {
+    const MeasurementMask& mask = *measurement.mask;
+    if (mask.rows != measurement.z.rows() || mask.cols != measurement.z.cols() ||
+        static_cast<Index>(mask.bits.size()) != mask.rows * mask.cols) {
+      throw InvalidMeasurement("invalid measurement: mask shape does not match Z");
+    }
+    if (mask.masked_count() == mask.rows * mask.cols) {
+      throw InvalidMeasurement("invalid measurement: every entry is masked out");
+    }
+  }
   for (Index i = 0; i < measurement.z.rows(); ++i) {
     for (Index j = 0; j < measurement.z.cols(); ++j) {
+      if (!entry_valid(measurement, i, j)) continue;
       const Real z = measurement.z(i, j);
       if (!std::isfinite(z)) fail("non-finite Z", i, j, z);
       if (z <= 0.0) fail("non-positive Z", i, j, z);
@@ -51,6 +124,7 @@ void validate_measurement(const Measurement& measurement) {
   }
   for (Index i = 0; i < measurement.u.rows(); ++i) {
     for (Index j = 0; j < measurement.u.cols(); ++j) {
+      if (!entry_valid(measurement, i, j)) continue;
       const Real u = measurement.u(i, j);
       if (!std::isfinite(u)) fail("non-finite U", i, j, u);
     }

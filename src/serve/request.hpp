@@ -31,6 +31,9 @@ enum class RequestStatus {
   kSolverFailed,      ///< a pipeline stage threw; `message` has the reason
   kInvalidInput,      ///< measurement payload rejected (non-finite/negative Z)
   kBreakerOpen,       ///< fast-failed: this shape's circuit breaker is open
+  kDegradedResult,    ///< pipeline ran and `inverse` holds a recovery, but the
+                      ///< quality report tripped the request's QualityFloor
+                      ///< (heavy masking/outliers, ill-conditioning, breakdown)
 };
 
 const char* request_status_name(RequestStatus status);
@@ -62,6 +65,46 @@ enum class SolveMethod {
                         ///< system (paper IV-A); exercises the fallback ladder
 };
 
+/// Minimum acceptable quality of a served recovery. A request whose pipeline
+/// succeeds but whose QualityReport violates any enabled bound completes as
+/// kDegradedResult instead of kOk: the caller still gets the recovery, plus a
+/// machine-readable signal that it came from dirty input or shaky numerics.
+/// The defaults disable every bound (kOk behaves exactly as before).
+struct QualityFloor {
+  /// Max fraction of Z entries masked out (missing or auto-masked), in [0, 1].
+  Real max_masked_fraction = 1.0;
+  /// Max fraction of unmasked entries the robust loss down-weighted below 1/2.
+  Real max_outlier_fraction = 1.0;
+  /// Max acceptable diagonal condition estimate of the normal matrix
+  /// (solver::diagonal_condition_estimate); 0 disables the bound.
+  Real max_condition_estimate = 0.0;
+  /// Demote non-converged (but otherwise successful) solves.
+  bool require_convergence = false;
+  /// Demote solves that terminated with kNumericalBreakdown but still
+  /// produced a finite recovery.
+  bool demote_on_breakdown = false;
+
+  /// True when any bound is active (the server skips the check otherwise).
+  [[nodiscard]] bool enabled() const {
+    return max_masked_fraction < 1.0 || max_outlier_fraction < 1.0 ||
+           max_condition_estimate > 0.0 || require_convergence || demote_on_breakdown;
+  }
+};
+
+/// Input/solve quality of one completed request, for kOk and kDegradedResult.
+struct QualityReport {
+  Index masked_entries = 0;       ///< Z entries excluded from the fit (total)
+  Index auto_masked = 0;          ///< of those, masked by auto_mask_invalid
+  Real masked_fraction = 0.0;     ///< masked_entries / total entries
+  Index outlier_entries = 0;      ///< unmasked entries down-weighted below 1/2
+  Real outlier_fraction = 0.0;    ///< outlier_entries / unmasked entries
+  Real robust_scale = 0.0;        ///< final IRLS scale (0 when robust off)
+  Real condition_estimate = 0.0;  ///< worst per-iteration diagonal estimate
+  bool numerical_breakdown = false;  ///< solver hit kNumericalBreakdown
+  bool converged = false;
+  bool degraded = false;          ///< this report tripped the QualityFloor
+};
+
 /// One unit of serving work.
 struct ParametrizeRequest {
   mea::Measurement measurement;
@@ -85,6 +128,15 @@ struct ParametrizeRequest {
   std::optional<Real> anomaly_threshold;
   /// Degraded-mode shedding class (see Priority).
   Priority priority = Priority::kNormal;
+  /// When set, non-finite or non-positive Z entries are masked out (via
+  /// mea::mask_invalid_entries) instead of rejecting the request as
+  /// kInvalidInput -- the robust path for sweeps with dropped electrodes.
+  /// Applied at admission and again per attempt (so injected faults are
+  /// also recovered). A sweep whose every entry is invalid still rejects.
+  bool auto_mask_invalid = false;
+  /// Minimum acceptable result quality; violations complete the request as
+  /// kDegradedResult (recovery still returned). Defaults: no bounds.
+  QualityFloor quality_floor;
 };
 
 /// Completion record of one request.
@@ -104,6 +156,9 @@ struct ParametrizeResult {
   core::TopologyReport topology;
   /// Anomalous cells above `anomaly_threshold` (when requested; kOk only).
   Index anomalies = 0;
+  /// Input/solve quality of the attempt that produced `inverse` (valid for
+  /// kOk and kDegradedResult).
+  QualityReport quality;
 
   // Formation summary (the equation system itself is not returned).
   Index equations = 0;
@@ -120,6 +175,10 @@ struct ParametrizeResult {
   Index attempts = 0;
 
   [[nodiscard]] bool ok() const { return status == RequestStatus::kOk; }
+  /// kOk or kDegradedResult: `inverse` holds a usable recovery either way.
+  [[nodiscard]] bool has_result() const {
+    return status == RequestStatus::kOk || status == RequestStatus::kDegradedResult;
+  }
 };
 
 }  // namespace parma::serve

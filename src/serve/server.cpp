@@ -38,6 +38,7 @@ const char* request_status_name(RequestStatus status) {
     case RequestStatus::kSolverFailed: return "solver-failed";
     case RequestStatus::kInvalidInput: return "invalid-input";
     case RequestStatus::kBreakerOpen: return "breaker-open";
+    case RequestStatus::kDegradedResult: return "degraded-result";
   }
   return "?";
 }
@@ -142,7 +143,17 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
     PARMA_REQUIRE(request.measurement.z.rows() == request.measurement.spec.rows &&
                       request.measurement.z.cols() == request.measurement.spec.cols,
                   "measurement matrix does not match device");
-    mea::validate_measurement(request.measurement);
+    // Opt-in robustness: a payload whose invalid Z entries can be masked away
+    // is admissible. Validation runs on a masked probe copy -- the request
+    // itself stays pristine so run_attempt's per-attempt masking sees (and
+    // counts) every invalid entry, admission-time and injected alike.
+    if (request.auto_mask_invalid) {
+      mea::Measurement probe = request.measurement;
+      mea::mask_invalid_entries(probe);
+      mea::validate_measurement(probe);
+    } else {
+      mea::validate_measurement(request.measurement);
+    }
   } catch (const mea::InvalidMeasurement& e) {
     invalid = e.what();
     bad_payload = true;
@@ -356,12 +367,15 @@ void Server::serve_one(const PendingPtr& pending, exec::Executor* executor,
       break;
     }
   }
-  if (result.status == RequestStatus::kOk && attempt > 1) stats_.on_retry_success();
+  if (result.has_result() && attempt > 1) stats_.on_retry_success();
 
   // Breaker feedback: only solver failures trip it -- deadline, cancel, and
-  // invalid input say nothing about the shape's health.
+  // invalid input say nothing about the shape's health. A degraded result is
+  // a *successful* pipeline run (the quality floor is about the input, not
+  // the shape), so it counts as a success.
   switch (result.status) {
-    case RequestStatus::kOk: breakers_.on_success(shape); break;
+    case RequestStatus::kOk:
+    case RequestStatus::kDegradedResult: breakers_.on_success(shape); break;
     case RequestStatus::kSolverFailed: breakers_.on_failure(shape, Clock::now()); break;
     default: breakers_.on_neutral(shape); break;
   }
@@ -396,6 +410,20 @@ ParametrizeResult Server::run_attempt(const PendingPtr& pending,
       Real& entry = measurement.z(0, measurement.z.cols() - 1);
       entry = -entry;  // flips sign: physically impossible, caught on admit
     }
+    // Per-attempt auto-masking: recovers entries an injected fault (or the
+    // transport) corrupted after admission, the same way admission recovered
+    // the original payload's invalid entries.
+    Index auto_masked = 0;
+    if (pending->request.auto_mask_invalid) {
+      auto_masked = mea::mask_invalid_entries(measurement);
+    }
+    const Index total_entries = measurement.z.rows() * measurement.z.cols();
+    result.quality.masked_entries = mea::masked_entry_count(measurement);
+    result.quality.auto_masked = auto_masked;
+    result.quality.masked_fraction =
+        total_entries > 0
+            ? static_cast<Real>(result.quality.masked_entries) / static_cast<Real>(total_entries)
+            : 0.0;
     core::Engine engine(std::move(measurement));
 
     // Stage: form.
@@ -444,6 +472,8 @@ ParametrizeResult Server::run_attempt(const PendingPtr& pending,
       inverse.final_misfit = full.final_residual_rms;
       inverse.misfit_history = std::move(full.residual_history);
       inverse.diagnostics = full.diagnostics;
+      inverse.termination = full.termination;
+      inverse.robust = std::move(full.robust);
     } else {
       inverse = engine.recover(pending->request.inverse);
     }
@@ -473,8 +503,52 @@ ParametrizeResult Server::run_attempt(const PendingPtr& pending,
         }
       }
     }
+    // Quality report: robust-estimation and conditioning diagnostics of the
+    // solve, then the request's QualityFloor verdict.
+    result.quality.outlier_entries =
+        static_cast<Index>(inverse.robust.downweighted_entries.size());
+    const Index unmasked = total_entries - result.quality.masked_entries;
+    result.quality.outlier_fraction =
+        unmasked > 0 ? static_cast<Real>(result.quality.outlier_entries) /
+                           static_cast<Real>(unmasked)
+                     : 0.0;
+    result.quality.robust_scale = inverse.robust.final_scale;
+    result.quality.condition_estimate = inverse.robust.condition_estimate;
+    result.quality.numerical_breakdown =
+        inverse.termination == solver::TerminationReason::kNumericalBreakdown;
+    result.quality.converged = inverse.converged;
     result.inverse = std::move(inverse);
     result.status = RequestStatus::kOk;
+
+    const QualityFloor& floor = pending->request.quality_floor;
+    if (floor.enabled()) {
+      std::ostringstream why;
+      if (result.quality.masked_fraction > floor.max_masked_fraction) {
+        why << "masked fraction " << result.quality.masked_fraction << " > "
+            << floor.max_masked_fraction << "; ";
+      }
+      if (result.quality.outlier_fraction > floor.max_outlier_fraction) {
+        why << "outlier fraction " << result.quality.outlier_fraction << " > "
+            << floor.max_outlier_fraction << "; ";
+      }
+      if (floor.max_condition_estimate > 0.0 &&
+          !(result.quality.condition_estimate <= floor.max_condition_estimate)) {
+        why << "condition estimate " << result.quality.condition_estimate << " > "
+            << floor.max_condition_estimate << "; ";
+      }
+      if (floor.require_convergence && !result.quality.converged) {
+        why << "solver did not converge; ";
+      }
+      if (floor.demote_on_breakdown && result.quality.numerical_breakdown) {
+        why << "numerical breakdown; ";
+      }
+      const std::string reasons = why.str();
+      if (!reasons.empty()) {
+        result.quality.degraded = true;
+        result.status = RequestStatus::kDegradedResult;
+        result.message = "quality floor: " + reasons.substr(0, reasons.size() - 2);
+      }
+    }
     result.reconstruct_seconds = reconstruct_clock.elapsed_seconds();
     stats_.reconstruct.record(result.reconstruct_seconds);
   } catch (const mea::InvalidMeasurement& e) {
@@ -509,12 +583,15 @@ void Server::complete(const PendingPtr& pending, ParametrizeResult&& result) {
     case RequestStatus::kSolverFailed: stats_.on_solver_failed(); break;
     case RequestStatus::kInvalidInput: stats_.on_invalid_input(); break;
     case RequestStatus::kBreakerOpen: stats_.on_breaker_open(); break;
+    case RequestStatus::kDegradedResult: stats_.on_degraded_result(); break;
     case RequestStatus::kRejected: break;  // rejections never reach here
   }
-  if (result.status == RequestStatus::kOk) {
+  if (result.has_result()) {
     stats_.on_solve(result.inverse.iterations, result.inverse.converged,
                     result.solve_diagnostics.tikhonov_retries,
                     result.solve_diagnostics.dense_fallbacks);
+    stats_.on_quality(result.quality.masked_entries, result.quality.auto_masked,
+                      result.quality.outlier_entries, result.quality.numerical_breakdown);
   }
   stats_.end_to_end.record(seconds_between(pending->enqueued_at, Clock::now()));
   pending->promise.set_value(std::move(result));

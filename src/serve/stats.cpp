@@ -88,6 +88,23 @@ void StatsCollector::on_solve(Index iterations, bool converged, Index tikhonov_r
   }
 }
 
+void StatsCollector::on_quality(Index masked_entries, Index auto_masked, Index outliers,
+                                bool numerical_breakdown) {
+  if (masked_entries > 0) {
+    masked_entries_.fetch_add(static_cast<std::uint64_t>(masked_entries),
+                              std::memory_order_relaxed);
+  }
+  if (auto_masked > 0) {
+    auto_masked_entries_.fetch_add(static_cast<std::uint64_t>(auto_masked),
+                                   std::memory_order_relaxed);
+  }
+  if (outliers > 0) {
+    outliers_downweighted_.fetch_add(static_cast<std::uint64_t>(outliers),
+                                     std::memory_order_relaxed);
+  }
+  if (numerical_breakdown) numerical_breakdowns_.fetch_add(1, std::memory_order_relaxed);
+}
+
 void StatsCollector::on_batch(std::size_t size) {
   batches_.fetch_add(1, std::memory_order_relaxed);
   batched_requests_.fetch_add(size, std::memory_order_relaxed);
@@ -109,6 +126,7 @@ Stats StatsCollector::snapshot(std::size_t queue_high_water,
   s.solver_failed = solver_failed_.load(std::memory_order_relaxed);
   s.invalid_input = invalid_input_.load(std::memory_order_relaxed);
   s.breaker_open = breaker_open_.load(std::memory_order_relaxed);
+  s.degraded_results = degraded_results_.load(std::memory_order_relaxed);
   s.retries = retries_.load(std::memory_order_relaxed);
   s.retry_successes = retry_successes_.load(std::memory_order_relaxed);
   s.breaker_opened_events = breaker_opened_events;
@@ -117,6 +135,10 @@ Stats StatsCollector::snapshot(std::size_t queue_high_water,
   s.solver_iterations = solver_iterations_.load(std::memory_order_relaxed);
   s.fallback_tikhonov = fallback_tikhonov_.load(std::memory_order_relaxed);
   s.fallback_dense = fallback_dense_.load(std::memory_order_relaxed);
+  s.masked_entries = masked_entries_.load(std::memory_order_relaxed);
+  s.auto_masked_entries = auto_masked_entries_.load(std::memory_order_relaxed);
+  s.outliers_downweighted = outliers_downweighted_.load(std::memory_order_relaxed);
+  s.numerical_breakdowns = numerical_breakdowns_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
   const std::uint64_t batched = batched_requests_.load(std::memory_order_relaxed);

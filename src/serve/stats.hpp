@@ -40,6 +40,7 @@ struct Stats {
   std::uint64_t solver_failed = 0;
   std::uint64_t invalid_input = 0;   ///< corrupt measurement survived retries
   std::uint64_t breaker_open = 0;    ///< fast-failed by an open breaker
+  std::uint64_t degraded_results = 0;  ///< completions demoted by a QualityFloor
 
   // Resilience counters.
   std::uint64_t retries = 0;             ///< extra pipeline attempts
@@ -50,6 +51,13 @@ struct Stats {
   std::uint64_t solver_iterations = 0;   ///< total outer iterations over kOk solves
   std::uint64_t fallback_tikhonov = 0;   ///< linear solves that needed rung 2
   std::uint64_t fallback_dense = 0;      ///< linear solves that needed rung 3
+
+  // Input-quality counters (masking + robust estimation), over completions
+  // that produced a result (kOk or kDegradedResult).
+  std::uint64_t masked_entries = 0;        ///< Z entries excluded from fits
+  std::uint64_t auto_masked_entries = 0;   ///< of those, auto-masked invalids
+  std::uint64_t outliers_downweighted = 0; ///< entries IRLS pushed below w=1/2
+  std::uint64_t numerical_breakdowns = 0;  ///< solves ending in breakdown
 
   // Live gauges (filled by Server::stats()).
   std::size_t breaker_open_shapes = 0;  ///< shapes currently open/half-open
@@ -81,7 +89,7 @@ struct Stats {
   }
   [[nodiscard]] std::uint64_t completed() const {
     return completed_ok + deadline_exceeded + cancelled + solver_failed +
-           invalid_input + breaker_open;
+           invalid_input + breaker_open + degraded_results;
   }
 };
 
@@ -120,6 +128,7 @@ class StatsCollector {
   void on_solver_failed() { solver_failed_.fetch_add(1, std::memory_order_relaxed); }
   void on_invalid_input() { invalid_input_.fetch_add(1, std::memory_order_relaxed); }
   void on_breaker_open() { breaker_open_.fetch_add(1, std::memory_order_relaxed); }
+  void on_degraded_result() { degraded_results_.fetch_add(1, std::memory_order_relaxed); }
   void on_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
   void on_retry_success() { retry_successes_.fetch_add(1, std::memory_order_relaxed); }
   void on_degraded_entered() { degraded_entered_.fetch_add(1, std::memory_order_relaxed); }
@@ -127,6 +136,10 @@ class StatsCollector {
   /// how far up the fallback ladder its linear solves went.
   void on_solve(Index iterations, bool converged, Index tikhonov_retries,
                 Index dense_fallbacks);
+  /// Quality outcome of a completion that produced a result (kOk or
+  /// kDegradedResult): masking census, robust down-weighting, breakdowns.
+  void on_quality(Index masked_entries, Index auto_masked, Index outliers,
+                  bool numerical_breakdown);
   void on_batch(std::size_t size);
 
   LatencyHistogram queue_wait;
@@ -153,6 +166,7 @@ class StatsCollector {
   std::atomic<std::uint64_t> solver_failed_{0};
   std::atomic<std::uint64_t> invalid_input_{0};
   std::atomic<std::uint64_t> breaker_open_{0};
+  std::atomic<std::uint64_t> degraded_results_{0};
   std::atomic<std::uint64_t> retries_{0};
   std::atomic<std::uint64_t> retry_successes_{0};
   std::atomic<std::uint64_t> degraded_entered_{0};
@@ -160,6 +174,10 @@ class StatsCollector {
   std::atomic<std::uint64_t> solver_iterations_{0};
   std::atomic<std::uint64_t> fallback_tikhonov_{0};
   std::atomic<std::uint64_t> fallback_dense_{0};
+  std::atomic<std::uint64_t> masked_entries_{0};
+  std::atomic<std::uint64_t> auto_masked_entries_{0};
+  std::atomic<std::uint64_t> outliers_downweighted_{0};
+  std::atomic<std::uint64_t> numerical_breakdowns_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> batched_requests_{0};
   std::atomic<std::uint64_t> max_batch_{0};

@@ -24,6 +24,18 @@ Real ridge_for(const std::vector<Real>& diag, Real scale) {
   return std::max(scale * max_abs, Real{1e-300});
 }
 
+// Rung-2 tau with the conditioning-adaptive boost: a system whose diagonal
+// condition estimate exceeds the target draws a proportionally stronger
+// ridge (capped so a non-finite estimate cannot produce a non-finite tau).
+Real adaptive_tau(Real base_tau, const FallbackOptions& options) {
+  if (options.adaptive_tikhonov_target <= 0.0) return base_tau;
+  if (!(options.condition_estimate > options.adaptive_tikhonov_target)) return base_tau;
+  const Real boost = std::isfinite(options.condition_estimate)
+                         ? options.condition_estimate / options.adaptive_tikhonov_target
+                         : Real{1e6};
+  return base_tau * std::min(boost, Real{1e6});
+}
+
 linalg::CsrMatrix add_ridge(const linalg::CsrMatrix& a, Real tau) {
   linalg::CooBuilder builder(a.rows(), a.cols());
   const auto& row_ptr = a.row_ptr();
@@ -133,7 +145,7 @@ std::vector<Real> ladder(const Matrix& a, const std::vector<Real>& b,
   // iteration to keep descending. Warm-start from rung 1 when it is usable.
   ++diagnostics.tikhonov_retries;
   note_rung(FallbackRung::kTikhonov);
-  const Real tau = ridge_for(diagonal_of(a), options.tikhonov_scale);
+  const Real tau = adaptive_tau(ridge_for(diagonal_of(a), options.tikhonov_scale), options);
   const Matrix ridged = add_ridge(a, tau);
   linalg::IterativeOptions relaxed = options.cg;
   relaxed.tolerance = options.cg.tolerance * options.tikhonov_tolerance_factor;
@@ -177,7 +189,7 @@ std::vector<Real> workspace_ladder(const Matrix& a, const std::vector<Real>& b,
 
   ++diagnostics.tikhonov_retries;
   note_rung(FallbackRung::kTikhonov);
-  const Real tau = ridge_for(diagonal_of(a), options.tikhonov_scale);
+  const Real tau = adaptive_tau(ridge_for(diagonal_of(a), options.tikhonov_scale), options);
   const Matrix ridged = ridge(a, tau);
   linalg::IterativeOptions relaxed = options.cg;
   relaxed.tolerance = options.cg.tolerance * options.tikhonov_tolerance_factor;

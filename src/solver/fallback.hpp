@@ -58,6 +58,15 @@ struct FallbackOptions {
   Real tikhonov_scale = 1e-8;
   /// Rung 2 tolerance = cg.tolerance * tikhonov_tolerance_factor.
   Real tikhonov_tolerance_factor = 100.0;
+  /// Adaptive ridge strength: when > 0 and `condition_estimate` exceeds it,
+  /// the rung-2 tau is scaled by condition_estimate / target (capped at
+  /// 1e6x). 0 = the fixed ridge -- the pre-existing behavior, and since the
+  /// ridge only exists on rung 2+, the CG fast path is untouched either way.
+  Real adaptive_tikhonov_target = 0.0;
+  /// Caller-supplied condition proxy of A (e.g. the solver's per-iteration
+  /// diagonal estimate, solver::diagonal_condition_estimate). Only read when
+  /// adaptive_tikhonov_target > 0.
+  Real condition_estimate = 0.0;
 };
 
 /// Runs the ladder on A x = b. Escalates CG -> Tikhonov -> dense; records

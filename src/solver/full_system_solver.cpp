@@ -21,6 +21,33 @@ Real residual_rms(const std::vector<Real>& r) {
   return std::sqrt(sum / static_cast<Real>(r.size()));
 }
 
+bool all_finite(const std::vector<Real>& v) {
+  for (Real x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+// Measurement entries whose terminal (Z-consuming) equations ended the solve
+// at IRLS weight < 0.5 -- the flagged outlier candidates, one flat index
+// (i * cols + j) per entry.
+std::vector<Index> flag_downweighted_entries(const equations::EquationSystem& system,
+                                             const std::vector<Real>& weights) {
+  std::vector<Index> entries;
+  const Index cols = system.layout.cols();
+  for (std::size_t row = 0; row < system.equations.size(); ++row) {
+    const auto& eq = system.equations[row];
+    const bool terminal = eq.category == equations::ConstraintCategory::kSource ||
+                          eq.category == equations::ConstraintCategory::kDestination;
+    if (terminal && weights[row] < 0.5) {
+      entries.push_back(eq.pair_i * cols + eq.pair_j);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  entries.erase(std::unique(entries.begin(), entries.end()), entries.end());
+  return entries;
+}
+
 // One endpoint pair per chunk: each per-pair solve is a full linear system,
 // coarse enough to schedule individually.
 constexpr Index kPairChunk = 1;
@@ -76,8 +103,16 @@ FullSystemResult solve_legacy(const equations::EquationSystem& system,
     std::vector<Real> candidate_residual = equations::system_residual(system, candidate);
     const Real candidate_rms = residual_rms(candidate_residual);
     // A non-finite candidate (overflow/NaN from a poisoned step) must never
-    // be accepted -- NaN fails every comparison, so test it explicitly.
-    if (!std::isfinite(candidate_rms) || candidate_rms >= rms) break;  // stalled
+    // be accepted -- NaN fails every comparison, so test it explicitly, and
+    // report the abort as a numerical breakdown rather than a stall.
+    if (!std::isfinite(candidate_rms)) {
+      result.termination = TerminationReason::kNumericalBreakdown;
+      break;
+    }
+    if (candidate_rms >= rms) {
+      result.termination = TerminationReason::kStalled;
+      break;
+    }
     result.unknowns = std::move(candidate);
     residual = std::move(candidate_residual);
     rms = candidate_rms;
@@ -86,6 +121,7 @@ FullSystemResult solve_legacy(const equations::EquationSystem& system,
 
   result.final_residual_rms = rms;
   result.converged = result.converged || rms <= options.tolerance;
+  if (result.converged) result.termination = TerminationReason::kToleranceReached;
   result.diagnostics.converged = result.converged;
   result.recovered = circuit::ResistanceGrid(layout.rows(), layout.cols());
   for (Index e = 0; e < layout.num_resistors(); ++e) {
@@ -120,13 +156,40 @@ FullSystemResult solve_kernels(const equations::EquationSystem& system,
   ladder.cg.tolerance = options.cg_tolerance;
   ladder.tikhonov_scale = options.tikhonov_scale;
   ladder.tikhonov_tolerance_factor = options.tikhonov_tolerance_factor;
+  ladder.adaptive_tikhonov_target = options.adaptive_tikhonov_target;
   LadderWorkspace workspace;
   workspace.executor = executor;
+
+  // IRLS state (robust loss only); the robust-off iteration touches none of
+  // it and stays bit-identical to the pre-robust solver.
+  const bool robust_on = options.robust.loss != RobustLoss::kNone;
+  const Real tuning = effective_tuning(options.robust);
+  result.robust.enabled = robust_on;
+  result.robust.masked_entries = mea::masked_entry_count(measurement);
 
   // Buffers outliving the loop: no per-iteration reallocation.
   std::vector<Real> rhs;
   std::vector<Real> candidate;
   std::vector<Real> candidate_residual;
+  std::vector<Real> weights;
+  std::vector<Real> weighted_residual;
+  std::vector<Real> scale_scratch;
+  std::vector<Real> a_diag(static_cast<std::size_t>(kernels.symbolic().cols));
+  Real sigma = 0.0;  ///< robust scale of the current iterate
+  Real cost = 0.0;   ///< robust acceptance metric at sigma
+  // Scale floor, tightened after the first iteration to a fraction of the
+  // initial sigma -- guards against MAD collapse once the inliers fit almost
+  // exactly (RobustOptions::min_scale_fraction).
+  Real sigma_floor = options.robust.min_scale;
+  bool sigma_floor_set = false;
+  const auto floored_scale = [&](const std::vector<Real>& r) {
+    const Real raw = robust_scale(r, scale_scratch, sigma_floor);
+    if (!sigma_floor_set) {
+      sigma_floor = std::max(sigma_floor, raw * options.robust.min_scale_fraction);
+      sigma_floor_set = true;
+    }
+    return raw;
+  };
 
   for (Index iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
@@ -134,9 +197,45 @@ FullSystemResult solve_kernels(const equations::EquationSystem& system,
       result.converged = true;
       break;
     }
-    kernels.refresh(result.unknowns, executor);
-    kernels.jacobian().multiply_transpose_into(residual, rhs);
+    kernels.refresh_jacobian(result.unknowns, executor);
+    if (robust_on) {
+      // Re-estimate the scale and weights at the current iterate; the normal
+      // equations become J^T W J delta = -J^T W r (weights numeric-only, the
+      // symbolic pattern and chunking untouched).
+      sigma = floored_scale(residual);
+      result.robust.final_scale = sigma;
+      result.robust.rows_downweighted =
+          robust_weights(residual, sigma, options.robust.loss, tuning, weights);
+      cost = robust_cost(residual, sigma, options.robust.loss, tuning);
+      kernels.refresh_normal_weighted(weights, executor);
+      weighted_residual.resize(residual.size());
+      for (std::size_t e = 0; e < residual.size(); ++e) {
+        weighted_residual[e] = weights[e] * residual[e];
+      }
+      kernels.jacobian().multiply_transpose_into(weighted_residual, rhs);
+    } else {
+      kernels.refresh_normal(executor);
+      kernels.jacobian().multiply_transpose_into(residual, rhs);
+    }
     for (Real& v : rhs) v = -v;
+    // Conditioning guardrails: abort on a poisoned gradient instead of
+    // iterating on garbage, and hand the ladder the cheap diagonal condition
+    // estimate so an ill-conditioned J^T W J can draw a stronger ridge.
+    if (!all_finite(rhs)) {
+      result.termination = TerminationReason::kNumericalBreakdown;
+      break;
+    }
+    {
+      const auto& avals = kernels.normal().values();
+      const auto& diag_slot = kernels.symbolic().a_diag_slot;
+      for (std::size_t i = 0; i < diag_slot.size(); ++i) {
+        a_diag[i] = avals[static_cast<std::size_t>(diag_slot[i])];
+      }
+      const Real condition = diagonal_condition_estimate(a_diag);
+      result.robust.condition_estimate =
+          std::max(result.robust.condition_estimate, condition);
+      ladder.condition_estimate = condition;
+    }
 
     const std::vector<Real> step =
         solve_with_fallback(kernels.normal(), rhs, ladder, result.diagnostics, workspace);
@@ -153,7 +252,24 @@ FullSystemResult solve_kernels(const equations::EquationSystem& system,
     }
     kernels.residual_into(candidate, candidate_residual, executor);
     const Real candidate_rms = residual_rms(candidate_residual);
-    if (!std::isfinite(candidate_rms) || candidate_rms >= rms) break;  // stalled
+    if (!std::isfinite(candidate_rms)) {
+      result.termination = TerminationReason::kNumericalBreakdown;
+      break;
+    }
+    if (robust_on) {
+      // Step acceptance under the robust objective at the CURRENT sigma: an
+      // outlier blowing up its residual must not veto a step that improves
+      // the consensus fit.
+      const Real candidate_cost =
+          robust_cost(candidate_residual, sigma, options.robust.loss, tuning);
+      if (!(candidate_cost < cost)) {
+        result.termination = TerminationReason::kStalled;
+        break;
+      }
+    } else if (candidate_rms >= rms) {
+      result.termination = TerminationReason::kStalled;
+      break;
+    }
     std::swap(result.unknowns, candidate);
     std::swap(residual, candidate_residual);
     rms = candidate_rms;
@@ -162,7 +278,18 @@ FullSystemResult solve_kernels(const equations::EquationSystem& system,
 
   result.final_residual_rms = rms;
   result.converged = result.converged || rms <= options.tolerance;
+  if (result.converged) result.termination = TerminationReason::kToleranceReached;
   result.diagnostics.converged = result.converged;
+  if (robust_on) {
+    // Final per-entry diagnostics: which measurements the converged fit
+    // considers outliers (terminal-equation weight < 0.5 at the final
+    // iterate).
+    sigma = floored_scale(residual);
+    result.robust.final_scale = sigma;
+    result.robust.rows_downweighted =
+        robust_weights(residual, sigma, options.robust.loss, tuning, weights);
+    result.robust.downweighted_entries = flag_downweighted_entries(system, weights);
+  }
   result.recovered = circuit::ResistanceGrid(layout.rows(), layout.cols());
   for (Index e = 0; e < layout.num_resistors(); ++e) {
     result.recovered.flat()[static_cast<std::size_t>(e)] =
@@ -178,8 +305,27 @@ std::vector<Real> initial_guess(const equations::EquationSystem& system,
                                 exec::Executor* executor) {
   const auto& layout = system.layout;
   circuit::ResistanceGrid guess(layout.rows(), layout.cols());
+  // Masked entries carry no trustworthy Z (possibly a NaN placeholder); seed
+  // them with the mean of the measured ones. A complete sweep never computes
+  // the fill and takes exactly the historical R = Z assignment.
+  Real fill = 0.0;
+  if (mea::masked_entry_count(measurement) > 0) {
+    Real sum = 0.0;
+    Index count = 0;
+    for (Index i = 0; i < layout.rows(); ++i) {
+      for (Index j = 0; j < layout.cols(); ++j) {
+        if (!mea::entry_valid(measurement, i, j)) continue;
+        sum += measurement.z(i, j);
+        ++count;
+      }
+    }
+    PARMA_REQUIRE(count > 0, "initial guess needs at least one unmasked entry");
+    fill = sum / static_cast<Real>(count);
+  }
   for (Index i = 0; i < layout.rows(); ++i) {
-    for (Index j = 0; j < layout.cols(); ++j) guess.at(i, j) = measurement.z(i, j);
+    for (Index j = 0; j < layout.cols(); ++j) {
+      guess.at(i, j) = mea::entry_valid(measurement, i, j) ? measurement.z(i, j) : fill;
+    }
   }
   std::vector<Real> x(static_cast<std::size_t>(layout.num_unknowns()), 0.0);
   for (Index e = 0; e < layout.num_resistors(); ++e) {
@@ -224,6 +370,8 @@ FullSystemResult solve_full_system(const equations::EquationSystem& system,
                                    const FullSystemOptions& options,
                                    const KernelContext& context) {
   if (!options.use_kernels) {
+    PARMA_REQUIRE(options.robust.loss == RobustLoss::kNone,
+                  "robust loss requires the kernel path (use_kernels = true)");
     return solve_legacy(system, measurement, options, context.executor);
   }
   return solve_kernels(system, measurement, options, context);

@@ -18,6 +18,7 @@
 #include "equations/generator.hpp"
 #include "mea/measurement.hpp"
 #include "solver/fallback.hpp"
+#include "solver/robust.hpp"
 #include "solver/system_kernels.hpp"
 
 namespace parma::solver {
@@ -38,6 +39,15 @@ struct FullSystemOptions {
   /// legacy rebuild-per-iteration path (asserted in tests/test_kernels.cpp).
   /// false selects the legacy path (the benchmark baseline).
   bool use_kernels = true;
+  /// IRLS robust loss over the equation residuals (robust.hpp). kNone keeps
+  /// the plain least-squares iteration bit-identical to the pre-robust
+  /// solver; kHuber/kTukey require use_kernels (the weighted refresh lives in
+  /// the kernel layer).
+  RobustOptions robust;
+  /// When > 0: the per-iteration diagonal condition estimate of J^T J above
+  /// this target scales the fallback ladder's rung-2 ridge proportionally
+  /// (see FallbackOptions::adaptive_tikhonov_target). 0 = the fixed ridge.
+  Real adaptive_tikhonov_target = 0.0;
 };
 
 /// Optional amortization state for solve_full_system: a warm executor to
@@ -61,12 +71,20 @@ struct FullSystemResult {
   /// healthy run; Tikhonov/dense mean the system was ill-conditioned or a
   /// fault was injected).
   SolveDiagnostics diagnostics;
+  /// Why the outer iteration stopped; a non-finite residual or step reports
+  /// kNumericalBreakdown instead of masquerading as a stall or max-iterations.
+  TerminationReason termination = TerminationReason::kMaxIterations;
+  /// Robust-estimation diagnostics: final scale, down-weighted entries,
+  /// condition estimate, masked-entry count (kernel path; enabled reflects
+  /// whether a robust loss ran).
+  RobustReport robust;
 };
 
 /// Initial guess: R = Z (diagonal-dominant approximation) and pair voltages
-/// from the per-pair linear solve under that guess. The n^2 per-pair solves
-/// are independent and write disjoint slots of x, so a non-null executor
-/// runs them in parallel with bit-identical results.
+/// from the per-pair linear solve under that guess. Masked Z entries take the
+/// mean of the unmasked ones instead. The n^2 per-pair solves are independent
+/// and write disjoint slots of x, so a non-null executor runs them in
+/// parallel with bit-identical results.
 std::vector<Real> initial_guess(const equations::EquationSystem& system,
                                 const mea::Measurement& measurement,
                                 exec::Executor* executor = nullptr);

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
+#include <string>
 
 #include "common/require.hpp"
 #include "equations/pair_system.hpp"
@@ -74,6 +76,28 @@ Real impedance_misfit(const linalg::DenseMatrix& z_model,
   return std::sqrt(num / den);
 }
 
+Real impedance_misfit(const linalg::DenseMatrix& z_model,
+                      const mea::Measurement& measurement) {
+  if (mea::masked_entry_count(measurement) == 0) {
+    return impedance_misfit(z_model, measurement.z);
+  }
+  PARMA_REQUIRE(z_model.rows() == measurement.z.rows() &&
+                    z_model.cols() == measurement.z.cols(),
+                "impedance shapes differ");
+  Real num = 0.0;
+  Real den = 0.0;
+  for (Index i = 0; i < z_model.rows(); ++i) {
+    for (Index j = 0; j < z_model.cols(); ++j) {
+      if (!mea::entry_valid(measurement, i, j)) continue;
+      const Real d = z_model(i, j) - measurement.z(i, j);
+      num += d * d;
+      den += measurement.z(i, j) * measurement.z(i, j);
+    }
+  }
+  PARMA_REQUIRE(den > 0.0, "every unmasked measured impedance is zero");
+  return std::sqrt(num / den);
+}
+
 Real InverseResult::max_relative_error(const circuit::ResistanceGrid& truth) const {
   PARMA_REQUIRE(truth.rows() == recovered.rows() && truth.cols() == recovered.cols(),
                 "truth grid shape mismatch");
@@ -105,12 +129,55 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
     }
   } else {
     // Z(i, j) itself is a decent starting guess: it equals R_ij exactly when
-    // every other resistor is infinite, and underestimates otherwise.
+    // every other resistor is infinite, and underestimates otherwise. Masked
+    // entries (whose Z may be garbage or missing) get the mean of the nearest
+    // valid neighbours instead (expanding Chebyshev rings, global mean as the
+    // last resort). The fill matters beyond warm-starting: a masked pair's
+    // terminal equations are gone, so its resistance sits in a weakly
+    // constrained direction that the damped LM steps barely move -- a
+    // spatially local fill is what keeps that direction near the truth.
+    Real global_fill = 0.0;
+    const Index masked_entries = mea::masked_entry_count(measurement);
+    if (options.initial_resistance <= 0.0 && masked_entries > 0) {
+      Real sum = 0.0;
+      Index count = 0;
+      for (Index i = 0; i < rows; ++i) {
+        for (Index j = 0; j < cols; ++j) {
+          if (!mea::entry_valid(measurement, i, j)) continue;
+          sum += measurement.z(i, j);
+          ++count;
+        }
+      }
+      PARMA_REQUIRE(count > 0, "initial guess needs at least one unmasked entry");
+      global_fill = sum / static_cast<Real>(count);
+    }
+    const auto local_fill = [&](Index i, Index j) {
+      const Index max_radius = std::max(rows, cols);
+      for (Index radius = 1; radius < max_radius; ++radius) {
+        Real sum = 0.0;
+        Index count = 0;
+        for (Index di = -radius; di <= radius; ++di) {
+          for (Index dj = -radius; dj <= radius; ++dj) {
+            if (std::max(std::abs(di), std::abs(dj)) != radius) continue;
+            const Index ni = i + di;
+            const Index nj = j + dj;
+            if (ni < 0 || ni >= rows || nj < 0 || nj >= cols) continue;
+            if (!mea::entry_valid(measurement, ni, nj)) continue;
+            sum += measurement.z(ni, nj);
+            ++count;
+          }
+        }
+        if (count > 0) return sum / static_cast<Real>(count);
+      }
+      return global_fill;
+    };
     for (Index i = 0; i < rows; ++i) {
       for (Index j = 0; j < cols; ++j) {
-        result.recovered.at(i, j) = options.initial_resistance > 0.0
-                                        ? options.initial_resistance
-                                        : measurement.z(i, j);
+        result.recovered.at(i, j) =
+            options.initial_resistance > 0.0
+                ? options.initial_resistance
+                : (mea::entry_valid(measurement, i, j) ? measurement.z(i, j)
+                                                       : local_fill(i, j));
         PARMA_REQUIRE(result.recovered.at(i, j) > 0.0, "initial guess must be positive");
       }
     }
@@ -120,16 +187,94 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
   std::unique_ptr<parallel::ThreadPool> pool;
   if (options.workers > 1) pool = std::make_unique<parallel::ThreadPool>(options.workers);
 
+  const Index masked = mea::masked_entry_count(measurement);
+  const bool robust_on = options.robust.loss != RobustLoss::kNone;
+  const Real tuning = effective_tuning(options.robust);
+  // Weighted path: masked entries carry weight 0, IRLS multiplies on top.
+  // When neither applies, the loop below runs the exact pre-robust arithmetic.
+  const bool weighted = robust_on || masked > 0;
+  result.robust.enabled = robust_on;
+  result.robust.masked_entries = masked;
+
+  // Flat {0, 1} mask weights (row-major pair index p = i * cols + j).
+  std::vector<Real> mask_weight;
+  if (weighted) {
+    mask_weight.assign(static_cast<std::size_t>(pairs), Real{1.0});
+    for (Index i = 0; i < rows; ++i) {
+      for (Index j = 0; j < cols; ++j) {
+        if (!mea::entry_valid(measurement, i, j)) {
+          mask_weight[static_cast<std::size_t>(i * cols + j)] = 0.0;
+        }
+      }
+    }
+  }
+
+  // Residual over the full pair grid; masked pairs pinned to zero so the
+  // weighted products never touch their (possibly garbage) Z.
+  const auto residual_of = [&](const linalg::DenseMatrix& z_model, std::vector<Real>& out) {
+    out.resize(static_cast<std::size_t>(pairs));
+    for (Index i = 0; i < rows; ++i) {
+      for (Index j = 0; j < cols; ++j) {
+        const std::size_t p = static_cast<std::size_t>(i * cols + j);
+        out[p] = (!weighted || mask_weight[p] > 0.0)
+                     ? z_model(i, j) - measurement.z(i, j)
+                     : Real{0.0};
+      }
+    }
+  };
+  // Compacts a residual down to the unmasked entries (robust scale and cost
+  // must not see the pinned zeros of masked pairs).
+  const auto collect_valid = [&](const std::vector<Real>& residual, std::vector<Real>& out) {
+    out.clear();
+    for (std::size_t p = 0; p < residual.size(); ++p) {
+      if (masked == 0 || mask_weight[p] > 0.0) out.push_back(residual[p]);
+    }
+  };
+
+  // MAP prior for masked solves: pins log R to the initial guess so the
+  // data null space opened by the dropped entries cannot drift (see
+  // InverseOptions::masked_prior_strength). Never active unmasked.
+  const bool prior_on = masked > 0 && options.masked_prior_strength > 0.0;
+  std::vector<Real> log_offset;  // accumulated log-space steps per resistor
+  if (prior_on) log_offset.assign(static_cast<std::size_t>(pairs), Real{0.0});
+
   Real lambda = options.initial_lambda;
   // One CG workspace reused by every damped ladder solve across all LM
   // iterations and retries (the damped systems share their size).
   linalg::CgWorkspace ladder_workspace;
-  ForwardSweep sweep = forward_sweep(result.recovered, volts, pool.get());
-  Real misfit = impedance_misfit(sweep.z_model, measurement.z);
+  ForwardSweep sweep;
+  Real misfit = std::numeric_limits<Real>::quiet_NaN();
+  try {
+    sweep = forward_sweep(result.recovered, volts, pool.get());
+    misfit = impedance_misfit(sweep.z_model, measurement);
+  } catch (const ContractError& e) {
+    throw NumericalError(std::string("inverse solve: forward model failed on the "
+                                     "initial guess (corrupt measurement?): ") +
+                         e.what());
+  }
   if (!std::isfinite(misfit)) {
     throw NumericalError("inverse solve: non-finite initial misfit (corrupt measurement?)");
   }
   result.misfit_history.push_back(misfit);
+
+  std::vector<Real> residual;
+  std::vector<Real> weights;         // combined mask x IRLS weight per pair
+  std::vector<Real> valid_scratch;   // compacted residuals for scale/cost
+  std::vector<Real> scale_scratch;   // robust_scale's nth_element workspace
+  std::vector<Real> irls_weights;
+  Real sigma = 0.0;
+  // Scale floor, tightened after the first iteration to a fraction of the
+  // initial sigma (see RobustOptions::min_scale_fraction).
+  Real sigma_floor = options.robust.min_scale;
+  bool sigma_floor_set = false;
+  const auto floored_scale = [&](const std::vector<Real>& valid) {
+    const Real raw = robust_scale(valid, scale_scratch, sigma_floor);
+    if (!sigma_floor_set) {
+      sigma_floor = std::max(sigma_floor, raw * options.robust.min_scale_fraction);
+      sigma_floor_set = true;
+    }
+    return raw;
+  };
 
   for (Index iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
@@ -139,20 +284,73 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
     }
 
     // Residual r_p = Z_model - Z_measured, normal equations in log-space:
-    // (J^T J + lambda diag(J^T J)) delta = -J^T r.
-    std::vector<Real> residual(static_cast<std::size_t>(pairs));
-    for (Index i = 0; i < rows; ++i) {
-      for (Index j = 0; j < cols; ++j) {
-        residual[static_cast<std::size_t>(i * cols + j)] =
-            sweep.z_model(i, j) - measurement.z(i, j);
+    // (J^T W J + lambda diag) delta = -J^T (w o r), with W = I on the plain
+    // least-squares path.
+    residual_of(sweep.z_model, residual);
+    const linalg::DenseMatrix jt = sweep.jacobian.transpose();
+    linalg::DenseMatrix jtj{1, 1};
+    std::vector<Real> rhs;
+    Real cost = 0.0;
+    if (weighted) {
+      if (robust_on) {
+        collect_valid(residual, valid_scratch);
+        sigma = floored_scale(valid_scratch);
+        result.robust.final_scale = sigma;
+        result.robust.rows_downweighted =
+            robust_weights(residual, sigma, options.robust.loss, tuning, irls_weights);
+        cost = robust_cost(valid_scratch, sigma, options.robust.loss, tuning);
+        weights.resize(static_cast<std::size_t>(pairs));
+        for (std::size_t p = 0; p < weights.size(); ++p) {
+          weights[p] = mask_weight[p] * irls_weights[p];
+        }
+      } else {
+        weights = mask_weight;
+      }
+      linalg::DenseMatrix wj = sweep.jacobian;
+      for (Index p = 0; p < pairs; ++p) {
+        const Real w = weights[static_cast<std::size_t>(p)];
+        for (Index e = 0; e < pairs; ++e) wj(p, e) *= w;
+      }
+      jtj = jt.multiply(wj);
+      std::vector<Real> wr(static_cast<std::size_t>(pairs));
+      for (std::size_t p = 0; p < wr.size(); ++p) wr[p] = weights[p] * residual[p];
+      rhs = jt.multiply(wr);
+    } else {
+      jtj = jt.multiply(sweep.jacobian);
+      rhs = jt.multiply(residual);
+    }
+    for (Real& v : rhs) v = -v;
+    if (prior_on) {
+      // (J^T W J + mu^2 I) delta = -(J^T W r + mu^2 l), l = log(R / R_init).
+      std::vector<Real> diag_copy(static_cast<std::size_t>(pairs));
+      for (Index d = 0; d < pairs; ++d) diag_copy[static_cast<std::size_t>(d)] = jtj(d, d);
+      std::nth_element(diag_copy.begin(), diag_copy.begin() + diag_copy.size() / 2,
+                       diag_copy.end());
+      const Real mu2 = options.masked_prior_strength * diag_copy[diag_copy.size() / 2];
+      for (Index d = 0; d < pairs; ++d) {
+        const std::size_t sd = static_cast<std::size_t>(d);
+        jtj(d, d) += mu2;
+        rhs[sd] -= mu2 * log_offset[sd];
       }
     }
-    const linalg::DenseMatrix jt = sweep.jacobian.transpose();
-    linalg::DenseMatrix jtj = jt.multiply(sweep.jacobian);
-    std::vector<Real> rhs = jt.multiply(residual);
-    for (Real& v : rhs) v = -v;
+    bool rhs_finite = true;
+    for (Real v : rhs) {
+      if (!std::isfinite(v)) { rhs_finite = false; break; }
+    }
+    if (!rhs_finite) {
+      result.termination = TerminationReason::kNumericalBreakdown;
+      break;
+    }
+
+    // Cheap conditioning proxy of the (weighted) normal matrix; drives the
+    // ladder's adaptive ridge and the quality report.
+    std::vector<Real> diag(static_cast<std::size_t>(pairs));
+    for (Index d = 0; d < pairs; ++d) diag[static_cast<std::size_t>(d)] = jtj(d, d);
+    const Real condition = diagonal_condition_estimate(diag);
+    result.robust.condition_estimate = std::max(result.robust.condition_estimate, condition);
 
     bool accepted = false;
+    bool any_finite_candidate = false;
     for (int attempt = 0; attempt < 8 && !accepted; ++attempt) {
       linalg::DenseMatrix damped = jtj;
       for (Index d = 0; d < pairs; ++d) {
@@ -164,6 +362,8 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
           FallbackOptions ladder;
           ladder.cg.max_iterations = options.ladder_cg_max_iterations;
           ladder.cg.tolerance = options.ladder_cg_tolerance;
+          ladder.adaptive_tikhonov_target = options.adaptive_tikhonov_target;
+          ladder.condition_estimate = condition;
           delta = solve_with_fallback(damped, rhs, ladder, result.diagnostics,
                                       ladder_workspace);
         } else {
@@ -177,16 +377,42 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
 
       // Apply in log-space with a trust-region style step clamp.
       circuit::ResistanceGrid candidate = result.recovered;
+      std::vector<Real> candidate_offset = log_offset;
       for (Index e = 0; e < pairs; ++e) {
         const Real step = std::clamp(delta[static_cast<std::size_t>(e)], Real{-2.0}, Real{2.0});
         candidate.flat()[static_cast<std::size_t>(e)] *= std::exp(step);
+        if (prior_on) candidate_offset[static_cast<std::size_t>(e)] += step;
       }
-      ForwardSweep candidate_sweep = forward_sweep(candidate, volts, pool.get());
-      const Real candidate_misfit = impedance_misfit(candidate_sweep.z_model, measurement.z);
+      // A forward model that breaks down at the candidate (roundoff driving a
+      // nodal solve or the source-current contract under an extreme iterate)
+      // is a rejected step, not a solver crash -- exactly like a NaN misfit.
+      ForwardSweep candidate_sweep;
+      Real candidate_misfit = std::numeric_limits<Real>::quiet_NaN();
+      try {
+        candidate_sweep = forward_sweep(candidate, volts, pool.get());
+        candidate_misfit = impedance_misfit(candidate_sweep.z_model, measurement);
+      } catch (const ContractError&) {
+      } catch (const NumericalError&) {
+      }
+      if (std::isfinite(candidate_misfit)) any_finite_candidate = true;
       // NaN misfit (a poisoned forward solve) must count as a rejected step,
-      // not slip through the comparison.
-      if (std::isfinite(candidate_misfit) && candidate_misfit < misfit) {
+      // not slip through the comparison. With a robust loss active, descent is
+      // judged by the robust cost at the frozen scale -- an outlier pair's
+      // raw residual must not veto a good step.
+      bool improves = false;
+      if (std::isfinite(candidate_misfit)) {
+        if (robust_on) {
+          std::vector<Real> candidate_residual;
+          residual_of(candidate_sweep.z_model, candidate_residual);
+          collect_valid(candidate_residual, valid_scratch);
+          improves = robust_cost(valid_scratch, sigma, options.robust.loss, tuning) < cost;
+        } else {
+          improves = candidate_misfit < misfit;
+        }
+      }
+      if (improves) {
         result.recovered = std::move(candidate);
+        if (prior_on) log_offset = std::move(candidate_offset);
         sweep = std::move(candidate_sweep);
         misfit = candidate_misfit;
         lambda = std::max(lambda * options.lambda_shrink, Real{1e-12});
@@ -196,12 +422,40 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
       }
     }
     result.misfit_history.push_back(misfit);
-    if (!accepted) break;  // stalled: LM cannot improve further
+    if (!accepted) {
+      // Stalled: LM cannot improve further. If no damped attempt even
+      // produced a finite misfit, that is a numerical breakdown, not a stall.
+      result.termination = any_finite_candidate ? TerminationReason::kStalled
+                                                : TerminationReason::kNumericalBreakdown;
+      break;
+    }
   }
 
   result.final_misfit = misfit;
   result.converged = result.converged || misfit <= options.tolerance;
   result.diagnostics.converged = result.converged;
+  if (result.converged) result.termination = TerminationReason::kToleranceReached;
+
+  // Final outlier census at the converged state: entries whose IRLS weight
+  // ended below 1/2 are the flagged suspects (flat i * cols + j indices).
+  if (robust_on) {
+    residual_of(sweep.z_model, residual);
+    collect_valid(residual, valid_scratch);
+    sigma = floored_scale(valid_scratch);
+    result.robust.final_scale = sigma;
+    result.robust.rows_downweighted =
+        robust_weights(residual, sigma, options.robust.loss, tuning, irls_weights);
+    result.robust.downweighted_entries.clear();
+    for (Index p = 0; p < pairs; ++p) {
+      const std::size_t sp = static_cast<std::size_t>(p);
+      const bool valid = masked == 0 || mask_weight[sp] > 0.0;
+      if (valid && irls_weights[sp] < 0.5) {
+        result.robust.downweighted_entries.push_back(p);
+      }
+    }
+    result.robust.rows_downweighted =
+        static_cast<Index>(result.robust.downweighted_entries.size());
+  }
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "circuit/crossbar.hpp"
 #include "mea/measurement.hpp"
 #include "solver/fallback.hpp"
+#include "solver/robust.hpp"
 
 namespace parma::solver {
 
@@ -46,6 +47,27 @@ struct InverseOptions {
   Index ladder_cg_max_iterations = 500;
   /// Rung 1 CG relative tolerance when use_fallback_ladder is set.
   Real ladder_cg_tolerance = 1e-12;
+
+  /// IRLS robust loss over the per-pair impedance residuals (robust.hpp).
+  /// kNone keeps the iteration bit-identical to the pre-robust LM. Masked
+  /// measurement entries are excluded from the fit either way.
+  RobustOptions robust;
+  /// When > 0: the diagonal condition estimate of J^T J above this target
+  /// scales the fallback ladder's rung-2 ridge (only meaningful with
+  /// use_fallback_ladder). 0 = fixed ridge.
+  Real adaptive_tikhonov_target = 0.0;
+
+  /// MAP prior strength for masked solves, as a fraction of the median
+  /// J^T J diagonal. A masked pair's terminal equations are gone, so its
+  /// resistance (and the weakly determined combinations it couples into)
+  /// would otherwise drift freely along the data null space; the prior pins
+  /// log R to the initial guess with weight mu^2 = strength * median diag.
+  /// Only active when the measurement has masked entries -- unmasked solves
+  /// stay bit-identical to the legacy iteration. 0 disables it. The default
+  /// was tuned on the 10%-corruption sweep: it keeps the masked median error
+  /// within 2x of fault-free at n=8..16 (stronger priors over-bias the fit,
+  /// weaker ones let the null space drift).
+  Real masked_prior_strength = 3e-2;
 };
 
 struct InverseResult {
@@ -57,6 +79,12 @@ struct InverseResult {
   /// Linear-solve fallback usage (populated when use_fallback_ladder is on;
   /// otherwise records the dense solves as kDense-free direct solves).
   SolveDiagnostics diagnostics;
+  /// Why the LM loop stopped; a non-finite misfit on every damped attempt
+  /// reports kNumericalBreakdown instead of looking like a stall.
+  TerminationReason termination = TerminationReason::kMaxIterations;
+  /// Robust-estimation diagnostics (final scale, flagged outlier entries,
+  /// condition estimate, masked-entry count).
+  RobustReport robust;
 
   /// Max relative error against a known ground truth (test/diagnostic).
   [[nodiscard]] Real max_relative_error(const circuit::ResistanceGrid& truth) const;
@@ -64,6 +92,10 @@ struct InverseResult {
 
 /// Relative RMS misfit between a model's Z and the measurement's Z.
 Real impedance_misfit(const linalg::DenseMatrix& z_model, const linalg::DenseMatrix& z_measured);
+
+/// Mask-aware overload: masked entries are excluded from both numerator and
+/// denominator. Identical to the matrix overload for a complete sweep.
+Real impedance_misfit(const linalg::DenseMatrix& z_model, const mea::Measurement& measurement);
 
 /// Runs log-space Levenberg-Marquardt; throws NumericalError if the normal
 /// equations become singular (should not happen for positive damping).

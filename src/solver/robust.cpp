@@ -1,0 +1,132 @@
+#include "solver/robust.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/require.hpp"
+
+namespace parma::solver {
+
+namespace {
+
+constexpr Real kHuberDefault = 1.345;
+constexpr Real kTukeyDefault = 4.685;
+
+}  // namespace
+
+const char* robust_loss_name(RobustLoss loss) {
+  switch (loss) {
+    case RobustLoss::kNone: return "none";
+    case RobustLoss::kHuber: return "huber";
+    case RobustLoss::kTukey: return "tukey";
+  }
+  return "?";
+}
+
+const char* termination_reason_name(TerminationReason reason) {
+  switch (reason) {
+    case TerminationReason::kToleranceReached: return "tolerance-reached";
+    case TerminationReason::kMaxIterations: return "max-iterations";
+    case TerminationReason::kStalled: return "stalled";
+    case TerminationReason::kNumericalBreakdown: return "numerical-breakdown";
+  }
+  return "?";
+}
+
+Real effective_tuning(const RobustOptions& options) {
+  if (options.tuning > 0.0) return options.tuning;
+  switch (options.loss) {
+    case RobustLoss::kHuber: return kHuberDefault;
+    case RobustLoss::kTukey: return kTukeyDefault;
+    case RobustLoss::kNone: return 1.0;
+  }
+  return 1.0;
+}
+
+Real robust_scale(const std::vector<Real>& residual, std::vector<Real>& scratch,
+                  Real min_scale) {
+  if (residual.empty()) return std::max(min_scale, Real{0.0});
+  scratch.resize(residual.size());
+  for (std::size_t e = 0; e < residual.size(); ++e) scratch[e] = std::abs(residual[e]);
+  const std::size_t mid = scratch.size() / 2;
+  std::nth_element(scratch.begin(), scratch.begin() + static_cast<std::ptrdiff_t>(mid),
+                   scratch.end());
+  // 1.4826 makes the median-absolute-deviation consistent with the standard
+  // deviation of a Gaussian residual core.
+  return std::max(Real{1.4826} * scratch[mid], min_scale);
+}
+
+Index robust_weights(const std::vector<Real>& residual, Real scale, RobustLoss loss,
+                     Real tuning, std::vector<Real>& weights) {
+  PARMA_REQUIRE(scale > 0.0, "robust scale must be positive");
+  PARMA_REQUIRE(tuning > 0.0, "robust tuning constant must be positive");
+  weights.resize(residual.size());
+  if (loss == RobustLoss::kNone) {
+    std::fill(weights.begin(), weights.end(), Real{1.0});
+    return 0;
+  }
+  Index downweighted = 0;
+  for (std::size_t e = 0; e < residual.size(); ++e) {
+    const Real u = std::abs(residual[e]) / scale;
+    Real w = 1.0;
+    if (loss == RobustLoss::kHuber) {
+      if (u > tuning) w = tuning / u;
+    } else {  // Tukey biweight
+      if (u < tuning) {
+        const Real t = 1.0 - (u / tuning) * (u / tuning);
+        w = t * t;
+      } else {
+        w = 0.0;
+      }
+    }
+    if (!std::isfinite(w)) w = 0.0;  // a NaN residual row gets zero vote
+    weights[e] = w;
+    if (w < 1.0) ++downweighted;
+  }
+  return downweighted;
+}
+
+Real robust_cost(const std::vector<Real>& residual, Real scale, RobustLoss loss,
+                 Real tuning) {
+  PARMA_REQUIRE(scale > 0.0, "robust scale must be positive");
+  Real cost = 0.0;
+  for (const Real r : residual) {
+    const Real u = std::abs(r) / scale;
+    switch (loss) {
+      case RobustLoss::kNone:
+        cost += 0.5 * u * u;
+        break;
+      case RobustLoss::kHuber:
+        cost += (u <= tuning) ? 0.5 * u * u : tuning * u - 0.5 * tuning * tuning;
+        break;
+      case RobustLoss::kTukey: {
+        const Real c2 = tuning * tuning;
+        if (u < tuning) {
+          const Real t = 1.0 - (u / tuning) * (u / tuning);
+          cost += c2 / 6.0 * (1.0 - t * t * t);
+        } else {
+          cost += c2 / 6.0;
+        }
+        break;
+      }
+    }
+  }
+  return cost;
+}
+
+Real diagonal_condition_estimate(const std::vector<Real>& diag) {
+  Real max_d = 0.0;
+  Real min_d = std::numeric_limits<Real>::infinity();
+  for (const Real d : diag) {
+    if (!std::isfinite(d) || d <= 0.0) {
+      return std::numeric_limits<Real>::infinity();
+    }
+    max_d = std::max(max_d, d);
+    min_d = std::min(min_d, d);
+  }
+  if (diag.empty() || min_d <= 0.0) return std::numeric_limits<Real>::infinity();
+  return max_d / min_d;
+}
+
+}  // namespace parma::solver

@@ -210,6 +210,17 @@ void SystemKernels::refresh_jacobian(const std::vector<Real>& x, exec::Executor*
 }
 
 void SystemKernels::refresh_normal(exec::Executor* executor) {
+  refresh_normal_impl(nullptr, executor);
+}
+
+void SystemKernels::refresh_normal_weighted(const std::vector<Real>& row_weights,
+                                            exec::Executor* executor) {
+  PARMA_REQUIRE(static_cast<Index>(row_weights.size()) == symbolic_->rows,
+                "refresh_normal_weighted: weight vector size mismatch");
+  refresh_normal_impl(row_weights.data(), executor);
+}
+
+void SystemKernels::refresh_normal_impl(const Real* row_weights, exec::Executor* executor) {
   const SystemSymbolic& sym = *symbolic_;
   auto& avals = a_.values_mut();
   const auto& jvals = j_.values();
@@ -222,7 +233,12 @@ void SystemKernels::refresh_normal(exec::Executor* executor) {
       for (Index idx = sym.jt_col_ptr[static_cast<std::size_t>(i)];
            idx < sym.jt_col_ptr[static_cast<std::size_t>(i) + 1]; ++idx) {
         const Index r = sym.jt_row_idx[static_cast<std::size_t>(idx)];
-        const Real coef = jvals[static_cast<std::size_t>(sym.jt_slot[static_cast<std::size_t>(idx)])];
+        // The weighted entry folds w_r into the row coefficient (A(i, c) =
+        // sum_r w_r J(r, i) J(r, c)); the unweighted entry performs exactly
+        // the historical arithmetic -- no multiply by 1.0.
+        const Real j_ri = jvals[static_cast<std::size_t>(sym.jt_slot[static_cast<std::size_t>(idx)])];
+        const Real coef =
+            (row_weights != nullptr) ? row_weights[static_cast<std::size_t>(r)] * j_ri : j_ri;
         // Equations r arrive ascending (CSC fill order), so each A(i, c)
         // sums its J(r,i)*J(r,c) contributions in exactly the order the
         // stable-sorted CooBuilder reference does.

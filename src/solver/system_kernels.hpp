@@ -123,6 +123,14 @@ class SystemKernels {
   /// CooBuilder path produces.
   void refresh_normal(exec::Executor* executor = nullptr);
 
+  /// Row-weighted refresh: A = J^T W J with W = diag(row_weights), the IRLS
+  /// normal equations. Weights are numeric-only -- the pattern, chunking, and
+  /// summation order are exactly refresh_normal's (which this equals bit-for-
+  /// bit when every weight is 1.0 -- the unweighted entry never reads a
+  /// weight, so the robust-off path is untouched).
+  void refresh_normal_weighted(const std::vector<Real>& row_weights,
+                               exec::Executor* executor = nullptr);
+
   /// refresh_jacobian followed by refresh_normal.
   void refresh(const std::vector<Real>& x, exec::Executor* executor = nullptr);
 
@@ -131,6 +139,10 @@ class SystemKernels {
                      exec::Executor* executor = nullptr) const;
 
  private:
+  /// Shared body of refresh_normal / refresh_normal_weighted; `row_weights`
+  /// null means unweighted (no per-term multiply at all).
+  void refresh_normal_impl(const Real* row_weights, exec::Executor* executor);
+
   const equations::EquationSystem* system_;
   std::shared_ptr<const SystemSymbolic> symbolic_;
   linalg::CsrMatrix j_;
