@@ -66,9 +66,9 @@ Real run_once(Mode mode, Index burst) {
   options.queue_capacity = static_cast<std::size_t>(burst);
   options.max_batch = 8;
   if (mode == Mode::kBare) {
-    options.max_attempts = 1;
-    options.breaker_failure_threshold = 0;
-    options.degraded_high_water = 0.0;
+    options.policy.retry.max_attempts = 1;
+    options.policy.breaker.failure_threshold = 0;
+    options.policy.shedding.high_water = 0.0;
   }
 
   fault::Injector injector(2022);

@@ -7,10 +7,11 @@
 #
 # Sanitizer passes:
 #   - TSan (-DPARMA_SANITIZE=thread) over the concurrency-sensitive suites
-#     (ctest label `tsan`: test_kernels, test_exec, test_serve, test_fault,
-#     test_robust) plus the chaos storms (`chaos` label: test_fault's
-#     all-points fault storm and test_robust's corruption-recovery suite,
-#     each under three distinct PARMA_CHAOS_SEED values).
+#     (ctest label `tsan`: test_kernels, test_exec, test_serve, test_async,
+#     test_fault, test_robust) plus the chaos storms (`chaos` label:
+#     test_fault's all-points fault storm, test_robust's corruption-recovery
+#     suite, and test_async's cancellation storm, each under three distinct
+#     PARMA_CHAOS_SEED values).
 #   - ASan+UBSan (-DPARMA_SANITIZE=address,undefined) over the same suites.
 #
 # Also runs the solver hot-path bench in --quick mode, which fails (non-zero
@@ -33,6 +34,19 @@ for arg in "$@"; do
   [[ "${arg}" == "--no-asan" ]] && run_asan=0
 done
 
+echo "== headers: self-containment (each public header compiles alone) =="
+header_tu="$(mktemp --suffix=.cpp)"
+trap 'rm -f "${header_tu}"' EXIT
+header_fail=0
+for header in src/async/*.hpp src/serve/status.hpp src/serve/resilience.hpp; do
+  printf '#include "%s"\n' "${header#src/}" > "${header_tu}"
+  if ! c++ -std=c++20 -Wall -Wextra -fsyntax-only -Isrc "${header_tu}"; then
+    echo "not self-contained: ${header}"
+    header_fail=1
+  fi
+done
+[[ "${header_fail}" == "0" ]] || exit 1
+
 echo "== tier-1: configure + build =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "${jobs}"
@@ -49,7 +63,7 @@ echo "== bench: robust_accuracy --quick (2x dirty-input accuracy gate) =="
 if [[ "${run_tsan}" == "1" ]]; then
   echo "== tsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-tsan -S . -DPARMA_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${jobs}" --target test_kernels test_exec test_serve test_fault test_robust
+  cmake --build build-tsan -j "${jobs}" --target test_kernels test_exec test_serve test_async test_fault test_robust
   echo "== tsan: ctest -L tsan =="
   (cd build-tsan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== tsan: ctest -L chaos (3 seeds) =="
@@ -59,7 +73,7 @@ fi
 if [[ "${run_asan}" == "1" ]]; then
   echo "== asan+ubsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-asan -S . -DPARMA_SANITIZE=address,undefined >/dev/null
-  cmake --build build-asan -j "${jobs}" --target test_kernels test_exec test_serve test_fault test_robust
+  cmake --build build-asan -j "${jobs}" --target test_kernels test_exec test_serve test_async test_fault test_robust
   echo "== asan+ubsan: ctest -L tsan =="
   (cd build-asan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== asan+ubsan: ctest -L chaos (3 seeds) =="

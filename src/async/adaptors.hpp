@@ -1,0 +1,73 @@
+// Post-stage gates and instrumentation for Task chains.
+//
+// A "gate" runs after the wrapped task completes: if the predicate holds, a
+// mutator rewrites the outcome in place (e.g. stamping kDeadlineExceeded
+// over an otherwise-successful formation). Gates are how the serving
+// pipeline keeps its historical cancel/deadline checkpoints -- after
+// formation and after solve -- at exactly the same points in the chain,
+// with exactly the same messages, as the old blocking loop.
+#pragma once
+
+#include <chrono>
+#include <type_traits>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "async/task.hpp"
+
+namespace parma::async {
+
+/// After `task` completes, if `triggered()` is true run `mutate` on the
+/// outcome. Errors pass through untouched -- gates refine successes.
+template <typename T>
+Task<T> gate(Task<T> task, std::function<bool()> triggered,
+             std::type_identity_t<std::function<void(Try<T>&)>> mutate) {
+  auto boxed = std::make_shared<Task<T>>(std::move(task));
+  return Task<T>([boxed, triggered = std::move(triggered), mutate = std::move(mutate)](
+                     typename Task<T>::Continuation c) mutable {
+    std::move(*boxed).start(
+        [triggered = std::move(triggered), mutate = std::move(mutate),
+         c = std::move(c)](Try<T> outcome) mutable {
+          if (outcome.ok() && triggered()) mutate(outcome);
+          c(std::move(outcome));
+        });
+  });
+}
+
+/// Deadline checkpoint: `expired` typically compares a request deadline
+/// against Clock::now(); `mutate` stamps the timeout outcome.
+template <typename T>
+Task<T> with_deadline(Task<T> task, std::function<bool()> expired,
+                      std::type_identity_t<std::function<void(Try<T>&)>> mutate) {
+  return gate(std::move(task), std::move(expired), std::move(mutate));
+}
+
+/// Cancellation checkpoint: `cancelled` typically reads the request's
+/// atomic cancel flag.
+template <typename T>
+Task<T> with_cancellation(Task<T> task, std::function<bool()> cancelled,
+                          std::type_identity_t<std::function<void(Try<T>&)>> mutate) {
+  return gate(std::move(task), std::move(cancelled), std::move(mutate));
+}
+
+/// Measures wall time from start() to completion and hands the seconds to
+/// `sink` (before the downstream continuation runs). The sink decides what
+/// to do with it -- the server feeds per-stage latency histograms and skips
+/// samples for attempts that short-circuited.
+template <typename T>
+Task<T> instrument(Task<T> task, std::function<void(double seconds)> sink) {
+  auto boxed = std::make_shared<Task<T>>(std::move(task));
+  return Task<T>([boxed, sink = std::move(sink)](typename Task<T>::Continuation c) mutable {
+    const auto begin = std::chrono::steady_clock::now();
+    std::move(*boxed).start(
+        [begin, sink = std::move(sink), c = std::move(c)](Try<T> outcome) mutable {
+          const std::chrono::duration<double> elapsed =
+              std::chrono::steady_clock::now() - begin;
+          sink(elapsed.count());
+          c(std::move(outcome));
+        });
+  });
+}
+
+}  // namespace parma::async

@@ -1,0 +1,58 @@
+#include "async/async_scope.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace parma::async {
+
+AsyncScope::~AsyncScope() {
+  std::lock_guard lock(mu_);
+  PARMA_REQUIRE(in_flight_ == 0, "AsyncScope destroyed with chains in flight; join() first");
+}
+
+void AsyncScope::attach_timers(TimerQueue& timers) {
+  std::lock_guard lock(mu_);
+  timers_ = &timers;
+}
+
+void AsyncScope::spawn(Task<Unit> task) {
+  {
+    std::lock_guard lock(mu_);
+    ++in_flight_;
+    ++spawned_;
+  }
+  std::move(task).start([this](Try<Unit>) {
+    // Notify under the lock: join() may return (and the scope be destroyed)
+    // the instant in_flight_ hits zero, so the cv access must be ordered
+    // before the destructor's mutex acquisition.
+    std::lock_guard lock(mu_);
+    if (--in_flight_ == 0) idle_.notify_all();
+  });
+}
+
+void AsyncScope::join() {
+  TimerQueue* timers = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    timers = timers_;
+  }
+  // Expedite pending (and future) backoff waits *before* waiting: a chain
+  // parked on a timer holds in_flight_ and would otherwise stall the join
+  // for its full backoff.
+  if (timers != nullptr) timers->flush();
+  std::unique_lock lock(mu_);
+  idle_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+std::size_t AsyncScope::in_flight() const {
+  std::lock_guard lock(mu_);
+  return in_flight_;
+}
+
+std::uint64_t AsyncScope::spawned() const {
+  std::lock_guard lock(mu_);
+  return spawned_;
+}
+
+}  // namespace parma::async

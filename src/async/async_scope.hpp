@@ -1,0 +1,54 @@
+// parma::async::AsyncScope -- ownership of in-flight task chains.
+//
+// Every chain the server launches is spawned into one scope; drain/shutdown
+// collapses to a single join(). join() first flushes the attached TimerQueue
+// so chains parked in retry backoff (including breaker half-open probes
+// waiting behind one) complete promptly instead of holding shutdown hostage
+// for the full backoff, then blocks until every spawned chain has completed.
+// This ordering -- expedite timers *before* waiting -- is the fix for the
+// drain/half-open race: a probe can no longer be left pending after the
+// workers are gone.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "async/task.hpp"
+#include "async/timer_queue.hpp"
+
+namespace parma::async {
+
+class AsyncScope {
+ public:
+  AsyncScope() = default;
+  /// The scope must be empty (joined) at destruction; enforced.
+  ~AsyncScope();
+
+  AsyncScope(const AsyncScope&) = delete;
+  AsyncScope& operator=(const AsyncScope&) = delete;
+
+  /// Timers to flush at join(). Optional; set before the first join().
+  void attach_timers(TimerQueue& timers);
+
+  /// Starts `task` immediately, tracked until its chain completes. The
+  /// chain's errors are swallowed at the scope boundary (chains run for
+  /// effect; the serving layer completes promises inside the chain).
+  void spawn(Task<Unit> task);
+
+  /// Flushes attached timers, then blocks until in_flight() == 0. Safe to
+  /// call repeatedly; spawns racing a join are waited for too.
+  void join();
+
+  [[nodiscard]] std::size_t in_flight() const;
+  [[nodiscard]] std::uint64_t spawned() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable idle_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t spawned_ = 0;
+  TimerQueue* timers_ = nullptr;
+};
+
+}  // namespace parma::async

@@ -1,0 +1,56 @@
+// with_breaker -- gate a task behind an admission check and report its
+// outcome back, without this layer knowing what a circuit breaker is.
+//
+// The hooks are deliberately shapeless: `admit` decides whether the work may
+// start (and the serving layer's implementation is where half-open probe
+// accounting lives), `rejected` fabricates the fast-fail outcome, and
+// `classify` + `report` feed the result back. serve::Server binds these to
+// its per-shape BreakerBoard; tests bind them to counters.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "async/task.hpp"
+
+namespace parma::async {
+
+enum class BreakerOutcome {
+  kSuccess,  ///< counts toward closing the breaker
+  kFailure,  ///< counts toward opening it
+  kNeutral,  ///< ignored (client errors, cancellations, ...)
+};
+
+template <typename T>
+struct BreakerHooks {
+  /// May the wrapped task start? Unset admits everything.
+  std::function<bool()> admit;
+
+  /// Fast-fail outcome when admit() refuses. Must be set when admit is.
+  std::function<Try<T>()> rejected;
+
+  /// Maps the wrapped task's outcome to a breaker signal. Unset: no report.
+  std::function<BreakerOutcome(const Try<T>&)> classify;
+
+  /// Receives the classified outcome. Unset: no report.
+  std::function<void(BreakerOutcome)> report;
+};
+
+template <typename T>
+Task<T> with_breaker(Task<T> task, BreakerHooks<T> hooks) {
+  auto boxed = std::make_shared<Task<T>>(std::move(task));
+  auto h = std::make_shared<BreakerHooks<T>>(std::move(hooks));
+  return Task<T>([boxed, h](typename Task<T>::Continuation c) {
+    if (h->admit && !h->admit()) {
+      c(h->rejected());
+      return;
+    }
+    std::move(*boxed).start([h, c = std::move(c)](Try<T> outcome) mutable {
+      if (h->classify && h->report) h->report(h->classify(outcome));
+      c(std::move(outcome));
+    });
+  });
+}
+
+}  // namespace parma::async

@@ -1,0 +1,105 @@
+// retry_with_backoff -- re-run a task factory until it succeeds, with timed
+// waits between attempts parked on a TimerQueue instead of a blocked thread.
+//
+// The adaptor knows nothing about why an outcome is retryable or how long to
+// wait: classification, backoff schedule, and the two veto hooks are policy
+// injected by the caller. The serving layer uses the hooks to reproduce its
+// historical semantics exactly -- before_wait vetoes when the request's
+// deadline would pass during the backoff, after_wait vetoes when the request
+// was cancelled while waiting -- mutating the Try in place so the final
+// outcome carries the same status and message the blocking loop produced.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "async/task.hpp"
+#include "async/timer_queue.hpp"
+
+namespace parma::async {
+
+template <typename T>
+struct RetryOptions {
+  /// Total attempts, including the first (>= 1).
+  int max_attempts = 1;
+
+  /// True when this outcome is worth another attempt. Unset: never retry.
+  std::function<bool(const Try<T>&)> should_retry;
+
+  /// Backoff before attempt `next_attempt` (2-based: the wait preceding the
+  /// second attempt is backoff_for(2)). Unset: zero delay.
+  std::function<std::chrono::microseconds(int next_attempt)> backoff_for;
+
+  /// Called before parking the wait; return false to give up now with the
+  /// current (possibly mutated) outcome. E.g. "deadline would pass during
+  /// retry backoff".
+  std::function<bool(int next_attempt, std::chrono::microseconds delay, Try<T>&)>
+      before_wait;
+
+  /// Called after the wait fires (naturally or flushed by drain); return
+  /// false to give up with the current (possibly mutated) outcome. E.g.
+  /// "cancelled between attempts".
+  std::function<bool(int next_attempt, Try<T>&)> after_wait;
+};
+
+/// `factory(attempt)` builds the chain for one attempt (attempt is 1-based).
+/// The composed task completes with the last attempt's outcome. An attempt
+/// that completes with an *exception* is terminal -- stage code is expected
+/// to fold failures into the value type (the serving layer's AttemptOutcome),
+/// and an escaped exception means a bug, not a retryable fault.
+template <typename T>
+Task<T> retry_with_backoff(std::function<Task<T>(int attempt)> factory,
+                           RetryOptions<T> options, TimerQueue& timers) {
+  auto opts = std::make_shared<RetryOptions<T>>(std::move(options));
+  auto make = std::make_shared<std::function<Task<T>(int)>>(std::move(factory));
+  return Task<T>([opts, make, timers = &timers](typename Task<T>::Continuation c) {
+    struct Runner : std::enable_shared_from_this<Runner> {
+      std::shared_ptr<RetryOptions<T>> opts;
+      std::shared_ptr<std::function<Task<T>(int)>> make;
+      TimerQueue* timers;
+      typename Task<T>::Continuation done;
+      int attempt = 0;
+
+      void launch() {
+        ++attempt;
+        auto self = this->shared_from_this();
+        Task<T> t = (*make)(attempt);
+        std::move(t).start([self](Try<T> outcome) { self->landed(std::move(outcome)); });
+      }
+
+      void landed(Try<T> outcome) {
+        if (!outcome.ok() || attempt >= opts->max_attempts || !opts->should_retry ||
+            !opts->should_retry(outcome)) {
+          done(std::move(outcome));
+          return;
+        }
+        const int next = attempt + 1;
+        const std::chrono::microseconds delay =
+            opts->backoff_for ? opts->backoff_for(next) : std::chrono::microseconds{0};
+        if (opts->before_wait && !opts->before_wait(next, delay, outcome)) {
+          done(std::move(outcome));
+          return;
+        }
+        auto self = this->shared_from_this();
+        auto boxed = std::make_shared<Try<T>>(std::move(outcome));
+        timers->schedule_after(delay, [self, boxed](bool /*flushed*/) {
+          if (self->opts->after_wait && !self->opts->after_wait(self->attempt + 1, *boxed)) {
+            self->done(std::move(*boxed));
+            return;
+          }
+          self->launch();
+        });
+      }
+    };
+    auto runner = std::make_shared<Runner>();
+    runner->opts = opts;
+    runner->make = make;
+    runner->timers = timers;
+    runner->done = std::move(c);
+    runner->launch();
+  });
+}
+
+}  // namespace parma::async

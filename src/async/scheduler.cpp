@@ -1,0 +1,69 @@
+#include "async/scheduler.hpp"
+
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace parma::async {
+
+Scheduler::Scheduler(Index threads) {
+  PARMA_REQUIRE(threads >= 1, "Scheduler needs at least one thread");
+  threads_.reserve(static_cast<std::size_t>(threads));
+  for (Index i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { run(); });
+  }
+}
+
+Scheduler::~Scheduler() { stop(); }
+
+void Scheduler::post(std::function<void()> task) {
+  {
+    std::unique_lock lock(mu_);
+    if (!stopping_) {
+      queue_.push_back(std::move(task));
+      lock.unlock();
+      ready_.notify_one();
+      return;
+    }
+    // Stopped: run inline (see header). The counter still ticks so
+    // diagnostics account for every executed continuation.
+    ++executed_;
+  }
+  task();
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) {
+      // Idempotent; the first call already joined (or is joining) the pool.
+    }
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::uint64_t Scheduler::executed() const {
+  std::lock_guard lock(mu_);
+  return executed_;
+}
+
+void Scheduler::run() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++executed_;
+    }
+    task();
+  }
+}
+
+}  // namespace parma::async

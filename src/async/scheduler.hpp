@@ -1,0 +1,58 @@
+// parma::async::Scheduler -- the execution context of the continuation core.
+//
+// A fixed pool of threads draining a FIFO of posted continuations. Unlike
+// exec::Executor (bulk data-parallel loops that block the submitter), the
+// Scheduler never blocks anybody: post() enqueues and returns, which is what
+// lets pipeline stages of different batches interleave on the same threads.
+//
+// Shutdown contract: stop() finishes everything already posted, then joins.
+// A post() after stop() runs the continuation inline on the calling thread
+// -- a late continuation is never silently dropped (dropping one would leave
+// its chain, and anything joined on it, hanging forever).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma::async {
+
+class Scheduler {
+ public:
+  /// Spawns `threads` pool threads (>= 1).
+  explicit Scheduler(Index threads);
+
+  /// stop() + join.
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Enqueues a continuation for the pool. After stop(), runs it inline.
+  void post(std::function<void()> task);
+
+  /// Drains every task posted so far, then joins the pool. Idempotent.
+  void stop();
+
+  [[nodiscard]] Index workers() const { return static_cast<Index>(threads_.size()); }
+
+  /// Tasks executed since construction (diagnostics).
+  [[nodiscard]] std::uint64_t executed() const;
+
+ private:
+  void run();
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<std::function<void()>> queue_;
+  std::uint64_t executed_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace parma::async

@@ -1,0 +1,277 @@
+// parma::async -- a minimal sender/receiver continuation core.
+//
+// A Task<T> is a cold, move-only sender: a computation that, once started,
+// completes exactly one Continuation with a Try<T> (value or exception).
+// Nothing runs until start(); composition builds a description of the chain,
+// so the serving pipeline can assemble admit -> form -> solve -> reconstruct
+// as data and hand it to a scheduler stage by stage instead of occupying a
+// worker thread end to end.
+//
+//   async::Scheduler pool(4);
+//   auto work = async::schedule(pool)                 // hop onto the pool
+//                   .then([] { return load(); })      // value transform
+//                   .via(pool)                        // hop again
+//                   .then([](Data d) { return solve(d); });
+//   async::Try<Result> r = async::sync_wait(std::move(work));
+//
+// Combinators here: just, schedule, then, via, when_all, sequence,
+// sync_wait. Resilience adaptors (retry_with_backoff, with_breaker,
+// with_deadline, ...) live in retry.hpp / breaker.hpp / adaptors.hpp; the
+// in-flight ownership scope is async_scope.hpp.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "async/scheduler.hpp"
+#include "common/types.hpp"
+
+namespace parma::async {
+
+/// Regular void: the value type of tasks run purely for effect.
+struct Unit {};
+
+/// Completion outcome of a task: exactly one of a value or an exception.
+template <typename T>
+class Try {
+ public:
+  Try() = default;
+
+  static Try from_value(T value) {
+    Try t;
+    t.value_ = std::move(value);
+    return t;
+  }
+  static Try from_error(std::exception_ptr error) {
+    Try t;
+    t.error_ = std::move(error);
+    return t;
+  }
+
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
+  [[nodiscard]] std::exception_ptr exception() const { return error_; }
+
+  /// The value; rethrows when this Try carries an exception.
+  T& get() {
+    if (error_) std::rethrow_exception(error_);
+    return *value_;
+  }
+  const T& get() const {
+    if (error_) std::rethrow_exception(error_);
+    return *value_;
+  }
+
+ private:
+  std::optional<T> value_;
+  std::exception_ptr error_;
+};
+
+namespace detail {
+
+/// Runs f with the completed value: f(), f(value), f(Try) -- whichever the
+/// callable accepts (checked in that order of specificity: Try first).
+template <typename F, typename T>
+decltype(auto) invoke_stage(F& f, Try<T>& t) {
+  if constexpr (std::is_invocable_v<F, Try<T>&&>) {
+    return f(std::move(t));
+  } else if constexpr (std::is_invocable_v<F, T&&>) {
+    return f(std::move(t.get()));
+  } else {
+    static_assert(std::is_invocable_v<F>, "then() continuation must accept the task value, a Try, or nothing");
+    return f();
+  }
+}
+
+template <typename F, typename T>
+struct stage_result {
+  using raw = decltype(invoke_stage(std::declval<F&>(), std::declval<Try<T>&>()));
+  using type = std::conditional_t<std::is_void_v<raw>, Unit, std::decay_t<raw>>;
+};
+
+}  // namespace detail
+
+template <typename T>
+class Task {
+ public:
+  using Continuation = std::function<void(Try<T>)>;
+  using StartFn = std::function<void(Continuation)>;
+
+  Task() = default;
+  explicit Task(StartFn start) : start_(std::move(start)) {}
+
+  Task(Task&&) noexcept = default;
+  Task& operator=(Task&&) noexcept = default;
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+
+  [[nodiscard]] bool valid() const { return static_cast<bool>(start_); }
+
+  /// Starts the computation; `c` is invoked exactly once, on whatever thread
+  /// the chain completes on. Consumes the task.
+  void start(Continuation c) && {
+    StartFn s = std::move(start_);
+    s(std::move(c));
+  }
+
+  /// Value transform: runs f with this task's value on the completion
+  /// thread. An upstream error skips f (unless f accepts the Try itself);
+  /// an exception thrown by f becomes the downstream error.
+  template <typename F>
+  auto then(F f) && -> Task<typename detail::stage_result<F, T>::type> {
+    using U = typename detail::stage_result<F, T>::type;
+    using RawU = typename detail::stage_result<F, T>::raw;
+    return Task<U>([prev = std::move(start_), f = std::move(f)](
+                       typename Task<U>::Continuation c) mutable {
+      prev([f = std::move(f), c = std::move(c)](Try<T> t) mutable {
+        // Error short-circuit, unless f wants the Try itself.
+        if constexpr (!std::is_invocable_v<F, Try<T>&&>) {
+          if (!t.ok()) {
+            c(Try<U>::from_error(t.exception()));
+            return;
+          }
+        }
+        try {
+          if constexpr (std::is_void_v<RawU>) {
+            detail::invoke_stage(f, t);
+            c(Try<U>::from_value(Unit{}));
+          } else {
+            c(Try<U>::from_value(detail::invoke_stage(f, t)));
+          }
+        } catch (...) {
+          c(Try<U>::from_error(std::current_exception()));
+        }
+      });
+    });
+  }
+
+  /// Reschedules the continuation onto `scheduler`: whatever follows runs as
+  /// a task on its pool instead of inline on the completing thread.
+  Task<T> via(Scheduler& scheduler) && {
+    return Task<T>([prev = std::move(start_), s = &scheduler](Continuation c) mutable {
+      prev([s, c = std::move(c)](Try<T> t) mutable {
+        auto shared = std::make_shared<std::pair<Continuation, Try<T>>>(std::move(c),
+                                                                        std::move(t));
+        s->post([shared] { shared->first(std::move(shared->second)); });
+      });
+    });
+  }
+
+ private:
+  StartFn start_;
+};
+
+/// An already-completed task carrying `value`.
+template <typename T>
+Task<std::decay_t<T>> just(T&& value) {
+  using D = std::decay_t<T>;
+  auto boxed = std::make_shared<D>(std::forward<T>(value));
+  return Task<D>([boxed](typename Task<D>::Continuation c) {
+    c(Try<D>::from_value(std::move(*boxed)));
+  });
+}
+
+inline Task<Unit> just() { return just(Unit{}); }
+
+/// A task that completes (with Unit) on one of `scheduler`'s pool threads.
+inline Task<Unit> schedule(Scheduler& scheduler) {
+  return Task<Unit>([s = &scheduler](Task<Unit>::Continuation c) {
+    auto shared = std::make_shared<Task<Unit>::Continuation>(std::move(c));
+    s->post([shared] { (*shared)(Try<Unit>::from_value(Unit{})); });
+  });
+}
+
+/// Starts every task; completes with all outcomes (in input order) once the
+/// last one finishes. Individual failures do not cancel siblings -- each
+/// slot carries its own Try. An empty input completes immediately.
+template <typename T>
+Task<std::vector<Try<T>>> when_all(std::vector<Task<T>> tasks) {
+  using Batch = std::vector<Try<T>>;
+  auto boxed = std::make_shared<std::vector<Task<T>>>(std::move(tasks));
+  return Task<Batch>([boxed](typename Task<Batch>::Continuation c) {
+    const std::size_t n = boxed->size();
+    if (n == 0) {
+      c(Try<Batch>::from_value(Batch{}));
+      return;
+    }
+    struct State {
+      std::mutex mu;
+      Batch results;
+      std::size_t remaining;
+      typename Task<Batch>::Continuation done;
+    };
+    auto state = std::make_shared<State>();
+    state->results.resize(n);
+    state->remaining = n;
+    state->done = std::move(c);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::move((*boxed)[i]).start([state, i](Try<T> t) {
+        bool last = false;
+        {
+          std::lock_guard lock(state->mu);
+          state->results[i] = std::move(t);
+          last = (--state->remaining == 0);
+        }
+        if (last) state->done(Try<Batch>::from_value(std::move(state->results)));
+      });
+    }
+  });
+}
+
+/// Runs the step factories strictly one after another (step k+1 is created
+/// only after step k's chain completed). Errors in one step do not stop the
+/// later steps -- the serving pipeline relies on one request's failure never
+/// poisoning the rest of its batch.
+inline Task<Unit> sequence(std::vector<std::function<Task<Unit>()>> steps) {
+  auto boxed =
+      std::make_shared<std::vector<std::function<Task<Unit>()>>>(std::move(steps));
+  return Task<Unit>([boxed](Task<Unit>::Continuation c) {
+    struct Runner : std::enable_shared_from_this<Runner> {
+      std::vector<std::function<Task<Unit>()>> steps;
+      std::size_t next = 0;
+      Task<Unit>::Continuation done;
+      void run() {
+        if (next >= steps.size()) {
+          done(Try<Unit>::from_value(Unit{}));
+          return;
+        }
+        auto self = this->shared_from_this();
+        Task<Unit> step = steps[next++]();
+        std::move(step).start([self](Try<Unit>) { self->run(); });
+      }
+    };
+    auto runner = std::make_shared<Runner>();
+    runner->steps = std::move(*boxed);
+    runner->done = std::move(c);
+    runner->run();
+  });
+}
+
+/// Starts the task and blocks the calling thread until it completes.
+template <typename T>
+Try<T> sync_wait(Task<T> task) {
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::optional<Try<T>> result;
+  };
+  auto state = std::make_shared<State>();
+  std::move(task).start([state](Try<T> t) {
+    {
+      std::lock_guard lock(state->mu);
+      state->result = std::move(t);
+    }
+    state->cv.notify_all();
+  });
+  std::unique_lock lock(state->mu);
+  state->cv.wait(lock, [&] { return state->result.has_value(); });
+  return std::move(*state->result);
+}
+
+}  // namespace parma::async

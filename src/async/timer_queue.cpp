@@ -1,0 +1,106 @@
+#include "async/timer_queue.hpp"
+
+#include <utility>
+
+namespace parma::async {
+
+TimerQueue::TimerQueue() : thread_([this] { run(); }) {}
+
+TimerQueue::~TimerQueue() { stop(); }
+
+void TimerQueue::schedule_after(std::chrono::microseconds delay, Callback cb) {
+  {
+    std::lock_guard lock(mu_);
+    Entry entry;
+    entry.seq = next_seq_++;
+    entry.cb = std::move(cb);
+    if (expedite_ || delay.count() <= 0) {
+      entry.due = Clock::time_point::min();  // ahead of everything pending
+      entry.flushed = expedite_;
+    } else {
+      entry.due = Clock::now() + delay;
+      entry.flushed = false;
+    }
+    entries_.push(std::move(entry));
+  }
+  wake_.notify_all();
+}
+
+void TimerQueue::flush() {
+  {
+    std::lock_guard lock(mu_);
+    expedite_ = true;
+    // Re-stamp everything pending as due immediately. priority_queue has no
+    // decrease-key, so rebuild; the heap is small (in-flight backoffs only).
+    std::vector<Entry> pending;
+    pending.reserve(entries_.size());
+    while (!entries_.empty()) {
+      Entry e = entries_.top();
+      entries_.pop();
+      e.due = Clock::time_point::min();
+      e.flushed = true;
+      pending.push_back(std::move(e));
+    }
+    for (Entry& e : pending) entries_.push(std::move(e));
+  }
+  wake_.notify_all();
+}
+
+void TimerQueue::resume() {
+  std::lock_guard lock(mu_);
+  expedite_ = false;
+}
+
+std::size_t TimerQueue::pending() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t TimerQueue::fired() const {
+  std::lock_guard lock(mu_);
+  return fired_;
+}
+
+std::uint64_t TimerQueue::flushed() const {
+  std::lock_guard lock(mu_);
+  return flushed_fires_;
+}
+
+void TimerQueue::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+    expedite_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void TimerQueue::run() {
+  std::unique_lock lock(mu_);
+  for (;;) {
+    if (entries_.empty()) {
+      if (stopping_) return;
+      wake_.wait(lock, [&] { return stopping_ || !entries_.empty(); });
+      continue;
+    }
+    const Clock::time_point due = entries_.top().due;
+    const Clock::time_point now = Clock::now();
+    if (due > now && !expedite_) {
+      // Sleep until the front entry is due or something changes the heap.
+      wake_.wait_until(lock, due);
+      continue;
+    }
+    Entry entry = std::move(const_cast<Entry&>(entries_.top()));
+    entries_.pop();
+    const bool flushed = entry.flushed || (expedite_ && due > now);
+    ++fired_;
+    if (flushed) ++flushed_fires_;
+    lock.unlock();
+    entry.cb(flushed);
+    lock.lock();
+  }
+}
+
+}  // namespace parma::async

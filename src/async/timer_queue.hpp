@@ -1,0 +1,87 @@
+// parma::async::TimerQueue -- deferred continuations for backoff waits.
+//
+// One timer thread holds a min-heap of (due time, callback) entries and
+// fires each callback at its due time. Callbacks run on the timer thread
+// and must be cheap -- post the real continuation to a Scheduler.
+//
+// The queue is the seam that makes drain deterministic: flush() fires every
+// pending entry immediately (callback sees flushed = true) and latches the
+// queue into expedited mode, where later schedule_after() calls also fire
+// at once. async_scope::join relies on this: a request sleeping in a 10 s
+// retry backoff must not hold shutdown hostage for 10 s, and a half-open
+// breaker probe parked behind such a backoff must resolve before the
+// workers are torn down (see server.cpp drain()).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace parma::async {
+
+class TimerQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// `flushed` is false for a natural expiry, true when the wait was cut
+  /// short by flush() (or scheduled while already expedited).
+  using Callback = std::function<void(bool flushed)>;
+
+  TimerQueue();
+  ~TimerQueue();  // stop()
+
+  TimerQueue(const TimerQueue&) = delete;
+  TimerQueue& operator=(const TimerQueue&) = delete;
+
+  /// Runs `cb` on the timer thread once `delay` has elapsed. A non-positive
+  /// delay, or a queue in expedited mode, fires on the timer thread at the
+  /// next wakeup (never inline on the caller).
+  void schedule_after(std::chrono::microseconds delay, Callback cb);
+
+  /// Fires every pending entry now (flushed = true) and latches expedited
+  /// mode; subsequent schedules also fire immediately. Returns once the
+  /// *queue* is empty -- callbacks may still be running on the timer thread.
+  void flush();
+
+  /// Leaves expedited mode (tests; the server never resumes after drain).
+  void resume();
+
+  /// Entries scheduled but not yet fired.
+  [[nodiscard]] std::size_t pending() const;
+
+  /// Total callbacks fired, and how many of those were flushed.
+  [[nodiscard]] std::uint64_t fired() const;
+  [[nodiscard]] std::uint64_t flushed() const;
+
+  /// Fires everything pending, then joins the timer thread. Idempotent.
+  void stop();
+
+ private:
+  struct Entry {
+    Clock::time_point due;
+    std::uint64_t seq;  ///< FIFO tiebreak for equal due times
+    Callback cb;
+    bool flushed;
+    bool operator>(const Entry& other) const {
+      return due != other.due ? due > other.due : seq > other.seq;
+    }
+  };
+
+  void run();
+
+  mutable std::mutex mu_;
+  std::condition_variable wake_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> entries_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t flushed_fires_ = 0;
+  bool expedite_ = false;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace parma::async

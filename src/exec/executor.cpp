@@ -37,6 +37,7 @@ BulkResult Executor::submit_bulk(Index begin, Index end, Index chunk,
   Stopwatch clock;
   if (begin == end) {
     result.elapsed_seconds = clock.elapsed_seconds();
+    if (completion_hook_) completion_hook_(result);
     return result;
   }
 
@@ -81,6 +82,7 @@ BulkResult Executor::submit_bulk(Index begin, Index end, Index chunk,
     result.task_costs = std::move(costs);
   }
   result.elapsed_seconds = clock.elapsed_seconds();
+  if (completion_hook_) completion_hook_(result);
   return result;
 }
 
@@ -147,6 +149,78 @@ Executor& ExecutorCache::get(Backend backend, Index workers) {
     it = cache_.emplace(key, make_executor(key.first, key.second)).first;
   }
   return *it->second;
+}
+
+ExecutorPool::Lease::Lease(Lease&& other) noexcept
+    : pool_(other.pool_), key_(other.key_), executor_(other.executor_) {
+  other.pool_ = nullptr;
+  other.executor_ = nullptr;
+}
+
+ExecutorPool::Lease& ExecutorPool::Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    pool_ = other.pool_;
+    key_ = other.key_;
+    executor_ = other.executor_;
+    other.pool_ = nullptr;
+    other.executor_ = nullptr;
+  }
+  return *this;
+}
+
+ExecutorPool::Lease::~Lease() { release(); }
+
+void ExecutorPool::Lease::release() {
+  if (pool_ != nullptr && executor_ != nullptr) {
+    pool_->give_back(key_, executor_);
+  }
+  pool_ = nullptr;
+  executor_ = nullptr;
+}
+
+ExecutorPool::Lease ExecutorPool::acquire(Backend backend, Index workers) {
+  // Same key collapse as ExecutorCache: serial ignores the worker count.
+  const std::pair<Backend, Index> key{backend,
+                                      backend == Backend::kSerial ? Index{1} : workers};
+  {
+    std::lock_guard lock(mu_);
+    std::vector<Executor*>& free_list = idle_[key];
+    if (!free_list.empty()) {
+      Executor* executor = free_list.back();
+      free_list.pop_back();
+      return Lease(this, key, executor);
+    }
+  }
+  // Construct outside the lock (pool construction spawns threads); the new
+  // executor is handed straight to the caller, registered for ownership.
+  std::unique_ptr<Executor> fresh = make_executor(key.first, key.second);
+  fresh->set_completion_hook([this](const BulkResult&) {
+    bulk_completions_.fetch_add(1, std::memory_order_relaxed);
+  });
+  Executor* executor = fresh.get();
+  {
+    std::lock_guard lock(mu_);
+    owned_.push_back(std::move(fresh));
+  }
+  return Lease(this, key, executor);
+}
+
+std::size_t ExecutorPool::created() const {
+  std::lock_guard lock(mu_);
+  return owned_.size();
+}
+
+std::size_t ExecutorPool::idle() const {
+  std::lock_guard lock(mu_);
+  std::size_t total = 0;
+  for (const auto& [key, free_list] : idle_) total += free_list.size();
+  return total;
+}
+
+void ExecutorPool::give_back(const std::pair<Backend, Index>& key, Executor* executor) {
+  std::lock_guard lock(mu_);
+  idle_[key].push_back(executor);
 }
 
 }  // namespace parma::exec

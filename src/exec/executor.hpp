@@ -20,9 +20,12 @@
 // costs measured under real concurrency.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -79,6 +82,15 @@ class Executor {
                          const std::function<void(Index, Index)>& fn,
                          bool capture_costs = false);
 
+  /// Observer invoked at the end of every successful submit_bulk (not on the
+  /// exception path), on the submitting thread, with the completed result.
+  /// One hook per executor; setting a new one replaces the previous (an empty
+  /// function clears it). Not synchronized with concurrent submit_bulk calls
+  /// -- set it while the executor is idle (e.g. at pool check-in/creation).
+  void set_completion_hook(std::function<void(const BulkResult&)> hook) {
+    completion_hook_ = std::move(hook);
+  }
+
  protected:
   Executor() = default;
 
@@ -86,6 +98,9 @@ class Executor {
   /// and block until done.
   virtual void run_chunks(Index begin, Index end, Index chunk,
                           const std::function<void(Index, Index)>& fn) = 0;
+
+ private:
+  std::function<void(const BulkResult&)> completion_hook_;
 };
 
 /// Runs every chunk on the calling thread, in range order.
@@ -153,6 +168,73 @@ class ExecutorCache {
 
  private:
   std::map<std::pair<Backend, Index>, std::unique_ptr<Executor>> cache_;
+};
+
+/// Thread-safe pool of warm executors for the async serving pipeline.
+///
+/// Pipeline stages of one batch hop between scheduler threads, so exclusive
+/// executor use cannot come from thread ownership (ExecutorCache's model).
+/// Instead a batch checks an executor out for its whole chain (acquire ->
+/// Lease) and the lease returns it at chain end; two batches of the same
+/// (backend, workers) configuration running concurrently get two distinct
+/// executors. Executors are constructed on demand and kept warm for the
+/// pool's lifetime.
+class ExecutorPool {
+ public:
+  /// RAII check-out: the holder has exclusive use of get() until release()
+  /// (or destruction). Movable, not copyable.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept;
+    Lease& operator=(Lease&& other) noexcept;
+    ~Lease();  // release()
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    /// The leased executor; nullptr for an empty/released lease.
+    [[nodiscard]] Executor* get() const { return executor_; }
+
+    /// Returns the executor to its pool; idempotent.
+    void release();
+
+   private:
+    friend class ExecutorPool;
+    Lease(ExecutorPool* pool, std::pair<Backend, Index> key, Executor* executor)
+        : pool_(pool), key_(key), executor_(executor) {}
+
+    ExecutorPool* pool_ = nullptr;
+    std::pair<Backend, Index> key_{Backend::kAuto, 0};
+    Executor* executor_ = nullptr;
+  };
+
+  ExecutorPool() = default;
+
+  ExecutorPool(const ExecutorPool&) = delete;
+  ExecutorPool& operator=(const ExecutorPool&) = delete;
+
+  /// Checks out an idle executor for this configuration, constructing a new
+  /// one when none is free. `backend` must be concrete (not kAuto).
+  [[nodiscard]] Lease acquire(Backend backend, Index workers);
+
+  /// Executors constructed so far (across all configurations).
+  [[nodiscard]] std::size_t created() const;
+  /// Executors currently checked in (idle).
+  [[nodiscard]] std::size_t idle() const;
+  /// submit_bulk completions observed across all pooled executors (via the
+  /// completion hook; diagnostics for the serving pipeline).
+  [[nodiscard]] std::uint64_t bulk_completions() const {
+    return bulk_completions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void give_back(const std::pair<Backend, Index>& key, Executor* executor);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Executor>> owned_;
+  std::map<std::pair<Backend, Index>, std::vector<Executor*>> idle_;
+  std::atomic<std::uint64_t> bulk_completions_{0};
 };
 
 }  // namespace parma::exec

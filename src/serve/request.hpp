@@ -14,6 +14,7 @@
 #include "core/engine.hpp"
 #include "core/strategy.hpp"
 #include "mea/measurement.hpp"
+#include "serve/status.hpp"
 #include "solver/full_system_solver.hpp"
 #include "solver/inverse_solver.hpp"
 
@@ -22,34 +23,8 @@ namespace parma::serve {
 /// Monotonic clock used for deadlines and latency accounting.
 using Clock = std::chrono::steady_clock;
 
-/// Terminal status of one served request.
-enum class RequestStatus {
-  kOk,                ///< full pipeline ran; `inverse` holds the recovery
-  kDeadlineExceeded,  ///< the request's deadline passed before completion
-  kCancelled,         ///< cancelled via Ticket::cancel() (or server teardown)
-  kRejected,          ///< never admitted (queue full, shutdown, bad options)
-  kSolverFailed,      ///< a pipeline stage threw; `message` has the reason
-  kInvalidInput,      ///< measurement payload rejected (non-finite/negative Z)
-  kBreakerOpen,       ///< fast-failed: this shape's circuit breaker is open
-  kDegradedResult,    ///< pipeline ran and `inverse` holds a recovery, but the
-                      ///< quality report tripped the request's QualityFloor
-                      ///< (heavy masking/outliers, ill-conditioning, breakdown)
-};
-
-const char* request_status_name(RequestStatus status);
-
-/// Outcome of a submit/try_submit call (admission-time backpressure signal;
-/// the request-level outcome is RequestStatus on the future).
-enum class SubmitStatus {
-  kAccepted,       ///< queued; the future completes when a worker finishes it
-  kQueueFull,      ///< bounded admission queue is full (after the timeout,
-                   ///< for the blocking submit); future completes kRejected
-  kShuttingDown,   ///< drain()/shutdown() already stopped admission
-  kInvalidOptions, ///< request failed admission validation
-  kLoadShed,       ///< degraded mode fast-rejected this low-priority request
-};
-
-const char* submit_status_name(SubmitStatus status);
+// RequestStatus / SubmitStatus (and their *_name / to_string helpers) live in
+// serve/status.hpp so status-only clients need not pull in the engine stack.
 
 /// Scheduling weight under degraded mode: when the admission queue stays at
 /// its high-water mark, kLow work is shed at admission (kLoadShed) so the

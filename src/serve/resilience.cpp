@@ -1,0 +1,37 @@
+#include "serve/resilience.hpp"
+
+#include <sstream>
+
+#include "core/strategy.hpp"
+
+namespace parma::serve {
+
+void ResiliencePolicy::validate() const {
+  const auto fail = [](const char* what, auto got) {
+    std::ostringstream os;
+    os << "invalid ResiliencePolicy: " << what << ", got " << got;
+    throw core::InvalidOptions(os.str());
+  };
+  if (retry.max_attempts < 1) fail("retry.max_attempts must be >= 1", retry.max_attempts);
+  if (retry.backoff.count() < 0) fail("retry.backoff must be >= 0 ms", retry.backoff.count());
+  if (retry.backoff_cap < retry.backoff) {
+    fail("retry.backoff_cap must be >= retry.backoff", retry.backoff_cap.count());
+  }
+  if (breaker.failure_threshold < 0) {
+    fail("breaker.failure_threshold must be >= 0", breaker.failure_threshold);
+  }
+  if (breaker.cooldown.count() < 0) {
+    fail("breaker.cooldown must be >= 0 ms", breaker.cooldown.count());
+  }
+  if (shedding.high_water < 0.0 || shedding.high_water > 1.0) {
+    fail("shedding.high_water must be in [0, 1]", shedding.high_water);
+  }
+  if (shedding.sustain.count() < 0) {
+    fail("shedding.sustain must be >= 0 ms", shedding.sustain.count());
+  }
+  if (default_deadline && default_deadline->count() <= 0) {
+    fail("default_deadline must be > 0 ms", default_deadline->count());
+  }
+}
+
+}  // namespace parma::serve

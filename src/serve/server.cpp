@@ -1,11 +1,15 @@
 #include "serve/server.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <new>
 #include <sstream>
 #include <utility>
 
+#include "async/adaptors.hpp"
+#include "async/breaker.hpp"
+#include "async/retry.hpp"
 #include "common/rng.hpp"
 #include "common/stopwatch.hpp"
 #include "core/engine.hpp"
@@ -29,30 +33,7 @@ ParametrizeResult make_reject(std::string message) {
 
 }  // namespace
 
-const char* request_status_name(RequestStatus status) {
-  switch (status) {
-    case RequestStatus::kOk: return "ok";
-    case RequestStatus::kDeadlineExceeded: return "deadline-exceeded";
-    case RequestStatus::kCancelled: return "cancelled";
-    case RequestStatus::kRejected: return "rejected";
-    case RequestStatus::kSolverFailed: return "solver-failed";
-    case RequestStatus::kInvalidInput: return "invalid-input";
-    case RequestStatus::kBreakerOpen: return "breaker-open";
-    case RequestStatus::kDegradedResult: return "degraded-result";
-  }
-  return "?";
-}
-
-const char* submit_status_name(SubmitStatus status) {
-  switch (status) {
-    case SubmitStatus::kAccepted: return "accepted";
-    case SubmitStatus::kQueueFull: return "queue-full";
-    case SubmitStatus::kShuttingDown: return "shutting-down";
-    case SubmitStatus::kInvalidOptions: return "invalid-options";
-    case SubmitStatus::kLoadShed: return "load-shed";
-  }
-  return "?";
-}
+// request_status_name / submit_status_name moved to serve/status.cpp.
 
 const char* priority_name(Priority priority) {
   switch (priority) {
@@ -61,6 +42,39 @@ const char* priority_name(Priority priority) {
     case Priority::kHigh: return "high";
   }
   return "?";
+}
+
+ResiliencePolicy ServerOptions::resilience() const {
+  ResiliencePolicy merged = policy;
+  // Deprecated forwarders: a field changed from its default wins over the
+  // policy value, so code written against the old loose fields keeps its
+  // exact behavior for one release. Reading the fields here is the one
+  // sanctioned use; everything else should migrate to policy.*.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const ServerOptions defaults{};
+  if (max_attempts != defaults.max_attempts) merged.retry.max_attempts = max_attempts;
+  if (retry_backoff != defaults.retry_backoff) merged.retry.backoff = retry_backoff;
+  if (retry_backoff_cap != defaults.retry_backoff_cap) {
+    merged.retry.backoff_cap = retry_backoff_cap;
+  }
+  if (retry_jitter_seed != defaults.retry_jitter_seed) {
+    merged.retry.jitter_seed = retry_jitter_seed;
+  }
+  if (breaker_failure_threshold != defaults.breaker_failure_threshold) {
+    merged.breaker.failure_threshold = breaker_failure_threshold;
+  }
+  if (breaker_cooldown != defaults.breaker_cooldown) {
+    merged.breaker.cooldown = breaker_cooldown;
+  }
+  if (degraded_high_water != defaults.degraded_high_water) {
+    merged.shedding.high_water = degraded_high_water;
+  }
+  if (degraded_sustain != defaults.degraded_sustain) {
+    merged.shedding.sustain = degraded_sustain;
+  }
+#pragma GCC diagnostic pop
+  return merged;
 }
 
 void ServerOptions::validate() const {
@@ -72,36 +86,74 @@ void ServerOptions::validate() const {
   if (queue_capacity < 1) fail("queue_capacity must be >= 1", queue_capacity);
   if (workers < 1) fail("workers must be >= 1", workers);
   if (max_batch < 1) fail("max_batch must be >= 1", max_batch);
-  if (max_attempts < 1) fail("max_attempts must be >= 1", max_attempts);
-  if (retry_backoff.count() < 0) fail("retry_backoff must be >= 0 ms", retry_backoff.count());
-  if (retry_backoff_cap < retry_backoff) {
-    fail("retry_backoff_cap must be >= retry_backoff", retry_backoff_cap.count());
+  if (max_inflight_batches < 0) {
+    fail("max_inflight_batches must be >= 0", max_inflight_batches);
   }
-  if (breaker_failure_threshold < 0) {
-    fail("breaker_failure_threshold must be >= 0", breaker_failure_threshold);
-  }
-  if (breaker_cooldown.count() < 0) {
-    fail("breaker_cooldown must be >= 0 ms", breaker_cooldown.count());
-  }
-  if (degraded_high_water < 0.0 || degraded_high_water > 1.0) {
-    fail("degraded_high_water must be in [0, 1]", degraded_high_water);
-  }
-  if (degraded_sustain.count() < 0) {
-    fail("degraded_sustain must be >= 0 ms", degraded_sustain.count());
-  }
+  resilience().validate();
 }
 
 void Ticket::cancel() {
   if (pending_) pending_->cancelled.store(true, std::memory_order_relaxed);
 }
 
+// ---------------------------------------------------------------------------
+// Chain context types.
+
+/// Outcome of one retried attempt chain; the retry/breaker adaptors mutate
+/// the result through the shared pointer (deadline-during-backoff,
+/// cancelled-between-attempts).
+struct Server::AttemptOutcome {
+  ParametrizeResult result;
+  AttemptFailure failure = AttemptFailure::kNone;
+};
+
+/// Per-batch shared context: the popped requests, which of them survived the
+/// admit-stage exit checks, and the executor leased for the whole batch.
+struct Server::BatchContext {
+  std::vector<PendingPtr> batch;
+  Index batch_size = 0;
+  std::vector<char> runnable;
+  exec::ExecutorPool::Lease lease;
+};
+
+/// Per-attempt state threaded through the prep/form/solve/reconstruct stage
+/// tasks. `done` marks the attempt terminal (error, cancel, deadline) so
+/// later stages and gates short-circuit, exactly where the historical
+/// single-pass loop returned early.
+struct Server::AttemptState {
+  PendingPtr pending;
+  BatchPtr batch;
+  std::shared_ptr<core::FormationCache> cache;
+  OutcomePtr out;
+  int attempt = 1;
+  bool done = false;
+  Index total_entries = 0;
+  std::optional<core::Engine> engine;
+  std::optional<core::FormationResult> formation;
+  solver::InverseResult inverse;
+
+  void fail(AttemptFailure failure, RequestStatus status, std::string message) {
+    out->failure = failure;
+    out->result.status = status;
+    out->result.message = std::move(message);
+    done = true;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Construction / admission.
+
 Server::Server(ServerOptions options)
     : options_(options),
+      policy_(options.resilience()),
       cache_(std::make_shared<core::FormationCache>()),
       queue_(options.queue_capacity),
-      breakers_(BreakerOptions{options.breaker_failure_threshold,
-                               options.breaker_cooldown}) {
+      breakers_(policy_.breaker) {
   options_.validate();
+  max_inflight_ = options_.max_inflight_batches > 0
+                      ? static_cast<std::size_t>(options_.max_inflight_batches)
+                      : static_cast<std::size_t>(options_.workers) + 1;
+  scope_.attach_timers(timers_);
   if (!options_.deferred_start) start();
 }
 
@@ -112,10 +164,8 @@ void Server::start() {
   PARMA_REQUIRE(!shut_down_, "cannot start a server after shutdown");
   if (started_) return;
   started_ = true;
-  workers_.reserve(static_cast<std::size_t>(options_.workers));
-  for (Index w = 0; w < options_.workers; ++w) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
+  scheduler_ = std::make_unique<async::Scheduler>(options_.workers);
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
 Ticket Server::try_submit(ParametrizeRequest request) {
@@ -145,8 +195,8 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
                   "measurement matrix does not match device");
     // Opt-in robustness: a payload whose invalid Z entries can be masked away
     // is admissible. Validation runs on a masked probe copy -- the request
-    // itself stays pristine so run_attempt's per-attempt masking sees (and
-    // counts) every invalid entry, admission-time and injected alike.
+    // itself stays pristine so the per-attempt masking sees (and counts)
+    // every invalid entry, admission-time and injected alike.
     if (request.auto_mask_invalid) {
       mea::Measurement probe = request.measurement;
       mea::mask_invalid_entries(probe);
@@ -188,6 +238,8 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
   pending->enqueued_at = Clock::now();
   if (pending->request.timeout) {
     pending->deadline = pending->enqueued_at + *pending->request.timeout;
+  } else if (policy_.default_deadline) {
+    pending->deadline = pending->enqueued_at + *policy_.default_deadline;
   }
   ticket.future_ = pending->promise.get_future();
 
@@ -230,28 +282,122 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
   return ticket;
 }
 
-void Server::worker_loop() {
-  exec::ExecutorCache warm;  // this worker's executors, reused across batches
+bool Server::should_shed(Priority priority) {
+  if (policy_.shedding.high_water <= 0.0) return false;
+  const auto threshold = static_cast<std::size_t>(std::ceil(
+      policy_.shedding.high_water * static_cast<Real>(options_.queue_capacity)));
+  const std::size_t depth = queue_.size();
+  const Clock::time_point now = Clock::now();
+  std::lock_guard lock(state_mu_);
+  if (depth >= threshold) {
+    if (!queue_hot_since_) queue_hot_since_ = now;
+    if (!degraded_.load(std::memory_order_relaxed) &&
+        now - *queue_hot_since_ >= policy_.shedding.sustain) {
+      degraded_.store(true, std::memory_order_relaxed);
+      stats_.on_degraded_entered();
+    }
+  } else if (depth * 2 < threshold) {
+    // Hysteresis: exit only once the queue has fallen below half the
+    // threshold, so degraded mode does not flap at the boundary.
+    queue_hot_since_.reset();
+    degraded_.store(false, std::memory_order_relaxed);
+  } else if (!degraded_.load(std::memory_order_relaxed)) {
+    // Pressure relaxed before the sustain window elapsed.
+    queue_hot_since_.reset();
+  }
+  return degraded_.load(std::memory_order_relaxed) && priority == Priority::kLow;
+}
+
+std::chrono::microseconds Server::backoff_delay(Index attempt) {
+  const Real base_ms = static_cast<Real>(policy_.retry.backoff.count());
+  const Real cap_ms = static_cast<Real>(policy_.retry.backoff_cap.count());
+  const int doublings = static_cast<int>(std::min<Index>(attempt > 0 ? attempt - 1 : 0, 20));
+  const Real ms = std::min(std::ldexp(base_ms, doublings), cap_ms);
+  // One deterministic jitter draw per retry server-wide: with a fixed seed
+  // and submission order, the backoff schedule replays exactly.
+  Rng rng(policy_.retry.jitter_seed +
+          retry_sequence_.fetch_add(1, std::memory_order_relaxed));
+  const Real jitter = rng.uniform(0.5, 1.0);
+  return std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0 * jitter));
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher: pops shape-keyed batches and spawns their chains.
+
+void Server::dispatcher_loop() {
   const auto can_batch = [](const PendingPtr& front, const PendingPtr& candidate) {
     return batchable(front->request, candidate->request);
   };
   for (;;) {
+    // The in-flight window is the backpressure hinge: the dispatcher only
+    // pops another batch when fewer than max_inflight_ chains are running,
+    // so the admission queue keeps filling (degraded mode, high-water, and
+    // deadline-while-queued semantics survive the async re-plumb).
+    acquire_batch_slot();
     std::vector<PendingPtr> batch = queue_.pop_batch(options_.max_batch, can_batch);
-    if (batch.empty()) return;  // queue closed and drained
-    process_batch(batch, warm);
+    if (batch.empty()) {
+      release_batch_slot();
+      return;  // queue closed and drained
+    }
+    spawn_batch(std::move(batch));
   }
 }
 
-void Server::process_batch(std::vector<PendingPtr>& batch, exec::ExecutorCache& warm) {
-  const auto batch_size = static_cast<Index>(batch.size());
-  stats_.on_batch(batch.size());
+void Server::acquire_batch_slot() {
+  std::unique_lock lock(state_mu_);
+  slot_free_.wait(lock, [&] { return inflight_batches_ < max_inflight_; });
+  ++inflight_batches_;
+}
+
+void Server::release_batch_slot() {
+  {
+    std::lock_guard lock(state_mu_);
+    --inflight_batches_;
+  }
+  slot_free_.notify_one();
+}
+
+std::size_t Server::inflight_batches() const {
+  std::lock_guard lock(state_mu_);
+  return inflight_batches_;
+}
+
+void Server::spawn_batch(std::vector<PendingPtr> batch) {
+  auto ctx = std::make_shared<BatchContext>();
+  ctx->batch = std::move(batch);
+  ctx->batch_size = static_cast<Index>(ctx->batch.size());
+  ctx->runnable.assign(ctx->batch.size(), 0);
+
+  // The batch chain: admit-stage exit checks, then the per-request chains
+  // strictly in batch order (breaker feedback from request k is visible to
+  // request k+1's admission, as in the historical loop), then teardown.
+  // sequence() guarantees one request's failure never poisons the rest.
+  std::vector<std::function<async::Task<async::Unit>()>> steps;
+  steps.reserve(ctx->batch.size() + 1);
+  steps.push_back([this, ctx] {
+    return async::schedule(*scheduler_).then([this, ctx] { batch_admit(ctx); });
+  });
+  for (std::size_t i = 0; i < ctx->batch.size(); ++i) {
+    steps.push_back([this, ctx, i]() -> async::Task<async::Unit> {
+      if (ctx->runnable[i] == 0) return async::just();
+      return make_request_task(ctx->batch[i], ctx);
+    });
+  }
+  scope_.spawn(async::sequence(std::move(steps)).then([this, ctx] {
+    ctx->lease.release();
+    release_batch_slot();
+  }));
+}
+
+void Server::batch_admit(const BatchPtr& ctx) {
+  stats_.on_batch(ctx->batch.size());
   const Clock::time_point picked_up = Clock::now();
 
   // Admit-stage exit checks: cancelled or expired requests leave the batch
   // here, before any formation work.
-  std::vector<PendingPtr> runnable;
-  runnable.reserve(batch.size());
-  for (PendingPtr& p : batch) {
+  const PendingPtr* first_runnable = nullptr;
+  for (std::size_t i = 0; i < ctx->batch.size(); ++i) {
+    const PendingPtr& p = ctx->batch[i];
     p->queue_seconds = seconds_between(p->enqueued_at, picked_up);
     stats_.queue_wait.record(p->queue_seconds);
     if (p->cancelled.load(std::memory_order_relaxed)) {
@@ -270,138 +416,236 @@ void Server::process_batch(std::vector<PendingPtr>& batch, exec::ExecutorCache& 
       complete(p, std::move(r));
       continue;
     }
-    runnable.push_back(std::move(p));
+    ctx->runnable[i] = 1;
+    if (first_runnable == nullptr) first_runnable = &p;
   }
-  if (runnable.empty()) return;
+  if (first_runnable == nullptr) return;
 
-  // One warmed executor serves the whole batch (the requests agreed on
+  // One leased executor serves the whole batch (the requests agreed on
   // backend + workers via the batch key). warm_executors = false is the
-  // naive baseline: serve_one lets the engine build a fresh executor per
-  // request.
-  exec::Executor* executor = nullptr;
+  // naive baseline: the form stage lets the engine build a fresh executor
+  // per request.
   if (options_.warm_executors) {
-    const BatchKey key = batch_key(runnable.front()->request);
-    executor = &warm.get(key.backend, key.workers);
-  }
-  for (const PendingPtr& p : runnable) {
-    const std::shared_ptr<core::FormationCache> cache =
-        options_.share_cache ? cache_ : std::make_shared<core::FormationCache>();
-    serve_one(p, executor, cache, batch_size);
+    const BatchKey key = batch_key((*first_runnable)->request);
+    ctx->lease = executors_.acquire(key.backend, key.workers);
   }
 }
 
-bool Server::should_shed(Priority priority) {
-  if (options_.degraded_high_water <= 0.0) return false;
-  const auto threshold = static_cast<std::size_t>(std::ceil(
-      options_.degraded_high_water * static_cast<Real>(options_.queue_capacity)));
-  const std::size_t depth = queue_.size();
-  const Clock::time_point now = Clock::now();
-  std::lock_guard lock(state_mu_);
-  if (depth >= threshold) {
-    if (!queue_hot_since_) queue_hot_since_ = now;
-    if (!degraded_.load(std::memory_order_relaxed) &&
-        now - *queue_hot_since_ >= options_.degraded_sustain) {
-      degraded_.store(true, std::memory_order_relaxed);
-      stats_.on_degraded_entered();
-    }
-  } else if (depth * 2 < threshold) {
-    // Hysteresis: exit only once the queue has fallen below half the
-    // threshold, so degraded mode does not flap at the boundary.
-    queue_hot_since_.reset();
-    degraded_.store(false, std::memory_order_relaxed);
-  } else if (!degraded_.load(std::memory_order_relaxed)) {
-    // Pressure relaxed before the sustain window elapsed.
-    queue_hot_since_.reset();
-  }
-  return degraded_.load(std::memory_order_relaxed) && priority == Priority::kLow;
-}
+// ---------------------------------------------------------------------------
+// Per-request chain: breaker around retry around the staged attempt.
 
-std::chrono::microseconds Server::backoff_delay(Index attempt) {
-  const Real base_ms = static_cast<Real>(options_.retry_backoff.count());
-  const Real cap_ms = static_cast<Real>(options_.retry_backoff_cap.count());
-  const int doublings = static_cast<int>(std::min<Index>(attempt > 0 ? attempt - 1 : 0, 20));
-  const Real ms = std::min(std::ldexp(base_ms, doublings), cap_ms);
-  // One deterministic jitter draw per retry server-wide: with a fixed seed
-  // and submission order, the backoff schedule replays exactly.
-  Rng rng(options_.retry_jitter_seed +
-          retry_sequence_.fetch_add(1, std::memory_order_relaxed));
-  const Real jitter = rng.uniform(0.5, 1.0);
-  return std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0 * jitter));
-}
-
-void Server::serve_one(const PendingPtr& pending, exec::Executor* executor,
-                       const std::shared_ptr<core::FormationCache>& cache,
-                       Index batch_size) {
+async::Task<async::Unit> Server::make_request_task(PendingPtr pending, BatchPtr batch) {
   const BreakerBoard::Shape shape{pending->request.measurement.spec.rows,
                                   pending->request.measurement.spec.cols};
-  if (!breakers_.allow(shape, Clock::now())) {
-    ParametrizeResult result;
-    result.batch_size = batch_size;
-    result.queue_seconds = pending->queue_seconds;
-    result.status = RequestStatus::kBreakerOpen;
-    result.message = "circuit breaker open for this device shape";
-    complete(pending, std::move(result));
-    return;
-  }
+  const std::shared_ptr<core::FormationCache> cache =
+      options_.share_cache ? cache_ : std::make_shared<core::FormationCache>();
 
-  ParametrizeResult result;
-  Index attempt = 0;
-  for (;;) {
-    ++attempt;
-    AttemptFailure failure = AttemptFailure::kNone;
-    result = run_attempt(pending, executor, cache, batch_size, failure);
-    result.attempts = attempt;
-    if (failure == AttemptFailure::kNone || failure == AttemptFailure::kFatal) break;
-    if (attempt >= options_.max_attempts) break;
+  async::RetryOptions<OutcomePtr> retry;
+  retry.max_attempts = static_cast<int>(policy_.retry.max_attempts);
+  retry.should_retry = [](const async::Try<OutcomePtr>& t) {
+    const AttemptFailure failure = t.get()->failure;
+    return failure == AttemptFailure::kRetryable ||
+           failure == AttemptFailure::kInvalidInput;
+  };
+  retry.backoff_for = [this](int next_attempt) {
     stats_.on_retry();
-    const std::chrono::microseconds delay = backoff_delay(attempt);
+    return backoff_delay(static_cast<Index>(next_attempt) - 1);
+  };
+  retry.before_wait = [pending](int, std::chrono::microseconds delay,
+                                async::Try<OutcomePtr>& t) {
     if (pending->deadline && Clock::now() + delay >= *pending->deadline) {
+      ParametrizeResult& result = t.get()->result;
       result.status = RequestStatus::kDeadlineExceeded;
       result.message = "deadline would pass during retry backoff";
-      break;
+      return false;
     }
-    if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    return true;
+  };
+  retry.after_wait = [pending](int, async::Try<OutcomePtr>& t) {
     if (pending->cancelled.load(std::memory_order_relaxed)) {
+      ParametrizeResult& result = t.get()->result;
       result.status = RequestStatus::kCancelled;
       result.message = "cancelled between attempts";
-      break;
+      return false;
     }
-  }
-  if (result.has_result() && attempt > 1) stats_.on_retry_success();
+    return true;
+  };
+  async::Task<OutcomePtr> attempts = async::retry_with_backoff<OutcomePtr>(
+      [this, pending, batch, cache](int attempt) {
+        async::Task<OutcomePtr> task = make_attempt_task(pending, batch, cache, attempt);
+        return task;
+      },
+      std::move(retry), timers_);
 
   // Breaker feedback: only solver failures trip it -- deadline, cancel, and
   // invalid input say nothing about the shape's health. A degraded result is
   // a *successful* pipeline run (the quality floor is about the input, not
-  // the shape), so it counts as a success.
-  switch (result.status) {
-    case RequestStatus::kOk:
-    case RequestStatus::kDegradedResult: breakers_.on_success(shape); break;
-    case RequestStatus::kSolverFailed: breakers_.on_failure(shape, Clock::now()); break;
-    default: breakers_.on_neutral(shape); break;
-  }
-  complete(pending, std::move(result));
+  // the shape), so it counts as a success. The fast-fail path reports
+  // nothing, exactly like the historical early return.
+  async::BreakerHooks<OutcomePtr> hooks;
+  hooks.admit = [this, shape] { return breakers_.allow(shape, Clock::now()); };
+  hooks.rejected = [pending, batch] {
+    auto out = std::make_shared<AttemptOutcome>();
+    out->result.batch_size = batch->batch_size;
+    out->result.queue_seconds = pending->queue_seconds;
+    out->result.status = RequestStatus::kBreakerOpen;
+    out->result.message = "circuit breaker open for this device shape";
+    return async::Try<OutcomePtr>::from_value(std::move(out));
+  };
+  hooks.classify = [](const async::Try<OutcomePtr>& t) {
+    switch (t.get()->result.status) {
+      case RequestStatus::kOk:
+      case RequestStatus::kDegradedResult: return async::BreakerOutcome::kSuccess;
+      case RequestStatus::kSolverFailed: return async::BreakerOutcome::kFailure;
+      default: return async::BreakerOutcome::kNeutral;
+    }
+  };
+  hooks.report = [this, shape](async::BreakerOutcome outcome) {
+    switch (outcome) {
+      case async::BreakerOutcome::kSuccess: breakers_.on_success(shape); break;
+      case async::BreakerOutcome::kFailure: breakers_.on_failure(shape, Clock::now()); break;
+      case async::BreakerOutcome::kNeutral: breakers_.on_neutral(shape); break;
+    }
+  };
+
+  // Keep the request chain's completion at the very end so every path
+  // (fast-fail included) funnels through exactly one complete().
+  return async::with_breaker(std::move(attempts), std::move(hooks))
+      .then([this, pending](OutcomePtr out) {
+        if (out->result.has_result() && out->result.attempts > 1) {
+          stats_.on_retry_success();
+        }
+        complete(pending, std::move(out->result));
+      });
 }
 
-ParametrizeResult Server::run_attempt(const PendingPtr& pending,
-                                      exec::Executor* executor,
-                                      const std::shared_ptr<core::FormationCache>& cache,
-                                      Index batch_size, AttemptFailure& failure) {
-  failure = AttemptFailure::kNone;
-  ParametrizeResult result;
-  result.batch_size = batch_size;
-  result.queue_seconds = pending->queue_seconds;
-  const auto expired = [&] {
-    return pending->deadline && Clock::now() >= *pending->deadline;
-  };
-  const auto cancelled = [&] {
-    return pending->cancelled.load(std::memory_order_relaxed);
-  };
+async::Task<Server::OutcomePtr> Server::make_attempt_task(
+    PendingPtr pending, BatchPtr batch, std::shared_ptr<core::FormationCache> cache,
+    int attempt) {
+  auto state = std::make_shared<AttemptState>();
+  state->pending = std::move(pending);
+  state->batch = std::move(batch);
+  state->cache = std::move(cache);
+  state->out = std::make_shared<AttemptOutcome>();
+  state->out->result.batch_size = state->batch->batch_size;
+  state->out->result.queue_seconds = state->pending->queue_seconds;
+  state->attempt = attempt;
+
+  // Each stage is its own scheduler task, so stages of different batches
+  // interleave on the same threads (batch B forms while batch A solves).
+  // The cancellation/deadline gates and the instrument sinks attach as
+  // adaptors around the stage tasks, at exactly the historical checkpoints.
+  std::vector<std::function<async::Task<async::Unit>()>> stages;
+  stages.reserve(4);
+  stages.push_back([this, state] {
+    return async::schedule(*scheduler_).then([this, state] { stage_prep(state); });
+  });
+  stages.push_back([this, state] {
+    async::Task<async::Unit> t = async::instrument(
+        async::schedule(*scheduler_).then([this, state] { stage_form(state); }),
+        [this, state](double seconds) {
+          if (!state->done) chain_form_.record(seconds);
+        });
+    t = async::with_cancellation(
+        std::move(t),
+        [state] {
+          return !state->done &&
+                 state->pending->cancelled.load(std::memory_order_relaxed);
+        },
+        [state](async::Try<async::Unit>&) {
+          state->out->result.status = RequestStatus::kCancelled;
+          state->out->result.message = "cancelled after formation";
+          state->done = true;
+        });
+    t = async::with_deadline(
+        std::move(t),
+        [state] {
+          return !state->done && state->pending->deadline &&
+                 Clock::now() >= *state->pending->deadline;
+        },
+        [state](async::Try<async::Unit>&) {
+          state->out->result.status = RequestStatus::kDeadlineExceeded;
+          state->out->result.message = "deadline passed after formation";
+          state->done = true;
+        });
+    return t;
+  });
+  stages.push_back([this, state] {
+    async::Task<async::Unit> t = async::instrument(
+        async::schedule(*scheduler_).then([this, state] { stage_solve(state); }),
+        [this, state](double seconds) {
+          if (!state->done) chain_solve_.record(seconds);
+        });
+    t = async::with_cancellation(
+        std::move(t),
+        [state] {
+          return !state->done &&
+                 state->pending->cancelled.load(std::memory_order_relaxed);
+        },
+        [state](async::Try<async::Unit>&) {
+          state->out->result.status = RequestStatus::kCancelled;
+          state->out->result.message = "cancelled after solve";
+          state->done = true;
+        });
+    t = async::with_deadline(
+        std::move(t),
+        [state] {
+          return !state->done && state->pending->deadline &&
+                 Clock::now() >= *state->pending->deadline;
+        },
+        [state](async::Try<async::Unit>&) {
+          state->out->result.status = RequestStatus::kDeadlineExceeded;
+          state->out->result.message = "deadline passed after solve";
+          state->done = true;
+        });
+    return t;
+  });
+  stages.push_back([this, state] {
+    return async::instrument(
+        async::schedule(*scheduler_).then([this, state] { stage_reconstruct(state); }),
+        [this, state](double seconds) {
+          if (!state->done) chain_reconstruct_.record(seconds);
+        });
+  });
+
+  return async::sequence(std::move(stages)).then([state] {
+    state->out->result.attempts = static_cast<Index>(state->attempt);
+    return state->out;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Stage bodies (verbatim slices of the historical run_attempt).
+
+void Server::run_guarded(const StatePtr& state, const std::function<void()>& body) {
   // Any stage throwing fails this attempt alone -- the server and the rest
-  // of the batch carry on; `failure` tells serve_one whether to retry.
+  // of the batch carry on; the failure class tells the retry adaptor whether
+  // another attempt can help.
   try {
+    body();
+  } catch (const mea::InvalidMeasurement& e) {
+    // The original payload passed admission validation, so the corruption
+    // happened in flight (e.g. an injected fault): retrying the pristine
+    // copy can succeed.
+    state->fail(AttemptFailure::kInvalidInput, RequestStatus::kInvalidInput, e.what());
+  } catch (const ContractError& e) {
+    // Config/contract bug; retry can't help.
+    state->fail(AttemptFailure::kFatal, RequestStatus::kSolverFailed, e.what());
+  } catch (const std::bad_alloc&) {
+    state->fail(AttemptFailure::kRetryable, RequestStatus::kSolverFailed,
+                "allocation failure in the pipeline");
+  } catch (const std::exception& e) {
+    // NumericalError, fault::InjectedFault, and anything else transient.
+    state->fail(AttemptFailure::kRetryable, RequestStatus::kSolverFailed, e.what());
+  }
+}
+
+void Server::stage_prep(const StatePtr& state) {
+  if (state->done) return;
+  run_guarded(state, [&] {
     // Retries need the original payload intact, so every attempt runs on a
     // copy of the measurement.
-    mea::Measurement measurement = pending->request.measurement;
+    mea::Measurement measurement = state->pending->request.measurement;
     if (fault::should_fire(fault::Point::kDropMeasurement)) {
       measurement.z(measurement.z.rows() / 2, measurement.z.cols() / 2) =
           std::numeric_limits<Real>::quiet_NaN();
@@ -414,58 +658,60 @@ ParametrizeResult Server::run_attempt(const PendingPtr& pending,
     // transport) corrupted after admission, the same way admission recovered
     // the original payload's invalid entries.
     Index auto_masked = 0;
-    if (pending->request.auto_mask_invalid) {
+    if (state->pending->request.auto_mask_invalid) {
       auto_masked = mea::mask_invalid_entries(measurement);
     }
-    const Index total_entries = measurement.z.rows() * measurement.z.cols();
+    state->total_entries = measurement.z.rows() * measurement.z.cols();
+    ParametrizeResult& result = state->out->result;
     result.quality.masked_entries = mea::masked_entry_count(measurement);
     result.quality.auto_masked = auto_masked;
     result.quality.masked_fraction =
-        total_entries > 0
-            ? static_cast<Real>(result.quality.masked_entries) / static_cast<Real>(total_entries)
+        state->total_entries > 0
+            ? static_cast<Real>(result.quality.masked_entries) /
+                  static_cast<Real>(state->total_entries)
             : 0.0;
-    core::Engine engine(std::move(measurement));
+    state->engine.emplace(std::move(measurement));
+  });
+}
 
-    // Stage: form.
+void Server::stage_form(const StatePtr& state) {
+  if (state->done) return;
+  run_guarded(state, [&] {
     if (fault::should_fire(fault::Point::kAllocFailure)) throw std::bad_alloc{};
     Stopwatch form_clock;
-    core::StrategyOptions form_options = pending->request.options;
-    if (pending->request.solve_method == SolveMethod::kFullSystem) {
+    core::StrategyOptions form_options = state->pending->request.options;
+    if (state->pending->request.solve_method == SolveMethod::kFullSystem) {
       form_options.keep_system = true;  // the full-system solver consumes it
     }
-    const core::FormationResult formation =
-        (executor != nullptr) ? engine.form_equations(form_options, *executor)
-                              : engine.form_equations(form_options);
+    exec::Executor* executor = state->batch->lease.get();
+    state->formation.emplace(
+        (executor != nullptr) ? state->engine->form_equations(form_options, *executor)
+                              : state->engine->form_equations(form_options));
+    ParametrizeResult& result = state->out->result;
     result.form_seconds = form_clock.elapsed_seconds();
     stats_.form.record(result.form_seconds);
-    result.equations = engine.spec().num_equations();
-    result.equation_bytes = formation.equation_bytes;
-    if (cancelled()) {
-      result.status = RequestStatus::kCancelled;
-      result.message = "cancelled after formation";
-      return result;
-    }
-    if (expired()) {
-      result.status = RequestStatus::kDeadlineExceeded;
-      result.message = "deadline passed after formation";
-      return result;
-    }
+    result.equations = state->engine->spec().num_equations();
+    result.equation_bytes = state->formation->equation_bytes;
+  });
+}
 
-    // Stage: solve.
+void Server::stage_solve(const StatePtr& state) {
+  if (state->done) return;
+  run_guarded(state, [&] {
     Stopwatch solve_clock;
     solver::InverseResult inverse;
-    if (pending->request.solve_method == SolveMethod::kFullSystem) {
-      // The kernel context hands the solver this worker's warm executor and
+    if (state->pending->request.solve_method == SolveMethod::kFullSystem) {
+      // The kernel context hands the solver the batch's leased executor and
       // the shape-shared symbolic analysis, so repeated requests of one
       // shape skip the pattern computation entirely.
       solver::KernelContext kernel_context;
-      kernel_context.executor = executor;
-      if (pending->request.full_system.use_kernels) {
-        kernel_context.symbolic = cache->system_symbolic(formation.system);
+      kernel_context.executor = state->batch->lease.get();
+      if (state->pending->request.full_system.use_kernels) {
+        kernel_context.symbolic = state->cache->system_symbolic(state->formation->system);
       }
-      solver::FullSystemResult full =
-          solver::solve_full_system(formation.system, engine.measurement(),
-                                    pending->request.full_system, kernel_context);
+      solver::FullSystemResult full = solver::solve_full_system(
+          state->formation->system, state->engine->measurement(),
+          state->pending->request.full_system, kernel_context);
       inverse.recovered = std::move(full.recovered);
       inverse.iterations = full.iterations;
       inverse.converged = full.converged;
@@ -475,31 +721,32 @@ ParametrizeResult Server::run_attempt(const PendingPtr& pending,
       inverse.termination = full.termination;
       inverse.robust = std::move(full.robust);
     } else {
-      inverse = engine.recover(pending->request.inverse);
+      inverse = state->engine->recover(state->pending->request.inverse);
     }
+    ParametrizeResult& result = state->out->result;
     result.solve_diagnostics = inverse.diagnostics;
     result.solve_seconds = solve_clock.elapsed_seconds();
     stats_.solve.record(result.solve_seconds);
-    if (cancelled()) {
-      result.status = RequestStatus::kCancelled;
-      result.message = "cancelled after solve";
-      return result;
-    }
-    if (expired()) {
-      result.status = RequestStatus::kDeadlineExceeded;
-      result.message = "deadline passed after solve";
-      return result;
-    }
+    state->inverse = std::move(inverse);
+  });
+}
 
-    // Stage: reconstruct -- assemble the response; the shape's topology
-    // report comes from the FormationCache (one analysis per shape).
+void Server::stage_reconstruct(const StatePtr& state) {
+  if (state->done) return;
+  run_guarded(state, [&] {
+    // Assemble the response; the shape's topology report comes from the
+    // FormationCache (one analysis per shape).
     Stopwatch reconstruct_clock;
-    result.topology = cache->topology(engine);
-    if (pending->request.anomaly_threshold) {
+    ParametrizeResult& result = state->out->result;
+    solver::InverseResult& inverse = state->inverse;
+    result.topology = state->cache->topology(*state->engine);
+    if (state->pending->request.anomaly_threshold) {
       const auto& grid = inverse.recovered;
       for (Index i = 0; i < grid.rows(); ++i) {
         for (Index j = 0; j < grid.cols(); ++j) {
-          if (grid.at(i, j) > *pending->request.anomaly_threshold) ++result.anomalies;
+          if (grid.at(i, j) > *state->pending->request.anomaly_threshold) {
+            ++result.anomalies;
+          }
         }
       }
     }
@@ -507,7 +754,7 @@ ParametrizeResult Server::run_attempt(const PendingPtr& pending,
     // solve, then the request's QualityFloor verdict.
     result.quality.outlier_entries =
         static_cast<Index>(inverse.robust.downweighted_entries.size());
-    const Index unmasked = total_entries - result.quality.masked_entries;
+    const Index unmasked = state->total_entries - result.quality.masked_entries;
     result.quality.outlier_fraction =
         unmasked > 0 ? static_cast<Real>(result.quality.outlier_entries) /
                            static_cast<Real>(unmasked)
@@ -520,7 +767,7 @@ ParametrizeResult Server::run_attempt(const PendingPtr& pending,
     result.inverse = std::move(inverse);
     result.status = RequestStatus::kOk;
 
-    const QualityFloor& floor = pending->request.quality_floor;
+    const QualityFloor& floor = state->pending->request.quality_floor;
     if (floor.enabled()) {
       std::ostringstream why;
       if (result.quality.masked_fraction > floor.max_masked_fraction) {
@@ -551,29 +798,11 @@ ParametrizeResult Server::run_attempt(const PendingPtr& pending,
     }
     result.reconstruct_seconds = reconstruct_clock.elapsed_seconds();
     stats_.reconstruct.record(result.reconstruct_seconds);
-  } catch (const mea::InvalidMeasurement& e) {
-    // The original payload passed admission validation, so the corruption
-    // happened in flight (e.g. an injected fault): retrying the pristine
-    // copy can succeed.
-    failure = AttemptFailure::kInvalidInput;
-    result.status = RequestStatus::kInvalidInput;
-    result.message = e.what();
-  } catch (const ContractError& e) {
-    failure = AttemptFailure::kFatal;  // config/contract bug; retry can't help
-    result.status = RequestStatus::kSolverFailed;
-    result.message = e.what();
-  } catch (const std::bad_alloc&) {
-    failure = AttemptFailure::kRetryable;
-    result.status = RequestStatus::kSolverFailed;
-    result.message = "allocation failure in the pipeline";
-  } catch (const std::exception& e) {
-    // NumericalError, fault::InjectedFault, and anything else transient.
-    failure = AttemptFailure::kRetryable;
-    result.status = RequestStatus::kSolverFailed;
-    result.message = e.what();
-  }
-  return result;
+  });
 }
+
+// ---------------------------------------------------------------------------
+// Completion / lifecycle.
 
 void Server::complete(const PendingPtr& pending, ParametrizeResult&& result) {
   switch (result.status) {
@@ -608,8 +837,8 @@ void Server::drain() {
     flush_unstarted = !started_;
   }
   if (flush_unstarted) {
-    // No workers exist to serve what's queued; cancel it explicitly so every
-    // accepted future still completes exactly once.
+    // No pipeline exists to serve what's queued; cancel it explicitly so
+    // every accepted future still completes exactly once.
     for (PendingPtr& p : queue_.drain_now()) {
       ParametrizeResult r;
       r.status = RequestStatus::kCancelled;
@@ -617,23 +846,33 @@ void Server::drain() {
       complete(p, std::move(r));
     }
   }
+  // Expedite pending retry backoffs: a request parked on the timer queue
+  // runs its remaining attempts back to back instead of holding drain for
+  // the full backoff. In particular a breaker half-open probe waiting out a
+  // backoff resolves *now*, deterministically before shutdown tears the
+  // pipeline down.
+  timers_.flush();
   std::unique_lock lock(state_mu_);
   all_done_.wait(lock, [&] { return outstanding_ == 0; });
 }
 
 void Server::shutdown() {
   drain();
-  std::vector<std::thread> workers;
+  std::thread dispatcher;
   {
     std::lock_guard lock(state_mu_);
     if (shut_down_) return;
     shut_down_ = true;
-    workers.swap(workers_);
+    dispatcher = std::move(dispatcher_);
   }
-  queue_.close();  // wakes idle workers; pop_batch returns empty
-  for (std::thread& w : workers) {
-    if (w.joinable()) w.join();
-  }
+  queue_.close();  // wakes the dispatcher; pop_batch returns empty
+  if (dispatcher.joinable()) dispatcher.join();
+  // One join owns every in-flight chain: drain already flushed the timers,
+  // so chains parked in backoff finish promptly, and nothing is torn down
+  // under a live continuation.
+  scope_.join();
+  timers_.stop();
+  if (scheduler_) scheduler_->stop();
 }
 
 Stats Server::stats() const {
@@ -644,6 +883,13 @@ Stats Server::stats() const {
   s.symbolic_cache_hits = cache_stats.symbolic_hits;
   s.symbolic_cache_misses = cache_stats.symbolic_misses;
   return s;
+}
+
+StageStats Server::chain_stage_latency(const char* stage) const {
+  if (std::strcmp(stage, "form") == 0) return chain_form_.snapshot();
+  if (std::strcmp(stage, "solve") == 0) return chain_solve_.snapshot();
+  if (std::strcmp(stage, "reconstruct") == 0) return chain_reconstruct_.snapshot();
+  return StageStats{};
 }
 
 }  // namespace parma::serve

@@ -1,51 +1,77 @@
 // parma::serve::Server -- the batched, backpressured parametrization service.
 //
 //   serve::ServerOptions opts;
-//   opts.workers = 4;                       // pipeline worker threads
+//   opts.workers = 4;                       // pipeline scheduler threads
 //   opts.queue_capacity = 64;               // bounded admission queue
+//   opts.policy.retry.max_attempts = 3;     // composed resilience policy
 //   serve::Server server(opts);
 //   serve::Ticket t = server.try_submit({measurement, strategy_options});
 //   if (t.admission() == serve::SubmitStatus::kQueueFull) { /* backpressure */ }
 //   serve::ParametrizeResult r = t.future().get();
 //   server.drain();      // stop admission, finish everything queued
-//   server.shutdown();   // then stop and join the workers
+//   server.shutdown();   // then stop and join the pipeline
 //
 // Requests flow through a staged pipeline -- admit -> form -> solve ->
-// reconstruct -- run by a configurable pool of pipeline workers. The admit
-// stage is the bounded queue: try_submit never blocks (kQueueFull is the
-// backpressure signal), submit blocks for space up to a timeout. Workers
-// dequeue *batches* keyed by device shape (see batch_planner.hpp), so every
-// request in a batch reuses one warmed exec::Executor and one FormationCache
-// entry instead of paying thread-pool construction and topology analysis per
-// request. Every admitted request completes exactly once via its
+// reconstruct -- assembled as a continuation chain (src/async) rather than a
+// blocking per-worker loop. A single dispatcher thread pops shape-keyed
+// batches (see batch_planner.hpp) from the bounded admission queue and
+// spawns each as a composed async::Task into an async::AsyncScope; the
+// stages hop between `workers` scheduler threads, so batch B's formation
+// runs while batch A solves, and retry backoffs park on a timer queue
+// instead of occupying a thread. The dispatcher holds at most
+// max_inflight_batches chains in flight, which preserves the queue-depth
+// backpressure semantics (degraded mode, queue high-water, deadline while
+// queued). Every admitted request completes exactly once via its
 // std::future, with a per-request status; a failed or expired request never
 // takes down the server or poisons the rest of its batch.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "async/async_scope.hpp"
+#include "async/scheduler.hpp"
+#include "async/task.hpp"
+#include "async/timer_queue.hpp"
 #include "core/formation_cache.hpp"
+#include "exec/executor.hpp"
 #include "serve/batch_planner.hpp"
 #include "serve/bounded_queue.hpp"
 #include "serve/circuit_breaker.hpp"
 #include "serve/request.hpp"
+#include "serve/resilience.hpp"
 #include "serve/stats.hpp"
 
 namespace parma::serve {
 
+// The pragma pair silences -Wdeprecated-declarations only for ServerOptions'
+// own implicitly generated members (copy/move touch the deprecated fields);
+// user code reading or writing those fields still warns at its own line.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct ServerOptions {
+  // A user-declared (defaulted) constructor keeps ServerOptions{} from being
+  // aggregate-initialized at the call site, where GCC would re-instantiate the
+  // deprecated members' default initializers and warn on every value-init.
+  ServerOptions() = default;
+
   /// Capacity of the bounded admission queue (the backpressure knob).
   std::size_t queue_capacity = 64;
-  /// Pipeline worker threads running form/solve/reconstruct.
+  /// Pipeline scheduler threads running form/solve/reconstruct stages.
   Index workers = 2;
   /// Max requests per batch; 1 disables batching (the naive
   /// one-session-per-request baseline the throughput bench compares against).
   std::size_t max_batch = 8;
-  /// Keep one executor per (backend, workers) warm on each pipeline worker;
+  /// Lease warm executors from a shared pool (one per in-flight batch);
   /// false constructs a fresh executor per request (naive baseline).
   bool warm_executors = true;
   /// Share one FormationCache across all requests (topology/layout computed
@@ -54,48 +80,70 @@ struct ServerOptions {
   /// Construct stopped; call start() explicitly. Lets tests and benches
   /// stage a full queue deterministically before any worker runs.
   bool deferred_start = false;
+  /// Batch chains the dispatcher keeps in flight at once (pipelining depth).
+  /// 0 = auto: workers + 1, so one extra batch can form while the others
+  /// solve. Larger values drain the queue more aggressively (weakening
+  /// queue-depth backpressure); 1 serializes batches end to end.
+  Index max_inflight_batches = 0;
 
-  // --- Resilience (see DESIGN.md section 8) ---
+  /// Composed resilience policy: retry/backoff, per-shape circuit breaker,
+  /// degraded-mode load shedding, default deadline. See resilience.hpp.
+  ResiliencePolicy policy;
 
-  /// Pipeline attempts per request (1 = no retry). Retries cover transient
-  /// failures -- injected faults, numerical blow-ups, allocation failure,
-  /// in-flight measurement corruption -- with exponential backoff + jitter;
-  /// they never override the request's deadline.
+  // --- Deprecated loose resilience fields (one release of compatibility) ---
+  //
+  // These forward into `policy`: a field changed from its default overrides
+  // the corresponding policy value (see resilience()). New code sets
+  // `policy.*` directly.
+
+  /// \deprecated Use policy.retry.max_attempts.
+  [[deprecated("use policy.retry.max_attempts")]]
   Index max_attempts = 3;
-  /// Backoff before attempt k+1 is retry_backoff * 2^(k-1), capped at
-  /// retry_backoff_cap, scaled by a deterministic jitter in [0.5, 1].
+  /// \deprecated Use policy.retry.backoff.
+  [[deprecated("use policy.retry.backoff")]]
   std::chrono::milliseconds retry_backoff{1};
+  /// \deprecated Use policy.retry.backoff_cap.
+  [[deprecated("use policy.retry.backoff_cap")]]
   std::chrono::milliseconds retry_backoff_cap{50};
-  /// Seed of the jitter stream (deterministic given submission order).
+  /// \deprecated Use policy.retry.jitter_seed.
+  [[deprecated("use policy.retry.jitter_seed")]]
   std::uint64_t retry_jitter_seed = 0x7a17;
-
-  /// Per-shape circuit breaker: consecutive kSolverFailed completions of a
-  /// shape that open it (0 disables). See circuit_breaker.hpp.
+  /// \deprecated Use policy.breaker.failure_threshold.
+  [[deprecated("use policy.breaker.failure_threshold")]]
   Index breaker_failure_threshold = 5;
+  /// \deprecated Use policy.breaker.cooldown.
+  [[deprecated("use policy.breaker.cooldown")]]
   std::chrono::milliseconds breaker_cooldown{250};
-
-  /// Degraded mode: when the queue sits at or above this fill fraction for
-  /// `degraded_sustain`, the server sheds Priority::kLow submissions at
-  /// admission (SubmitStatus::kLoadShed) until the queue falls below half
-  /// the threshold. 0 disables shedding.
+  /// \deprecated Use policy.shedding.high_water.
+  [[deprecated("use policy.shedding.high_water")]]
   Real degraded_high_water = 0.75;
+  /// \deprecated Use policy.shedding.sustain.
+  [[deprecated("use policy.shedding.sustain")]]
   std::chrono::milliseconds degraded_sustain{50};
 
-  /// Throws core::InvalidOptions for out-of-range values.
+  /// The effective policy: `policy`, with every deprecated field that was
+  /// changed from its default overriding the corresponding policy value.
+  /// (A deprecated field set *to* its default is indistinguishable from an
+  /// untouched one and does not override -- migrate to policy.*.)
+  [[nodiscard]] ResiliencePolicy resilience() const;
+
+  /// Throws core::InvalidOptions for out-of-range values (including the
+  /// effective resilience policy).
   void validate() const;
 };
+#pragma GCC diagnostic pop
 
 namespace detail {
 
-/// Shared state of one admitted request; owned by the queue until a worker
-/// takes it, and by the Ticket for cancellation.
+/// Shared state of one admitted request; owned by the queue until the
+/// dispatcher takes it, and by the Ticket for cancellation.
 struct PendingRequest {
   ParametrizeRequest request;
   std::promise<ParametrizeResult> promise;
   std::atomic<bool> cancelled{false};
   std::optional<Clock::time_point> deadline;
   Clock::time_point enqueued_at{};
-  Real queue_seconds = 0.0;  ///< set by the worker at batch pickup
+  Real queue_seconds = 0.0;  ///< set at batch pickup
 };
 
 }  // namespace detail
@@ -133,8 +181,8 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Spawns the pipeline workers (no-op when already started; constructor
-  /// calls this unless options.deferred_start).
+  /// Spawns the stage scheduler and the batch dispatcher (no-op when already
+  /// started; constructor calls this unless options.deferred_start).
   void start();
 
   /// Non-blocking admission: kQueueFull when the bounded queue is at
@@ -146,14 +194,18 @@ class Server {
   [[nodiscard]] Ticket submit(ParametrizeRequest request,
                               std::chrono::milliseconds timeout);
 
-  /// Stops admission (subsequent submissions come back kShuttingDown) and
-  /// blocks until every already-accepted request has completed. Requests
-  /// queued on a deferred-start server that was never started complete
-  /// kCancelled. Idempotent.
+  /// Stops admission (subsequent submissions come back kShuttingDown),
+  /// expedites pending retry backoffs (a request sleeping toward its next
+  /// attempt completes promptly instead of holding drain for the full
+  /// backoff), and blocks until every already-accepted request has
+  /// completed. Requests queued on a deferred-start server that was never
+  /// started complete kCancelled. Idempotent.
   void drain();
 
-  /// drain(), then stops and joins the pipeline workers. Idempotent; called
-  /// by the destructor.
+  /// drain(), then joins the dispatcher, the in-flight chains (a single
+  /// async_scope::join -- pending breaker half-open probes resolve before
+  /// anything is torn down), and finally the timers and the scheduler.
+  /// Idempotent; called by the destructor.
   void shutdown();
 
   /// Live snapshot; safe to call while the server is running.
@@ -174,6 +226,13 @@ class Server {
     return breakers_.state({rows, cols});
   }
 
+  /// Batch chains currently in flight (tests/diagnostics).
+  [[nodiscard]] std::size_t inflight_batches() const;
+  /// Per-stage chain latencies measured by the instrument adaptors (stage
+  /// task including its scheduler hop; the Stats histograms keep their
+  /// historical pure-stage semantics).
+  [[nodiscard]] StageStats chain_stage_latency(const char* stage) const;
+
  private:
   using PendingPtr = std::shared_ptr<detail::PendingRequest>;
 
@@ -186,24 +245,49 @@ class Server {
     kFatal,         ///< contract/config error; retrying cannot help
   };
 
+  /// Outcome of one retried attempt chain: the result plus its failure class.
+  struct AttemptOutcome;
+  using OutcomePtr = std::shared_ptr<AttemptOutcome>;
+  /// Per-batch shared context (requests, executor lease, runnable flags).
+  struct BatchContext;
+  using BatchPtr = std::shared_ptr<BatchContext>;
+  /// Per-attempt shared context threaded through the stage tasks.
+  struct AttemptState;
+  using StatePtr = std::shared_ptr<AttemptState>;
+
   Ticket admit(ParametrizeRequest&& request, bool blocking,
                std::chrono::milliseconds timeout);
   /// Degraded-mode bookkeeping at admission; true when a kLow-priority
   /// request must be shed right now.
   bool should_shed(Priority priority);
-  void worker_loop();
-  void process_batch(std::vector<PendingPtr>& batch, exec::ExecutorCache& warm);
-  /// Runs the retry/breaker loop around run_attempt and completes the
-  /// request exactly once.
-  void serve_one(const PendingPtr& pending, exec::Executor* executor,
-                 const std::shared_ptr<core::FormationCache>& cache,
-                 Index batch_size);
-  /// One pipeline pass (form -> solve -> reconstruct) over a fresh copy of
-  /// the measurement. Never throws: failures come back via `failure` with
-  /// the status/message already set on the result.
-  ParametrizeResult run_attempt(const PendingPtr& pending, exec::Executor* executor,
-                                const std::shared_ptr<core::FormationCache>& cache,
-                                Index batch_size, AttemptFailure& failure);
+  /// The dispatcher: pops batches, holds the in-flight window, spawns chains.
+  void dispatcher_loop();
+  void acquire_batch_slot();
+  void release_batch_slot();
+  /// Composes and spawns the chain of one popped batch.
+  void spawn_batch(std::vector<PendingPtr> batch);
+  /// Admit-stage exit checks of one batch: queue-wait accounting, cancelled/
+  /// expired sweep, executor lease acquisition.
+  void batch_admit(const BatchPtr& ctx);
+  /// Runs a stage body under the historical exception -> status ladder.
+  void run_guarded(const StatePtr& state, const std::function<void()>& body);
+  /// The composed per-request chain: breaker admission around the retried
+  /// attempt chain, then breaker feedback + completion.
+  [[nodiscard]] async::Task<async::Unit> make_request_task(PendingPtr pending,
+                                                           BatchPtr batch);
+  /// One pipeline attempt: prep -> form -> solve -> reconstruct stage tasks
+  /// with cancellation/deadline gates and instrument adaptors attached. All
+  /// attempts of one request share `cache` (the server-wide cache when
+  /// share_cache is on, a per-request one otherwise).
+  [[nodiscard]] async::Task<OutcomePtr> make_attempt_task(
+      PendingPtr pending, BatchPtr batch,
+      std::shared_ptr<core::FormationCache> cache, int attempt);
+  // Stage bodies (verbatim slices of the historical single-pass pipeline;
+  // each wraps its work in the same exception->status ladder).
+  void stage_prep(const StatePtr& state);
+  void stage_form(const StatePtr& state);
+  void stage_solve(const StatePtr& state);
+  void stage_reconstruct(const StatePtr& state);
   /// Deterministically jittered exponential backoff before attempt + 1.
   [[nodiscard]] std::chrono::microseconds backoff_delay(Index attempt);
   /// Completes the promise, records end-to-end latency + status counters,
@@ -212,10 +296,24 @@ class Server {
   void complete(const PendingPtr& pending, ParametrizeResult&& result);
 
   ServerOptions options_;
+  ResiliencePolicy policy_;  ///< effective policy (deprecated fields merged)
   std::shared_ptr<core::FormationCache> cache_;
   BoundedQueue<PendingPtr> queue_;
   StatsCollector stats_;
   BreakerBoard breakers_;
+  exec::ExecutorPool executors_;
+
+  // Continuation-core runtime: stage scheduler, backoff timers, and the
+  // scope owning every in-flight chain (drain/shutdown = one join).
+  std::unique_ptr<async::Scheduler> scheduler_;
+  async::TimerQueue timers_;
+  async::AsyncScope scope_;
+  std::thread dispatcher_;
+
+  // Chain-level per-stage latency (instrument adaptor sinks).
+  LatencyHistogram chain_form_;
+  LatencyHistogram chain_solve_;
+  LatencyHistogram chain_reconstruct_;
 
   // Degraded-mode state: sampled at admission under state_mu_; the flag is
   // atomic so stats()/degraded() read it without the lock.
@@ -225,7 +323,9 @@ class Server {
 
   mutable std::mutex state_mu_;
   std::condition_variable all_done_;
-  std::vector<std::thread> workers_;
+  std::condition_variable slot_free_;
+  std::size_t inflight_batches_ = 0;
+  std::size_t max_inflight_ = 1;
   std::int64_t outstanding_ = 0;  ///< accepted but not yet completed
   bool accepting_ = true;
   bool started_ = false;

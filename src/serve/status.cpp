@@ -1,0 +1,34 @@
+#include "serve/status.hpp"
+
+namespace parma::serve {
+
+const char* request_status_name(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case RequestStatus::kCancelled: return "cancelled";
+    case RequestStatus::kRejected: return "rejected";
+    case RequestStatus::kSolverFailed: return "solver-failed";
+    case RequestStatus::kInvalidInput: return "invalid-input";
+    case RequestStatus::kBreakerOpen: return "breaker-open";
+    case RequestStatus::kDegradedResult: return "degraded-result";
+  }
+  return "?";
+}
+
+const char* submit_status_name(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted: return "accepted";
+    case SubmitStatus::kQueueFull: return "queue-full";
+    case SubmitStatus::kShuttingDown: return "shutting-down";
+    case SubmitStatus::kInvalidOptions: return "invalid-options";
+    case SubmitStatus::kLoadShed: return "load-shed";
+  }
+  return "?";
+}
+
+std::string to_string(RequestStatus status) { return request_status_name(status); }
+
+std::string to_string(SubmitStatus status) { return submit_status_name(status); }
+
+}  // namespace parma::serve

@@ -1,0 +1,45 @@
+// Terminal and admission status codes of the parametrization service.
+//
+// Deliberately standalone: a client that only needs to switch on an outcome
+// (dashboards, log scrapers, the CLI's exit-code mapping) includes this
+// header without dragging in the whole request/engine/solver stack.
+#pragma once
+
+#include <string>
+
+namespace parma::serve {
+
+/// Terminal status of one served request.
+enum class RequestStatus {
+  kOk,                ///< full pipeline ran; `inverse` holds the recovery
+  kDeadlineExceeded,  ///< the request's deadline passed before completion
+  kCancelled,         ///< cancelled via Ticket::cancel() (or server teardown)
+  kRejected,          ///< never admitted (queue full, shutdown, bad options)
+  kSolverFailed,      ///< a pipeline stage threw; `message` has the reason
+  kInvalidInput,      ///< measurement payload rejected (non-finite/negative Z)
+  kBreakerOpen,       ///< fast-failed: this shape's circuit breaker is open
+  kDegradedResult,    ///< pipeline ran and `inverse` holds a recovery, but the
+                      ///< quality report tripped the request's QualityFloor
+                      ///< (heavy masking/outliers, ill-conditioning, breakdown)
+};
+
+const char* request_status_name(RequestStatus status);
+
+/// Outcome of a submit/try_submit call (admission-time backpressure signal;
+/// the request-level outcome is RequestStatus on the future).
+enum class SubmitStatus {
+  kAccepted,       ///< queued; the future completes when a worker finishes it
+  kQueueFull,      ///< bounded admission queue is full (after the timeout,
+                   ///< for the blocking submit); future completes kRejected
+  kShuttingDown,   ///< drain()/shutdown() already stopped admission
+  kInvalidOptions, ///< request failed admission validation
+  kLoadShed,       ///< degraded mode fast-rejected this low-priority request
+};
+
+const char* submit_status_name(SubmitStatus status);
+
+/// std::string conveniences over the *_name functions.
+std::string to_string(RequestStatus status);
+std::string to_string(SubmitStatus status);
+
+}  // namespace parma::serve

@@ -1,0 +1,670 @@
+// Unit tests for the continuation core (src/async) and its integration into
+// the serving pipeline: Task composition, the Scheduler's never-drop shutdown
+// contract, TimerQueue expedited drain, retry/breaker/gate/instrument
+// adaptors, AsyncScope join ordering (timers flush before the wait -- the
+// drain-vs-half-open-probe fix), ExecutorPool leasing, and chaos-seeded
+// cancellation storms against a live Server. Carries the `tsan` ctest label;
+// the AsyncChaos.* tests rerun under the `chaos` label with distinct
+// PARMA_CHAOS_SEED values.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "async/adaptors.hpp"
+#include "async/async_scope.hpp"
+#include "async/breaker.hpp"
+#include "async/retry.hpp"
+#include "async/scheduler.hpp"
+#include "async/task.hpp"
+#include "async/timer_queue.hpp"
+#include "common/rng.hpp"
+#include "exec/executor.hpp"
+#include "fault/injector.hpp"
+#include "mea/generator.hpp"
+#include "serve/server.hpp"
+
+namespace parma {
+namespace {
+
+using namespace std::chrono_literals;
+using async::Task;
+using async::Try;
+using async::Unit;
+using serve::ParametrizeRequest;
+using serve::ParametrizeResult;
+using serve::RequestStatus;
+using serve::Server;
+using serve::ServerOptions;
+using serve::Stats;
+using serve::Ticket;
+
+// ---------------------------------------------------------------- Task core
+
+TEST(AsyncTask, JustThenTransformsValues) {
+  Try<int> r = async::sync_wait(async::just(2).then([](int x) { return x * 3; }));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.get(), 6);
+}
+
+TEST(AsyncTask, VoidStageYieldsUnitAndNullaryStageIsAllowed) {
+  int observed = 0;
+  Try<Unit> r = async::sync_wait(
+      async::just(41).then([&observed](int x) { observed = x + 1; }).then([] {}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(AsyncTask, ErrorShortCircuitsPlainThenButNotTryThen) {
+  bool skipped_ran = false;
+  Try<int> r = async::sync_wait(
+      async::just(1)
+          .then([](int) -> int { throw std::runtime_error("boom"); })
+          .then([&skipped_ran](int x) {  // must be skipped: upstream errored
+            skipped_ran = true;
+            return x;
+          })
+          .then([](Try<int>&& t) {  // Try-accepting stage sees the error
+            EXPECT_FALSE(t.ok());
+            try {
+              t.get();
+            } catch (const std::runtime_error& e) {
+              EXPECT_STREQ(e.what(), "boom");
+            }
+            return 7;  // recovery
+          }));
+  EXPECT_FALSE(skipped_ran);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.get(), 7);
+}
+
+TEST(AsyncTask, ViaRunsDownstreamOnSchedulerThread) {
+  async::Scheduler pool(2);
+  const std::thread::id caller = std::this_thread::get_id();
+  Try<bool> r = async::sync_wait(async::just(Unit{}).via(pool).then(
+      [caller] { return std::this_thread::get_id() != caller; }));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.get());
+  EXPECT_GE(pool.executed(), 1u);
+}
+
+TEST(AsyncTask, WhenAllPreservesOrderAndIsolatesFailures) {
+  async::Scheduler pool(3);
+  std::vector<Task<int>> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back(async::schedule(pool).then([i]() -> int {
+      if (i == 2) throw std::runtime_error("slot 2 fails");
+      return i * 10;
+    }));
+  }
+  Try<std::vector<Try<int>>> all = async::sync_wait(async::when_all(std::move(tasks)));
+  ASSERT_TRUE(all.ok());
+  std::vector<Try<int>>& slots = all.get();
+  ASSERT_EQ(slots.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    if (i == 2) {
+      EXPECT_FALSE(slots[2].ok());
+    } else {
+      ASSERT_TRUE(slots[static_cast<std::size_t>(i)].ok());
+      EXPECT_EQ(slots[static_cast<std::size_t>(i)].get(), i * 10);
+    }
+  }
+
+  Try<std::vector<Try<int>>> empty = async::sync_wait(async::when_all(std::vector<Task<int>>{}));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.get().empty());
+}
+
+TEST(AsyncTask, SequenceRunsStepsInOrderAndSurvivesStepErrors) {
+  std::vector<int> order;
+  std::vector<std::function<Task<Unit>()>> steps;
+  steps.push_back([&order] { return async::just().then([&order] { order.push_back(1); }); });
+  steps.push_back([&order]() -> Task<Unit> {
+    return async::just().then([&order]() -> Unit {
+      order.push_back(2);
+      throw std::runtime_error("step 2 fails");
+    });
+  });
+  steps.push_back([&order] { return async::just().then([&order] { order.push_back(3); }); });
+  Try<Unit> r = async::sync_wait(async::sequence(std::move(steps)));
+  ASSERT_TRUE(r.ok());  // a failed step never poisons the sequence
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+// --------------------------------------------------------------- Scheduler
+
+TEST(AsyncScheduler, ExecutesEverythingPostedBeforeStop) {
+  async::Scheduler pool(4);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.post([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.stop();  // drains, then joins
+  EXPECT_EQ(hits.load(), 64);
+  EXPECT_EQ(pool.executed(), 64u);
+}
+
+TEST(AsyncScheduler, PostAfterStopRunsInlineNeverDrops) {
+  async::Scheduler pool(1);
+  pool.stop();
+  // A continuation posted after stop must still run (inline on this thread):
+  // dropping one would leave its chain, and anything joined on it, hanging.
+  const std::thread::id caller = std::this_thread::get_id();
+  bool ran = false;
+  pool.post([&ran, caller] {
+    ran = true;
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_TRUE(ran);
+}
+
+// -------------------------------------------------------------- TimerQueue
+
+TEST(AsyncTimerQueue, FiresNaturallyInDueOrder) {
+  async::TimerQueue timers;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<int> order;
+  const auto push = [&](int tag, bool flushed) {
+    std::lock_guard lock(mu);
+    EXPECT_FALSE(flushed);  // natural expiry
+    order.push_back(tag);
+    cv.notify_all();
+  };
+  timers.schedule_after(20ms, [&push](bool flushed) { push(2, flushed); });
+  timers.schedule_after(5ms, [&push](bool flushed) { push(1, flushed); });
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return order.size() == 2; }));
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(timers.fired(), 2u);
+  EXPECT_EQ(timers.flushed(), 0u);
+  EXPECT_EQ(timers.pending(), 0u);
+}
+
+TEST(AsyncTimerQueue, FlushExpeditesPendingAndLatches) {
+  async::TimerQueue timers;
+  std::promise<bool> first_flushed;
+  timers.schedule_after(1h, [&first_flushed](bool flushed) {
+    first_flushed.set_value(flushed);
+  });
+  EXPECT_EQ(timers.pending(), 1u);
+  timers.flush();
+  std::future<bool> f1 = first_flushed.get_future();
+  ASSERT_EQ(f1.wait_for(5s), std::future_status::ready);
+  EXPECT_TRUE(f1.get());  // wait cut short
+
+  // The queue is latched expedited: a later long schedule also fires now.
+  std::promise<bool> second_flushed;
+  timers.schedule_after(1h, [&second_flushed](bool flushed) {
+    second_flushed.set_value(flushed);
+  });
+  std::future<bool> f2 = second_flushed.get_future();
+  ASSERT_EQ(f2.wait_for(5s), std::future_status::ready);
+  EXPECT_TRUE(f2.get());
+
+  // resume() leaves expedited mode; a short timer then expires naturally.
+  timers.resume();
+  std::promise<bool> third_flushed;
+  timers.schedule_after(1ms, [&third_flushed](bool flushed) {
+    third_flushed.set_value(flushed);
+  });
+  std::future<bool> f3 = third_flushed.get_future();
+  ASSERT_EQ(f3.wait_for(5s), std::future_status::ready);
+  EXPECT_FALSE(f3.get());
+  EXPECT_EQ(timers.fired(), 3u);
+  EXPECT_EQ(timers.flushed(), 2u);
+}
+
+// ------------------------------------------------------------------- retry
+
+TEST(AsyncRetry, RetriesUntilSuccessWithTwoBasedBackoffAttempts) {
+  async::TimerQueue timers;
+  std::vector<int> backoff_calls;
+  auto attempts_seen = std::make_shared<std::vector<int>>();
+  async::RetryOptions<int> options;
+  options.max_attempts = 5;
+  options.should_retry = [](const Try<int>& t) { return t.get() < 0; };
+  options.backoff_for = [&backoff_calls](int next_attempt) {
+    backoff_calls.push_back(next_attempt);
+    return std::chrono::microseconds{100};
+  };
+  Try<int> r = async::sync_wait(async::retry_with_backoff<int>(
+      [attempts_seen](int attempt) {
+        attempts_seen->push_back(attempt);
+        return async::just(attempt >= 3 ? attempt : -attempt);
+      },
+      std::move(options), timers));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.get(), 3);
+  EXPECT_EQ(*attempts_seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(backoff_calls, (std::vector<int>{2, 3}));  // 2-based: wait before attempt k
+}
+
+TEST(AsyncRetry, ExhaustsMaxAttemptsAndReturnsLastOutcome) {
+  async::TimerQueue timers;
+  int attempts = 0;
+  async::RetryOptions<int> options;
+  options.max_attempts = 3;
+  options.should_retry = [](const Try<int>&) { return true; };
+  Try<int> r = async::sync_wait(async::retry_with_backoff<int>(
+      [&attempts](int) { return async::just(-(++attempts)); }, std::move(options),
+      timers));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.get(), -3);
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(AsyncRetry, BeforeWaitVetoGivesUpWithMutatedOutcome) {
+  async::TimerQueue timers;
+  async::RetryOptions<int> options;
+  options.max_attempts = 4;
+  options.should_retry = [](const Try<int>&) { return true; };
+  options.before_wait = [](int next, std::chrono::microseconds, Try<int>& t) {
+    t.get() = 1000 + next;  // e.g. "deadline would pass during retry backoff"
+    return false;
+  };
+  int attempts = 0;
+  Try<int> r = async::sync_wait(async::retry_with_backoff<int>(
+      [&attempts](int) { return async::just(++attempts); }, std::move(options), timers));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.get(), 1002);  // mutated before the (vetoed) second attempt
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(AsyncRetry, AfterWaitVetoGivesUpWithMutatedOutcome) {
+  async::TimerQueue timers;
+  async::RetryOptions<int> options;
+  options.max_attempts = 4;
+  options.should_retry = [](const Try<int>&) { return true; };
+  options.after_wait = [](int next, Try<int>& t) {
+    t.get() = 2000 + next;  // e.g. "cancelled between attempts"
+    return false;
+  };
+  int attempts = 0;
+  Try<int> r = async::sync_wait(async::retry_with_backoff<int>(
+      [&attempts](int) { return async::just(++attempts); }, std::move(options), timers));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.get(), 2002);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(AsyncRetry, EscapedExceptionIsTerminalDespiteRetryPolicy) {
+  async::TimerQueue timers;
+  int attempts = 0;
+  async::RetryOptions<int> options;
+  options.max_attempts = 5;
+  options.should_retry = [](const Try<int>&) { return true; };
+  Try<int> r = async::sync_wait(async::retry_with_backoff<int>(
+      [&attempts](int) {
+        return async::just(0).then([&attempts](int) -> int {
+          ++attempts;
+          throw std::runtime_error("stage bug");
+        });
+      },
+      std::move(options), timers));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(attempts, 1);  // exceptions mean bugs, not retryable faults
+}
+
+// ----------------------------------------------------------------- breaker
+
+TEST(AsyncBreaker, RejectionFastFailsWithoutStartingOrReporting) {
+  bool started = false;
+  int reports = 0;
+  async::BreakerHooks<int> hooks;
+  hooks.admit = [] { return false; };
+  hooks.rejected = [] { return Try<int>::from_value(-99); };
+  hooks.classify = [](const Try<int>&) { return async::BreakerOutcome::kSuccess; };
+  hooks.report = [&reports](async::BreakerOutcome) { ++reports; };
+  Try<int> r = async::sync_wait(async::with_breaker<int>(
+      async::just(0).then([&started](int x) {
+        started = true;
+        return x;
+      }),
+      std::move(hooks)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.get(), -99);
+  EXPECT_FALSE(started);
+  EXPECT_EQ(reports, 0);  // fast-fail reports nothing
+}
+
+TEST(AsyncBreaker, ClassifiesAndReportsCompletedOutcomes) {
+  std::vector<async::BreakerOutcome> reported;
+  async::BreakerHooks<int> hooks;
+  hooks.admit = [] { return true; };
+  hooks.rejected = [] { return Try<int>::from_value(0); };
+  hooks.classify = [](const Try<int>& t) {
+    return t.get() >= 0 ? async::BreakerOutcome::kSuccess : async::BreakerOutcome::kFailure;
+  };
+  hooks.report = [&reported](async::BreakerOutcome o) { reported.push_back(o); };
+  Try<int> r = async::sync_wait(async::with_breaker<int>(async::just(5), std::move(hooks)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.get(), 5);
+  ASSERT_EQ(reported.size(), 1u);
+  EXPECT_EQ(reported[0], async::BreakerOutcome::kSuccess);
+}
+
+// -------------------------------------------------- gates + instrumentation
+
+TEST(AsyncAdaptors, GateMutatesOnlyTriggeredSuccesses) {
+  // Triggered gate rewrites the outcome in place.
+  Try<int> hit = async::sync_wait(async::gate<int>(
+      async::just(1), [] { return true; }, [](Try<int>& t) { t.get() = -1; }));
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(hit.get(), -1);
+
+  // Untriggered gate passes the value through.
+  Try<int> miss = async::sync_wait(async::gate<int>(
+      async::just(2), [] { return false; }, [](Try<int>& t) { t.get() = -1; }));
+  ASSERT_TRUE(miss.ok());
+  EXPECT_EQ(miss.get(), 2);
+
+  // Errors pass through untouched -- gates refine successes.
+  bool mutated = false;
+  Try<int> err = async::sync_wait(async::gate<int>(
+      async::just(0).then([](int) -> int { throw std::runtime_error("x"); }),
+      [] { return true; },
+      [&mutated](Try<int>&) { mutated = true; }));
+  EXPECT_FALSE(err.ok());
+  EXPECT_FALSE(mutated);
+}
+
+TEST(AsyncAdaptors, InstrumentMeasuresTheWrappedTaskOnly) {
+  async::Scheduler pool(1);
+  double seconds = -1.0;
+  Try<Unit> r = async::sync_wait(async::instrument<Unit>(
+      async::schedule(pool).then([] { std::this_thread::sleep_for(10ms); }),
+      [&seconds](double s) { seconds = s; }));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(seconds, 0.009);
+  EXPECT_LT(seconds, 5.0);
+}
+
+// -------------------------------------------------------------- AsyncScope
+
+TEST(AsyncScopeTest, JoinWaitsForEverySpawnedChain) {
+  async::Scheduler pool(2);
+  async::AsyncScope scope;
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    scope.spawn(async::schedule(pool).then([&completed] {
+      std::this_thread::sleep_for(1ms);
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  scope.join();
+  EXPECT_EQ(completed.load(), 8);
+  EXPECT_EQ(scope.in_flight(), 0u);
+  EXPECT_EQ(scope.spawned(), 8u);
+  scope.join();  // idempotent
+}
+
+TEST(AsyncScopeTest, JoinFlushesAttachedTimersBeforeWaiting) {
+  // Regression for the drain ordering fix: a chain parked on a long backoff
+  // timer must complete promptly at join() (the scope flushes the timers
+  // FIRST, then waits), not after the full backoff.
+  async::Scheduler pool(1);
+  async::TimerQueue timers;
+  async::AsyncScope scope;
+  scope.attach_timers(timers);
+
+  async::RetryOptions<int> options;
+  options.max_attempts = 2;
+  options.should_retry = [](const Try<int>&) { return true; };
+  options.backoff_for = [](int) { return std::chrono::microseconds{3'600'000'000}; };
+  std::atomic<int> attempts{0};
+  scope.spawn(async::retry_with_backoff<int>(
+                  [&attempts, &pool](int) {
+                    return async::schedule(pool).then([&attempts] {
+                      return attempts.fetch_add(1, std::memory_order_relaxed);
+                    });
+                  },
+                  std::move(options), timers)
+                  .then([](int) {}));
+
+  // Give the first attempt time to land and park in its 1 h backoff.
+  const auto deadline = std::chrono::steady_clock::now() + 5s;
+  while (attempts.load() < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_GE(attempts.load(), 1);
+
+  const auto begin = std::chrono::steady_clock::now();
+  scope.join();
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(elapsed, 30s);  // would be ~1 h without the flush
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_GE(timers.flushed(), 1u);
+}
+
+// ------------------------------------------------------------ ExecutorPool
+
+TEST(ExecutorPool, ConcurrentLeasesGetDistinctExecutors) {
+  exec::ExecutorPool pool;
+  exec::ExecutorPool::Lease a = pool.acquire(exec::Backend::kSerial, 1);
+  exec::ExecutorPool::Lease b = pool.acquire(exec::Backend::kSerial, 4);
+  ASSERT_NE(a.get(), nullptr);
+  ASSERT_NE(b.get(), nullptr);
+  EXPECT_NE(a.get(), b.get());
+  // Serial key collapse: both leases came from the (kSerial, 1) pool.
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.idle(), 0u);
+
+  a.release();
+  b.release();
+  b.release();  // idempotent
+  EXPECT_EQ(pool.idle(), 2u);
+
+  // Reacquiring reuses the warm executor instead of constructing a third.
+  exec::ExecutorPool::Lease c = pool.acquire(exec::Backend::kSerial, 1);
+  EXPECT_EQ(pool.created(), 2u);
+  EXPECT_EQ(pool.idle(), 1u);
+}
+
+TEST(ExecutorPool, CompletionHookCountsBulkRuns) {
+  exec::ExecutorPool pool;
+  exec::ExecutorPool::Lease lease = pool.acquire(exec::Backend::kPooled, 2);
+  std::atomic<int> cells{0};
+  lease.get()->submit_bulk(0, 16, 4, [&cells](Index lo, Index hi) {
+    cells.fetch_add(static_cast<int>(hi - lo), std::memory_order_relaxed);
+  });
+  lease.get()->submit_bulk(0, 0, 1, [](Index, Index) {});  // empty range counts too
+  EXPECT_EQ(cells.load(), 16);
+  EXPECT_EQ(pool.bulk_completions(), 2u);
+}
+
+// ----------------------------------------------- server chain integration
+
+mea::Measurement make_measurement(Index n, std::uint64_t seed = 7) {
+  Rng rng(seed + static_cast<std::uint64_t>(n));
+  const mea::DeviceSpec spec = mea::square_device(n);
+  const auto truth = mea::generate_field(spec, mea::random_scenario(spec, 1, rng), rng);
+  return mea::measure_exact(spec, truth);
+}
+
+ParametrizeRequest make_request(Index n, Index iterations = 2) {
+  ParametrizeRequest request;
+  request.measurement = make_measurement(n);
+  request.options.strategy = core::Strategy::kFineGrained;
+  request.options.workers = 2;
+  request.options.chunk = 2;
+  request.options.keep_system = false;
+  request.inverse.max_iterations = iterations;
+  return request;
+}
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("PARMA_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+TEST(ServeChain, ChainStageHistogramsObserveServedRequests) {
+  Server server;
+  Ticket ticket = server.try_submit(make_request(5));
+  ASSERT_TRUE(ticket.accepted());
+  const ParametrizeResult r = ticket.future().get();
+  ASSERT_EQ(r.status, RequestStatus::kOk) << r.message;
+  server.drain();
+
+  EXPECT_GE(server.chain_stage_latency("form").count, 1u);
+  EXPECT_GE(server.chain_stage_latency("solve").count, 1u);
+  EXPECT_GE(server.chain_stage_latency("reconstruct").count, 1u);
+  EXPECT_EQ(server.chain_stage_latency("bogus").count, 0u);
+  // drain() returns when every request has completed; the batch chain's
+  // final slot-release step may still be in flight until shutdown joins it.
+  server.shutdown();
+  EXPECT_EQ(server.inflight_batches(), 0u);
+}
+
+TEST(ServeChain, DrainExpeditesRequestsParkedInRetryBackoff) {
+  // The drain ordering regression (TSan-checked): with a persistent fault
+  // and an hour-long backoff, drain() must expedite the parked retries and
+  // return promptly -- including the attempt chains that double as breaker
+  // half-open probes -- instead of waiting out the backoff (or worse,
+  // leaving a probe pending after shutdown tears the workers down).
+  fault::ScopedInjector storm(11);
+  storm->arm(fault::Point::kTaskFailure, {.probability = 1.0});  // every attempt fails
+
+  ServerOptions options;
+  options.workers = 2;
+  options.policy.retry.max_attempts = 3;
+  options.policy.retry.backoff = 3'600'000ms;  // 1 h: drain must not wait this out
+  options.policy.retry.backoff_cap = 3'600'000ms;
+  options.policy.breaker.failure_threshold = 1;  // opens on the first failure
+  options.policy.breaker.cooldown = 1ms;         // immediately eligible for half-open
+  Server server(options);
+
+  std::vector<Ticket> tickets;
+  for (int i = 0; i < 4; ++i) {
+    tickets.push_back(server.submit(make_request(5), 500ms));
+    ASSERT_TRUE(tickets.back().accepted());
+  }
+
+  const auto begin = std::chrono::steady_clock::now();
+  server.drain();
+  const auto elapsed = std::chrono::steady_clock::now() - begin;
+  EXPECT_LT(elapsed, 60s);
+
+  for (Ticket& ticket : tickets) {
+    ASSERT_EQ(ticket.future().wait_for(0ms), std::future_status::ready);
+    const ParametrizeResult r = ticket.future().get();
+    EXPECT_TRUE(r.status == RequestStatus::kSolverFailed ||
+                r.status == RequestStatus::kBreakerOpen)
+        << serve::request_status_name(r.status) << ": " << r.message;
+  }
+  const Stats stats = server.stats();
+  EXPECT_EQ(stats.completed(), stats.accepted);
+  EXPECT_EQ(stats.end_to_end.count, stats.accepted);
+  server.shutdown();
+}
+
+TEST(ServeChain, CancellationDuringBackoffCompletesBetweenAttempts) {
+  fault::ScopedInjector storm(23);
+  storm->arm(fault::Point::kTaskFailure, {.probability = 1.0});
+
+  ServerOptions options;
+  options.workers = 1;
+  options.policy.retry.max_attempts = 3;
+  options.policy.retry.backoff = 3'600'000ms;  // parks the retry for an hour
+  options.policy.retry.backoff_cap = 3'600'000ms;
+  options.policy.breaker.failure_threshold = 100;  // keep the breaker out of the way
+  Server server(options);
+
+  Ticket ticket = server.try_submit(make_request(5));
+  ASSERT_TRUE(ticket.accepted());
+
+  // Wait until the first attempt failed and the request parked in backoff.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  while (server.stats().retries < 1 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(1ms);
+  }
+  ASSERT_GE(server.stats().retries, 1u);
+
+  ticket.cancel();
+  server.drain();  // flushes the backoff timer; after_wait sees the cancel
+
+  ASSERT_EQ(ticket.future().wait_for(0ms), std::future_status::ready);
+  const ParametrizeResult r = ticket.future().get();
+  EXPECT_EQ(r.status, RequestStatus::kCancelled);
+  EXPECT_EQ(r.message, "cancelled between attempts");
+  EXPECT_EQ(server.stats().cancelled, 1u);
+}
+
+TEST(AsyncChaos, CancellationStormCompletesEveryRequestDefinitely) {
+  const std::uint64_t seed = chaos_seed() + 500;
+  SCOPED_TRACE("PARMA_CHAOS_SEED=" + std::to_string(seed));
+
+  // Slow the pipeline down so cancels land mid-form and mid-solve, and mix
+  // in transient failures so some land during backoff.
+  fault::ScopedInjector chaos(seed);
+  chaos->arm(fault::Point::kSlowTask, {.probability = 0.5});
+  chaos->arm(fault::Point::kTaskFailure, {.probability = 0.2});
+  chaos->stall = 2ms;
+
+  ServerOptions options;
+  options.workers = 3;
+  options.queue_capacity = 32;
+  options.max_batch = 4;
+  options.policy.retry.max_attempts = 2;
+  options.policy.retry.backoff = 5ms;
+  Server server(options);
+
+  constexpr int kRequests = 24;
+  Rng rng(seed);
+  std::vector<Ticket> tickets;
+  tickets.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    tickets.push_back(server.submit(make_request(4 + static_cast<Index>(i % 3), 3), 500ms));
+  }
+  // Cancel a seeded subset at staggered times: depending on where each chain
+  // is, the cancel lands while queued, after formation, after solve, between
+  // attempts -- or too late to matter.
+  for (int i = 0; i < kRequests; ++i) {
+    if (rng.uniform(0.0, 1.0) < 0.6) {
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<std::int64_t>(rng.uniform(0.0, 2000.0))));
+      tickets[static_cast<std::size_t>(i)].cancel();
+    }
+  }
+  server.drain();
+
+  int cancelled = 0;
+  for (Ticket& ticket : tickets) {
+    if (!ticket.accepted()) continue;
+    ASSERT_EQ(ticket.future().wait_for(0ms), std::future_status::ready);
+    const ParametrizeResult r = ticket.future().get();
+    switch (r.status) {
+      case RequestStatus::kCancelled:
+        ++cancelled;
+        break;
+      case RequestStatus::kOk:
+      case RequestStatus::kDeadlineExceeded:
+      case RequestStatus::kRejected:
+      case RequestStatus::kSolverFailed:
+      case RequestStatus::kInvalidInput:
+      case RequestStatus::kBreakerOpen:
+      case RequestStatus::kDegradedResult:
+        break;
+      default:
+        ADD_FAILURE() << "unknown status " << static_cast<int>(r.status);
+    }
+  }
+  (void)cancelled;  // how many land depends on the seed; conservation must not
+
+  const Stats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.accepted + stats.rejected(), stats.submitted);
+  EXPECT_EQ(stats.completed(), stats.accepted);
+  EXPECT_EQ(stats.end_to_end.count, stats.accepted);
+}
+
+}  // namespace
+}  // namespace parma

@@ -317,8 +317,8 @@ TEST(ServeResilience, FullSystemRequestRecoversViaLadderWhenCgIsForced) {
 TEST(ServeResilience, FullyRetriedFaultsAreBitIdenticalToFaultFreeRun) {
   ServerOptions options;
   options.workers = 1;
-  options.max_attempts = 3;
-  options.retry_backoff = 0ms;
+  options.policy.retry.max_attempts = 3;
+  options.policy.retry.backoff = 0ms;
 
   // Fault-free reference run.
   ParametrizeResult reference;
@@ -373,8 +373,8 @@ TEST(ServeResilience, PersistentCorruptionCompletesAsTypedInvalidInput) {
 
   ServerOptions options;
   options.workers = 1;
-  options.max_attempts = 2;
-  options.retry_backoff = 0ms;
+  options.policy.retry.max_attempts = 2;
+  options.policy.retry.backoff = 0ms;
   Server server(options);
 
   Ticket ticket = server.try_submit(make_request(5));
@@ -475,9 +475,9 @@ TEST(CircuitBreaker, ZeroThresholdDisables) {
 TEST(ServeResilience, BreakerFastFailsShapeAfterRepeatedSolverFailures) {
   ServerOptions options;
   options.workers = 1;
-  options.max_attempts = 1;
-  options.breaker_failure_threshold = 2;
-  options.breaker_cooldown = 10s;  // stays open for the rest of the test
+  options.policy.retry.max_attempts = 1;
+  options.policy.breaker.failure_threshold = 2;
+  options.policy.breaker.cooldown = 10s;  // stays open for the rest of the test
   Server server(options);
 
   for (int k = 0; k < 2; ++k) {
@@ -517,8 +517,8 @@ TEST(ServeResilience, DegradedModeShedsLowPriorityAndRecovers) {
   options.queue_capacity = 4;
   options.workers = 1;
   options.deferred_start = true;     // stage the queue deterministically
-  options.degraded_high_water = 0.5; // threshold: 2 queued
-  options.degraded_sustain = 0ms;
+  options.policy.shedding.high_water = 0.5; // threshold: 2 queued
+  options.policy.shedding.sustain = 0ms;
   Server server(options);
 
   Ticket t1 = server.try_submit(make_request(5));
@@ -582,12 +582,12 @@ TEST(Chaos, AllPointsArmedStormCompletesEveryRequestDefinitely) {
   options.workers = 3;
   options.queue_capacity = 16;
   options.max_batch = 4;
-  options.max_attempts = 3;
-  options.retry_backoff = 0ms;  // keep the storm fast
-  options.breaker_failure_threshold = 3;
-  options.breaker_cooldown = 5ms;
-  options.degraded_high_water = 0.9;
-  options.degraded_sustain = 1ms;
+  options.policy.retry.max_attempts = 3;
+  options.policy.retry.backoff = 0ms;  // keep the storm fast
+  options.policy.breaker.failure_threshold = 3;
+  options.policy.breaker.cooldown = 5ms;
+  options.policy.shedding.high_water = 0.9;
+  options.policy.shedding.sustain = 1ms;
   Server server(options);
 
   constexpr int kRequests = 36;
@@ -625,7 +625,7 @@ TEST(Chaos, AllPointsArmedStormCompletesEveryRequestDefinitely) {
     }
     if (r.status == RequestStatus::kOk) {
       EXPECT_GE(r.attempts, 1);
-      EXPECT_LE(r.attempts, options.max_attempts);
+      EXPECT_LE(r.attempts, options.policy.retry.max_attempts);
     }
   }
 
@@ -646,9 +646,9 @@ TEST(Chaos, StormWithRetriesDisabledStillCompletesDefinitely) {
 
   ServerOptions options;
   options.workers = 2;
-  options.max_attempts = 1;  // every fault is terminal: statuses must still be definite
-  options.breaker_failure_threshold = 2;
-  options.breaker_cooldown = 1ms;
+  options.policy.retry.max_attempts = 1;  // every fault is terminal: statuses must still be definite
+  options.policy.breaker.failure_threshold = 2;
+  options.policy.breaker.cooldown = 1ms;
   Server server(options);
 
   std::vector<Ticket> tickets;

@@ -605,7 +605,7 @@ TEST(RobustChaos, AutoMaskAbsorbsInjectedMeasurementFaults) {
 
   serve::ServerOptions sopts;
   sopts.workers = 2;
-  sopts.max_attempts = 1;  // no retries: masking alone must absorb the faults
+  sopts.policy.retry.max_attempts = 1;  // no retries: masking alone must absorb the faults
   serve::Server server(sopts);
 
   std::vector<serve::Ticket> tickets;

@@ -51,6 +51,7 @@ TEST(Serve, StatusNamesAreStable) {
   EXPECT_STREQ(request_status_name(RequestStatus::kSolverFailed), "solver-failed");
   EXPECT_STREQ(request_status_name(RequestStatus::kInvalidInput), "invalid-input");
   EXPECT_STREQ(request_status_name(RequestStatus::kBreakerOpen), "breaker-open");
+  EXPECT_STREQ(request_status_name(RequestStatus::kDegradedResult), "degraded-result");
   EXPECT_STREQ(submit_status_name(SubmitStatus::kAccepted), "accepted");
   EXPECT_STREQ(submit_status_name(SubmitStatus::kQueueFull), "queue-full");
   EXPECT_STREQ(submit_status_name(SubmitStatus::kShuttingDown), "shutting-down");
@@ -59,6 +60,48 @@ TEST(Serve, StatusNamesAreStable) {
   EXPECT_STREQ(priority_name(Priority::kLow), "low");
   EXPECT_STREQ(priority_name(Priority::kNormal), "normal");
   EXPECT_STREQ(priority_name(Priority::kHigh), "high");
+}
+
+TEST(Serve, StatusToStringIsExhaustive) {
+  // The switches below have no default, so adding an enumerator without a
+  // name trips -Wswitch at compile time; at run time every value must map to
+  // a real name, never the "?" fallback.
+  const auto check_request = [](RequestStatus s) {
+    switch (s) {
+      case RequestStatus::kOk:
+      case RequestStatus::kDeadlineExceeded:
+      case RequestStatus::kCancelled:
+      case RequestStatus::kRejected:
+      case RequestStatus::kSolverFailed:
+      case RequestStatus::kInvalidInput:
+      case RequestStatus::kBreakerOpen:
+      case RequestStatus::kDegradedResult:
+        EXPECT_EQ(to_string(s), request_status_name(s));
+        EXPECT_NE(to_string(s), "?");
+        return;
+    }
+    ADD_FAILURE() << "unnamed RequestStatus " << static_cast<int>(s);
+  };
+  for (int v = 0; v <= static_cast<int>(RequestStatus::kDegradedResult); ++v) {
+    check_request(static_cast<RequestStatus>(v));
+  }
+
+  const auto check_submit = [](SubmitStatus s) {
+    switch (s) {
+      case SubmitStatus::kAccepted:
+      case SubmitStatus::kQueueFull:
+      case SubmitStatus::kShuttingDown:
+      case SubmitStatus::kInvalidOptions:
+      case SubmitStatus::kLoadShed:
+        EXPECT_EQ(to_string(s), submit_status_name(s));
+        EXPECT_NE(to_string(s), "?");
+        return;
+    }
+    ADD_FAILURE() << "unnamed SubmitStatus " << static_cast<int>(s);
+  };
+  for (int v = 0; v <= static_cast<int>(SubmitStatus::kLoadShed); ++v) {
+    check_submit(static_cast<SubmitStatus>(v));
+  }
 }
 
 TEST(Serve, ServerOptionsValidate) {
@@ -73,17 +116,57 @@ TEST(Serve, ServerOptionsValidate) {
   EXPECT_THROW(bad.validate(), core::InvalidOptions);
   EXPECT_THROW(Server{bad}, core::InvalidOptions);
   bad = ServerOptions{};
+  bad.max_inflight_batches = -1;
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
+  bad = ServerOptions{};
+  bad.policy.retry.max_attempts = 0;
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
+  bad = ServerOptions{};
+  bad.policy.retry.backoff_cap = 0ms;
+  bad.policy.retry.backoff = 10ms;  // cap below base
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
+  bad = ServerOptions{};
+  bad.policy.breaker.failure_threshold = -1;
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
+  bad = ServerOptions{};
+  bad.policy.shedding.high_water = 1.5;
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
+  bad = ServerOptions{};
+  bad.policy.default_deadline = 0ms;
+  EXPECT_THROW(bad.validate(), core::InvalidOptions);
+}
+
+TEST(Serve, DeprecatedResilienceFieldsForwardIntoPolicy) {
+  // One release of compatibility: the loose fields still steer the server.
+  // A deprecated field changed from its default overrides the policy value;
+  // untouched fields leave the policy alone.
+  ServerOptions opts;
+  opts.policy.retry.backoff = 7ms;  // policy value with no competing override
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  opts.max_attempts = 9;
+  opts.retry_jitter_seed = 0xfeed;
+  opts.breaker_failure_threshold = 11;
+  opts.breaker_cooldown = 321ms;
+  opts.degraded_high_water = 0.25;
+  opts.degraded_sustain = 13ms;
+#pragma GCC diagnostic pop
+  const ResiliencePolicy merged = opts.resilience();
+  EXPECT_EQ(merged.retry.max_attempts, 9);
+  EXPECT_EQ(merged.retry.backoff, 7ms);   // untouched deprecated field: policy wins
+  EXPECT_EQ(merged.retry.backoff_cap, 50ms);
+  EXPECT_EQ(merged.retry.jitter_seed, 0xfeedu);
+  EXPECT_EQ(merged.breaker.failure_threshold, 11);
+  EXPECT_EQ(merged.breaker.cooldown, 321ms);
+  EXPECT_EQ(merged.shedding.high_water, 0.25);
+  EXPECT_EQ(merged.shedding.sustain, 13ms);
+
+  // An invalid value through the deprecated field still fails validation.
+  ServerOptions bad;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   bad.max_attempts = 0;
-  EXPECT_THROW(bad.validate(), core::InvalidOptions);
-  bad = ServerOptions{};
-  bad.retry_backoff_cap = 0ms;
-  bad.retry_backoff = 10ms;  // cap below base
-  EXPECT_THROW(bad.validate(), core::InvalidOptions);
-  bad = ServerOptions{};
-  bad.breaker_failure_threshold = -1;
-  EXPECT_THROW(bad.validate(), core::InvalidOptions);
-  bad = ServerOptions{};
-  bad.degraded_high_water = 1.5;
+#pragma GCC diagnostic pop
   EXPECT_THROW(bad.validate(), core::InvalidOptions);
 }
 
