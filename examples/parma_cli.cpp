@@ -15,6 +15,12 @@
 //   parma_cli serve-bench [--requests r] [--shapes 6,8,10] [--workers k]
 //                         [--queue q] [--batch b] [--seed s]
 //       drive a serve::Server with synthetic requests and print its stats
+//   parma_cli serve-net --listen <host:port|port> [--workers k] [--queue q]
+//                       [--batch b]
+//       serve parametrization requests over TCP until stdin closes
+//   parma_cli serve-net --connect <host:port|port> [--requests r]
+//                       [--shapes 6,8,10] [--seed s]
+//       drive a remote serve-net listener with synthetic requests
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
 #include <chrono>
@@ -26,6 +32,8 @@
 #include <vector>
 
 #include "core/parma.hpp"
+#include "net/client.hpp"
+#include "net/listener.hpp"
 
 namespace {
 
@@ -65,7 +73,11 @@ int usage() {
                " [--workers k] [--truth truth.txt]\n"
                "  parma_cli render <measurement.txt> <out.pgm> [--scale s]\n"
                "  parma_cli serve-bench [--requests r] [--shapes 6,8,10]"
-               " [--workers k] [--queue q] [--batch b] [--seed s]\n";
+               " [--workers k] [--queue q] [--batch b] [--seed s]\n"
+               "  parma_cli serve-net --listen <host:port|port> [--workers k]"
+               " [--queue q] [--batch b]\n"
+               "  parma_cli serve-net --connect <host:port|port> [--requests r]"
+               " [--shapes 6,8,10] [--seed s]\n";
   return 1;
 }
 
@@ -280,6 +292,127 @@ int cmd_serve_bench(const Args& args) {
   return 0;
 }
 
+/// "host:port" or bare "port" (host defaults to 127.0.0.1).
+std::pair<std::string, std::uint16_t> parse_endpoint(const std::string& spec) {
+  const std::size_t colon = spec.rfind(':');
+  const std::string host = colon == std::string::npos ? "127.0.0.1" : spec.substr(0, colon);
+  const std::string port_str = colon == std::string::npos ? spec : spec.substr(colon + 1);
+  const Index port = parse_index(port_str, "port");
+  PARMA_REQUIRE(port >= 0 && port <= 65535, "serve-net: port out of range");
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+int cmd_serve_net(const Args& args) {
+  const auto listen_spec = args.flag("listen");
+  const auto connect_spec = args.flag("connect");
+  if (static_cast<bool>(listen_spec) == static_cast<bool>(connect_spec)) {
+    return usage();  // exactly one of --listen / --connect
+  }
+
+  if (listen_spec) {
+    const auto [host, port] = parse_endpoint(*listen_spec);
+    serve::ServerOptions sopts;
+    if (const auto w = args.flag("workers")) sopts.workers = parse_index(*w, "workers");
+    if (const auto q = args.flag("queue")) sopts.queue_capacity = parse_index(*q, "queue");
+    if (const auto b = args.flag("batch")) sopts.max_batch = parse_index(*b, "batch");
+    serve::Server server(sopts);
+
+    net::ListenerOptions lopts;
+    lopts.host = host;
+    lopts.port = port;
+    net::Listener listener(server, lopts);
+    listener.start();
+    std::cout << "serving on " << host << ":" << listener.port()
+              << " (close stdin to stop)\n";
+
+    // Foreground service loop: the listener's I/O thread does the work; the
+    // main thread just waits for the operator to close stdin (or EOF under
+    // a pipe) and then tears down in order -- transport first, pipeline
+    // second.
+    while (std::cin.get() != std::char_traits<char>::eof()) {
+    }
+    listener.stop();
+    server.shutdown();
+
+    const net::ListenerCounters c = listener.counters();
+    std::cout << "connections " << c.connections_accepted << ", requests "
+              << c.requests_admitted << ", responses " << c.responses_enqueued
+              << " (dropped " << c.responses_dropped << "), protocol errors "
+              << c.protocol_errors << ", disconnects " << c.disconnects << "\n";
+    return 0;
+  }
+
+  const auto [host, port] = parse_endpoint(*connect_spec);
+  const Index requests =
+      args.flag("requests") ? parse_index(*args.flag("requests"), "requests") : 16;
+  const auto seed = static_cast<std::uint64_t>(
+      args.flag("seed") ? parse_index(*args.flag("seed"), "seed") : 2022);
+  std::vector<Index> shapes;
+  for (const std::string& tok : split(args.flag("shapes").value_or("6,8,10"), ',')) {
+    shapes.push_back(parse_index(tok, "shapes"));
+  }
+  PARMA_REQUIRE(!shapes.empty(), "serve-net: --shapes must name at least one size");
+  PARMA_REQUIRE(requests >= 1, "serve-net: --requests must be >= 1");
+
+  std::vector<serve::ParametrizeRequest> pending;
+  pending.reserve(static_cast<std::size_t>(requests));
+  Rng rng(seed);
+  for (Index i = 0; i < requests; ++i) {
+    const Index n = shapes[static_cast<std::size_t>(i) % shapes.size()];
+    const mea::DeviceSpec spec = mea::square_device(n);
+    const auto truth = mea::generate_field(spec, mea::random_scenario(spec, 1, rng), rng);
+    serve::ParametrizeRequest request;
+    request.measurement = mea::measure_exact(spec, truth);
+    request.options.strategy = core::Strategy::kFineGrained;
+    request.options.workers = 2;
+    request.options.chunk = 4;
+    request.options.keep_system = false;
+    request.inverse.max_iterations = 20;
+    pending.push_back(std::move(request));
+  }
+
+  net::Client client;
+  net::ClientOptions copts;
+  copts.host = host;
+  copts.port = port;
+  client.connect(copts);
+  std::cout << "connected to " << host << ":" << port << "\n";
+
+  Stopwatch wall;
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pending.size());
+  for (serve::ParametrizeRequest& request : pending) {
+    ids.push_back(client.send(request));
+  }
+  Index ok = 0;
+  for (const std::uint64_t id : ids) {
+    const auto reply = client.wait(id, std::chrono::seconds(60));
+    if (!reply) {
+      std::cerr << "request " << id << " timed out\n";
+      continue;
+    }
+    if (reply->is_error) {
+      std::cerr << "request " << id << ": protocol error "
+                << net::proto_code_name(reply->error.code) << " -- "
+                << reply->error.message << "\n";
+      continue;
+    }
+    const auto status = reply->response.status();
+    if (status == serve::RequestStatus::kOk) {
+      ++ok;
+    } else {
+      std::cerr << "request " << id << ": "
+                << (status ? serve::request_status_name(*status) : "unknown status")
+                << (reply->response.message.empty() ? "" : " -- " + reply->response.message)
+                << "\n";
+    }
+  }
+  const Real wall_seconds = wall.elapsed_seconds();
+  std::cout << "served " << ok << "/" << requests << " requests in " << wall_seconds
+            << " s (" << static_cast<Real>(requests) / wall_seconds << " req/s)\n";
+  return ok == requests ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -293,6 +426,7 @@ int main(int argc, char** argv) {
     if (command == "solve") return cmd_solve(args);
     if (command == "render") return cmd_render(args);
     if (command == "serve-bench") return cmd_serve_bench(args);
+    if (command == "serve-net") return cmd_serve_net(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

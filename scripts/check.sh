@@ -7,20 +7,22 @@
 #
 # Sanitizer passes:
 #   - TSan (-DPARMA_SANITIZE=thread) over the concurrency-sensitive suites
-#     (ctest label `tsan`: test_kernels, test_exec, test_serve, test_async,
-#     test_fault, test_robust) plus the chaos storms (`chaos` label:
-#     test_fault's all-points fault storm, test_robust's corruption-recovery
-#     suite, and test_async's cancellation storm, each under three distinct
-#     PARMA_CHAOS_SEED values).
+#     (ctest label `tsan`: test_kernels, test_exec, test_serve, test_net,
+#     test_async, test_fault, test_robust) plus the chaos storms (`chaos`
+#     label: test_fault's all-points fault storm, test_robust's
+#     corruption-recovery suite, and test_async's cancellation storm, each
+#     under three distinct PARMA_CHAOS_SEED values).
 #   - ASan+UBSan (-DPARMA_SANITIZE=address,undefined) over the same suites.
 #
 # Also runs the solver hot-path bench in --quick mode, which fails (non-zero
 # exit) unless the kernel refresh holds its 2x-at-n>=16 speedup over the
-# CooBuilder assembly path, and the robust-accuracy bench in --quick mode,
+# CooBuilder assembly path, the robust-accuracy bench in --quick mode,
 # which fails unless the robust+masked pipeline stays within 2x of the
 # fault-free error at 10% corruption (and plain least squares is measurably
-# worse); refreshes bench_results/solver_hotpath.json and
-# bench_results/robust_accuracy.json.
+# worse), and the net-throughput bench in --quick mode, which fails unless
+# loopback TCP serving stays within 2x of in-process req/s; refreshes
+# bench_results/solver_hotpath.json, bench_results/robust_accuracy.json,
+# and bench_results/net_throughput.json.
 #
 # Build trees: ./build (tier-1), ./build-tsan, ./build-asan.
 set -euo pipefail
@@ -38,7 +40,7 @@ echo "== headers: self-containment (each public header compiles alone) =="
 header_tu="$(mktemp --suffix=.cpp)"
 trap 'rm -f "${header_tu}"' EXIT
 header_fail=0
-for header in src/async/*.hpp src/serve/status.hpp src/serve/resilience.hpp; do
+for header in src/async/*.hpp src/net/*.hpp src/serve/status.hpp src/serve/resilience.hpp; do
   printf '#include "%s"\n' "${header#src/}" > "${header_tu}"
   if ! c++ -std=c++20 -Wall -Wextra -fsyntax-only -Isrc "${header_tu}"; then
     echo "not self-contained: ${header}"
@@ -60,10 +62,13 @@ echo "== bench: solver_hotpath --quick (2x refresh-speedup gate) =="
 echo "== bench: robust_accuracy --quick (2x dirty-input accuracy gate) =="
 ./build/bench/robust_accuracy --quick
 
+echo "== bench: net_throughput --quick (2x loopback-transport gate) =="
+./build/bench/net_throughput --quick
+
 if [[ "${run_tsan}" == "1" ]]; then
   echo "== tsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-tsan -S . -DPARMA_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${jobs}" --target test_kernels test_exec test_serve test_async test_fault test_robust
+  cmake --build build-tsan -j "${jobs}" --target test_kernels test_exec test_serve test_net test_async test_fault test_robust
   echo "== tsan: ctest -L tsan =="
   (cd build-tsan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== tsan: ctest -L chaos (3 seeds) =="
@@ -73,7 +78,7 @@ fi
 if [[ "${run_asan}" == "1" ]]; then
   echo "== asan+ubsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-asan -S . -DPARMA_SANITIZE=address,undefined >/dev/null
-  cmake --build build-asan -j "${jobs}" --target test_kernels test_exec test_serve test_async test_fault test_robust
+  cmake --build build-asan -j "${jobs}" --target test_kernels test_exec test_serve test_net test_async test_fault test_robust
   echo "== asan+ubsan: ctest -L tsan =="
   (cd build-asan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== asan+ubsan: ctest -L chaos (3 seeds) =="

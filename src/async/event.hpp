@@ -1,0 +1,105 @@
+// parma::async::Event -- a readiness event as a sender source.
+//
+// An Event<T> bridges an external completion (an I/O readiness callback, a
+// transport frame, a hardware interrupt surrogate) into the continuation
+// core: fire() delivers the outcome, task() is a cold one-shot sender that
+// completes with it. The two halves are fully order-independent -- firing
+// before the task is started stashes the result; starting before the fire
+// parks the continuation -- and each may happen on any thread, so an I/O
+// loop can hand a decoded frame to the serving pipeline as "just another
+// sender" without knowing anything about schedulers:
+//
+//   auto event = std::make_shared<async::Event<Response>>();
+//   scope.spawn(event->task().then([conn](Response r) { conn->send(r); }));
+//   io_loop.on_complete([event](Response r) { event->fire_value(std::move(r)); });
+//
+// Exactly one fire() and exactly one task() start per event; a second of
+// either is a contract violation. The continuation runs inline on the firing
+// thread (append .via(scheduler) to hop).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "async/task.hpp"
+#include "common/require.hpp"
+
+namespace parma::async {
+
+template <typename T>
+class Event {
+ public:
+  Event() : state_(std::make_shared<State>()) {}
+
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+  Event(Event&&) noexcept = default;
+  Event& operator=(Event&&) noexcept = default;
+
+  /// Delivers the outcome. Runs the parked continuation inline when the task
+  /// was already started; stashes the result otherwise. Thread-safe against
+  /// a concurrent task() start.
+  void fire(Try<T> outcome) {
+    typename Task<T>::Continuation run;
+    {
+      std::lock_guard lock(state_->mu);
+      PARMA_REQUIRE(!state_->fired, "Event fired twice");
+      state_->fired = true;
+      if (state_->continuation) {
+        run = std::move(*state_->continuation);
+        state_->continuation.reset();
+      } else {
+        state_->outcome = std::move(outcome);
+        return;
+      }
+    }
+    run(std::move(outcome));
+  }
+
+  void fire_value(T value) { fire(Try<T>::from_value(std::move(value))); }
+  void fire_error(std::exception_ptr error) { fire(Try<T>::from_error(std::move(error))); }
+
+  /// True once fire() has happened (diagnostics; inherently racy as a guard).
+  [[nodiscard]] bool fired() const {
+    std::lock_guard lock(state_->mu);
+    return state_->fired;
+  }
+
+  /// The sender half. Cold and single-shot: the returned task completes with
+  /// whatever fire() delivered (already or eventually). The Event object
+  /// itself may be destroyed once both halves are in motion -- the shared
+  /// state lives as long as either side needs it.
+  [[nodiscard]] Task<T> task() {
+    auto state = state_;
+    return Task<T>([state](typename Task<T>::Continuation c) {
+      std::optional<Try<T>> ready;
+      {
+        std::lock_guard lock(state->mu);
+        PARMA_REQUIRE(!state->started, "Event task started twice");
+        state->started = true;
+        if (state->outcome) {
+          ready = std::move(state->outcome);
+          state->outcome.reset();
+        } else {
+          state->continuation = std::move(c);
+          return;
+        }
+      }
+      c(std::move(*ready));
+    });
+  }
+
+ private:
+  struct State {
+    mutable std::mutex mu;
+    bool fired = false;
+    bool started = false;
+    std::optional<Try<T>> outcome;
+    std::optional<typename Task<T>::Continuation> continuation;
+  };
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace parma::async

@@ -1,0 +1,212 @@
+#include "net/client.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/require.hpp"
+
+namespace parma::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::chrono::milliseconds remaining(Clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - Clock::now());
+  return left.count() > 0 ? left : std::chrono::milliseconds{0};
+}
+
+}  // namespace
+
+Client::~Client() { disconnect(); }
+
+void Client::connect(const ClientOptions& options) {
+  PARMA_REQUIRE(fd_ < 0, "client is already connected");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    throw IoError("not a valid IPv4 address: " + options.host);
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw IoError("socket() failed");
+
+  // Non-blocking connect bounded by connect_timeout, then back to blocking
+  // mode -- the client's contract is synchronous calls with poll() timeouts.
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS) {
+      const int err = errno;
+      ::close(fd);
+      throw IoError("connect to " + options.host + ":" +
+                    std::to_string(options.port) + " failed: " + std::strerror(err));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready =
+        ::poll(&pfd, 1, static_cast<int>(options.connect_timeout.count()));
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (ready <= 0 || so_error != 0) {
+      ::close(fd);
+      throw IoError("connect to " + options.host + ":" +
+                    std::to_string(options.port) +
+                    (ready <= 0 ? " timed out"
+                                : std::string(" failed: ") + std::strerror(so_error)));
+    }
+  }
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  fd_ = fd;
+  decoder_ = FrameDecoder(options.max_body_bytes);
+  ready_.clear();
+  fatal_.reset();
+}
+
+void Client::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t Client::send(WireRequest request) {
+  PARMA_REQUIRE(fd_ >= 0, "client is not connected");
+  if (request.request_id == 0) request.request_id = ++next_id_;
+  const std::uint64_t id = request.request_id;
+
+  const std::vector<std::uint8_t> bytes = encode_request(request);
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      disconnect();
+      throw IoError(std::string("send failed: ") + std::strerror(err));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return id;
+}
+
+std::uint64_t Client::send(const serve::ParametrizeRequest& request) {
+  return send(WireRequest::from_request(request, 0));
+}
+
+std::optional<Client::Reply> Client::wait(std::uint64_t request_id,
+                                          std::chrono::milliseconds timeout) {
+  const Clock::time_point deadline = Clock::now() + timeout;
+  for (;;) {
+    if (const auto it = ready_.find(request_id); it != ready_.end()) {
+      Reply reply = std::move(it->second);
+      ready_.erase(it);
+      return reply;
+    }
+    if (fatal_) {
+      Reply reply;
+      reply.is_error = true;
+      reply.error = *fatal_;
+      return reply;
+    }
+    const std::chrono::milliseconds budget = remaining(deadline);
+    if (budget.count() == 0) return std::nullopt;
+    if (!pump(budget)) return std::nullopt;
+  }
+}
+
+std::optional<Client::Reply> Client::poll(std::chrono::milliseconds timeout) {
+  const Clock::time_point deadline = Clock::now() + timeout;
+  for (;;) {
+    if (!ready_.empty()) {
+      const auto it = ready_.begin();
+      Reply reply = std::move(it->second);
+      ready_.erase(it);
+      return reply;
+    }
+    if (fatal_) {
+      Reply reply;
+      reply.is_error = true;
+      reply.error = *fatal_;
+      return reply;
+    }
+    const std::chrono::milliseconds budget = remaining(deadline);
+    if (budget.count() == 0) return std::nullopt;
+    if (!pump(budget)) return std::nullopt;
+  }
+}
+
+std::optional<Client::Reply> Client::request(WireRequest req,
+                                             std::chrono::milliseconds timeout) {
+  const std::uint64_t id = send(std::move(req));
+  return wait(id, timeout);
+}
+
+bool Client::pump(std::chrono::milliseconds budget) {
+  PARMA_REQUIRE(fd_ >= 0, "client is not connected");
+
+  pollfd pfd{fd_, POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, static_cast<int>(budget.count()));
+  if (ready == 0) return false;
+  if (ready < 0) {
+    if (errno == EINTR) return false;  // caller's wait loop re-budgets
+    disconnect();
+    throw IoError(std::string("poll failed: ") + std::strerror(errno));
+  }
+
+  std::uint8_t chunk[64 * 1024];
+  const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+  if (n == 0) {
+    disconnect();
+    if (fatal_) return true;  // the error frame explains the close
+    throw IoError("connection closed by server");
+  }
+  if (n < 0) {
+    if (errno == EINTR) return true;
+    const int err = errno;
+    disconnect();
+    throw IoError(std::string("recv failed: ") + std::strerror(err));
+  }
+  decoder_.feed(chunk, static_cast<std::size_t>(n));
+
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Result r = decoder_.next(frame);
+    if (r == FrameDecoder::Result::kNeedMore) return true;
+    if (r == FrameDecoder::Result::kError) {
+      disconnect();
+      throw IoError("malformed frame from server: " + decoder_.error().message);
+    }
+    if (frame.type == FrameType::kResponse && frame.response) {
+      Reply reply;
+      reply.response = std::move(*frame.response);
+      ready_.insert_or_assign(reply.response.request_id, std::move(reply));
+    } else if (frame.type == FrameType::kError && frame.error) {
+      if (frame.error->request_id == 0) {
+        fatal_ = std::move(*frame.error);
+      } else {
+        Reply reply;
+        reply.is_error = true;
+        reply.error = std::move(*frame.error);
+        ready_.insert_or_assign(reply.error.request_id, std::move(reply));
+      }
+    }
+    // A request frame from the server would be nonsense; dropped.
+  }
+}
+
+}  // namespace parma::net

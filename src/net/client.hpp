@@ -1,0 +1,93 @@
+// parma::net::Client -- the blocking client half of the socket transport.
+//
+// A deliberately simple synchronous library for tools, benchmarks, and
+// tests: connect() opens one TCP connection, send() fires an encoded
+// request frame (assigning a request id when the caller left it 0), and
+// poll()/wait() block -- with a timeout -- until the server's reply frames
+// arrive. Because the server completes requests in pipeline order, not
+// submission order, replies for ids the caller is not currently waiting on
+// are stashed and handed out when their id is asked for; a pipelined load
+// generator can keep dozens of requests in flight on one connection.
+//
+// Transport failures (refused connection, mid-reply disconnect) throw
+// IoError. Protocol-level kError frames do NOT throw: they come back as a
+// Reply with is_error set, carrying the server's typed ProtoCode
+// diagnostic; a connection-level error (request id 0 -- the server lost
+// frame sync and is closing) poisons every subsequent wait.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "net/protocol.hpp"
+#include "serve/request.hpp"
+
+namespace parma::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::chrono::milliseconds connect_timeout{5000};
+  std::uint32_t max_body_bytes = kDefaultMaxBodyBytes;
+};
+
+class Client {
+ public:
+  /// One reply frame: a completion (response) or a protocol diagnostic
+  /// (error), never both.
+  struct Reply {
+    bool is_error = false;
+    WireResponse response;
+    WireError error;
+  };
+
+  Client() = default;
+  ~Client();  // disconnect()
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Opens the connection. Throws IoError when the server cannot be
+  /// reached within options.connect_timeout.
+  void connect(const ClientOptions& options);
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+  void disconnect();
+
+  /// Encodes and writes one request frame; blocks until the kernel accepted
+  /// all bytes. A request_id of 0 is replaced with a fresh id; either way
+  /// the id on the wire is returned. Throws IoError on a broken connection.
+  std::uint64_t send(WireRequest request);
+  /// Convenience: wraps a serve-layer request (request_id auto-assigned).
+  std::uint64_t send(const serve::ParametrizeRequest& request);
+
+  /// Blocks until the reply for `request_id` arrives, up to `timeout`.
+  /// nullopt = timed out (the reply may still arrive; call again).
+  [[nodiscard]] std::optional<Reply> wait(std::uint64_t request_id,
+                                          std::chrono::milliseconds timeout);
+
+  /// Blocks until any reply arrives, up to `timeout`. Replies stashed by an
+  /// earlier wait() for a different id are drained first.
+  [[nodiscard]] std::optional<Reply> poll(std::chrono::milliseconds timeout);
+
+  /// send() + wait() in one call.
+  [[nodiscard]] std::optional<Reply> request(WireRequest req,
+                                             std::chrono::milliseconds timeout);
+
+ private:
+  /// Reads whatever arrives within `budget`, decoding frames into ready_.
+  /// False = nothing arrived in time.
+  bool pump(std::chrono::milliseconds budget);
+
+  int fd_ = -1;
+  std::uint64_t next_id_ = 0;
+  FrameDecoder decoder_{kDefaultMaxBodyBytes};
+  std::unordered_map<std::uint64_t, Reply> ready_;
+  /// A request-id-0 error frame: the server lost frame sync; every wait
+  /// from here on returns this diagnostic.
+  std::optional<WireError> fatal_;
+};
+
+}  // namespace parma::net

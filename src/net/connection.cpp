@@ -1,0 +1,183 @@
+#include "net/connection.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <utility>
+
+namespace parma::net {
+namespace {
+
+/// Read burst size: one kernel-buffer drain per readable event.
+constexpr std::size_t kReadChunk = 64 * 1024;
+/// writev gather width: frames coalesced per flush syscall.
+constexpr int kMaxIov = 8;
+
+}  // namespace
+
+Connection::Connection(int fd, int wake_fd, std::string peer,
+                       std::uint32_t max_body_bytes, std::size_t max_inflight)
+    : fd_(fd),
+      wake_fd_(wake_fd),
+      peer_(std::move(peer)),
+      max_inflight_(max_inflight),
+      decoder_(max_body_bytes) {}
+
+Connection::~Connection() { ::close(fd_); }
+
+short Connection::poll_events() const {
+  short events = 0;
+  std::lock_guard lock(mu_);
+  if (reading_ && in_flight_ < max_inflight_) events |= POLLIN;
+  if (!outbox_.empty()) events |= POLLOUT;
+  return events;
+}
+
+Connection::IoResult Connection::handle_readable(
+    const std::function<void(WireRequest&&)>& on_request) {
+  std::uint8_t chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      decoder_.feed(chunk, static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < sizeof chunk) break;
+      continue;
+    }
+    if (n == 0) return IoResult::kClose;  // peer closed; in-flight work is moot
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return IoResult::kClose;
+  }
+
+  Frame frame;
+  for (;;) {
+    const FrameDecoder::Result r = decoder_.next(frame);
+    if (r == FrameDecoder::Result::kNeedMore) return IoResult::kKeep;
+    if (r == FrameDecoder::Result::kError) {
+      // The stream has lost frame sync: answer with the typed diagnostic,
+      // stop reading, and cancel what the peer still had in flight. The
+      // connection drains write-only until finished().
+      WireError err;
+      err.request_id = decoder_.error_request_id();
+      err.code = decoder_.error().code;
+      err.message = decoder_.error().message;
+      enqueue(encode_error(err));
+      reading_ = false;
+      close_after_flush_ = true;
+      cancel_all();
+      return IoResult::kProtocolError;
+    }
+    if (frame.type == FrameType::kRequest && frame.request) {
+      on_request(std::move(*frame.request));
+      continue;
+    }
+    // A client has no business sending response/error frames; treat it as a
+    // protocol violation rather than silently ignoring desynced traffic.
+    WireError err;
+    err.code = ProtoCode::kBadFrameType;
+    err.message = "server accepts only request frames";
+    enqueue(encode_error(err));
+    reading_ = false;
+    close_after_flush_ = true;
+    cancel_all();
+    return IoResult::kProtocolError;
+  }
+}
+
+Connection::IoResult Connection::handle_writable() {
+  for (;;) {
+    iovec iov[kMaxIov];
+    int iov_count = 0;
+    {
+      std::lock_guard lock(mu_);
+      std::size_t offset = front_offset_;
+      for (auto it = outbox_.begin(); it != outbox_.end() && iov_count < kMaxIov;
+           ++it) {
+        iov[iov_count].iov_base = const_cast<std::uint8_t*>(it->data()) + offset;
+        iov[iov_count].iov_len = it->size() - offset;
+        ++iov_count;
+        offset = 0;
+      }
+    }
+    if (iov_count == 0) return IoResult::kKeep;
+
+    // The gathered buffers stay valid outside the lock: only the I/O thread
+    // pops, and deque push_back never invalidates existing elements.
+    const ssize_t n = ::writev(fd_, iov, iov_count);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kKeep;
+      if (errno == EINTR) continue;
+      return IoResult::kClose;  // EPIPE/ECONNRESET: peer is gone
+    }
+
+    std::lock_guard lock(mu_);
+    std::size_t written = static_cast<std::size_t>(n);
+    while (written > 0 && !outbox_.empty()) {
+      const std::size_t remaining = outbox_.front().size() - front_offset_;
+      if (written >= remaining) {
+        written -= remaining;
+        outbox_.pop_front();
+        front_offset_ = 0;
+      } else {
+        front_offset_ += written;
+        written = 0;
+      }
+    }
+    if (outbox_.empty()) return IoResult::kKeep;
+  }
+}
+
+bool Connection::finished() const {
+  std::lock_guard lock(mu_);
+  return close_after_flush_ && outbox_.empty() && in_flight_ == 0;
+}
+
+void Connection::enqueue(std::vector<std::uint8_t> frame) {
+  {
+    std::lock_guard lock(mu_);
+    outbox_.push_back(std::move(frame));
+  }
+  wake();
+}
+
+void Connection::begin_request(std::uint64_t /*request_id*/) {
+  std::lock_guard lock(mu_);
+  ++in_flight_;
+}
+
+void Connection::track(std::uint64_t request_id, serve::ExternalTicket ticket) {
+  std::lock_guard lock(mu_);
+  tickets_.insert_or_assign(request_id, std::move(ticket));
+}
+
+void Connection::settle(std::uint64_t request_id) {
+  {
+    std::lock_guard lock(mu_);
+    tickets_.erase(request_id);
+    if (in_flight_ > 0) --in_flight_;
+  }
+  // Settling may reopen POLLIN (the in-flight cap gained a slot), and the
+  // usual wake via enqueue() does not happen when the response was dropped.
+  wake();
+}
+
+void Connection::cancel_all() {
+  std::lock_guard lock(mu_);
+  for (auto& [id, ticket] : tickets_) ticket.cancel();
+}
+
+std::size_t Connection::in_flight() const {
+  std::lock_guard lock(mu_);
+  return in_flight_;
+}
+
+void Connection::wake() const {
+  const std::uint8_t byte = 0;
+  // Best effort: EAGAIN means the pipe already holds a pending wake.
+  [[maybe_unused]] const ssize_t n = ::write(wake_fd_, &byte, 1);
+}
+
+}  // namespace parma::net

@@ -1,0 +1,297 @@
+#include "net/listener.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "async/event.hpp"
+#include "common/require.hpp"
+
+namespace parma::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  PARMA_REQUIRE(flags >= 0, "fcntl(F_GETFL) failed");
+  PARMA_REQUIRE(::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "fcntl(F_SETFL, O_NONBLOCK) failed");
+}
+
+std::string describe_peer(const sockaddr_in& addr) {
+  char host[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof host);
+  return std::string(host) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+}  // namespace
+
+Listener::Listener(serve::Server& server, ListenerOptions options)
+    : server_(server), options_(std::move(options)) {}
+
+Listener::~Listener() { stop(); }
+
+void Listener::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  PARMA_REQUIRE(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  PARMA_REQUIRE(::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
+                "listener host is not a valid IPv4 address: " + options_.host);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    PARMA_REQUIRE(false, "bind(" + options_.host + ":" +
+                             std::to_string(options_.port) +
+                             ") failed: " + std::strerror(err));
+  }
+  PARMA_REQUIRE(::listen(listen_fd_, options_.backlog) == 0, "listen() failed");
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof bound;
+  PARMA_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                              &bound_len) == 0,
+                "getsockname() failed");
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  PARMA_REQUIRE(::pipe(pipe_fds) == 0, "pipe() failed");
+  wake_read_fd_ = pipe_fds[0];
+  wake_write_fd_ = pipe_fds[1];
+  set_nonblocking(wake_read_fd_);
+  set_nonblocking(wake_write_fd_);
+
+  stop_requested_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  io_thread_ = std::thread([this] { io_loop(); });
+}
+
+void Listener::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+
+  stop_requested_.store(true, std::memory_order_release);
+  const std::uint8_t byte = 0;
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  io_thread_.join();
+
+  // The loop is down; cancel what the peers still had in flight so the
+  // pipeline completes those chains promptly (kCancelled), then wait for
+  // every completion chain. Connections stay alive through the join --
+  // straggler completions enqueue into outboxes nobody will flush, which is
+  // exactly the "client is gone" contract.
+  {
+    std::lock_guard lock(conns_mu_);
+    for (auto& [fd, conn] : conns_) conn->cancel_all();
+  }
+  scope_.join();
+  {
+    std::lock_guard lock(conns_mu_);
+    conns_.clear();
+  }
+
+  ::close(listen_fd_);
+  ::close(wake_read_fd_);
+  ::close(wake_write_fd_);
+  listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
+}
+
+std::size_t Listener::connection_count() const {
+  std::lock_guard lock(conns_mu_);
+  return conns_.size();
+}
+
+ListenerCounters Listener::counters() const {
+  ListenerCounters c;
+  c.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  c.requests_admitted = requests_admitted_.load(std::memory_order_relaxed);
+  c.responses_enqueued = responses_enqueued_.load(std::memory_order_relaxed);
+  c.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
+  c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  c.disconnects = disconnects_.load(std::memory_order_relaxed);
+  return c;
+}
+
+void Listener::io_loop() {
+  std::vector<pollfd> fds;
+  std::vector<std::shared_ptr<Connection>> polled;
+
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    polled.clear();
+    fds.push_back({wake_read_fd_, POLLIN, 0});
+    {
+      std::lock_guard lock(conns_mu_);
+      const bool accepting = conns_.size() < options_.max_connections;
+      fds.push_back({listen_fd_, static_cast<short>(accepting ? POLLIN : 0), 0});
+      for (auto& [fd, conn] : conns_) {
+        fds.push_back({fd, conn->poll_events(), 0});
+        polled.push_back(conn);
+      }
+    }
+
+    const int ready = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;  // unrecoverable poll failure; stop() still joins cleanly
+    }
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+
+    if (fds[0].revents & POLLIN) {
+      std::uint8_t drain[256];
+      while (::read(wake_read_fd_, drain, sizeof drain) > 0) {
+      }
+    }
+    if (fds[1].revents & POLLIN) accept_ready();
+
+    for (std::size_t i = 0; i < polled.size(); ++i) {
+      const pollfd& pfd = fds[i + 2];
+      const std::shared_ptr<Connection>& conn = polled[i];
+      Connection::IoResult result = Connection::IoResult::kKeep;
+
+      // Read first: POLLHUP often arrives with final bytes still buffered,
+      // and the read pass reports the EOF itself.
+      if (pfd.revents & POLLIN) {
+        result = conn->handle_readable(
+            [this, &conn](WireRequest&& wire) { handle_request(conn, std::move(wire)); });
+      }
+      if (result != Connection::IoResult::kClose && (pfd.revents & POLLOUT)) {
+        const Connection::IoResult w = conn->handle_writable();
+        if (result == Connection::IoResult::kKeep) result = w;
+      }
+      if (result == Connection::IoResult::kKeep &&
+          (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (pfd.revents & POLLIN) == 0) {
+        result = Connection::IoResult::kClose;
+      }
+
+      if (result == Connection::IoResult::kProtocolError) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      } else if (result == Connection::IoResult::kClose) {
+        teardown(conn->fd(), /*protocol_error=*/false);
+        continue;
+      }
+      // A poisoned connection lingers write-only until its error frame and
+      // straggler responses have flushed, then closes.
+      if (conn->finished()) teardown(conn->fd(), /*protocol_error=*/true);
+    }
+  }
+}
+
+void Listener::accept_ready() {
+  for (;;) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof addr;
+    const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the loop will try again
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+    auto conn = std::make_shared<Connection>(
+        fd, wake_write_fd_, describe_peer(addr), options_.max_body_bytes,
+        options_.max_inflight_per_connection);
+    {
+      std::lock_guard lock(conns_mu_);
+      if (conns_.size() >= options_.max_connections) {
+        // Raced past the pre-poll capacity check; shed the newcomer.
+        continue;  // conn destructor closes fd
+      }
+      conns_.emplace(fd, std::move(conn));
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Listener::handle_request(const std::shared_ptr<Connection>& conn,
+                              WireRequest&& wire) {
+  const std::uint64_t id = wire.request_id;
+  conn->begin_request(id);
+
+  // The readiness-event bridge: the pipeline completes by firing the event
+  // (any thread), the spawned chain encodes and queues the response. The
+  // chain is spawned before admission so an inline rejection finds the
+  // continuation already parked and completes it synchronously right here.
+  auto event = std::make_shared<async::Event<serve::ParametrizeResult>>();
+  std::weak_ptr<Connection> weak = conn;
+  scope_.spawn(event->task().then(
+      [this, weak, id](serve::ParametrizeResult&& result) {
+        const std::shared_ptr<Connection> live = weak.lock();
+        if (!live) {
+          // Peer disconnected while the request was in the pipeline; the
+          // completion has nowhere to go.
+          responses_dropped_.fetch_add(1, std::memory_order_relaxed);
+          return async::Unit{};
+        }
+        // Counted before the enqueue: the outbox lock and the socket then
+        // order the increment ahead of the peer ever seeing the reply.
+        responses_enqueued_.fetch_add(1, std::memory_order_relaxed);
+        live->enqueue(encode_response(WireResponse::from_result(id, result)));
+        live->settle(id);
+        return async::Unit{};
+      }));
+
+  serve::ParametrizeRequest request;
+  try {
+    request = wire.to_request();
+  } catch (const std::exception& e) {
+    // The decoder vouched for the shape, so this is resource exhaustion or a
+    // payload/shape contract the serve layer rejects harder than the wire
+    // format does; complete the already-spawned chain with a rejection.
+    serve::ParametrizeResult reject;
+    reject.status = serve::RequestStatus::kInvalidInput;
+    reject.message = e.what();
+    event->fire_value(std::move(reject));
+    return;
+  }
+
+  serve::ExternalTicket ticket = server_.submit_external(
+      std::move(request),
+      [event](serve::ParametrizeResult&& result) {
+        event->fire_value(std::move(result));
+      });
+  if (ticket.accepted()) {
+    requests_admitted_.fetch_add(1, std::memory_order_relaxed);
+    conn->track(id, std::move(ticket));
+  }
+}
+
+void Listener::teardown(int fd, bool protocol_error) {
+  std::shared_ptr<Connection> conn;
+  {
+    std::lock_guard lock(conns_mu_);
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    conn = std::move(it->second);
+    conns_.erase(it);
+  }
+  if (!protocol_error) {
+    // Abrupt disconnect: whatever the peer still has in the pipeline is
+    // cancelled so it stops consuming solver time. (The protocol-error path
+    // already cancelled at poisoning time.)
+    conn->cancel_all();
+  }
+  disconnects_.fetch_add(1, std::memory_order_relaxed);
+  // `conn` drops here; in-flight completions hold weak_ptrs and will find
+  // them expired. The destructor closes the fd.
+}
+
+}  // namespace parma::net

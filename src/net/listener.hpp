@@ -1,0 +1,118 @@
+// parma::net::Listener -- the async TCP front of serve::Server.
+//
+// One dedicated I/O thread runs a poll(2) readiness loop over a
+// non-blocking listening socket, a self-pipe (so pipeline threads can nudge
+// the loop when they queue output), and every accepted connection. The loop
+// never blocks on a peer and never computes: each decoded request frame is
+// bridged into the serving pipeline as a sender source --
+//
+//   frame -> async::Event::fire  (Server::submit_external completion)
+//   event.task().then(encode + enqueue on the connection's outbox)
+//
+// -- with the chain spawned into a listener-owned AsyncScope. The chain
+// holds only a weak_ptr to its connection, so a peer that disconnects
+// mid-solve costs nothing: its in-flight requests are cancelled (they
+// complete kCancelled at the next pipeline checkpoint) and any completion
+// that still fires finds the weak_ptr expired and drops the response.
+//
+// Lifecycle: start() binds/listens and spawns the I/O thread; stop() wakes
+// the loop, joins the thread, cancels every in-flight request, then joins
+// the scope -- no completion can outlive the listener. Stop the listener
+// BEFORE shutting the server down: the scope join needs the pipeline alive
+// to finish the cancelled chains.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "async/async_scope.hpp"
+#include "net/connection.hpp"
+#include "net/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace parma::net {
+
+struct ListenerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; port() reports the bound port
+  int backlog = 64;
+  std::uint32_t max_body_bytes = kDefaultMaxBodyBytes;
+  /// Read-side backpressure: POLLIN is withdrawn from a connection at this
+  /// many unanswered requests, closing the peer's TCP window instead of
+  /// flooding the admission queue.
+  std::size_t max_inflight_per_connection = 32;
+  std::size_t max_connections = 64;
+};
+
+/// Monotonic transport counters (diagnostics / tests).
+struct ListenerCounters {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t requests_admitted = 0;
+  std::uint64_t responses_enqueued = 0;
+  std::uint64_t responses_dropped = 0;  ///< completion found its peer gone
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t disconnects = 0;
+};
+
+class Listener {
+ public:
+  /// The server must outlive the listener.
+  explicit Listener(serve::Server& server, ListenerOptions options = {});
+  ~Listener();  // stop()
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds, listens, and spawns the I/O thread. Throws ContractError when
+  /// the address cannot be bound. No-op when already running.
+  void start();
+
+  /// Stops accepting, tears every connection down (cancelling its in-flight
+  /// requests), and joins the I/O thread and the completion scope.
+  /// Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (valid after start(); resolves port 0 requests).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] std::size_t connection_count() const;
+  [[nodiscard]] ListenerCounters counters() const;
+
+ private:
+  void io_loop();
+  void accept_ready();
+  /// Admission of one decoded frame: begin/track on the connection, bridge
+  /// the completion through an Event into the response chain.
+  void handle_request(const std::shared_ptr<Connection>& conn, WireRequest&& wire);
+  void teardown(int fd, bool protocol_error);
+
+  serve::Server& server_;
+  const ListenerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread io_thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+
+  mutable std::mutex conns_mu_;
+  std::unordered_map<int, std::shared_ptr<Connection>> conns_;
+
+  async::AsyncScope scope_;
+
+  std::atomic<std::uint64_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> requests_admitted_{0};
+  std::atomic<std::uint64_t> responses_enqueued_{0};
+  std::atomic<std::uint64_t> responses_dropped_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> disconnects_{0};
+};
+
+}  // namespace parma::net

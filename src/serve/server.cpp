@@ -96,6 +96,10 @@ void Ticket::cancel() {
   if (pending_) pending_->cancelled.store(true, std::memory_order_relaxed);
 }
 
+void ExternalTicket::cancel() {
+  if (pending_) pending_->cancelled.store(true, std::memory_order_relaxed);
+}
+
 // ---------------------------------------------------------------------------
 // Chain context types.
 
@@ -176,10 +180,40 @@ Ticket Server::submit(ParametrizeRequest request, std::chrono::milliseconds time
   return admit(std::move(request), /*blocking=*/true, timeout);
 }
 
+ExternalTicket Server::submit_external(
+    ParametrizeRequest request, std::function<void(ParametrizeResult&&)> on_complete) {
+  PARMA_REQUIRE(on_complete != nullptr, "submit_external needs a completion callback");
+  // Non-blocking by contract: the caller is a transport I/O loop, and the
+  // bounded queue's backpressure must surface as an immediate rejection the
+  // peer can see, not as a stalled socket reader.
+  Ticket ticket = admit(std::move(request), /*blocking=*/false,
+                        std::chrono::milliseconds{0}, std::move(on_complete));
+  ExternalTicket external;
+  external.admission_ = ticket.admission_;
+  external.pending_ = std::move(ticket.pending_);
+  return external;
+}
+
 Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
-                     std::chrono::milliseconds timeout) {
+                     std::chrono::milliseconds timeout,
+                     std::function<void(ParametrizeResult&&)> on_complete) {
   stats_.on_submitted();
   Ticket ticket;
+
+  // Callback-completing admissions never touch a promise: every rejection
+  // path below funnels through this helper, and accepted requests complete
+  // through PendingRequest::on_complete inside complete().
+  const auto reject_now = [&ticket, &on_complete](SubmitStatus admission,
+                                                  ParametrizeResult&& result) {
+    ticket.admission_ = admission;
+    if (on_complete) {
+      on_complete(std::move(result));
+    } else {
+      std::promise<ParametrizeResult> promise;
+      ticket.future_ = promise.get_future();
+      promise.set_value(std::move(result));
+    }
+  };
 
   // Admission-time validation -- the single validation the request ever
   // gets; the pipeline hot path (Engine::form_equations overload) skips it.
@@ -212,12 +246,9 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
   }
   if (!invalid.empty()) {
     stats_.on_rejected_invalid();
-    std::promise<ParametrizeResult> promise;
-    ticket.future_ = promise.get_future();
-    ticket.admission_ = SubmitStatus::kInvalidOptions;
     ParametrizeResult reject = make_reject(std::move(invalid));
     if (bad_payload) reject.status = RequestStatus::kInvalidInput;
-    promise.set_value(std::move(reject));
+    reject_now(SubmitStatus::kInvalidOptions, std::move(reject));
     return ticket;
   }
 
@@ -225,35 +256,50 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
   // to see queue pressure even from high-priority traffic), sheds only kLow.
   if (should_shed(request.priority)) {
     stats_.on_rejected_load_shed();
-    std::promise<ParametrizeResult> promise;
-    ticket.future_ = promise.get_future();
-    ticket.admission_ = SubmitStatus::kLoadShed;
-    promise.set_value(
-        make_reject("degraded mode: low-priority request shed at admission"));
+    reject_now(SubmitStatus::kLoadShed,
+               make_reject("degraded mode: low-priority request shed at admission"));
     return ticket;
   }
 
   auto pending = std::make_shared<detail::PendingRequest>();
   pending->request = std::move(request);
+  pending->on_complete = std::move(on_complete);
   pending->enqueued_at = Clock::now();
   if (pending->request.timeout) {
     pending->deadline = pending->enqueued_at + *pending->request.timeout;
   } else if (policy_.default_deadline) {
     pending->deadline = pending->enqueued_at + *policy_.default_deadline;
   }
-  ticket.future_ = pending->promise.get_future();
+  if (!pending->on_complete) ticket.future_ = pending->promise.get_future();
 
+  // Rejection after `pending` exists: the promise (or callback) lives there
+  // now, so the outcome must flow through it. Runs outside state_mu_ -- a
+  // transport completion callback may re-enter the server.
+  const auto deliver = [](const std::shared_ptr<detail::PendingRequest>& p,
+                          ParametrizeResult&& result) {
+    if (p->on_complete) {
+      p->on_complete(std::move(result));
+    } else {
+      p->promise.set_value(std::move(result));
+    }
+  };
+
+  bool closed_at_admission = false;
   {
     std::lock_guard lock(state_mu_);
     if (!accepting_ || shut_down_) {
-      stats_.on_rejected_shutting_down();
-      ticket.admission_ = SubmitStatus::kShuttingDown;
-      pending->promise.set_value(make_reject("server is shutting down"));
-      return ticket;
+      closed_at_admission = true;
+    } else {
+      // Counted before the push so drain() cannot observe a zero-outstanding
+      // instant between admission and enqueue.
+      ++outstanding_;
     }
-    // Counted before the push so drain() cannot observe a zero-outstanding
-    // instant between admission and enqueue.
-    ++outstanding_;
+  }
+  if (closed_at_admission) {
+    stats_.on_rejected_shutting_down();
+    ticket.admission_ = SubmitStatus::kShuttingDown;
+    deliver(pending, make_reject("server is shutting down"));
+    return ticket;
   }
 
   const bool pushed =
@@ -271,8 +317,8 @@ Ticket Server::admit(ParametrizeRequest&& request, bool blocking,
       stats_.on_rejected_queue_full();
     }
     ticket.admission_ = closed ? SubmitStatus::kShuttingDown : SubmitStatus::kQueueFull;
-    pending->promise.set_value(
-        make_reject(closed ? "server is shutting down" : "admission queue full"));
+    deliver(pending, make_reject(closed ? "server is shutting down"
+                                        : "admission queue full"));
     return ticket;
   }
 
@@ -823,7 +869,11 @@ void Server::complete(const PendingPtr& pending, ParametrizeResult&& result) {
                       result.quality.outlier_entries, result.quality.numerical_breakdown);
   }
   stats_.end_to_end.record(seconds_between(pending->enqueued_at, Clock::now()));
-  pending->promise.set_value(std::move(result));
+  if (pending->on_complete) {
+    pending->on_complete(std::move(result));
+  } else {
+    pending->promise.set_value(std::move(result));
+  }
   std::lock_guard lock(state_mu_);
   --outstanding_;
   if (outstanding_ == 0) all_done_.notify_all();

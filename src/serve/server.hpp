@@ -140,6 +140,10 @@ namespace detail {
 struct PendingRequest {
   ParametrizeRequest request;
   std::promise<ParametrizeResult> promise;
+  /// Externally-transported requests (submit_external) complete through this
+  /// callback instead of the promise; invoked exactly once, on a pipeline
+  /// thread.
+  std::function<void(ParametrizeResult&&)> on_complete;
   std::atomic<bool> cancelled{false};
   std::optional<Clock::time_point> deadline;
   Clock::time_point enqueued_at{};
@@ -173,6 +177,28 @@ class Ticket {
   std::shared_ptr<detail::PendingRequest> pending_;
 };
 
+/// Handle to one externally-transported submission (submit_external): the
+/// admission verdict plus best-effort cancellation. No future -- completion
+/// arrives through the callback the transport supplied, so a dead client's
+/// connection teardown can cancel everything it had in flight and the
+/// dispatcher never blocks on a peer that stopped reading.
+class ExternalTicket {
+ public:
+  ExternalTicket() = default;
+
+  [[nodiscard]] SubmitStatus admission() const { return admission_; }
+  [[nodiscard]] bool accepted() const { return admission_ == SubmitStatus::kAccepted; }
+
+  /// Same semantics as Ticket::cancel(): a request still queued (or between
+  /// stages) completes kCancelled; one past its solve completes kOk.
+  void cancel();
+
+ private:
+  friend class Server;
+  SubmitStatus admission_ = SubmitStatus::kShuttingDown;
+  std::shared_ptr<detail::PendingRequest> pending_;
+};
+
 class Server {
  public:
   explicit Server(ServerOptions options = {});
@@ -193,6 +219,16 @@ class Server {
   /// up with kQueueFull.
   [[nodiscard]] Ticket submit(ParametrizeRequest request,
                               std::chrono::milliseconds timeout);
+
+  /// Non-blocking admission for externally-transported (already decoded)
+  /// frames: identical validation/shedding/queue path to try_submit, but the
+  /// result is delivered by invoking `on_complete` exactly once instead of
+  /// through a future. Accepted requests complete on a pipeline thread;
+  /// rejections invoke the callback inline, before this returns, so the
+  /// transport can answer backpressure (kQueueFull and friends) immediately
+  /// without ever blocking its I/O loop. The callback must not block.
+  [[nodiscard]] ExternalTicket submit_external(
+      ParametrizeRequest request, std::function<void(ParametrizeResult&&)> on_complete);
 
   /// Stops admission (subsequent submissions come back kShuttingDown),
   /// expedites pending retry backoffs (a request sleeping toward its next
@@ -256,7 +292,8 @@ class Server {
   using StatePtr = std::shared_ptr<AttemptState>;
 
   Ticket admit(ParametrizeRequest&& request, bool blocking,
-               std::chrono::milliseconds timeout);
+               std::chrono::milliseconds timeout,
+               std::function<void(ParametrizeResult&&)> on_complete = nullptr);
   /// Degraded-mode bookkeeping at admission; true when a kLow-priority
   /// request must be shed right now.
   bool should_shed(Priority priority);

@@ -31,4 +31,57 @@ std::string to_string(RequestStatus status) { return request_status_name(status)
 
 std::string to_string(SubmitStatus status) { return submit_status_name(status); }
 
+std::uint16_t status_wire_code(RequestStatus status) {
+  // Explicit codes, never enum ordering: the wire contract survives enum
+  // reshuffles. 1xx block = terminal request statuses.
+  switch (status) {
+    case RequestStatus::kOk: return 100;
+    case RequestStatus::kDeadlineExceeded: return 101;
+    case RequestStatus::kCancelled: return 102;
+    case RequestStatus::kRejected: return 103;
+    case RequestStatus::kSolverFailed: return 104;
+    case RequestStatus::kInvalidInput: return 105;
+    case RequestStatus::kBreakerOpen: return 106;
+    case RequestStatus::kDegradedResult: return 107;
+  }
+  return 0;
+}
+
+std::uint16_t status_wire_code(SubmitStatus status) {
+  // 2xx block = admission verdicts.
+  switch (status) {
+    case SubmitStatus::kAccepted: return 200;
+    case SubmitStatus::kQueueFull: return 201;
+    case SubmitStatus::kShuttingDown: return 202;
+    case SubmitStatus::kInvalidOptions: return 203;
+    case SubmitStatus::kLoadShed: return 204;
+  }
+  return 0;
+}
+
+std::optional<RequestStatus> request_status_from_wire(std::uint16_t code) {
+  switch (code) {
+    case 100: return RequestStatus::kOk;
+    case 101: return RequestStatus::kDeadlineExceeded;
+    case 102: return RequestStatus::kCancelled;
+    case 103: return RequestStatus::kRejected;
+    case 104: return RequestStatus::kSolverFailed;
+    case 105: return RequestStatus::kInvalidInput;
+    case 106: return RequestStatus::kBreakerOpen;
+    case 107: return RequestStatus::kDegradedResult;
+    default: return std::nullopt;
+  }
+}
+
+std::optional<SubmitStatus> submit_status_from_wire(std::uint16_t code) {
+  switch (code) {
+    case 200: return SubmitStatus::kAccepted;
+    case 201: return SubmitStatus::kQueueFull;
+    case 202: return SubmitStatus::kShuttingDown;
+    case 203: return SubmitStatus::kInvalidOptions;
+    case 204: return SubmitStatus::kLoadShed;
+    default: return std::nullopt;
+  }
+}
+
 }  // namespace parma::serve

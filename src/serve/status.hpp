@@ -5,6 +5,8 @@
 // header without dragging in the whole request/engine/solver stack.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 namespace parma::serve {
@@ -41,5 +43,25 @@ const char* submit_status_name(SubmitStatus status);
 /// std::string conveniences over the *_name functions.
 std::string to_string(RequestStatus status);
 std::string to_string(SubmitStatus status);
+
+// --- Wire codes -----------------------------------------------------------
+//
+// Stable numeric codes for transporting statuses between processes (the
+// src/net binary protocol, log shippers, dashboards). The codes are part of
+// the wire contract: they are assigned explicitly, never from enum ordering,
+// so reordering or extending the enums cannot silently change what a remote
+// peer decodes. New statuses get fresh codes; existing codes are never
+// reused. Exhaustive-switch tests in test_serve enforce the round-trip.
+
+/// Stable wire code of a terminal request status (1xx block).
+[[nodiscard]] std::uint16_t status_wire_code(RequestStatus status);
+
+/// Stable wire code of an admission verdict (2xx block).
+[[nodiscard]] std::uint16_t status_wire_code(SubmitStatus status);
+
+/// Inverse mapping; nullopt for codes this build does not know (a newer
+/// peer's status degrades to "unknown", never to a misdecoded enum).
+[[nodiscard]] std::optional<RequestStatus> request_status_from_wire(std::uint16_t code);
+[[nodiscard]] std::optional<SubmitStatus> submit_status_from_wire(std::uint16_t code);
 
 }  // namespace parma::serve

@@ -20,6 +20,7 @@
 #include "async/adaptors.hpp"
 #include "async/async_scope.hpp"
 #include "async/breaker.hpp"
+#include "async/event.hpp"
 #include "async/retry.hpp"
 #include "async/scheduler.hpp"
 #include "async/task.hpp"
@@ -384,6 +385,55 @@ TEST(AsyncAdaptors, InstrumentMeasuresTheWrappedTaskOnly) {
   ASSERT_TRUE(r.ok());
   EXPECT_GE(seconds, 0.009);
   EXPECT_LT(seconds, 5.0);
+}
+
+// ------------------------------------------------------------------- Event
+
+TEST(AsyncEvent, FireBeforeStartDeliversStashedValue) {
+  async::Event<int> event;
+  event.fire_value(42);
+  EXPECT_TRUE(event.fired());
+  Try<int> r = async::sync_wait(event.task().then([](int x) { return x + 1; }));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.get(), 43);
+}
+
+TEST(AsyncEvent, StartBeforeFireParksTheContinuation) {
+  async::Event<std::string> event;
+  std::promise<std::string> delivered;
+  async::AsyncScope scope;
+  scope.spawn(event.task().then(
+      [&delivered](std::string s) { delivered.set_value(std::move(s)); }));
+  // Nothing runs until the readiness event fires.
+  auto fut = delivered.get_future();
+  EXPECT_EQ(fut.wait_for(5ms), std::future_status::timeout);
+  event.fire_value("frame");
+  EXPECT_EQ(fut.get(), "frame");
+  scope.join();
+}
+
+TEST(AsyncEvent, ErrorOutcomePropagatesThroughTheChain) {
+  async::Event<int> event;
+  event.fire_error(std::make_exception_ptr(std::runtime_error("peer gone")));
+  Try<int> r = async::sync_wait(event.task());
+  EXPECT_FALSE(r.ok());
+  EXPECT_THROW(r.get(), std::runtime_error);
+}
+
+TEST(AsyncEvent, CrossThreadFireCompletesChainOnFiringThread) {
+  // The I/O-loop shape: the chain is spawned first, a foreign thread fires
+  // later, and the continuation runs without any scheduler involved.
+  async::Event<int> event;
+  std::atomic<int> seen{0};
+  async::AsyncScope scope;
+  scope.spawn(event.task().then([&seen](int v) { seen.store(v); }));
+  std::thread firer([&event] {
+    std::this_thread::sleep_for(2ms);
+    event.fire_value(7);
+  });
+  firer.join();
+  scope.join();
+  EXPECT_EQ(seen.load(), 7);
 }
 
 // -------------------------------------------------------------- AsyncScope

@@ -104,6 +104,65 @@ TEST(Serve, StatusToStringIsExhaustive) {
   }
 }
 
+TEST(Serve, StatusWireCodesRoundTrip) {
+  // Wire codes are a cross-process contract: every status must map to a
+  // stable nonzero code, distinct within its block, and decode back to
+  // itself. The switches have no default, so a new enumerator that is not
+  // given a code trips -Wswitch here at compile time.
+  const auto check_request = [](RequestStatus s) {
+    switch (s) {
+      case RequestStatus::kOk:
+      case RequestStatus::kDeadlineExceeded:
+      case RequestStatus::kCancelled:
+      case RequestStatus::kRejected:
+      case RequestStatus::kSolverFailed:
+      case RequestStatus::kInvalidInput:
+      case RequestStatus::kBreakerOpen:
+      case RequestStatus::kDegradedResult: {
+        const std::uint16_t code = status_wire_code(s);
+        EXPECT_GE(code, 100) << request_status_name(s);
+        EXPECT_LT(code, 200) << request_status_name(s);
+        const auto back = request_status_from_wire(code);
+        ASSERT_TRUE(back.has_value()) << request_status_name(s);
+        EXPECT_EQ(*back, s);
+        return;
+      }
+    }
+    ADD_FAILURE() << "RequestStatus without wire code " << static_cast<int>(s);
+  };
+  for (int v = 0; v <= static_cast<int>(RequestStatus::kDegradedResult); ++v) {
+    check_request(static_cast<RequestStatus>(v));
+  }
+
+  const auto check_submit = [](SubmitStatus s) {
+    switch (s) {
+      case SubmitStatus::kAccepted:
+      case SubmitStatus::kQueueFull:
+      case SubmitStatus::kShuttingDown:
+      case SubmitStatus::kInvalidOptions:
+      case SubmitStatus::kLoadShed: {
+        const std::uint16_t code = status_wire_code(s);
+        EXPECT_GE(code, 200) << submit_status_name(s);
+        EXPECT_LT(code, 300) << submit_status_name(s);
+        const auto back = submit_status_from_wire(code);
+        ASSERT_TRUE(back.has_value()) << submit_status_name(s);
+        EXPECT_EQ(*back, s);
+        return;
+      }
+    }
+    ADD_FAILURE() << "SubmitStatus without wire code " << static_cast<int>(s);
+  };
+  for (int v = 0; v <= static_cast<int>(SubmitStatus::kLoadShed); ++v) {
+    check_submit(static_cast<SubmitStatus>(v));
+  }
+
+  // Unknown codes degrade to nullopt, never to a misdecoded enum.
+  EXPECT_FALSE(request_status_from_wire(0).has_value());
+  EXPECT_FALSE(request_status_from_wire(199).has_value());
+  EXPECT_FALSE(submit_status_from_wire(0).has_value());
+  EXPECT_FALSE(submit_status_from_wire(299).has_value());
+}
+
 TEST(Serve, ServerOptionsValidate) {
   ServerOptions bad;
   bad.queue_capacity = 0;
