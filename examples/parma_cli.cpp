@@ -15,10 +15,10 @@
 //   parma_cli serve-bench [--requests r] [--shapes 6,8,10] [--workers k]
 //                         [--queue q] [--batch b] [--seed s]
 //       drive a serve::Server with synthetic requests and print its stats
-//   parma_cli serve-net --listen <host:port|port> [--workers k] [--queue q]
-//                       [--batch b]
+//   parma_cli serve-net --listen <host:port|[v6]:port|port> [--workers k]
+//                       [--queue q] [--batch b]
 //       serve parametrization requests over TCP until stdin closes
-//   parma_cli serve-net --connect <host:port|port> [--requests r]
+//   parma_cli serve-net --connect <host:port|[v6]:port|port> [--requests r]
 //                       [--shapes 6,8,10] [--seed s]
 //       drive a remote serve-net listener with synthetic requests
 //
@@ -74,9 +74,9 @@ int usage() {
                "  parma_cli render <measurement.txt> <out.pgm> [--scale s]\n"
                "  parma_cli serve-bench [--requests r] [--shapes 6,8,10]"
                " [--workers k] [--queue q] [--batch b] [--seed s]\n"
-               "  parma_cli serve-net --listen <host:port|port> [--workers k]"
+               "  parma_cli serve-net --listen <host:port|[v6]:port|port> [--workers k]"
                " [--queue q] [--batch b]\n"
-               "  parma_cli serve-net --connect <host:port|port> [--requests r]"
+               "  parma_cli serve-net --connect <host:port|[v6]:port|port> [--requests r]"
                " [--shapes 6,8,10] [--seed s]\n";
   return 1;
 }
@@ -292,11 +292,25 @@ int cmd_serve_bench(const Args& args) {
   return 0;
 }
 
-/// "host:port" or bare "port" (host defaults to 127.0.0.1).
+/// "host:port", "[v6host]:port", or bare "port" (host defaults to
+/// 127.0.0.1). IPv6 literals need the brackets: "::1:5555" is ambiguous,
+/// "[::1]:5555" is not.
 std::pair<std::string, std::uint16_t> parse_endpoint(const std::string& spec) {
-  const std::size_t colon = spec.rfind(':');
-  const std::string host = colon == std::string::npos ? "127.0.0.1" : spec.substr(0, colon);
-  const std::string port_str = colon == std::string::npos ? spec : spec.substr(colon + 1);
+  std::string host = "127.0.0.1";
+  std::string port_str = spec;
+  if (!spec.empty() && spec.front() == '[') {
+    const std::size_t close = spec.find(']');
+    PARMA_REQUIRE(close != std::string::npos && close + 1 < spec.size() &&
+                      spec[close + 1] == ':',
+                  "serve-net: bracketed endpoints look like [host]:port");
+    host = spec.substr(1, close - 1);
+    port_str = spec.substr(close + 2);
+  } else if (const std::size_t colon = spec.rfind(':'); colon != std::string::npos) {
+    PARMA_REQUIRE(spec.find(':') == colon,
+                  "serve-net: IPv6 endpoints need brackets: [host]:port");
+    host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
   const Index port = parse_index(port_str, "port");
   PARMA_REQUIRE(port >= 0 && port <= 65535, "serve-net: port out of range");
   return {host, static_cast<std::uint16_t>(port)};
@@ -327,18 +341,25 @@ int cmd_serve_net(const Args& args) {
 
     // Foreground service loop: the listener's I/O thread does the work; the
     // main thread just waits for the operator to close stdin (or EOF under
-    // a pipe) and then tears down in order -- transport first, pipeline
-    // second.
+    // a pipe) and then tears down in order -- graceful drain (in-flight
+    // requests finish and their responses flush), then transport, then
+    // pipeline.
     while (std::cin.get() != std::char_traits<char>::eof()) {
+    }
+    if (!listener.drain(std::chrono::seconds(10))) {
+      std::cerr << "drain: stragglers remained after 10 s; cutting them off\n";
     }
     listener.stop();
     server.shutdown();
 
     const net::ListenerCounters c = listener.counters();
-    std::cout << "connections " << c.connections_accepted << ", requests "
-              << c.requests_admitted << ", responses " << c.responses_enqueued
-              << " (dropped " << c.responses_dropped << "), protocol errors "
-              << c.protocol_errors << ", disconnects " << c.disconnects << "\n";
+    std::cout << "connections " << c.connections_accepted << " (rejected "
+              << c.connections_rejected << "), requests " << c.requests_admitted
+              << ", responses " << c.responses_enqueued << " (dropped "
+              << c.responses_dropped << "), protocol errors " << c.protocol_errors
+              << ", disconnects " << c.disconnects << ", pings " << c.pings
+              << ", reaped idle/slowloris/write-stall " << c.reaped_idle << "/"
+              << c.reaped_slowloris << "/" << c.reaped_write_stall << "\n";
     return 0;
   }
 

@@ -8,10 +8,12 @@
 # Sanitizer passes:
 #   - TSan (-DPARMA_SANITIZE=thread) over the concurrency-sensitive suites
 #     (ctest label `tsan`: test_kernels, test_exec, test_serve, test_net,
-#     test_async, test_fault, test_robust) plus the chaos storms (`chaos`
-#     label: test_fault's all-points fault storm, test_robust's
-#     corruption-recovery suite, and test_async's cancellation storm, each
-#     under three distinct PARMA_CHAOS_SEED values).
+#     test_chaos_net, test_async, test_fault, test_robust) plus the chaos
+#     storms (`chaos` label: test_fault's all-points fault storm,
+#     test_robust's corruption-recovery suite, and test_async's cancellation
+#     storm) and the wire-level chaos suite (`chaos-net` label: socket fault
+#     points against the reconnecting client), each under three distinct
+#     PARMA_CHAOS_SEED values.
 #   - ASan+UBSan (-DPARMA_SANITIZE=address,undefined) over the same suites.
 #
 # Also runs the solver hot-path bench in --quick mode, which fails (non-zero
@@ -20,9 +22,11 @@
 # which fails unless the robust+masked pipeline stays within 2x of the
 # fault-free error at 10% corruption (and plain least squares is measurably
 # worse), and the net-throughput bench in --quick mode, which fails unless
-# loopback TCP serving stays within 2x of in-process req/s; refreshes
+# loopback TCP serving stays within 2x of in-process req/s, and the
+# net-chaos bench in --quick mode, which fails unless the reconnecting
+# client holds >= 90% goodput at a 5% connection-kill rate; refreshes
 # bench_results/solver_hotpath.json, bench_results/robust_accuracy.json,
-# and bench_results/net_throughput.json.
+# bench_results/net_throughput.json, and bench_results/net_chaos.json.
 #
 # Build trees: ./build (tier-1), ./build-tsan, ./build-asan.
 set -euo pipefail
@@ -65,24 +69,31 @@ echo "== bench: robust_accuracy --quick (2x dirty-input accuracy gate) =="
 echo "== bench: net_throughput --quick (2x loopback-transport gate) =="
 ./build/bench/net_throughput --quick
 
+echo "== bench: net_chaos --quick (90% goodput-under-kill gate) =="
+./build/bench/net_chaos --quick
+
 if [[ "${run_tsan}" == "1" ]]; then
   echo "== tsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-tsan -S . -DPARMA_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${jobs}" --target test_kernels test_exec test_serve test_net test_async test_fault test_robust
+  cmake --build build-tsan -j "${jobs}" --target test_kernels test_exec test_serve test_net test_chaos_net test_async test_fault test_robust
   echo "== tsan: ctest -L tsan =="
   (cd build-tsan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== tsan: ctest -L chaos (3 seeds) =="
   (cd build-tsan && ctest -L chaos --output-on-failure -j "${jobs}")
+  echo "== tsan: ctest -L chaos-net (3 seeds) =="
+  (cd build-tsan && ctest -L chaos-net --output-on-failure -j "${jobs}")
 fi
 
 if [[ "${run_asan}" == "1" ]]; then
   echo "== asan+ubsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-asan -S . -DPARMA_SANITIZE=address,undefined >/dev/null
-  cmake --build build-asan -j "${jobs}" --target test_kernels test_exec test_serve test_net test_async test_fault test_robust
+  cmake --build build-asan -j "${jobs}" --target test_kernels test_exec test_serve test_net test_chaos_net test_async test_fault test_robust
   echo "== asan+ubsan: ctest -L tsan =="
   (cd build-asan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== asan+ubsan: ctest -L chaos (3 seeds) =="
   (cd build-asan && ctest -L chaos --output-on-failure -j "${jobs}")
+  echo "== asan+ubsan: ctest -L chaos-net (3 seeds) =="
+  (cd build-asan && ctest -L chaos-net --output-on-failure -j "${jobs}")
 fi
 
 echo "OK"

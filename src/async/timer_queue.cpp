@@ -26,6 +26,31 @@ void TimerQueue::schedule_after(std::chrono::microseconds delay, Callback cb) {
   wake_.notify_all();
 }
 
+TimerQueue::TimerId TimerQueue::schedule_every(std::chrono::microseconds period,
+                                               std::function<void()> cb) {
+  TimerId id;
+  {
+    std::lock_guard lock(mu_);
+    id = next_timer_id_++;
+    if (expedite_ || stopping_) return id;  // drained queues run no maintenance
+    periodics_.emplace(id, Periodic{period, std::move(cb)});
+    Entry entry;
+    entry.due = Clock::now() + period;
+    entry.seq = next_seq_++;
+    entry.flushed = false;
+    entry.periodic_id = id;
+    entries_.push(std::move(entry));
+  }
+  wake_.notify_all();
+  return id;
+}
+
+void TimerQueue::cancel(TimerId id) {
+  std::lock_guard lock(mu_);
+  // The heap entry (if any) stays; run() drops it when the lookup misses.
+  periodics_.erase(id);
+}
+
 void TimerQueue::flush() {
   {
     std::lock_guard lock(mu_);
@@ -95,6 +120,31 @@ void TimerQueue::run() {
     Entry entry = std::move(const_cast<Entry&>(entries_.top()));
     entries_.pop();
     const bool flushed = entry.flushed || (expedite_ && due > now);
+    if (entry.periodic_id != 0) {
+      const auto it = periodics_.find(entry.periodic_id);
+      if (it == periodics_.end()) continue;  // cancelled; stale heap entry
+      if (flushed || expedite_ || stopping_) {
+        // Drain semantics: maintenance ticks die, they never fire early.
+        periodics_.erase(it);
+        continue;
+      }
+      // Copy out: the callback may cancel itself (or anything else).
+      const std::function<void()> cb = it->second.cb;
+      const std::chrono::microseconds period = it->second.period;
+      ++fired_;
+      lock.unlock();
+      cb();
+      lock.lock();
+      if (!expedite_ && !stopping_ && periodics_.count(entry.periodic_id) != 0) {
+        Entry next;
+        next.due = Clock::now() + period;
+        next.seq = next_seq_++;
+        next.flushed = false;
+        next.periodic_id = entry.periodic_id;
+        entries_.push(std::move(next));
+      }
+      continue;
+    }
     ++fired_;
     if (flushed) ++flushed_fires_;
     lock.unlock();

@@ -11,6 +11,13 @@
 // retry backoff must not hold shutdown hostage for 10 s, and a half-open
 // breaker probe parked behind such a backoff must resolve before the
 // workers are torn down (see server.cpp drain()).
+//
+// Periodic timers (schedule_every) repeat until cancelled; they drive
+// maintenance ticks like the listener's connection-hygiene sweep. Periodics
+// are deliberately dropped -- not fired -- under flush()/expedited mode and
+// at stop(): a drain must not race a maintenance pass, and "fire every
+// pending entry" means the one-shot continuations, not an infinite tick
+// stream.
 #pragma once
 
 #include <chrono>
@@ -20,6 +27,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace parma::async {
@@ -37,10 +45,24 @@ class TimerQueue {
   TimerQueue(const TimerQueue&) = delete;
   TimerQueue& operator=(const TimerQueue&) = delete;
 
+  /// Handle for cancelling a periodic timer. Never 0.
+  using TimerId = std::uint64_t;
+
   /// Runs `cb` on the timer thread once `delay` has elapsed. A non-positive
   /// delay, or a queue in expedited mode, fires on the timer thread at the
   /// next wakeup (never inline on the caller).
   void schedule_after(std::chrono::microseconds delay, Callback cb);
+
+  /// Runs `cb` on the timer thread every `period` (first fire one period
+  /// from now) until cancelled. The next fire is scheduled after `cb`
+  /// returns -- a slow callback delays the cadence rather than stacking up.
+  /// Periodics do not fire under flush()/expedited mode or stop(); they are
+  /// dropped.
+  TimerId schedule_every(std::chrono::microseconds period, std::function<void()> cb);
+
+  /// Stops a periodic timer. Safe for an already-cancelled or dropped id;
+  /// safe from the timer thread itself (a periodic may cancel itself).
+  void cancel(TimerId id);
 
   /// Fires every pending entry now (flushed = true) and latches expedited
   /// mode; subsequent schedules also fire immediately. Returns once the
@@ -66,9 +88,17 @@ class TimerQueue {
     std::uint64_t seq;  ///< FIFO tiebreak for equal due times
     Callback cb;
     bool flushed;
+    TimerId periodic_id = 0;  ///< 0 = one-shot; else the periodics_ key
     bool operator>(const Entry& other) const {
       return due != other.due ? due > other.due : seq > other.seq;
     }
+  };
+
+  /// A live periodic timer; its heap entries carry only the id, so cancel()
+  /// is an O(1) map erase and stale heap entries fall through harmlessly.
+  struct Periodic {
+    std::chrono::microseconds period;
+    std::function<void()> cb;
   };
 
   void run();
@@ -76,7 +106,9 @@ class TimerQueue {
   mutable std::mutex mu_;
   std::condition_variable wake_;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> entries_;
+  std::unordered_map<TimerId, Periodic> periodics_;
   std::uint64_t next_seq_ = 0;
+  TimerId next_timer_id_ = 1;
   std::uint64_t fired_ = 0;
   std::uint64_t flushed_fires_ = 0;
   bool expedite_ = false;

@@ -29,6 +29,11 @@ const char* point_name(Point point) {
     case Point::kTaskFailure: return "task-failure";
     case Point::kSlowTask: return "slow-task";
     case Point::kAllocFailure: return "alloc-failure";
+    case Point::kSockTornWrite: return "sock-torn-write";
+    case Point::kSockReadStall: return "sock-read-stall";
+    case Point::kSockReset: return "sock-reset";
+    case Point::kSockConnectDelay: return "sock-connect-delay";
+    case Point::kSockCorruptByte: return "sock-corrupt-byte";
   }
   return "?";
 }
@@ -38,7 +43,10 @@ Injector::Injector(std::uint64_t seed) : seed_(seed) {}
 void Injector::arm(Point point, Schedule schedule) {
   PARMA_REQUIRE(schedule.probability >= 0.0 && schedule.probability <= 1.0,
                 "fault probability must be in [0, 1]");
-  points_[static_cast<std::size_t>(point)].schedule = schedule;
+  PointState& state = points_[static_cast<std::size_t>(point)];
+  state.probability.store(schedule.probability, std::memory_order_relaxed);
+  state.max_fires.store(schedule.max_fires, std::memory_order_relaxed);
+  state.skip_first.store(schedule.skip_first, std::memory_order_relaxed);
 }
 
 void Injector::arm_all(Schedule schedule) {
@@ -50,20 +58,21 @@ bool Injector::should_fire(Point point) {
   // Claim this query's index first so the (seed, point, index) decision is
   // stable no matter how threads interleave.
   const std::uint64_t query = state.queries.fetch_add(1, std::memory_order_relaxed);
-  const Schedule& schedule = state.schedule;  // immutable while installed
-  if (schedule.probability <= 0.0) return false;
-  if (query < schedule.skip_first) return false;
-  if (schedule.probability < 1.0) {
+  const Real probability = state.probability.load(std::memory_order_relaxed);
+  if (probability <= 0.0) return false;
+  if (query < state.skip_first.load(std::memory_order_relaxed)) return false;
+  if (probability < 1.0) {
     const std::uint64_t draw = mix64(
         mix64(seed_ ^ (static_cast<std::uint64_t>(point) + 1)) + query);
     // Top 53 bits -> uniform double in [0, 1), the same mapping Rng uses.
     const Real u = static_cast<Real>(draw >> 11) * 0x1.0p-53;
-    if (u >= schedule.probability) return false;
+    if (u >= probability) return false;
   }
   // Claim one of the max_fires slots; losing the CAS race re-checks the cap.
+  const std::uint64_t max_fires = state.max_fires.load(std::memory_order_relaxed);
   std::uint64_t fired = state.fires.load(std::memory_order_relaxed);
   do {
-    if (fired >= schedule.max_fires) return false;
+    if (fired >= max_fires) return false;
   } while (!state.fires.compare_exchange_weak(fired, fired + 1,
                                               std::memory_order_relaxed));
   return true;

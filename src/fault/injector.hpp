@@ -39,9 +39,17 @@ enum class Point : int {
   kTaskFailure,          ///< exec: a bulk chunk throws InjectedFault
   kSlowTask,             ///< exec: a bulk chunk stalls for Injector::stall
   kAllocFailure,         ///< serve: the form stage throws std::bad_alloc
+  // Socket fault points (net/socket_ops shim). The schedule discipline is
+  // identical to the in-process points: one atomic load when disabled, a
+  // deterministic (seed, point, index) decision when armed.
+  kSockTornWrite,     ///< net: a send/writev delivers only a byte prefix
+  kSockReadStall,     ///< net: a recv stalls for Injector::stall first
+  kSockReset,         ///< net: the socket is shut down mid-operation (RST-ish)
+  kSockConnectDelay,  ///< net: a connect attempt stalls for Injector::stall
+  kSockCorruptByte,   ///< net: one received byte arrives flipped
 };
 
-inline constexpr int kNumPoints = 6;
+inline constexpr int kNumPoints = 11;
 
 const char* point_name(Point point);
 
@@ -63,9 +71,12 @@ struct Schedule {
   std::uint64_t skip_first = 0;
 };
 
-/// Seeded, thread-safe fault injector. Configure the points (arm/arm_all)
-/// BEFORE installing; should_fire is safe from any thread, reconfiguring a
-/// live injector is not.
+/// Seeded, thread-safe fault injector. should_fire is safe from any thread,
+/// and so is arm/arm_all on a live injector -- the schedule fields are
+/// individually atomic, so a test may arm a point mid-flight (e.g. after a
+/// connection is established, to spare the setup syscalls). A query racing
+/// an arm sees either the old or the new schedule; once the arm completes,
+/// the (seed, point, index) decision is deterministic as before.
 class Injector {
  public:
   explicit Injector(std::uint64_t seed = 0);
@@ -87,7 +98,10 @@ class Injector {
 
  private:
   struct PointState {
-    Schedule schedule;
+    // The schedule, field-atomic so arm() may race in-flight queries.
+    std::atomic<Real> probability{0.0};
+    std::atomic<std::uint64_t> max_fires{~std::uint64_t{0}};
+    std::atomic<std::uint64_t> skip_first{0};
     std::atomic<std::uint64_t> queries{0};
     std::atomic<std::uint64_t> fires{0};
   };

@@ -1,18 +1,22 @@
 #include "net/client.hpp"
 
-#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "common/require.hpp"
+#include "net/socket_ops.hpp"
 
 namespace parma::net {
 namespace {
@@ -25,82 +29,178 @@ std::chrono::milliseconds remaining(Clock::time_point deadline) {
   return left.count() > 0 ? left : std::chrono::milliseconds{0};
 }
 
+/// SplitMix64 finalizer (same construction as fault::Injector's hash): the
+/// jitter draw for (jitter_seed, outage, attempt) is a pure function, so a
+/// reconnect storm under a fixed seed replays the same pacing.
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Capped exponential backoff with deterministic jitter: delay =
+/// min(backoff * 2^(attempt-1), cap) * factor, factor in [0.5, 1).
+std::chrono::milliseconds backoff_delay(const ClientOptions& options,
+                                        std::uint64_t outage, int attempt) {
+  double base = static_cast<double>(options.reconnect_backoff.count()) *
+                std::ldexp(1.0, attempt - 1);
+  base = std::min(base, static_cast<double>(options.reconnect_backoff_cap.count()));
+  const std::uint64_t draw =
+      mix64(mix64(options.jitter_seed ^ outage) + static_cast<std::uint64_t>(attempt));
+  const double factor = 0.5 + 0.5 * (static_cast<double>(draw >> 11) * 0x1.0p-53);
+  return std::chrono::milliseconds(static_cast<long long>(std::llround(base * factor)));
+}
+
+/// "[::1]" and "::1" are the same host; the brackets are URI syntax.
+std::string strip_brackets(const std::string& host) {
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']') {
+    return host.substr(1, host.size() - 2);
+  }
+  return host;
+}
+
 }  // namespace
+
+const char* client_error_name(ClientError error) {
+  switch (error) {
+    case ClientError::kNone: return "none";
+    case ClientError::kConnectFailed: return "connect-failed";
+    case ClientError::kConnectionLost: return "connection-lost";
+    case ClientError::kProtocol: return "protocol";
+    case ClientError::kDeadlineExceeded: return "deadline-exceeded";
+  }
+  return "?";
+}
 
 Client::~Client() { disconnect(); }
 
 void Client::connect(const ClientOptions& options) {
   PARMA_REQUIRE(fd_ < 0, "client is already connected");
+  options_ = options;
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
-  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
-    throw IoError("not a valid IPv4 address: " + options.host);
+  std::string diagnostic;
+  const int fd = dial_once(&diagnostic);
+  if (fd < 0) {
+    last_error_ = ClientError::kConnectFailed;
+    throw IoError(diagnostic);
   }
-
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (fd < 0) throw IoError("socket() failed");
-
-  // Non-blocking connect bounded by connect_timeout, then back to blocking
-  // mode -- the client's contract is synchronous calls with poll() timeouts.
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
-    if (errno != EINPROGRESS) {
-      const int err = errno;
-      ::close(fd);
-      throw IoError("connect to " + options.host + ":" +
-                    std::to_string(options.port) + " failed: " + std::strerror(err));
-    }
-    pollfd pfd{fd, POLLOUT, 0};
-    const int ready =
-        ::poll(&pfd, 1, static_cast<int>(options.connect_timeout.count()));
-    int so_error = 0;
-    socklen_t len = sizeof so_error;
-    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
-    if (ready <= 0 || so_error != 0) {
-      ::close(fd);
-      throw IoError("connect to " + options.host + ":" +
-                    std::to_string(options.port) +
-                    (ready <= 0 ? " timed out"
-                                : std::string(" failed: ") + std::strerror(so_error)));
-    }
-  }
-
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 
   fd_ = fd;
   decoder_ = FrameDecoder(options.max_body_bytes);
+  pending_.clear();
   ready_.clear();
+  pongs_.clear();
   fatal_.reset();
+  last_error_ = ClientError::kNone;
+  notify(ConnState::kConnected);
 }
 
 void Client::disconnect() {
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
+    notify(ConnState::kDisconnected);
   }
 }
 
+int Client::dial_once(std::string* diagnostic) {
+  const std::string host = strip_brackets(options_.host);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(options_.port).c_str(),
+                               &hints, &resolved);
+  if (rc != 0) {
+    *diagnostic = "resolving '" + host + "' failed: " + ::gai_strerror(rc);
+    return -1;
+  }
+
+  // Happy-Eyeballs-flavoured ordering: try every IPv6 candidate, then every
+  // IPv4 one, each attempt bounded by connect_timeout. Sequential (not
+  // racing) keeps the client single-threaded; the fallback property is what
+  // matters for dual-stack hosts whose v6 route is dead.
+  std::vector<addrinfo*> candidates;
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    if (ai->ai_family == AF_INET6) candidates.push_back(ai);
+  }
+  for (addrinfo* ai = resolved; ai != nullptr; ai = ai->ai_next) {
+    if (ai->ai_family != AF_INET6) candidates.push_back(ai);
+  }
+
+  std::string last_failure = "no addresses resolved";
+  int connected_fd = -1;
+  for (addrinfo* ai : candidates) {
+    const int fd = ::socket(ai->ai_family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                            ai->ai_protocol);
+    if (fd < 0) {
+      last_failure = std::string("socket() failed: ") + std::strerror(errno);
+      continue;
+    }
+    // Non-blocking connect bounded by connect_timeout, then back to blocking
+    // mode -- the client's contract is synchronous calls with poll() budgets.
+    const sock::IoCount begun =
+        sock::connect_begin(fd, ai->ai_addr, static_cast<socklen_t>(ai->ai_addrlen));
+    bool established = !begun.failed();
+    if (!established && begun.err == EINPROGRESS) {
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, static_cast<int>(options_.connect_timeout.count()));
+      } while (ready < 0 && errno == EINTR);
+      int so_error = 0;
+      socklen_t len = sizeof so_error;
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+      if (ready > 0 && so_error == 0) {
+        established = true;
+      } else {
+        last_failure = ready <= 0 ? "connect timed out"
+                                  : std::string("connect failed: ") +
+                                        std::strerror(so_error);
+      }
+    } else if (!established) {
+      last_failure = std::string("connect failed: ") + std::strerror(begun.err);
+    }
+    if (established) {
+      connected_fd = fd;
+      break;
+    }
+    ::close(fd);
+  }
+  ::freeaddrinfo(resolved);
+
+  if (connected_fd < 0) {
+    *diagnostic = "connect to " + options_.host + ":" +
+                  std::to_string(options_.port) + " failed: " + last_failure;
+    return -1;
+  }
+  const int flags = ::fcntl(connected_fd, F_GETFL, 0);
+  ::fcntl(connected_fd, F_SETFL, flags & ~O_NONBLOCK);
+  const int one = 1;
+  ::setsockopt(connected_fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return connected_fd;
+}
+
 std::uint64_t Client::send(WireRequest request) {
-  PARMA_REQUIRE(fd_ >= 0, "client is not connected");
+  PARMA_REQUIRE(fd_ >= 0 || options_.reconnect, "client is not connected");
   if (request.request_id == 0) request.request_id = ++next_id_;
+  next_id_ = std::max(next_id_, request.request_id);
   const std::uint64_t id = request.request_id;
 
-  const std::vector<std::uint8_t> bytes = encode_request(request);
-  std::size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int err = errno;
-      disconnect();
-      throw IoError(std::string("send failed: ") + std::strerror(err));
-    }
-    sent += static_cast<std::size_t>(n);
+  Pending record;
+  if (request.deadline_ms > 0) {
+    record.deadline = Clock::now() + std::chrono::milliseconds(request.deadline_ms);
   }
+  record.bytes = encode_request(request);
+  const auto [it, inserted] = pending_.emplace(id, std::move(record));
+  PARMA_REQUIRE(inserted, "request id is already in flight");
+
+  // A write failure is not an exception: the request stays pending and
+  // wait() delivers the typed outcome (replay after reconnect, or a
+  // kConnectionLost verdict).
+  if (fd_ >= 0) it->second.on_wire = write_all(it->second.bytes);
   return id;
 }
 
@@ -110,6 +210,8 @@ std::uint64_t Client::send(const serve::ParametrizeRequest& request) {
 
 std::optional<Client::Reply> Client::wait(std::uint64_t request_id,
                                           std::chrono::milliseconds timeout) {
+  PARMA_REQUIRE(ready_.count(request_id) != 0 || pending_.count(request_id) != 0,
+                "waiting on an unknown request id");
   const Clock::time_point deadline = Clock::now() + timeout;
   for (;;) {
     if (const auto it = ready_.find(request_id); it != ready_.end()) {
@@ -119,13 +221,22 @@ std::optional<Client::Reply> Client::wait(std::uint64_t request_id,
     }
     if (fatal_) {
       Reply reply;
+      reply.request_id = request_id;
       reply.is_error = true;
       reply.error = *fatal_;
+      pending_.erase(request_id);
       return reply;
+    }
+    if (fd_ < 0) {
+      resolve_expired_deadlines();
+      if (ready_.count(request_id) != 0) continue;
+      (void)recover(last_error_ == ClientError::kNone ? ClientError::kConnectionLost
+                                                      : last_error_);
+      continue;  // success resumes pumping; failure stocked ready_
     }
     const std::chrono::milliseconds budget = remaining(deadline);
     if (budget.count() == 0) return std::nullopt;
-    if (!pump(budget)) return std::nullopt;
+    (void)pump(budget);
   }
 }
 
@@ -140,13 +251,22 @@ std::optional<Client::Reply> Client::poll(std::chrono::milliseconds timeout) {
     }
     if (fatal_) {
       Reply reply;
+      reply.request_id = fatal_->request_id;
       reply.is_error = true;
       reply.error = *fatal_;
       return reply;
     }
+    if (fd_ < 0) {
+      if (pending_.empty()) return std::nullopt;
+      resolve_expired_deadlines();
+      if (!ready_.empty()) continue;
+      (void)recover(last_error_ == ClientError::kNone ? ClientError::kConnectionLost
+                                                      : last_error_);
+      continue;
+    }
     const std::chrono::milliseconds budget = remaining(deadline);
     if (budget.count() == 0) return std::nullopt;
-    if (!pump(budget)) return std::nullopt;
+    (void)pump(budget);
   }
 }
 
@@ -156,56 +276,213 @@ std::optional<Client::Reply> Client::request(WireRequest req,
   return wait(id, timeout);
 }
 
-bool Client::pump(std::chrono::milliseconds budget) {
+bool Client::ping(std::chrono::milliseconds timeout) {
+  const Clock::time_point deadline = Clock::now() + timeout;
+  if (fd_ < 0) {
+    if (!options_.reconnect) return false;
+    if (!recover(last_error_ == ClientError::kNone ? ClientError::kConnectionLost
+                                                   : last_error_)) {
+      return false;
+    }
+  }
+  const std::uint64_t id = ++next_id_;
+  if (!write_all(encode_ping(id))) return false;
+  while (pongs_.count(id) == 0) {
+    const std::chrono::milliseconds budget = remaining(deadline);
+    if (budget.count() == 0) return false;
+    if (pump(budget) == Pump::kDown) return false;
+  }
+  pongs_.erase(id);
+  return true;
+}
+
+bool Client::write_all(const std::vector<std::uint8_t>& bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const sock::IoCount io =
+        sock::send_some(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (io.failed()) {
+      mark_down(ClientError::kConnectionLost);
+      return false;
+    }
+    sent += static_cast<std::size_t>(io.n);
+  }
+  return true;
+}
+
+void Client::mark_down(ClientError cause) {
+  last_error_ = cause;
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+    notify(ConnState::kDisconnected);
+  }
+}
+
+bool Client::recover(ClientError cause) {
+  if (!options_.reconnect) {
+    resolve_all_pending(cause);
+    return false;
+  }
+  ++outages_;
+  for (int attempt = 1; attempt <= options_.max_reconnect_attempts; ++attempt) {
+    notify(ConnState::kReconnecting);
+    std::this_thread::sleep_for(backoff_delay(options_, outages_, attempt));
+    std::string diagnostic;
+    const int fd = dial_once(&diagnostic);
+    if (fd < 0) continue;
+
+    fd_ = fd;
+    decoder_ = FrameDecoder(options_.max_body_bytes);
+    fatal_.reset();
+    ++reconnects_;
+    notify(ConnState::kConnected);
+
+    // Replay in id (= send) order, but only a window of it: the remainder
+    // follows from pump() as responses drain. Replaying a deep pipeline
+    // atomically would make this round succeed only if every write in a
+    // long burst survives -- under sustained faults that exhausts the
+    // attempt budget even though each connection makes real progress.
+    // Requests whose deadline lapsed during the outage resolve instead of
+    // replaying. Parametrization is idempotent, so a request the server
+    // already executed (response lost with the old connection) re-executes
+    // to a bit-identical response.
+    resolve_expired_deadlines();
+    for (auto& [id, record] : pending_) record.on_wire = false;
+    if (replenish_wire()) return true;  // died mid-replay: next attempt re-dials
+  }
+  last_error_ = cause;
+  resolve_all_pending(cause);
+  return false;
+}
+
+bool Client::replenish_wire() {
+  std::size_t on_wire = 0;
+  for (const auto& [id, record] : pending_) {
+    if (record.on_wire) ++on_wire;
+  }
+  for (auto& [id, record] : pending_) {
+    if (on_wire >= options_.replay_window) break;
+    if (record.on_wire) continue;
+    if (!write_all(record.bytes)) return false;
+    record.on_wire = true;
+    ++on_wire;
+  }
+  return true;
+}
+
+void Client::resolve_all_pending(ClientError cause) {
+  for (const auto& [id, record] : pending_) {
+    Reply reply;
+    reply.request_id = id;
+    reply.transport = cause;
+    ready_.insert_or_assign(id, std::move(reply));
+  }
+  pending_.clear();
+}
+
+void Client::resolve_expired_deadlines() {
+  const Clock::time_point now = Clock::now();
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.deadline && *it->second.deadline <= now) {
+      Reply reply;
+      reply.request_id = it->first;
+      reply.transport = ClientError::kDeadlineExceeded;
+      ready_.insert_or_assign(it->first, std::move(reply));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Client::notify(ConnState state) {
+  if (options_.on_state) options_.on_state(state);
+}
+
+Client::Pump Client::pump(std::chrono::milliseconds budget) {
   PARMA_REQUIRE(fd_ >= 0, "client is not connected");
 
   pollfd pfd{fd_, POLLIN, 0};
   const int ready = ::poll(&pfd, 1, static_cast<int>(budget.count()));
-  if (ready == 0) return false;
+  if (ready == 0) return Pump::kIdle;
   if (ready < 0) {
-    if (errno == EINTR) return false;  // caller's wait loop re-budgets
-    disconnect();
-    throw IoError(std::string("poll failed: ") + std::strerror(errno));
+    if (errno == EINTR) return Pump::kIdle;  // caller's loop re-budgets
+    mark_down(ClientError::kConnectionLost);
+    return Pump::kDown;
   }
 
   std::uint8_t chunk[64 * 1024];
-  const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-  if (n == 0) {
-    disconnect();
-    if (fatal_) return true;  // the error frame explains the close
-    throw IoError("connection closed by server");
+  const sock::IoCount io = sock::recv_some(fd_, chunk, sizeof chunk);
+  if (io.failed() || io.n == 0) {
+    mark_down(ClientError::kConnectionLost);
+    return Pump::kDown;
   }
-  if (n < 0) {
-    if (errno == EINTR) return true;
-    const int err = errno;
-    disconnect();
-    throw IoError(std::string("recv failed: ") + std::strerror(err));
-  }
-  decoder_.feed(chunk, static_cast<std::size_t>(n));
+  decoder_.feed(chunk, static_cast<std::size_t>(io.n));
 
   Frame frame;
   for (;;) {
     const FrameDecoder::Result r = decoder_.next(frame);
-    if (r == FrameDecoder::Result::kNeedMore) return true;
+    if (r == FrameDecoder::Result::kNeedMore) {
+      // Terminated requests freed replay-window slots; put the next
+      // not-yet-replayed requests on the wire in id order.
+      if (!replenish_wire()) return Pump::kDown;
+      return Pump::kProgress;
+    }
     if (r == FrameDecoder::Result::kError) {
-      disconnect();
-      throw IoError("malformed frame from server: " + decoder_.error().message);
+      // The stream lost frame sync (corruption en route, or a hostile
+      // peer). Recoverable by reconnecting -- the replacement connection
+      // starts frame-aligned.
+      mark_down(ClientError::kProtocol);
+      return Pump::kDown;
     }
-    if (frame.type == FrameType::kResponse && frame.response) {
-      Reply reply;
-      reply.response = std::move(*frame.response);
-      ready_.insert_or_assign(reply.response.request_id, std::move(reply));
-    } else if (frame.type == FrameType::kError && frame.error) {
-      if (frame.error->request_id == 0) {
-        fatal_ = std::move(*frame.error);
-      } else {
-        Reply reply;
-        reply.is_error = true;
-        reply.error = std::move(*frame.error);
-        ready_.insert_or_assign(reply.error.request_id, std::move(reply));
-      }
+    switch (frame.type) {
+      case FrameType::kResponse:
+        if (frame.response && pending_.erase(frame.response->request_id) > 0) {
+          Reply reply;
+          reply.request_id = frame.response->request_id;
+          reply.response = std::move(*frame.response);
+          ready_.insert_or_assign(reply.request_id, std::move(reply));
+        }
+        // else: a stale duplicate (the request already terminated); dropped.
+        break;
+      case FrameType::kError:
+        if (!frame.error) break;
+        if (frame.error->request_id == 0) {
+          // The server lost frame sync on our bytes and is closing. With
+          // reconnect on, a fresh connection + replay beats poisoning --
+          // unless the peer speaks another protocol version, which a
+          // reconnect cannot fix.
+          if (options_.reconnect && frame.error->code != ProtoCode::kBadVersion) {
+            mark_down(ClientError::kConnectionLost);
+            return Pump::kDown;
+          }
+          fatal_ = std::move(*frame.error);
+        } else if (frame.error->code == ProtoCode::kBadChecksum &&
+                   options_.reconnect &&
+                   pending_.count(frame.error->request_id) != 0) {
+          // The request's bytes were mangled in transit -- the server's body
+          // checksum caught it and the connection is closing. Transport
+          // damage, not a semantic rejection: keep the request pending so
+          // the reconnect replays it over the clean connection.
+        } else if (pending_.erase(frame.error->request_id) > 0) {
+          Reply reply;
+          reply.request_id = frame.error->request_id;
+          reply.is_error = true;
+          reply.error = std::move(*frame.error);
+          ready_.insert_or_assign(reply.request_id, std::move(reply));
+        }
+        break;
+      case FrameType::kPing:
+        // The server probes liveness; answer in place.
+        if (!write_all(encode_pong(frame.request_id))) return Pump::kDown;
+        break;
+      case FrameType::kPong:
+        pongs_.insert(frame.request_id);
+        break;
+      case FrameType::kRequest:
+        break;  // a request from the server would be nonsense; dropped
     }
-    // A request frame from the server would be nonsense; dropped.
   }
 }
 

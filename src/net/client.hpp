@@ -1,47 +1,119 @@
-// parma::net::Client -- the blocking client half of the socket transport.
+// parma::net::Client -- the blocking, reconnecting client half of the
+// socket transport.
 //
 // A deliberately simple synchronous library for tools, benchmarks, and
-// tests: connect() opens one TCP connection, send() fires an encoded
-// request frame (assigning a request id when the caller left it 0), and
-// poll()/wait() block -- with a timeout -- until the server's reply frames
-// arrive. Because the server completes requests in pipeline order, not
-// submission order, replies for ids the caller is not currently waiting on
-// are stashed and handed out when their id is asked for; a pipelined load
-// generator can keep dozens of requests in flight on one connection.
+// tests: connect() opens one TCP connection (resolving the host via
+// getaddrinfo and trying IPv6 candidates before IPv4), send() fires an
+// encoded request frame (assigning a request id when the caller left it 0),
+// and poll()/wait() block -- with a timeout -- until the server's reply
+// frames arrive. Because the server completes requests in pipeline order,
+// not submission order, replies for ids the caller is not currently waiting
+// on are stashed and handed out when their id is asked for; a pipelined
+// load generator can keep dozens of requests in flight on one connection.
 //
-// Transport failures (refused connection, mid-reply disconnect) throw
-// IoError. Protocol-level kError frames do NOT throw: they come back as a
-// Reply with is_error set, carrying the server's typed ProtoCode
-// diagnostic; a connection-level error (request id 0 -- the server lost
-// frame sync and is closing) poisons every subsequent wait.
+// Failure handling is typed, not thrown: every request the caller sent
+// terminates with a definite Reply. A reply either carries a frame from the
+// server (a response, or a protocol kError diagnostic with is_error set) or
+// a transport verdict (ClientError) when the wire itself failed -- the
+// connection died between send and wait (kConnectionLost), the peer spoke
+// garbage (kProtocol), or the request's own deadline lapsed across the
+// outage (kDeadlineExceeded). wait()/poll() returning nullopt means only
+// "not yet within the call's timeout"; it never swallows an outcome.
+//
+// With options.reconnect enabled the client survives connection loss on its
+// own: a broken connection is re-dialed under capped exponential backoff
+// with deterministic jitter (seeded -- two clients with different
+// jitter_seeds do not stampede in lockstep), and in-flight requests are
+// re-sent on the fresh connection in request-id order, a replay_window at
+// a time so a deep pipeline never bets a recovery round on one long clean
+// write burst. Replay is safe
+// because parametrization is idempotent: re-executing a request yields the
+// same recovered field, which the chaos suite asserts bit-identically.
+// Per-request deadlines (WireRequest::deadline_ms) keep their meaning
+// across reconnects: the clock starts at send() and an outage does not
+// reset it. options.on_state observes the connection lifecycle
+// (kConnected/kDisconnected/kReconnecting).
+//
+// The client is single-threaded by contract: all calls from one thread.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "net/protocol.hpp"
 #include "serve/request.hpp"
 
 namespace parma::net {
 
+/// Typed transport verdicts. kNone means "the reply below is a real frame".
+enum class ClientError : int {
+  kNone = 0,
+  kConnectFailed,     ///< no candidate address accepted the connection
+  kConnectionLost,    ///< the connection died and reconnect is off/exhausted
+  kProtocol,          ///< the peer sent bytes that do not parse as frames
+  kDeadlineExceeded,  ///< the request's own deadline_ms lapsed
+};
+
+const char* client_error_name(ClientError error);
+
+/// Connection lifecycle events for ClientOptions::on_state.
+enum class ConnState : int {
+  kConnected = 0,   ///< a connection is established (initial or re-dial)
+  kDisconnected,    ///< the connection was lost or torn down
+  kReconnecting,    ///< a re-dial attempt is about to start
+};
+
 struct ClientOptions {
+  /// Host name or literal address; "::1" and "[::1]" both work.
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;
+  /// Bound on each candidate address's connect attempt.
   std::chrono::milliseconds connect_timeout{5000};
   std::uint32_t max_body_bytes = kDefaultMaxBodyBytes;
+
+  /// Survive connection loss: re-dial and replay in-flight requests.
+  bool reconnect = false;
+  /// Re-dial attempts per outage before pending requests resolve
+  /// kConnectionLost.
+  int max_reconnect_attempts = 6;
+  /// First re-dial delay; doubles per attempt up to the cap.
+  std::chrono::milliseconds reconnect_backoff{5};
+  std::chrono::milliseconds reconnect_backoff_cap{250};
+  /// Seeds the deterministic backoff jitter (factor in [0.5, 1)).
+  std::uint64_t jitter_seed = 0x7a17;
+  /// After a reconnect, at most this many pending requests are replayed
+  /// before responses start draining; the rest follow in id order as
+  /// earlier ones terminate. A deep pipeline replayed atomically would
+  /// make every recovery round bet on a long clean write burst -- under
+  /// sustained faults that turns one flaky link into total exhaustion.
+  std::size_t replay_window = 8;
+  /// Observes connection state transitions (invoked from the calling
+  /// thread, never concurrently).
+  std::function<void(ConnState)> on_state;
 };
 
 class Client {
  public:
-  /// One reply frame: a completion (response) or a protocol diagnostic
-  /// (error), never both.
+  /// One terminated request: a server frame (response or protocol error)
+  /// when transport == kNone, otherwise a transport verdict.
   struct Reply {
-    bool is_error = false;
+    std::uint64_t request_id = 0;
+    ClientError transport = ClientError::kNone;
+    bool is_error = false;  ///< kError frame (only when transport == kNone)
     WireResponse response;
     WireError error;
+
+    /// True for a completed response frame.
+    [[nodiscard]] bool ok() const {
+      return transport == ClientError::kNone && !is_error;
+    }
   };
 
   Client() = default;
@@ -50,21 +122,24 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Opens the connection. Throws IoError when the server cannot be
-  /// reached within options.connect_timeout.
+  /// Opens the connection. Throws IoError when no resolved candidate
+  /// address can be reached within options.connect_timeout each.
   void connect(const ClientOptions& options);
   [[nodiscard]] bool connected() const { return fd_ >= 0; }
   void disconnect();
 
-  /// Encodes and writes one request frame; blocks until the kernel accepted
-  /// all bytes. A request_id of 0 is replaced with a fresh id; either way
-  /// the id on the wire is returned. Throws IoError on a broken connection.
+  /// Encodes one request frame, records it for replay, and writes it out.
+  /// A request_id of 0 is replaced with a fresh id; either way the id on
+  /// the wire is returned. A write failure does NOT throw: the id stays
+  /// pending and wait() delivers the typed outcome (reconnect + replay, or
+  /// kConnectionLost).
   std::uint64_t send(WireRequest request);
   /// Convenience: wraps a serve-layer request (request_id auto-assigned).
   std::uint64_t send(const serve::ParametrizeRequest& request);
 
   /// Blocks until the reply for `request_id` arrives, up to `timeout`.
-  /// nullopt = timed out (the reply may still arrive; call again).
+  /// nullopt = not yet (the request is still pending; call again). The id
+  /// must be one send() returned and not yet consumed.
   [[nodiscard]] std::optional<Reply> wait(std::uint64_t request_id,
                                           std::chrono::milliseconds timeout);
 
@@ -76,17 +151,64 @@ class Client {
   [[nodiscard]] std::optional<Reply> request(WireRequest req,
                                              std::chrono::milliseconds timeout);
 
- private:
-  /// Reads whatever arrives within `budget`, decoding frames into ready_.
-  /// False = nothing arrived in time.
-  bool pump(std::chrono::milliseconds budget);
+  /// Round-trips one keepalive ping. False = no pong within `timeout` (or
+  /// the connection is down and could not be re-established).
+  [[nodiscard]] bool ping(std::chrono::milliseconds timeout);
 
+  /// Requests sent but not yet terminated.
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+  /// Successful re-dials performed so far.
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+  /// The most recent transport failure (kNone when the connection is
+  /// healthy and always has been).
+  [[nodiscard]] ClientError last_error() const { return last_error_; }
+
+ private:
+  struct Pending {
+    std::vector<std::uint8_t> bytes;  ///< the encoded frame, for replay
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    /// Fully written on the *current* connection. Cleared on reconnect;
+    /// pump() tops up un-replayed requests in id order as responses drain.
+    bool on_wire = false;
+  };
+
+  enum class Pump { kIdle, kProgress, kDown };
+
+  /// Reads whatever arrives within `budget`, decoding frames into ready_.
+  Pump pump(std::chrono::milliseconds budget);
+  /// Blocking write of one encoded frame; false = connection marked down.
+  bool write_all(const std::vector<std::uint8_t>& bytes);
+  /// Closes the socket and records the failure (state callback fires).
+  void mark_down(ClientError cause);
+  /// Re-dials under backoff and replays the oldest `replay_window` pending
+  /// requests; false = outage stands (attempts exhausted or reconnect
+  /// disabled) -- pending_ has been resolved with `cause`-typed replies.
+  bool recover(ClientError cause);
+  /// Writes not-yet-on-wire pending requests, oldest first, until
+  /// `replay_window` are in flight on the current connection; false =
+  /// connection marked down mid-write.
+  bool replenish_wire();
+  /// Resolves every pending request with a transport-verdict reply.
+  void resolve_all_pending(ClientError cause);
+  /// Resolves pending requests whose deadline has passed.
+  void resolve_expired_deadlines();
+  /// One dial attempt over all resolved candidates; -1 = all failed.
+  int dial_once(std::string* diagnostic);
+  void notify(ConnState state);
+
+  ClientOptions options_;
   int fd_ = -1;
   std::uint64_t next_id_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t outages_ = 0;  ///< jitter stream selector
+  ClientError last_error_ = ClientError::kNone;
   FrameDecoder decoder_{kDefaultMaxBodyBytes};
+  /// Sent-not-terminated requests in id order (replay preserves send order).
+  std::map<std::uint64_t, Pending> pending_;
   std::unordered_map<std::uint64_t, Reply> ready_;
-  /// A request-id-0 error frame: the server lost frame sync; every wait
-  /// from here on returns this diagnostic.
+  std::unordered_set<std::uint64_t> pongs_;
+  /// A request-id-0 error frame: the server lost frame sync; with reconnect
+  /// off, every wait from here on returns this diagnostic.
   std::optional<WireError> fatal_;
 };
 

@@ -8,6 +8,8 @@
 #include <cerrno>
 #include <utility>
 
+#include "net/socket_ops.hpp"
+
 namespace parma::net {
 namespace {
 
@@ -24,7 +26,8 @@ Connection::Connection(int fd, int wake_fd, std::string peer,
       wake_fd_(wake_fd),
       peer_(std::move(peer)),
       max_inflight_(max_inflight),
-      decoder_(max_body_bytes) {}
+      decoder_(max_body_bytes),
+      last_read_(Clock::now()) {}
 
 Connection::~Connection() { ::close(fd_); }
 
@@ -37,25 +40,37 @@ short Connection::poll_events() const {
 }
 
 Connection::IoResult Connection::handle_readable(
-    const std::function<void(WireRequest&&)>& on_request) {
+    const std::function<void(WireRequest&&)>& on_request,
+    const std::function<void()>& on_ping) {
   std::uint8_t chunk[kReadChunk];
+  bool got_bytes = false;
   for (;;) {
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
-    if (n > 0) {
-      decoder_.feed(chunk, static_cast<std::size_t>(n));
-      if (static_cast<std::size_t>(n) < sizeof chunk) break;
+    const sock::IoCount io = sock::recv_some(fd_, chunk, sizeof chunk);
+    if (io.n > 0) {
+      got_bytes = true;
+      decoder_.feed(chunk, static_cast<std::size_t>(io.n));
+      if (static_cast<std::size_t>(io.n) < sizeof chunk) break;
       continue;
     }
-    if (n == 0) return IoResult::kClose;  // peer closed; in-flight work is moot
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
+    if (io.n == 0) return IoResult::kClose;  // peer closed; in-flight work is moot
+    if (io.would_block()) break;
     return IoResult::kClose;
   }
+  if (got_bytes) last_read_ = Clock::now();
 
   Frame frame;
   for (;;) {
     const FrameDecoder::Result r = decoder_.next(frame);
-    if (r == FrameDecoder::Result::kNeedMore) return IoResult::kKeep;
+    if (r == FrameDecoder::Result::kNeedMore) {
+      // Slowloris bookkeeping: stamp when a frame opens, clear when the
+      // stream is back on a frame boundary.
+      if (decoder_.mid_frame()) {
+        if (!frame_start_) frame_start_ = Clock::now();
+      } else {
+        frame_start_.reset();
+      }
+      return IoResult::kKeep;
+    }
     if (r == FrameDecoder::Result::kError) {
       // The stream has lost frame sync: answer with the typed diagnostic,
       // stop reading, and cancel what the peer still had in flight. The
@@ -70,10 +85,17 @@ Connection::IoResult Connection::handle_readable(
       cancel_all();
       return IoResult::kProtocolError;
     }
+    frame_start_.reset();  // a frame completed; the boundary clock restarts
     if (frame.type == FrameType::kRequest && frame.request) {
       on_request(std::move(*frame.request));
       continue;
     }
+    if (frame.type == FrameType::kPing) {
+      enqueue(encode_pong(frame.request_id));
+      if (on_ping) on_ping();
+      continue;
+    }
+    if (frame.type == FrameType::kPong) continue;  // stray echo; harmless
     // A client has no business sending response/error frames; treat it as a
     // protocol violation rather than silently ignoring desynced traffic.
     WireError err;
@@ -106,15 +128,14 @@ Connection::IoResult Connection::handle_writable() {
 
     // The gathered buffers stay valid outside the lock: only the I/O thread
     // pops, and deque push_back never invalidates existing elements.
-    const ssize_t n = ::writev(fd_, iov, iov_count);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return IoResult::kKeep;
-      if (errno == EINTR) continue;
+    const sock::IoCount io = sock::sendv_some(fd_, iov, iov_count);
+    if (io.failed()) {
+      if (io.would_block()) return IoResult::kKeep;
       return IoResult::kClose;  // EPIPE/ECONNRESET: peer is gone
     }
 
     std::lock_guard lock(mu_);
-    std::size_t written = static_cast<std::size_t>(n);
+    std::size_t written = static_cast<std::size_t>(io.n);
     while (written > 0 && !outbox_.empty()) {
       const std::size_t remaining = outbox_.front().size() - front_offset_;
       if (written >= remaining) {
@@ -126,6 +147,9 @@ Connection::IoResult Connection::handle_writable() {
         written = 0;
       }
     }
+    // Progress was made: the stall clock restarts (or stops, outbox empty).
+    write_pending_since_ =
+        outbox_.empty() ? std::nullopt : std::make_optional(Clock::now());
     if (outbox_.empty()) return IoResult::kKeep;
   }
 }
@@ -135,10 +159,37 @@ bool Connection::finished() const {
   return close_after_flush_ && outbox_.empty() && in_flight_ == 0;
 }
 
+void Connection::begin_drain() {
+  reading_ = false;
+  close_after_flush_ = true;
+}
+
+Connection::Health Connection::hygiene(Clock::time_point now,
+                                       std::chrono::milliseconds read_deadline,
+                                       std::chrono::milliseconds idle_timeout,
+                                       std::chrono::milliseconds write_stall) const {
+  std::lock_guard lock(mu_);
+  if (write_stall.count() > 0 && write_pending_since_ &&
+      now - *write_pending_since_ > write_stall) {
+    return Health::kWriteStall;
+  }
+  if (read_deadline.count() > 0 && frame_start_ &&
+      now - *frame_start_ > read_deadline) {
+    return Health::kSlowloris;
+  }
+  if (idle_timeout.count() > 0 && in_flight_ == 0 && outbox_.empty() &&
+      !frame_start_ && now - last_read_ > idle_timeout) {
+    return Health::kIdle;
+  }
+  return Health::kOk;
+}
+
 void Connection::enqueue(std::vector<std::uint8_t> frame) {
   {
     std::lock_guard lock(mu_);
+    const bool was_empty = outbox_.empty();
     outbox_.push_back(std::move(frame));
+    if (was_empty) write_pending_since_ = Clock::now();
   }
   wake();
 }

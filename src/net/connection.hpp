@@ -21,12 +21,23 @@
 // the connection write-only: the typed kError frame is queued, reads stop,
 // every in-flight request is cancelled, and the connection reports
 // finished() once the error frame and any straggler responses have flushed.
+//
+// Hygiene: the connection tracks three wall-clock facts -- when the last
+// bytes arrived, how long the current frame has been open (slowloris: a
+// peer that dribbles a header forever), and how long the outbox has gone
+// without write progress (a peer that stopped reading). hygiene() turns
+// them into a verdict against the listener's deadlines; the listener's
+// periodic sweep reaps offenders. begin_drain() is the graceful half:
+// reads stop, in-flight work completes and flushes, then finished() turns
+// true.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +55,16 @@ class Connection {
     kClose,          ///< EOF or socket error: tear down now
     kProtocolError,  ///< malformed stream: error frame queued, flush then close
   };
+
+  /// The hygiene sweep's verdict (worst offense wins).
+  enum class Health {
+    kOk,
+    kSlowloris,   ///< a frame has been open past the read deadline
+    kWriteStall,  ///< queued output has made no progress past the timeout
+    kIdle,        ///< no traffic and no work past the idle timeout
+  };
+
+  using Clock = std::chrono::steady_clock;
 
   /// Takes ownership of `fd` (closed on destruction). `wake_fd` is the write
   /// end of the listener's self-pipe; enqueue() pokes it so the poll loop
@@ -67,16 +88,33 @@ class Connection {
   /// Drains the socket, feeds the decoder, and hands every complete request
   /// frame to `on_request`. Frames already buffered are always drained, even
   /// at the in-flight cap -- the cap gates POLLIN, not decoded work, so the
-  /// overshoot is bounded by one read burst.
+  /// overshoot is bounded by one read burst. kPing frames are answered with
+  /// a pong in place (`on_ping` observes them, for counters); kPong frames
+  /// are tolerated and dropped.
   [[nodiscard]] IoResult handle_readable(
-      const std::function<void(WireRequest&&)>& on_request);
+      const std::function<void(WireRequest&&)>& on_request,
+      const std::function<void()>& on_ping = {});
 
   /// Flushes queued frames with writev until the socket would block.
   [[nodiscard]] IoResult handle_writable();
 
-  /// True when a poisoned connection has flushed its error frame and every
-  /// in-flight request has settled: safe to close without losing a reply.
+  /// True when a poisoned or draining connection has flushed its outbox and
+  /// every in-flight request has settled: safe to close without losing a
+  /// reply.
   [[nodiscard]] bool finished() const;
+
+  /// Graceful wind-down: stop reading new frames, let in-flight requests
+  /// complete and their responses flush, then report finished(). Idempotent;
+  /// nothing is cancelled.
+  void begin_drain();
+
+  /// Judges the connection against the listener's deadlines (a zero
+  /// duration disables that check). `now` is passed in so one sweep uses
+  /// one timestamp.
+  [[nodiscard]] Health hygiene(Clock::time_point now,
+                               std::chrono::milliseconds read_deadline,
+                               std::chrono::milliseconds idle_timeout,
+                               std::chrono::milliseconds write_stall) const;
 
   // -- any thread ------------------------------------------------------------
 
@@ -111,12 +149,17 @@ class Connection {
   FrameDecoder decoder_;
   bool reading_ = true;
   bool close_after_flush_ = false;
+  Clock::time_point last_read_;               ///< connect time, then last bytes
+  std::optional<Clock::time_point> frame_start_;  ///< current frame opened
 
   mutable std::mutex mu_;
   std::deque<std::vector<std::uint8_t>> outbox_;
   std::size_t front_offset_ = 0;  ///< bytes of outbox_.front() already sent
   std::size_t in_flight_ = 0;
   std::unordered_map<std::uint64_t, serve::ExternalTicket> tickets_;
+  /// Set while the outbox holds bytes; re-stamped on every write progress.
+  /// The stall clock, not the enqueue clock.
+  std::optional<Clock::time_point> write_pending_since_;
 };
 
 }  // namespace parma::net

@@ -8,13 +8,16 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "async/event.hpp"
 #include "common/require.hpp"
+#include "net/socket_ops.hpp"
 
 namespace parma::net {
 namespace {
@@ -26,10 +29,25 @@ void set_nonblocking(int fd) {
                 "fcntl(F_SETFL, O_NONBLOCK) failed");
 }
 
-std::string describe_peer(const sockaddr_in& addr) {
+std::string describe_peer(const sockaddr_storage& addr) {
+  if (addr.ss_family == AF_INET6) {
+    const auto& v6 = reinterpret_cast<const sockaddr_in6&>(addr);
+    char host[INET6_ADDRSTRLEN] = {0};
+    ::inet_ntop(AF_INET6, &v6.sin6_addr, host, sizeof host);
+    return "[" + std::string(host) + "]:" + std::to_string(ntohs(v6.sin6_port));
+  }
+  const auto& v4 = reinterpret_cast<const sockaddr_in&>(addr);
   char host[INET_ADDRSTRLEN] = {0};
-  ::inet_ntop(AF_INET, &addr.sin_addr, host, sizeof host);
-  return std::string(host) + ":" + std::to_string(ntohs(addr.sin_port));
+  ::inet_ntop(AF_INET, &v4.sin_addr, host, sizeof host);
+  return std::string(host) + ":" + std::to_string(ntohs(v4.sin_port));
+}
+
+/// "[::1]" and "::1" are the same listen address.
+std::string strip_brackets(const std::string& host) {
+  if (host.size() >= 2 && host.front() == '[' && host.back() == ']') {
+    return host.substr(1, host.size() - 2);
+  }
+  return host;
 }
 
 }  // namespace
@@ -42,17 +60,43 @@ Listener::~Listener() { stop(); }
 void Listener::start() {
   if (running_.load(std::memory_order_acquire)) return;
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  // An IPv6 literal (contains ':') binds an AF_INET6 socket; "::" clears
+  // IPV6_V6ONLY so v4 peers connect too (they appear as mapped addresses).
+  const std::string host = strip_brackets(options_.host);
+  const bool ipv6 = host.find(':') != std::string::npos;
+
+  listen_fd_ = ::socket(ipv6 ? AF_INET6 : AF_INET,
+                        SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   PARMA_REQUIRE(listen_fd_ >= 0, "socket() failed");
   const int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  PARMA_REQUIRE(::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) == 1,
-                "listener host is not a valid IPv4 address: " + options_.host);
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+  sockaddr_storage addr{};
+  socklen_t addr_len = 0;
+  if (ipv6) {
+    const int off = 0;
+    ::setsockopt(listen_fd_, IPPROTO_IPV6, IPV6_V6ONLY, &off, sizeof off);
+    auto& v6 = reinterpret_cast<sockaddr_in6&>(addr);
+    v6.sin6_family = AF_INET6;
+    v6.sin6_port = htons(options_.port);
+    if (::inet_pton(AF_INET6, host.c_str(), &v6.sin6_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      PARMA_REQUIRE(false, "listener host is not a valid IPv6 address: " + host);
+    }
+    addr_len = sizeof(sockaddr_in6);
+  } else {
+    auto& v4 = reinterpret_cast<sockaddr_in&>(addr);
+    v4.sin_family = AF_INET;
+    v4.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, host.c_str(), &v4.sin_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      PARMA_REQUIRE(false, "listener host is not a valid IPv4 address: " + host);
+    }
+    addr_len = sizeof(sockaddr_in);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), addr_len) != 0) {
     const int err = errno;
     ::close(listen_fd_);
     listen_fd_ = -1;
@@ -62,12 +106,14 @@ void Listener::start() {
   }
   PARMA_REQUIRE(::listen(listen_fd_, options_.backlog) == 0, "listen() failed");
 
-  sockaddr_in bound{};
+  sockaddr_storage bound{};
   socklen_t bound_len = sizeof bound;
   PARMA_REQUIRE(::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
                               &bound_len) == 0,
                 "getsockname() failed");
-  port_ = ntohs(bound.sin_port);
+  port_ = bound.ss_family == AF_INET6
+              ? ntohs(reinterpret_cast<const sockaddr_in6&>(bound).sin6_port)
+              : ntohs(reinterpret_cast<const sockaddr_in&>(bound).sin_port);
 
   int pipe_fds[2];
   PARMA_REQUIRE(::pipe(pipe_fds) == 0, "pipe() failed");
@@ -77,17 +123,46 @@ void Listener::start() {
   set_nonblocking(wake_write_fd_);
 
   stop_requested_.store(false, std::memory_order_release);
+  draining_.store(false, std::memory_order_release);
+  hygiene_due_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   io_thread_ = std::thread([this] { io_loop(); });
+
+  // The hygiene clock: a periodic tick marks a sweep due and pokes the poll
+  // loop awake. The sweep itself runs on the I/O thread, so connection
+  // timestamps stay single-threaded.
+  const std::chrono::milliseconds tick = hygiene_period();
+  if (tick.count() > 0) {
+    timers_ = std::make_unique<async::TimerQueue>();
+    timers_->schedule_every(
+        std::chrono::duration_cast<std::chrono::microseconds>(tick), [this] {
+          hygiene_due_.store(true, std::memory_order_release);
+          poke_wake_pipe();
+        });
+  }
+}
+
+std::chrono::milliseconds Listener::hygiene_period() const {
+  if (options_.hygiene_tick.count() > 0) return options_.hygiene_tick;
+  std::chrono::milliseconds tightest{0};
+  for (const std::chrono::milliseconds t :
+       {options_.read_deadline, options_.idle_timeout, options_.write_stall_timeout}) {
+    if (t.count() > 0 && (tightest.count() == 0 || t < tightest)) tightest = t;
+  }
+  if (tightest.count() == 0) return std::chrono::milliseconds{0};  // all disabled
+  return std::clamp(tightest / 4, std::chrono::milliseconds{10},
+                    std::chrono::milliseconds{1000});
 }
 
 void Listener::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
 
   stop_requested_.store(true, std::memory_order_release);
-  const std::uint8_t byte = 0;
-  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
+  poke_wake_pipe();
   io_thread_.join();
+  // The timer thread is joined before the wake pipe closes -- a tick
+  // mid-flight may still poke a live (just unwatched) pipe, never a dead fd.
+  timers_.reset();
 
   // The loop is down; cancel what the peers still had in flight so the
   // pipeline completes those chains promptly (kCancelled), then wait for
@@ -110,6 +185,19 @@ void Listener::stop() {
   listen_fd_ = wake_read_fd_ = wake_write_fd_ = -1;
 }
 
+bool Listener::drain(std::chrono::milliseconds deadline) {
+  if (!running_.load(std::memory_order_acquire)) return true;
+  draining_.store(true, std::memory_order_release);
+  poke_wake_pipe();
+
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  for (;;) {
+    if (connection_count() == 0) return true;
+    if (std::chrono::steady_clock::now() >= until) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+}
+
 std::size_t Listener::connection_count() const {
   std::lock_guard lock(conns_mu_);
   return conns_.size();
@@ -118,11 +206,16 @@ std::size_t Listener::connection_count() const {
 ListenerCounters Listener::counters() const {
   ListenerCounters c;
   c.connections_accepted = connections_accepted_.load(std::memory_order_relaxed);
+  c.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
   c.requests_admitted = requests_admitted_.load(std::memory_order_relaxed);
   c.responses_enqueued = responses_enqueued_.load(std::memory_order_relaxed);
   c.responses_dropped = responses_dropped_.load(std::memory_order_relaxed);
   c.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
   c.disconnects = disconnects_.load(std::memory_order_relaxed);
+  c.reaped_idle = reaped_idle_.load(std::memory_order_relaxed);
+  c.reaped_slowloris = reaped_slowloris_.load(std::memory_order_relaxed);
+  c.reaped_write_stall = reaped_write_stall_.load(std::memory_order_relaxed);
+  c.pings = pings_.load(std::memory_order_relaxed);
   return c;
 }
 
@@ -131,14 +224,19 @@ void Listener::io_loop() {
   std::vector<std::shared_ptr<Connection>> polled;
 
   while (!stop_requested_.load(std::memory_order_acquire)) {
+    const bool draining = draining_.load(std::memory_order_acquire);
     fds.clear();
     polled.clear();
     fds.push_back({wake_read_fd_, POLLIN, 0});
     {
       std::lock_guard lock(conns_mu_);
-      const bool accepting = conns_.size() < options_.max_connections;
-      fds.push_back({listen_fd_, static_cast<short>(accepting ? POLLIN : 0), 0});
+      // The listen fd stays armed even at the cap (and while draining):
+      // accept_ready answers over-cap dialers with a typed kServerBusy
+      // frame, which beats leaving them to hang in the backlog.
+      fds.push_back({listen_fd_, POLLIN, 0});
       for (auto& [fd, conn] : conns_) {
+        // Idempotent: every pass of a draining loop winds every peer down.
+        if (draining) conn->begin_drain();
         fds.push_back({fd, conn->poll_events(), 0});
         polled.push_back(conn);
       }
@@ -152,8 +250,8 @@ void Listener::io_loop() {
     if (stop_requested_.load(std::memory_order_acquire)) break;
 
     if (fds[0].revents & POLLIN) {
-      std::uint8_t drain[256];
-      while (::read(wake_read_fd_, drain, sizeof drain) > 0) {
+      std::uint8_t drain_buf[256];
+      while (::read(wake_read_fd_, drain_buf, sizeof drain_buf) > 0) {
       }
     }
     if (fds[1].revents & POLLIN) accept_ready();
@@ -167,7 +265,8 @@ void Listener::io_loop() {
       // and the read pass reports the EOF itself.
       if (pfd.revents & POLLIN) {
         result = conn->handle_readable(
-            [this, &conn](WireRequest&& wire) { handle_request(conn, std::move(wire)); });
+            [this, &conn](WireRequest&& wire) { handle_request(conn, std::move(wire)); },
+            [this] { pings_.fetch_add(1, std::memory_order_relaxed); });
       }
       if (result != Connection::IoResult::kClose && (pfd.revents & POLLOUT)) {
         const Connection::IoResult w = conn->handle_writable();
@@ -182,19 +281,50 @@ void Listener::io_loop() {
       if (result == Connection::IoResult::kProtocolError) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       } else if (result == Connection::IoResult::kClose) {
-        teardown(conn->fd(), /*protocol_error=*/false);
+        teardown(conn->fd(), CloseReason::kDisconnect);
         continue;
       }
-      // A poisoned connection lingers write-only until its error frame and
-      // straggler responses have flushed, then closes.
-      if (conn->finished()) teardown(conn->fd(), /*protocol_error=*/true);
+      // A poisoned or draining connection lingers write-only until its
+      // frames have flushed and its work settled, then closes.
+      if (conn->finished()) teardown(conn->fd(), CloseReason::kProtocolError);
+    }
+
+    if (hygiene_due_.exchange(false, std::memory_order_acq_rel)) hygiene_sweep();
+  }
+}
+
+void Listener::hygiene_sweep() {
+  const Connection::Clock::time_point now = Connection::Clock::now();
+  std::vector<std::pair<int, Connection::Health>> offenders;
+  {
+    std::lock_guard lock(conns_mu_);
+    for (auto& [fd, conn] : conns_) {
+      const Connection::Health verdict =
+          conn->hygiene(now, options_.read_deadline, options_.idle_timeout,
+                        options_.write_stall_timeout);
+      if (verdict != Connection::Health::kOk) offenders.emplace_back(fd, verdict);
+    }
+  }
+  for (const auto& [fd, verdict] : offenders) {
+    switch (verdict) {
+      case Connection::Health::kSlowloris:
+        teardown(fd, CloseReason::kSlowloris);
+        break;
+      case Connection::Health::kWriteStall:
+        teardown(fd, CloseReason::kWriteStall);
+        break;
+      case Connection::Health::kIdle:
+        teardown(fd, CloseReason::kIdle);
+        break;
+      case Connection::Health::kOk:
+        break;
     }
   }
 }
 
 void Listener::accept_ready() {
   for (;;) {
-    sockaddr_in addr{};
+    sockaddr_storage addr{};
     socklen_t len = sizeof addr;
     const int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -205,6 +335,30 @@ void Listener::accept_ready() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    if (options_.sndbuf_bytes > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+                   sizeof options_.sndbuf_bytes);
+    }
+
+    bool over_cap;
+    {
+      std::lock_guard lock(conns_mu_);
+      over_cap = conns_.size() >= options_.max_connections ||
+                 draining_.load(std::memory_order_acquire);
+    }
+    if (over_cap) {
+      // Typed rejection: the peer learns WHY instead of diagnosing a bare
+      // RST. Best-effort single write -- the frame fits any empty socket
+      // buffer; a peer too slow to take even that gets the plain close.
+      WireError busy;
+      busy.code = ProtoCode::kServerBusy;
+      busy.message = "listener is at its connection cap";
+      const std::vector<std::uint8_t> frame = encode_error(busy);
+      (void)sock::send_some(fd, frame.data(), frame.size());
+      ::close(fd);
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
 
     auto conn = std::make_shared<Connection>(
         fd, wake_write_fd_, describe_peer(addr), options_.max_body_bytes,
@@ -212,7 +366,7 @@ void Listener::accept_ready() {
     {
       std::lock_guard lock(conns_mu_);
       if (conns_.size() >= options_.max_connections) {
-        // Raced past the pre-poll capacity check; shed the newcomer.
+        // Raced past the capacity check; shed the newcomer.
         continue;  // conn destructor closes fd
       }
       conns_.emplace(fd, std::move(conn));
@@ -274,7 +428,7 @@ void Listener::handle_request(const std::shared_ptr<Connection>& conn,
   }
 }
 
-void Listener::teardown(int fd, bool protocol_error) {
+void Listener::teardown(int fd, CloseReason reason) {
   std::shared_ptr<Connection> conn;
   {
     std::lock_guard lock(conns_mu_);
@@ -283,15 +437,35 @@ void Listener::teardown(int fd, bool protocol_error) {
     conn = std::move(it->second);
     conns_.erase(it);
   }
-  if (!protocol_error) {
-    // Abrupt disconnect: whatever the peer still has in the pipeline is
-    // cancelled so it stops consuming solver time. (The protocol-error path
-    // already cancelled at poisoning time.)
+  if (reason != CloseReason::kProtocolError) {
+    // Abrupt disconnect or reaping: whatever the peer still has in the
+    // pipeline is cancelled so it stops consuming solver time. (The
+    // protocol-error path already cancelled at poisoning time.)
     conn->cancel_all();
+  }
+  switch (reason) {
+    case CloseReason::kIdle:
+      reaped_idle_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CloseReason::kSlowloris:
+      reaped_slowloris_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CloseReason::kWriteStall:
+      reaped_write_stall_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case CloseReason::kDisconnect:
+    case CloseReason::kProtocolError:
+      break;
   }
   disconnects_.fetch_add(1, std::memory_order_relaxed);
   // `conn` drops here; in-flight completions hold weak_ptrs and will find
   // them expired. The destructor closes the fd.
+}
+
+void Listener::poke_wake_pipe() {
+  const std::uint8_t byte = 0;
+  // Best effort: EAGAIN means the pipe already holds a pending wake.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_fd_, &byte, 1);
 }
 
 }  // namespace parma::net

@@ -125,18 +125,43 @@ void put_header(std::vector<std::uint8_t>& out, FrameType type,
   put_u16(out, static_cast<std::uint16_t>(type));
   put_u64(out, request_id);
   put_u32(out, body_len);
+  // body_sum: the empty-body checksum up front, so header-only frames
+  // (ping/pong) are complete as written; bodied frames re-patch at the end.
+  put_u32(out, body_checksum(nullptr, 0));
 }
 
-/// Patches the body_len field once the body is serialized (offset 16).
+/// Patches body_len (offset 16) and body_sum (offset 20) once the body is
+/// serialized.
 void patch_body_len(std::vector<std::uint8_t>& out) {
   const auto body_len = static_cast<std::uint32_t>(out.size() - kHeaderBytes);
   for (int i = 0; i < 4; ++i) {
     out[16 + static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(body_len >> (8 * i));
   }
+  patch_body_checksum(out);
 }
 
 }  // namespace
+
+std::uint32_t body_checksum(const std::uint8_t* data, std::size_t size) {
+  // FNV-1a 32-bit.
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void patch_body_checksum(std::vector<std::uint8_t>& frame) {
+  PARMA_REQUIRE(frame.size() >= kHeaderBytes, "frame shorter than its header");
+  const std::uint32_t sum =
+      body_checksum(frame.data() + kHeaderBytes, frame.size() - kHeaderBytes);
+  for (int i = 0; i < 4; ++i) {
+    frame[20 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(sum >> (8 * i));
+  }
+}
 
 const char* proto_code_name(ProtoCode code) {
   switch (code) {
@@ -149,6 +174,8 @@ const char* proto_code_name(ProtoCode code) {
     case ProtoCode::kBadEnum: return "bad-enum";
     case ProtoCode::kBadShape: return "bad-shape";
     case ProtoCode::kTruncatedBody: return "truncated-body";
+    case ProtoCode::kBadChecksum: return "bad-checksum";
+    case ProtoCode::kServerBusy: return "server-busy";
   }
   return "?";
 }
@@ -319,6 +346,20 @@ std::vector<std::uint8_t> encode_error(const WireError& error) {
   return out;
 }
 
+std::vector<std::uint8_t> encode_ping(std::uint64_t request_id) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes);
+  put_header(out, FrameType::kPing, request_id, 0);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_pong(std::uint64_t request_id) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes);
+  put_header(out, FrameType::kPong, request_id, 0);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Decoding.
 
@@ -341,13 +382,18 @@ ProtocolError decode_header(const std::uint8_t* data, std::size_t size,
   const std::uint16_t type = r.u16();
   out.request_id = r.u64();
   out.body_len = r.u32();
+  out.body_sum = r.u32();
   if (type < static_cast<std::uint16_t>(FrameType::kRequest) ||
-      type > static_cast<std::uint16_t>(FrameType::kError)) {
+      type > static_cast<std::uint16_t>(FrameType::kPong)) {
     std::ostringstream os;
     os << "unknown frame type " << type;
     return fail(ProtoCode::kBadFrameType, os.str());
   }
   out.type = static_cast<FrameType>(type);
+  if ((out.type == FrameType::kPing || out.type == FrameType::kPong) &&
+      out.body_len != 0) {
+    return fail(ProtoCode::kBodyShapeMismatch, "keepalive frames carry no body");
+  }
   if (out.body_len > max_body_bytes) {
     std::ostringstream os;
     os << "declared body of " << out.body_len << " bytes exceeds the " << max_body_bytes
@@ -468,7 +514,7 @@ ProtocolError decode_error_body(const std::uint8_t* data, std::size_t size,
   if (size != r.pos + message_len) {
     return fail(ProtoCode::kBodyShapeMismatch, "error body length mismatch");
   }
-  if (code > static_cast<std::uint16_t>(ProtoCode::kTruncatedBody)) {
+  if (code > static_cast<std::uint16_t>(ProtoCode::kServerBusy)) {
     return fail(ProtoCode::kBadEnum, "unknown protocol error code");
   }
   out.code = static_cast<ProtoCode>(code);
@@ -490,7 +536,7 @@ FrameDecoder::Result FrameDecoder::next(Frame& frame) {
   if (!pending_) {
     if (buffer_.size() - consumed_ < kHeaderBytes) return Result::kNeedMore;
     FrameHeader header;
-    // The header is judged the moment its 20 bytes exist: a hostile length
+    // The header is judged the moment its 24 bytes exist: a hostile length
     // prefix dies here, before any buffer grows toward body_len.
     error_ = decode_header(buffer_.data() + consumed_, kHeaderBytes, max_body_bytes_,
                            header);
@@ -510,8 +556,17 @@ FrameDecoder::Result FrameDecoder::next(Frame& frame) {
 
   const std::uint8_t* body = buffer_.data() + consumed_;
   const std::size_t body_len = pending_->body_len;
+  // Integrity before interpretation: a flipped payload byte must become a
+  // typed error here, never a silently wrong decoded value.
+  if (body_checksum(body, body_len) != pending_->body_sum) {
+    error_ = ProtocolError{ProtoCode::kBadChecksum,
+                           "body bytes disagree with the header checksum"};
+    error_request_id_ = pending_->request_id;
+    return Result::kError;
+  }
   frame = Frame{};
   frame.type = pending_->type;
+  frame.request_id = pending_->request_id;
   switch (pending_->type) {
     case FrameType::kRequest: {
       WireRequest request;
@@ -540,6 +595,10 @@ FrameDecoder::Result FrameDecoder::next(Frame& frame) {
       }
       break;
     }
+    case FrameType::kPing:
+    case FrameType::kPong:
+      // Header-only by construction (decode_header enforces body_len == 0).
+      break;
   }
   if (!error_.ok()) {
     error_request_id_ = pending_->request_id;

@@ -1,7 +1,7 @@
 // parma::net -- the compact length-prefixed binary protocol of the socket
 // transport tier.
 //
-// Every frame is a fixed 20-byte header followed by a typed body:
+// Every frame is a fixed 24-byte header followed by a typed body:
 //
 //   offset  size  field
 //        0     4  magic      0x414D5250 ("PRMA", little-endian on the wire)
@@ -9,6 +9,7 @@
 //        6     2  type       FrameType
 //        8     8  request_id caller-chosen; echoed verbatim on the response
 //       16     4  body_len   bytes that follow the header
+//       20     4  body_sum   FNV-1a checksum of those bytes (v2)
 //
 // All integers are little-endian fixed-width; floating point is IEEE-754
 // binary64 bit-copied (the native representation on every supported target),
@@ -18,14 +19,18 @@
 // workers/chunk, iteration cap), the Z and U sweeps, and the optional
 // measurement mask; a response body carries the typed wire status
 // (serve/status.hpp stable codes -- never raw enum ordinals), stage timings,
-// and the recovered field for kOk/kDegradedResult.
+// and the recovered field for kOk/kDegradedResult. Ping/pong keepalive
+// frames (v2) are header-only: body_len 0, request_id as the echo token.
 //
 // Decoding is exception-free by contract: malformed input -- truncation,
-// garbage magic, a foreign version, an oversized declared body, a body that
-// disagrees with its own shape header -- comes back as a typed ProtocolError
-// diagnostic, never a throw and never a crash. An oversized declared body is
-// rejected from the 20 header bytes alone, before any buffer grows toward
-// it, so a hostile 4 GiB length prefix costs the server nothing.
+// garbage magic, a foreign version, an oversized declared body, a corrupted
+// byte caught by the checksum, a body that disagrees with its own shape
+// header -- comes back as a typed ProtocolError diagnostic, never a throw
+// and never a crash. An oversized declared body is rejected from the 24
+// header bytes alone, before any buffer grows toward it, so a hostile 4 GiB
+// length prefix costs the server nothing. The checksum is what turns wire
+// corruption (a flipped bit in a Z sample would otherwise decode fine) into
+// a typed, recoverable teardown instead of a silently wrong answer.
 #pragma once
 
 #include <cstddef>
@@ -41,8 +46,10 @@
 namespace parma::net {
 
 inline constexpr std::uint32_t kMagic = 0x414D5250u;  // "PRMA"
-inline constexpr std::uint16_t kProtocolVersion = 1;
-inline constexpr std::size_t kHeaderBytes = 20;
+/// v2: +body checksum in the header, ping/pong keepalive frames, typed
+/// kServerBusy connection rejects.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::size_t kHeaderBytes = 24;
 
 /// Hard ceiling on rows/cols in a request shape header: large enough for any
 /// device the paper contemplates (wet-lab data tops out at 100 x 100), small
@@ -58,6 +65,8 @@ enum class FrameType : std::uint16_t {
   kRequest = 1,   ///< client -> server parametrization request
   kResponse = 2,  ///< server -> client completion (ParametrizeResult wire form)
   kError = 3,     ///< server -> client protocol-level error diagnostic
+  kPing = 4,      ///< either direction: keepalive probe (header-only)
+  kPong = 5,      ///< either direction: keepalive echo (header-only)
 };
 
 /// Typed decode diagnostics. Stable numeric values: they travel inside
@@ -72,9 +81,23 @@ enum class ProtoCode : std::uint16_t {
   kBadEnum = 6,          ///< enum field (priority/strategy/...) out of range
   kBadShape = 7,         ///< rows/cols outside [2, kMaxWireDim]
   kTruncatedBody = 8,    ///< body ended mid-field
+  kBadChecksum = 9,      ///< body bytes disagree with the header checksum
+  kServerBusy = 10,      ///< connection rejected: the listener is at capacity
 };
 
 const char* proto_code_name(ProtoCode code);
+
+/// FNV-1a 32-bit over the body bytes -- the header's body_sum field. Cheap
+/// enough to run on every frame, strong enough to catch the single-byte
+/// corruption real links (and the chaos injector) produce. Exposed so tests
+/// that hand-corrupt encoded bodies can re-patch the header to keep (or
+/// break) frame integrity deliberately.
+[[nodiscard]] std::uint32_t body_checksum(const std::uint8_t* data, std::size_t size);
+
+/// Rewrites the header checksum at `frame[20]` to match the body bytes that
+/// follow the header. For tests that mutate an encoded frame's body and
+/// still want it to pass integrity checking.
+void patch_body_checksum(std::vector<std::uint8_t>& frame);
 
 /// One decode failure: what went wrong plus a human-readable detail.
 struct ProtocolError {
@@ -164,6 +187,9 @@ struct WireError {
 [[nodiscard]] std::vector<std::uint8_t> encode_request(const WireRequest& request);
 [[nodiscard]] std::vector<std::uint8_t> encode_response(const WireResponse& response);
 [[nodiscard]] std::vector<std::uint8_t> encode_error(const WireError& error);
+/// Header-only keepalive frames; `request_id` is the echo token.
+[[nodiscard]] std::vector<std::uint8_t> encode_ping(std::uint64_t request_id);
+[[nodiscard]] std::vector<std::uint8_t> encode_pong(std::uint64_t request_id);
 
 // ---------------------------------------------------------------------------
 // Decoding.
@@ -174,17 +200,20 @@ struct FrameHeader {
   FrameType type = FrameType::kRequest;
   std::uint64_t request_id = 0;
   std::uint32_t body_len = 0;
+  std::uint32_t body_sum = 0;
 };
 
-/// One decoded frame of any type.
+/// One decoded frame of any type. `request_id` is always the header id --
+/// for ping/pong (which have no body record) it is the only payload.
 struct Frame {
   FrameType type = FrameType::kRequest;
+  std::uint64_t request_id = 0;
   std::optional<WireRequest> request;
   std::optional<WireResponse> response;
   std::optional<WireError> error;
 };
 
-/// Validates the 20 header bytes. Never reads past kHeaderBytes.
+/// Validates the 24 header bytes. Never reads past kHeaderBytes.
 [[nodiscard]] ProtocolError decode_header(const std::uint8_t* data, std::size_t size,
                                           std::uint32_t max_body_bytes,
                                           FrameHeader& out);
@@ -200,7 +229,7 @@ struct Frame {
 /// Incremental frame reassembly over a byte stream: feed() whatever the
 /// socket produced, then drain next() until it stops yielding kFrame.
 ///
-/// The decoder validates the header as soon as 20 bytes are buffered -- a
+/// The decoder validates the header as soon as 24 bytes are buffered -- a
 /// hostile length prefix is rejected (kBodyTooLarge) before any allocation
 /// approaches the declared size -- and holds at most one in-progress frame.
 /// After the first error the decoder is poisoned: the stream has lost frame
@@ -234,6 +263,14 @@ class FrameDecoder {
   /// Bytes currently buffered (tests: proves oversized bodies are rejected
   /// without buffering toward body_len).
   [[nodiscard]] std::size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+  /// True while a validated header is waiting for (part of) its body, or a
+  /// partial header is buffered -- i.e. the peer owes us bytes to finish a
+  /// frame. The listener's slowloris deadline keys off this: a peer that
+  /// holds a frame open past the read deadline is stalling on purpose.
+  [[nodiscard]] bool mid_frame() const {
+    return pending_.has_value() || buffered_bytes() > 0;
+  }
 
  private:
   std::uint32_t max_body_bytes_;

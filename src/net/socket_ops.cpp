@@ -1,0 +1,96 @@
+#include "net/socket_ops.hpp"
+
+#include <cerrno>
+#include <thread>
+
+#include "fault/injector.hpp"
+
+namespace parma::net::sock {
+namespace {
+
+/// A fired reset tears the connection down for real: both directions shut,
+/// so the peer sees EOF/RST and this side's operation fails ECONNRESET --
+/// the same observable outcome as a genuine mid-flight RST.
+IoCount inject_reset(int fd) {
+  ::shutdown(fd, SHUT_RDWR);
+  return {-1, ECONNRESET};
+}
+
+void maybe_stall(fault::Injector* injector, fault::Point point) {
+  if (injector->should_fire(point)) std::this_thread::sleep_for(injector->stall);
+}
+
+}  // namespace
+
+IoCount send_some(int fd, const void* data, std::size_t len) {
+  if (fault::Injector* injector = fault::installed(); injector != nullptr) {
+    if (injector->should_fire(fault::Point::kSockReset)) return inject_reset(fd);
+    if (len > 1 && injector->should_fire(fault::Point::kSockTornWrite)) {
+      len = len / 2;  // a strict prefix: the caller's short-write loop resumes
+    }
+  }
+  for (;;) {
+    const ssize_t n = ::send(fd, data, len, MSG_NOSIGNAL);
+    if (n >= 0) return {n, 0};
+    if (errno == EINTR) continue;
+    return {-1, errno};
+  }
+}
+
+IoCount sendv_some(int fd, const iovec* iov, int iov_count) {
+  iovec torn;  // lifetime must cover the syscall below
+  if (fault::Injector* injector = fault::installed(); injector != nullptr) {
+    if (injector->should_fire(fault::Point::kSockReset)) return inject_reset(fd);
+    if (injector->should_fire(fault::Point::kSockTornWrite) && iov_count > 0 &&
+        iov[0].iov_len > 1) {
+      torn = iov[0];
+      torn.iov_len = torn.iov_len / 2;
+      iov = &torn;
+      iov_count = 1;
+    }
+  }
+  msghdr msg{};
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = static_cast<std::size_t>(iov_count);
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n >= 0) return {n, 0};
+    if (errno == EINTR) continue;
+    return {-1, errno};
+  }
+}
+
+IoCount recv_some(int fd, void* data, std::size_t len) {
+  fault::Injector* injector = fault::installed();
+  if (injector != nullptr) {
+    maybe_stall(injector, fault::Point::kSockReadStall);
+    if (injector->should_fire(fault::Point::kSockReset)) return inject_reset(fd);
+  }
+  ssize_t n;
+  for (;;) {
+    n = ::recv(fd, data, len, 0);
+    if (n >= 0) break;
+    if (errno == EINTR) continue;
+    return {-1, errno};
+  }
+  if (n > 0 && injector != nullptr &&
+      injector->should_fire(fault::Point::kSockCorruptByte)) {
+    // One flipped bit mid-burst; the frame checksum turns this into a typed
+    // protocol error instead of silently corrupted payload data.
+    static_cast<std::uint8_t*>(data)[static_cast<std::size_t>(n) / 2] ^= 0x10;
+  }
+  return {n, 0};
+}
+
+IoCount connect_begin(int fd, const sockaddr* addr, socklen_t len) {
+  if (fault::Injector* injector = fault::installed(); injector != nullptr) {
+    maybe_stall(injector, fault::Point::kSockConnectDelay);
+  }
+  if (::connect(fd, addr, len) == 0) return {0, 0};
+  // EINTR on connect means the handshake proceeds in the background; the
+  // caller's poll-for-writable path handles it exactly like EINPROGRESS.
+  if (errno == EINTR) return {-1, EINPROGRESS};
+  return {-1, errno};
+}
+
+}  // namespace parma::net::sock

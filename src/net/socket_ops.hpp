@@ -1,0 +1,62 @@
+// parma::net::sock -- the fault-aware socket shim under every net syscall.
+//
+// All reads and writes in src/net go through these wrappers instead of raw
+// recv/send/writev. The shim gives three guarantees the call sites used to
+// re-implement (inconsistently) by hand:
+//
+//   1. EINTR never escapes: every operation retries the syscall.
+//   2. SIGPIPE never fires: sends use MSG_NOSIGNAL (writev becomes sendmsg),
+//      so a peer that died mid-write surfaces as EPIPE, a typed error the
+//      caller handles, instead of killing the process.
+//   3. Deterministic wire chaos: when a fault::Injector is installed, the
+//      socket fault points (torn writes, read stalls, injected resets,
+//      connect delays, byte corruption) apply here, driven by the same
+//      (seed, point, index) schedule as the in-process points. Disabled
+//      cost is one relaxed atomic load per operation -- the production
+//      configuration stays the production configuration.
+//
+// Results carry the errno out-of-band (`err`) so callers never read a
+// clobbered global after the shim's own cleanup syscalls.
+#pragma once
+
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/uio.h>
+
+#include <cerrno>
+#include <cstddef>
+
+namespace parma::net::sock {
+
+/// One socket operation's outcome: `n` is the byte count (0 = EOF on reads),
+/// negative means failure with the reason in `err`.
+struct IoCount {
+  ssize_t n = 0;
+  int err = 0;
+
+  [[nodiscard]] bool failed() const { return n < 0; }
+  [[nodiscard]] bool would_block() const {
+    return n < 0 && (err == EAGAIN || err == EWOULDBLOCK);
+  }
+};
+
+/// send(fd, data, len, MSG_NOSIGNAL) with EINTR retry. Fault points:
+/// kSockReset (shuts the socket down, returns ECONNRESET), kSockTornWrite
+/// (delivers only a prefix -- callers must already handle short writes).
+[[nodiscard]] IoCount send_some(int fd, const void* data, std::size_t len);
+
+/// writev as sendmsg(..., MSG_NOSIGNAL) with EINTR retry; same fault points
+/// as send_some (a torn write truncates the gather list to a prefix).
+[[nodiscard]] IoCount sendv_some(int fd, const iovec* iov, int iov_count);
+
+/// recv(fd, data, len) with EINTR retry. Fault points: kSockReadStall
+/// (sleeps the injector's stall first), kSockReset, kSockCorruptByte (one
+/// received byte arrives flipped -- the frame checksum catches it).
+[[nodiscard]] IoCount recv_some(int fd, void* data, std::size_t len);
+
+/// connect(fd, addr, len) with EINTR retry (EINTR on connect means the
+/// attempt continues asynchronously, so it maps to EINPROGRESS). Fault
+/// point: kSockConnectDelay sleeps the injector's stall before the attempt.
+[[nodiscard]] IoCount connect_begin(int fd, const sockaddr* addr, socklen_t len);
+
+}  // namespace parma::net::sock

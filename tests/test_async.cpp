@@ -222,6 +222,83 @@ TEST(AsyncTimerQueue, FlushExpeditesPendingAndLatches) {
   EXPECT_EQ(timers.flushed(), 2u);
 }
 
+TEST(AsyncTimerQueue, PeriodicFiresRepeatedlyUntilCancelled) {
+  async::TimerQueue timers;
+  std::mutex mu;
+  std::condition_variable cv;
+  int ticks = 0;
+  const async::TimerQueue::TimerId id = timers.schedule_every(2ms, [&] {
+    std::lock_guard lock(mu);
+    ++ticks;
+    cv.notify_all();
+  });
+  {
+    std::unique_lock lock(mu);
+    ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return ticks >= 3; }));
+  }
+  timers.cancel(id);
+  // The cancel may race one in-flight tick; after that the cadence is dead.
+  std::this_thread::sleep_for(20ms);
+  int settled;
+  {
+    std::lock_guard lock(mu);
+    settled = ticks;
+  }
+  std::this_thread::sleep_for(30ms);
+  std::lock_guard lock(mu);
+  EXPECT_EQ(ticks, settled) << "the periodic kept firing after cancel()";
+  EXPECT_EQ(timers.flushed(), 0u);  // all fires were natural
+}
+
+TEST(AsyncTimerQueue, PeriodicMayCancelItselfFromItsOwnCallback) {
+  async::TimerQueue timers;
+  std::mutex mu;
+  std::condition_variable cv;
+  int ticks = 0;
+  async::TimerQueue::TimerId id = 0;
+  {
+    std::lock_guard lock(mu);  // publish `id` before the first fire
+    id = timers.schedule_every(2ms, [&] {
+      std::lock_guard inner(mu);
+      if (++ticks == 2) timers.cancel(id);
+      cv.notify_all();
+    });
+  }
+  std::unique_lock lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, 5s, [&] { return ticks >= 2; }));
+  lock.unlock();
+  std::this_thread::sleep_for(30ms);
+  lock.lock();
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(AsyncTimerQueue, PeriodicsAreDroppedNotFiredUnderFlushAndStop) {
+  // Drain semantics: flush() fires every pending one-shot but must never
+  // fire a maintenance tick early, and a queue that is draining (or
+  // stopped) registers new periodics as dead letters.
+  async::TimerQueue timers;
+  std::atomic<int> ticks{0};
+  (void)timers.schedule_every(1h, [&] { ticks.fetch_add(1); });
+  EXPECT_EQ(timers.pending(), 1u);
+
+  std::promise<bool> one_shot;
+  timers.schedule_after(1h, [&one_shot](bool flushed) { one_shot.set_value(flushed); });
+  timers.flush();
+  std::future<bool> f = one_shot.get_future();
+  ASSERT_EQ(f.wait_for(5s), std::future_status::ready);
+  EXPECT_TRUE(f.get());        // the one-shot fired, cut short...
+  EXPECT_EQ(ticks.load(), 0);  // ...the periodic did not
+
+  // Expedited mode: a new periodic is accepted (the id is handed out) but
+  // never fires -- the queue is winding down.
+  (void)timers.schedule_every(1ms, [&] { ticks.fetch_add(1); });
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(ticks.load(), 0);
+
+  timers.stop();
+  EXPECT_EQ(ticks.load(), 0);
+}
+
 // ------------------------------------------------------------------- retry
 
 TEST(AsyncRetry, RetriesUntilSuccessWithTwoBasedBackoffAttempts) {

@@ -17,17 +17,24 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstring>
+#include <functional>
+#include <thread>
 #include <vector>
 
+#include "common/require.hpp"
 #include "common/rng.hpp"
+#include "fault/injector.hpp"
 #include "mea/generator.hpp"
 #include "mea/measurement.hpp"
 #include "net/client.hpp"
 #include "net/listener.hpp"
 #include "net/protocol.hpp"
+#include "net/socket_ops.hpp"
 #include "serve/server.hpp"
 
 namespace parma::net {
@@ -264,6 +271,7 @@ TEST(NetProtocol, MidPayloadTruncationSurfacesWhenBodyArrivesShort) {
   std::vector<std::uint8_t> bytes = encode_request(request);
   const std::uint32_t rows = 64;  // body still carries 3x3 worth of samples
   std::memcpy(&bytes[kHeaderBytes + 16], &rows, sizeof rows);
+  patch_body_checksum(bytes);  // keep integrity valid: the SHAPE is the lie
 
   FrameDecoder decoder;
   decoder.feed(bytes);
@@ -275,6 +283,7 @@ TEST(NetProtocol, MidPayloadTruncationSurfacesWhenBodyArrivesShort) {
 TEST(NetProtocol, OutOfRangeEnumIsTyped) {
   std::vector<std::uint8_t> bytes = encode_request(make_wire_request(3, 5));
   bytes[kHeaderBytes + 0] = 9;  // priority: valid values are 0/1/2
+  patch_body_checksum(bytes);
   FrameDecoder decoder;
   decoder.feed(bytes);
   Frame frame;
@@ -286,6 +295,7 @@ TEST(NetProtocol, DegenerateShapeIsTyped) {
   std::vector<std::uint8_t> bytes = encode_request(make_wire_request(3, 5));
   const std::uint32_t rows = 1;  // below the 2x2 minimum
   std::memcpy(&bytes[kHeaderBytes + 16], &rows, sizeof rows);
+  patch_body_checksum(bytes);
   FrameDecoder decoder;
   decoder.feed(bytes);
   Frame frame;
@@ -561,6 +571,499 @@ TEST(NetEndToEnd, ListenerStopWhileRequestsInFlightJoinsCleanly) {
   // Stop with work still in the pipeline: in-flight requests are cancelled,
   // completions drain through the scope join, nothing leaks or races (the
   // tsan label runs this under -DPARMA_SANITIZE=thread).
+  listener.stop();
+  server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket helpers for the hygiene and failure-mode tests.
+
+/// Blocking IPv4 loopback connect; fails the test on any syscall error.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void send_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0) << std::strerror(errno);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void send_all(int fd, const std::vector<std::uint8_t>& bytes) {
+  send_all(fd, bytes.data(), bytes.size());
+}
+
+bool wait_until(const std::function<bool()>& pred, std::chrono::milliseconds limit) {
+  const auto deadline = std::chrono::steady_clock::now() + limit;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// The SIGPIPE witness for the socket-shim regression tests. sig_atomic_t
+/// because the handler must stay async-signal-safe.
+volatile std::sig_atomic_t g_sigpipe_seen = 0;
+
+// ---------------------------------------------------------------------------
+// Socket-shim hygiene: EPIPE stays a typed error, never a signal.
+
+TEST(NetSocketOps, WriteToClosedPeerIsTypedEpipeNotSigpipe) {
+  g_sigpipe_seen = 0;
+  struct sigaction sa {};
+  struct sigaction old {};
+  sa.sa_handler = [](int) { g_sigpipe_seen = 1; };
+  ASSERT_EQ(::sigaction(SIGPIPE, &sa, &old), 0);
+
+  int pair[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, pair), 0);
+  ::close(pair[1]);  // the peer is gone before we write
+
+  // Without MSG_NOSIGNAL in the shim this write raises SIGPIPE (default
+  // disposition: process death). The contract is a typed IoCount instead.
+  std::uint8_t byte = 0x5a;
+  sock::IoCount io = sock::send_some(pair[0], &byte, 1);
+  if (!io.failed()) io = sock::send_some(pair[0], &byte, 1);
+  EXPECT_TRUE(io.failed());
+  EXPECT_EQ(io.err, EPIPE) << std::strerror(io.err);
+
+  // The gathered-write path must carry the same flag.
+  iovec iov{&byte, 1};
+  const sock::IoCount iov_io = sock::sendv_some(pair[0], &iov, 1);
+  EXPECT_TRUE(iov_io.failed());
+  EXPECT_EQ(iov_io.err, EPIPE) << std::strerror(iov_io.err);
+
+  EXPECT_EQ(g_sigpipe_seen, 0) << "a socket write raised SIGPIPE";
+  ::close(pair[0]);
+  ::sigaction(SIGPIPE, &old, nullptr);
+}
+
+TEST(NetEndToEnd, PeerVanishingMidPipelineRaisesNoSignalAndServiceContinues) {
+  g_sigpipe_seen = 0;
+  struct sigaction sa {};
+  struct sigaction old {};
+  sa.sa_handler = [](int) { g_sigpipe_seen = 1; };
+  ASSERT_EQ(::sigaction(SIGPIPE, &sa, &old), 0);
+
+  serve::Server server(small_server());
+  Listener listener(server);
+  listener.start();
+
+  // Pipeline two requests and vanish without reading a byte: whichever
+  // response writes race the teardown must surface as typed close paths on
+  // the I/O thread, never as a process-killing SIGPIPE.
+  int fd = raw_connect(listener.port());
+  send_all(fd, encode_request(make_wire_request(5, 1)));
+  send_all(fd, encode_request(make_wire_request(5, 2)));
+  ::close(fd);
+
+  ASSERT_TRUE(wait_until([&] { return listener.counters().disconnects >= 1; }, 10000ms));
+
+  // Service is unimpaired afterwards.
+  Client client;
+  ClientOptions copts;
+  copts.port = listener.port();
+  client.connect(copts);
+  const auto reply = client.request(make_wire_request(4, 0), 10000ms);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok()) << client_error_name(reply->transport);
+
+  EXPECT_EQ(g_sigpipe_seen, 0) << "a socket write raised SIGPIPE";
+  client.disconnect();
+  listener.stop();
+  server.shutdown();
+  ::sigaction(SIGPIPE, &old, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Typed client failure modes.
+
+TEST(NetClient, ServerCloseBetweenSendAndWaitIsTypedConnectionLost) {
+  // Regression: an acceptor that takes the request bytes and slams the
+  // connection shut used to leave wait() spinning to its timeout with the
+  // request parked forever. The outcome must be a typed kConnectionLost
+  // reply -- promptly, not after the timeout.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 1), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+
+  Client client;
+  ClientOptions copts;
+  copts.port = ntohs(addr.sin_port);
+  client.connect(copts);
+  const std::uint64_t id = client.send(make_wire_request(3, 0));
+
+  const int peer = ::accept(lfd, nullptr, nullptr);
+  ASSERT_GE(peer, 0);
+  std::uint8_t sink[1024];
+  (void)::recv(peer, sink, sizeof sink, 0);  // the request starts arriving...
+  ::close(peer);                             // ...and the server vanishes
+  ::close(lfd);
+
+  const auto reply = client.wait(id, 5000ms);
+  ASSERT_TRUE(reply.has_value()) << "wait() ran to its timeout instead of failing";
+  EXPECT_EQ(reply->transport, ClientError::kConnectionLost);
+  EXPECT_EQ(client.last_error(), ClientError::kConnectionLost);
+  EXPECT_EQ(client.pending(), 0u);
+}
+
+TEST(NetClient, ConnectToDeadPortThrowsIoError) {
+  // Find a port that is free right now by binding and releasing it.
+  const int probe = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(probe, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(probe, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(probe);
+
+  Client client;
+  ClientOptions copts;
+  copts.port = ntohs(addr.sin_port);
+  copts.connect_timeout = 2000ms;
+  EXPECT_THROW(client.connect(copts), IoError);
+  EXPECT_EQ(client.last_error(), ClientError::kConnectFailed);
+}
+
+TEST(NetClient, ReconnectReplaysAndRecoversAfterInjectedReset) {
+  serve::Server server(small_server());
+  Listener listener(server);
+  listener.start();
+
+  std::vector<ConnState> states;
+  Client client;
+  ClientOptions copts;
+  copts.port = listener.port();
+  copts.reconnect = true;
+  copts.reconnect_backoff = 2ms;
+  copts.reconnect_backoff_cap = 20ms;
+  copts.on_state = [&](ConnState s) { states.push_back(s); };
+  client.connect(copts);
+
+  // A clean round trip first (no injector active).
+  const auto baseline = client.request(make_wire_request(4, 0), 20000ms);
+  ASSERT_TRUE(baseline.has_value());
+  ASSERT_TRUE(baseline->ok()) << client_error_name(baseline->transport);
+
+  {
+    // Exactly one reset, wherever the schedule lands it (client write,
+    // client read, or the server side of the same connection): every path
+    // must converge on reconnect + replay + a completed response.
+    fault::ScopedInjector chaos(33);
+    chaos->arm(fault::Point::kSockReset, {1.0, 1});
+    const std::uint64_t id = client.send(make_wire_request(4, 0));
+    const auto reply = client.wait(id, 20000ms);
+    ASSERT_TRUE(reply.has_value()) << "request never terminated across the reset";
+    EXPECT_TRUE(reply->ok()) << client_error_name(reply->transport);
+  }
+
+  EXPECT_GE(client.reconnects(), 1u);
+  EXPECT_NE(std::find(states.begin(), states.end(), ConnState::kReconnecting),
+            states.end());
+  EXPECT_EQ(states.back(), ConnState::kConnected);
+
+  client.disconnect();
+  listener.stop();
+  server.shutdown();
+}
+
+TEST(NetClient, DeadlineLapsesAcrossOutageAsTypedDeadlineExceeded) {
+  serve::Server server(small_server());
+  Listener listener(server);
+  listener.start();
+
+  Client client;
+  ClientOptions copts;
+  copts.port = listener.port();
+  copts.reconnect = true;
+  copts.max_reconnect_attempts = 2;
+  copts.reconnect_backoff = 20ms;
+  copts.reconnect_backoff_cap = 40ms;
+  client.connect(copts);
+
+  listener.stop();  // the outage -- nothing is listening any more
+
+  WireRequest req = make_wire_request(3, 0);
+  req.deadline_ms = 30;  // the clock starts at send() and spans the outage
+  const std::uint64_t id = client.send(std::move(req));
+  std::this_thread::sleep_for(50ms);
+
+  const auto reply = client.wait(id, 10000ms);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->transport, ClientError::kDeadlineExceeded)
+      << client_error_name(reply->transport);
+  server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Keepalive, dual stack, capacity, drain.
+
+TEST(NetEndToEnd, KeepalivePingRoundTrips) {
+  serve::Server server(small_server());
+  Listener listener(server);
+  listener.start();
+
+  Client client;
+  ClientOptions copts;
+  copts.port = listener.port();
+  client.connect(copts);
+  EXPECT_TRUE(client.ping(5000ms));
+  EXPECT_TRUE(client.ping(5000ms));
+  EXPECT_EQ(listener.counters().pings, 2u);
+
+  client.disconnect();
+  listener.stop();
+  server.shutdown();
+}
+
+TEST(NetEndToEnd, Ipv6LoopbackRoundTripWithBracketedHost) {
+  const int probe = ::socket(AF_INET6, SOCK_STREAM, 0);
+  if (probe < 0) GTEST_SKIP() << "IPv6 unsupported on this host";
+  ::close(probe);
+
+  serve::Server server(small_server());
+  ListenerOptions lopts;
+  lopts.host = "::1";
+  Listener listener(server, lopts);
+  try {
+    listener.start();
+  } catch (const std::exception& e) {
+    GTEST_SKIP() << "IPv6 loopback unavailable: " << e.what();
+  }
+
+  Client client;
+  ClientOptions copts;
+  copts.host = "[::1]";  // the bracketed endpoint form parma_cli accepts
+  copts.port = listener.port();
+  client.connect(copts);
+  const auto reply = client.request(make_wire_request(4, 0), 10000ms);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->ok()) << client_error_name(reply->transport);
+
+  client.disconnect();
+  listener.stop();
+  server.shutdown();
+}
+
+TEST(NetEndToEnd, OverCapConnectionIsRejectedWithTypedBusyFrame) {
+  serve::Server server(small_server());
+  ListenerOptions lopts;
+  lopts.max_connections = 1;
+  Listener listener(server, lopts);
+  listener.start();
+
+  Client keeper;
+  ClientOptions copts;
+  copts.port = listener.port();
+  keeper.connect(copts);
+  const auto ok = keeper.request(make_wire_request(3, 0), 10000ms);
+  ASSERT_TRUE(ok.has_value());  // the keeper owns the one slot
+
+  // The over-cap dialer gets a typed kServerBusy diagnostic, then EOF -- not
+  // a silent close it cannot distinguish from a crash.
+  const int fd = raw_connect(listener.port());
+  FrameDecoder decoder;
+  Frame frame;
+  std::uint8_t chunk[4096];
+  bool got_busy = false;
+  bool got_eof = false;
+  for (int i = 0; i < 200 && !got_eof; ++i) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) {
+      got_eof = true;
+      break;
+    }
+    decoder.feed(chunk, static_cast<std::size_t>(n));
+    if (decoder.next(frame) == FrameDecoder::Result::kFrame) {
+      ASSERT_EQ(frame.type, FrameType::kError);
+      EXPECT_EQ(frame.error->code, ProtoCode::kServerBusy);
+      got_busy = true;
+    }
+  }
+  EXPECT_TRUE(got_busy) << "no kServerBusy frame before the close";
+  EXPECT_TRUE(got_eof);
+  ::close(fd);
+  EXPECT_EQ(listener.counters().connections_rejected, 1u);
+
+  keeper.disconnect();
+  listener.stop();
+  server.shutdown();
+}
+
+TEST(NetEndToEnd, DrainFlushesInFlightResponsesAndReportsTrue) {
+  serve::Server server(small_server());
+  Listener listener(server);
+  listener.start();
+
+  Client client;
+  ClientOptions copts;
+  copts.port = listener.port();
+  client.connect(copts);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 3; ++i) ids.push_back(client.send(make_request(4, 2)));
+
+  // Drain only after the server has admitted all three -- drain stops
+  // reading, so requests still in the socket would be orphaned by design.
+  ASSERT_TRUE(wait_until(
+      [&] { return listener.counters().requests_admitted == 3; }, 10000ms));
+  EXPECT_TRUE(listener.drain(30000ms)) << "drain timed out with peers attached";
+  EXPECT_EQ(listener.connection_count(), 0u);
+
+  // Every response was flushed before the server closed the connection.
+  for (const std::uint64_t id : ids) {
+    const auto reply = client.wait(id, 5000ms);
+    ASSERT_TRUE(reply.has_value()) << "request " << id << " lost in the drain";
+    EXPECT_TRUE(reply->ok()) << client_error_name(reply->transport);
+  }
+
+  listener.stop();
+  server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Connection hygiene: idle, slowloris, write-stall, backpressure re-arm.
+
+TEST(NetEndToEnd, IdleConnectionIsReaped) {
+  serve::Server server(small_server());
+  ListenerOptions lopts;
+  lopts.idle_timeout = 50ms;
+  lopts.read_deadline = 0ms;
+  lopts.write_stall_timeout = 0ms;
+  lopts.hygiene_tick = 10ms;
+  Listener listener(server, lopts);
+  listener.start();
+
+  const int fd = raw_connect(listener.port());
+  EXPECT_TRUE(wait_until(
+      [&] { return listener.counters().reaped_idle >= 1; }, 10000ms));
+  // The reap is visible peer-side as a clean EOF.
+  std::uint8_t byte;
+  EXPECT_EQ(::recv(fd, &byte, 1, 0), 0);
+  ::close(fd);
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST(NetEndToEnd, HalfFrameHeldOpenIsReapedAsSlowloris) {
+  serve::Server server(small_server());
+  ListenerOptions lopts;
+  lopts.read_deadline = 50ms;
+  lopts.idle_timeout = 0ms;
+  lopts.write_stall_timeout = 0ms;
+  lopts.hygiene_tick = 10ms;
+  Listener listener(server, lopts);
+  listener.start();
+
+  // Ten bytes of a valid frame, then silence: a classic slowloris hold. The
+  // idle check alone would never fire (it is disabled here); the open frame
+  // must carry its own deadline.
+  const int fd = raw_connect(listener.port());
+  const std::vector<std::uint8_t> frame = encode_request(make_wire_request(3, 9));
+  send_all(fd, frame.data(), 10);
+  EXPECT_TRUE(wait_until(
+      [&] { return listener.counters().reaped_slowloris >= 1; }, 10000ms));
+  ::close(fd);
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST(NetEndToEnd, PeerThatStopsReadingIsReapedAsWriteStall) {
+  serve::Server server(small_server());
+  ListenerOptions lopts;
+  lopts.write_stall_timeout = 100ms;
+  lopts.read_deadline = 0ms;
+  lopts.idle_timeout = 0ms;
+  lopts.hygiene_tick = 20ms;
+  lopts.sndbuf_bytes = 4096;  // make the stall reachable with one response
+  Listener listener(server, lopts);
+  listener.start();
+
+  // A peer with a tiny receive window pipelines a dozen requests whose
+  // responses (16x16 fields, ~2 KiB each) together overrun both shrunken
+  // socket buffers, then never reads a byte of them.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  const int rcvbuf = 2048;  // before connect, so the advertised window shrinks
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf), 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(listener.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  for (std::uint64_t id = 1; id <= 12; ++id) {
+    send_all(fd, encode_request(make_wire_request(16, id)));
+  }
+
+  EXPECT_TRUE(wait_until(
+      [&] { return listener.counters().reaped_write_stall >= 1; }, 30000ms));
+  ::close(fd);
+
+  listener.stop();
+  server.shutdown();
+}
+
+TEST(NetEndToEnd, ReadBackpressureRearmsWhenInFlightSettles) {
+  serve::ServerOptions sopts = small_server();
+  sopts.deferred_start = true;  // park the pipeline: nothing settles yet
+  sopts.queue_capacity = 8;
+  serve::Server server(sopts);
+  ListenerOptions lopts;
+  lopts.max_inflight_per_connection = 2;
+  Listener listener(server, lopts);
+  listener.start();
+
+  Client client;
+  ClientOptions copts;
+  copts.port = listener.port();
+  client.connect(copts);
+  // Two sends first, and wait for their admission: a single burst could land
+  // in one read pass, which decodes every buffered frame regardless of cap.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 2; ++i) ids.push_back(client.send(make_request(4, 1)));
+  ASSERT_TRUE(wait_until(
+      [&] { return listener.counters().requests_admitted == 2; }, 10000ms));
+
+  // The connection is now at its in-flight cap and the pipeline is parked,
+  // so nothing settles: two more requests must sit unread in the socket --
+  // POLLIN has been withdrawn.
+  for (int i = 0; i < 2; ++i) ids.push_back(client.send(make_request(4, 1)));
+  std::this_thread::sleep_for(100ms);
+  EXPECT_EQ(listener.counters().requests_admitted, 2u);
+
+  // Releasing the pipeline settles the first two; the settle must re-arm
+  // POLLIN so the remaining two are read and served. The regression mode is
+  // a connection that stays deaf after hitting its cap.
+  server.start();
+  for (const std::uint64_t id : ids) {
+    const auto reply = client.wait(id, 30000ms);
+    ASSERT_TRUE(reply.has_value()) << "request " << id << " starved at the cap";
+    EXPECT_TRUE(reply->ok()) << client_error_name(reply->transport);
+  }
+  EXPECT_EQ(listener.counters().requests_admitted, 4u);
+
+  client.disconnect();
   listener.stop();
   server.shutdown();
 }
