@@ -1,25 +1,35 @@
-// Solver hot-path bench: the symbolic/numeric split against the historical
-// rebuild-per-iteration assembly.
+// Solver hot-path bench: the symbolic/numeric split + preconditioned CG
+// against the historical rebuild-per-iteration assembly and inline-Jacobi CG.
 //
-// Claim under test (the kernel layer's reason to exist): refreshing J and
-// A = J^T J in place through the precomputed pattern + scatter map is >= 2x
-// faster than the CooBuilder path (build + stable sort for J, the
-// O(row-nnz^2) triple loop + sort for A) at n >= 16, with bit-identical
-// results (asserted in tests/test_kernels.cpp, not here).
+// Claims under test:
+//   * assembly   refreshing J and A = J^T J in place through the precomputed
+//                pattern + scatter map is >= 2x faster than the CooBuilder
+//                path at n >= 16 (bit-identical results, asserted in
+//                tests/test_kernels.cpp, not here);
+//   * solve      the kernel path with the default block-Jacobi preconditioner
+//                is >= 4x faster END TO END than the legacy path at n >= 16,
+//                and cuts CG iterations >= 2x against unpreconditioned CG
+//                (the bottleneck the preconditioner exists to remove).
 //
-// Three per-iteration assembly modes, best-of-repeats wall time:
-//   legacy    system_jacobian + reference_normal_matrix + multiply_transpose
-//             (exactly what the pre-kernel Gauss-Newton step did);
-//   kernel    SystemKernels::refresh + multiply_transpose_into, serial;
-//   kernel-mt kernel with a work-stealing executor (adds the parallel
-//             refresh on top of the allocation/sort savings).
+// Every size measures BOTH the per-iteration assembly and the end-to-end
+// Gauss-Newton solve (fixed outer budget), with per-size CG iteration counts
+// for four variants: unpreconditioned (kIdentity), legacy (inline Jacobi),
+// kernel + kJacobi (the bit-identical baseline -- same counts as legacy by
+// construction), kernel + default preconditioner. All counts land in the
+// JSON, so both reduction ratios (vs unpreconditioned and vs the Jacobi
+// rung) are inspectable per size.
 //
-// Plus an end-to-end Gauss-Newton comparison (fixed iteration budget) at the
-// largest n as context -- there the shared CG work dilutes the assembly win.
+// Sizes where A = J^T J can no longer be formed (~4n^5 nonzeros: ~69 GB of
+// values alone at n=64) switch to LINEARIZATION mode: a jacobian-only
+// symbolic (AnalyzeOptions{build_normal=false}) plus MatrixFreeNormalOperator
+// drive one CG solve of the first Gauss-Newton step, Jacobi vs block-Jacobi
+// refreshed straight from J -- proving the preconditioned path runs at the
+// paper's n=100 where the explicit-matrix path cannot.
 //
 // Output: pretty table + CSV via bench_util, and
-// bench_results/solver_hotpath.json with the measured speedups. `--quick`
-// trims the sweep for CI (scripts/check.sh).
+// bench_results/solver_hotpath.json with speedups and iteration counts.
+// `--quick` trims the sweep to {8, 16} for CI (scripts/check.sh);
+// PARMA_BENCH_FULL=1 extends to {8, 16, 32, 64, 100}.
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -28,27 +38,54 @@
 
 #include "bench/bench_util.hpp"
 #include "equations/residual.hpp"
+#include "linalg/iterative.hpp"
+#include "solver/full_system_solver.hpp"
 #include "solver/system_kernels.hpp"
 
 using namespace parma;
 
 namespace {
 
+/// Above this n the explicit normal matrix stops fitting in memory; the bench
+/// switches to the matrix-free linearization mode.
+constexpr Index kLinearizationThreshold = 48;
+
 struct HotpathResult {
   Index n = 0;
   Index equations = 0;
   Index unknowns = 0;
   std::size_t j_nnz = 0;
-  std::size_t a_nnz = 0;
+  std::size_t a_nnz = 0;            ///< 0 in linearization mode (never formed)
+  bool linearization_only = false;  ///< n >= 48: matrix-free mode
+  Real symbolic_seconds = 0.0;      ///< one-time analyze() cost (amortized away)
+
+  // Full mode: per-iteration assembly comparison.
   Real legacy_seconds = 0.0;       ///< per-iteration legacy assembly
   Real kernel_seconds = 0.0;       ///< per-iteration serial kernel refresh
   Real kernel_mt_seconds = 0.0;    ///< per-iteration parallel kernel refresh
   Real assembly_speedup = 0.0;     ///< legacy / kernel (serial)
   Real assembly_speedup_mt = 0.0;  ///< legacy / kernel-mt
-  Real symbolic_seconds = 0.0;     ///< one-time analyze() cost (amortized away)
-  Real legacy_solve_seconds = 0.0;  ///< end-to-end GN, largest n only
-  Real kernel_solve_seconds = 0.0;
-  Real solve_speedup = 0.0;
+
+  // Full mode: end-to-end Gauss-Newton solve (fixed outer budget) -- measured
+  // at EVERY size, with the CG iteration totals that explain the speedup.
+  Real identity_solve_seconds = 0.0;  ///< kernel path, unpreconditioned CG
+  Real legacy_solve_seconds = 0.0;    ///< use_kernels=false, inline Jacobi
+  Real jacobi_solve_seconds = 0.0;    ///< kernel path, kJacobi (bit-identical)
+  Real kernel_solve_seconds = 0.0;    ///< kernel path, default preconditioner
+  Real solve_speedup = 0.0;           ///< legacy / kernel-default
+  Index identity_cg_iterations = 0;
+  Index legacy_cg_iterations = 0;
+  Index jacobi_cg_iterations = 0;
+  Index precond_cg_iterations = 0;
+  Real cg_iteration_reduction = 0.0;  ///< unpreconditioned / default
+
+  // Linearization mode: one matrix-free CG solve of the first GN step.
+  Real matfree_identity_seconds = 0.0;
+  Real matfree_jacobi_seconds = 0.0;
+  Real matfree_precond_seconds = 0.0;  ///< includes the from-J block refresh
+  Index matfree_identity_iterations = 0;
+  Index matfree_jacobi_iterations = 0;
+  Index matfree_precond_iterations = 0;
 };
 
 // Best-of-repeats per-iteration wall time of `body` run `iters` times.
@@ -64,7 +101,31 @@ Real time_per_iteration(int repeats, int iters, const Body& body) {
   return best;
 }
 
-HotpathResult run_size(Index n, int repeats, int iters, bool solve_comparison) {
+/// Fixed-budget Gauss-Newton end to end (3 outer iterations, CG to 1e-10).
+/// Returns wall seconds; fills `cg_iterations` with the run's CG total.
+Real timed_solve(const equations::EquationSystem& system, const core::Engine& engine,
+                 const std::shared_ptr<const solver::SystemSymbolic>& symbolic,
+                 bool use_kernels, linalg::PreconditionerKind kind,
+                 Index cg_cap, Index& cg_iterations, Index& outer_iterations) {
+  solver::FullSystemOptions options;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;  // spend the full outer budget
+  options.cg_max_iterations = cg_cap;
+  options.cg_tolerance = 1e-10;
+  options.use_kernels = use_kernels;
+  options.preconditioner = kind;
+  solver::KernelContext context;
+  context.symbolic = symbolic;
+  Stopwatch clock;
+  const auto result =
+      solver::solve_full_system(system, engine.measurement(), options, context);
+  const Real seconds = clock.elapsed_seconds();
+  cg_iterations = result.diagnostics.cg_iterations;
+  outer_iterations = result.iterations;
+  return seconds;
+}
+
+HotpathResult run_size(Index n, int repeats, int iters) {
   core::Engine engine = bench::make_engine(n);
   const equations::EquationSystem system =
       equations::generate_system(engine.measurement());
@@ -109,28 +170,105 @@ HotpathResult run_size(Index n, int repeats, int iters, bool solve_comparison) {
   result.assembly_speedup = result.legacy_seconds / result.kernel_seconds;
   result.assembly_speedup_mt = result.legacy_seconds / result.kernel_mt_seconds;
 
-  if (solve_comparison) {
-    // Fixed-budget Gauss-Newton end to end; the linear solves are shared
-    // work, so this understates the assembly win by construction.
-    solver::FullSystemOptions options;
-    options.max_iterations = 3;
-    options.cg_max_iterations = 300;
-    options.tolerance = 0.0;  // spend the full iteration budget
-    options.use_kernels = false;
-    Stopwatch legacy_clock;
-    const auto legacy = solver::solve_full_system(system, engine.measurement(), options);
-    result.legacy_solve_seconds = legacy_clock.elapsed_seconds();
+  // End-to-end Gauss-Newton at EVERY size (a fixed outer budget keeps the
+  // three variants comparable; CG iteration totals explain the speedup).
+  // n=32's normal matrix has ~134M nonzeros, so cap CG where one solve would
+  // otherwise dominate the whole bench; counts that hit the cap report the
+  // iteration reduction as a lower bound.
+  const Index cg_cap = n >= 32 ? 800 : 2000;
+  Index identity_outer = 0, legacy_outer = 0, jacobi_outer = 0, precond_outer = 0;
+  result.identity_solve_seconds =
+      timed_solve(system, engine, symbolic, /*use_kernels=*/true,
+                  linalg::PreconditionerKind::kIdentity, cg_cap,
+                  result.identity_cg_iterations, identity_outer);
+  result.legacy_solve_seconds =
+      timed_solve(system, engine, symbolic, /*use_kernels=*/false,
+                  linalg::PreconditionerKind::kJacobi, cg_cap,
+                  result.legacy_cg_iterations, legacy_outer);
+  result.jacobi_solve_seconds =
+      timed_solve(system, engine, symbolic, /*use_kernels=*/true,
+                  linalg::PreconditionerKind::kJacobi, cg_cap,
+                  result.jacobi_cg_iterations, jacobi_outer);
+  result.kernel_solve_seconds =
+      timed_solve(system, engine, symbolic, /*use_kernels=*/true,
+                  linalg::PreconditionerKind::kBlockJacobi, cg_cap,
+                  result.precond_cg_iterations, precond_outer);
+  // kJacobi on the kernel path is bit-identical to legacy, so the budgets
+  // (and the CG totals) must agree exactly.
+  PARMA_REQUIRE(jacobi_outer == legacy_outer, "bench paths diverged");
+  PARMA_REQUIRE(result.jacobi_cg_iterations == result.legacy_cg_iterations,
+                "bench CG totals diverged");
+  result.solve_speedup = result.legacy_solve_seconds / result.kernel_solve_seconds;
+  result.cg_iteration_reduction =
+      static_cast<Real>(result.identity_cg_iterations) /
+      static_cast<Real>(std::max<Index>(result.precond_cg_iterations, 1));
+  return result;
+}
 
-    options.use_kernels = true;
-    solver::KernelContext context;
-    context.symbolic = symbolic;
-    Stopwatch kernel_clock;
-    const auto kernel =
-        solver::solve_full_system(system, engine.measurement(), options, context);
-    result.kernel_solve_seconds = kernel_clock.elapsed_seconds();
-    result.solve_speedup = result.legacy_solve_seconds / result.kernel_solve_seconds;
-    PARMA_REQUIRE(kernel.iterations == legacy.iterations, "bench paths diverged");
+/// n >= 48: the explicit A never fits, so measure the preconditioned
+/// matrix-free CG of the FIRST Gauss-Newton step instead -- Jacobi (the
+/// operator's diagonal) vs block-Jacobi refreshed straight from J.
+HotpathResult run_linearization(Index n) {
+  core::Engine engine = bench::make_engine(n);
+  const equations::EquationSystem system =
+      equations::generate_system(engine.measurement());
+  const std::vector<Real> x = solver::initial_guess(system, engine.measurement());
+
+  HotpathResult result;
+  result.n = n;
+  result.equations = static_cast<Index>(system.equations.size());
+  result.unknowns = system.layout.num_unknowns();
+  result.linearization_only = true;
+
+  Stopwatch analyze_clock;
+  solver::AnalyzeOptions analyze_options;
+  analyze_options.build_normal = false;
+  const auto symbolic = solver::SystemSymbolic::analyze(system, analyze_options);
+  result.symbolic_seconds = analyze_clock.elapsed_seconds();
+  result.j_nnz = symbolic->j_nnz();
+
+  solver::SystemKernels kernels(system, symbolic);
+  kernels.refresh_jacobian(x);
+  std::vector<Real> residual;
+  kernels.residual_into(x, residual);
+  std::vector<Real> rhs;
+  kernels.jacobian().multiply_transpose_into(residual, rhs);
+  for (Real& v : rhs) v = -v;
+
+  const solver::MatrixFreeNormalOperator op(kernels.jacobian(), *symbolic, nullptr);
+  linalg::IterativeOptions cg;
+  cg.max_iterations = 250;
+  cg.tolerance = 1e-10;
+  linalg::CgWorkspace ws;
+
+  {
+    const linalg::IdentityPreconditioner identity;
+    Stopwatch clock;
+    const linalg::IterativeResult plain =
+        linalg::conjugate_gradient_with(op, rhs, cg, ws, &identity);
+    result.matfree_identity_seconds = clock.elapsed_seconds();
+    result.matfree_identity_iterations = plain.iterations;
   }
+  {
+    Stopwatch clock;
+    const linalg::IterativeResult jacobi = linalg::conjugate_gradient_with(op, rhs, cg, ws);
+    result.matfree_jacobi_seconds = clock.elapsed_seconds();
+    result.matfree_jacobi_iterations = jacobi.iterations;
+  }
+  {
+    // The block refresh is part of the preconditioned cost: it reruns per
+    // linearization in a full solve.
+    Stopwatch clock;
+    linalg::BlockJacobiPreconditioner precond(symbolic->precond_block_ptr);
+    solver::refresh_block_jacobi_from_jacobian(kernels.jacobian(), *symbolic, precond);
+    const linalg::IterativeResult pre =
+        linalg::conjugate_gradient_with(op, rhs, cg, ws, &precond);
+    result.matfree_precond_seconds = clock.elapsed_seconds();
+    result.matfree_precond_iterations = pre.iterations;
+  }
+  result.cg_iteration_reduction =
+      static_cast<Real>(result.matfree_identity_iterations) /
+      static_cast<Real>(std::max<Index>(result.matfree_precond_iterations, 1));
   return result;
 }
 
@@ -138,21 +276,40 @@ void write_json(const std::vector<HotpathResult>& results, const std::string& pa
   std::filesystem::create_directories(std::filesystem::path(path).parent_path());
   std::ofstream os(path);
   os << "{\n  \"bench\": \"solver_hotpath\",\n  \"target_assembly_speedup\": 2.0,\n"
+     << "  \"target_solve_speedup\": 4.0,\n"
+     << "  \"target_cg_iteration_reduction\": 2.0,\n"
      << "  \"target_n\": 16,\n  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const HotpathResult& r = results[i];
-    os << "    {\"n\": " << r.n << ", \"equations\": " << r.equations
-       << ", \"unknowns\": " << r.unknowns << ", \"j_nnz\": " << r.j_nnz
-       << ", \"a_nnz\": " << r.a_nnz
-       << ", \"symbolic_seconds\": " << r.symbolic_seconds
-       << ", \"legacy_assembly_seconds\": " << r.legacy_seconds
-       << ", \"kernel_refresh_seconds\": " << r.kernel_seconds
-       << ", \"kernel_refresh_mt_seconds\": " << r.kernel_mt_seconds
-       << ", \"assembly_speedup\": " << r.assembly_speedup
-       << ", \"assembly_speedup_mt\": " << r.assembly_speedup_mt
-       << ", \"legacy_solve_seconds\": " << r.legacy_solve_seconds
-       << ", \"kernel_solve_seconds\": " << r.kernel_solve_seconds
-       << ", \"solve_speedup\": " << r.solve_speedup << "}"
+    os << "    {\"n\": " << r.n << ", \"mode\": \""
+       << (r.linearization_only ? "linearization" : "full")
+       << "\", \"equations\": " << r.equations << ", \"unknowns\": " << r.unknowns
+       << ", \"j_nnz\": " << r.j_nnz << ", \"a_nnz\": " << r.a_nnz
+       << ", \"symbolic_seconds\": " << r.symbolic_seconds;
+    if (!r.linearization_only) {
+      os << ", \"legacy_assembly_seconds\": " << r.legacy_seconds
+         << ", \"kernel_refresh_seconds\": " << r.kernel_seconds
+         << ", \"kernel_refresh_mt_seconds\": " << r.kernel_mt_seconds
+         << ", \"assembly_speedup\": " << r.assembly_speedup
+         << ", \"assembly_speedup_mt\": " << r.assembly_speedup_mt
+         << ", \"unpreconditioned_solve_seconds\": " << r.identity_solve_seconds
+         << ", \"legacy_solve_seconds\": " << r.legacy_solve_seconds
+         << ", \"jacobi_solve_seconds\": " << r.jacobi_solve_seconds
+         << ", \"kernel_solve_seconds\": " << r.kernel_solve_seconds
+         << ", \"solve_speedup\": " << r.solve_speedup
+         << ", \"unpreconditioned_cg_iterations\": " << r.identity_cg_iterations
+         << ", \"legacy_cg_iterations\": " << r.legacy_cg_iterations
+         << ", \"jacobi_cg_iterations\": " << r.jacobi_cg_iterations
+         << ", \"precond_cg_iterations\": " << r.precond_cg_iterations;
+    } else {
+      os << ", \"matfree_unpreconditioned_seconds\": " << r.matfree_identity_seconds
+         << ", \"matfree_jacobi_seconds\": " << r.matfree_jacobi_seconds
+         << ", \"matfree_precond_seconds\": " << r.matfree_precond_seconds
+         << ", \"matfree_unpreconditioned_iterations\": " << r.matfree_identity_iterations
+         << ", \"matfree_jacobi_iterations\": " << r.matfree_jacobi_iterations
+         << ", \"matfree_precond_iterations\": " << r.matfree_precond_iterations;
+    }
+    os << ", \"cg_iteration_reduction\": " << r.cg_iteration_reduction << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
@@ -168,30 +325,53 @@ int main(int argc, char** argv) {
 
   const std::vector<Index> sweep =
       quick ? std::vector<Index>{8, 16}
-            : (bench::full_sweep() ? std::vector<Index>{8, 12, 16, 20, 24}
-                                   : std::vector<Index>{8, 12, 16, 20});
+            : (bench::full_sweep() ? std::vector<Index>{8, 16, 32, 64, 100}
+                                   : std::vector<Index>{8, 16, 32});
   const int repeats = quick ? 2 : 3;
 
   // Untimed warmup: allocator arenas, cold instruction cache.
-  (void)run_size(6, 1, 1, /*solve_comparison=*/false);
+  (void)run_size(6, 1, 1);
 
   std::vector<HotpathResult> results;
   for (const Index n : sweep) {
-    const int iters = n <= 8 ? 10 : (n <= 16 ? 3 : 2);
-    const bool solve_comparison = n == sweep.back();
-    results.push_back(run_size(n, repeats, iters, solve_comparison));
+    if (n >= kLinearizationThreshold) {
+      results.push_back(run_linearization(n));
+      std::cout << "n=" << n << " (linearization) CG iterations "
+                << results.back().matfree_identity_iterations << " (plain) / "
+                << results.back().matfree_jacobi_iterations << " (jacobi) -> "
+                << results.back().matfree_precond_iterations << " (x"
+                << results.back().cg_iteration_reduction << ")\n";
+      continue;
+    }
+    const int iters = n <= 8 ? 10 : (n <= 16 ? 3 : 1);
+    results.push_back(run_size(n, n >= 32 ? 2 : repeats, iters));
     std::cout << "n=" << results.back().n << " assembly speedup x"
               << results.back().assembly_speedup << " (mt x"
-              << results.back().assembly_speedup_mt << ")\n";
+              << results.back().assembly_speedup_mt << "), solve speedup x"
+              << results.back().solve_speedup << ", CG iterations "
+              << results.back().identity_cg_iterations << " (plain) / "
+              << results.back().jacobi_cg_iterations << " (jacobi) -> "
+              << results.back().precond_cg_iterations << " (x"
+              << results.back().cg_iteration_reduction << ")\n";
   }
 
-  Table table({"series", "n", "equations", "unknowns", "per_iter_seconds", "speedup"});
+  Table table({"series", "n", "equations", "unknowns", "seconds", "speedup"});
   for (const HotpathResult& r : results) {
+    if (r.linearization_only) {
+      table.add("cg-jacobi", r.n, r.equations, r.unknowns, r.matfree_jacobi_seconds, 1.0);
+      table.add("cg-blockjacobi", r.n, r.equations, r.unknowns,
+                r.matfree_precond_seconds,
+                r.matfree_jacobi_seconds / r.matfree_precond_seconds);
+      continue;
+    }
     table.add("legacy", r.n, r.equations, r.unknowns, r.legacy_seconds, 1.0);
     table.add("kernel", r.n, r.equations, r.unknowns, r.kernel_seconds,
               r.assembly_speedup);
     table.add("kernel-mt", r.n, r.equations, r.unknowns, r.kernel_mt_seconds,
               r.assembly_speedup_mt);
+    table.add("solve-legacy", r.n, r.equations, r.unknowns, r.legacy_solve_seconds, 1.0);
+    table.add("solve-kernel", r.n, r.equations, r.unknowns, r.kernel_solve_seconds,
+              r.solve_speedup);
   }
   bench::emit(table, "solver_hotpath");
 
@@ -199,12 +379,22 @@ int main(int argc, char** argv) {
   write_json(results, json_path);
   std::cout << "saved: " << json_path << "\n";
 
-  // The acceptance gate: >= 2x serial assembly speedup at n >= 16.
-  bool met = false;
+  // Acceptance gates at n >= 16 (full mode): >= 2x serial assembly speedup,
+  // >= 4x end-to-end solve speedup vs legacy, >= 2x CG iteration reduction
+  // from the default preconditioner vs unpreconditioned CG.
+  bool assembly_met = false, solve_met = false, reduction_met = false;
   for (const HotpathResult& r : results) {
-    if (r.n >= 16 && r.assembly_speedup >= 2.0) met = true;
+    if (r.linearization_only || r.n < 16) continue;
+    if (r.assembly_speedup >= 2.0) assembly_met = true;
+    if (r.solve_speedup >= 4.0) solve_met = true;
+    if (r.cg_iteration_reduction >= 2.0) reduction_met = true;
   }
-  std::cout << (met ? "PASS" : "MISS")
+  std::cout << (assembly_met ? "PASS" : "MISS")
             << ": kernel refresh vs CooBuilder assembly at n >= 16 (target 2x)\n";
-  return met ? 0 : 1;
+  std::cout << (solve_met ? "PASS" : "MISS")
+            << ": preconditioned kernel solve vs legacy at n >= 16 (target 4x)\n";
+  std::cout << (reduction_met ? "PASS" : "MISS")
+            << ": CG iteration reduction vs unpreconditioned CG at n >= 16 "
+               "(target 2x)\n";
+  return (assembly_met && solve_met && reduction_met) ? 0 : 1;
 }

@@ -7,7 +7,7 @@
 #
 # Sanitizer passes:
 #   - TSan (-DPARMA_SANITIZE=thread) over the concurrency-sensitive suites
-#     (ctest label `tsan`: test_kernels, test_exec, test_serve, test_net,
+#     (ctest label `tsan`: test_kernels, test_preconditioner, test_exec, test_serve, test_net,
 #     test_chaos_net, test_async, test_fault, test_robust) plus the chaos
 #     storms (`chaos` label: test_fault's all-points fault storm,
 #     test_robust's corruption-recovery suite, and test_async's cancellation
@@ -18,7 +18,10 @@
 #
 # Also runs the solver hot-path bench in --quick mode, which fails (non-zero
 # exit) unless the kernel refresh holds its 2x-at-n>=16 speedup over the
-# CooBuilder assembly path, the robust-accuracy bench in --quick mode,
+# CooBuilder assembly path, the preconditioned kernel solve is >= 4x faster
+# end to end than the legacy path, and the default preconditioner cuts CG
+# iterations >= 2x vs unpreconditioned CG; the robust-accuracy bench in
+# --quick mode,
 # which fails unless the robust+masked pipeline stays within 2x of the
 # fault-free error at 10% corruption (and plain least squares is measurably
 # worse), and the net-throughput bench in --quick mode, which fails unless
@@ -44,7 +47,8 @@ echo "== headers: self-containment (each public header compiles alone) =="
 header_tu="$(mktemp --suffix=.cpp)"
 trap 'rm -f "${header_tu}"' EXIT
 header_fail=0
-for header in src/async/*.hpp src/net/*.hpp src/serve/status.hpp src/serve/resilience.hpp; do
+for header in src/async/*.hpp src/net/*.hpp src/serve/status.hpp src/serve/resilience.hpp \
+              src/linalg/preconditioner.hpp src/linalg/aligned.hpp src/linalg/iterative.hpp; do
   printf '#include "%s"\n' "${header#src/}" > "${header_tu}"
   if ! c++ -std=c++20 -Wall -Wextra -fsyntax-only -Isrc "${header_tu}"; then
     echo "not self-contained: ${header}"
@@ -60,7 +64,7 @@ cmake --build build -j "${jobs}"
 echo "== tier-1: ctest =="
 (cd build && ctest --output-on-failure -j "${jobs}")
 
-echo "== bench: solver_hotpath --quick (2x refresh-speedup gate) =="
+echo "== bench: solver_hotpath --quick (2x refresh, 4x preconditioned solve, 2x CG-iteration gates) =="
 ./build/bench/solver_hotpath --quick
 
 echo "== bench: robust_accuracy --quick (2x dirty-input accuracy gate) =="
@@ -75,7 +79,7 @@ echo "== bench: net_chaos --quick (90% goodput-under-kill gate) =="
 if [[ "${run_tsan}" == "1" ]]; then
   echo "== tsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-tsan -S . -DPARMA_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${jobs}" --target test_kernels test_exec test_serve test_net test_chaos_net test_async test_fault test_robust
+  cmake --build build-tsan -j "${jobs}" --target test_kernels test_preconditioner test_exec test_serve test_net test_chaos_net test_async test_fault test_robust
   echo "== tsan: ctest -L tsan =="
   (cd build-tsan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== tsan: ctest -L chaos (3 seeds) =="
@@ -87,7 +91,7 @@ fi
 if [[ "${run_asan}" == "1" ]]; then
   echo "== asan+ubsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-asan -S . -DPARMA_SANITIZE=address,undefined >/dev/null
-  cmake --build build-asan -j "${jobs}" --target test_kernels test_exec test_serve test_net test_chaos_net test_async test_fault test_robust
+  cmake --build build-asan -j "${jobs}" --target test_kernels test_preconditioner test_exec test_serve test_net test_chaos_net test_async test_fault test_robust
   echo "== asan+ubsan: ctest -L tsan =="
   (cd build-asan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== asan+ubsan: ctest -L chaos (3 seeds) =="

@@ -16,6 +16,7 @@
 
 #include "fault/injector.hpp"
 #include "linalg/dense_matrix.hpp"
+#include "linalg/preconditioner.hpp"
 #include "linalg/sparse_matrix.hpp"
 #include "linalg/vector_ops.hpp"
 
@@ -24,6 +25,13 @@ namespace parma::linalg {
 struct IterativeOptions {
   Index max_iterations = 10000;
   Real tolerance = 1e-10;  ///< relative residual ||r|| / ||b||
+  /// Opt-in mixed-precision path (sparse workspace ladder only): the inner CG
+  /// runs on a float copy of A inside a double iterative-refinement outer
+  /// loop, and the result only counts as converged if the DOUBLE residual
+  /// meets `tolerance` (the accuracy gate). On a miss the caller falls back
+  /// to the full-double solve, so enabling this can cost time but never
+  /// accuracy. Off by default; changes numerics when on (not bit-identical).
+  bool mixed_precision = false;
 };
 
 struct IterativeResult {
@@ -82,10 +90,18 @@ struct CgWorkspace {
 /// SerialCsrOperator below, or the executor-backed operator in
 /// solver/system_kernels.hpp, whose ordered reductions produce the same bits
 /// as the serial ones) makes the two entries bit-identical.
+///
+/// `precond` is the preconditioner seam: null runs the historical inline
+/// Jacobi arithmetic verbatim (bit-identical to every pre-preconditioner
+/// release and to the allocate-per-call entry); non-null routes z = M⁻¹ r
+/// through Preconditioner::apply instead. A JacobiPreconditioner refreshed
+/// from the operator's diagonal reproduces the null path bit for bit (its
+/// apply performs the same multiply) -- asserted in tests.
 template <typename Op>
 IterativeResult conjugate_gradient_with(const Op& op, const std::vector<Real>& b,
-                                        const IterativeOptions& options,
-                                        CgWorkspace& ws, std::vector<Real> x0 = {}) {
+                                        const IterativeOptions& options, CgWorkspace& ws,
+                                        const Preconditioner* precond,
+                                        std::vector<Real> x0 = {}) {
   PARMA_REQUIRE(static_cast<Index>(b.size()) == op.rows(), "CG rhs size mismatch");
   const std::size_t n = b.size();
   ws.resize(n);
@@ -108,12 +124,21 @@ IterativeResult conjugate_gradient_with(const Op& op, const std::vector<Real>& b
     return result;
   }
 
-  op.diagonal_into(ws.inv_diag);
-  for (Real& d : ws.inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+  if (precond == nullptr) {
+    op.diagonal_into(ws.inv_diag);
+    for (Real& d : ws.inv_diag) d = (d != 0.0) ? 1.0 / d : 1.0;
+  }
+  const auto apply_precond = [&] {
+    if (precond == nullptr) {
+      for (std::size_t i = 0; i < n; ++i) ws.z[i] = ws.inv_diag[i] * ws.r[i];
+    } else {
+      precond->apply(ws.r, ws.z);
+    }
+  };
 
   op.multiply_into(result.x, ws.ap);
   for (std::size_t i = 0; i < n; ++i) ws.r[i] = b[i] - ws.ap[i];
-  for (std::size_t i = 0; i < n; ++i) ws.z[i] = ws.inv_diag[i] * ws.r[i];
+  apply_precond();
   ws.p = ws.z;
   Real rz = op.dot(ws.r, ws.z, ws.partials);
 
@@ -133,7 +158,7 @@ IterativeResult conjugate_gradient_with(const Op& op, const std::vector<Real>& b
     const Real alpha = rz / pap;
     for (std::size_t i = 0; i < n; ++i) result.x[i] += alpha * ws.p[i];
     for (std::size_t i = 0; i < n; ++i) ws.r[i] += -alpha * ws.ap[i];
-    for (std::size_t i = 0; i < n; ++i) ws.z[i] = ws.inv_diag[i] * ws.r[i];
+    apply_precond();
     const Real rz_new = op.dot(ws.r, ws.z, ws.partials);
     const Real beta = rz_new / rz;
     rz = rz_new;
@@ -144,6 +169,37 @@ IterativeResult conjugate_gradient_with(const Op& op, const std::vector<Real>& b
   result.converged = result.relative_residual <= options.tolerance;
   return result;
 }
+
+/// Unpreconditioned-seam overload: the historical signature, inline Jacobi.
+template <typename Op>
+IterativeResult conjugate_gradient_with(const Op& op, const std::vector<Real>& b,
+                                        const IterativeOptions& options,
+                                        CgWorkspace& ws, std::vector<Real> x0 = {}) {
+  return conjugate_gradient_with(op, b, options, ws, nullptr, std::move(x0));
+}
+
+/// Scratch for conjugate_gradient_mixed: the float shadow of A's values plus
+/// the float CG vectors and the double refinement buffers. Reused across
+/// solves; sized on first use.
+struct MixedPrecisionWorkspace {
+  std::vector<float> values;    ///< float copy of A's values
+  std::vector<float> xf, rf, zf, pf, apf, inv_diagf, bf;
+  std::vector<Real> residual;   ///< double outer residual
+  std::vector<Real> ax;         ///< double SpMV scratch
+};
+
+/// Mixed-precision CG: float SpMV inner solves wrapped in a double
+/// iterative-refinement outer loop. Each outer round solves A c ≈ r/||r|| in
+/// float (Jacobi-preconditioned, the residual pre-scaled into float range)
+/// and applies x += ||r|| c in double; the loop ends when the DOUBLE residual
+/// meets options.tolerance. converged=false whenever that gate is missed
+/// (stalled refinement, float breakdown, or iteration budget) -- callers fall
+/// back to the full-double path, so accuracy never regresses.
+/// `iterations` counts inner float CG iterations (comparable to plain CG).
+IterativeResult conjugate_gradient_mixed(const CsrMatrix& a, const std::vector<Real>& b,
+                                         const IterativeOptions& options,
+                                         MixedPrecisionWorkspace& ws,
+                                         std::vector<Real> x0 = {});
 
 /// Serial CsrMatrix adapter for conjugate_gradient_with.
 class SerialCsrOperator {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "linalg/aligned.hpp"
 
 namespace parma::linalg {
 
@@ -95,6 +96,56 @@ class CsrMatrix {
   std::vector<Index> row_ptr_;
   std::vector<Index> col_idx_;
   std::vector<Real> values_;
+};
+
+/// SIMD-friendly shadow of a CsrMatrix: the same pattern and values, with the
+/// entries of each fixed row chunk stored contiguously and every chunk's
+/// first entry placed on a 64-byte boundary. Each SpMV chunk then streams one
+/// dense, aligned slab of (value, column) pairs -- no chunk shares a cache
+/// line with another, which is what lets the compiler vectorize the inner
+/// accumulation and lets parallel chunks avoid false sharing.
+///
+/// The row-major entry ORDER inside a row is exactly the CsrMatrix's, so
+/// multiply_rows_into performs the identical additions in the identical
+/// sequence: results are bit-identical to CsrMatrix::multiply_rows_into
+/// (asserted in tests), and the chunk boundaries remain the pure function of
+/// the row count that the determinism contract requires.
+///
+/// Split the same way as the system kernels: the pattern (offsets, padded
+/// column slabs) is built once from the symbolic structure; refresh_values
+/// re-copies the numeric values in place, chunk by chunk (parallelizable --
+/// chunks are disjoint).
+class PaddedCsrChunks {
+ public:
+  PaddedCsrChunks() = default;
+  /// Build the padded layout from `a`'s pattern and copy its current values.
+  PaddedCsrChunks(const CsrMatrix& a, Index rows_per_chunk);
+
+  [[nodiscard]] Index rows() const { return rows_; }
+  [[nodiscard]] Index cols() const { return cols_; }
+  [[nodiscard]] Index rows_per_chunk() const { return rows_per_chunk_; }
+  [[nodiscard]] Index chunk_count() const;
+
+  /// In-pattern value refresh (whole matrix, serial).
+  void refresh_values(const CsrMatrix& a);
+  /// Refresh one chunk's values: a straight contiguous copy (rows of a chunk
+  /// are consecutive in the source CSR too). Chunks are disjoint, so callers
+  /// may refresh them from parallel workers.
+  void refresh_chunk_values(const CsrMatrix& a, Index chunk);
+
+  /// y[lo, hi) = (A x)[lo, hi): the CsrMatrix::multiply_rows_into arithmetic
+  /// on the padded slabs.
+  void multiply_rows_into(const std::vector<Real>& x, std::vector<Real>& y,
+                          Index lo, Index hi) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  Index rows_per_chunk_ = 1;
+  std::vector<Index> row_begin_;  ///< per-row first padded slot (size rows)
+  std::vector<Index> row_end_;    ///< per-row one-past-last padded slot
+  AlignedVector<Index> col_idx_;
+  AlignedVector<Real> values_;
 };
 
 }  // namespace parma::linalg

@@ -864,7 +864,8 @@ void Server::complete(const PendingPtr& pending, ParametrizeResult&& result) {
   if (result.has_result()) {
     stats_.on_solve(result.inverse.iterations, result.inverse.converged,
                     result.solve_diagnostics.tikhonov_retries,
-                    result.solve_diagnostics.dense_fallbacks);
+                    result.solve_diagnostics.dense_fallbacks,
+                    result.solve_diagnostics.cg_iterations);
     stats_.on_quality(result.quality.masked_entries, result.quality.auto_masked,
                       result.quality.outlier_entries, result.quality.numerical_breakdown);
   }

@@ -74,9 +74,13 @@ StageStats LatencyHistogram::snapshot() const {
 }
 
 void StatsCollector::on_solve(Index iterations, bool converged, Index tikhonov_retries,
-                              Index dense_fallbacks) {
+                              Index dense_fallbacks, Index cg_iterations) {
   solver_iterations_.fetch_add(static_cast<std::uint64_t>(iterations),
                                std::memory_order_relaxed);
+  if (cg_iterations > 0) {
+    cg_iterations_.fetch_add(static_cast<std::uint64_t>(cg_iterations),
+                             std::memory_order_relaxed);
+  }
   if (!converged) solver_not_converged_.fetch_add(1, std::memory_order_relaxed);
   if (tikhonov_retries > 0) {
     fallback_tikhonov_.fetch_add(static_cast<std::uint64_t>(tikhonov_retries),
@@ -133,6 +137,7 @@ Stats StatsCollector::snapshot(std::size_t queue_high_water,
   s.degraded_entered = degraded_entered_.load(std::memory_order_relaxed);
   s.solver_not_converged = solver_not_converged_.load(std::memory_order_relaxed);
   s.solver_iterations = solver_iterations_.load(std::memory_order_relaxed);
+  s.cg_iterations = cg_iterations_.load(std::memory_order_relaxed);
   s.fallback_tikhonov = fallback_tikhonov_.load(std::memory_order_relaxed);
   s.fallback_dense = fallback_dense_.load(std::memory_order_relaxed);
   s.masked_entries = masked_entries_.load(std::memory_order_relaxed);

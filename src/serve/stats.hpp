@@ -49,6 +49,7 @@ struct Stats {
   std::uint64_t degraded_entered = 0;    ///< degraded-mode entries
   std::uint64_t solver_not_converged = 0;  ///< kOk completions with converged=false
   std::uint64_t solver_iterations = 0;   ///< total outer iterations over kOk solves
+  std::uint64_t cg_iterations = 0;       ///< total CG iterations over kOk solves
   std::uint64_t fallback_tikhonov = 0;   ///< linear solves that needed rung 2
   std::uint64_t fallback_dense = 0;      ///< linear solves that needed rung 3
 
@@ -132,10 +133,12 @@ class StatsCollector {
   void on_retry() { retries_.fetch_add(1, std::memory_order_relaxed); }
   void on_retry_success() { retry_successes_.fetch_add(1, std::memory_order_relaxed); }
   void on_degraded_entered() { degraded_entered_.fetch_add(1, std::memory_order_relaxed); }
-  /// Solver outcome of a kOk completion: outer iterations, convergence, and
-  /// how far up the fallback ladder its linear solves went.
+  /// Solver outcome of a kOk completion: outer iterations, convergence, how
+  /// far up the fallback ladder its linear solves went, and the total CG
+  /// iterations those solves spent (the preconditioner-sensitive cost; a
+  /// regressing preconditioner shows up here before it shows up in latency).
   void on_solve(Index iterations, bool converged, Index tikhonov_retries,
-                Index dense_fallbacks);
+                Index dense_fallbacks, Index cg_iterations = 0);
   /// Quality outcome of a completion that produced a result (kOk or
   /// kDegradedResult): masking census, robust down-weighting, breakdowns.
   void on_quality(Index masked_entries, Index auto_masked, Index outliers,
@@ -172,6 +175,7 @@ class StatsCollector {
   std::atomic<std::uint64_t> degraded_entered_{0};
   std::atomic<std::uint64_t> solver_not_converged_{0};
   std::atomic<std::uint64_t> solver_iterations_{0};
+  std::atomic<std::uint64_t> cg_iterations_{0};
   std::atomic<std::uint64_t> fallback_tikhonov_{0};
   std::atomic<std::uint64_t> fallback_dense_{0};
   std::atomic<std::uint64_t> masked_entries_{0};

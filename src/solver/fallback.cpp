@@ -180,7 +180,8 @@ std::vector<Real> workspace_ladder(const Matrix& a, const std::vector<Real>& b,
     diagnostics.highest_rung = std::max(diagnostics.highest_rung, rung);
   };
 
-  linalg::IterativeResult cg = linalg::conjugate_gradient_with(make_op(a), b, options.cg, ws);
+  linalg::IterativeResult cg = linalg::conjugate_gradient_with(make_op(a), b, options.cg, ws,
+                                                               options.preconditioner);
   diagnostics.cg_iterations += cg.iterations;
   if (cg.converged && all_finite(cg.x)) {
     note_rung(FallbackRung::kCg);
@@ -194,8 +195,8 @@ std::vector<Real> workspace_ladder(const Matrix& a, const std::vector<Real>& b,
   linalg::IterativeOptions relaxed = options.cg;
   relaxed.tolerance = options.cg.tolerance * options.tikhonov_tolerance_factor;
   std::vector<Real> warm = all_finite(cg.x) ? std::move(cg.x) : std::vector<Real>{};
-  linalg::IterativeResult retry =
-      linalg::conjugate_gradient_with(make_op(ridged), b, relaxed, ws, std::move(warm));
+  linalg::IterativeResult retry = linalg::conjugate_gradient_with(
+      make_op(ridged), b, relaxed, ws, options.preconditioner, std::move(warm));
   diagnostics.cg_iterations += retry.iterations;
   if (retry.converged && all_finite(retry.x)) {
     return std::move(retry.x);
@@ -246,9 +247,28 @@ std::vector<Real> solve_with_fallback(const linalg::CsrMatrix& a,
                                       const FallbackOptions& options,
                                       SolveDiagnostics& diagnostics,
                                       LadderWorkspace& workspace) {
+  // Opt-in mixed-precision pre-rung: try the float-inner/double-outer solve
+  // first. Its accuracy gate checks the DOUBLE residual, so a success here is
+  // as accurate as rung 1; a miss just falls through to the regular ladder
+  // (the iterations still count toward diagnostics).
+  if (options.cg.mixed_precision) {
+    linalg::IterativeResult mixed =
+        linalg::conjugate_gradient_mixed(a, b, options.cg, workspace.mixed);
+    diagnostics.cg_iterations += mixed.iterations;
+    if (mixed.converged) {
+      ++diagnostics.linear_solves;
+      diagnostics.highest_rung = std::max(diagnostics.highest_rung, FallbackRung::kCg);
+      return std::move(mixed.x);
+    }
+  }
   return workspace_ladder(
       a, b, options, diagnostics, workspace.cg,
-      [&](const linalg::CsrMatrix& m) { return ParallelCsrOperator(m, workspace.executor); },
+      [&](const linalg::CsrMatrix& m) {
+        // The padded shadow mirrors `a` only; the ridged rung-2 copy (a
+        // different object with fresh values) multiplies through its own CSR.
+        const linalg::PaddedCsrChunks* padded = (&m == &a) ? workspace.padded : nullptr;
+        return ParallelCsrOperator(m, workspace.executor, padded);
+      },
       [](const linalg::CsrMatrix& m, Real tau) { return add_ridge_in_pattern(m, tau); });
 }
 

@@ -67,6 +67,15 @@ struct FallbackOptions {
   /// diagonal estimate, solver::diagonal_condition_estimate). Only read when
   /// adaptive_tikhonov_target > 0.
   Real condition_estimate = 0.0;
+  /// Preconditioner for the CG rungs of the WORKSPACE ladder overloads (the
+  /// allocate-per-call overloads keep their historical inline Jacobi). Null =
+  /// inline Jacobi, bit-identical to every pre-preconditioner release. The
+  /// ladder does not own or refresh it -- the caller refreshes from the
+  /// current numeric values before each solve (solver::NormalPreconditioner).
+  /// Rung 2 reuses it unrefreshed on the ridged system: the ridge only
+  /// strengthens the diagonal, so M stays a valid (slightly stale) SPD
+  /// preconditioner there.
+  const linalg::Preconditioner* preconditioner = nullptr;
 };
 
 /// Runs the ladder on A x = b. Escalates CG -> Tikhonov -> dense; records
@@ -91,6 +100,13 @@ std::vector<Real> solve_with_fallback(const linalg::DenseMatrix& a,
 struct LadderWorkspace {
   linalg::CgWorkspace cg;
   exec::Executor* executor = nullptr;
+  /// Optional SIMD-friendly shadow of the rung-1 matrix (the caller keeps it
+  /// refreshed beside the CSR values; see SystemKernels::padded_normal). Only
+  /// consulted when the matrix handed to the ladder IS the one the shadow
+  /// mirrors -- the ridged rung-2 copy always multiplies through its own CSR.
+  const linalg::PaddedCsrChunks* padded = nullptr;
+  /// Scratch for the opt-in mixed-precision pre-rung (cg.mixed_precision).
+  linalg::MixedPrecisionWorkspace mixed;
 };
 
 /// Workspace ladder on a sparse system. Same three rungs and escalation rules

@@ -157,8 +157,16 @@ FullSystemResult solve_kernels(const equations::EquationSystem& system,
   ladder.tikhonov_scale = options.tikhonov_scale;
   ladder.tikhonov_tolerance_factor = options.tikhonov_tolerance_factor;
   ladder.adaptive_tikhonov_target = options.adaptive_tikhonov_target;
+  ladder.cg.mixed_precision = options.mixed_precision;
   LadderWorkspace workspace;
   workspace.executor = executor;
+  workspace.padded = &kernels.padded_normal();
+
+  // Preconditioner against the fixed symbolic pattern, numeric-refreshed per
+  // iteration below. kJacobi keeps get() null: the ladder's inline-Jacobi
+  // path, bit-identical to every pre-preconditioner release.
+  NormalPreconditioner precond(kernels.symbolic(), options.preconditioner);
+  ladder.preconditioner = precond.get();
 
   // IRLS state (robust loss only); the robust-off iteration touches none of
   // it and stays bit-identical to the pre-robust solver.
@@ -208,6 +216,7 @@ FullSystemResult solve_kernels(const equations::EquationSystem& system,
           robust_weights(residual, sigma, options.robust.loss, tuning, weights);
       cost = robust_cost(residual, sigma, options.robust.loss, tuning);
       kernels.refresh_normal_weighted(weights, executor);
+      precond.refresh(kernels.normal());
       weighted_residual.resize(residual.size());
       for (std::size_t e = 0; e < residual.size(); ++e) {
         weighted_residual[e] = weights[e] * residual[e];
@@ -215,6 +224,7 @@ FullSystemResult solve_kernels(const equations::EquationSystem& system,
       kernels.jacobian().multiply_transpose_into(weighted_residual, rhs);
     } else {
       kernels.refresh_normal(executor);
+      precond.refresh(kernels.normal());
       kernels.jacobian().multiply_transpose_into(residual, rhs);
     }
     for (Real& v : rhs) v = -v;

@@ -48,6 +48,19 @@ struct FullSystemOptions {
   /// this target scales the fallback ladder's rung-2 ridge proportionally
   /// (see FallbackOptions::adaptive_tikhonov_target). 0 = the fixed ridge.
   Real adaptive_tikhonov_target = 0.0;
+  /// Preconditioner for the per-step normal-equation CG (kernel path only;
+  /// the legacy path keeps its inline Jacobi). Built once against the
+  /// symbolic pattern, refreshed in place from the current J^T J values each
+  /// Gauss-Newton iteration -- IRLS-weighted refreshes included. kJacobi is
+  /// bit-identical to every pre-preconditioner release; kBlockJacobi (the
+  /// default) solves one small dense SPD system per electrode row / voltage
+  /// group per application, cutting CG iterations at a per-iteration cost
+  /// that amortizes against the saved SpMVs (measured in bench/solver_hotpath).
+  linalg::PreconditionerKind preconditioner = linalg::PreconditionerKind::kBlockJacobi;
+  /// Opt-in mixed-precision pre-rung for the per-step solve (float SpMV
+  /// inside double iterative refinement; see IterativeOptions::mixed_precision
+  /// for the accuracy gate). Off by default; changes numerics when on.
+  bool mixed_precision = false;
 };
 
 /// Optional amortization state for solve_full_system: a warm executor to

@@ -242,6 +242,19 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
   // One CG workspace reused by every damped ladder solve across all LM
   // iterations and retries (the damped systems share their size).
   linalg::CgWorkspace ladder_workspace;
+  // Optional block-Jacobi over the damped normal matrix: one dense block per
+  // device row of log-resistances, refreshed from each damped attempt.
+  // kJacobi leaves this null -- the ladder's historical inline diagonal.
+  std::unique_ptr<linalg::BlockJacobiPreconditioner> ladder_precond;
+  linalg::IdentityPreconditioner identity_precond;
+  if (options.use_fallback_ladder &&
+      (options.ladder_preconditioner == linalg::PreconditionerKind::kBlockJacobi ||
+       options.ladder_preconditioner == linalg::PreconditionerKind::kIc0)) {
+    std::vector<Index> block_ptr;
+    block_ptr.reserve(static_cast<std::size_t>(rows) + 1);
+    for (Index i = 0; i <= rows; ++i) block_ptr.push_back(i * cols);
+    ladder_precond = std::make_unique<linalg::BlockJacobiPreconditioner>(std::move(block_ptr));
+  }
   ForwardSweep sweep;
   Real misfit = std::numeric_limits<Real>::quiet_NaN();
   try {
@@ -364,6 +377,13 @@ InverseResult recover_resistances(const mea::Measurement& measurement,
           ladder.cg.tolerance = options.ladder_cg_tolerance;
           ladder.adaptive_tikhonov_target = options.adaptive_tikhonov_target;
           ladder.condition_estimate = condition;
+          if (ladder_precond != nullptr) {
+            ladder_precond->refresh(damped);
+            ladder.preconditioner = ladder_precond.get();
+          } else if (options.ladder_preconditioner ==
+                     linalg::PreconditionerKind::kIdentity) {
+            ladder.preconditioner = &identity_precond;
+          }
           delta = solve_with_fallback(damped, rhs, ladder, result.diagnostics,
                                       ladder_workspace);
         } else {

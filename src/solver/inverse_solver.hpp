@@ -47,6 +47,13 @@ struct InverseOptions {
   Index ladder_cg_max_iterations = 500;
   /// Rung 1 CG relative tolerance when use_fallback_ladder is set.
   Real ladder_cg_tolerance = 1e-12;
+  /// Preconditioner for the ladder's CG rungs (only read with
+  /// use_fallback_ladder). kJacobi = the historical inline diagonal,
+  /// bit-identical to previous releases. kBlockJacobi factors one dense
+  /// cols-sized block per device row of the damped normal matrix, refreshed
+  /// every damped attempt. kIc0 is not meaningful on this dense path and is
+  /// treated as kBlockJacobi.
+  linalg::PreconditionerKind ladder_preconditioner = linalg::PreconditionerKind::kJacobi;
 
   /// IRLS robust loss over the per-pair impedance residuals (robust.hpp).
   /// kNone keeps the iteration bit-identical to the pre-robust LM. Masked

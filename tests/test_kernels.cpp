@@ -226,6 +226,9 @@ TEST(FullSystem, SerialKernelPathMatchesLegacyPathBitwise) {
     FullSystemOptions legacy_options;
     legacy_options.max_iterations = 12;
     legacy_options.use_kernels = false;
+    // The legacy path has no preconditioner seam: pin the kernel run to the
+    // inline Jacobi it has always used so the comparison stays bit-level.
+    legacy_options.preconditioner = linalg::PreconditionerKind::kJacobi;
     const FullSystemResult legacy = solve_full_system(system, s.measurement, legacy_options);
 
     FullSystemOptions kernel_options = legacy_options;

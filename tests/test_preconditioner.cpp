@@ -1,0 +1,609 @@
+// Tests for the preconditioned solve path: linalg/preconditioner (Jacobi,
+// identity, block-Jacobi, IC0), the SIMD-friendly PaddedCsrChunks SpMV, the
+// mixed-precision CG, and the solver-layer wiring (SystemSymbolic plans,
+// NormalPreconditioner, MatrixFreeNormalOperator, the preconditioned fallback
+// ladder). The load-bearing claims are the ISSUE's bit-identity contracts:
+//  * a refreshed JacobiPreconditioner reproduces the inline-Jacobi CG path
+//    bit for bit, and the identity preconditioner reproduces plain CG;
+//  * IC0's in-pattern refresh matches a from-scratch rebuild bitwise;
+//  * the padded-chunk SpMV matches CsrMatrix::multiply_rows_into bitwise on
+//    every backend;
+//  * the preconditioned ladder's rung-1 exit is bit-identical to calling
+//    preconditioned CG directly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "equations/generator.hpp"
+#include "exec/executor.hpp"
+#include "linalg/dense_solve.hpp"
+#include "linalg/iterative.hpp"
+#include "linalg/preconditioner.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "mea/generator.hpp"
+#include "mea/measurement.hpp"
+#include "solver/fallback.hpp"
+#include "solver/full_system_solver.hpp"
+#include "solver/system_kernels.hpp"
+
+namespace parma {
+namespace {
+
+using linalg::CooBuilder;
+using linalg::CsrMatrix;
+
+void expect_bitwise_equal(const std::vector<Real>& a, const std::vector<Real>& b,
+                          const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::uint64_t ba = 0;
+    std::uint64_t bb = 0;
+    std::memcpy(&ba, &a[i], sizeof(ba));
+    std::memcpy(&bb, &b[i], sizeof(bb));
+    ASSERT_EQ(ba, bb) << what << " diverges at " << i << ": " << a[i] << " vs " << b[i];
+  }
+}
+
+// Sparse SPD test matrix: a diagonally-dominant band matrix with random
+// couplings, symmetric by construction, every diagonal structurally present.
+CsrMatrix random_sparse_spd(Index n, Index bandwidth, Rng& rng, Real diag_boost = 0.0) {
+  CooBuilder builder(n, n);
+  std::vector<Real> row_sum(static_cast<std::size_t>(n), 0.0);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < std::min(n, i + bandwidth + 1); ++j) {
+      const Real v = rng.uniform(-1.0, 1.0);
+      builder.add(i, j, v);
+      builder.add(j, i, v);
+      row_sum[static_cast<std::size_t>(i)] += std::abs(v);
+      row_sum[static_cast<std::size_t>(j)] += std::abs(v);
+    }
+  }
+  for (Index i = 0; i < n; ++i) {
+    builder.add(i, i, row_sum[static_cast<std::size_t>(i)] + 1.0 + diag_boost +
+                          rng.uniform(0.0, 1.0));
+  }
+  return builder.build(linalg::ZeroPolicy::kKeep);
+}
+
+std::vector<Real> random_vector(Index n, Rng& rng) {
+  std::vector<Real> v(static_cast<std::size_t>(n));
+  for (Real& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+linalg::DenseMatrix densify(const CsrMatrix& a) {
+  linalg::DenseMatrix dense(a.rows(), a.cols());
+  for (Index r = 0; r < a.rows(); ++r) {
+    for (Index k = a.row_ptr()[static_cast<std::size_t>(r)];
+         k < a.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+      dense(r, a.col_idx()[static_cast<std::size_t>(k)]) =
+          a.values()[static_cast<std::size_t>(k)];
+    }
+  }
+  return dense;
+}
+
+// ------------------------------------------------------------ Jacobi seam
+
+TEST(JacobiSeam, RefreshedJacobiMatchesInlinePathBitwise) {
+  Rng rng(101);
+  const CsrMatrix a = random_sparse_spd(64, 4, rng);
+  const std::vector<Real> b = random_vector(a.rows(), rng);
+  const linalg::SerialCsrOperator op(a);
+  linalg::IterativeOptions options;
+  options.tolerance = 1e-12;
+
+  linalg::CgWorkspace ws_null;
+  const linalg::IterativeResult inline_jacobi =
+      linalg::conjugate_gradient_with(op, b, options, ws_null);
+
+  linalg::JacobiPreconditioner jacobi;
+  jacobi.refresh(a);
+  linalg::CgWorkspace ws_precond;
+  const linalg::IterativeResult seam =
+      linalg::conjugate_gradient_with(op, b, options, ws_precond, &jacobi);
+
+  EXPECT_TRUE(inline_jacobi.converged);
+  EXPECT_EQ(seam.iterations, inline_jacobi.iterations);
+  EXPECT_EQ(seam.relative_residual, inline_jacobi.relative_residual);
+  expect_bitwise_equal(seam.x, inline_jacobi.x, "Jacobi seam solution");
+}
+
+TEST(JacobiSeam, IdentityMatchesPlainCgOnUnitDiagonal) {
+  // With A_ii = 1 the inline-Jacobi scaling is exactly 1.0 * r, i.e. plain
+  // CG; the identity preconditioner must follow the same trajectory bitwise.
+  Rng rng(102);
+  CsrMatrix a = random_sparse_spd(48, 3, rng);
+  {
+    // Normalize to a unit diagonal: D^-1/2 A D^-1/2 stays SPD.
+    const std::vector<Real> diag = a.diagonal();
+    auto& values = a.values_mut();
+    for (Index r = 0; r < a.rows(); ++r) {
+      for (Index k = a.row_ptr()[static_cast<std::size_t>(r)];
+           k < a.row_ptr()[static_cast<std::size_t>(r) + 1]; ++k) {
+        const Index c = a.col_idx()[static_cast<std::size_t>(k)];
+        // Pin the diagonal to EXACTLY 1.0 (sqrt(d) * sqrt(d) != d in floating
+        // point): the inline-Jacobi scaling must be the literal identity.
+        values[static_cast<std::size_t>(k)] =
+            (c == r) ? Real{1.0}
+                     : values[static_cast<std::size_t>(k)] /
+                           (std::sqrt(diag[static_cast<std::size_t>(r)]) *
+                            std::sqrt(diag[static_cast<std::size_t>(c)]));
+      }
+    }
+  }
+  const std::vector<Real> b = random_vector(a.rows(), rng);
+  const linalg::SerialCsrOperator op(a);
+  linalg::IterativeOptions options;
+  options.tolerance = 1e-12;
+
+  linalg::CgWorkspace ws_null;
+  const linalg::IterativeResult plain =
+      linalg::conjugate_gradient_with(op, b, options, ws_null);
+
+  const linalg::IdentityPreconditioner identity;
+  linalg::CgWorkspace ws_id;
+  const linalg::IterativeResult with_identity =
+      linalg::conjugate_gradient_with(op, b, options, ws_id, &identity);
+
+  EXPECT_TRUE(plain.converged);
+  EXPECT_EQ(with_identity.iterations, plain.iterations);
+  expect_bitwise_equal(with_identity.x, plain.x, "identity = plain CG");
+}
+
+// ------------------------------------------------------------ block-Jacobi
+
+TEST(BlockJacobi, AppliesExactBlockInverse) {
+  // On a block-diagonal matrix, M = A: apply() must reproduce the dense
+  // solve per block (up to factorization roundoff) and PCG must converge in
+  // O(1) iterations.
+  Rng rng(103);
+  const Index block = 5;
+  const Index blocks = 6;
+  const Index n = block * blocks;
+  CooBuilder builder(n, n);
+  for (Index b = 0; b < blocks; ++b) {
+    const Index lo = b * block;
+    linalg::DenseMatrix m(block, block);
+    for (Index i = 0; i < block; ++i) {
+      for (Index j = 0; j < block; ++j) m(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    const linalg::DenseMatrix spd = m.multiply(m.transpose());
+    for (Index i = 0; i < block; ++i) {
+      for (Index j = 0; j < block; ++j) {
+        builder.add(lo + i, lo + j, spd(i, j) + (i == j ? block : 0));
+      }
+    }
+  }
+  const CsrMatrix a = builder.build(linalg::ZeroPolicy::kKeep);
+
+  std::vector<Index> block_ptr;
+  for (Index b = 0; b <= blocks; ++b) block_ptr.push_back(b * block);
+  auto plan = linalg::BlockJacobiPreconditioner::Plan::analyze(block_ptr, a.row_ptr(),
+                                                               a.col_idx());
+  linalg::BlockJacobiPreconditioner precond(plan);
+  precond.refresh(a);
+  EXPECT_EQ(precond.fallback_blocks(), 0);
+
+  const std::vector<Real> r = random_vector(n, rng);
+  std::vector<Real> z;
+  precond.apply(r, z);
+  const std::vector<Real> expect = linalg::solve_dense(densify(a), r);
+  for (Index i = 0; i < n; ++i) {
+    EXPECT_NEAR(z[static_cast<std::size_t>(i)], expect[static_cast<std::size_t>(i)], 1e-9);
+  }
+
+  linalg::IterativeOptions options;
+  options.tolerance = 1e-12;
+  linalg::CgWorkspace ws;
+  const linalg::IterativeResult result = linalg::conjugate_gradient_with(
+      linalg::SerialCsrOperator(a), r, options, ws, &precond);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 3);
+}
+
+TEST(BlockJacobi, SparsePlanMatchesDenseRefreshBitwise) {
+  Rng rng(104);
+  const CsrMatrix a = random_sparse_spd(60, 6, rng);
+  std::vector<Index> block_ptr{0, 12, 24, 36, 48, 60};
+
+  linalg::BlockJacobiPreconditioner sparse(linalg::BlockJacobiPreconditioner::Plan::analyze(
+      block_ptr, a.row_ptr(), a.col_idx()));
+  sparse.refresh(a);
+
+  linalg::BlockJacobiPreconditioner dense(block_ptr);
+  dense.refresh(densify(a));
+
+  const std::vector<Real> r = random_vector(a.rows(), rng);
+  std::vector<Real> z_sparse;
+  std::vector<Real> z_dense;
+  sparse.apply(r, z_sparse);
+  dense.apply(r, z_dense);
+  expect_bitwise_equal(z_sparse, z_dense, "sparse-plan vs dense refresh");
+}
+
+TEST(BlockJacobi, BreakdownFallsBackToDiagonal) {
+  // One zero block breaks its Cholesky; the preconditioner must degrade to
+  // the guarded diagonal (z = r on zero diagonals) instead of poisoning z.
+  CooBuilder builder(4, 4);
+  builder.add(0, 0, 4.0);
+  builder.add(1, 1, 0.0);  // explicit structural zero
+  builder.add(2, 2, 9.0);
+  builder.add(3, 3, 16.0);
+  const CsrMatrix a = builder.build(linalg::ZeroPolicy::kKeep);
+  linalg::BlockJacobiPreconditioner precond(linalg::BlockJacobiPreconditioner::Plan::analyze(
+      {0, 2, 4}, a.row_ptr(), a.col_idx()));
+  precond.refresh(a);
+  EXPECT_EQ(precond.fallback_blocks(), 1);
+
+  std::vector<Real> z;
+  precond.apply({4.0, 7.0, 9.0, 32.0}, z);
+  EXPECT_DOUBLE_EQ(z[0], 1.0);
+  EXPECT_DOUBLE_EQ(z[1], 7.0);  // guarded inverse of the zero diagonal is 1
+  EXPECT_DOUBLE_EQ(z[2], 1.0);
+  EXPECT_DOUBLE_EQ(z[3], 2.0);
+}
+
+// ------------------------------------------------------------------- IC0
+
+TEST(Ic0, InPatternRefreshMatchesFullRebuildBitwise) {
+  Rng rng(105);
+  const CsrMatrix a1 = random_sparse_spd(80, 5, rng);
+  CsrMatrix a2 = a1;
+  for (Real& v : a2.values_mut()) v *= rng.uniform(0.5, 1.5);
+  // Re-symmetrize after the random scaling (transpose shares the pattern).
+  {
+    const CsrMatrix a2t = a2.transpose();
+    auto& values = a2.values_mut();
+    for (std::size_t k = 0; k < values.size(); ++k) {
+      values[k] = 0.5 * (values[k] + a2t.values()[k]);
+    }
+  }
+
+  // Long-lived preconditioner refreshed in pattern across value changes...
+  linalg::Ic0Preconditioner refreshed(a1);
+  refreshed.refresh(a1);
+  refreshed.refresh(a2);
+  // ...must match a from-scratch factorization of the final values.
+  linalg::Ic0Preconditioner rebuilt(a2);
+  rebuilt.refresh(a2);
+
+  EXPECT_EQ(refreshed.shift(), rebuilt.shift());
+  EXPECT_EQ(refreshed.jacobi_fallback(), rebuilt.jacobi_fallback());
+  const std::vector<Real> r = random_vector(a2.rows(), rng);
+  std::vector<Real> z_refreshed;
+  std::vector<Real> z_rebuilt;
+  refreshed.apply(r, z_refreshed);
+  rebuilt.apply(r, z_rebuilt);
+  expect_bitwise_equal(z_refreshed, z_rebuilt, "IC0 refresh vs rebuild");
+}
+
+TEST(Ic0, ReducesIterationsVsJacobi) {
+  Rng rng(106);
+  // Mildly ill-conditioned: weak diagonal dominance stresses plain Jacobi.
+  const CsrMatrix a = random_sparse_spd(120, 8, rng);
+  const std::vector<Real> b = random_vector(a.rows(), rng);
+  const linalg::SerialCsrOperator op(a);
+  linalg::IterativeOptions options;
+  options.tolerance = 1e-12;
+
+  linalg::CgWorkspace ws_jacobi;
+  const linalg::IterativeResult jacobi =
+      linalg::conjugate_gradient_with(op, b, options, ws_jacobi);
+
+  linalg::Ic0Preconditioner ic0(a);
+  ic0.refresh(a);
+  EXPECT_FALSE(ic0.jacobi_fallback());
+  linalg::CgWorkspace ws_ic0;
+  const linalg::IterativeResult preconditioned =
+      linalg::conjugate_gradient_with(op, b, options, ws_ic0, &ic0);
+
+  EXPECT_TRUE(jacobi.converged);
+  EXPECT_TRUE(preconditioned.converged);
+  EXPECT_LT(preconditioned.iterations, jacobi.iterations);
+}
+
+// ------------------------------------------------------- padded-chunk SpMV
+
+TEST(PaddedCsr, MultiplyMatchesCsrBitwise) {
+  Rng rng(107);
+  const CsrMatrix a = random_sparse_spd(100, 7, rng);
+  const linalg::PaddedCsrChunks padded(a, 16);
+  const std::vector<Real> x = random_vector(a.cols(), rng);
+
+  std::vector<Real> y_csr(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<Real> y_padded(static_cast<std::size_t>(a.rows()), 0.0);
+  // Exercise chunk-interior and chunk-crossing ranges.
+  for (const auto& range : std::vector<std::pair<Index, Index>>{
+           {0, a.rows()}, {0, 16}, {16, 32}, {5, 27}, {90, 100}}) {
+    a.multiply_rows_into(x, y_csr, range.first, range.second);
+    padded.multiply_rows_into(x, y_padded, range.first, range.second);
+    expect_bitwise_equal(y_padded, y_csr, "padded SpMV");
+  }
+}
+
+TEST(PaddedCsr, ChunkRefreshTracksValueChanges) {
+  Rng rng(108);
+  CsrMatrix a = random_sparse_spd(64, 5, rng);
+  linalg::PaddedCsrChunks padded(a, 16);
+  for (Real& v : a.values_mut()) v *= 2.0;
+  for (Index c = 0; c < padded.chunk_count(); ++c) padded.refresh_chunk_values(a, c);
+
+  const std::vector<Real> x = random_vector(a.cols(), rng);
+  std::vector<Real> y_csr(static_cast<std::size_t>(a.rows()), 0.0);
+  std::vector<Real> y_padded(static_cast<std::size_t>(a.rows()), 0.0);
+  a.multiply_rows_into(x, y_csr, 0, a.rows());
+  padded.multiply_rows_into(x, y_padded, 0, a.rows());
+  expect_bitwise_equal(y_padded, y_csr, "padded SpMV after chunk refresh");
+}
+
+// ------------------------------------------------------- mixed precision
+
+TEST(MixedPrecision, ConvergesWithDoubleAccuracyGate) {
+  Rng rng(109);
+  const CsrMatrix a = random_sparse_spd(96, 6, rng);
+  const std::vector<Real> b = random_vector(a.rows(), rng);
+  linalg::IterativeOptions options;
+  options.tolerance = 1e-10;
+  options.mixed_precision = true;
+
+  linalg::MixedPrecisionWorkspace ws;
+  const linalg::IterativeResult result = linalg::conjugate_gradient_mixed(a, b, options, ws);
+  ASSERT_TRUE(result.converged);
+
+  // Verify the gate's claim in double: the true residual meets the tolerance.
+  const std::vector<Real> ax = a.multiply(result.x);
+  Real rr = 0.0;
+  Real bb = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    rr += (b[i] - ax[i]) * (b[i] - ax[i]);
+    bb += b[i] * b[i];
+  }
+  EXPECT_LE(std::sqrt(rr / bb), options.tolerance * (1.0 + 1e-12));
+}
+
+TEST(MixedPrecision, ReportsFailureWhenGateUnreachable) {
+  Rng rng(110);
+  const CsrMatrix a = random_sparse_spd(32, 4, rng);
+  const std::vector<Real> b = random_vector(a.rows(), rng);
+  linalg::IterativeOptions options;
+  options.tolerance = 1e-10;
+  options.mixed_precision = true;
+  options.max_iterations = 2;  // starve the inner budget
+  linalg::MixedPrecisionWorkspace ws;
+  const linalg::IterativeResult result = linalg::conjugate_gradient_mixed(a, b, options, ws);
+  EXPECT_FALSE(result.converged);
+}
+
+// ------------------------------------------------------- fallback ladder
+
+TEST(Ladder, PreconditionedRungOneIsBitIdenticalToDirectCg) {
+  Rng rng(111);
+  const CsrMatrix a = random_sparse_spd(60, 6, rng);
+  const std::vector<Real> b = random_vector(a.rows(), rng);
+  std::vector<Index> block_ptr{0, 15, 30, 45, 60};
+  linalg::BlockJacobiPreconditioner precond(linalg::BlockJacobiPreconditioner::Plan::analyze(
+      block_ptr, a.row_ptr(), a.col_idx()));
+  precond.refresh(a);
+
+  solver::FallbackOptions options;
+  options.cg.tolerance = 1e-12;
+  options.preconditioner = &precond;
+
+  solver::SolveDiagnostics diagnostics;
+  solver::LadderWorkspace workspace;
+  const std::vector<Real> ladder =
+      solver::solve_with_fallback(a, b, options, diagnostics, workspace);
+  EXPECT_EQ(diagnostics.highest_rung, solver::FallbackRung::kCg);
+  EXPECT_EQ(diagnostics.tikhonov_retries, 0);
+
+  linalg::CgWorkspace ws;
+  const linalg::IterativeResult direct = linalg::conjugate_gradient_with(
+      solver::ParallelCsrOperator(a, nullptr), b, options.cg, ws, &precond);
+  ASSERT_TRUE(direct.converged);
+  EXPECT_EQ(diagnostics.cg_iterations, direct.iterations);
+  expect_bitwise_equal(ladder, direct.x, "preconditioned ladder rung 1");
+}
+
+TEST(Ladder, MixedPrecisionMissFallsThroughToFullDouble) {
+  Rng rng(112);
+  const CsrMatrix a = random_sparse_spd(40, 4, rng);
+  const std::vector<Real> b = random_vector(a.rows(), rng);
+
+  solver::FallbackOptions options;
+  options.cg.tolerance = 1e-12;
+  options.cg.mixed_precision = true;
+  solver::SolveDiagnostics diagnostics;
+  solver::LadderWorkspace workspace;
+  const std::vector<Real> x =
+      solver::solve_with_fallback(a, b, options, diagnostics, workspace);
+
+  // Whether the pre-rung hit or missed its gate, the returned solution must
+  // satisfy the double-precision tolerance.
+  const std::vector<Real> ax = a.multiply(x);
+  Real rr = 0.0;
+  Real bb = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    rr += (b[i] - ax[i]) * (b[i] - ax[i]);
+    bb += b[i] * b[i];
+  }
+  EXPECT_LE(std::sqrt(rr / bb),
+            options.cg.tolerance * options.tikhonov_tolerance_factor * (1.0 + 1e-12));
+  EXPECT_EQ(diagnostics.highest_rung, solver::FallbackRung::kCg);
+}
+
+// ------------------------------------------------- solver-layer wiring
+
+struct Scenario {
+  mea::DeviceSpec spec;
+  circuit::ResistanceGrid truth{1, 1};
+  mea::Measurement measurement;
+};
+
+Scenario make_scenario(Index n, std::uint64_t seed) {
+  Rng rng(seed);
+  Scenario s{mea::square_device(n), circuit::ResistanceGrid(1, 1), {}};
+  mea::GeneratorOptions options = mea::random_scenario(s.spec, /*anomalies=*/1, rng);
+  options.jitter_fraction = 0.01;
+  s.truth = mea::generate_field(s.spec, options, rng);
+  s.measurement = mea::measure(s.spec, s.truth, mea::MeasurementOptions{}, rng);
+  return s;
+}
+
+TEST(SymbolicPlans, AnalyzeBuildsPreconditionerPlans) {
+  const Scenario s = make_scenario(4, 201);
+  const equations::EquationSystem system = equations::generate_system(s.measurement);
+  const auto symbolic = solver::SystemSymbolic::analyze(system);
+  ASSERT_TRUE(symbolic->has_normal);
+  ASSERT_NE(symbolic->block_plan, nullptr);
+  ASSERT_NE(symbolic->ic0_pattern, nullptr);
+  EXPECT_EQ(symbolic->precond_block_ptr.front(), 0);
+  EXPECT_EQ(symbolic->precond_block_ptr.back(), symbolic->cols);
+
+  solver::AnalyzeOptions jacobian_only;
+  jacobian_only.build_normal = false;
+  const auto lean = solver::SystemSymbolic::analyze(system, jacobian_only);
+  EXPECT_FALSE(lean->has_normal);
+  EXPECT_TRUE(lean->a_row_ptr.empty());
+  EXPECT_EQ(lean->block_plan, nullptr);
+  // The jacobian-side structure must still be complete (CSC view included).
+  EXPECT_EQ(lean->jt_col_ptr.size(), static_cast<std::size_t>(lean->cols) + 1);
+}
+
+TEST(MatrixFree, NormalOperatorMatchesExplicitNormalMatrix) {
+  const Scenario s = make_scenario(4, 202);
+  const equations::EquationSystem system = equations::generate_system(s.measurement);
+  solver::SystemKernels kernels(system, nullptr);
+  const std::vector<Real> x0 = solver::initial_guess(system, s.measurement);
+  kernels.refresh_jacobian(x0, nullptr);
+  kernels.refresh_normal(nullptr);
+
+  const solver::MatrixFreeNormalOperator matrix_free(kernels.jacobian(), kernels.symbolic(),
+                                                     nullptr);
+  EXPECT_EQ(matrix_free.rows(), kernels.normal().rows());
+
+  Rng rng(203);
+  const std::vector<Real> x = random_vector(matrix_free.rows(), rng);
+  std::vector<Real> y_free;
+  matrix_free.multiply_into(x, y_free);
+  const std::vector<Real> y_explicit = kernels.normal().multiply(x);
+  // Different summation orders (Jᵀ(Jx) vs (JᵀJ)x): equal to roundoff, not bits.
+  for (std::size_t i = 0; i < y_free.size(); ++i) {
+    const Real scale = std::max(std::abs(y_explicit[i]), Real{1.0});
+    EXPECT_NEAR(y_free[i], y_explicit[i], 1e-9 * scale);
+  }
+
+  std::vector<Real> d_free;
+  matrix_free.diagonal_into(d_free);
+  const std::vector<Real> d_explicit = kernels.normal().diagonal();
+  for (std::size_t i = 0; i < d_free.size(); ++i) {
+    EXPECT_NEAR(d_free[i], d_explicit[i], 1e-9 * std::max(d_explicit[i], Real{1.0}));
+  }
+}
+
+TEST(MatrixFree, BlockJacobiRefreshFromJacobianMatchesExplicit) {
+  const Scenario s = make_scenario(4, 204);
+  const equations::EquationSystem system = equations::generate_system(s.measurement);
+  solver::SystemKernels kernels(system, nullptr);
+  const std::vector<Real> x0 = solver::initial_guess(system, s.measurement);
+  kernels.refresh_jacobian(x0, nullptr);
+  kernels.refresh_normal(nullptr);
+  const solver::SystemSymbolic& symbolic = kernels.symbolic();
+
+  linalg::BlockJacobiPreconditioner from_a(symbolic.block_plan);
+  from_a.refresh(kernels.normal());
+
+  linalg::BlockJacobiPreconditioner from_j(symbolic.block_plan);
+  solver::refresh_block_jacobi_from_jacobian(kernels.jacobian(), symbolic, from_j, nullptr);
+
+  Rng rng(205);
+  const std::vector<Real> r = random_vector(symbolic.cols, rng);
+  std::vector<Real> z_a;
+  std::vector<Real> z_j;
+  from_a.apply(r, z_a);
+  from_j.apply(r, z_j);
+  // The packed entries are sums in different orders (CSR scatter vs per-row
+  // accumulation), so compare to roundoff.
+  for (std::size_t i = 0; i < z_a.size(); ++i) {
+    EXPECT_NEAR(z_j[i], z_a[i], 1e-8 * std::max(std::abs(z_a[i]), Real{1.0}));
+  }
+}
+
+TEST(FullSystemPreconditioned, EveryKindRecoversAndBlockJacobiCutsIterations) {
+  const Scenario s = make_scenario(5, 206);
+  const equations::EquationSystem system = equations::generate_system(s.measurement);
+
+  auto solve_with_kind = [&](linalg::PreconditionerKind kind) {
+    solver::FullSystemOptions options;
+    options.max_iterations = 20;
+    options.preconditioner = kind;
+    return solver::solve_full_system(system, s.measurement, options);
+  };
+
+  const solver::FullSystemResult jacobi = solve_with_kind(linalg::PreconditionerKind::kJacobi);
+  const solver::FullSystemResult block =
+      solve_with_kind(linalg::PreconditionerKind::kBlockJacobi);
+  const solver::FullSystemResult ic0 = solve_with_kind(linalg::PreconditionerKind::kIc0);
+  const solver::FullSystemResult identity =
+      solve_with_kind(linalg::PreconditionerKind::kIdentity);
+
+  for (const auto* result : {&jacobi, &block, &ic0, &identity}) {
+    EXPECT_TRUE(result->converged);
+    EXPECT_EQ(result->diagnostics.highest_rung, solver::FallbackRung::kCg);
+  }
+  // The ISSUE's iteration-reduction claim, at test scale: the default
+  // block-Jacobi must spend strictly fewer CG iterations than inline Jacobi.
+  EXPECT_LT(block.diagnostics.cg_iterations, jacobi.diagnostics.cg_iterations);
+  EXPECT_LT(ic0.diagnostics.cg_iterations, jacobi.diagnostics.cg_iterations);
+}
+
+TEST(FullSystemPreconditioned, BlockJacobiIsBitIdenticalAcrossBackends) {
+  // The preconditioned + padded-SpMV hot path must keep the cross-backend
+  // bit-identity contract (ordered reductions, fixed chunks, serial apply).
+  const Scenario s = make_scenario(4, 207);
+  const equations::EquationSystem system = equations::generate_system(s.measurement);
+  solver::FullSystemOptions options;
+  options.max_iterations = 12;
+
+  const solver::FullSystemResult serial = solver::solve_full_system(system, s.measurement,
+                                                                    options);
+  for (const exec::Backend backend : {exec::Backend::kPooled, exec::Backend::kStealing}) {
+    const auto executor = exec::make_executor(backend, 4);
+    solver::KernelContext context;
+    context.executor = executor.get();
+    const solver::FullSystemResult parallel =
+        solver::solve_full_system(system, s.measurement, options, context);
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    expect_bitwise_equal(parallel.unknowns, serial.unknowns, "preconditioned backends");
+    expect_bitwise_equal(parallel.residual_history, serial.residual_history,
+                         "preconditioned history");
+  }
+}
+
+TEST(FullSystemPreconditioned, MixedPrecisionSolveStaysAccurate) {
+  const Scenario s = make_scenario(4, 208);
+  const equations::EquationSystem system = equations::generate_system(s.measurement);
+
+  solver::FullSystemOptions options;
+  options.max_iterations = 20;
+  const solver::FullSystemResult plain = solver::solve_full_system(system, s.measurement,
+                                                                   options);
+  options.mixed_precision = true;
+  const solver::FullSystemResult mixed = solver::solve_full_system(system, s.measurement,
+                                                                   options);
+  EXPECT_TRUE(plain.converged);
+  EXPECT_TRUE(mixed.converged);
+  Real worst = 0.0;
+  for (std::size_t e = 0; e < s.truth.flat().size(); ++e) {
+    worst = std::max(worst, std::abs(mixed.recovered.flat()[e] - s.truth.flat()[e]) /
+                                std::abs(s.truth.flat()[e]));
+  }
+  EXPECT_LT(worst, 1e-3);
+}
+
+}  // namespace
+}  // namespace parma
