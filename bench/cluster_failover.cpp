@@ -1,0 +1,133 @@
+// Failover goodput bench: a supervised 3-worker cluster serves a request
+// storm while one worker is SIGKILLed mid-run and supervised back to life.
+// The gate: >= 90% of requests must still complete kOk end to end (goodput),
+// and every completed reply must carry a well-formed field.
+//
+//   cluster_failover [--quick]
+//
+// --quick shrinks the storm for the CI gate in scripts/check.sh; the full
+// run doubles the request count for a steadier goodput estimate. Emits the
+// usual CSV + pretty table into bench_results/.
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.hpp"
+#include "cluster/router.hpp"
+#include "cluster/supervisor.hpp"
+
+#ifndef PARMA_CLUSTER_WORKER_BIN
+#error "PARMA_CLUSTER_WORKER_BIN must name the worker binary"
+#endif
+
+using namespace parma;
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+  const Index requests = quick ? 48 : 96;
+  const Index kill_at = requests / 3;       // mid-storm, before the restart lands
+  const Index second_kill_at = 2 * requests / 3;
+
+  cluster::RouterOptions ropts;
+  ropts.attempt_timeout = std::chrono::seconds(30);
+  cluster::Router router(ropts);
+  cluster::SupervisorOptions sopts;
+  sopts.worker_binary = PARMA_CLUSTER_WORKER_BIN;
+  sopts.workers = 3;
+  sopts.server_workers = 1;
+  cluster::Supervisor supervisor(
+      sopts, [&router](const cluster::WorkerEndpoint& e) { router.worker_up(e); },
+      [&router](Index id) { router.worker_down(id); });
+  supervisor.start();
+
+  // Pre-generate the storm so the timed section is routing + serving only.
+  std::vector<serve::ParametrizeRequest> pending;
+  pending.reserve(static_cast<std::size_t>(requests));
+  Rng rng(2022);
+  const std::vector<Index> shapes = {6, 8, 10};
+  for (Index i = 0; i < requests; ++i) {
+    const Index n = shapes[static_cast<std::size_t>(i) % shapes.size()];
+    const mea::DeviceSpec spec = mea::square_device(n);
+    const auto truth = mea::generate_field(spec, mea::random_scenario(spec, 1, rng), rng);
+    serve::ParametrizeRequest request;
+    request.measurement = mea::measure_exact(spec, truth);
+    request.options.strategy = core::Strategy::kFineGrained;
+    request.options.workers = 2;
+    request.options.chunk = 4;
+    request.options.keep_system = false;
+    request.inverse.max_iterations = 20;
+    pending.push_back(std::move(request));
+  }
+
+  Stopwatch wall;
+  Index ok = 0;
+  std::uint64_t transport_failures = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    // One kill while the fleet is whole, one while a restart may still be in
+    // flight: the router must failover through both windows.
+    if (static_cast<Index>(i) == kill_at) supervisor.kill_worker(0);
+    if (static_cast<Index>(i) == second_kill_at) supervisor.kill_worker(1);
+    const cluster::Router::RouteResult routed = router.dispatch(pending[i]);
+    if (routed.ok() && routed.reply.response.status() == serve::RequestStatus::kOk &&
+        routed.reply.response.has_field()) {
+      ++ok;
+    } else if (routed.reply.transport != net::ClientError::kNone) {
+      ++transport_failures;
+    }
+  }
+  const Real wall_seconds = wall.elapsed_seconds();
+  supervisor.stop();
+
+  const cluster::RouterCounters rc = router.counters();
+  const Real goodput = static_cast<Real>(ok) / static_cast<Real>(requests);
+  Table table({"metric", "value"});
+  table.add("requests", static_cast<std::uint64_t>(requests));
+  table.add("ok", static_cast<std::uint64_t>(ok));
+  table.add("goodput", goodput);
+  table.add("wall_seconds", wall_seconds);
+  table.add("req_per_s", static_cast<Real>(requests) / wall_seconds);
+  table.add("failovers", rc.failovers);
+  table.add("breaker_opened", rc.breaker_opened);
+  table.add("breaker_skips", rc.breaker_skips);
+  table.add("exhausted", rc.exhausted);
+  table.add("transport_failures", transport_failures);
+  table.add("workers_lost", rc.workers_lost);
+  table.add("workers_joined", rc.workers_joined);
+  table.add("restarts", supervisor.restarts());
+  bench::emit(table, "cluster_failover");
+
+  const std::string json_path = bench::results_dir() + "/cluster_failover.json";
+  std::filesystem::create_directories(
+      std::filesystem::path(json_path).parent_path());
+  {
+    std::ofstream os(json_path);
+    os << "{\n  \"bench\": \"cluster_failover\",\n  \"requests\": " << requests
+       << ",\n  \"completed_ok\": " << ok << ",\n  \"goodput\": " << goodput
+       << ",\n  \"wall_seconds\": " << wall_seconds
+       << ",\n  \"failovers\": " << rc.failovers
+       << ",\n  \"breaker_opened\": " << rc.breaker_opened
+       << ",\n  \"exhausted\": " << rc.exhausted
+       << ",\n  \"workers_lost\": " << rc.workers_lost
+       << ",\n  \"workers_joined\": " << rc.workers_joined
+       << ",\n  \"restarts\": " << supervisor.restarts()
+       << ",\n  \"meets_90pct_floor\": " << (goodput >= 0.9 ? "true" : "false")
+       << "\n}\n";
+  }
+  std::cout << "saved: " << json_path << "\n";
+
+  if (goodput < 0.90) {
+    std::cerr << "FAIL: goodput " << goodput << " < 0.90 with one worker killed\n";
+    return 1;
+  }
+  if (rc.workers_lost < 2 || supervisor.restarts() < 1) {
+    std::cerr << "FAIL: chaos did not land (lost " << rc.workers_lost
+              << ", restarts " << supervisor.restarts() << ")\n";
+    return 1;
+  }
+  std::cout << "\nPASS: goodput " << goodput << " >= 0.90 through " << rc.workers_lost
+            << " worker deaths and " << supervisor.restarts() << " supervised restarts\n";
+  return 0;
+}

@@ -1,0 +1,6 @@
+// parma_cluster_worker -- the worker process the cluster::Supervisor
+// fork/execs: one serve::Server behind one net::Listener plus the
+// notify/shutdown pipe harness. See src/cluster/worker.hpp for the flags.
+#include "cluster/worker.hpp"
+
+int main(int argc, char** argv) { return parma::cluster::worker_main(argc, argv); }

@@ -21,8 +21,15 @@
 //   parma_cli serve-net --connect <host:port|[v6]:port|port> [--requests r]
 //                       [--shapes 6,8,10] [--seed s]
 //       drive a remote serve-net listener with synthetic requests
+//   parma_cli serve-cluster [--cluster-workers n] [--replicas r] [--requests r]
+//                           [--shapes 6,8,10] [--seed s] [--kill-worker i]
+//                           [--worker-bin path]
+//       supervise a sharded worker fleet, route synthetic requests through
+//       the consistent-hash ring, and print the merged cluster-wide stats
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on runtime failures.
+#include <unistd.h>
+
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -31,6 +38,8 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/router.hpp"
+#include "cluster/supervisor.hpp"
 #include "core/parma.hpp"
 #include "net/client.hpp"
 #include "net/listener.hpp"
@@ -77,7 +86,10 @@ int usage() {
                "  parma_cli serve-net --listen <host:port|[v6]:port|port> [--workers k]"
                " [--queue q] [--batch b]\n"
                "  parma_cli serve-net --connect <host:port|[v6]:port|port> [--requests r]"
-               " [--shapes 6,8,10] [--seed s]\n";
+               " [--shapes 6,8,10] [--seed s]\n"
+               "  parma_cli serve-cluster [--cluster-workers n] [--replicas r]"
+               " [--requests r] [--shapes 6,8,10] [--seed s] [--kill-worker i]"
+               " [--worker-bin path]\n";
   return 1;
 }
 
@@ -434,6 +446,139 @@ int cmd_serve_net(const Args& args) {
   return ok == requests ? 0 : 2;
 }
 
+/// The worker binary normally sits next to parma_cli (both are built into
+/// build/examples/), so resolve it relative to our own image by default.
+std::string default_worker_binary() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "./parma_cluster_worker";
+  const std::string self(buf, static_cast<std::size_t>(n));
+  const std::size_t slash = self.rfind('/');
+  if (slash == std::string::npos) return "./parma_cluster_worker";
+  return self.substr(0, slash + 1) + "parma_cluster_worker";
+}
+
+int cmd_serve_cluster(const Args& args) {
+  if (!args.positional.empty()) return usage();
+  const Index workers = args.flag("cluster-workers")
+                            ? parse_index(*args.flag("cluster-workers"), "cluster-workers")
+                            : 3;
+  const Index requests =
+      args.flag("requests") ? parse_index(*args.flag("requests"), "requests") : 24;
+  const auto seed = static_cast<std::uint64_t>(
+      args.flag("seed") ? parse_index(*args.flag("seed"), "seed") : 2022);
+  std::vector<Index> shapes;
+  for (const std::string& tok : split(args.flag("shapes").value_or("6,8,10"), ',')) {
+    shapes.push_back(parse_index(tok, "shapes"));
+  }
+  PARMA_REQUIRE(workers >= 1, "serve-cluster: --cluster-workers must be >= 1");
+  PARMA_REQUIRE(!shapes.empty(), "serve-cluster: --shapes must name at least one size");
+  PARMA_REQUIRE(requests >= 1, "serve-cluster: --requests must be >= 1");
+
+  cluster::RouterOptions ropts;
+  if (const auto r = args.flag("replicas")) {
+    ropts.replicas = static_cast<std::size_t>(parse_index(*r, "replicas"));
+  }
+  cluster::Router router(ropts);
+
+  cluster::SupervisorOptions sopts;
+  sopts.worker_binary = args.flag("worker-bin").value_or(default_worker_binary());
+  sopts.workers = static_cast<int>(workers);
+  if (const auto w = args.flag("workers")) sopts.server_workers = parse_index(*w, "workers");
+  if (const auto q = args.flag("queue")) {
+    sopts.queue_capacity = static_cast<std::size_t>(parse_index(*q, "queue"));
+  }
+  if (const auto b = args.flag("batch")) {
+    sopts.max_batch = static_cast<std::size_t>(parse_index(*b, "batch"));
+  }
+  cluster::Supervisor supervisor(
+      sopts, [&router](const cluster::WorkerEndpoint& e) { router.worker_up(e); },
+      [&router](Index id) { router.worker_down(id); });
+  supervisor.start();
+  std::cout << "cluster up: " << router.live_workers() << " workers ("
+            << ropts.replicas << "-way placement), worker binary "
+            << sopts.worker_binary << "\n";
+
+  std::vector<serve::ParametrizeRequest> pending;
+  pending.reserve(static_cast<std::size_t>(requests));
+  Rng rng(seed);
+  for (Index i = 0; i < requests; ++i) {
+    const Index n = shapes[static_cast<std::size_t>(i) % shapes.size()];
+    const mea::DeviceSpec spec = mea::square_device(n);
+    const auto truth = mea::generate_field(spec, mea::random_scenario(spec, 1, rng), rng);
+    serve::ParametrizeRequest request;
+    request.measurement = mea::measure_exact(spec, truth);
+    request.options.strategy = core::Strategy::kFineGrained;
+    request.options.workers = 2;
+    request.options.chunk = 4;
+    request.options.keep_system = false;
+    request.inverse.max_iterations = 20;
+    pending.push_back(std::move(request));
+  }
+
+  // Optional mid-run chaos: SIGKILL one worker after half the requests so an
+  // operator can watch failover + supervised restart happen live.
+  const std::optional<std::string> kill_flag = args.flag("kill-worker");
+  const Index kill_after = static_cast<Index>(pending.size() / 2);
+
+  Stopwatch wall;
+  Index ok = 0;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    if (kill_flag && static_cast<Index>(i) == kill_after) {
+      const Index victim = parse_index(*kill_flag, "kill-worker");
+      std::cout << "killing worker " << victim << " mid-run\n";
+      supervisor.kill_worker(victim);
+    }
+    const cluster::Router::RouteResult routed = router.dispatch(pending[i]);
+    if (routed.ok() && routed.reply.response.status() == serve::RequestStatus::kOk) {
+      ++ok;
+    } else if (routed.reply.transport != net::ClientError::kNone) {
+      std::cerr << "request " << i << ": transport "
+                << net::client_error_name(routed.reply.transport) << " after "
+                << routed.attempts << " attempts\n";
+    } else if (routed.reply.is_error) {
+      std::cerr << "request " << i << ": protocol error "
+                << net::proto_code_name(routed.reply.error.code) << "\n";
+    } else {
+      const auto status = routed.reply.response.status();
+      std::cerr << "request " << i << ": "
+                << (status ? serve::request_status_name(*status) : "unknown status")
+                << "\n";
+    }
+  }
+  const Real wall_seconds = wall.elapsed_seconds();
+
+  std::size_t reporting = 0;
+  const serve::Stats stats = router.cluster_stats(&reporting);
+  const cluster::RouterCounters rc = router.counters();
+  std::cout << "served " << ok << "/" << requests << " requests in " << wall_seconds
+            << " s (" << static_cast<Real>(requests) / wall_seconds
+            << " req/s) across " << reporting << " reporting workers\n";
+  std::cout << "routing: dispatched " << rc.dispatched << ", failovers "
+            << rc.failovers << ", breaker skips/opened " << rc.breaker_skips << "/"
+            << rc.breaker_opened << ", exhausted " << rc.exhausted
+            << ", workers lost/joined " << rc.workers_lost << "/"
+            << rc.workers_joined << ", restarts " << supervisor.restarts() << "\n";
+  std::cout << "cluster-wide: " << stats.submitted << " submitted / "
+            << stats.completed_ok << " ok, "
+            << stats.batches << " batches, mean batch " << stats.mean_batch_size
+            << ", queue high-water " << stats.queue_high_water << "\n";
+  Table table({"stage", "count", "mean_ms", "p50_ms", "p99_ms", "max_ms"});
+  const auto add_stage = [&table](const char* name, const serve::StageStats& s) {
+    table.add(name, static_cast<std::uint64_t>(s.count), s.mean_seconds * 1e3,
+              s.p50_seconds * 1e3, s.p99_seconds * 1e3, s.max_seconds * 1e3);
+  };
+  add_stage("queue_wait", stats.queue_wait);
+  add_stage("form", stats.form);
+  add_stage("solve", stats.solve);
+  add_stage("reconstruct", stats.reconstruct);
+  add_stage("end_to_end", stats.end_to_end);
+  table.write_pretty(std::cout);
+
+  supervisor.stop();
+  return ok == requests ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -448,6 +593,7 @@ int main(int argc, char** argv) {
     if (command == "render") return cmd_render(args);
     if (command == "serve-bench") return cmd_serve_bench(args);
     if (command == "serve-net") return cmd_serve_net(args);
+    if (command == "serve-cluster") return cmd_serve_cluster(args);
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -8,12 +8,14 @@
 # Sanitizer passes:
 #   - TSan (-DPARMA_SANITIZE=thread) over the concurrency-sensitive suites
 #     (ctest label `tsan`: test_kernels, test_preconditioner, test_exec, test_serve, test_net,
-#     test_chaos_net, test_async, test_fault, test_robust) plus the chaos
-#     storms (`chaos` label: test_fault's all-points fault storm,
-#     test_robust's corruption-recovery suite, and test_async's cancellation
-#     storm) and the wire-level chaos suite (`chaos-net` label: socket fault
-#     points against the reconnecting client), each under three distinct
-#     PARMA_CHAOS_SEED values.
+#     test_chaos_net, test_cluster, test_async, test_fault, test_robust)
+#     plus the chaos storms (`chaos` label: test_fault's all-points fault
+#     storm, test_robust's corruption-recovery suite, and test_async's
+#     cancellation storm), the wire-level chaos suite (`chaos-net` label:
+#     socket fault points against the reconnecting client), and the
+#     multi-process cluster storm (`chaos-cluster` label: kill -9 a sharded
+#     worker mid-storm, assert failover keeps replies bit-identical), each
+#     under three distinct PARMA_CHAOS_SEED values.
 #   - ASan+UBSan (-DPARMA_SANITIZE=address,undefined) over the same suites.
 #
 # Also runs the solver hot-path bench in --quick mode, which fails (non-zero
@@ -27,9 +29,12 @@
 # worse), and the net-throughput bench in --quick mode, which fails unless
 # loopback TCP serving stays within 2x of in-process req/s, and the
 # net-chaos bench in --quick mode, which fails unless the reconnecting
-# client holds >= 90% goodput at a 5% connection-kill rate; refreshes
-# bench_results/solver_hotpath.json, bench_results/robust_accuracy.json,
-# bench_results/net_throughput.json, and bench_results/net_chaos.json.
+# client holds >= 90% goodput at a 5% connection-kill rate, and the
+# cluster-failover bench in --quick mode, which fails unless the sharded
+# cluster holds >= 90% goodput while two workers are SIGKILLed and
+# supervised back to life; refreshes bench_results/solver_hotpath.json,
+# bench_results/robust_accuracy.json, bench_results/net_throughput.json,
+# bench_results/net_chaos.json, and bench_results/cluster_failover.json.
 #
 # Build trees: ./build (tier-1), ./build-tsan, ./build-asan.
 set -euo pipefail
@@ -47,8 +52,9 @@ echo "== headers: self-containment (each public header compiles alone) =="
 header_tu="$(mktemp --suffix=.cpp)"
 trap 'rm -f "${header_tu}"' EXIT
 header_fail=0
-for header in src/async/*.hpp src/net/*.hpp src/serve/status.hpp src/serve/resilience.hpp \
-              src/linalg/preconditioner.hpp src/linalg/aligned.hpp src/linalg/iterative.hpp; do
+for header in src/async/*.hpp src/net/*.hpp src/cluster/*.hpp src/serve/status.hpp \
+              src/serve/resilience.hpp src/linalg/preconditioner.hpp \
+              src/linalg/aligned.hpp src/linalg/iterative.hpp; do
   printf '#include "%s"\n' "${header#src/}" > "${header_tu}"
   if ! c++ -std=c++20 -Wall -Wextra -fsyntax-only -Isrc "${header_tu}"; then
     echo "not self-contained: ${header}"
@@ -76,28 +82,39 @@ echo "== bench: net_throughput --quick (2x loopback-transport gate) =="
 echo "== bench: net_chaos --quick (90% goodput-under-kill gate) =="
 ./build/bench/net_chaos --quick
 
+echo "== bench: cluster_failover --quick (90% goodput through worker kills + restarts) =="
+./build/bench/cluster_failover --quick
+
 if [[ "${run_tsan}" == "1" ]]; then
   echo "== tsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-tsan -S . -DPARMA_SANITIZE=thread >/dev/null
-  cmake --build build-tsan -j "${jobs}" --target test_kernels test_preconditioner test_exec test_serve test_net test_chaos_net test_async test_fault test_robust
+  cmake --build build-tsan -j "${jobs}" --target test_kernels test_preconditioner test_exec test_serve test_net test_chaos_net test_cluster cluster_failover test_async test_fault test_robust
   echo "== tsan: ctest -L tsan =="
   (cd build-tsan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== tsan: ctest -L chaos (3 seeds) =="
   (cd build-tsan && ctest -L chaos --output-on-failure -j "${jobs}")
   echo "== tsan: ctest -L chaos-net (3 seeds) =="
   (cd build-tsan && ctest -L chaos-net --output-on-failure -j "${jobs}")
+  echo "== tsan: ctest -L chaos-cluster (3 seeds) =="
+  (cd build-tsan && ctest -L chaos-cluster --output-on-failure -j "${jobs}")
+  echo "== tsan: cluster_failover --quick =="
+  ./build-tsan/bench/cluster_failover --quick
 fi
 
 if [[ "${run_asan}" == "1" ]]; then
   echo "== asan+ubsan: configure + build (labels: tsan, chaos) =="
   cmake -B build-asan -S . -DPARMA_SANITIZE=address,undefined >/dev/null
-  cmake --build build-asan -j "${jobs}" --target test_kernels test_preconditioner test_exec test_serve test_net test_chaos_net test_async test_fault test_robust
+  cmake --build build-asan -j "${jobs}" --target test_kernels test_preconditioner test_exec test_serve test_net test_chaos_net test_cluster cluster_failover test_async test_fault test_robust
   echo "== asan+ubsan: ctest -L tsan =="
   (cd build-asan && ctest -L tsan --output-on-failure -j "${jobs}")
   echo "== asan+ubsan: ctest -L chaos (3 seeds) =="
   (cd build-asan && ctest -L chaos --output-on-failure -j "${jobs}")
   echo "== asan+ubsan: ctest -L chaos-net (3 seeds) =="
   (cd build-asan && ctest -L chaos-net --output-on-failure -j "${jobs}")
+  echo "== asan+ubsan: ctest -L chaos-cluster (3 seeds) =="
+  (cd build-asan && ctest -L chaos-cluster --output-on-failure -j "${jobs}")
+  echo "== asan+ubsan: cluster_failover --quick =="
+  ./build-asan/bench/cluster_failover --quick
 fi
 
 echo "OK"

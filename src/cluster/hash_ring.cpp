@@ -1,0 +1,107 @@
+#include "cluster/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "common/require.hpp"
+
+namespace parma::cluster {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t shard_hash(const serve::BatchKey& key) {
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(key.rows) + 1);
+  h = mix64(h ^ (static_cast<std::uint64_t>(key.cols) + 1));
+  h = mix64(h ^ (static_cast<std::uint64_t>(key.backend) + 1));
+  h = mix64(h ^ (static_cast<std::uint64_t>(key.workers) + 1));
+  return h;
+}
+
+namespace {
+
+/// Virtual point v of worker w -- a pure function of (w, v), so every ring
+/// with the same membership is byte-identical.
+std::uint64_t vnode_point(Index worker, int vnode) {
+  return mix64(mix64(static_cast<std::uint64_t>(worker) + 1) ^
+               (static_cast<std::uint64_t>(vnode) + 1));
+}
+
+}  // namespace
+
+HashRing::HashRing(int vnodes) : vnodes_(vnodes) {
+  PARMA_REQUIRE(vnodes >= 1, "a worker needs at least one virtual point");
+}
+
+void HashRing::add(Index worker) {
+  if (members_.count(worker) != 0) return;
+  members_[worker] = true;
+  for (int v = 0; v < vnodes_; ++v) {
+    // Collisions across workers are astronomically unlikely with 64-bit
+    // points; first-come keeps the ring deterministic if one ever happens.
+    ring_.emplace(vnode_point(worker, v), worker);
+  }
+}
+
+void HashRing::remove(Index worker) {
+  if (members_.erase(worker) == 0) return;
+  for (int v = 0; v < vnodes_; ++v) {
+    auto it = ring_.find(vnode_point(worker, v));
+    if (it != ring_.end() && it->second == worker) ring_.erase(it);
+  }
+}
+
+bool HashRing::contains(Index worker) const { return members_.count(worker) != 0; }
+
+std::vector<Index> HashRing::members() const {
+  std::vector<Index> out;
+  out.reserve(members_.size());
+  for (const auto& [worker, alive] : members_) out.push_back(worker);
+  return out;
+}
+
+std::optional<Index> HashRing::owner(std::uint64_t hash) const {
+  if (ring_.empty()) return std::nullopt;
+  auto it = ring_.lower_bound(hash);
+  if (it == ring_.end()) it = ring_.begin();  // wrap past 2^64 - 1
+  return it->second;
+}
+
+std::vector<Index> HashRing::owners(std::uint64_t hash, std::size_t replicas) const {
+  std::vector<Index> out;
+  if (ring_.empty() || replicas == 0) return out;
+  const std::size_t want = std::min(replicas, members_.size());
+  auto it = ring_.lower_bound(hash);
+  // One full lap at most: distinct-worker collection terminates once every
+  // member has been seen.
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < want; ++steps) {
+    if (it == ring_.end()) it = ring_.begin();
+    const Index worker = it->second;
+    bool seen = false;
+    for (const Index w : out) {
+      if (w == worker) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.push_back(worker);
+    ++it;
+  }
+  return out;
+}
+
+std::vector<Index> ring_assignment(std::size_t tasks, Index ranks, int vnodes) {
+  PARMA_REQUIRE(ranks >= 1, "need at least one rank");
+  HashRing ring(vnodes);
+  for (Index r = 0; r < ranks; ++r) ring.add(r);
+  std::vector<Index> owner(tasks, 0);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    owner[i] = *ring.owner(mix64(static_cast<std::uint64_t>(i) + 1));
+  }
+  return owner;
+}
+
+}  // namespace parma::cluster

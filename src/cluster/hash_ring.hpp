@@ -1,0 +1,86 @@
+// parma::cluster::HashRing -- consistent-hash placement for the sharded
+// serving tier.
+//
+// The ring maps shard keys (hashes of serve::BatchKey -- one shard per
+// device shape x backend, the same unit the batch planner groups by) onto
+// worker ids. Each worker contributes `vnodes` virtual points, placed by a
+// SplitMix64-style hash of (worker, vnode), so placement is a pure function
+// of the membership set: two routers with the same members agree on every
+// assignment, and a test can replay a routing decision offline.
+//
+// Consistent hashing is the failover-friendly property the cluster tier is
+// built on: when one of K workers leaves, only the keys whose ring arc
+// belonged to it move (~1/K of the keyspace; the placement test asserts
+// <= 2/K), so a worker crash invalidates one shard's routing, not the whole
+// cluster's. owners() walks the ring clockwise collecting *distinct*
+// workers, which gives R-way replica placement with the replicas guaranteed
+// disjoint from the primary.
+//
+// The same placement runs through the mpisim seam: ring_assignment() maps a
+// task list onto simulated ranks with the identical ring walk, so
+// bench/fig10_mpi_scalability exercises the code path the real router
+// shards with.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "serve/batch_planner.hpp"
+
+namespace parma::cluster {
+
+/// SplitMix64 finalizer (the repo's standard mixing function; see
+/// fault/injector.cpp and async backoff jitter).
+[[nodiscard]] std::uint64_t mix64(std::uint64_t z);
+
+/// The shard key of a request: a well-mixed hash of its batch identity
+/// (rows x cols x backend x workers) -- requests that would batch together
+/// on one server route to the same worker.
+[[nodiscard]] std::uint64_t shard_hash(const serve::BatchKey& key);
+
+class HashRing {
+ public:
+  /// `vnodes` virtual points per worker; more points smooth the load split
+  /// at the cost of a larger map. 64 keeps the max/min arc ratio tight for
+  /// single-digit worker counts.
+  explicit HashRing(int vnodes = 64);
+
+  /// Inserts a worker's virtual points. Re-adding is a no-op.
+  void add(Index worker);
+  /// Removes a worker's virtual points. Removing an absent worker is a
+  /// no-op.
+  void remove(Index worker);
+  [[nodiscard]] bool contains(Index worker) const;
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  [[nodiscard]] std::vector<Index> members() const;
+
+  /// The worker owning `hash`: the first virtual point clockwise from it.
+  /// nullopt on an empty ring.
+  [[nodiscard]] std::optional<Index> owner(std::uint64_t hash) const;
+
+  /// Up to `replicas` DISTINCT workers walking clockwise from `hash`; the
+  /// first entry is the primary, the rest are its failover replicas (all
+  /// disjoint by construction). Fewer than `replicas` members yields all of
+  /// them.
+  [[nodiscard]] std::vector<Index> owners(std::uint64_t hash,
+                                          std::size_t replicas) const;
+
+ private:
+  int vnodes_;
+  std::map<std::uint64_t, Index> ring_;  ///< virtual point -> worker
+  std::map<Index, bool> members_;
+};
+
+/// The mpisim placement seam: assigns `tasks` task indices onto `ranks`
+/// ranks by the same ring walk the router uses (rank r joins the ring as
+/// worker r; task i routes by mix64(i + 1)). Feed the result to
+/// mpisim::simulate_cluster's explicit-placement overload.
+[[nodiscard]] std::vector<Index> ring_assignment(std::size_t tasks, Index ranks,
+                                                 int vnodes = 64);
+
+}  // namespace parma::cluster

@@ -1,0 +1,201 @@
+#include "cluster/router.hpp"
+
+#include "common/require.hpp"
+
+namespace parma::cluster {
+
+Router::Router(RouterOptions options)
+    : options_(std::move(options)), ring_(options_.ring_vnodes) {
+  PARMA_REQUIRE(options_.replicas >= 1, "need at least one candidate per shard");
+}
+
+Router::~Router() = default;
+
+Router::Slot& Router::slot_of(Index id) {
+  std::lock_guard lock(slots_mu_);
+  while (static_cast<std::size_t>(id) >= slots_.size()) {
+    slots_.push_back(std::make_unique<Slot>());
+  }
+  return *slots_[static_cast<std::size_t>(id)];
+}
+
+void Router::worker_up(const WorkerEndpoint& endpoint) {
+  Slot& slot = slot_of(endpoint.id);
+  {
+    std::lock_guard lock(slot.mu);
+    slot.endpoint = endpoint;
+    slot.admitted = true;
+    // A (re)joining worker starts with a clean bill of health; its old
+    // breaker history belonged to a process that no longer exists.
+    slot.breaker = serve::Breaker{};
+  }
+  {
+    std::lock_guard lock(ring_mu_);
+    ring_.add(endpoint.id);
+  }
+  std::lock_guard lock(counters_mu_);
+  ++counters_.workers_joined;
+}
+
+void Router::worker_down(Index id) {
+  Slot& slot = slot_of(id);
+  {
+    std::lock_guard lock(slot.mu);
+    slot.admitted = false;
+  }
+  {
+    std::lock_guard lock(ring_mu_);
+    ring_.remove(id);
+  }
+  std::lock_guard lock(counters_mu_);
+  ++counters_.workers_lost;
+}
+
+bool Router::ensure_connected(Slot& slot) {
+  if (slot.client && slot.client->connected() &&
+      slot.connected_generation == slot.endpoint.generation) {
+    return true;
+  }
+  // A fresh client per (re)connect: a new worker generation means a new
+  // port, and a timed-out attempt leaves stale pending state behind --
+  // either way the old session is not worth resuming.
+  slot.client = std::make_unique<net::Client>();
+  net::ClientOptions copts;
+  copts.host = "127.0.0.1";
+  copts.port = slot.endpoint.port;
+  copts.connect_timeout = std::chrono::milliseconds(1000);
+  copts.reconnect = true;
+  copts.max_reconnect_attempts = options_.client_reconnect_attempts;
+  copts.reconnect_backoff = options_.client_backoff;
+  copts.reconnect_backoff_cap = options_.client_backoff_cap;
+  copts.jitter_seed =
+      options_.client_jitter_seed ^ mix64(static_cast<std::uint64_t>(slot.endpoint.id) + 1);
+  try {
+    slot.client->connect(copts);
+  } catch (const IoError&) {
+    slot.client.reset();
+    return false;
+  }
+  slot.connected_generation = slot.endpoint.generation;
+  return true;
+}
+
+std::vector<Index> Router::route_of(const serve::ParametrizeRequest& request) const {
+  const std::uint64_t h = shard_hash(serve::batch_key(request));
+  std::lock_guard lock(ring_mu_);
+  return ring_.owners(h, options_.replicas);
+}
+
+Router::RouteResult Router::dispatch(const serve::ParametrizeRequest& request) {
+  {
+    std::lock_guard lock(counters_mu_);
+    ++counters_.dispatched;
+  }
+  const std::uint64_t h = shard_hash(serve::batch_key(request));
+  std::vector<Index> candidates;
+  {
+    std::lock_guard lock(ring_mu_);
+    candidates = ring_.owners(h, options_.replicas);
+  }
+
+  RouteResult result;
+  net::ClientError last_failure = net::ClientError::kConnectionLost;
+  for (const Index id : candidates) {
+    Slot& slot = slot_of(id);
+    std::lock_guard lock(slot.mu);
+    if (!slot.admitted) continue;
+    if (!slot.breaker.allow(options_.breaker, serve::Clock::now())) {
+      std::lock_guard clock(counters_mu_);
+      ++counters_.breaker_skips;
+      continue;
+    }
+    if (result.attempts > 0) {
+      std::lock_guard clock(counters_mu_);
+      ++counters_.failovers;
+    }
+    ++result.attempts;
+
+    bool transport_failed = false;
+    if (!ensure_connected(slot)) {
+      transport_failed = true;
+      last_failure = net::ClientError::kConnectFailed;
+    } else {
+      net::WireRequest wire = net::WireRequest::from_request(request, 0);
+      std::optional<net::Client::Reply> reply =
+          slot.client->request(std::move(wire), options_.attempt_timeout);
+      if (!reply) {
+        // No verdict within the budget: count it against the worker and
+        // drop the session (its pending state is unusable now).
+        transport_failed = true;
+        slot.client.reset();
+      } else if (reply->transport != net::ClientError::kNone) {
+        transport_failed = true;
+        last_failure = reply->transport;
+      } else {
+        // The worker answered -- success for the breaker even when the
+        // verdict is a rejection; its shard owns the outcome.
+        slot.breaker.on_success();
+        result.reply = std::move(*reply);
+        result.worker = id;
+        return result;
+      }
+    }
+    if (transport_failed) {
+      if (slot.breaker.on_failure(options_.breaker, serve::Clock::now())) {
+        std::lock_guard clock(counters_mu_);
+        ++counters_.breaker_opened;
+      }
+    }
+  }
+
+  // Every candidate failed (or was inadmissible): a typed transport
+  // verdict, never a silent drop.
+  result.reply.transport = last_failure;
+  {
+    std::lock_guard lock(counters_mu_);
+    ++counters_.exhausted;
+  }
+  return result;
+}
+
+serve::Stats Router::cluster_stats(std::size_t* workers_reporting) {
+  serve::Stats merged;
+  std::size_t reporting = 0;
+  std::vector<Slot*> slots;
+  {
+    std::lock_guard lock(slots_mu_);
+    slots.reserve(slots_.size());
+    for (const auto& slot : slots_) slots.push_back(slot.get());
+  }
+  for (Slot* slot : slots) {
+    std::lock_guard lock(slot->mu);
+    if (!slot->admitted) continue;
+    if (!ensure_connected(*slot)) continue;
+    const std::optional<serve::Stats> snapshot =
+        slot->client->stats(options_.stats_timeout);
+    if (!snapshot) continue;
+    merged.merge(*snapshot);
+    ++reporting;
+  }
+  if (workers_reporting != nullptr) *workers_reporting = reporting;
+  return merged;
+}
+
+RouterCounters Router::counters() const {
+  std::lock_guard lock(counters_mu_);
+  return counters_;
+}
+
+std::size_t Router::live_workers() const {
+  std::lock_guard lock(ring_mu_);
+  return ring_.size();
+}
+
+serve::BreakerState Router::breaker_state(Index id) const {
+  Router* self = const_cast<Router*>(this);
+  Slot& slot = self->slot_of(id);
+  std::lock_guard lock(slot.mu);
+  return slot.breaker.state;
+}
+
+}  // namespace parma::cluster

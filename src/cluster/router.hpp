@@ -1,0 +1,169 @@
+// parma::cluster::Router -- shard requests across worker processes with
+// R-way replica failover.
+//
+// Placement: a request's shard key is shard_hash(batch_key(request)) -- the
+// same shape x backend identity the batch planner groups by, so requests
+// that would batch together on one server land on one worker and batching
+// efficiency survives sharding. The HashRing maps the key to an ordered
+// candidate list (primary, then R-1 distinct replicas); dispatch() tries
+// candidates in order.
+//
+// Health is per WORKER, judged by the transport: a send/wait that ends in a
+// typed ClientError (connection lost, no reply) feeds that worker's
+// serve::Breaker -- the exact closed -> open -> half-open ladder the server
+// runs per shape, reused verbatim at one level up the stack. An open
+// breaker takes the worker out of candidate order (failover to the
+// replica); after the cooldown one probe request tests the water. Server
+// verdicts (kQueueFull, kSolverFailed, ...) are NOT failures -- the worker
+// answered; its shard owns the outcome.
+//
+// Supervision glue: worker_up()/worker_down() are wired to the Supervisor's
+// callbacks. A downed worker leaves the ring immediately (the consistent
+// hash moves only its arc); a restarted one re-enters with a fresh
+// generation and its connection is re-dialed lazily. Each worker's
+// net::Client runs with reconnect + windowed replay, so a transient blip
+// inside one generation replays in-flight requests bit-identically; a
+// crash is surfaced as kConnectionLost and handled by failover instead.
+//
+// Exactly-once: dispatch() returns one definite RouteResult per call. A
+// failover attempt re-sends the request to a different worker only after
+// the previous worker's outcome was a transport verdict (no reply ever
+// arrived or the connection died); parametrization is idempotent and
+// deterministic, so even a request the dead worker half-executed yields a
+// bit-identical field from the replica -- the chaos suite asserts exactly
+// that against a fault-free baseline.
+//
+// Thread-safety: dispatch() may run from many threads; each worker slot
+// serializes access to its single-threaded net::Client with a per-slot
+// mutex, and ring membership sits under its own lock. Supervisor callbacks
+// only flip slot metadata -- they never touch a socket, so the monitor
+// thread cannot block on the data path.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "cluster/supervisor.hpp"
+#include "net/client.hpp"
+#include "serve/circuit_breaker.hpp"
+#include "serve/stats.hpp"
+
+namespace parma::cluster {
+
+struct RouterOptions {
+  /// Candidate workers per shard (primary + replicas). 2 survives any
+  /// single worker death; capped by the live worker count.
+  std::size_t replicas = 2;
+  /// Virtual points per worker on the ring.
+  int ring_vnodes = 64;
+
+  /// Per-worker breaker. A transport failure is a strong signal (the
+  /// worker's process or listener is gone), so the default trips on the
+  /// first one and probes again after the cooldown.
+  serve::BreakerOptions breaker{1, std::chrono::milliseconds(100)};
+
+  /// Per-attempt reply budget: how long dispatch() waits on one worker
+  /// before counting a transport failure and failing over.
+  std::chrono::milliseconds attempt_timeout{15'000};
+
+  /// Worker-client re-dial policy WITHIN a generation (a restarted worker
+  /// gets a fresh connection anyway). Kept short so a dead worker fails
+  /// over in tens of milliseconds instead of riding out a long ladder.
+  int client_reconnect_attempts = 2;
+  std::chrono::milliseconds client_backoff{5};
+  std::chrono::milliseconds client_backoff_cap{50};
+  std::uint64_t client_jitter_seed = 0x7a17;
+
+  /// Stats aggregation probe budget per worker.
+  std::chrono::milliseconds stats_timeout{1000};
+};
+
+/// Monotonic router counters (tests / the failover bench / serve-cluster).
+struct RouterCounters {
+  std::uint64_t dispatched = 0;       ///< dispatch() calls
+  std::uint64_t failovers = 0;        ///< attempts re-routed to a replica
+  std::uint64_t breaker_skips = 0;    ///< candidates skipped by an open breaker
+  std::uint64_t breaker_opened = 0;   ///< per-worker breaker open events
+  std::uint64_t exhausted = 0;        ///< dispatches that ran out of candidates
+  std::uint64_t workers_lost = 0;     ///< worker_down events
+  std::uint64_t workers_joined = 0;   ///< worker_up events (initial + rejoins)
+};
+
+class Router {
+ public:
+  /// One dispatch outcome: the terminal reply (a server frame or a typed
+  /// transport verdict when every candidate failed) plus routing facts.
+  struct RouteResult {
+    net::Client::Reply reply;
+    Index worker = -1;   ///< worker that produced the reply (-1: none did)
+    int attempts = 0;    ///< workers tried
+    [[nodiscard]] bool ok() const { return reply.ok(); }
+  };
+
+  explicit Router(RouterOptions options = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // -- supervision glue (any thread; never blocks on a socket) --------------
+
+  void worker_up(const WorkerEndpoint& endpoint);
+  void worker_down(Index id);
+
+  // -- data path -------------------------------------------------------------
+
+  /// Routes one request: shard placement, per-worker breaker admission,
+  /// transport failover across the replica set. Always returns a definite
+  /// outcome; reply.transport != kNone means every admitted candidate
+  /// failed at the transport layer.
+  [[nodiscard]] RouteResult dispatch(const serve::ParametrizeRequest& request);
+
+  /// The candidate workers dispatch() would try for `request` right now, in
+  /// order (tests / diagnostics).
+  [[nodiscard]] std::vector<Index> route_of(const serve::ParametrizeRequest& request) const;
+
+  /// Cluster-wide stats: per-worker serve::Stats snapshots (kStatsRequest
+  /// frames) folded with Stats::merge. Workers that do not answer within
+  /// stats_timeout are skipped; `workers_reporting` says how many merged.
+  [[nodiscard]] serve::Stats cluster_stats(std::size_t* workers_reporting = nullptr);
+
+  [[nodiscard]] RouterCounters counters() const;
+  [[nodiscard]] std::size_t live_workers() const;
+  /// This worker's breaker state (tests / serve-cluster display).
+  [[nodiscard]] serve::BreakerState breaker_state(Index id) const;
+
+ private:
+  struct Slot {
+    std::mutex mu;  ///< serializes the single-threaded client + health state
+    WorkerEndpoint endpoint;
+    bool admitted = false;             ///< in the ring, may take traffic
+    std::uint64_t connected_generation = 0;  ///< generation client_ dialed
+    std::unique_ptr<net::Client> client;
+    serve::Breaker breaker;
+  };
+
+  /// The slot for worker `id`, growing the table as needed.
+  Slot& slot_of(Index id);
+  /// Ensures the slot's client talks to the slot's current generation;
+  /// false = connect failed (counts as a transport failure).
+  bool ensure_connected(Slot& slot);
+
+  RouterOptions options_;
+
+  mutable std::mutex ring_mu_;
+  HashRing ring_;
+
+  mutable std::mutex slots_mu_;  ///< guards the table, not the slots
+  std::vector<std::unique_ptr<Slot>> slots_;
+
+  mutable std::mutex counters_mu_;
+  RouterCounters counters_;
+};
+
+}  // namespace parma::cluster

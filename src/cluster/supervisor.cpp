@@ -1,0 +1,421 @@
+#include "cluster/supervisor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "cluster/hash_ring.hpp"  // mix64
+#include "common/require.hpp"
+#include "net/client.hpp"
+
+namespace parma::cluster {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD);
+  if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+}  // namespace
+
+Supervisor::Supervisor(SupervisorOptions options,
+                       std::function<void(const WorkerEndpoint&)> on_up,
+                       std::function<void(Index)> on_down)
+    : options_(std::move(options)), on_up_(std::move(on_up)), on_down_(std::move(on_down)) {
+  PARMA_REQUIRE(!options_.worker_binary.empty(), "worker_binary path is required");
+  PARMA_REQUIRE(options_.workers >= 1, "need at least one worker");
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+bool Supervisor::spawn(Index id) {
+  Slot& slot = slots_[static_cast<std::size_t>(id)];
+  int notify[2];   // worker writes, supervisor reads
+  int shutdown[2]; // supervisor writes/closes, worker reads
+  if (::pipe(notify) != 0) return false;
+  if (::pipe(shutdown) != 0) {
+    ::close(notify[0]);
+    ::close(notify[1]);
+    return false;
+  }
+  // Parent-kept ends never leak into workers spawned later.
+  set_cloexec(notify[0]);
+  set_cloexec(shutdown[1]);
+
+  // Everything the child needs is materialized BEFORE fork: between fork
+  // and execv only async-signal-safe calls run (close/execv/_exit).
+  std::vector<std::string> args;
+  args.push_back(options_.worker_binary);
+  args.push_back("--notify-fd=" + std::to_string(notify[1]));
+  args.push_back("--shutdown-fd=" + std::to_string(shutdown[0]));
+  args.push_back("--server-workers=" + std::to_string(options_.server_workers));
+  args.push_back("--queue-capacity=" + std::to_string(options_.queue_capacity));
+  args.push_back("--max-batch=" + std::to_string(options_.max_batch));
+  if (options_.crash_probability > 0.0) {
+    char prob[32];
+    std::snprintf(prob, sizeof prob, "--crash-prob=%.6f", options_.crash_probability);
+    args.push_back(prob);
+    args.push_back("--crash-max-fires=" + std::to_string(options_.crash_max_fires));
+    args.push_back("--chaos-seed=" +
+                   std::to_string(options_.chaos_seed + static_cast<std::uint64_t>(id)));
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(notify[0]);
+    ::close(notify[1]);
+    ::close(shutdown[0]);
+    ::close(shutdown[1]);
+    return false;
+  }
+  if (pid == 0) {
+    // Child: drop the supervisor's ends, then become the worker.
+    ::close(notify[0]);
+    ::close(shutdown[1]);
+    ::execv(options_.worker_binary.c_str(), argv.data());
+    ::_exit(127);  // exec failed; the parent sees a prompt POLLHUP
+  }
+
+  ::close(notify[1]);
+  ::close(shutdown[0]);
+  {
+    std::lock_guard lock(mu_);
+    slot.pid = pid;
+    slot.notify_fd = notify[0];
+    slot.shutdown_fd = shutdown[1];
+    slot.port = 0;
+    ++slot.generation;
+    slot.alive = false;
+    slot.pending_line.clear();
+  }
+  return true;
+}
+
+bool Supervisor::warm_up(Index id) {
+  Slot& slot = slots_[static_cast<std::size_t>(id)];
+  const Clock::time_point deadline = Clock::now() + options_.warmup_timeout;
+
+  // Phase 1: the PORT line.
+  std::string line;
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return false;
+    pollfd pfd{slot.notify_fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (r <= 0) {
+      if (r < 0 && errno == EINTR) continue;
+      return false;
+    }
+    if ((pfd.revents & POLLIN) != 0) {
+      char buf[64];
+      const ssize_t n = ::read(slot.notify_fd, buf, sizeof buf);
+      if (n <= 0) return false;
+      line.append(buf, static_cast<std::size_t>(n));
+      const std::size_t nl = line.find('\n');
+      if (nl == std::string::npos) continue;
+      unsigned port = 0;
+      if (std::sscanf(line.c_str(), "PORT %u", &port) != 1 || port == 0) return false;
+      {
+        std::lock_guard lock(mu_);
+        slot.port = static_cast<std::uint16_t>(port);
+      }
+      break;
+    }
+    if ((pfd.revents & (POLLHUP | POLLERR)) != 0) return false;  // died mid-boot
+  }
+
+  // Phase 2: a protocol-v2 ping must answer before the worker takes
+  // traffic -- "the process exists" is not "the listener serves".
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return false;
+    try {
+      net::Client probe;
+      net::ClientOptions copts;
+      copts.host = "127.0.0.1";
+      copts.port = slot.port;
+      copts.connect_timeout = std::min<std::chrono::milliseconds>(left, std::chrono::milliseconds(500));
+      probe.connect(copts);
+      if (probe.ping(std::min<std::chrono::milliseconds>(left, std::chrono::milliseconds(500)))) {
+        return true;
+      }
+    } catch (const IoError&) {
+      // Listener not accepting yet; retry within the warm-up budget.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void Supervisor::reap(Index id) {
+  Slot& slot = slots_[static_cast<std::size_t>(id)];
+  pid_t pid;
+  {
+    std::lock_guard lock(mu_);
+    pid = slot.pid;
+    slot.pid = -1;
+    slot.alive = false;
+    close_fd(slot.notify_fd);
+    close_fd(slot.shutdown_fd);
+  }
+  if (pid > 0) {
+    int status = 0;
+    (void)::waitpid(pid, &status, 0);
+  }
+}
+
+std::chrono::milliseconds Supervisor::backoff_for(const Slot& slot) const {
+  // Doubling per consecutive crash, capped, with deterministic jitter in
+  // [0.5, 1) -- the same ladder as the client re-dial and serve retries.
+  std::uint64_t factor = 1;
+  for (int i = 1; i < slot.consecutive_crashes && factor < 1024; ++i) factor *= 2;
+  auto delay = options_.restart_backoff * factor;
+  if (delay > options_.restart_backoff_cap) delay = options_.restart_backoff_cap;
+  const std::uint64_t draw =
+      mix64(options_.jitter_seed ^ (static_cast<std::uint64_t>(slot.generation) << 8) ^
+            static_cast<std::uint64_t>(slot.consecutive_crashes));
+  const double jitter = 0.5 + 0.5 * static_cast<double>(draw >> 11) * 0x1.0p-53;
+  return std::chrono::milliseconds(
+      static_cast<std::int64_t>(static_cast<double>(delay.count()) * jitter));
+}
+
+void Supervisor::start() {
+  {
+    std::lock_guard lock(mu_);
+    if (running_) return;
+    running_ = true;
+    slots_.assign(static_cast<std::size_t>(options_.workers), Slot{});
+  }
+  PARMA_REQUIRE(::pipe(stop_pipe_) == 0, "supervisor stop pipe");
+  set_cloexec(stop_pipe_[0]);
+  set_cloexec(stop_pipe_[1]);
+
+  for (Index id = 0; id < static_cast<Index>(options_.workers); ++id) {
+    if (!spawn(id) || !warm_up(id)) {
+      throw IoError("cluster worker " + std::to_string(id) + " failed to start (" +
+                    options_.worker_binary + ")");
+    }
+    WorkerEndpoint endpoint;
+    {
+      std::lock_guard lock(mu_);
+      Slot& slot = slots_[static_cast<std::size_t>(id)];
+      slot.alive = true;
+      slot.up_since = Clock::now();
+      slot.consecutive_crashes = 0;
+      endpoint = {id, slot.port, slot.generation};
+    }
+    if (on_up_) on_up_(endpoint);
+  }
+
+  monitor_ = std::thread([this] { monitor_loop(); });
+}
+
+void Supervisor::monitor_loop() {
+  for (;;) {
+    // Assemble the poll set: the stop pipe plus every live notify fd.
+    std::vector<pollfd> fds;
+    std::vector<Index> owner;
+    fds.push_back({stop_pipe_[0], POLLIN, 0});
+    std::optional<Clock::time_point> next_due;
+    {
+      std::lock_guard lock(mu_);
+      if (!running_) return;
+      for (Index id = 0; id < static_cast<Index>(slots_.size()); ++id) {
+        const Slot& slot = slots_[static_cast<std::size_t>(id)];
+        if (slot.notify_fd >= 0) {
+          fds.push_back({slot.notify_fd, POLLIN, 0});
+          owner.push_back(id);
+        }
+        if (slot.restart_due && (!next_due || *slot.restart_due < *next_due)) {
+          next_due = slot.restart_due;
+        }
+      }
+    }
+    int timeout_ms = 200;
+    if (next_due) {
+      const auto until = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *next_due - Clock::now());
+      timeout_ms = static_cast<int>(std::max<std::int64_t>(0, until.count()));
+      timeout_ms = std::min(timeout_ms, 200);
+    }
+    const int r = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (r < 0 && errno != EINTR) return;
+
+    if ((fds[0].revents & POLLIN) != 0) return;  // stop() poked us
+
+    // Crash detection: the notify pipe hangs up the instant the worker's
+    // process image dies -- kill -9, injected _exit, anything.
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      const Index id = owner[i - 1];
+      Slot& slot = slots_[static_cast<std::size_t>(id)];
+      if ((fds[i].revents & POLLIN) != 0) {
+        // Stray output after the port line; drain and ignore.
+        char buf[64];
+        while (::read(fds[i].fd, buf, sizeof buf) > 0) {
+        }
+      }
+      if ((fds[i].revents & (POLLHUP | POLLERR)) != 0) {
+        const bool was_alive = slot.alive;
+        const bool was_stable =
+            was_alive && Clock::now() - slot.up_since >= options_.stable_uptime;
+        reap(id);
+        if (was_alive && on_down_) on_down_(id);
+        std::lock_guard lock(mu_);
+        // A stable stretch forgives past crashes; a flapping worker (up,
+        // then dead within stable_uptime) keeps accumulating toward
+        // max_restarts.
+        if (was_stable) slot.consecutive_crashes = 0;
+        ++slot.consecutive_crashes;
+        if (slot.consecutive_crashes > options_.max_restarts) {
+          slot.abandoned = true;
+          slot.restart_due.reset();
+        } else {
+          slot.restart_due = Clock::now() + backoff_for(slot);
+        }
+      }
+    }
+
+    // Restarts that have come due.
+    for (Index id = 0; id < static_cast<Index>(slots_.size()); ++id) {
+      Slot& slot = slots_[static_cast<std::size_t>(id)];
+      bool due;
+      {
+        std::lock_guard lock(mu_);
+        if (!running_) return;
+        due = slot.restart_due && *slot.restart_due <= Clock::now();
+        if (due) slot.restart_due.reset();
+      }
+      if (!due) continue;
+      if (spawn(id) && warm_up(id)) {
+        WorkerEndpoint endpoint;
+        {
+          std::lock_guard lock(mu_);
+          slot.alive = true;
+          // The crash count survives a successful warm-up on purpose: only
+          // staying up for stable_uptime (judged at the next crash) clears
+          // it. Warm-up proves the process can start, not that it can serve.
+          slot.up_since = Clock::now();
+          ++restarts_;
+          endpoint = {id, slot.port, slot.generation};
+        }
+        if (on_up_) on_up_(endpoint);
+      } else {
+        // Spawn or warm-up failed: treat as another crash of this slot.
+        reap(id);
+        std::lock_guard lock(mu_);
+        ++slot.consecutive_crashes;
+        if (slot.consecutive_crashes > options_.max_restarts) {
+          slot.abandoned = true;
+        } else {
+          slot.restart_due = Clock::now() + backoff_for(slot);
+        }
+      }
+    }
+  }
+}
+
+void Supervisor::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (!running_) return;
+    running_ = false;
+  }
+  if (stop_pipe_[1] >= 0) {
+    const std::uint8_t byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+  if (monitor_.joinable()) monitor_.join();
+
+  // Graceful phase: closing the shutdown pipe asks each worker to drain.
+  std::vector<pid_t> pids;
+  {
+    std::lock_guard lock(mu_);
+    for (Slot& slot : slots_) {
+      close_fd(slot.shutdown_fd);
+      if (slot.pid > 0) pids.push_back(slot.pid);
+    }
+  }
+  const Clock::time_point grace = Clock::now() + std::chrono::milliseconds(2000);
+  for (const pid_t pid : pids) {
+    for (;;) {
+      int status = 0;
+      const pid_t w = ::waitpid(pid, &status, WNOHANG);
+      if (w == pid || (w < 0 && errno == ECHILD)) break;
+      if (Clock::now() >= grace) {
+        ::kill(pid, SIGKILL);
+        (void)::waitpid(pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  std::lock_guard lock(mu_);
+  for (Slot& slot : slots_) {
+    close_fd(slot.notify_fd);
+    slot.pid = -1;
+    slot.alive = false;
+  }
+  close_fd(stop_pipe_[0]);
+  close_fd(stop_pipe_[1]);
+}
+
+void Supervisor::kill_worker(Index id) {
+  pid_t pid = -1;
+  {
+    std::lock_guard lock(mu_);
+    PARMA_REQUIRE(id >= 0 && id < static_cast<Index>(slots_.size()),
+                  "kill_worker: no such worker");
+    pid = slots_[static_cast<std::size_t>(id)].pid;
+  }
+  if (pid > 0) ::kill(pid, SIGKILL);
+  // The monitor sees the notify POLLHUP and runs the standard crash path.
+}
+
+std::vector<WorkerEndpoint> Supervisor::endpoints() const {
+  std::lock_guard lock(mu_);
+  std::vector<WorkerEndpoint> out;
+  for (Index id = 0; id < static_cast<Index>(slots_.size()); ++id) {
+    const Slot& slot = slots_[static_cast<std::size_t>(id)];
+    if (slot.alive) out.push_back({id, slot.port, slot.generation});
+  }
+  return out;
+}
+
+std::uint64_t Supervisor::restarts() const {
+  std::lock_guard lock(mu_);
+  return restarts_;
+}
+
+int Supervisor::abandoned() const {
+  std::lock_guard lock(mu_);
+  int n = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.abandoned) ++n;
+  }
+  return n;
+}
+
+}  // namespace parma::cluster

@@ -1,0 +1,159 @@
+// parma::cluster::Supervisor -- fork/exec worker processes, detect crashes,
+// restart with capped jittered backoff, and re-admit only after a warm-up
+// probe.
+//
+// Each worker slot owns two pipes: a NOTIFY pipe the worker writes its
+// "PORT <n>\n" readiness line to (and then holds open -- the pipe's read
+// end going POLLHUP is the crash signal, which arrives the instant the
+// kernel reaps the process image, no SIGCHLD handler or polling of
+// waitpid required), and a SHUTDOWN pipe the supervisor closes to request
+// a graceful exit. The monitor thread polls every notify fd; on hangup it
+// waitpid()s the corpse, reports the worker down, and schedules a restart
+// at now + backoff, where backoff doubles per consecutive crash of that
+// slot up to a cap with deterministic seeded jitter (the same discipline
+// as net::Client's re-dial and serve's retry ladder -- no thundering herd,
+// reproducible schedules).
+//
+// A restarted worker is NOT immediately back in business: the supervisor
+// re-reads its fresh port (ephemeral ports change across restarts), then
+// warm-up probes it with a protocol-v2 ping over a throwaway net::Client,
+// and only a pong within warmup_timeout triggers the on_up callback that
+// re-admits the worker to the router's ring. A worker that crashes more
+// than max_restarts times in a row stays down (crash-looping binaries do
+// not get to flap the ring forever).
+//
+// fork() is immediately followed by execv() -- no allocation, locking, or
+// stdio between them -- so the supervisor is safe to embed in a threaded,
+// sanitized test binary.
+#pragma once
+
+#include <sys/types.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace parma::cluster {
+
+/// A live worker's coordinates. `generation` increments per (re)spawn of
+/// the slot, so a router can tell a fresh process from the one it was
+/// talking to (the port alone could recycle).
+struct WorkerEndpoint {
+  Index id = 0;
+  std::uint16_t port = 0;
+  std::uint64_t generation = 0;
+};
+
+struct SupervisorOptions {
+  /// Path to the parma_cluster_worker binary (execv target). Required.
+  std::string worker_binary;
+  /// Worker processes to run.
+  int workers = 3;
+
+  // Forwarded to each worker's command line.
+  Index server_workers = 2;
+  std::size_t queue_capacity = 64;
+  std::size_t max_batch = 8;
+  Real crash_probability = 0.0;    ///< --crash-prob (chaos tests)
+  std::uint64_t crash_max_fires = 1;
+  std::uint64_t chaos_seed = 0;    ///< worker i gets chaos_seed + i
+
+  /// First restart delay; doubles per consecutive crash up to the cap.
+  std::chrono::milliseconds restart_backoff{20};
+  std::chrono::milliseconds restart_backoff_cap{500};
+  /// Deterministic backoff jitter seed (factor in [0.5, 1)).
+  std::uint64_t jitter_seed = 0x7a17;
+  /// Consecutive crashes of one slot before it stays down. "Consecutive"
+  /// means without an intervening stable stretch: a crash only wipes the
+  /// slot's crash count when the worker had been up for at least
+  /// `stable_uptime`, so a worker that flaps -- passes warm-up, then dies
+  /// moments later, over and over -- still exhausts its budget and stays
+  /// down instead of churning the ring forever.
+  int max_restarts = 8;
+  std::chrono::milliseconds stable_uptime{1000};
+  /// Warm-up budget: port line + ping must land within this long of a
+  /// (re)spawn or the worker is treated as crashed.
+  std::chrono::milliseconds warmup_timeout{5000};
+};
+
+class Supervisor {
+ public:
+  /// `on_up` fires after a worker passes warm-up (initial spawn and every
+  /// restart); `on_down` fires the moment a crash (or unresponsive spawn)
+  /// is detected. Both run on the monitor thread (start() fires the initial
+  /// on_up batch from the calling thread) -- keep them quick and
+  /// non-blocking; the router's ring update is the intended body.
+  Supervisor(SupervisorOptions options,
+             std::function<void(const WorkerEndpoint&)> on_up,
+             std::function<void(Index)> on_down);
+  ~Supervisor();  // stop()
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Spawns every worker, waits for each to pass warm-up (throws IoError if
+  /// one cannot start), fires on_up per worker, then starts the monitor
+  /// thread.
+  void start();
+
+  /// Graceful stop: closes every shutdown pipe, waits for exits (SIGKILL
+  /// after a grace period), joins the monitor. Idempotent.
+  void stop();
+
+  /// SIGKILLs one worker (chaos tests / the failover bench). The monitor
+  /// detects the death like any organic crash and restarts it.
+  void kill_worker(Index id);
+
+  /// Live endpoints (passed warm-up, not currently down).
+  [[nodiscard]] std::vector<WorkerEndpoint> endpoints() const;
+  /// Restarts performed so far (all slots).
+  [[nodiscard]] std::uint64_t restarts() const;
+  /// Slots that exhausted max_restarts and stay down.
+  [[nodiscard]] int abandoned() const;
+
+ private:
+  struct Slot {
+    pid_t pid = -1;
+    int notify_fd = -1;    ///< read end; POLLHUP = worker died
+    int shutdown_fd = -1;  ///< write end; closed = please exit
+    std::uint16_t port = 0;
+    std::uint64_t generation = 0;
+    bool alive = false;        ///< passed warm-up, believed running
+    std::chrono::steady_clock::time_point up_since{};  ///< last warm-up pass
+    int consecutive_crashes = 0;
+    std::optional<std::chrono::steady_clock::time_point> restart_due;
+    bool abandoned = false;
+    std::string pending_line;  ///< partial PORT line across reads
+  };
+
+  /// fork/execs slot `id` (fresh pipes, generation bump). Returns false
+  /// when the spawn itself failed.
+  bool spawn(Index id);
+  /// Blocks until the slot's PORT line arrives and a warm-up ping answers;
+  /// false = treat as crashed.
+  bool warm_up(Index id);
+  void reap(Index id);  ///< waitpid + close fds (slot is dead)
+  void monitor_loop();
+  [[nodiscard]] std::chrono::milliseconds backoff_for(const Slot& slot) const;
+
+  SupervisorOptions options_;
+  std::function<void(const WorkerEndpoint&)> on_up_;
+  std::function<void(Index)> on_down_;
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;
+  std::uint64_t restarts_ = 0;
+
+  std::thread monitor_;
+  int stop_pipe_[2] = {-1, -1};  ///< wakes the monitor poll for stop()
+  bool running_ = false;
+};
+
+}  // namespace parma::cluster

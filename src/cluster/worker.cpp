@@ -1,0 +1,118 @@
+#include "cluster/worker.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fault/injector.hpp"
+#include "net/listener.hpp"
+#include "serve/server.hpp"
+
+namespace parma::cluster {
+
+namespace {
+
+/// "--name=value" parser; returns true and fills `value` on a match.
+bool flag_value(const char* arg, const char* name, long& value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  value = std::strtol(arg + n + 1, nullptr, 10);
+  return true;
+}
+
+bool flag_real(const char* arg, const char* name, double& value) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  value = std::strtod(arg + n + 1, nullptr);
+  return true;
+}
+
+}  // namespace
+
+int worker_main(int argc, char** argv) {
+  long notify_fd = -1;
+  long shutdown_fd = -1;
+  long port = 0;
+  long server_workers = 2;
+  long queue_capacity = 64;
+  long max_batch = 8;
+  long crash_max_fires = 1;
+  long chaos_seed = 0;
+  double crash_prob = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (flag_value(arg, "--notify-fd", notify_fd)) continue;
+    if (flag_value(arg, "--shutdown-fd", shutdown_fd)) continue;
+    if (flag_value(arg, "--port", port)) continue;
+    if (flag_value(arg, "--server-workers", server_workers)) continue;
+    if (flag_value(arg, "--queue-capacity", queue_capacity)) continue;
+    if (flag_value(arg, "--max-batch", max_batch)) continue;
+    if (flag_value(arg, "--crash-max-fires", crash_max_fires)) continue;
+    if (flag_value(arg, "--chaos-seed", chaos_seed)) continue;
+    if (flag_real(arg, "--crash-prob", crash_prob)) continue;
+    std::fprintf(stderr, "parma_cluster_worker: unknown flag %s\n", arg);
+    return 2;
+  }
+  if (notify_fd < 0 || shutdown_fd < 0) {
+    std::fprintf(stderr,
+                 "parma_cluster_worker: --notify-fd and --shutdown-fd are required\n");
+    return 2;
+  }
+
+  // The chaos injector outlives the server so a crash can fire on any tick.
+  fault::ScopedInjector chaos(static_cast<std::uint64_t>(chaos_seed));
+  if (crash_prob > 0.0) {
+    chaos->arm(fault::Point::kWorkerCrash,
+               {crash_prob, static_cast<std::uint64_t>(crash_max_fires), 0});
+  }
+
+  serve::ServerOptions server_options;
+  server_options.workers = static_cast<Index>(server_workers);
+  server_options.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  server_options.max_batch = static_cast<std::size_t>(max_batch);
+  serve::Server server(server_options);
+
+  net::ListenerOptions listen_options;
+  listen_options.host = "127.0.0.1";
+  listen_options.port = static_cast<std::uint16_t>(port);
+  net::Listener listener(server, listen_options);
+  listener.start();
+
+  // The port line is the readiness handshake: the supervisor blocks on it
+  // before admitting this worker to the ring.
+  {
+    char line[32];
+    const int n = std::snprintf(line, sizeof line, "PORT %u\n",
+                                static_cast<unsigned>(listener.port()));
+    if (::write(static_cast<int>(notify_fd), line, static_cast<std::size_t>(n)) != n) {
+      // Supervisor is already gone; nothing to serve for.
+      listener.stop();
+      server.shutdown();
+      return 0;
+    }
+  }
+
+  // Shutdown watch: one poll tick at a time so the crash point gets a
+  // deterministic query cadence. EOF/byte on the shutdown pipe = graceful.
+  pollfd watch{static_cast<int>(shutdown_fd), POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&watch, 1, 20);
+    if (fault::should_fire(fault::Point::kWorkerCrash)) {
+      // Abrupt death, no teardown -- upstream this is exactly kill -9.
+      ::_exit(kCrashExitCode);
+    }
+    if (r > 0 && (watch.revents & (POLLIN | POLLHUP | POLLERR)) != 0) break;
+  }
+
+  (void)listener.drain(std::chrono::milliseconds(500));
+  listener.stop();
+  server.shutdown();
+  return 0;
+}
+
+}  // namespace parma::cluster

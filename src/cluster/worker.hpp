@@ -1,0 +1,43 @@
+// parma::cluster worker process -- one shard of the sharded serving tier.
+//
+// A worker is nothing new: a serve::Server behind a net::Listener, the PR
+// 7/8 transport verbatim. What this header adds is the process harness the
+// Supervisor fork/execs: worker_main() parses the supervisor's command
+// line, binds an ephemeral port, reports it back over the notify pipe as a
+// single "PORT <n>\n" line, and then sits in a shutdown-watch loop until
+// the supervisor closes the shutdown pipe (graceful stop) or the process
+// dies (crash -- which is the point: the supervisor detects it via the
+// notify pipe's hangup and restarts).
+//
+// Chaos hook: with --crash-prob > 0 the worker installs a fault::Injector
+// seeded by --chaos-seed and queries fault::Point::kWorkerCrash once per
+// watch tick; a fired point _exit(42)s with no teardown, which is
+// indistinguishable from kill -9 to everyone upstream. That makes the
+// supervisor's crash/restart ladder testable in-process and deterministic.
+#pragma once
+
+namespace parma::cluster {
+
+/// The worker process body. Flags (all optional unless noted):
+///   --notify-fd=N    REQUIRED: write end of the supervisor's notify pipe;
+///                    the worker writes "PORT <port>\n" once listening and
+///                    keeps the fd open as its liveness signal.
+///   --shutdown-fd=N  REQUIRED: read end of the shutdown pipe; EOF or a
+///                    byte means "drain and exit 0".
+///   --port=N         listen port (default 0 = ephemeral).
+///   --server-workers=N  pipeline threads (default 2).
+///   --queue-capacity=N  admission queue bound (default 64).
+///   --max-batch=N    batch size cap (default 8).
+///   --crash-prob=P   arm fault::Point::kWorkerCrash with probability P per
+///                    watch tick (default 0 = disarmed).
+///   --crash-max-fires=N  cap on injected crashes (default 1).
+///   --chaos-seed=S   injector seed (default 0).
+/// Returns the process exit code (0 graceful, 2 bad usage; an injected
+/// crash _exit(42)s without returning).
+int worker_main(int argc, char** argv);
+
+/// Exit code of an injected kWorkerCrash (tests assert the supervisor saw
+/// an abnormal exit, not a graceful 0).
+inline constexpr int kCrashExitCode = 42;
+
+}  // namespace parma::cluster

@@ -34,6 +34,7 @@ const char* point_name(Point point) {
     case Point::kSockReset: return "sock-reset";
     case Point::kSockConnectDelay: return "sock-connect-delay";
     case Point::kSockCorruptByte: return "sock-corrupt-byte";
+    case Point::kWorkerCrash: return "worker-crash";
   }
   return "?";
 }

@@ -47,9 +47,13 @@ enum class Point : int {
   kSockReset,         ///< net: the socket is shut down mid-operation (RST-ish)
   kSockConnectDelay,  ///< net: a connect attempt stalls for Injector::stall
   kSockCorruptByte,   ///< net: one received byte arrives flipped
+  /// cluster: the worker process exits abruptly (_exit, no teardown) -- the
+  /// supervisor's crash-detect/restart path, testable without a raw kill(2).
+  /// Queried by the worker's main loop on its poll tick.
+  kWorkerCrash,
 };
 
-inline constexpr int kNumPoints = 11;
+inline constexpr int kNumPoints = 12;
 
 const char* point_name(Point point);
 

@@ -10,24 +10,41 @@ namespace parma::mpisim {
 ClusterResult simulate_cluster(const std::vector<parallel::VirtualTask>& tasks, Index ranks,
                                const ClusterCostModel& model) {
   PARMA_REQUIRE(ranks >= 1, "need at least one rank");
-  ClusterResult result;
-  result.rank_compute.assign(static_cast<std::size_t>(ranks), 0.0);
-
-  // Contiguous block partition of the task list (pair (i, j) order).
+  // Contiguous block partition of the task list (pair (i, j) order), spelled
+  // as an owner map and replayed through the explicit-placement overload --
+  // per-rank accumulation runs in task-index order either way, so this
+  // delegation is bit-identical to summing each block directly.
   const std::size_t total = tasks.size();
-  std::uint64_t max_rank_output_bytes = 0;
+  std::vector<Index> owner(total);
   for (Index r = 0; r < ranks; ++r) {
     const std::size_t lo = total * static_cast<std::size_t>(r) / static_cast<std::size_t>(ranks);
     const std::size_t hi =
         total * static_cast<std::size_t>(r + 1) / static_cast<std::size_t>(ranks);
-    Real compute = 0.0;
-    std::uint64_t rank_bytes = 0;
-    for (std::size_t i = lo; i < hi; ++i) {
-      compute += tasks[i].cost_seconds * model.task_cost_scale + model.task_dispatch_overhead;
-      rank_bytes += tasks[i].bytes;
-    }
-    result.rank_compute[static_cast<std::size_t>(r)] = compute;
-    max_rank_output_bytes = std::max(max_rank_output_bytes, rank_bytes);
+    for (std::size_t i = lo; i < hi; ++i) owner[i] = r;
+  }
+  return simulate_cluster(tasks, ranks, model, owner);
+}
+
+ClusterResult simulate_cluster(const std::vector<parallel::VirtualTask>& tasks, Index ranks,
+                               const ClusterCostModel& model,
+                               const std::vector<Index>& task_owner) {
+  PARMA_REQUIRE(ranks >= 1, "need at least one rank");
+  PARMA_REQUIRE(task_owner.size() == tasks.size(),
+                "task_owner must name one rank per task");
+  ClusterResult result;
+  result.rank_compute.assign(static_cast<std::size_t>(ranks), 0.0);
+
+  std::vector<std::uint64_t> rank_bytes(static_cast<std::size_t>(ranks), 0);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const Index r = task_owner[i];
+    PARMA_REQUIRE(r >= 0 && r < ranks, "task_owner rank out of range");
+    result.rank_compute[static_cast<std::size_t>(r)] +=
+        tasks[i].cost_seconds * model.task_cost_scale + model.task_dispatch_overhead;
+    rank_bytes[static_cast<std::size_t>(r)] += tasks[i].bytes;
+  }
+  std::uint64_t max_rank_output_bytes = 0;
+  for (const std::uint64_t b : rank_bytes) {
+    max_rank_output_bytes = std::max(max_rank_output_bytes, b);
   }
   result.compute_seconds =
       *std::max_element(result.rank_compute.begin(), result.rank_compute.end());

@@ -59,4 +59,14 @@ struct ClusterResult {
 ClusterResult simulate_cluster(const std::vector<parallel::VirtualTask>& tasks, Index ranks,
                                const ClusterCostModel& model = {});
 
+/// Explicit-placement variant: `task_owner[i]` names the rank that runs task
+/// i (the seam the real cluster tier routes its consistent-hash placement
+/// through, so `bench/fig10_mpi_scalability` and `cluster::Router` exercise
+/// one placement code path). Per-rank costs accumulate in task-index order,
+/// so the contiguous overload above is exactly this with a block-partition
+/// owner map.
+ClusterResult simulate_cluster(const std::vector<parallel::VirtualTask>& tasks, Index ranks,
+                               const ClusterCostModel& model,
+                               const std::vector<Index>& task_owner);
+
 }  // namespace parma::mpisim

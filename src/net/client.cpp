@@ -91,6 +91,7 @@ void Client::connect(const ClientOptions& options) {
   pending_.clear();
   ready_.clear();
   pongs_.clear();
+  stats_replies_.clear();
   fatal_.reset();
   last_error_ = ClientError::kNone;
   notify(ConnState::kConnected);
@@ -296,6 +297,27 @@ bool Client::ping(std::chrono::milliseconds timeout) {
   return true;
 }
 
+std::optional<serve::Stats> Client::stats(std::chrono::milliseconds timeout) {
+  const Clock::time_point deadline = Clock::now() + timeout;
+  if (fd_ < 0) {
+    if (!options_.reconnect) return std::nullopt;
+    if (!recover(last_error_ == ClientError::kNone ? ClientError::kConnectionLost
+                                                   : last_error_)) {
+      return std::nullopt;
+    }
+  }
+  const std::uint64_t id = ++next_id_;
+  if (!write_all(encode_stats_request(id))) return std::nullopt;
+  while (stats_replies_.count(id) == 0) {
+    const std::chrono::milliseconds budget = remaining(deadline);
+    if (budget.count() == 0) return std::nullopt;
+    if (pump(budget) == Pump::kDown) return std::nullopt;
+  }
+  serve::Stats snapshot = std::move(stats_replies_.at(id));
+  stats_replies_.erase(id);
+  return snapshot;
+}
+
 bool Client::write_all(const std::vector<std::uint8_t>& bytes) {
   std::size_t sent = 0;
   while (sent < bytes.size()) {
@@ -480,8 +502,12 @@ Client::Pump Client::pump(std::chrono::milliseconds budget) {
       case FrameType::kPong:
         pongs_.insert(frame.request_id);
         break;
+      case FrameType::kStatsResponse:
+        if (frame.stats) stats_replies_.insert_or_assign(frame.request_id, *frame.stats);
+        break;
       case FrameType::kRequest:
-        break;  // a request from the server would be nonsense; dropped
+      case FrameType::kStatsRequest:
+        break;  // server-bound frames from the server would be nonsense; dropped
     }
   }
 }

@@ -155,6 +155,11 @@ class Client {
   /// the connection is down and could not be re-established).
   [[nodiscard]] bool ping(std::chrono::milliseconds timeout);
 
+  /// Round-trips one stats snapshot request (the cluster router's
+  /// aggregation probe). nullopt = no reply within `timeout` or the
+  /// connection is down and could not be re-established.
+  [[nodiscard]] std::optional<serve::Stats> stats(std::chrono::milliseconds timeout);
+
   /// Requests sent but not yet terminated.
   [[nodiscard]] std::size_t pending() const { return pending_.size(); }
   /// Successful re-dials performed so far.
@@ -207,6 +212,7 @@ class Client {
   std::map<std::uint64_t, Pending> pending_;
   std::unordered_map<std::uint64_t, Reply> ready_;
   std::unordered_set<std::uint64_t> pongs_;
+  std::unordered_map<std::uint64_t, serve::Stats> stats_replies_;
   /// A request-id-0 error frame: the server lost frame sync; with reconnect
   /// off, every wait from here on returns this diagnostic.
   std::optional<WireError> fatal_;

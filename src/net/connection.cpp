@@ -41,7 +41,8 @@ short Connection::poll_events() const {
 
 Connection::IoResult Connection::handle_readable(
     const std::function<void(WireRequest&&)>& on_request,
-    const std::function<void()>& on_ping) {
+    const std::function<void()>& on_ping,
+    const std::function<void(std::uint64_t)>& on_stats) {
   std::uint8_t chunk[kReadChunk];
   bool got_bytes = false;
   for (;;) {
@@ -96,6 +97,10 @@ Connection::IoResult Connection::handle_readable(
       continue;
     }
     if (frame.type == FrameType::kPong) continue;  // stray echo; harmless
+    if (frame.type == FrameType::kStatsRequest) {
+      if (on_stats) on_stats(frame.request_id);
+      continue;
+    }
     // A client has no business sending response/error frames; treat it as a
     // protocol violation rather than silently ignoring desynced traffic.
     WireError err;

@@ -90,10 +90,13 @@ class Connection {
   /// at the in-flight cap -- the cap gates POLLIN, not decoded work, so the
   /// overshoot is bounded by one read burst. kPing frames are answered with
   /// a pong in place (`on_ping` observes them, for counters); kPong frames
-  /// are tolerated and dropped.
+  /// are tolerated and dropped. kStatsRequest frames are handed to
+  /// `on_stats` (the listener answers with a snapshot); without a handler
+  /// they are dropped.
   [[nodiscard]] IoResult handle_readable(
       const std::function<void(WireRequest&&)>& on_request,
-      const std::function<void()>& on_ping = {});
+      const std::function<void()>& on_ping = {},
+      const std::function<void(std::uint64_t)>& on_stats = {});
 
   /// Flushes queued frames with writev until the socket would block.
   [[nodiscard]] IoResult handle_writable();

@@ -266,7 +266,10 @@ void Listener::io_loop() {
       if (pfd.revents & POLLIN) {
         result = conn->handle_readable(
             [this, &conn](WireRequest&& wire) { handle_request(conn, std::move(wire)); },
-            [this] { pings_.fetch_add(1, std::memory_order_relaxed); });
+            [this] { pings_.fetch_add(1, std::memory_order_relaxed); },
+            [this, &conn](std::uint64_t id) {
+              conn->enqueue(encode_stats_response(id, server_.stats()));
+            });
       }
       if (result != Connection::IoResult::kClose && (pfd.revents & POLLOUT)) {
         const Connection::IoResult w = conn->handle_writable();

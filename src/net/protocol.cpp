@@ -360,6 +360,87 @@ std::vector<std::uint8_t> encode_pong(std::uint64_t request_id) {
   return out;
 }
 
+namespace {
+
+/// The stats body is the merge substrate only: 33 u64 counters/gauges, one
+/// degraded byte, then 42 u64s (40 buckets + total/max nanos) per stage.
+/// Derived summaries are recomputed on decode. Order is load-bearing --
+/// encode and decode walk the same list.
+constexpr std::size_t kStatsCounters = 33;
+constexpr std::size_t kStatsStages = 5;
+constexpr std::size_t kStatsBodyBytes =
+    kStatsCounters * 8 + 1 + kStatsStages * (serve::StageStats::kBuckets + 2) * 8;
+
+void put_stage(std::vector<std::uint8_t>& out, const serve::StageStats& stage) {
+  for (const std::uint64_t b : stage.buckets) put_u64(out, b);
+  put_u64(out, stage.total_nanos);
+  put_u64(out, stage.max_nanos);
+}
+
+void read_stage(Reader& r, serve::StageStats& stage) {
+  for (std::uint64_t& b : stage.buckets) b = r.u64();
+  stage.total_nanos = r.u64();
+  stage.max_nanos = r.u64();
+  stage.recompute();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes);
+  put_header(out, FrameType::kStatsRequest, request_id, 0);
+  return out;
+}
+
+std::vector<std::uint8_t> encode_stats_response(std::uint64_t request_id,
+                                                const serve::Stats& stats) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes + kStatsBodyBytes);
+  put_header(out, FrameType::kStatsResponse, request_id, 0);
+  put_u64(out, stats.submitted);
+  put_u64(out, stats.accepted);
+  put_u64(out, stats.rejected_queue_full);
+  put_u64(out, stats.rejected_shutting_down);
+  put_u64(out, stats.rejected_invalid);
+  put_u64(out, stats.rejected_load_shed);
+  put_u64(out, stats.completed_ok);
+  put_u64(out, stats.deadline_exceeded);
+  put_u64(out, stats.cancelled);
+  put_u64(out, stats.solver_failed);
+  put_u64(out, stats.invalid_input);
+  put_u64(out, stats.breaker_open);
+  put_u64(out, stats.degraded_results);
+  put_u64(out, stats.retries);
+  put_u64(out, stats.retry_successes);
+  put_u64(out, stats.breaker_opened_events);
+  put_u64(out, stats.degraded_entered);
+  put_u64(out, stats.solver_not_converged);
+  put_u64(out, stats.solver_iterations);
+  put_u64(out, stats.cg_iterations);
+  put_u64(out, stats.fallback_tikhonov);
+  put_u64(out, stats.fallback_dense);
+  put_u64(out, stats.masked_entries);
+  put_u64(out, stats.auto_masked_entries);
+  put_u64(out, stats.outliers_downweighted);
+  put_u64(out, stats.numerical_breakdowns);
+  put_u64(out, stats.symbolic_cache_hits);
+  put_u64(out, stats.symbolic_cache_misses);
+  put_u64(out, stats.batches);
+  put_u64(out, stats.batched_requests);
+  put_u64(out, stats.max_batch);
+  put_u64(out, static_cast<std::uint64_t>(stats.breaker_open_shapes));
+  put_u64(out, static_cast<std::uint64_t>(stats.queue_high_water));
+  out.push_back(stats.degraded ? 1 : 0);
+  put_stage(out, stats.queue_wait);
+  put_stage(out, stats.form);
+  put_stage(out, stats.solve);
+  put_stage(out, stats.reconstruct);
+  put_stage(out, stats.end_to_end);
+  patch_body_len(out);
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Decoding.
 
@@ -384,15 +465,16 @@ ProtocolError decode_header(const std::uint8_t* data, std::size_t size,
   out.body_len = r.u32();
   out.body_sum = r.u32();
   if (type < static_cast<std::uint16_t>(FrameType::kRequest) ||
-      type > static_cast<std::uint16_t>(FrameType::kPong)) {
+      type > static_cast<std::uint16_t>(FrameType::kStatsResponse)) {
     std::ostringstream os;
     os << "unknown frame type " << type;
     return fail(ProtoCode::kBadFrameType, os.str());
   }
   out.type = static_cast<FrameType>(type);
-  if ((out.type == FrameType::kPing || out.type == FrameType::kPong) &&
+  if ((out.type == FrameType::kPing || out.type == FrameType::kPong ||
+       out.type == FrameType::kStatsRequest) &&
       out.body_len != 0) {
-    return fail(ProtoCode::kBodyShapeMismatch, "keepalive frames carry no body");
+    return fail(ProtoCode::kBodyShapeMismatch, "header-only frames carry no body");
   }
   if (out.body_len > max_body_bytes) {
     std::ostringstream os;
@@ -522,6 +604,61 @@ ProtocolError decode_error_body(const std::uint8_t* data, std::size_t size,
   return {};
 }
 
+ProtocolError decode_stats_body(const std::uint8_t* data, std::size_t size,
+                                serve::Stats& out) {
+  if (size != kStatsBodyBytes) {
+    std::ostringstream os;
+    os << "stats body of " << size << " bytes, expected " << kStatsBodyBytes;
+    return fail(ProtoCode::kBodyShapeMismatch, os.str());
+  }
+  Reader r{data, size};
+  out = serve::Stats{};
+  out.submitted = r.u64();
+  out.accepted = r.u64();
+  out.rejected_queue_full = r.u64();
+  out.rejected_shutting_down = r.u64();
+  out.rejected_invalid = r.u64();
+  out.rejected_load_shed = r.u64();
+  out.completed_ok = r.u64();
+  out.deadline_exceeded = r.u64();
+  out.cancelled = r.u64();
+  out.solver_failed = r.u64();
+  out.invalid_input = r.u64();
+  out.breaker_open = r.u64();
+  out.degraded_results = r.u64();
+  out.retries = r.u64();
+  out.retry_successes = r.u64();
+  out.breaker_opened_events = r.u64();
+  out.degraded_entered = r.u64();
+  out.solver_not_converged = r.u64();
+  out.solver_iterations = r.u64();
+  out.cg_iterations = r.u64();
+  out.fallback_tikhonov = r.u64();
+  out.fallback_dense = r.u64();
+  out.masked_entries = r.u64();
+  out.auto_masked_entries = r.u64();
+  out.outliers_downweighted = r.u64();
+  out.numerical_breakdowns = r.u64();
+  out.symbolic_cache_hits = r.u64();
+  out.symbolic_cache_misses = r.u64();
+  out.batches = r.u64();
+  out.batched_requests = r.u64();
+  out.max_batch = r.u64();
+  out.breaker_open_shapes = static_cast<std::size_t>(r.u64());
+  out.queue_high_water = static_cast<std::size_t>(r.u64());
+  out.degraded = r.u8() != 0;
+  read_stage(r, out.queue_wait);
+  read_stage(r, out.form);
+  read_stage(r, out.solve);
+  read_stage(r, out.reconstruct);
+  read_stage(r, out.end_to_end);
+  PARMA_ASSERT(!r.truncated);  // the exact-size check above covers every read
+  out.mean_batch_size = (out.batches > 0)
+      ? static_cast<Real>(out.batched_requests) / static_cast<Real>(out.batches)
+      : 0.0;
+  return {};
+}
+
 // ---------------------------------------------------------------------------
 // FrameDecoder.
 
@@ -595,8 +732,15 @@ FrameDecoder::Result FrameDecoder::next(Frame& frame) {
       }
       break;
     }
+    case FrameType::kStatsResponse: {
+      serve::Stats stats;
+      error_ = decode_stats_body(body, body_len, stats);
+      if (error_.ok()) frame.stats = std::move(stats);
+      break;
+    }
     case FrameType::kPing:
     case FrameType::kPong:
+    case FrameType::kStatsRequest:
       // Header-only by construction (decode_header enforces body_len == 0).
       break;
   }

@@ -41,6 +41,7 @@
 
 #include "common/types.hpp"
 #include "serve/request.hpp"
+#include "serve/stats.hpp"
 #include "serve/status.hpp"
 
 namespace parma::net {
@@ -67,6 +68,8 @@ enum class FrameType : std::uint16_t {
   kError = 3,     ///< server -> client protocol-level error diagnostic
   kPing = 4,      ///< either direction: keepalive probe (header-only)
   kPong = 5,      ///< either direction: keepalive echo (header-only)
+  kStatsRequest = 6,   ///< client -> server: snapshot serve::Stats (header-only)
+  kStatsResponse = 7,  ///< server -> client: the serialized Stats snapshot
 };
 
 /// Typed decode diagnostics. Stable numeric values: they travel inside
@@ -190,6 +193,14 @@ struct WireError {
 /// Header-only keepalive frames; `request_id` is the echo token.
 [[nodiscard]] std::vector<std::uint8_t> encode_ping(std::uint64_t request_id);
 [[nodiscard]] std::vector<std::uint8_t> encode_pong(std::uint64_t request_id);
+/// Stats snapshot exchange (the cluster router's aggregation probe). The
+/// request is header-only; the response body carries only the merge
+/// substrate of serve::Stats (raw counters and histogram buckets) -- derived
+/// summaries (mean/p50/p99, mean_batch_size) are recomputed on decode, so a
+/// snapshot survives the wire exactly.
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_request(std::uint64_t request_id);
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_response(std::uint64_t request_id,
+                                                              const serve::Stats& stats);
 
 // ---------------------------------------------------------------------------
 // Decoding.
@@ -211,6 +222,7 @@ struct Frame {
   std::optional<WireRequest> request;
   std::optional<WireResponse> response;
   std::optional<WireError> error;
+  std::optional<serve::Stats> stats;  ///< kStatsResponse payload
 };
 
 /// Validates the 24 header bytes. Never reads past kHeaderBytes.
@@ -225,6 +237,8 @@ struct Frame {
                                                  std::size_t size, WireResponse& out);
 [[nodiscard]] ProtocolError decode_error_body(const std::uint8_t* data,
                                               std::size_t size, WireError& out);
+[[nodiscard]] ProtocolError decode_stats_body(const std::uint8_t* data,
+                                              std::size_t size, serve::Stats& out);
 
 /// Incremental frame reassembly over a byte stream: feed() whatever the
 /// socket produced, then drain next() until it stops yielding kFrame.

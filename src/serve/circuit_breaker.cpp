@@ -11,36 +11,65 @@ const char* breaker_state_name(BreakerState state) {
   return "?";
 }
 
-BreakerBoard::BreakerBoard(BreakerOptions options) : options_(options) {}
-
-void BreakerBoard::open(Breaker& breaker, Clock::time_point now) {
-  breaker.state = BreakerState::kOpen;
-  breaker.opened_at = now;
-  breaker.consecutive_failures = 0;
-  breaker.probe_in_flight = false;
-  ++opened_events_;
+void Breaker::open(Clock::time_point now) {
+  state = BreakerState::kOpen;
+  opened_at = now;
+  consecutive_failures = 0;
+  probe_in_flight = false;
 }
+
+bool Breaker::allow(const BreakerOptions& options, Clock::time_point now) {
+  if (options.failure_threshold <= 0) return true;
+  switch (state) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen:
+      if (now - opened_at < options.cooldown) return false;
+      state = BreakerState::kHalfOpen;
+      probe_in_flight = true;
+      return true;  // this request is the probe
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight) return false;  // one probe at a time
+      probe_in_flight = true;
+      return true;
+  }
+  return true;
+}
+
+bool Breaker::on_failure(const BreakerOptions& options, Clock::time_point now) {
+  switch (state) {
+    case BreakerState::kHalfOpen:
+      // The probe failed: straight back to open for another cooldown.
+      open(now);
+      return true;
+    case BreakerState::kClosed:
+      if (++consecutive_failures >= options.failure_threshold) {
+        open(now);
+        return true;
+      }
+      return false;
+    case BreakerState::kOpen:
+      // A request that was already in flight when the breaker opened; the
+      // breaker is open, nothing more to record.
+      return false;
+  }
+  return false;
+}
+
+void Breaker::on_neutral() {
+  if (state == BreakerState::kHalfOpen) {
+    probe_in_flight = false;  // let another probe try
+  }
+}
+
+BreakerBoard::BreakerBoard(BreakerOptions options) : options_(options) {}
 
 bool BreakerBoard::allow(const Shape& shape, Clock::time_point now) {
   if (options_.failure_threshold <= 0) return true;
   std::lock_guard lock(mu_);
   auto it = breakers_.find(shape);
   if (it == breakers_.end()) return true;  // never failed: implicitly closed
-  Breaker& breaker = it->second;
-  switch (breaker.state) {
-    case BreakerState::kClosed:
-      return true;
-    case BreakerState::kOpen:
-      if (now - breaker.opened_at < options_.cooldown) return false;
-      breaker.state = BreakerState::kHalfOpen;
-      breaker.probe_in_flight = true;
-      return true;  // this request is the probe
-    case BreakerState::kHalfOpen:
-      if (breaker.probe_in_flight) return false;  // one probe at a time
-      breaker.probe_in_flight = true;
-      return true;
-  }
-  return true;
+  return it->second.allow(options_, now);
 }
 
 void BreakerBoard::on_success(const Shape& shape) {
@@ -48,28 +77,13 @@ void BreakerBoard::on_success(const Shape& shape) {
   std::lock_guard lock(mu_);
   auto it = breakers_.find(shape);
   if (it == breakers_.end()) return;
-  it->second = Breaker{};  // fully healthy again
+  it->second.on_success();
 }
 
 void BreakerBoard::on_failure(const Shape& shape, Clock::time_point now) {
   if (options_.failure_threshold <= 0) return;
   std::lock_guard lock(mu_);
-  Breaker& breaker = breakers_[shape];
-  switch (breaker.state) {
-    case BreakerState::kHalfOpen:
-      // The probe failed: straight back to open for another cooldown.
-      open(breaker, now);
-      break;
-    case BreakerState::kClosed:
-      if (++breaker.consecutive_failures >= options_.failure_threshold) {
-        open(breaker, now);
-      }
-      break;
-    case BreakerState::kOpen:
-      // A request that was already in flight when the breaker opened; the
-      // breaker is open, nothing more to record.
-      break;
-  }
+  if (breakers_[shape].on_failure(options_, now)) ++opened_events_;
 }
 
 void BreakerBoard::on_neutral(const Shape& shape) {
@@ -77,9 +91,7 @@ void BreakerBoard::on_neutral(const Shape& shape) {
   std::lock_guard lock(mu_);
   auto it = breakers_.find(shape);
   if (it == breakers_.end()) return;
-  if (it->second.state == BreakerState::kHalfOpen) {
-    it->second.probe_in_flight = false;  // let another probe try
-  }
+  it->second.on_neutral();
 }
 
 BreakerState BreakerBoard::state(const Shape& shape) const {

@@ -42,6 +42,33 @@ struct BreakerOptions {
   std::chrono::milliseconds cooldown{250};
 };
 
+/// One breaker state machine -- the closed -> open -> half-open ladder with
+/// no locking and no identity; the owner serializes access and decides what
+/// the breaker guards. serve::BreakerBoard keys one per device shape;
+/// cluster::Router keys one per worker process (a crashing worker trips its
+/// breaker exactly like an ill-conditioned shape trips a shape breaker).
+struct Breaker {
+  BreakerState state = BreakerState::kClosed;
+  Index consecutive_failures = 0;
+  Clock::time_point opened_at{};
+  bool probe_in_flight = false;
+
+  /// May a request run now? Open breakers reject until the cooldown
+  /// elapses, then admit exactly one probe (half-open).
+  [[nodiscard]] bool allow(const BreakerOptions& options, Clock::time_point now);
+  /// Records a failure; returns true when this transition OPENED the
+  /// breaker (for the owner's opened-events counter).
+  bool on_failure(const BreakerOptions& options, Clock::time_point now);
+  /// Fully healthy again: back to a fresh closed breaker.
+  void on_success() { *this = Breaker{}; }
+  /// Neutral outcome (deadline/cancel): releases a half-open probe slot
+  /// without judging the guarded resource.
+  void on_neutral();
+
+ private:
+  void open(Clock::time_point now);
+};
+
 /// The per-shape breaker board. All methods are thread-safe.
 class BreakerBoard {
  public:
@@ -75,15 +102,6 @@ class BreakerBoard {
   [[nodiscard]] std::uint64_t opened_events() const;
 
  private:
-  struct Breaker {
-    BreakerState state = BreakerState::kClosed;
-    Index consecutive_failures = 0;
-    Clock::time_point opened_at{};
-    bool probe_in_flight = false;
-  };
-
-  void open(Breaker& breaker, Clock::time_point now);
-
   BreakerOptions options_;
   mutable std::mutex mu_;
   std::map<Shape, Breaker> breakers_;

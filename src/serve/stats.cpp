@@ -14,7 +14,51 @@ void atomic_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
   }
 }
 
+/// Bucket b's upper boundary in seconds ([2^b, 2^(b+1)) microseconds).
+Real bucket_upper_seconds(std::size_t bucket) {
+  return std::ldexp(1e-6, static_cast<int>(bucket) + 1);
+}
+
+/// Bucket-boundary quantile estimate over raw counts, clamped by the exact
+/// observed maximum (shared by live snapshots and merged snapshots, so the
+/// cluster-wide estimate is the single-server estimate over the union).
+Real quantile_from(Real q, std::uint64_t total,
+                   const std::array<std::uint64_t, StageStats::kBuckets>& counts,
+                   Real max_seconds) {
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<Real>(total)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < StageStats::kBuckets; ++b) {
+    cumulative += counts[b];
+    if (cumulative >= target) {
+      // Upper bucket boundary, clamped by the exact observed maximum.
+      return std::min(bucket_upper_seconds(b), max_seconds);
+    }
+  }
+  return max_seconds;
+}
+
 }  // namespace
+
+void StageStats::recompute() {
+  count = 0;
+  for (const std::uint64_t c : buckets) count += c;
+  if (count == 0) {
+    mean_seconds = p50_seconds = p99_seconds = max_seconds = 0.0;
+    return;
+  }
+  mean_seconds = static_cast<Real>(total_nanos) * 1e-9 / static_cast<Real>(count);
+  max_seconds = static_cast<Real>(max_nanos) * 1e-9;
+  p50_seconds = quantile_from(0.50, count, buckets, max_seconds);
+  p99_seconds = quantile_from(0.99, count, buckets, max_seconds);
+}
+
+void StageStats::merge(const StageStats& other) {
+  for (std::size_t b = 0; b < kBuckets; ++b) buckets[b] += other.buckets[b];
+  total_nanos += other.total_nanos;
+  max_nanos = std::max(max_nanos, other.max_nanos);
+  recompute();
+}
 
 std::size_t LatencyHistogram::bucket_for(Real seconds) {
   if (!(seconds > 0.0)) return 0;
@@ -27,10 +71,6 @@ std::size_t LatencyHistogram::bucket_for(Real seconds) {
   return bucket;
 }
 
-Real LatencyHistogram::bucket_upper_seconds(std::size_t bucket) {
-  return std::ldexp(1e-6, static_cast<int>(bucket) + 1);
-}
-
 void LatencyHistogram::record(Real seconds) {
   if (seconds < 0.0) seconds = 0.0;
   counts_[bucket_for(seconds)].fetch_add(1, std::memory_order_relaxed);
@@ -39,38 +79,60 @@ void LatencyHistogram::record(Real seconds) {
   atomic_max(max_nanos_, static_cast<std::uint64_t>(seconds * 1e9));
 }
 
-Real LatencyHistogram::quantile_locked(
-    Real q, std::uint64_t total, const std::array<std::uint64_t, kBuckets>& counts) const {
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<Real>(total)));
-  std::uint64_t cumulative = 0;
-  const Real max_seconds = static_cast<Real>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
+StageStats LatencyHistogram::snapshot() const {
+  StageStats s;
   for (std::size_t b = 0; b < kBuckets; ++b) {
-    cumulative += counts[b];
-    if (cumulative >= target) {
-      // Upper bucket boundary, clamped by the exact observed maximum.
-      return std::min(bucket_upper_seconds(b), max_seconds);
-    }
+    s.buckets[b] = counts_[b].load(std::memory_order_relaxed);
   }
-  return max_seconds;
+  s.total_nanos = total_nanos_.load(std::memory_order_relaxed);
+  s.max_nanos = max_nanos_.load(std::memory_order_relaxed);
+  s.recompute();
+  return s;
 }
 
-StageStats LatencyHistogram::snapshot() const {
-  std::array<std::uint64_t, kBuckets> counts{};
-  std::uint64_t total = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    counts[b] = counts_[b].load(std::memory_order_relaxed);
-    total += counts[b];
-  }
-  StageStats s;
-  s.count = total;
-  if (total == 0) return s;
-  s.mean_seconds = static_cast<Real>(total_nanos_.load(std::memory_order_relaxed)) * 1e-9 /
-                   static_cast<Real>(total);
-  s.max_seconds = static_cast<Real>(max_nanos_.load(std::memory_order_relaxed)) * 1e-9;
-  s.p50_seconds = quantile_locked(0.50, total, counts);
-  s.p99_seconds = quantile_locked(0.99, total, counts);
-  return s;
+void Stats::merge(const Stats& other) {
+  submitted += other.submitted;
+  accepted += other.accepted;
+  rejected_queue_full += other.rejected_queue_full;
+  rejected_shutting_down += other.rejected_shutting_down;
+  rejected_invalid += other.rejected_invalid;
+  rejected_load_shed += other.rejected_load_shed;
+  completed_ok += other.completed_ok;
+  deadline_exceeded += other.deadline_exceeded;
+  cancelled += other.cancelled;
+  solver_failed += other.solver_failed;
+  invalid_input += other.invalid_input;
+  breaker_open += other.breaker_open;
+  degraded_results += other.degraded_results;
+  retries += other.retries;
+  retry_successes += other.retry_successes;
+  breaker_opened_events += other.breaker_opened_events;
+  degraded_entered += other.degraded_entered;
+  solver_not_converged += other.solver_not_converged;
+  solver_iterations += other.solver_iterations;
+  cg_iterations += other.cg_iterations;
+  fallback_tikhonov += other.fallback_tikhonov;
+  fallback_dense += other.fallback_dense;
+  masked_entries += other.masked_entries;
+  auto_masked_entries += other.auto_masked_entries;
+  outliers_downweighted += other.outliers_downweighted;
+  numerical_breakdowns += other.numerical_breakdowns;
+  breaker_open_shapes += other.breaker_open_shapes;
+  degraded = degraded || other.degraded;
+  symbolic_cache_hits += other.symbolic_cache_hits;
+  symbolic_cache_misses += other.symbolic_cache_misses;
+  batches += other.batches;
+  batched_requests += other.batched_requests;
+  max_batch = std::max(max_batch, other.max_batch);
+  mean_batch_size = (batches > 0)
+      ? static_cast<Real>(batched_requests) / static_cast<Real>(batches)
+      : 0.0;
+  queue_high_water = std::max(queue_high_water, other.queue_high_water);
+  queue_wait.merge(other.queue_wait);
+  form.merge(other.form);
+  solve.merge(other.solve);
+  reconstruct.merge(other.reconstruct);
+  end_to_end.merge(other.end_to_end);
 }
 
 void StatsCollector::on_solve(Index iterations, bool converged, Index tikhonov_retries,
@@ -145,10 +207,11 @@ Stats StatsCollector::snapshot(std::size_t queue_high_water,
   s.outliers_downweighted = outliers_downweighted_.load(std::memory_order_relaxed);
   s.numerical_breakdowns = numerical_breakdowns_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
+  s.batched_requests = batched_requests_.load(std::memory_order_relaxed);
   s.max_batch = max_batch_.load(std::memory_order_relaxed);
-  const std::uint64_t batched = batched_requests_.load(std::memory_order_relaxed);
-  s.mean_batch_size =
-      (s.batches > 0) ? static_cast<Real>(batched) / static_cast<Real>(s.batches) : 0.0;
+  s.mean_batch_size = (s.batches > 0)
+      ? static_cast<Real>(s.batched_requests) / static_cast<Real>(s.batches)
+      : 0.0;
   s.queue_high_water = queue_high_water;
   s.queue_wait = queue_wait.snapshot();
   s.form = form.snapshot();

@@ -14,13 +14,31 @@
 
 namespace parma::serve {
 
-/// Snapshot of one stage's latency distribution.
+/// Snapshot of one stage's latency distribution. Alongside the derived
+/// summary (mean/p50/p99/max) the snapshot carries the raw histogram state
+/// it was derived from, so two snapshots merge EXACTLY: bucket counts and
+/// nanosecond totals add, maxima take the max, and the summary is recomputed
+/// from the merged state -- a cluster-wide p99 is the same bucket-boundary
+/// estimate one server observing all requests would have reported.
 struct StageStats {
+  /// Mirrors LatencyHistogram's bucket layout (log2 us buckets).
+  static constexpr std::size_t kBuckets = 40;
+
   std::uint64_t count = 0;
   Real mean_seconds = 0.0;
   Real p50_seconds = 0.0;  ///< bucket-boundary estimate
   Real p99_seconds = 0.0;  ///< bucket-boundary estimate
   Real max_seconds = 0.0;  ///< exact
+
+  // Raw histogram state (the merge substrate).
+  std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t total_nanos = 0;
+  std::uint64_t max_nanos = 0;
+
+  /// Adds `other`'s raw state into this snapshot and recomputes the summary.
+  void merge(const StageStats& other);
+  /// Re-derives count/mean/p50/p99/max from the raw state.
+  void recompute();
 };
 
 /// Snapshot of the whole server (Server::stats()).
@@ -71,8 +89,9 @@ struct Stats {
 
   // Batching.
   std::uint64_t batches = 0;
+  std::uint64_t batched_requests = 0;  ///< Σ batch sizes (merge substrate)
   std::uint64_t max_batch = 0;
-  Real mean_batch_size = 0.0;
+  Real mean_batch_size = 0.0;  ///< batched_requests / batches
 
   /// Deepest the admission queue has ever been.
   std::size_t queue_high_water = 0;
@@ -92,6 +111,14 @@ struct Stats {
     return completed_ok + deadline_exceeded + cancelled + solver_failed +
            invalid_input + breaker_open + degraded_results;
   }
+
+  /// Folds another server's snapshot into this one (cluster-wide view).
+  /// Counters add exactly; histograms merge bucket-wise (see StageStats);
+  /// mean_batch_size is re-derived from the summed batch totals; max_batch
+  /// and queue_high_water take the max (they are per-process high-water
+  /// marks, not flows); `degraded` ORs and breaker_open_shapes adds (shapes
+  /// are per-worker breaker boards).
+  void merge(const Stats& other);
 };
 
 /// Thread-safe latency histogram; record() is wait-free (relaxed atomics).
@@ -102,11 +129,8 @@ class LatencyHistogram {
 
  private:
   /// Bucket b covers [2^b, 2^(b+1)) microseconds; b = 0 also absorbs sub-us.
-  static constexpr std::size_t kBuckets = 40;
+  static constexpr std::size_t kBuckets = StageStats::kBuckets;
   [[nodiscard]] static std::size_t bucket_for(Real seconds);
-  [[nodiscard]] static Real bucket_upper_seconds(std::size_t bucket);
-  [[nodiscard]] Real quantile_locked(Real q, std::uint64_t total,
-                                     const std::array<std::uint64_t, kBuckets>& counts) const;
 
   std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
   std::atomic<std::uint64_t> total_nanos_{0};

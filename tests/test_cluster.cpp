@@ -1,0 +1,525 @@
+// The cluster tier: consistent-hash placement, exact stats merging, the
+// stats wire frames, worker supervision (real fork/exec'd processes), and
+// the failover chaos storm.
+//
+// The ClusterChaos.* storm reruns under three PARMA_CHAOS_SEED values via
+// the `chaos-cluster` ctest label (see tests/CMakeLists.txt); the seed
+// varies the request mix while the kill schedule stays fixed, so three
+// different storms hit the same failover machinery.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/hash_ring.hpp"
+#include "cluster/router.hpp"
+#include "cluster/supervisor.hpp"
+#include "cluster/worker.hpp"
+#include "core/parma.hpp"
+#include "net/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/stats.hpp"
+
+#ifndef PARMA_CLUSTER_WORKER_BIN
+#error "PARMA_CLUSTER_WORKER_BIN must name the worker binary"
+#endif
+
+using namespace parma;
+using namespace std::chrono_literals;
+
+namespace {
+
+std::uint64_t chaos_seed() {
+  if (const char* env = std::getenv("PARMA_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 1;
+}
+
+/// Deterministic key stream for the placement tests.
+std::uint64_t key_of(std::size_t i) {
+  return cluster::mix64(static_cast<std::uint64_t>(i) * 2654435761u + 17);
+}
+
+serve::ParametrizeRequest make_request(Index n, Rng& rng) {
+  const mea::DeviceSpec spec = mea::square_device(n);
+  const auto truth = mea::generate_field(spec, mea::random_scenario(spec, 1, rng), rng);
+  serve::ParametrizeRequest request;
+  request.measurement = mea::measure_exact(spec, truth);
+  request.options.strategy = core::Strategy::kFineGrained;
+  request.options.workers = 2;
+  request.options.chunk = 4;
+  request.options.keep_system = false;
+  request.inverse.max_iterations = 20;
+  return request;
+}
+
+/// Counts up/down callback firings and lets tests block on them.
+struct FleetLog {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t ups = 0;
+  std::uint64_t downs = 0;
+
+  void up() {
+    std::lock_guard lock(mu);
+    ++ups;
+    cv.notify_all();
+  }
+  void down() {
+    std::lock_guard lock(mu);
+    ++downs;
+    cv.notify_all();
+  }
+  bool wait_ups(std::uint64_t target, std::chrono::seconds budget) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, budget, [&] { return ups >= target; });
+  }
+  bool wait_downs(std::uint64_t target, std::chrono::seconds budget) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, budget, [&] { return downs >= target; });
+  }
+};
+
+// --------------------------------------------------------------- placement
+
+TEST(HashRing, PlacementIsAPureFunctionOfMembership) {
+  cluster::HashRing a;
+  cluster::HashRing b;
+  for (const Index w : {Index{0}, Index{1}, Index{2}, Index{3}, Index{4}}) a.add(w);
+  for (const Index w : {Index{3}, Index{0}, Index{4}, Index{2}, Index{1}}) b.add(w);
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const std::uint64_t h = key_of(i);
+    ASSERT_EQ(a.owner(h), b.owner(h)) << "insertion order changed placement";
+    ASSERT_EQ(a.owners(h, 3), b.owners(h, 3));
+  }
+}
+
+TEST(HashRing, RemovalMovesOnlyTheDepartedWorkersKeys) {
+  constexpr std::size_t kWorkers = 8;
+  constexpr std::size_t kKeys = 4096;
+  cluster::HashRing ring;
+  for (std::size_t w = 0; w < kWorkers; ++w) ring.add(static_cast<Index>(w));
+
+  std::vector<Index> before(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) before[i] = *ring.owner(key_of(i));
+
+  const Index departed = 3;
+  ring.remove(departed);
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    const Index after = *ring.owner(key_of(i));
+    if (before[i] == departed) {
+      EXPECT_NE(after, departed);
+      ++moved;
+    } else {
+      // The consistent-hashing contract: keys not owned by the departed
+      // worker do not move at all.
+      EXPECT_EQ(after, before[i]) << "key " << i << " moved without cause";
+    }
+  }
+  // ~1/K of the keyspace belongs to the departed worker; gate at 2/K.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, 2 * kKeys / kWorkers)
+      << "removal moved more than 2/K of the keys";
+}
+
+TEST(HashRing, OwnersAreDistinctWithPrimaryFirst) {
+  cluster::HashRing ring;
+  for (Index w = 0; w < 6; ++w) ring.add(w);
+  for (std::size_t i = 0; i < 500; ++i) {
+    const std::uint64_t h = key_of(i);
+    const std::vector<Index> owners = ring.owners(h, 3);
+    ASSERT_EQ(owners.size(), 3u);
+    EXPECT_EQ(owners[0], *ring.owner(h));
+    const std::set<Index> distinct(owners.begin(), owners.end());
+    EXPECT_EQ(distinct.size(), owners.size()) << "replica set not disjoint";
+  }
+  // Asking for more replicas than members yields every member, once each.
+  const std::vector<Index> all = ring.owners(key_of(0), 99);
+  EXPECT_EQ(all.size(), 6u);
+  EXPECT_EQ(std::set<Index>(all.begin(), all.end()).size(), 6u);
+}
+
+TEST(HashRing, EmptyRingHasNoOwner) {
+  cluster::HashRing ring;
+  EXPECT_FALSE(ring.owner(key_of(1)).has_value());
+  EXPECT_TRUE(ring.owners(key_of(1), 2).empty());
+  ring.add(7);
+  ring.remove(7);
+  EXPECT_FALSE(ring.owner(key_of(1)).has_value());
+}
+
+TEST(HashRing, ShardHashGroupsBatchIdentity) {
+  const serve::BatchKey a{10, 10, exec::Backend::kSerial, 2};
+  const serve::BatchKey b{10, 10, exec::Backend::kSerial, 2};
+  const serve::BatchKey c{12, 12, exec::Backend::kSerial, 2};
+  EXPECT_EQ(cluster::shard_hash(a), cluster::shard_hash(b));
+  EXPECT_NE(cluster::shard_hash(a), cluster::shard_hash(c));
+}
+
+TEST(RingAssignment, CoversAllRanksDeterministically) {
+  const std::vector<Index> owners = cluster::ring_assignment(4096, 8);
+  ASSERT_EQ(owners.size(), 4096u);
+  std::set<Index> used;
+  for (const Index r : owners) {
+    ASSERT_GE(r, 0);
+    ASSERT_LT(r, 8);
+    used.insert(r);
+  }
+  EXPECT_EQ(used.size(), 8u) << "some rank got no work from the ring walk";
+  EXPECT_EQ(owners, cluster::ring_assignment(4096, 8));
+}
+
+// ------------------------------------------------------------ stats merging
+
+TEST(StatsMerge, HistogramMergeIsExact) {
+  serve::LatencyHistogram left;
+  serve::LatencyHistogram right;
+  serve::LatencyHistogram all;
+  Rng rng(chaos_seed());
+  for (int i = 0; i < 500; ++i) {
+    // Spread samples across many buckets: microseconds to seconds.
+    const Real seconds = 1e-6 * std::pow(10.0, 6.0 * rng.uniform());
+    (i % 2 == 0 ? left : right).record(seconds);
+    all.record(seconds);
+  }
+  serve::StageStats merged = left.snapshot();
+  merged.merge(right.snapshot());
+  const serve::StageStats expect = all.snapshot();
+  EXPECT_EQ(merged.buckets, expect.buckets);
+  EXPECT_EQ(merged.total_nanos, expect.total_nanos);
+  EXPECT_EQ(merged.max_nanos, expect.max_nanos);
+  EXPECT_EQ(merged.count, expect.count);
+  EXPECT_DOUBLE_EQ(merged.mean_seconds, expect.mean_seconds);
+  EXPECT_DOUBLE_EQ(merged.p50_seconds, expect.p50_seconds);
+  EXPECT_DOUBLE_EQ(merged.p99_seconds, expect.p99_seconds);
+  EXPECT_DOUBLE_EQ(merged.max_seconds, expect.max_seconds);
+}
+
+TEST(StatsMerge, CountersAddGaugesMaxDegradedOrs) {
+  serve::Stats a;
+  a.submitted = 10;
+  a.accepted = 9;
+  a.completed_ok = 8;
+  a.retries = 2;
+  a.batches = 4;
+  a.batched_requests = 8;
+  a.max_batch = 3;
+  a.queue_high_water = 5;
+  a.breaker_open_shapes = 1;
+  a.degraded = false;
+
+  serve::Stats b;
+  b.submitted = 5;
+  b.accepted = 5;
+  b.completed_ok = 5;
+  b.retries = 1;
+  b.batches = 1;
+  b.batched_requests = 4;
+  b.max_batch = 4;
+  b.queue_high_water = 2;
+  b.breaker_open_shapes = 2;
+  b.degraded = true;
+
+  a.merge(b);
+  EXPECT_EQ(a.submitted, 15u);
+  EXPECT_EQ(a.accepted, 14u);
+  EXPECT_EQ(a.completed_ok, 13u);
+  EXPECT_EQ(a.retries, 3u);
+  EXPECT_EQ(a.batches, 5u);
+  EXPECT_EQ(a.batched_requests, 12u);
+  // Per-process high-water marks take the max, not the sum.
+  EXPECT_EQ(a.max_batch, 4u);
+  EXPECT_EQ(a.queue_high_water, 5u);
+  // Breaker boards are per-worker, so open-shape counts add; degraded ORs.
+  EXPECT_EQ(a.breaker_open_shapes, 3u);
+  EXPECT_TRUE(a.degraded);
+  // mean re-derived from the exact summed substrate: 12 requests / 5 batches.
+  EXPECT_DOUBLE_EQ(a.mean_batch_size, 12.0 / 5.0);
+}
+
+TEST(StatsWire, SnapshotSurvivesTheWireExactly) {
+  serve::StatsCollector collector;
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    collector.on_submitted();
+    collector.on_accepted();
+    collector.on_completed_ok();
+    collector.end_to_end.record(1e-5 * (i + 1));
+    collector.queue_wait.record(1e-6 * (i + 1));
+  }
+  collector.on_retry();
+  collector.on_batch(3);
+  collector.on_batch(5);
+  serve::Stats original = collector.snapshot(11, 2);
+  original.breaker_open_shapes = 2;
+  original.degraded = true;
+
+  const std::vector<std::uint8_t> bytes = net::encode_stats_response(99, original);
+  net::FrameDecoder decoder;
+  decoder.feed(bytes);
+  net::Frame frame;
+  ASSERT_EQ(decoder.next(frame), net::FrameDecoder::Result::kFrame)
+      << decoder.error().message;
+  ASSERT_EQ(frame.type, net::FrameType::kStatsResponse);
+  ASSERT_TRUE(frame.stats.has_value());
+  const serve::Stats& got = *frame.stats;
+
+  EXPECT_EQ(got.submitted, original.submitted);
+  EXPECT_EQ(got.completed_ok, original.completed_ok);
+  EXPECT_EQ(got.retries, original.retries);
+  EXPECT_EQ(got.batches, original.batches);
+  EXPECT_EQ(got.batched_requests, original.batched_requests);
+  EXPECT_EQ(got.max_batch, original.max_batch);
+  EXPECT_EQ(got.queue_high_water, original.queue_high_water);
+  EXPECT_EQ(got.breaker_open_shapes, original.breaker_open_shapes);
+  EXPECT_EQ(got.degraded, original.degraded);
+  EXPECT_EQ(got.end_to_end.buckets, original.end_to_end.buckets);
+  EXPECT_EQ(got.end_to_end.total_nanos, original.end_to_end.total_nanos);
+  EXPECT_EQ(got.end_to_end.max_nanos, original.end_to_end.max_nanos);
+  // Derived summaries are recomputed on decode and must land on the same
+  // values the sender computed from the identical substrate.
+  EXPECT_DOUBLE_EQ(got.end_to_end.p99_seconds, original.end_to_end.p99_seconds);
+  EXPECT_DOUBLE_EQ(got.end_to_end.mean_seconds, original.end_to_end.mean_seconds);
+  EXPECT_DOUBLE_EQ(got.mean_batch_size, original.mean_batch_size);
+}
+
+// -------------------------------------------------------------- supervision
+
+TEST(Supervisor, SpawnsWorkersAndStopsCleanly) {
+  FleetLog log;
+  cluster::SupervisorOptions opts;
+  opts.worker_binary = PARMA_CLUSTER_WORKER_BIN;
+  opts.workers = 2;
+  opts.server_workers = 1;
+  cluster::Supervisor supervisor(
+      opts, [&log](const cluster::WorkerEndpoint&) { log.up(); },
+      [&log](Index) { log.down(); });
+  supervisor.start();
+  EXPECT_TRUE(log.wait_ups(2, 10s));
+  const std::vector<cluster::WorkerEndpoint> endpoints = supervisor.endpoints();
+  ASSERT_EQ(endpoints.size(), 2u);
+  std::set<std::uint16_t> ports;
+  for (const cluster::WorkerEndpoint& e : endpoints) {
+    EXPECT_NE(e.port, 0);
+    EXPECT_EQ(e.generation, 1u);  // generation counts spawns, starting at 1
+    ports.insert(e.port);
+  }
+  EXPECT_EQ(ports.size(), 2u) << "workers share a port";
+  supervisor.stop();
+  EXPECT_EQ(supervisor.restarts(), 0u);
+}
+
+TEST(Supervisor, CrashingWorkerIsDetectedAndRestarted) {
+  FleetLog log;
+  cluster::SupervisorOptions opts;
+  opts.worker_binary = PARMA_CLUSTER_WORKER_BIN;
+  opts.workers = 1;
+  opts.server_workers = 1;
+  // The deterministic injector fires kWorkerCrash on the worker's first
+  // watch tick, every generation: a crash-looping worker.
+  opts.crash_probability = 1.0;
+  opts.crash_max_fires = 1;
+  opts.chaos_seed = chaos_seed();
+  opts.restart_backoff = 10ms;
+  opts.restart_backoff_cap = 50ms;
+  cluster::Supervisor supervisor(
+      opts, [&log](const cluster::WorkerEndpoint&) { log.up(); },
+      [&log](Index) { log.down(); });
+  supervisor.start();
+  // Initial spawn, then at least two crash -> backoff -> restart -> warm-up
+  // cycles observed through the callbacks.
+  EXPECT_TRUE(log.wait_downs(2, 20s)) << "crashes not detected";
+  EXPECT_TRUE(log.wait_ups(2, 20s)) << "restarts did not warm up";
+  EXPECT_GE(supervisor.restarts(), 1u);
+  supervisor.stop();
+}
+
+TEST(Supervisor, CrashLoopIsAbandonedAfterMaxRestarts) {
+  FleetLog log;
+  cluster::SupervisorOptions opts;
+  opts.worker_binary = PARMA_CLUSTER_WORKER_BIN;
+  opts.workers = 1;
+  opts.server_workers = 1;
+  opts.crash_probability = 1.0;
+  opts.crash_max_fires = 1;
+  opts.chaos_seed = chaos_seed();
+  opts.restart_backoff = 5ms;
+  opts.restart_backoff_cap = 10ms;
+  opts.max_restarts = 2;
+  // Stability is judged at detection time; under a sanitizer the monitor
+  // can notice a 20ms-old corpse over a second late, so make the stable
+  // window generous enough that a flapping worker can never be mistaken
+  // for a stable one.
+  opts.stable_uptime = 60s;
+  cluster::Supervisor supervisor(
+      opts, [&log](const cluster::WorkerEndpoint&) { log.up(); },
+      [&log](Index) { log.down(); });
+  supervisor.start();
+  EXPECT_TRUE(log.wait_downs(3, 30s));  // initial + 2 restarts, all crash
+  // Give the monitor a beat to mark the slot abandoned after the last death.
+  for (int i = 0; i < 100 && supervisor.abandoned() == 0; ++i) {
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_EQ(supervisor.abandoned(), 1);
+  EXPECT_EQ(supervisor.restarts(), 2u);
+  supervisor.stop();
+}
+
+// ------------------------------------------------------------------ routing
+
+TEST(Router, NoWorkersYieldsTypedTransportVerdict) {
+  cluster::Router router;
+  Rng rng(1);
+  const cluster::Router::RouteResult routed = router.dispatch(make_request(6, rng));
+  EXPECT_FALSE(routed.ok());
+  EXPECT_NE(routed.reply.transport, net::ClientError::kNone);
+  EXPECT_EQ(routed.worker, -1);
+  EXPECT_EQ(router.counters().exhausted, 1u);
+}
+
+TEST(Router, RouteOfReturnsDistinctAdmittedCandidates) {
+  cluster::Router router;
+  for (Index w = 0; w < 4; ++w) {
+    router.worker_up(cluster::WorkerEndpoint{w, static_cast<std::uint16_t>(9000 + w), 0});
+  }
+  Rng rng(2);
+  const serve::ParametrizeRequest request = make_request(8, rng);
+  const std::vector<Index> route = router.route_of(request);
+  ASSERT_EQ(route.size(), 2u);  // default replicas = 2
+  EXPECT_NE(route[0], route[1]);
+  // Same request, same route: placement is deterministic.
+  EXPECT_EQ(route, router.route_of(request));
+  router.worker_down(route[0]);
+  const std::vector<Index> rerouted = router.route_of(request);
+  ASSERT_FALSE(rerouted.empty());
+  EXPECT_NE(rerouted[0], route[0]) << "downed worker still primary";
+}
+
+// ---------------------------------------------------------- the chaos storm
+
+// kill -9 two workers mid-storm (one while the fleet is whole, one while the
+// first restart may still be warming up). Every request must complete with a
+// definite typed outcome, no request may be lost or answered twice, and
+// every reply must be bit-identical to the fault-free baseline.
+TEST(ClusterChaos, KillNineMidStormFailsOverBitIdentically) {
+  const std::uint64_t seed = chaos_seed();
+  SCOPED_TRACE("PARMA_CHAOS_SEED=" + std::to_string(seed));
+
+  constexpr Index kRequests = 24;
+  Rng rng(seed);
+  std::vector<serve::ParametrizeRequest> requests;
+  const std::vector<Index> shapes = {6, 8, 10};
+  for (Index i = 0; i < kRequests; ++i) {
+    requests.push_back(make_request(shapes[static_cast<std::size_t>(i) % shapes.size()], rng));
+  }
+
+  // Fault-free baseline: the same requests through an in-process server,
+  // flattened by the same wire mapping the cluster replies use.
+  std::vector<std::vector<Real>> baseline;
+  {
+    serve::ServerOptions sopts;
+    sopts.workers = 1;
+    serve::Server server(sopts);
+    for (const serve::ParametrizeRequest& request : requests) {
+      serve::ParametrizeRequest copy = request;
+      serve::Ticket ticket = server.submit(std::move(copy), 60s);
+      ASSERT_TRUE(ticket.accepted());
+      const serve::ParametrizeResult result = ticket.future().get();
+      ASSERT_EQ(result.status, serve::RequestStatus::kOk);
+      baseline.push_back(net::WireResponse::from_result(0, result).field);
+      ASSERT_FALSE(baseline.back().empty());
+    }
+    server.shutdown();
+  }
+
+  cluster::RouterOptions ropts;
+  ropts.attempt_timeout = 60s;
+  cluster::Router router(ropts);
+  cluster::SupervisorOptions sopts;
+  sopts.worker_binary = PARMA_CLUSTER_WORKER_BIN;
+  sopts.workers = 3;
+  sopts.server_workers = 1;
+  cluster::Supervisor supervisor(
+      sopts, [&router](const cluster::WorkerEndpoint& e) { router.worker_up(e); },
+      [&router](Index id) { router.worker_down(id); });
+  supervisor.start();
+  ASSERT_EQ(router.live_workers(), 3u);
+
+  Index replies = 0;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (i == requests.size() / 3) supervisor.kill_worker(0);
+    if (i == 2 * requests.size() / 3) supervisor.kill_worker(1);
+    const cluster::Router::RouteResult routed = router.dispatch(requests[i]);
+    // Definite typed outcome: a server verdict or a typed transport error,
+    // never silence. With a 2-way replica set and one death at a time the
+    // storm must in fact complete every request.
+    ASSERT_TRUE(routed.ok()) << "request " << i << ": transport "
+                             << net::client_error_name(routed.reply.transport);
+    ASSERT_EQ(routed.reply.response.status(), serve::RequestStatus::kOk);
+    ++replies;  // dispatch() returns exactly one reply -- none lost, none duplicated
+    const std::vector<Real>& expect = baseline[i];
+    ASSERT_EQ(routed.reply.response.field.size(), expect.size());
+    EXPECT_EQ(std::memcmp(routed.reply.response.field.data(), expect.data(),
+                          expect.size() * sizeof(Real)),
+              0)
+        << "request " << i << " failed over to a different field";
+  }
+  EXPECT_EQ(replies, kRequests);
+
+  const cluster::RouterCounters rc = router.counters();
+  EXPECT_EQ(rc.dispatched, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(rc.exhausted, 0u);
+  EXPECT_EQ(rc.workers_lost, 2u);
+  EXPECT_GE(rc.workers_joined, 3u);
+
+  // The supervisor must have noticed both murders; restarts land when the
+  // backoff expires (give them a moment before asserting).
+  for (int i = 0; i < 200 && supervisor.restarts() < 2; ++i) {
+    std::this_thread::sleep_for(20ms);
+  }
+  EXPECT_GE(supervisor.restarts(), 2u);
+  supervisor.stop();
+}
+
+// The aggregated view: stats merged across live workers count every request
+// the storm completed on workers that are still alive to report.
+TEST(ClusterChaos, ClusterStatsAggregateAcrossWorkers) {
+  const std::uint64_t seed = chaos_seed();
+  Rng rng(seed + 100);
+  cluster::Router router;
+  cluster::SupervisorOptions sopts;
+  sopts.worker_binary = PARMA_CLUSTER_WORKER_BIN;
+  sopts.workers = 3;
+  sopts.server_workers = 1;
+  cluster::Supervisor supervisor(
+      sopts, [&router](const cluster::WorkerEndpoint& e) { router.worker_up(e); },
+      [&router](Index id) { router.worker_down(id); });
+  supervisor.start();
+
+  constexpr Index kRequests = 9;
+  for (Index i = 0; i < kRequests; ++i) {
+    const cluster::Router::RouteResult routed =
+        router.dispatch(make_request(6 + 2 * (i % 3), rng));
+    ASSERT_TRUE(routed.ok());
+  }
+  std::size_t reporting = 0;
+  const serve::Stats stats = router.cluster_stats(&reporting);
+  EXPECT_EQ(reporting, 3u);
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.completed_ok, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.end_to_end.count, static_cast<std::uint64_t>(kRequests));
+  supervisor.stop();
+}
+
+}  // namespace
